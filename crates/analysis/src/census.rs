@@ -1,0 +1,169 @@
+//! Exhaustive census of *all* labeled digraphs at small `n`.
+//!
+//! The paper's corollaries are universally quantified ("for every graph…");
+//! at small sizes we can simply check them against **every** labeled simple
+//! digraph rather than sampled ones. The census enumerates all
+//! `2^(n(n−1))` edge subsets and tallies, per fault bound `f`:
+//!
+//! * how many graphs satisfy Theorem 1;
+//! * the minimum edge count among satisfying graphs (answering the §6.1
+//!   minimal-size question exactly at `n = 3f + 1` — it is `n(2f+1)`,
+//!   achieved by the complete graph / core network);
+//! * that no satisfying graph violates Corollary 2 (`n > 3f`) or
+//!   Corollary 3 (min in-degree ≥ `2f+1` when `f > 0`).
+//!
+//! Cost is `2^(n(n−1))` condition checks: instant for `n ≤ 4`
+//! (`2^12 = 4096`), ~minutes for `n = 5` — the experiment caps at 4 and the
+//! bench exercises 4 as well.
+
+use iabc_core::theorem1;
+use iabc_graph::{Digraph, NodeId};
+
+/// Tallies from an exhaustive sweep of all labeled digraphs on `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CensusRow {
+    /// Number of nodes.
+    pub n: usize,
+    /// Fault bound checked.
+    pub f: usize,
+    /// Total labeled digraphs enumerated (`2^(n(n−1))`).
+    pub graphs: u64,
+    /// How many satisfy the Theorem 1 condition.
+    pub satisfying: u64,
+    /// Minimum directed-edge count among satisfying graphs (`None` if none
+    /// satisfy).
+    pub min_edges: Option<usize>,
+    /// `true` iff every satisfying graph respects Corollary 3
+    /// (min in-degree ≥ 2f + 1, vacuous at `f = 0`).
+    pub corollary3_holds: bool,
+}
+
+/// Runs the exhaustive census for all digraphs on `n` nodes at fault
+/// bound `f`.
+///
+/// # Panics
+///
+/// Panics if `n(n−1) > 20` (the sweep would exceed ~10⁶ graphs; use the
+/// randomized falsifier in `iabc-core` beyond that).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_analysis::census::census;
+///
+/// // n = 3, f = 1: Corollary 2 says nothing satisfies (3 <= 3f).
+/// let row = census(3, 1);
+/// assert_eq!(row.satisfying, 0);
+/// ```
+pub fn census(n: usize, f: usize) -> CensusRow {
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .flat_map(|u| {
+            (0..n)
+                .filter(move |&v| u != v)
+                .map(move |v| (NodeId::new(u), NodeId::new(v)))
+        })
+        .collect();
+    let bits = pairs.len();
+    assert!(bits <= 20, "census over 2^{bits} graphs is too large (n = {n})");
+    let total: u64 = 1 << bits;
+
+    let mut satisfying = 0u64;
+    let mut min_edges: Option<usize> = None;
+    let mut corollary3_holds = true;
+
+    for mask in 0..total {
+        let mut g = Digraph::new(n);
+        let mut edges = 0usize;
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                g.add_edge(u, v);
+                edges += 1;
+            }
+        }
+        if theorem1::check(&g, f).is_satisfied() {
+            satisfying += 1;
+            min_edges = Some(min_edges.map_or(edges, |m| m.min(edges)));
+            if f > 0 && n >= 2 && g.min_in_degree() < 2 * f + 1 {
+                corollary3_holds = false;
+            }
+        }
+    }
+
+    CensusRow {
+        n,
+        f,
+        graphs: total,
+        satisfying,
+        min_edges,
+        corollary3_holds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n2_f0_census_matches_hand_count() {
+        // Graphs on 2 nodes: {}, {0→1}, {1→0}, {0↔1}. The f = 0 condition
+        // (unique source component) fails only for the empty graph.
+        let row = census(2, 0);
+        assert_eq!(row.graphs, 4);
+        assert_eq!(row.satisfying, 3);
+        assert_eq!(row.min_edges, Some(1));
+    }
+
+    #[test]
+    fn n2_f1_census_is_empty() {
+        // Corollary 2: need n > 3f = 3.
+        let row = census(2, 1);
+        assert_eq!(row.satisfying, 0);
+        assert_eq!(row.min_edges, None);
+    }
+
+    #[test]
+    fn n3_f1_census_is_empty() {
+        let row = census(3, 1);
+        assert_eq!(row.satisfying, 0, "n = 3f violates Corollary 2");
+    }
+
+    #[test]
+    fn n4_f1_unique_satisfying_graph_is_k4() {
+        // Corollary 3 forces in-degree >= 3 at every one of the 4 nodes,
+        // which uses all 12 possible edges: K4 is the only candidate, and it
+        // works. The census proves the paper's minimality conjecture
+        // instance n = 3f + 1 exactly, for f = 1.
+        let row = census(4, 1);
+        assert_eq!(row.graphs, 1 << 12);
+        assert_eq!(row.satisfying, 1);
+        assert_eq!(row.min_edges, Some(12));
+        assert!(row.corollary3_holds);
+    }
+
+    #[test]
+    fn n3_f0_satisfying_count_matches_source_component_rule() {
+        // Cross-validate the census against an independent characterization:
+        // at f = 0, satisfied iff the condensation has a unique source.
+        let row = census(3, 0);
+        let mut expect = 0u64;
+        for mask in 0u64..(1 << 6) {
+            let pairs = [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)];
+            let mut g = Digraph::new(3);
+            for (bit, &(u, v)) in pairs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    g.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            if iabc_graph::algorithms::source_components(&g).len() == 1 {
+                expect += 1;
+            }
+        }
+        assert_eq!(row.satisfying, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn census_rejects_oversized_sweeps() {
+        let _ = census(6, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Convergence measurement over recorded traces.
+
+use iabc_sim::trace::Trace;
+
+/// Summary statistics of one consensus run's convergence behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Initial fault-free range `U[0] − µ[0]`.
+    pub initial_range: f64,
+    /// Final fault-free range.
+    pub final_range: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// First round at which the range was ≤ the probe epsilon, if reached.
+    pub rounds_to_epsilon: Option<usize>,
+    /// Geometric mean of per-round contraction factors (`< 1` iff shrinking).
+    pub mean_contraction: f64,
+    /// Worst (largest) observed per-round contraction factor.
+    pub worst_contraction: f64,
+}
+
+/// Summarizes a trace against a convergence threshold `epsilon`.
+///
+/// # Panics
+///
+/// Panics on an empty trace.
+pub fn summarize(trace: &Trace, epsilon: f64) -> ConvergenceSummary {
+    let records = trace.records();
+    assert!(!records.is_empty(), "cannot summarize an empty trace");
+    let factors = trace.contraction_factors();
+    let mean_contraction = geometric_mean(&factors);
+    let worst_contraction = factors.iter().copied().fold(0.0f64, f64::max);
+    ConvergenceSummary {
+        initial_range: records[0].range(),
+        final_range: records[records.len() - 1].range(),
+        rounds: records[records.len() - 1].round,
+        rounds_to_epsilon: trace.rounds_to_epsilon(epsilon),
+        mean_contraction,
+        worst_contraction,
+    }
+}
+
+/// Geometric mean of strictly positive factors; `1.0` for an empty slice,
+/// `0.0` if any factor is zero (instant convergence).
+pub fn geometric_mean(factors: &[f64]) -> f64 {
+    if factors.is_empty() {
+        return 1.0;
+    }
+    if factors.contains(&0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = factors.iter().map(|f| f.ln()).sum();
+    (log_sum / factors.len() as f64).exp()
+}
+
+/// Fits `range[t] ≈ range[0] · ρ^t` by least squares on the log-range and
+/// returns `ρ`. Rounds with (near-)zero range are skipped. Returns `None`
+/// when fewer than two usable points exist.
+pub fn fit_geometric_rate(ranges: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = ranges
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r > 1e-300)
+        .map(|(t, &r)| (t as f64, r.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(slope.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::NodeSet;
+
+    fn trace_from_ranges(ranges: &[f64]) -> Trace {
+        let mut t = Trace::new(false);
+        let faults = NodeSet::with_universe(2);
+        for (round, &r) in ranges.iter().enumerate() {
+            t.push(round, &[0.0, r], &faults);
+        }
+        t
+    }
+
+    #[test]
+    fn summarize_computes_basic_stats() {
+        let t = trace_from_ranges(&[8.0, 4.0, 2.0, 1.0]);
+        let s = summarize(&t, 2.0);
+        assert_eq!(s.initial_range, 8.0);
+        assert_eq!(s.final_range, 1.0);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.rounds_to_epsilon, Some(2));
+        assert!((s.mean_contraction - 0.5).abs() < 1e-12);
+        assert!((s.worst_contraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_handles_non_converged() {
+        let t = trace_from_ranges(&[4.0, 4.0]);
+        let s = summarize(&t, 1.0);
+        assert_eq!(s.rounds_to_epsilon, None);
+        assert!((s.mean_contraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn summarize_rejects_empty() {
+        let t = Trace::new(false);
+        let _ = summarize(&t, 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_cases() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert_eq!(geometric_mean(&[0.5, 0.0]), 0.0);
+        assert!((geometric_mean(&[0.25, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_exact_geometric_decay() {
+        let ranges: Vec<f64> = (0..20).map(|t| 10.0 * 0.8f64.powi(t)).collect();
+        let rho = fit_geometric_rate(&ranges).unwrap();
+        assert!((rho - 0.8).abs() < 1e-9, "fit {rho}");
+    }
+
+    #[test]
+    fn fit_requires_two_points() {
+        assert_eq!(fit_geometric_rate(&[1.0]), None);
+        assert_eq!(fit_geometric_rate(&[0.0, 0.0]), None);
+        assert_eq!(fit_geometric_rate(&[]), None);
+    }
+
+    #[test]
+    fn fit_skips_collapsed_rounds() {
+        let ranges = [4.0, 2.0, 1.0, 0.0, 0.0];
+        let rho = fit_geometric_rate(&ranges).unwrap();
+        assert!((rho - 0.5).abs() < 1e-9);
+    }
+}

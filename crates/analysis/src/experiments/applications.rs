@@ -1,0 +1,285 @@
+//! E6 / E7 / E8 / E11 — the Section 6 applications and the figures.
+
+use iabc_core::{search, theorem1, Threshold, Witness};
+use iabc_graph::dot::{to_dot, DotGroup};
+use iabc_graph::{algorithms, generators, NodeSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::Table;
+
+use super::ExperimentResult;
+
+/// Runs experiment E6 (§6.1: core networks satisfy Theorem 1).
+pub fn e6_core_network() -> ExperimentResult {
+    let mut table = Table::new(["f", "n", "edges", "verdict", "removal-critical edges"]);
+    let mut pass = true;
+
+    for f in 1..=3usize {
+        for n in (3 * f + 1)..=(3 * f + 4) {
+            let g = generators::core_network(n, f);
+            let satisfied = theorem1::check(&g, f).is_satisfied();
+            pass &= satisfied;
+            // Edge-criticality probe at the conjectured-minimal size n=3f+1:
+            // how many single directed-edge removals break the condition?
+            let critical = if n == 3 * f + 1 {
+                let edges: Vec<_> = g.edges().collect();
+                let mut count = 0usize;
+                for &(u, v) in &edges {
+                    let mut g2 = g.clone();
+                    g2.remove_edge(u, v);
+                    if !theorem1::check(&g2, f).is_satisfied() {
+                        count += 1;
+                    }
+                }
+                format!("{count}/{}", edges.len())
+            } else {
+                "-".into()
+            };
+            table.row([
+                f.to_string(),
+                n.to_string(),
+                g.edge_count().to_string(),
+                if satisfied { "satisfied" } else { "VIOLATED?!" }.to_string(),
+                critical,
+            ]);
+        }
+    }
+
+    ExperimentResult {
+        id: "E6",
+        title: "§6.1 core networks satisfy Theorem 1 (with edge-criticality probe at n = 3f+1)",
+        notes: vec![
+            "paper conjectures n = 3f+1 core networks are edge-minimal; the probe reports how many edges are individually critical".into(),
+        ],
+        artifacts: Vec::new(),
+        table,
+        pass,
+    }
+}
+
+/// The Figure 3 dimension-cut witness for a `d`-cube at the given dimension
+/// `bit`: `F = ∅`, `L` = nodes with that bit 0, `R` = the rest.
+pub fn dimension_cut_witness(d: u32, bit: u32) -> Witness {
+    let n = 1usize << d;
+    let left = NodeSet::from_indices(n, (0..n).filter(|x| x & (1usize << bit) == 0));
+    Witness {
+        fault_set: NodeSet::with_universe(n),
+        right: left.complement(),
+        center: NodeSet::with_universe(n),
+        left,
+    }
+}
+
+/// Runs experiment E7 (§6.2 + Figure 3: hypercubes fail for every `f ≥ 1`).
+pub fn e7_hypercube() -> ExperimentResult {
+    let mut table = Table::new(["d", "n", "connectivity", "method", "verdict"]);
+    let mut pass = true;
+
+    for d in 3..=6u32 {
+        let g = generators::hypercube(d);
+        let n = 1usize << d;
+        // §6.2 prerequisite: connectivity equals d (cheap for n ≤ 16; for
+        // d ≥ 5 we verify a sampled pair bound instead of the full O(n²)).
+        let conn = if d <= 4 {
+            algorithms::vertex_connectivity(&g).to_string()
+        } else {
+            let k = algorithms::vertex_disjoint_paths(
+                &g,
+                iabc_graph::NodeId::new(0),
+                iabc_graph::NodeId::new(n - 1),
+            );
+            format!("{k} (antipodal pair)")
+        };
+        // Every dimension cut must be a valid witness for f = 1 (Figure 3).
+        let all_cuts_valid = (0..d).all(|bit| {
+            dimension_cut_witness(d, bit).verify(&g, 1, Threshold::synchronous(1))
+        });
+        // Exact check where feasible; seeded falsifier beyond.
+        let (method, violated) = if d <= 4 {
+            ("exact checker", !theorem1::check(&g, 1).is_satisfied())
+        } else {
+            let seeds: Vec<NodeSet> = (0..d)
+                .map(|bit| dimension_cut_witness(d, bit).left)
+                .collect();
+            (
+                "seeded falsifier",
+                search::falsify_with_seeds(&g, 1, Threshold::synchronous(1), &seeds).is_some(),
+            )
+        };
+        pass &= all_cuts_valid && violated;
+        table.row([
+            d.to_string(),
+            n.to_string(),
+            conn,
+            method.to_string(),
+            format!(
+                "violated: {violated}; all {d} dimension cuts verify as witnesses: {all_cuts_valid}"
+            ),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E7",
+        title: "§6.2 / Figure 3: hypercubes have connectivity d yet fail Theorem 1 for f = 1",
+        notes: vec![
+            "Figure 3's partition {0,1,2,3} | {4,5,6,7} is the bit-2 dimension cut of the 3-cube".into(),
+        ],
+        artifacts: Vec::new(),
+        table,
+        pass,
+    }
+}
+
+/// Runs experiment E8 (§6.3: the three chord-network cases).
+pub fn e8_chord() -> ExperimentResult {
+    let mut table = Table::new(["case", "expectation", "checker verdict", "paper witness check"]);
+    let mut pass = true;
+
+    // f = 1, n = 4: complete graph, trivially satisfied.
+    {
+        let g = generators::chord(4, 3);
+        let is_complete = g == generators::complete(4);
+        let ok = theorem1::check(&g, 1).is_satisfied() && is_complete;
+        pass &= ok;
+        table.row([
+            "chord(4, 3), f = 1".to_string(),
+            "satisfied (graph is K4)".to_string(),
+            if ok { "satisfied, graph == K4" } else { "MISMATCH" }.to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    // f = 2, n = 7: violated; the paper's exact witness must verify.
+    {
+        let g = generators::chord(7, 5);
+        let violated = !theorem1::check(&g, 2).is_satisfied();
+        let paper_witness = Witness {
+            fault_set: NodeSet::from_indices(7, [5, 6]),
+            left: NodeSet::from_indices(7, [0, 2]),
+            center: NodeSet::with_universe(7),
+            right: NodeSet::from_indices(7, [1, 3, 4]),
+        };
+        let witness_ok = paper_witness.verify(&g, 2, Threshold::synchronous(2));
+        pass &= violated && witness_ok;
+        table.row([
+            "chord(7, 5), f = 2".to_string(),
+            "violated; F={5,6}, L={0,2}, R={1,3,4} is a witness".to_string(),
+            if violated { "violated" } else { "SATISFIED?!" }.to_string(),
+            format!("paper witness verifies: {witness_ok}"),
+        ]);
+    }
+
+    // f = 1, n = 5: satisfied.
+    {
+        let g = generators::chord(5, 3);
+        let ok = theorem1::check(&g, 1).is_satisfied();
+        pass &= ok;
+        table.row([
+            "chord(5, 3), f = 1".to_string(),
+            "satisfied".to_string(),
+            if ok { "satisfied" } else { "VIOLATED?!" }.to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "E8",
+        title: "§6.3 chord networks: K4 trivial, (f=2, n=7) violated with the paper's witness, (f=1, n=5) satisfied",
+        notes: vec![
+            "chord(n, 2f+1) per Definition 5; note 2f+1 in-degree alone is insufficient (the f=2, n=7 case)".into(),
+        ],
+        artifacts: Vec::new(),
+        table,
+        pass,
+    }
+}
+
+/// Runs experiment E11 (Figures 1–3 geometry as DOT renders).
+pub fn e11_figures() -> ExperimentResult {
+    let mut table = Table::new(["figure", "content", "bytes"]);
+    let mut artifacts = Vec::new();
+    let mut pass = true;
+
+    // Figure 1/2 geometry: the chord counterexample partition, colour-coded.
+    {
+        let g = generators::chord(7, 5);
+        let w = theorem1::find_violation(&g, 2).expect("violated");
+        let groups = [
+            DotGroup::new("F", "lightcoral", w.fault_set.clone()),
+            DotGroup::new("L", "lightblue", w.left.clone()),
+            DotGroup::new("C", "lightgray", w.center.clone()),
+            DotGroup::new("R", "lightgreen", w.right.clone()),
+        ];
+        let dot = to_dot(&g, "chord_counterexample", &groups);
+        pass &= dot.contains("digraph") && dot.contains("lightblue");
+        table.row([
+            "fig1-2 (partition geometry)".to_string(),
+            "chord(7,5) witness F/L/C/R".to_string(),
+            dot.len().to_string(),
+        ]);
+        artifacts.push(("fig1_chord_witness.dot".to_string(), dot));
+    }
+
+    // Figure 3: the 3-cube with the dimension-cut halves.
+    {
+        let g = generators::hypercube(3);
+        let w = dimension_cut_witness(3, 2);
+        pass &= w.left.to_indices() == vec![0, 1, 2, 3];
+        let groups = [
+            DotGroup::new("half-0", "lightblue", w.left.clone()),
+            DotGroup::new("half-1", "lightgreen", w.right.clone()),
+        ];
+        let dot = to_dot(&g, "hypercube_cut", &groups);
+        pass &= dot.contains("dir=both");
+        table.row([
+            "fig3 (hypercube cut)".to_string(),
+            "{0,1,2,3} vs {4,5,6,7}".to_string(),
+            dot.len().to_string(),
+        ]);
+        artifacts.push(("fig3_hypercube_cut.dot".to_string(), dot));
+    }
+
+    // Bonus: the core network's clique/outer structure (Definition 4).
+    {
+        let g = generators::core_network(7, 2);
+        let clique = NodeSet::from_indices(7, 0..5);
+        let groups = [
+            DotGroup::new("K (clique)", "gold", clique.clone()),
+            DotGroup::new("outer", "lightgray", clique.complement()),
+        ];
+        let dot = to_dot(&g, "core_network", &groups);
+        pass &= dot.contains("gold");
+        table.row([
+            "def4 (core network)".to_string(),
+            "clique of 2f+1 plus outer nodes".to_string(),
+            dot.len().to_string(),
+        ]);
+        artifacts.push(("def4_core_network.dot".to_string(), dot));
+    }
+
+    ExperimentResult {
+        id: "E11",
+        title: "Figures: witness partitions and family structure as Graphviz DOT",
+        notes: vec!["render with `dot -Tpng <file>`".into()],
+        artifacts,
+        table,
+        pass,
+    }
+}
+
+/// Small deterministic sanity sweep shared by tests: random graphs where the
+/// exact checker and the falsifier must agree on violations they both find.
+pub fn falsifier_consistency_sweep(trials: usize) -> bool {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for _ in 0..trials {
+        let g = generators::erdos_renyi(7, 0.4, &mut rng);
+        let exact = theorem1::check(&g, 1);
+        if let Some(w) = search::falsify(&g, 1, Threshold::synchronous(1), 300, &mut rng) {
+            if exact.is_satisfied() || !w.verify(&g, 1, Threshold::synchronous(1)) {
+                return false;
+            }
+        }
+    }
+    true
+}

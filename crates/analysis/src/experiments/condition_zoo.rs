@@ -1,0 +1,158 @@
+//! X4 — the condition zoo: Theorem 1 vs the robustness hierarchy vs raw
+//! connectivity, on one panel of graphs.
+//!
+//! The paper's §6.2 headline is that **connectivity does not characterize**
+//! iterative consensus: the `d`-dimensional hypercube has vertex
+//! connectivity `d` (which classical, non-iterative consensus would happily
+//! accept for `f < d/2`) yet fails Theorem 1 for every `f ≥ 1`. This
+//! experiment places Theorem 1 next to the related conditions from the
+//! literature the paper cites, and machine-checks the two provable
+//! implications along the way:
+//!
+//! * `(2f+1)`-robust ⟹ Theorem 1 satisfied;
+//! * Theorem 1 satisfied ⟹ `(f+1, f+1)`-robust (the LeBlanc et al. \[17\]
+//!   necessary condition for the *weaker* malicious-broadcast adversary —
+//!   anything achievable against point-to-point Byzantine is achievable
+//!   against broadcast-malicious, so the implication must hold).
+
+use iabc_core::{robustness, theorem1};
+use iabc_graph::{algorithms, generators, Digraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::Table;
+
+use super::ExperimentResult;
+
+struct ZooRow {
+    name: String,
+    graph: Digraph,
+    f: usize,
+}
+
+fn panel() -> Vec<ZooRow> {
+    let mut rng = StdRng::seed_from_u64(44);
+    vec![
+        ZooRow { name: "K7".into(), graph: generators::complete(7), f: 2 },
+        ZooRow { name: "core(7,2)".into(), graph: generators::core_network(7, 2), f: 2 },
+        ZooRow { name: "chord(5,3)".into(), graph: generators::chord(5, 3), f: 1 },
+        ZooRow { name: "chord(7,5)".into(), graph: generators::chord(7, 5), f: 2 },
+        ZooRow { name: "hypercube(3)".into(), graph: generators::hypercube(3), f: 1 },
+        ZooRow { name: "wheel(8)".into(), graph: generators::wheel(8), f: 1 },
+        ZooRow {
+            name: "grown(9,1)".into(),
+            graph: iabc_core::construction::grow_satisfying(
+                9,
+                1,
+                iabc_core::construction::Attachment::Uniform,
+                &mut rng,
+            ),
+            f: 1,
+        },
+        ZooRow { name: "tree(2,2)".into(), graph: generators::balanced_tree(2, 2), f: 1 },
+    ]
+}
+
+/// Runs experiment X4 (condition zoo + implication checks).
+pub fn x4_condition_zoo() -> ExperimentResult {
+    let mut table = Table::new([
+        "graph", "f", "theorem1", "(2f+1)-robust", "(f+1,f+1)-robust", "connectivity",
+        "min in-deg",
+    ]);
+    let mut pass = true;
+    let mut notes = Vec::new();
+
+    let mut hypercube_refutes_connectivity = false;
+    for row in panel() {
+        let f = row.f;
+        let sat = theorem1::check(&row.graph, f).is_satisfied();
+        let strong = robustness::is_robust(&row.graph, 2 * f + 1, 1);
+        let weak = robustness::is_robust(&row.graph, f + 1, f + 1);
+        let conn = algorithms::vertex_connectivity(&row.graph);
+        let min_in = row.graph.min_in_degree();
+
+        // Provable implications must hold on every instance.
+        if strong && !sat {
+            pass = false;
+            notes.push(format!("{}: (2f+1)-robust but Theorem 1 violated?!", row.name));
+        }
+        if sat && !weak {
+            pass = false;
+            notes.push(format!("{}: Theorem 1 holds but not (f+1,f+1)-robust?!", row.name));
+        }
+        if row.name.starts_with("hypercube") && conn > 2 * f && !sat {
+            hypercube_refutes_connectivity = true;
+        }
+
+        table.row([
+            row.name,
+            f.to_string(),
+            if sat { "satisfied" } else { "violated" }.to_string(),
+            strong.to_string(),
+            weak.to_string(),
+            conn.to_string(),
+            min_in.to_string(),
+        ]);
+    }
+    // The §6.2 point must reproduce: connectivity 2f+1 yet condition violated.
+    pass &= hypercube_refutes_connectivity;
+    notes.push(
+        "hypercube(3), f=1: connectivity 3 = 2f+1 yet Theorem 1 fails — \
+         connectivity does not characterize iterative consensus (§6.2)"
+            .into(),
+    );
+
+    // Random sweep: the implications hold on every sampled graph.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut checked = 0usize;
+    for _ in 0..40 {
+        let n = 5 + (checked % 3); // 5..=7
+        let g = generators::erdos_renyi(n, 0.55, &mut rng);
+        for f in 0..=1usize {
+            let sat = theorem1::check(&g, f).is_satisfied();
+            let strong = robustness::is_robust(&g, 2 * f + 1, 1);
+            let weak = robustness::is_robust(&g, f + 1, f + 1);
+            if strong && !sat {
+                pass = false;
+                notes.push(format!("random n={n} f={f}: (2f+1)-robust but violated: {g:?}"));
+            }
+            if sat && !weak {
+                pass = false;
+                notes.push(format!("random n={n} f={f}: satisfied but not (f+1,f+1)-robust: {g:?}"));
+            }
+            checked += 1;
+        }
+    }
+    notes.push(format!("implications verified on {checked} random (graph, f) samples"));
+
+    ExperimentResult {
+        id: "X4",
+        title: "Condition zoo: Theorem 1 vs robustness hierarchy vs connectivity",
+        notes,
+        artifacts: Vec::new(),
+        table,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_passes() {
+        let r = x4_condition_zoo();
+        assert!(r.pass, "X4 failed:\n{}\n{:?}", r.table, r.notes);
+    }
+
+    #[test]
+    fn panel_covers_satisfying_and_violating_instances() {
+        let rows = panel();
+        let verdicts: Vec<bool> = rows
+            .iter()
+            .map(|r| theorem1::check(&r.graph, r.f).is_satisfied())
+            .collect();
+        assert!(verdicts.iter().any(|&v| v), "panel needs satisfying graphs");
+        assert!(verdicts.iter().any(|&v| !v), "panel needs violating graphs");
+    }
+}

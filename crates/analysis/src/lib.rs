@@ -1,0 +1,33 @@
+//! Analysis toolkit and experiment harness for the IABC reproduction.
+//!
+//! * [`convergence`] — rounds-to-ε and contraction-rate measurement;
+//! * [`contraction`] — Lemma 5 bound evaluation against live executions
+//!   (the Theorem 3 phase decomposition, re-enacted);
+//! * [`spectral`] — the `f = 0` linear-averaging baseline `|λ₂|`;
+//! * [`census`] — exhaustive sweeps of **all** labeled digraphs at small `n`;
+//! * [`plot`] — Unicode sparklines / ASCII log charts of traces;
+//! * [`table`] — plain-text table rendering for reports;
+//! * [`experiments`] — one runnable regeneration per paper artifact
+//!   (E1–E12, extensions X1–X9; see DESIGN.md §4 and `EXPERIMENTS.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use iabc_analysis::convergence::fit_geometric_rate;
+//!
+//! let ranges: Vec<f64> = (0..10).map(|t| 4.0 * 0.5f64.powi(t)).collect();
+//! let rho = fit_geometric_rate(&ranges).unwrap();
+//! assert!((rho - 0.5).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod census;
+pub mod contraction;
+pub mod convergence;
+pub mod experiments;
+pub mod matrix_repr;
+pub mod plot;
+pub mod spectral;
+pub mod table;

@@ -1,0 +1,169 @@
+//! Terminal plots for convergence traces: Unicode sparklines and ASCII
+//! log-scale charts.
+//!
+//! The paper's convergence claims are about the honest range
+//! `U[t] − µ[t]` shrinking geometrically; a log-scale render makes the
+//! per-round contraction factor visible as a straight line. Used by the
+//! examples and the experiment artifacts.
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One-line Unicode sparkline of `values` mapped through `log10`
+/// (non-positive values render as the lowest level).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_analysis::plot::log_sparkline;
+///
+/// let s = log_sparkline(&[100.0, 10.0, 1.0, 0.1]);
+/// assert_eq!(s.chars().count(), 4);
+/// ```
+pub fn log_sparkline(values: &[f64]) -> String {
+    let logs: Vec<Option<f64>> = values
+        .iter()
+        .map(|&v| (v > 0.0 && v.is_finite()).then(|| v.log10()))
+        .collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for l in logs.iter().flatten() {
+        lo = lo.min(*l);
+        hi = hi.max(*l);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return SPARK_LEVELS[0].to_string().repeat(values.len());
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    logs.iter()
+        .map(|l| match l {
+            None => SPARK_LEVELS[0],
+            Some(v) => {
+                let t = ((v - lo) / span * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+                SPARK_LEVELS[t.min(SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Multi-row ASCII chart of one series on a log10 y-axis.
+///
+/// Renders `height` rows by `values.len()` columns (capped at `width`
+/// columns by uniform subsampling), with a y-axis legend of the decade at
+/// each border row. Rows are returned top-first.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+pub fn log_chart(values: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "chart needs positive dimensions");
+    if values.is_empty() {
+        return String::new();
+    }
+    // Subsample to at most `width` columns.
+    let cols: Vec<f64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width)
+            .map(|c| values[c * (values.len() - 1) / (width - 1).max(1)])
+            .collect()
+    };
+    let logs: Vec<Option<f64>> = cols
+        .iter()
+        .map(|&v| (v > 0.0 && v.is_finite()).then(|| v.log10()))
+        .collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for l in logs.iter().flatten() {
+        lo = lo.min(*l);
+        hi = hi.max(*l);
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let row_of = |l: f64| -> usize {
+        let t = (l - lo) / (hi - lo);
+        ((1.0 - t) * (height - 1) as f64).round() as usize
+    };
+    let mut grid = vec![vec![' '; cols.len()]; height];
+    for (c, l) in logs.iter().enumerate() {
+        if let Some(v) = l {
+            grid[row_of(*v)][c] = '*';
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>8.1} |")
+        } else if r == height - 1 {
+            format!("{lo:>8.1} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>8}  round 0 .. {}\n",
+        "",
+        "-".repeat(cols.len()),
+        "",
+        values.len().saturating_sub(1)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_is_monotone_for_geometric_decay() {
+        let values: Vec<f64> = (0..10).map(|i| 100.0 * 0.5f64.powi(i)).collect();
+        let s: Vec<char> = log_sparkline(&values).chars().collect();
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "levels must not increase: {s:?}");
+        }
+        assert_eq!(s[0], '█');
+        assert_eq!(s[9], '▁');
+    }
+
+    #[test]
+    fn sparkline_handles_zeros_and_constants() {
+        assert_eq!(log_sparkline(&[0.0, 0.0]), "▁▁");
+        let constant = log_sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(constant.chars().count(), 3);
+        assert_eq!(log_sparkline(&[]), "");
+    }
+
+    #[test]
+    fn chart_renders_requested_height() {
+        let values: Vec<f64> = (0..30).map(|i| 10.0 * 0.8f64.powi(i)).collect();
+        let chart = log_chart(&values, 40, 6);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 6 + 2, "6 rows + axis + label");
+        assert!(lines[0].contains('|'));
+        assert!(chart.contains('*'));
+        // Decay: star in the top row appears before (left of) bottom-row stars.
+        let top_col = lines[0].find('*').expect("top row has the max");
+        let bottom_col = lines[5].rfind('*').expect("bottom row has the min");
+        assert!(top_col < bottom_col);
+    }
+
+    #[test]
+    fn chart_subsamples_wide_series() {
+        let values: Vec<f64> = (0..500).map(|i| (i + 1) as f64).collect();
+        let chart = log_chart(&values, 50, 4);
+        let first = chart.lines().next().unwrap();
+        assert!(first.chars().count() <= 50 + 11, "width respected: {first}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn chart_rejects_zero_height() {
+        let _ = log_chart(&[1.0], 10, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Spectral baseline for the fault-free (`f = 0`) case.
+//!
+//! With `f = 0` Algorithm 1 degenerates to the classical linear consensus
+//! iteration `x[t] = W x[t-1]` with the row-stochastic averaging matrix
+//! `W[i][j] = 1/(|N⁻_i| + 1)` for `j ∈ {i} ∪ N⁻_i`. Its asymptotic
+//! convergence rate is the second-largest eigenvalue modulus `|λ₂|` of `W`
+//! — the yardstick the Byzantine runs are compared against in E10/E12.
+//!
+//! We estimate `|λ₂|` without a linear-algebra dependency by iterating the
+//! *disagreement* dynamics: repeatedly apply `W` and renormalize the
+//! deviation-from-consensus component; the growth factor converges to
+//! `|λ₂|` for generic starting vectors.
+
+use iabc_graph::Digraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault-free averaging matrix as row-major dense storage.
+///
+/// Row `i` has weight `1/(d_i + 1)` on column `i` and each in-neighbour.
+pub fn averaging_matrix(g: &Digraph) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut w = vec![vec![0.0; n]; n];
+    for i in g.nodes() {
+        let weight = 1.0 / (g.in_degree(i) as f64 + 1.0);
+        w[i.index()][i.index()] = weight;
+        for j in g.in_neighbors(i).iter() {
+            w[i.index()][j.index()] = weight;
+        }
+    }
+    w
+}
+
+fn mat_vec(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    w.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// Estimates `|λ₂|` of the averaging matrix by power iteration on the
+/// deviation-from-consensus component.
+///
+/// Deterministic (seeded); `iterations` ≈ 2000 gives ~4 significant digits
+/// on well-separated spectra. Returns `0.0` when the disagreement collapses
+/// numerically (e.g. complete graphs converge in one step).
+///
+/// # Panics
+///
+/// Panics on the empty graph.
+pub fn estimate_lambda2(g: &Digraph, iterations: usize) -> f64 {
+    let n = g.node_count();
+    assert!(n > 0, "graph must have at least one node");
+    if n == 1 {
+        return 0.0;
+    }
+    let w = averaging_matrix(g);
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut rate = 0.0;
+    for _ in 0..iterations {
+        // Remove the consensus (all-ones direction) component.
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for v in &mut x {
+            *v -= mean;
+        }
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-280 {
+            return 0.0;
+        }
+        for v in &mut x {
+            *v /= norm;
+        }
+        x = mat_vec(&w, &x);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let new_norm = x
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            .sqrt();
+        rate = new_norm;
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    #[test]
+    fn averaging_matrix_rows_are_stochastic() {
+        let g = generators::chord(6, 3);
+        let w = averaging_matrix(&g);
+        for row in &w {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn complete_graph_collapses_in_one_step() {
+        // K_n averaging: every row is uniform, so λ₂ = 0.
+        let g = generators::complete(6);
+        let l2 = estimate_lambda2(&g, 200);
+        assert!(l2 < 1e-10, "lambda2 {l2} should be ~0");
+    }
+
+    #[test]
+    fn directed_cycle_matches_closed_form() {
+        // Directed cycle with self-weight: W eigenvalues (1 + e^{2πik/n})/2,
+        // so |λ₂| = cos(π/n).
+        for n in [4usize, 6, 8] {
+            let g = generators::cycle(n);
+            let l2 = estimate_lambda2(&g, 4000);
+            let expected = (std::f64::consts::PI / n as f64).cos();
+            assert!(
+                (l2 - expected).abs() < 1e-3,
+                "n={n}: estimated {l2}, closed form {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda2_bounded_by_one() {
+        let g = generators::grid(3, 3, false);
+        let l2 = estimate_lambda2(&g, 1500);
+        assert!(l2 > 0.0 && l2 < 1.0, "lambda2 {l2} out of (0,1)");
+    }
+
+    #[test]
+    fn single_node_is_zero() {
+        assert_eq!(estimate_lambda2(&iabc_graph::Digraph::new(1), 10), 0.0);
+    }
+
+    #[test]
+    fn denser_graphs_mix_faster() {
+        let sparse = generators::cycle(8);
+        let dense = generators::chord(8, 4);
+        let l_sparse = estimate_lambda2(&sparse, 3000);
+        let l_dense = estimate_lambda2(&dense, 3000);
+        assert!(
+            l_dense < l_sparse,
+            "chord ({l_dense}) should mix faster than cycle ({l_sparse})"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Head-to-head comparison harness: run several update rules on the same
+//! workload (graph, inputs, fault set, adversary) and report convergence.
+//!
+//! Used by experiment X5 and the `baseline_faceoff` example to reproduce
+//! the qualitative claims of the paper's related-work section: the Dolev
+//! rules win on complete graphs (bigger per-round contraction) but carry no
+//! guarantee off the complete topology, where Algorithm 1 keeps converging.
+
+use iabc_core::rules::UpdateRule;
+use iabc_graph::{Digraph, NodeSet};
+use iabc_sim::adversary::Adversary;
+use iabc_sim::{run_consensus, SimConfig, SimError};
+
+/// A single rule's result on a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleResult {
+    /// `UpdateRule::name()` of the contender.
+    pub rule: &'static str,
+    /// Whether the honest range reached ε within the round budget.
+    pub converged: bool,
+    /// Rounds executed (equals the budget when not converged).
+    pub rounds: usize,
+    /// Final honest range `U − µ`.
+    pub final_range: f64,
+    /// Whether validity (Equation 1) held throughout.
+    pub valid: bool,
+}
+
+/// A reproducible workload: everything but the rule under test.
+///
+/// `adversary_factory` is called once per contender so each run gets a
+/// fresh adversary with identical behaviour (adversaries are stateful).
+pub struct Faceoff<'a> {
+    /// The network.
+    pub graph: &'a Digraph,
+    /// Initial states, one per node.
+    pub inputs: &'a [f64],
+    /// The Byzantine set.
+    pub fault_set: NodeSet,
+    /// Builds a fresh adversary per contender.
+    pub adversary_factory: &'a dyn Fn() -> Box<dyn Adversary>,
+    /// Engine configuration (ε, round budget).
+    pub config: SimConfig,
+}
+
+impl std::fmt::Debug for Faceoff<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Faceoff")
+            .field("graph", &self.graph)
+            .field("fault_set", &self.fault_set)
+            .field("epsilon", &self.config.epsilon)
+            .field("max_rounds", &self.config.max_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Faceoff<'_> {
+    /// Runs one contender.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (bad inputs, rule failures mid-run).
+    pub fn run(&self, rule: &dyn UpdateRule) -> Result<RuleResult, SimError> {
+        let outcome = run_consensus(
+            self.graph,
+            self.inputs,
+            self.fault_set.clone(),
+            rule,
+            (self.adversary_factory)(),
+            &self.config,
+        )?;
+        Ok(RuleResult {
+            rule: rule.name(),
+            converged: outcome.converged,
+            rounds: outcome.rounds,
+            final_range: outcome.final_range,
+            valid: outcome.validity.is_valid(),
+        })
+    }
+
+    /// Runs every contender; a rule that errors mid-run (e.g. in-degree too
+    /// small for its trimming) is reported as non-converged with
+    /// `rounds = 0` rather than aborting the tournament.
+    pub fn run_all(&self, rules: &[&dyn UpdateRule]) -> Vec<RuleResult> {
+        rules
+            .iter()
+            .map(|rule| {
+                self.run(*rule).unwrap_or(RuleResult {
+                    rule: rule.name(),
+                    converged: false,
+                    rounds: 0,
+                    final_range: f64::INFINITY,
+                    valid: false,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DolevMidpoint, DolevSelectMean, Wmsr};
+    use iabc_core::rules::TrimmedMean;
+    use iabc_graph::generators;
+    use iabc_sim::adversary::{ConstantAdversary, ExtremesAdversary};
+
+    fn inputs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn all_rules_converge_on_complete_graph() {
+        let g = generators::complete(7);
+        let ins = inputs(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let faceoff = Faceoff {
+            graph: &g,
+            inputs: &ins,
+            fault_set: faults,
+            adversary_factory: &|| Box::new(ExtremesAdversary { delta: 100.0 }),
+            config: SimConfig::default(),
+        };
+        let a1 = TrimmedMean::new(2);
+        let mid = DolevMidpoint::new(2);
+        let sel = DolevSelectMean::new(2);
+        let wmsr = Wmsr::new(2);
+        let results = faceoff.run_all(&[&a1, &mid, &sel, &wmsr]);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.converged, "{} did not converge: {r:?}", r.rule);
+            assert!(r.valid, "{} violated validity", r.rule);
+        }
+    }
+
+    #[test]
+    fn dolev_midpoint_contracts_faster_than_algorithm1_on_k7() {
+        let g = generators::complete(7);
+        let ins = inputs(7);
+        let faults = NodeSet::from_indices(7, [6]);
+        let faceoff = Faceoff {
+            graph: &g,
+            inputs: &ins,
+            fault_set: faults,
+            adversary_factory: &|| Box::new(ConstantAdversary { value: 50.0 }),
+            config: SimConfig::default(),
+        };
+        let a1 = faceoff.run(&TrimmedMean::new(1)).unwrap();
+        let mid = faceoff.run(&DolevMidpoint::new(1)).unwrap();
+        assert!(a1.converged && mid.converged);
+        assert!(
+            mid.rounds <= a1.rounds,
+            "midpoint ({}) should converge at least as fast as Algorithm 1 ({})",
+            mid.rounds,
+            a1.rounds
+        );
+    }
+
+    #[test]
+    fn failing_rule_is_reported_not_fatal() {
+        // Path graph: in-degree 1 < 2f, TrimmedMean(1) errors at round 1.
+        let g = generators::path(4);
+        let ins = inputs(4);
+        let faceoff = Faceoff {
+            graph: &g,
+            inputs: &ins,
+            fault_set: NodeSet::with_universe(4),
+            adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
+            config: SimConfig {
+                max_rounds: 10,
+                ..SimConfig::default()
+            },
+        };
+        let a1 = TrimmedMean::new(1);
+        let results = faceoff.run_all(&[&a1]);
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].converged);
+        assert_eq!(results[0].rounds, 0);
+    }
+
+    #[test]
+    fn debug_impl_mentions_config() {
+        let g = generators::complete(4);
+        let ins = inputs(4);
+        let faceoff = Faceoff {
+            graph: &g,
+            inputs: &ins,
+            fault_set: NodeSet::with_universe(4),
+            adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
+            config: SimConfig::default(),
+        };
+        let dbg = format!("{faceoff:?}");
+        assert!(dbg.contains("epsilon"));
+    }
+}

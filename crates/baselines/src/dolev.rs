@@ -1,0 +1,243 @@
+//! Dolev et al. full-exchange approximate agreement rules (the paper's
+//! \[5\]).
+//!
+//! The 1986 algorithm assumes a **complete** network: each round every node
+//! collects one value from every process (including itself), *reduces* the
+//! multiset by discarding the `f` smallest and `f` largest entries, and
+//! applies an averaging function to the survivors. Two classical choices:
+//!
+//! * **midpoint** — `(min + max) / 2` of the reduced multiset; halves the
+//!   diameter every round on a complete graph (`c = 2` convergence);
+//! * **select-mean** — the mean of every `(f+1)`-th element of the reduced
+//!   multiset, the rate-optimal function of the original paper
+//!   (`c = ⌈(n − 2f)/f⌉`-fold convergence per round).
+//!
+//! Contrast with the paper's Algorithm 1 ([`iabc_core::rules::TrimmedMean`]):
+//! Algorithm 1 trims the *received* vector only and always averages its own
+//! value back in — that difference is what lets it work on incomplete
+//! graphs. The Dolev rules here treat `own ∪ received` as one multiset,
+//! exactly as in the original complete-graph setting. On non-complete
+//! graphs they carry **no** correctness guarantee (experiment X5 shows them
+//! failing where Algorithm 1 succeeds).
+
+use std::fmt;
+
+use iabc_core::rules::UpdateRule;
+use iabc_core::RuleError;
+
+fn reduced(own: f64, received: &mut [f64], f: usize) -> Result<Vec<f64>, RuleError> {
+    if !own.is_finite() {
+        return Err(RuleError::NonFiniteInput { value: own });
+    }
+    if let Some(&bad) = received.iter().find(|v| !v.is_finite()) {
+        return Err(RuleError::NonFiniteInput { value: bad });
+    }
+    // Full-exchange multiset: own value participates like any other.
+    let mut multiset = Vec::with_capacity(received.len() + 1);
+    multiset.push(own);
+    multiset.extend_from_slice(received);
+    if multiset.len() < 2 * f + 1 {
+        return Err(RuleError::InsufficientValues {
+            needed: 2 * f + 1,
+            got: multiset.len(),
+        });
+    }
+    multiset.sort_unstable_by(f64::total_cmp);
+    multiset.drain(..f);
+    multiset.truncate(multiset.len() - f);
+    Ok(multiset)
+}
+
+/// Dolev et al. **midpoint** rule: `(min + max) / 2` of the reduced
+/// (own ∪ received, trim `f` per side) multiset.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_baselines::DolevMidpoint;
+/// use iabc_core::rules::UpdateRule;
+///
+/// let rule = DolevMidpoint::new(1);
+/// let mut received = vec![0.0, 2.0, 10.0, -50.0];
+/// // Multiset {-50, 0, 1, 2, 10} reduces to {0, 1, 2}; midpoint 1.0.
+/// let v = rule.update(1.0, &mut received)?;
+/// assert!((v - 1.0).abs() < 1e-12);
+/// # Ok::<(), iabc_core::RuleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DolevMidpoint {
+    f: usize,
+}
+
+impl DolevMidpoint {
+    /// Creates the rule for fault bound `f`.
+    pub const fn new(f: usize) -> Self {
+        DolevMidpoint { f }
+    }
+
+    /// The fault bound this rule reduces against.
+    pub const fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl UpdateRule for DolevMidpoint {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        let survivors = reduced(own, received, self.f)?;
+        let lo = *survivors.first().expect("reduced multiset non-empty");
+        let hi = *survivors.last().expect("reduced multiset non-empty");
+        Ok((lo + hi) / 2.0)
+    }
+
+    fn min_weight(&self, _in_degree: usize) -> Option<f64> {
+        // Midpoint is not a positive-weight average of all survivors; the
+        // Lemma 5 machinery does not apply.
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "dolev-midpoint"
+    }
+}
+
+impl fmt::Display for DolevMidpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DolevMidpoint(f={})", self.f)
+    }
+}
+
+/// Dolev et al. **select-mean** rule: the mean of every `f`-th element
+/// (indices `0, f, 2f, ...`) of the reduced multiset — the synchronous
+/// averaging function `mean ∘ select_f ∘ reduce^f` of the original paper,
+/// with `⌈(n − 2f)/f⌉`-fold convergence per round on complete graphs.
+/// (`f = 0` degenerates to the plain mean of all values.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DolevSelectMean {
+    f: usize,
+}
+
+impl DolevSelectMean {
+    /// Creates the rule for fault bound `f`.
+    pub const fn new(f: usize) -> Self {
+        DolevSelectMean { f }
+    }
+
+    /// The fault bound this rule reduces against.
+    pub const fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl UpdateRule for DolevSelectMean {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        let survivors = reduced(own, received, self.f)?;
+        let step = self.f.max(1);
+        let selected: Vec<f64> = survivors.iter().copied().step_by(step).collect();
+        debug_assert!(!selected.is_empty());
+        Ok(selected.iter().sum::<f64>() / selected.len() as f64)
+    }
+
+    fn min_weight(&self, _in_degree: usize) -> Option<f64> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "dolev-select-mean"
+    }
+}
+
+impl fmt::Display for DolevSelectMean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DolevSelectMean(f={})", self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_trims_both_tails_of_full_multiset() {
+        let survivors = reduced(1.0, &mut [0.0, 2.0, 10.0, -50.0], 1).unwrap();
+        assert_eq!(survivors, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_rejects_short_input() {
+        let err = reduced(0.0, &mut [1.0], 1).unwrap_err();
+        assert!(matches!(err, RuleError::InsufficientValues { needed: 3, got: 2 }));
+    }
+
+    #[test]
+    fn reduce_rejects_non_finite() {
+        assert!(reduced(f64::NAN, &mut [0.0, 1.0, 2.0], 1).is_err());
+        assert!(reduced(0.0, &mut [f64::INFINITY, 1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn midpoint_is_center_of_reduced_range() {
+        let rule = DolevMidpoint::new(1);
+        let v = rule.update(0.0, &mut [1.0, 2.0, 3.0, 100.0, -100.0]).unwrap();
+        // Multiset {-100, 0, 1, 2, 3, 100} -> {0, 1, 2, 3}; midpoint 1.5.
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_f0_is_plain_midrange() {
+        let rule = DolevMidpoint::new(0);
+        let v = rule.update(5.0, &mut [1.0, 9.0]).unwrap();
+        assert!((v - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_mean_samples_every_f_th() {
+        let rule = DolevSelectMean::new(2);
+        // Multiset {0..8} reduced (f=2) -> {2,3,4,5,6}; select idx 0,2,4 ->
+        // {2,4,6}; mean 4.
+        let mut received: Vec<f64> = (0..8).map(f64::from).collect();
+        let v = rule.update(8.0, &mut received).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+
+        // f = 1 selects every element of the reduced multiset.
+        let rule = DolevSelectMean::new(1);
+        let v = rule.update(8.0, &mut [0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert!((v - 2.0).abs() < 1e-12); // {1, 2, 3} mean
+    }
+
+    #[test]
+    fn select_mean_f0_is_mean_of_everything() {
+        let rule = DolevSelectMean::new(0);
+        let v = rule.update(4.0, &mut [0.0, 2.0]).unwrap();
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_are_permutation_invariant() {
+        let rule = DolevSelectMean::new(1);
+        let a = rule.update(3.0, &mut [5.0, 1.0, 4.0, 2.0]).unwrap();
+        let b = rule.update(3.0, &mut [1.0, 2.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DolevMidpoint::new(2).name(), "dolev-midpoint");
+        assert_eq!(DolevSelectMean::new(2).name(), "dolev-select-mean");
+        assert_eq!(DolevMidpoint::new(2).to_string(), "DolevMidpoint(f=2)");
+    }
+
+    #[test]
+    fn outputs_stay_in_input_hull() {
+        // Validity at the single-step level: with at most f = 2 outliers,
+        // the output lies within the remaining values' hull.
+        let rule = DolevMidpoint::new(2);
+        let mut received = vec![10.0, 11.0, 12.0, 13.0, 1e9, -1e9, 12.5];
+        let v = rule.update(11.5, &mut received).unwrap();
+        assert!((10.0..=13.0).contains(&v));
+
+        let rule = DolevSelectMean::new(2);
+        let mut received = vec![10.0, 11.0, 12.0, 13.0, 1e9, -1e9, 12.5];
+        let v = rule.update(11.5, &mut received).unwrap();
+        assert!((10.0..=13.0).contains(&v));
+    }
+}

@@ -1,0 +1,59 @@
+//! Baseline resilient-consensus algorithms the paper builds on or is
+//! compared against by the follow-on literature.
+//!
+//! The paper's Algorithm 1 descends from two families this crate makes
+//! concrete so that experiments can compare them under identical engines,
+//! adversaries, and workloads:
+//!
+//! * [`dolev`] — the classical Dolev–Lynch–Pinter–Stark–Weihl (J. ACM 1986,
+//!   the paper's \[5\]) *full-exchange* rules for **complete** graphs:
+//!   reduce the received multiset by trimming `f` from each end, then apply
+//!   an averaging function (midpoint, or the select-mean that samples every
+//!   `f`-th survivor).
+//! * [`wmsr`] — the W-MSR rule of LeBlanc–Zhang–Koutsoukos–Sundaram (the
+//!   paper's \[11\]/\[17\]): trim only values *more extreme than the node's
+//!   own state* (up to `f` on each side), then average the survivors.
+//!
+//! All baselines implement [`iabc_core::rules::UpdateRule`], so they plug
+//! into [`iabc_sim`] unchanged; [`comparison`] runs the head-to-head
+//! experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use iabc_baselines::wmsr::Wmsr;
+//! use iabc_core::rules::UpdateRule;
+//!
+//! let rule = Wmsr::new(1);
+//! // Own value 5; the outlier 100 is more extreme than own and trimmed,
+//! // but 4 and 6 bracket own and survive.
+//! let mut received = vec![4.0, 6.0, 100.0, 0.0];
+//! let v = rule.update(5.0, &mut received)?;
+//! assert!((v - 5.0).abs() < 1e-12); // (4 + 5 + 6) / 3
+//! # Ok::<(), iabc_core::RuleError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comparison;
+pub mod dolev;
+pub mod wmsr;
+
+pub use dolev::{DolevMidpoint, DolevSelectMean};
+pub use wmsr::Wmsr;
+
+#[cfg(test)]
+mod tests {
+    use iabc_core::rules::UpdateRule;
+
+    #[test]
+    fn baselines_are_object_safe_rules() {
+        let rules: Vec<Box<dyn UpdateRule>> = vec![
+            Box::new(crate::DolevMidpoint::new(1)),
+            Box::new(crate::DolevSelectMean::new(1)),
+            Box::new(crate::Wmsr::new(1)),
+        ];
+        assert_eq!(rules.len(), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Bench: the threaded deployment vs the single-threaded engine on the same
+//! workload — what real channels and OS threads cost per round at paper
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iabc_core::rules::TrimmedMean;
+use iabc_graph::{generators, NodeSet};
+use iabc_runtime::{run_threaded, ConstantLiar};
+use iabc_sim::adversary::ConstantAdversary;
+use iabc_sim::Simulation;
+
+fn bench_threads_vs_engine(c: &mut Criterion) {
+    let rounds = 30usize;
+    for n in [7usize, 13] {
+        let g = generators::complete(n);
+        let inputs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let f = (n - 1) / 3;
+        let faults = || NodeSet::from_indices(n, [n - 1]);
+
+        let mut group = c.benchmark_group(format!("deploy_30rounds/n{n}"));
+        group.sample_size(20);
+        group.bench_function("threaded", |b| {
+            b.iter(|| {
+                let report = run_threaded(&g, &inputs, &faults(), f, rounds, |_| {
+                    Box::new(ConstantLiar { value: 1e6 })
+                })
+                .expect("threaded run");
+                black_box(report.honest_range())
+            })
+        });
+        group.bench_function("engine", |b| {
+            b.iter(|| {
+                let rule = TrimmedMean::new(f);
+                let mut sim = Simulation::new(
+                    &g,
+                    &inputs,
+                    faults(),
+                    &rule,
+                    Box::new(ConstantAdversary { value: 1e6 }),
+                )
+                .expect("engine run");
+                for _ in 0..rounds {
+                    sim.step().expect("step");
+                }
+                black_box(sim.honest_range())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_threads_vs_engine);
+criterion_main!(benches);

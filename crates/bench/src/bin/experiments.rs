@@ -1,0 +1,91 @@
+//! Regenerates every table and figure of the paper (experiments E1–E12)
+//! and the extension experiments (X1–X13).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments              # run everything
+//! experiments e7 e8        # run a subset by id
+//! experiments --out DIR    # also write DOT artifacts to DIR (default: experiments_out)
+//! ```
+//!
+//! Output is the per-experiment table plus a PASS/FAIL verdict; the recorded
+//! results live in `EXPERIMENTS.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use iabc_analysis::experiments::{self, ExperimentResult};
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("experiments_out");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--out DIR] [E1 .. E12 | X1 .. X13]");
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_ascii_uppercase()),
+        }
+    }
+
+    let mut all = experiments::run_all();
+    all.extend(experiments::run_extensions());
+    let selected: Vec<&ExperimentResult> = if ids.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter().filter(|r| ids.contains(&r.id.to_string())).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiments matched {ids:?}; valid ids are E1..E12, X1..X13");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for result in &selected {
+        println!("== {} — {}", result.id, result.title);
+        for note in &result.notes {
+            println!("   note: {note}");
+        }
+        println!();
+        print!("{}", result.table);
+        println!();
+        if !result.artifacts.is_empty() {
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("cannot create {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (name, content) in &result.artifacts {
+                let path = out_dir.join(name);
+                match std::fs::write(&path, content) {
+                    Ok(()) => println!("   wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        println!("   verdict: {}", if result.pass { "PASS" } else { "FAIL" });
+        println!();
+        if !result.pass {
+            failures += 1;
+        }
+    }
+
+    println!("{} experiment(s) run, {} failed", selected.len(), failures);
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,18 @@
+//! `iabc` — command-line entry point. All logic lives in the library
+//! (`iabc_cli::run`) so it can be tested without process spawning.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match iabc_cli::run(&argv) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}

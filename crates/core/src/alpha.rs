@@ -1,0 +1,200 @@
+//! The contraction parameter `α` and the Lemma 5 convergence-rate bounds.
+//!
+//! Equation (3) of the paper defines `α = min_i a_i` where
+//! `a_i = 1 / (|N⁻_i| + 1 − 2f)` is the Algorithm 1 weight at node `i`.
+//! Lemma 5 then shows that whenever a set `R` whose states span at most half
+//! the global range propagates to the rest in `l` steps, the range contracts:
+//!
+//! `U[s+l] − µ[s+l] ≤ (1 − αˡ/2) · (U[s] − µ[s])`.
+//!
+//! Theorem 3 chains such phases; with the worst-case `l = n − f − 1` this
+//! yields an explicit (very conservative) bound on rounds-to-ε that
+//! experiment E10 compares against measured behaviour.
+
+use iabc_graph::Digraph;
+
+use crate::error::RuleError;
+
+/// Computes `α = min_i 1/(|N⁻_i| + 1 − 2f)` for Algorithm 1 on `g`
+/// (Equation 3).
+///
+/// # Errors
+///
+/// Returns [`RuleError::InsufficientValues`] if some node has in-degree
+/// `< 2f` (Algorithm 1 is undefined there; Corollary 3 requires `≥ 2f + 1`
+/// anyway).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::alpha;
+/// use iabc_graph::generators;
+///
+/// // K7 with f = 2: every in-degree is 6, a_i = 1/(6 + 1 - 4) = 1/3.
+/// let a = alpha::algorithm1_alpha(&generators::complete(7), 2)?;
+/// assert!((a - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), iabc_core::RuleError>(())
+/// ```
+pub fn algorithm1_alpha(g: &Digraph, f: usize) -> Result<f64, RuleError> {
+    let mut min_a = 1.0f64;
+    for v in g.nodes() {
+        let d = g.in_degree(v);
+        if d < 2 * f {
+            return Err(RuleError::InsufficientValues {
+                needed: 2 * f,
+                got: d,
+            });
+        }
+        let a = 1.0 / (d as f64 + 1.0 - 2.0 * f as f64);
+        min_a = min_a.min(a);
+    }
+    Ok(min_a)
+}
+
+/// The per-phase contraction factor of Lemma 5: `1 − αˡ / 2`.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha ≤ 1` and `l ≥ 1`.
+pub fn contraction_factor(alpha: f64, l: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+    assert!(l >= 1, "propagation length must be >= 1");
+    1.0 - alpha.powi(l as i32) / 2.0
+}
+
+/// Worst-case propagation length used by Theorem 3: `n − f − 1`
+/// (a propagating set has `≥ f + 1` members and each step absorbs ≥ 1 node).
+///
+/// # Panics
+///
+/// Panics if `n < f + 2` (no room for a propagating phase).
+pub fn worst_case_propagation_length(n: usize, f: usize) -> usize {
+    assert!(n >= f + 2, "need n >= f + 2, got n={n}, f={f}");
+    n - f - 1
+}
+
+/// Upper bound on the number of *phases* (of `l` iterations each) needed to
+/// shrink an initial range to `epsilon`, per Lemma 5. Returns the phase
+/// count; total iterations are `phases * l`.
+///
+/// # Panics
+///
+/// Panics unless `initial_range ≥ 0`, `epsilon > 0`, `0 < alpha ≤ 1`, and
+/// `l ≥ 1`.
+pub fn phases_to_epsilon(alpha: f64, l: usize, initial_range: f64, epsilon: f64) -> usize {
+    assert!(initial_range >= 0.0, "range must be non-negative");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let rho = contraction_factor(alpha, l);
+    if initial_range <= epsilon {
+        return 0;
+    }
+    // range * rho^k <= eps  =>  k >= ln(eps/range) / ln(rho)
+    ((epsilon / initial_range).ln() / rho.ln()).ceil() as usize
+}
+
+/// Conservative bound on total iterations to reach `epsilon` on graph `g`
+/// with Algorithm 1: phases × worst-case `l` (Theorem 3 with Lemma 5).
+///
+/// # Errors
+///
+/// Propagates [`RuleError::InsufficientValues`] from
+/// [`algorithm1_alpha`].
+///
+/// # Panics
+///
+/// Panics if `n < f + 2` or `epsilon <= 0`.
+pub fn iteration_bound(
+    g: &Digraph,
+    f: usize,
+    initial_range: f64,
+    epsilon: f64,
+) -> Result<usize, RuleError> {
+    let alpha = algorithm1_alpha(g, f)?;
+    let l = worst_case_propagation_length(g.node_count(), f);
+    Ok(phases_to_epsilon(alpha, l, initial_range, epsilon) * l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    #[test]
+    fn alpha_on_regular_graphs() {
+        // Chord n=5, succ=3 (f=1): in-degree 3 everywhere, a = 1/(3+1-2) = 1/2.
+        let a = algorithm1_alpha(&generators::chord(5, 3), 1).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+        // f = 0 on K4: a = 1/(3+1) = 0.25.
+        let a = algorithm1_alpha(&generators::complete(4), 0).unwrap();
+        assert!((a - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_takes_the_minimum_over_nodes() {
+        // Core network n=7, f=2: clique nodes have in-degree 6 (a = 1/3),
+        // outer nodes in-degree 5 (a = 1/2). α = min = 1/3.
+        let g = generators::core_network(7, 2);
+        let a = algorithm1_alpha(&g, 2).unwrap();
+        assert!((a - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_errors_on_deficient_degree() {
+        let g = generators::cycle(5); // in-degree 1 < 2f = 2
+        assert!(matches!(
+            algorithm1_alpha(&g, 1),
+            Err(RuleError::InsufficientValues { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn contraction_factor_basics() {
+        assert!((contraction_factor(1.0, 1) - 0.5).abs() < 1e-12);
+        // alpha^l / 2 = 0.25 / 2 = 0.125 => factor 0.875.
+        assert!((contraction_factor(0.5, 2) - 0.875).abs() < 1e-12);
+        // Monotone: longer propagation -> weaker contraction.
+        assert!(contraction_factor(0.5, 3) > contraction_factor(0.5, 2));
+        // Always a genuine contraction.
+        for l in 1..6 {
+            let rho = contraction_factor(0.3, l);
+            assert!((0.5..1.0).contains(&rho));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn contraction_rejects_bad_alpha() {
+        let _ = contraction_factor(1.5, 1);
+    }
+
+    #[test]
+    fn worst_case_length_matches_paper() {
+        assert_eq!(worst_case_propagation_length(7, 2), 4);
+        assert_eq!(worst_case_propagation_length(4, 1), 2);
+    }
+
+    #[test]
+    fn phases_to_epsilon_shrinks_geometrically() {
+        // alpha = 1, l = 1: factor 1/2 per phase; range 1 -> 2^-k.
+        assert_eq!(phases_to_epsilon(1.0, 1, 1.0, 0.26), 2);
+        assert_eq!(phases_to_epsilon(1.0, 1, 1.0, 0.25), 2);
+        assert_eq!(phases_to_epsilon(1.0, 1, 1.0, 0.24), 3);
+        // Already converged.
+        assert_eq!(phases_to_epsilon(0.5, 2, 0.0, 1e-9), 0);
+        assert_eq!(phases_to_epsilon(0.5, 2, 0.5, 0.5), 0);
+    }
+
+    #[test]
+    fn iteration_bound_is_finite_and_positive() {
+        let g = generators::complete(7);
+        let bound = iteration_bound(&g, 2, 1.0, 1e-6).unwrap();
+        assert!(bound > 0);
+        // The bound must be sufficient for the geometric argument:
+        // rho^(bound/l) * 1.0 <= 1e-6.
+        let alpha = algorithm1_alpha(&g, 2).unwrap();
+        let l = worst_case_propagation_length(7, 2);
+        let rho = contraction_factor(alpha, l);
+        let phases = bound / l;
+        assert!(rho.powi(phases as i32) <= 1e-6 * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,112 @@
+//! The Section 7 asynchronous generalization.
+//!
+//! The paper states the synchronous results carry over to (totally)
+//! asynchronous networks after one change: the `⇒` relation requires
+//! `2f + 1` in-links instead of `f + 1`. Consequences spelled out in §7:
+//! `|N⁻_i| ≥ 3f + 1` for every node when `f > 0`, and `n > 5f`.
+//!
+//! This module is a thin, intention-revealing façade over the generic
+//! threshold-parameterized machinery in [`crate::theorem1`] and
+//! [`crate::corollaries`].
+
+use iabc_graph::Digraph;
+
+use crate::error::CheckerError;
+use crate::relation::Threshold;
+use crate::theorem1::{check_with, CheckOptions};
+use crate::witness::ConditionReport;
+
+/// Checks the asynchronous condition (`⇒` at threshold `2f + 1`).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::async_condition;
+/// use iabc_graph::generators;
+///
+/// // n > 5f: K11 tolerates f = 2 asynchronously, K10 does not.
+/// assert!(async_condition::check(&generators::complete(11), 2).is_satisfied());
+/// assert!(!async_condition::check(&generators::complete(10), 2).is_satisfied());
+/// ```
+pub fn check(g: &Digraph, f: usize) -> ConditionReport {
+    check_with(g, f, Threshold::asynchronous(f), &CheckOptions::default())
+        .expect("unbounded check cannot exhaust its budget")
+}
+
+/// Budgeted asynchronous check; see [`crate::theorem1::check_with`].
+///
+/// # Errors
+///
+/// Returns [`CheckerError::BudgetExhausted`] if the options' budget runs out.
+pub fn check_with_options(
+    g: &Digraph,
+    f: usize,
+    options: &CheckOptions,
+) -> Result<ConditionReport, CheckerError> {
+    check_with(g, f, Threshold::asynchronous(f), options)
+}
+
+/// `n > 5f`, the asynchronous analogue of Corollary 2.
+pub fn satisfies_node_bound(n: usize, f: usize) -> bool {
+    n > 5 * f
+}
+
+/// `min in-degree ≥ 3f + 1` when `f > 0`, the asynchronous analogue of
+/// Corollary 3.
+pub fn satisfies_degree_bound(g: &Digraph, f: usize) -> bool {
+    f == 0 || g.min_in_degree() > 3 * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    #[test]
+    fn node_bound_matches_section7() {
+        assert!(satisfies_node_bound(6, 1));
+        assert!(!satisfies_node_bound(5, 1));
+        assert!(satisfies_node_bound(11, 2));
+        assert!(!satisfies_node_bound(10, 2));
+        assert!(satisfies_node_bound(1, 0));
+    }
+
+    #[test]
+    fn degree_bound_matches_section7() {
+        assert!(satisfies_degree_bound(&generators::complete(6), 1)); // deg 5 ≥ 4
+        assert!(!satisfies_degree_bound(&generators::chord(6, 3), 1)); // deg 3 < 4
+        assert!(satisfies_degree_bound(&generators::cycle(3), 0));
+    }
+
+    #[test]
+    fn async_satisfied_implies_sync_satisfied() {
+        // The async condition is strictly stronger.
+        for n in 6..=8usize {
+            let g = generators::complete(n);
+            if check(&g, 1).is_satisfied() {
+                assert!(crate::theorem1::check(&g, 1).is_satisfied());
+            }
+        }
+    }
+
+    #[test]
+    fn async_witnesses_verify_at_async_threshold() {
+        let g = generators::complete(8); // fails async f = 2 (needs n ≥ 11)
+        let report = check(&g, 2);
+        let w = report.witness().expect("K8 fails asynchronously for f=2");
+        assert!(w.verify(&g, 2, Threshold::asynchronous(2)));
+        assert!(
+            !w.verify(&g, 2, Threshold::synchronous(2)),
+            "the witness should not survive the weaker synchronous threshold on K8"
+        );
+    }
+
+    #[test]
+    fn chord_needs_wider_successor_set_asynchronously() {
+        // f = 1 async needs in-degree ≥ 4, so chord(n, 3) always fails...
+        assert!(!check(&generators::chord(8, 3), 1).is_satisfied());
+        // ...while chord(9, 5) (succ = 2·2f+1... i.e. wider) with n = 9 > 5:
+        let g = generators::chord(9, 5);
+        assert!(check(&g, 1).is_satisfied());
+    }
+}

@@ -1,0 +1,258 @@
+//! Growing graphs that satisfy Theorem 1 **by construction**.
+//!
+//! The paper cites Zhang & Sundaram \[18\] for constructions of graphs
+//! meeting robustness-style sufficient conditions. Their preferential-
+//! attachment result: if `G` is `r`-robust, the graph obtained by adding a
+//! new node with (bidirectional) edges to at least `r` existing nodes is
+//! again `r`-robust. Since `(2f + 1)`-robustness implies the paper's
+//! Theorem 1 condition (every partition has a side in which some node sees
+//! `2f + 1 ≥ f + 1` outside in-neighbours even after losing `f` of them to
+//! the fault set), growing from a complete seed with attachment `2f + 1`
+//! yields arbitrarily large graphs on which Algorithm 1 is guaranteed to
+//! work — without ever invoking the exponential checker.
+//!
+//! The test suite cross-validates the construction against the exact
+//! checker on every size it can afford.
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use iabc_graph::{Digraph, NodeId};
+
+/// How a new node picks the existing nodes it attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Uniformly random `2f + 1`-subset of the existing nodes.
+    Uniform,
+    /// Degree-proportional sampling (classic preferential attachment —
+    /// produces hubs, as in Barabási–Albert, while preserving robustness).
+    Preferential,
+    /// Always the lowest-indexed nodes (deterministic; yields the
+    /// core-network shape of the paper's §6.1 when the seed is a clique).
+    Lowest,
+}
+
+/// Grows a graph on `n` nodes that satisfies Theorem 1 for fault bound `f`
+/// by construction.
+///
+/// Starts from a complete (hence `(2f+1)`-robust) seed on `3f + 1` nodes and
+/// repeatedly adds a node with bidirectional edges to `2f + 1` existing
+/// nodes chosen per `attachment`. Robustness — and with it the paper's
+/// condition — is preserved at every step, so the result is valid for
+/// **any** `n ≥ 3f + 1` without an exponential check.
+///
+/// # Panics
+///
+/// Panics if `n < 3f + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::construction::{grow_satisfying, Attachment};
+/// use iabc_core::theorem1;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = grow_satisfying(9, 1, Attachment::Uniform, &mut rng);
+/// assert_eq!(g.node_count(), 9);
+/// assert!(theorem1::check(&g, 1).is_satisfied());
+/// ```
+pub fn grow_satisfying<R: Rng + ?Sized>(
+    n: usize,
+    f: usize,
+    attachment: Attachment,
+    rng: &mut R,
+) -> Digraph {
+    let seed = 3 * f + 1;
+    assert!(n >= seed, "need n >= 3f + 1 = {seed} (got n = {n})");
+    let attach = 2 * f + 1;
+    let mut g = Digraph::new(n);
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            g.add_undirected_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    for v in seed..n {
+        let targets = select_targets(&g, v, attach, attachment, rng);
+        debug_assert_eq!(targets.len(), attach);
+        for u in targets {
+            g.add_undirected_edge(NodeId::new(v), NodeId::new(u));
+        }
+    }
+    g
+}
+
+/// Picks `attach` distinct nodes among `0..existing` for the newcomer.
+fn select_targets<R: Rng + ?Sized>(
+    g: &Digraph,
+    existing: usize,
+    attach: usize,
+    attachment: Attachment,
+    rng: &mut R,
+) -> Vec<usize> {
+    match attachment {
+        Attachment::Uniform => (0..existing).choose_multiple(rng, attach),
+        Attachment::Lowest => (0..attach).collect(),
+        Attachment::Preferential => {
+            let mut targets = Vec::with_capacity(attach);
+            // Weight = degree + 1 so isolated seeds stay reachable.
+            let weights: Vec<usize> = (0..existing)
+                .map(|u| g.in_degree(NodeId::new(u)) + 1)
+                .collect();
+            let mut total: usize = weights.iter().sum();
+            let mut available: Vec<(usize, usize)> =
+                (0..existing).map(|u| (u, weights[u])).collect();
+            while targets.len() < attach {
+                let mut roll = rng.random_range(0..total);
+                let idx = available
+                    .iter()
+                    .position(|&(_, w)| {
+                        if roll < w {
+                            true
+                        } else {
+                            roll -= w;
+                            false
+                        }
+                    })
+                    .expect("roll bounded by total weight");
+                let (u, w) = available.swap_remove(idx);
+                total -= w;
+                targets.push(u);
+            }
+            targets
+        }
+    }
+}
+
+/// One growth step on an existing graph: appends a node attached
+/// bidirectionally to `targets`, returning the new node's id.
+///
+/// If `g` satisfies the Theorem 1 condition for `f` and
+/// `targets.len() ≥ 2f + 1`, the grown graph does too (Zhang–Sundaram
+/// robustness preservation); this function does **not** re-check.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or contains duplicates/out-of-range ids.
+pub fn attach_node(g: &Digraph, targets: &[NodeId]) -> (Digraph, NodeId) {
+    assert!(!targets.is_empty(), "new node needs at least one neighbour");
+    let n = g.node_count();
+    let mut out = Digraph::new(n + 1);
+    for (u, v) in g.edges() {
+        out.add_edge(u, v);
+    }
+    let newcomer = NodeId::new(n);
+    let mut seen = std::collections::HashSet::new();
+    for &t in targets {
+        assert!(t.index() < n, "target {t} out of range 0..{n}");
+        assert!(seen.insert(t), "duplicate target {t}");
+        out.add_undirected_edge(newcomer, t);
+    }
+    (out, newcomer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grown_graphs_satisfy_theorem1_uniform() {
+        let mut rng = StdRng::seed_from_u64(2012);
+        for f in 1..=2usize {
+            for n in (3 * f + 1)..=(3 * f + 5) {
+                let g = grow_satisfying(n, f, Attachment::Uniform, &mut rng);
+                assert!(
+                    theorem1::check(&g, f).is_satisfied(),
+                    "uniform growth n={n} f={f} must satisfy Theorem 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grown_graphs_satisfy_theorem1_preferential() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for f in 1..=2usize {
+            let n = 3 * f + 5;
+            let g = grow_satisfying(n, f, Attachment::Preferential, &mut rng);
+            assert!(theorem1::check(&g, f).is_satisfied(), "preferential n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn lowest_attachment_reproduces_core_network() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // With a clique seed on 3f+1 nodes and lowest-first attachment to
+        // 2f+1 targets, newcomers all attach to the same 2f+1 nodes — the
+        // §6.1 core-network shape, plus the extra seed-clique edges.
+        let f = 1;
+        let g = grow_satisfying(8, f, Attachment::Lowest, &mut rng);
+        let core = iabc_graph::generators::core_network(8, f);
+        for (u, v) in core.edges() {
+            assert!(
+                g.has_edge(u, v),
+                "grown graph must contain the core network (missing {u}->{v})"
+            );
+        }
+        assert!(theorem1::check(&g, f).is_satisfied());
+    }
+
+    #[test]
+    fn growth_keeps_min_degree_at_least_2f_plus_1() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = 2;
+        let g = grow_satisfying(12, f, Attachment::Uniform, &mut rng);
+        assert!(g.min_in_degree() > 2 * f);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn growth_rejects_small_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = grow_satisfying(3, 1, Attachment::Uniform, &mut rng);
+    }
+
+    #[test]
+    fn attach_node_appends_and_connects() {
+        let g = iabc_graph::generators::complete(4);
+        let targets = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let (h, newcomer) = attach_node(&g, &targets);
+        assert_eq!(h.node_count(), 5);
+        assert_eq!(newcomer, NodeId::new(4));
+        assert_eq!(h.in_degree(newcomer), 3);
+        assert!(h.has_edge(newcomer, NodeId::new(0)));
+        assert!(h.has_edge(NodeId::new(0), newcomer));
+        // f = 1: K4 satisfies the condition; 3 = 2f+1 attachments preserve it.
+        assert!(theorem1::check(&h, 1).is_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn attach_node_rejects_duplicates() {
+        let g = iabc_graph::generators::complete(4);
+        let _ = attach_node(&g, &[NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn iterated_attach_matches_grow() {
+        // Growing one node at a time through attach_node keeps satisfying
+        // the condition (the preservation property applied repeatedly).
+        let f = 1;
+        let mut g = iabc_graph::generators::complete(3 * f + 1);
+        for step in 0..3 {
+            let targets: Vec<NodeId> = (0..(2 * f + 1)).map(NodeId::new).collect();
+            let (h, _) = attach_node(&g, &targets);
+            g = h;
+            assert!(
+                theorem1::check(&g, f).is_satisfied(),
+                "step {step}: growth broke the condition"
+            );
+        }
+        assert_eq!(g.node_count(), 3 * f + 1 + 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for the condition checkers and update rules.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the exact Theorem 1 checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckerError {
+    /// The configured candidate budget was exhausted before the search
+    /// completed; the condition status is unknown.
+    BudgetExhausted {
+        /// The budget that was configured.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for CheckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckerError::BudgetExhausted { budget } => {
+                write!(f, "checker budget of {budget} candidate partitions exhausted")
+            }
+        }
+    }
+}
+
+impl Error for CheckerError {}
+
+/// Errors from building an [`crate::fault_model::AdversaryStructure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// A generator set's universe does not match the structure's.
+    UniverseMismatch {
+        /// The structure's node count.
+        expected: usize,
+        /// The offending generator's universe.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::UniverseMismatch { expected, got } => {
+                write!(f, "generator universe {got} does not match structure universe {expected}")
+            }
+        }
+    }
+}
+
+impl Error for StructureError {}
+
+/// Errors from applying an update rule (Algorithm 1 and variants).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// Too few received values to trim `f` from each end
+    /// (Algorithm 1 requires `|N⁻_i| ≥ 2f`).
+    InsufficientValues {
+        /// The minimum number of received values the rule needs.
+        needed: usize,
+        /// How many were provided.
+        got: usize,
+    },
+    /// An input value was NaN or infinite. Rules refuse to aggregate
+    /// non-finite values; the simulation engine sanitizes Byzantine payloads
+    /// before they reach a rule (defense in depth).
+    NonFiniteInput {
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// A rule parameter was outside its documented domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::InsufficientValues { needed, got } => {
+                write!(f, "rule needs at least {needed} received values, got {got}")
+            }
+            RuleError::NonFiniteInput { value } => {
+                write!(f, "non-finite input value {value} rejected")
+            }
+            RuleError::InvalidParameter { message } => {
+                write!(f, "invalid rule parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CheckerError::BudgetExhausted { budget: 10 }.to_string(),
+            "checker budget of 10 candidate partitions exhausted"
+        );
+        assert_eq!(
+            RuleError::InsufficientValues { needed: 4, got: 2 }.to_string(),
+            "rule needs at least 4 received values, got 2"
+        );
+        assert!(RuleError::NonFiniteInput { value: f64::NAN }
+            .to_string()
+            .contains("NaN"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync>(_: &E) {}
+        assert_err(&CheckerError::BudgetExhausted { budget: 1 });
+        assert_err(&RuleError::InvalidParameter {
+            message: "x".into(),
+        });
+    }
+}

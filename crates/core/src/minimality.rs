@@ -1,0 +1,205 @@
+//! Edge-criticality probes for the paper's §6.1 minimality conjecture.
+//!
+//! The paper conjectures that a core network with `n = 3f + 1` has the
+//! smallest possible number of edges among undirected graphs on `3f + 1`
+//! nodes admitting iterative consensus. These helpers make such questions
+//! executable: which edges are *critical* (removing them breaks Theorem 1),
+//! is a graph edge-minimal, and what does greedy pruning to a minimal
+//! satisfying subgraph leave behind?
+//!
+//! Every probe is checker-driven (`O(edges)` exact condition checks), so it
+//! is meant for paper-scale graphs, not bulk data.
+
+use iabc_graph::{Digraph, NodeId};
+
+use crate::theorem1;
+
+/// The directed edges of `g` whose individual removal violates Theorem 1
+/// for fault bound `f`.
+///
+/// If `g` itself violates the condition, **every** edge is vacuously
+/// non-critical and the result is empty — check
+/// [`theorem1::check`] first if that distinction matters.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::minimality::critical_edges;
+/// use iabc_graph::generators;
+///
+/// // In K4 with f = 1 every single edge matters: n = 3f + 1 leaves no slack.
+/// let g = generators::complete(4);
+/// assert_eq!(critical_edges(&g, 1).len(), g.edge_count());
+/// ```
+pub fn critical_edges(g: &Digraph, f: usize) -> Vec<(NodeId, NodeId)> {
+    if !theorem1::check(g, f).is_satisfied() {
+        return Vec::new();
+    }
+    let mut critical = Vec::new();
+    let mut work = g.clone();
+    for (u, v) in g.edges() {
+        work.remove_edge(u, v);
+        if !theorem1::check(&work, f).is_satisfied() {
+            critical.push((u, v));
+        }
+        work.add_edge(u, v);
+    }
+    critical
+}
+
+/// The undirected pairs `{u, v}` (both directions present) whose removal —
+/// of **both** directions at once — violates Theorem 1.
+///
+/// This is the probe matching the paper's conjecture, which quantifies over
+/// *undirected* graphs. Pairs are reported as `(min, max)` and each pair
+/// once.
+pub fn critical_undirected_pairs(g: &Digraph, f: usize) -> Vec<(NodeId, NodeId)> {
+    if !theorem1::check(g, f).is_satisfied() {
+        return Vec::new();
+    }
+    let mut critical = Vec::new();
+    let mut work = g.clone();
+    for (u, v) in g.edges() {
+        if u.index() > v.index() || !g.has_edge(v, u) {
+            continue; // visit each mutual pair once; skip one-way edges
+        }
+        work.remove_edge(u, v);
+        work.remove_edge(v, u);
+        if !theorem1::check(&work, f).is_satisfied() {
+            critical.push((u, v));
+        }
+        work.add_edge(u, v);
+        work.add_edge(v, u);
+    }
+    critical
+}
+
+/// `true` iff `g` satisfies Theorem 1 for `f` and removing any single
+/// directed edge breaks it.
+pub fn is_edge_minimal(g: &Digraph, f: usize) -> bool {
+    theorem1::check(g, f).is_satisfied() && critical_edges(g, f).len() == g.edge_count()
+}
+
+/// Greedily removes non-critical directed edges (in lexicographic order)
+/// until the graph is edge-minimal while still satisfying Theorem 1.
+///
+/// Returns `None` if `g` does not satisfy the condition to begin with.
+/// The result depends on removal order; it is *a* minimal satisfying
+/// subgraph, not the global minimum.
+pub fn prune_to_minimal(g: &Digraph, f: usize) -> Option<Digraph> {
+    if !theorem1::check(g, f).is_satisfied() {
+        return None;
+    }
+    let mut work = g.clone();
+    loop {
+        let mut removed_any = false;
+        for (u, v) in work.clone().edges() {
+            work.remove_edge(u, v);
+            if theorem1::check(&work, f).is_satisfied() {
+                removed_any = true;
+            } else {
+                work.add_edge(u, v);
+            }
+        }
+        if !removed_any {
+            return Some(work);
+        }
+    }
+}
+
+/// Outcome of probing the §6.1 conjecture on one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimalityReport {
+    /// Directed edge count of the input.
+    pub edges: usize,
+    /// Number of critical directed edges.
+    pub critical: usize,
+    /// Number of critical undirected pairs.
+    pub critical_pairs: usize,
+    /// Directed edge count of a greedily pruned minimal subgraph.
+    pub pruned_edges: usize,
+}
+
+/// Runs all minimality probes on `g`; `None` if `g` violates the condition.
+pub fn probe(g: &Digraph, f: usize) -> Option<MinimalityReport> {
+    if !theorem1::check(g, f).is_satisfied() {
+        return None;
+    }
+    let pruned = prune_to_minimal(g, f).expect("checked satisfied above");
+    Some(MinimalityReport {
+        edges: g.edge_count(),
+        critical: critical_edges(g, f).len(),
+        critical_pairs: critical_undirected_pairs(g, f).len(),
+        pruned_edges: pruned.edge_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    #[test]
+    fn violating_graph_has_no_critical_edges() {
+        let g = generators::chord(7, 5); // fails for f = 2
+        assert!(critical_edges(&g, 2).is_empty());
+        assert!(critical_undirected_pairs(&g, 2).is_empty());
+        assert!(!is_edge_minimal(&g, 2));
+        assert!(prune_to_minimal(&g, 2).is_none());
+        assert!(probe(&g, 2).is_none());
+    }
+
+    #[test]
+    fn k4_f1_is_edge_minimal() {
+        // n = 3f + 1 = 4: Corollary 3 forces in-degree >= 3 everywhere, so
+        // every edge of K4 is load-bearing.
+        let g = generators::complete(4);
+        assert!(is_edge_minimal(&g, 1));
+        assert_eq!(prune_to_minimal(&g, 1).unwrap(), g);
+    }
+
+    #[test]
+    fn k5_f1_has_slack() {
+        // One node more than the minimum: some edges are removable.
+        let g = generators::complete(5);
+        assert!(!is_edge_minimal(&g, 1));
+        let pruned = prune_to_minimal(&g, 1).unwrap();
+        assert!(pruned.edge_count() < g.edge_count());
+        assert!(theorem1::check(&pruned, 1).is_satisfied());
+        assert!(is_edge_minimal(&pruned, 1));
+    }
+
+    #[test]
+    fn core_network_minimal_case_has_all_pairs_critical() {
+        // The conjectured-minimal instance: core network with n = 3f + 1 (= K4
+        // shape for f = 1). Removing any undirected pair must break the
+        // condition.
+        let g = generators::core_network(4, 1);
+        let pairs = critical_undirected_pairs(&g, 1);
+        assert_eq!(pairs.len(), 6, "all C(4,2) pairs critical");
+    }
+
+    #[test]
+    fn f0_minimal_graph_is_spanning_arborescence_sized() {
+        // With f = 0, the condition is "unique source component"; pruning a
+        // complete graph should get close to a single spanning structure.
+        let g = generators::complete(4);
+        let pruned = prune_to_minimal(&g, 0).unwrap();
+        assert!(theorem1::check(&pruned, 0).is_satisfied());
+        // A spanning arborescence on 4 nodes has 3 edges; greedy pruning in
+        // lexicographic order reaches exactly that.
+        assert_eq!(pruned.edge_count(), 3);
+    }
+
+    #[test]
+    fn probe_reports_consistent_counts() {
+        let g = generators::core_network(5, 1);
+        let r = probe(&g, 1).unwrap();
+        assert_eq!(r.edges, g.edge_count());
+        assert!(r.critical <= r.edges);
+        assert!(r.pruned_edges <= r.edges);
+        // Pruned result is minimal, so its own probe has zero slack.
+        let pruned = prune_to_minimal(&g, 1).unwrap();
+        assert!(is_edge_minimal(&pruned, 1));
+    }
+}

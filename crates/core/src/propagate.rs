@@ -1,0 +1,266 @@
+//! Propagation between node sets (Definition 3) and the closure operator.
+//!
+//! *Definition 3*: non-empty disjoint `A` *propagates to* `B` in `l` steps
+//! if there are sequences `A_0..A_l`, `B_0..B_l` with `A_0 = A`, `B_0 = B`,
+//! `B_l = ∅`, and for each step `A_τ ⇒ B_τ`,
+//! `A_{τ+1} = A_τ ∪ in(A_τ ⇒ B_τ)`, `B_{τ+1} = B_τ − in(A_τ ⇒ B_τ)`.
+//!
+//! The sequences are *deterministic* given `(A, B)`, so propagation is
+//! decidable by just iterating the closure until `B` empties or a step adds
+//! nothing. The paper bounds `l ≤ n − f − 1` (a propagating `A` has
+//! `|A| ≥ f + 1` and each step moves at least one node).
+//!
+//! Lemma 5 consumes the step count `l`: each propagation phase contracts the
+//! fault-free state range by at least `α^l / 2`.
+
+use iabc_graph::{Digraph, NodeSet};
+use serde::{Deserialize, Serialize};
+
+use crate::relation::{influenced_set, Threshold};
+
+/// One step of a propagating sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationStep {
+    /// `A_τ` before the step.
+    pub source: NodeSet,
+    /// `B_τ` before the step.
+    pub remainder: NodeSet,
+    /// `in(A_τ ⇒ B_τ)` — the nodes absorbed by this step (non-empty).
+    pub absorbed: NodeSet,
+}
+
+/// A complete propagating sequence witnessing `A propagates to B in l steps`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Propagation {
+    steps: Vec<PropagationStep>,
+}
+
+impl Propagation {
+    /// The number of steps `l` (`≥ 1` for non-empty `B`; `0` if `B` was
+    /// empty to begin with).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff `B` was empty and no steps were needed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The individual steps, in order.
+    pub fn steps(&self) -> &[PropagationStep] {
+        &self.steps
+    }
+}
+
+/// Decides whether `A` propagates to `B` (Definition 3) and returns the
+/// witnessing sequence if so.
+///
+/// `A` and `B` should be disjoint and `A` non-empty; `B` may be empty (the
+/// result is then a trivial zero-step propagation).
+///
+/// # Panics
+///
+/// Panics if set universes do not match the graph.
+pub fn propagates_to(
+    g: &Digraph,
+    a: &NodeSet,
+    b: &NodeSet,
+    threshold: Threshold,
+) -> Option<Propagation> {
+    assert_eq!(a.universe(), g.node_count(), "set A universe must match graph");
+    assert_eq!(b.universe(), g.node_count(), "set B universe must match graph");
+    let mut source = a.clone();
+    let mut remainder = b.clone();
+    let mut steps = Vec::new();
+    while !remainder.is_empty() {
+        let absorbed = influenced_set(g, &source, &remainder, threshold);
+        if absorbed.is_empty() {
+            return None; // A_τ 6⇒ B_τ with B_τ non-empty: not propagating.
+        }
+        steps.push(PropagationStep {
+            source: source.clone(),
+            remainder: remainder.clone(),
+            absorbed: absorbed.clone(),
+        });
+        source.union_with(&absorbed);
+        remainder.difference_with(&absorbed);
+    }
+    Some(Propagation { steps })
+}
+
+/// The number of steps in which `A` propagates to `B`, if it does.
+pub fn propagation_length(
+    g: &Digraph,
+    a: &NodeSet,
+    b: &NodeSet,
+    threshold: Threshold,
+) -> Option<usize> {
+    propagates_to(g, a, b, threshold).map(|p| p.len())
+}
+
+/// The closure of `S` inside the pool `W`: repeatedly absorb nodes of
+/// `W − S` that have at least `threshold` in-neighbours in the current set.
+///
+/// `L = W − closure(W − L)` is the largest insular subset of `L`
+/// (see [`crate::theorem1::is_insular`]); the randomized falsifier uses this
+/// to extract witnesses from random seeds.
+///
+/// # Panics
+///
+/// Panics if set universes do not match the graph.
+pub fn closure(g: &Digraph, w: &NodeSet, s: &NodeSet, threshold: Threshold) -> NodeSet {
+    assert_eq!(w.universe(), g.node_count(), "pool universe must match graph");
+    let mut current = s.intersection(w);
+    loop {
+        let rest = w.difference(&current);
+        let absorbed = influenced_set(g, &current, &rest, threshold);
+        if absorbed.is_empty() {
+            return current;
+        }
+        current.union_with(&absorbed);
+    }
+}
+
+/// Lemma 2: when the graph satisfies Theorem 1, for any partition `A, B, F`
+/// of `V` with `A, B` non-empty and `|F| ≤ f`, at least one of `A`, `B`
+/// propagates to the other. This helper evaluates that disjunction directly.
+pub fn one_side_propagates(
+    g: &Digraph,
+    a: &NodeSet,
+    b: &NodeSet,
+    threshold: Threshold,
+) -> bool {
+    propagates_to(g, a, b, threshold).is_some() || propagates_to(g, b, a, threshold).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    #[test]
+    fn complete_graph_propagates_in_one_step() {
+        let g = generators::complete(7);
+        let a = NodeSet::from_indices(7, [0, 1, 2]);
+        let b = a.complement();
+        let p = propagates_to(&g, &a, &b, Threshold::synchronous(2)).expect("K7 propagates");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.steps()[0].absorbed, b);
+    }
+
+    #[test]
+    fn propagation_fails_without_enough_in_links() {
+        // Cycle: in-degree 1, so threshold 2 can never absorb anyone.
+        let g = generators::cycle(6);
+        let a = NodeSet::from_indices(6, [0, 1, 2]);
+        let b = a.complement();
+        assert!(propagates_to(&g, &a, &b, Threshold::synchronous(1)).is_none());
+        // With threshold 1 (f = 0) the cycle does propagate.
+        let p = propagates_to(&g, &a, &b, Threshold::synchronous(0)).expect("f=0 cycle");
+        assert_eq!(p.len(), 3, "one node per step around the cycle");
+    }
+
+    #[test]
+    fn multi_step_propagation_orders_steps() {
+        // 0,1 -> 2 -> (with 0) -> 3: threshold 2 chain.
+        let g = iabc_graph::Digraph::from_edges(
+            4,
+            [(0, 2), (1, 2), (0, 3), (2, 3)],
+        )
+        .unwrap();
+        let a = NodeSet::from_indices(4, [0, 1]);
+        let b = NodeSet::from_indices(4, [2, 3]);
+        let p = propagates_to(&g, &a, &b, Threshold::synchronous(1)).expect("chain propagates");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.steps()[0].absorbed.to_indices(), vec![2]);
+        assert_eq!(p.steps()[1].absorbed.to_indices(), vec![3]);
+        assert_eq!(p.steps()[1].source.to_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_b_is_trivial_propagation() {
+        let g = generators::complete(4);
+        let a = NodeSet::from_indices(4, [0]);
+        let b = NodeSet::with_universe(4);
+        let p = propagates_to(&g, &a, &b, Threshold::synchronous(1)).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn length_bounded_by_n_minus_f_minus_1() {
+        // Paper: l ≤ n − f − 1 whenever A propagates to B.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = 8;
+            let f = 1;
+            let g = generators::erdos_renyi(n, 0.6, &mut rng);
+            let a = NodeSet::from_indices(n, 0..(f + 1 + (n / 3)));
+            let b = a.complement();
+            if let Some(l) = propagation_length(&g, &a, &b, Threshold::synchronous(f)) {
+                assert!(l < n - f, "l={l} exceeds n-f-1");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_absorbs_exactly_reachable_nodes() {
+        let g = generators::complete(5);
+        let w = NodeSet::full(5);
+        let s = NodeSet::from_indices(5, [0, 1]);
+        // Threshold 2: every other node has 2 in-links from {0,1}.
+        assert_eq!(closure(&g, &w, &s, Threshold::synchronous(1)), w);
+        // Threshold 3 needs 3 in-links: nothing absorbed.
+        assert_eq!(closure(&g, &w, &s, Threshold::synchronous(2)), s);
+    }
+
+    #[test]
+    fn closure_respects_pool() {
+        let g = generators::complete(6);
+        let w = NodeSet::from_indices(6, [0, 1, 2, 3]);
+        let s = NodeSet::from_indices(6, [0, 1]);
+        let c = closure(&g, &w, &s, Threshold::synchronous(1));
+        assert!(c.is_subset(&w), "closure must stay inside the pool");
+        assert_eq!(c, w);
+    }
+
+    #[test]
+    fn closure_complement_is_largest_insular_subset() {
+        use crate::theorem1::is_insular;
+        let g = generators::chord(7, 5);
+        let f_set = NodeSet::from_indices(7, [5, 6]);
+        let w = f_set.complement();
+        let t = Threshold::synchronous(2);
+        // Seed with the complement of the paper's witness L = {0, 2}.
+        let l = NodeSet::from_indices(7, [0, 2]);
+        let stable = w.difference(&closure(&g, &w, &w.difference(&l), t));
+        assert_eq!(stable, l, "witness set is already insular");
+        assert!(is_insular(&g, &w, &stable, t));
+    }
+
+    #[test]
+    fn lemma2_disjunction_on_satisfying_graph() {
+        // Core network satisfies Theorem 1, so every fault-free partition has
+        // a propagating side (Lemma 2).
+        let g = generators::core_network(7, 2);
+        let t = Threshold::synchronous(2);
+        let fault = NodeSet::from_indices(7, [5, 6]);
+        let w = fault.complement();
+        // Try several bipartitions of the fault-free pool.
+        for mask in 1..(1 << 5) - 1u32 {
+            let mut a = NodeSet::with_universe(7);
+            let mut b = NodeSet::with_universe(7);
+            for (bit, v) in w.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    a.insert(v);
+                } else {
+                    b.insert(v);
+                }
+            }
+            assert!(one_side_propagates(&g, &a, &b, t), "partition {a} | {b}");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Quantized Algorithm 1 — trimmed-mean consensus on a value lattice.
+//!
+//! The paper works over exact reals; real deployments exchange fixed-point
+//! or integer-encoded values. This module keeps every state on the lattice
+//! `{ k · quantum : k ∈ ℤ }` by rounding the Algorithm 1 update back to
+//! the lattice each iteration.
+//!
+//! # What survives quantization
+//!
+//! * **Validity survives exactly.** If all inputs are lattice points, the
+//!   trimmed weighted average lies in the convex hull of surviving lattice
+//!   values, and rounding a value in `[lo, hi]` to the lattice (any
+//!   [`Rounding`] mode) cannot leave `[lo, hi]` when `lo` and `hi` are
+//!   themselves lattice points. States therefore never escape the honest
+//!   input hull — the Theorem 2 argument goes through unchanged.
+//! * **Convergence weakens to the quantization floor.** The Lemma 5
+//!   contraction still shrinks the honest range while it exceeds the
+//!   quantum, but once the range is about one quantum the rounded update
+//!   can stall (all survivors round back to their own values) or cycle
+//!   between adjacent lattice points. The guarantee demonstrated by the
+//!   test suite and experiment X12 is `U[t] − µ[t] ≤ quantum` eventually,
+//!   not `→ 0`.
+//!
+//! # Exactness
+//!
+//! With a **dyadic** quantum (a power of two such as `2⁻¹⁰` or `0.25`),
+//! lattice points and the rounding arithmetic are exact in `f64`, so the
+//! lattice is exactly closed under the update. For non-dyadic quanta the
+//! rounded result can drift from the ideal lattice point by 1 ulp; all
+//! guarantees then hold up to that drift.
+
+use std::fmt;
+
+use crate::error::RuleError;
+use crate::rules::UpdateRule;
+
+/// How a real-valued update is mapped back to the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Round to the nearest lattice point (ties to even multiples, the
+    /// `f64::round_ties_even` rule, so rounding is unbiased).
+    #[default]
+    Nearest,
+    /// Round toward `−∞`. Biases the iteration downward inside the hull.
+    Floor,
+    /// Round toward `+∞`. Biases the iteration upward inside the hull.
+    Ceil,
+}
+
+impl Rounding {
+    /// Applies this rounding to `value` on the lattice of step `quantum`.
+    fn apply(self, value: f64, quantum: f64) -> f64 {
+        let scaled = value / quantum;
+        let k = match self {
+            Rounding::Nearest => scaled.round_ties_even(),
+            Rounding::Floor => scaled.floor(),
+            Rounding::Ceil => scaled.ceil(),
+        };
+        k * quantum
+    }
+}
+
+impl fmt::Display for Rounding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rounding::Nearest => write!(f, "nearest"),
+            Rounding::Floor => write!(f, "floor"),
+            Rounding::Ceil => write!(f, "ceil"),
+        }
+    }
+}
+
+/// Snaps a value to the lattice of step `quantum` with the given rounding.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::quantized::{quantize, Rounding};
+///
+/// assert_eq!(quantize(0.3, 0.25, Rounding::Nearest), 0.25);
+/// assert_eq!(quantize(0.3, 0.25, Rounding::Ceil), 0.5);
+/// assert_eq!(quantize(-0.3, 0.25, Rounding::Floor), -0.5);
+/// ```
+pub fn quantize(value: f64, quantum: f64, rounding: Rounding) -> f64 {
+    rounding.apply(value, quantum)
+}
+
+/// Snaps every input to the lattice — use before starting a quantized run
+/// so that the lattice-closure invariant holds from round 0.
+pub fn quantize_inputs(inputs: &[f64], quantum: f64, rounding: Rounding) -> Vec<f64> {
+    inputs.iter().map(|&v| quantize(v, quantum, rounding)).collect()
+}
+
+/// **Algorithm 1 on a lattice**: trim the `f` smallest and `f` largest
+/// received values, average the survivors with the node's own value at
+/// equal weight (exactly [`crate::rules::TrimmedMean`]), then round the
+/// result back to the lattice of step `quantum`.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::quantized::{QuantizedTrimmedMean, Rounding};
+/// use iabc_core::rules::UpdateRule;
+///
+/// let rule = QuantizedTrimmedMean::new(1, 0.25, Rounding::Nearest)?;
+/// let mut received = vec![0.0, 0.25, 1e9];
+/// // Trim drops 0.0 and 1e9; (0.5 + 0.25) / 2 = 0.375 rounds to 0.5
+/// // (ties-to-even on the 0.25 lattice: 0.375/0.25 = 1.5 → 2).
+/// assert_eq!(rule.update(0.5, &mut received)?, 0.5);
+/// # Ok::<(), iabc_core::RuleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedTrimmedMean {
+    f: usize,
+    quantum: f64,
+    rounding: Rounding,
+}
+
+impl QuantizedTrimmedMean {
+    /// Creates the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::InvalidParameter`] unless `quantum` is finite
+    /// and strictly positive.
+    pub fn new(f: usize, quantum: f64, rounding: Rounding) -> Result<Self, RuleError> {
+        if !(quantum.is_finite() && quantum > 0.0) {
+            return Err(RuleError::InvalidParameter {
+                message: format!("quantum must be finite and positive, got {quantum}"),
+            });
+        }
+        Ok(QuantizedTrimmedMean { f, quantum, rounding })
+    }
+
+    /// The lattice step.
+    pub const fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// The rounding mode.
+    pub const fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+}
+
+impl UpdateRule for QuantizedTrimmedMean {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        let exact = crate::rules::TrimmedMean::new(self.f).update(own, received)?;
+        Ok(self.rounding.apply(exact, self.quantum))
+    }
+
+    fn min_weight(&self, in_degree: usize) -> Option<f64> {
+        // The pre-rounding update has the TrimmedMean weight guarantee; the
+        // rounding step perturbs the output by up to one quantum, so the
+        // Lemma 5 machinery only applies while the range is ≫ quantum.
+        crate::rules::TrimmedMean::new(self.f).min_weight(in_degree)
+    }
+
+    fn name(&self) -> &'static str {
+        "quantized-trimmed-mean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_are_validated() {
+        assert!(QuantizedTrimmedMean::new(1, 0.0, Rounding::Nearest).is_err());
+        assert!(QuantizedTrimmedMean::new(1, -0.5, Rounding::Floor).is_err());
+        assert!(QuantizedTrimmedMean::new(1, f64::NAN, Rounding::Ceil).is_err());
+        assert!(QuantizedTrimmedMean::new(1, f64::INFINITY, Rounding::Nearest).is_err());
+        let ok = QuantizedTrimmedMean::new(1, 0.25, Rounding::Floor).unwrap();
+        assert_eq!(ok.quantum(), 0.25);
+        assert_eq!(ok.rounding(), Rounding::Floor);
+    }
+
+    #[test]
+    fn quantize_modes() {
+        assert_eq!(quantize(1.1, 1.0, Rounding::Nearest), 1.0);
+        assert_eq!(quantize(1.5, 1.0, Rounding::Nearest), 2.0);
+        assert_eq!(quantize(2.5, 1.0, Rounding::Nearest), 2.0); // ties to even
+        assert_eq!(quantize(1.9, 1.0, Rounding::Floor), 1.0);
+        assert_eq!(quantize(1.1, 1.0, Rounding::Ceil), 2.0);
+        assert_eq!(quantize(-1.1, 1.0, Rounding::Floor), -2.0);
+        assert_eq!(quantize(-1.1, 1.0, Rounding::Ceil), -1.0);
+    }
+
+    #[test]
+    fn quantize_inputs_snaps_everything() {
+        let snapped = quantize_inputs(&[0.1, 0.6, -0.4], 0.5, Rounding::Nearest);
+        assert_eq!(snapped, vec![0.0, 0.5, -0.5]);
+    }
+
+    #[test]
+    fn update_matches_trimmed_mean_then_rounds() {
+        let rule = QuantizedTrimmedMean::new(1, 0.5, Rounding::Nearest).unwrap();
+        let mut r = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        // Survivors {2,3,4}; (10 + 2 + 3 + 4)/4 = 4.75 → 5.0 on the 0.5
+        // lattice? 4.75/0.5 = 9.5 → ties-to-even → 10 → 5.0... 9.5 rounds to
+        // 10 (even). So 5.0.
+        assert_eq!(rule.update(10.0, &mut r).unwrap(), 5.0);
+        let floor = QuantizedTrimmedMean::new(1, 0.5, Rounding::Floor).unwrap();
+        let mut r = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(floor.update(10.0, &mut r).unwrap(), 4.5);
+    }
+
+    #[test]
+    fn lattice_is_closed_under_update() {
+        // All inputs on the 2⁻⁴ lattice ⇒ output on the lattice, for every
+        // rounding mode (dyadic quantum, so arithmetic is exact).
+        let q = 1.0 / 16.0;
+        for rounding in [Rounding::Nearest, Rounding::Floor, Rounding::Ceil] {
+            let rule = QuantizedTrimmedMean::new(1, q, rounding).unwrap();
+            let mut r = vec![3.0 * q, -5.0 * q, 12.0 * q, 7.0 * q];
+            let v = rule.update(2.0 * q, &mut r).unwrap();
+            let k = v / q;
+            assert_eq!(k, k.round(), "output {v} off-lattice under {rounding}");
+        }
+    }
+
+    #[test]
+    fn output_stays_in_hull_of_lattice_inputs() {
+        // Rounding cannot escape [lo, hi] when the endpoints are lattice
+        // points: sweep a few survivor sets.
+        let q = 0.125;
+        for rounding in [Rounding::Nearest, Rounding::Floor, Rounding::Ceil] {
+            let rule = QuantizedTrimmedMean::new(1, q, rounding).unwrap();
+            for own_k in [-4i32, 0, 3, 9] {
+                let own = own_k as f64 * q;
+                let mut r = vec![-1.0, 2.0 * q, 5.0 * q, 100.0];
+                let v = rule.update(own, &mut r).unwrap();
+                let lo = own.min(2.0 * q);
+                let hi = own.max(5.0 * q);
+                assert!(
+                    (lo..=hi).contains(&v),
+                    "{rounding}: output {v} escaped [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_values_still_error() {
+        let rule = QuantizedTrimmedMean::new(2, 0.5, Rounding::Nearest).unwrap();
+        let mut r = vec![1.0, 2.0, 3.0];
+        assert_eq!(
+            rule.update(0.0, &mut r),
+            Err(RuleError::InsufficientValues { needed: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        let rule = QuantizedTrimmedMean::new(0, 0.5, Rounding::Nearest).unwrap();
+        let mut r = vec![f64::NAN];
+        assert!(matches!(
+            rule.update(0.0, &mut r),
+            Err(RuleError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn min_weight_matches_trimmed_mean() {
+        let rule = QuantizedTrimmedMean::new(2, 0.5, Rounding::Nearest).unwrap();
+        assert_eq!(rule.min_weight(7), Some(0.25));
+        assert_eq!(rule.min_weight(3), None);
+    }
+
+    #[test]
+    fn name_and_display_are_stable() {
+        let rule = QuantizedTrimmedMean::new(1, 0.5, Rounding::Ceil).unwrap();
+        assert_eq!(rule.name(), "quantized-trimmed-mean");
+        assert_eq!(Rounding::Nearest.to_string(), "nearest");
+        assert_eq!(Rounding::Floor.to_string(), "floor");
+        assert_eq!(Rounding::Ceil.to_string(), "ceil");
+    }
+
+    #[test]
+    fn coarse_quantum_keeps_own_value_when_average_is_near() {
+        // Quantum larger than the spread: the rounded update collapses to
+        // the nearest coarse lattice point, modelling harsh quantization.
+        let rule = QuantizedTrimmedMean::new(0, 10.0, Rounding::Nearest).unwrap();
+        let mut r = vec![1.0, 2.0];
+        assert_eq!(rule.update(3.0, &mut r).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Witness-driven topology repair: make a failing graph satisfy Theorem 1
+//! by adding as few edges as the greedy needs.
+//!
+//! The checker does not just say *no* — it hands back the partition
+//! `F, L, C, R` that breaks consensus. [`suggest_edges`] turns that into a
+//! design loop: pick a node of `L` (the starved side), wire enough new
+//! in-edges from `C ∪ R` into it to push it over the `f + 1` threshold
+//! (destroying this witness), re-check, repeat. Since the complete graph
+//! satisfies the condition whenever `n > 3f` (Corollary 2 boundary), the
+//! loop terminates with a satisfying supergraph.
+//!
+//! The result is *greedy*, not minimum — finding a minimum augmentation is
+//! as hard as the condition itself — but in practice it is small (see the
+//! `network_repair` example and the E6 edge-criticality data).
+
+use iabc_graph::{Digraph, NodeId};
+
+use crate::error::CheckerError;
+use crate::relation::Threshold;
+use crate::theorem1::{check_with, CheckOptions};
+use crate::witness::ConditionReport;
+
+/// The outcome of a repair run.
+#[derive(Debug, Clone)]
+pub struct Repair {
+    /// The repaired graph (input graph plus `added` edges).
+    pub graph: Digraph,
+    /// The edges that were added, in order.
+    pub added: Vec<(NodeId, NodeId)>,
+}
+
+/// Errors from [`suggest_edges`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// `n ≤ 3f`: no edge set can satisfy the condition (Corollary 2).
+    TooFewNodes {
+        /// Number of nodes.
+        n: usize,
+        /// Fault bound.
+        f: usize,
+    },
+    /// The exact checker ran out of budget mid-repair.
+    Checker(CheckerError),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f_: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::TooFewNodes { n, f } => {
+                write!(f_, "no repair possible: n = {n} <= 3f = {}", 3 * f)
+            }
+            RepairError::Checker(e) => write!(f_, "checker failed during repair: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Adds edges until `g` satisfies the Theorem 1 condition for `f`, driven
+/// by the checker's witnesses. Returns the repaired graph and the edges
+/// added (possibly empty, if `g` already satisfies the condition).
+///
+/// Exponential in the same way the checker is — intended for design-time
+/// use on paper-scale graphs.
+///
+/// # Errors
+///
+/// [`RepairError::TooFewNodes`] when `n ≤ 3f` (impossible by Corollary 2),
+/// or a propagated checker budget error.
+pub fn suggest_edges(g: &Digraph, f: usize) -> Result<Repair, RepairError> {
+    let n = g.node_count();
+    if n <= 3 * f {
+        return Err(RepairError::TooFewNodes { n, f });
+    }
+    let threshold = Threshold::synchronous(f);
+    let options = CheckOptions::default();
+    let mut current = g.clone();
+    let mut added = Vec::new();
+    loop {
+        let report =
+            check_with(&current, f, threshold, &options).map_err(RepairError::Checker)?;
+        let ConditionReport::Violated(w) = report else {
+            return Ok(Repair {
+                graph: current,
+                added,
+            });
+        };
+        // Break the witness: give the first node of L enough in-edges from
+        // C ∪ R to reach f + 1 cross in-neighbours. (Symmetric choice of R
+        // would work equally; L is canonical.)
+        let target = w.left.first().expect("witness left side is non-empty");
+        let pool = w.center.union(&w.right);
+        let mut cross = current
+            .in_neighbors(target)
+            .intersection_len(&pool);
+        let mut progressed = false;
+        for source in pool.iter() {
+            if cross > f {
+                break;
+            }
+            if current.try_add_edge(source, target).unwrap_or(false) {
+                added.push((source, target));
+                cross += 1;
+                progressed = true;
+            }
+        }
+        // The pool always contains R (non-empty) and, post-saturation,
+        // cross > f must hold; if not, every pool node already points at
+        // `target`, contradicting the witness (which requires cross ≤ f).
+        debug_assert!(
+            progressed || cross > f,
+            "witness invariant violated: saturated node still starved"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use iabc_graph::generators;
+
+    #[test]
+    fn already_satisfying_graph_needs_no_edges() {
+        let g = generators::core_network(7, 2);
+        let repair = suggest_edges(&g, 2).unwrap();
+        assert!(repair.added.is_empty());
+        assert_eq!(repair.graph, g);
+    }
+
+    #[test]
+    fn chord_counterexample_is_repairable() {
+        let g = generators::chord(7, 5);
+        assert!(!theorem1::check(&g, 2).is_satisfied());
+        let repair = suggest_edges(&g, 2).unwrap();
+        assert!(theorem1::check(&repair.graph, 2).is_satisfied());
+        assert!(!repair.added.is_empty());
+        // Sanity: a strict supergraph of the input.
+        assert_eq!(
+            repair.graph.edge_count(),
+            g.edge_count() + repair.added.len()
+        );
+        for (u, v) in g.edges() {
+            assert!(repair.graph.has_edge(u, v));
+        }
+        // The greedy should stay well below "add everything": K7 needs 42
+        // edges; the chord has 35; a decent repair adds only a few.
+        assert!(
+            repair.added.len() <= 7,
+            "repair added {} edges, expected a small patch",
+            repair.added.len()
+        );
+    }
+
+    #[test]
+    fn hypercube_is_repairable_for_f1() {
+        let g = generators::hypercube(3);
+        let repair = suggest_edges(&g, 1).unwrap();
+        assert!(theorem1::check(&repair.graph, 1).is_satisfied());
+        assert!(!repair.added.is_empty());
+    }
+
+    #[test]
+    fn too_few_nodes_is_rejected() {
+        let g = generators::complete(6);
+        assert_eq!(
+            suggest_edges(&g, 2).unwrap_err(),
+            RepairError::TooFewNodes { n: 6, f: 2 }
+        );
+    }
+
+    #[test]
+    fn repair_works_from_the_empty_graph() {
+        // Worst case: no edges at all. The repair must build something
+        // satisfying (bounded above by the complete graph).
+        let g = iabc_graph::Digraph::new(4);
+        let repair = suggest_edges(&g, 1).unwrap();
+        assert!(theorem1::check(&repair.graph, 1).is_satisfied());
+        assert!(repair.graph.edge_count() <= 12);
+        assert!(repair.graph.min_in_degree() >= 3, "corollary 3 must hold");
+    }
+
+    #[test]
+    fn repaired_graphs_run_consensus() {
+        // End-to-end: repair, then verify alpha is defined (degree bound met).
+        let g = generators::bridged_cliques(4, 1);
+        let f = 1;
+        assert!(!theorem1::check(&g, f).is_satisfied());
+        let repair = suggest_edges(&g, f).unwrap();
+        assert!(theorem1::check(&repair.graph, f).is_satisfied());
+        assert!(crate::alpha::algorithm1_alpha(&repair.graph, f).is_ok());
+    }
+
+    #[test]
+    fn randomized_repair_sweep() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut repaired = 0;
+        for _ in 0..12 {
+            let g = generators::erdos_renyi(7, 0.35, &mut rng);
+            if theorem1::check(&g, 1).is_satisfied() {
+                continue;
+            }
+            let repair = suggest_edges(&g, 1).unwrap();
+            assert!(theorem1::check(&repair.graph, 1).is_satisfied());
+            repaired += 1;
+        }
+        assert!(repaired > 0, "sweep should exercise the repair path");
+    }
+}

@@ -1,0 +1,404 @@
+//! State-update rules `Z_i` — Algorithm 1 and ablation variants.
+//!
+//! The paper's Algorithm 1, per node `i` and iteration `t`:
+//!
+//! 1. transmit `v_i[t-1]` on all outgoing edges;
+//! 2. receive one value per incoming edge (vector `r_i[t]`);
+//! 3. sort `r_i[t]`, drop the `f` smallest and `f` largest values, and set
+//!    `v_i[t] = Σ_{j ∈ {i} ∪ N*_i[t]} a_i w_j` with
+//!    `a_i = 1 / (|N⁻_i| + 1 − 2f)`.
+//!
+//! An [`UpdateRule`] encapsulates step 3. Rules are pure functions of
+//! `(own value, received values)` — matching the paper's memory-less output
+//! constraint (`Z_i` may not depend on `t` or on older history).
+
+use std::fmt;
+
+use crate::error::RuleError;
+
+/// A memory-less state-update function `Z_i` (paper Section 2.3).
+///
+/// Implementations must be deterministic and independent of iteration
+/// number — the paper's output constraint plus validity forbid any
+/// "sense of time".
+pub trait UpdateRule: fmt::Debug + Send + Sync {
+    /// Computes `v_i[t]` from `v_i[t-1]` (`own`) and the received vector.
+    /// May reorder `received` in place (rules sort for trimming).
+    ///
+    /// # Errors
+    ///
+    /// * [`RuleError::InsufficientValues`] if too few values were received
+    ///   to trim; * [`RuleError::NonFiniteInput`] if any input is NaN/±∞.
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError>;
+
+    /// Lower bound on the weight this rule gives any single surviving value
+    /// (the paper's `a_i`), as a function of the in-degree. `None` when the
+    /// rule has no such guarantee (then Lemma 5 does not apply).
+    fn min_weight(&self, in_degree: usize) -> Option<f64>;
+
+    /// Short stable identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn ensure_finite(own: f64, received: &[f64]) -> Result<(), RuleError> {
+    if !own.is_finite() {
+        return Err(RuleError::NonFiniteInput { value: own });
+    }
+    if let Some(&bad) = received.iter().find(|v| !v.is_finite()) {
+        return Err(RuleError::NonFiniteInput { value: bad });
+    }
+    Ok(())
+}
+
+/// **Algorithm 1**: trim the `f` smallest and `f` largest received values,
+/// then average the survivors together with the node's own value, all with
+/// equal weight `a_i = 1 / (|N⁻_i| + 1 − 2f)`.
+///
+/// This is the W-MSR-style rule the paper proves correct (Theorems 2–3) on
+/// every graph satisfying Theorem 1.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::{TrimmedMean, UpdateRule};
+///
+/// let rule = TrimmedMean::new(1);
+/// let mut received = vec![0.0, 10.0, 4.0, -100.0, 6.0];
+/// // Trimming drops -100 and 10; survivors {0, 4, 6} average with own 2.0.
+/// let v = rule.update(2.0, &mut received)?;
+/// assert!((v - 3.0).abs() < 1e-12);
+/// # Ok::<(), iabc_core::RuleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrimmedMean {
+    f: usize,
+}
+
+impl TrimmedMean {
+    /// Creates the rule for fault bound `f`.
+    pub const fn new(f: usize) -> Self {
+        TrimmedMean { f }
+    }
+
+    /// The fault bound this rule trims against.
+    pub const fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl UpdateRule for TrimmedMean {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        ensure_finite(own, received)?;
+        if received.len() < 2 * self.f {
+            return Err(RuleError::InsufficientValues {
+                needed: 2 * self.f,
+                got: received.len(),
+            });
+        }
+        received.sort_unstable_by(f64::total_cmp);
+        let survivors = &received[self.f..received.len() - self.f];
+        let weight = 1.0 / (survivors.len() as f64 + 1.0);
+        Ok(weight * (own + survivors.iter().sum::<f64>()))
+    }
+
+    fn min_weight(&self, in_degree: usize) -> Option<f64> {
+        if in_degree < 2 * self.f {
+            None
+        } else {
+            Some(1.0 / (in_degree as f64 + 1.0 - 2.0 * self.f as f64))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+}
+
+/// Plain averaging with **no trimming** — the classical `f = 0` iterative
+/// consensus rule. Included as the ablation baseline (experiment E12): under
+/// Byzantine inputs it violates validity, demonstrating the trimming in
+/// Algorithm 1 is load-bearing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mean;
+
+impl Mean {
+    /// Creates the rule.
+    pub const fn new() -> Self {
+        Mean
+    }
+}
+
+impl UpdateRule for Mean {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        ensure_finite(own, received)?;
+        let weight = 1.0 / (received.len() as f64 + 1.0);
+        Ok(weight * (own + received.iter().sum::<f64>()))
+    }
+
+    fn min_weight(&self, in_degree: usize) -> Option<f64> {
+        Some(1.0 / (in_degree as f64 + 1.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+}
+
+/// Trim `f` from each end, then take the midpoint of the extremes of the
+/// surviving values together with the node's own value — the Dolev et al.
+/// style rule. Converges faster per round (`α = 1/2` regardless of degree)
+/// but is more sensitive to borderline faulty survivors; included for the
+/// convergence-rate comparison in E12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrimmedMidpoint {
+    f: usize,
+}
+
+impl TrimmedMidpoint {
+    /// Creates the rule for fault bound `f`.
+    pub const fn new(f: usize) -> Self {
+        TrimmedMidpoint { f }
+    }
+}
+
+impl UpdateRule for TrimmedMidpoint {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        ensure_finite(own, received)?;
+        if received.len() < 2 * self.f {
+            return Err(RuleError::InsufficientValues {
+                needed: 2 * self.f,
+                got: received.len(),
+            });
+        }
+        received.sort_unstable_by(f64::total_cmp);
+        let survivors = &received[self.f..received.len() - self.f];
+        let lo = survivors.first().copied().unwrap_or(own).min(own);
+        let hi = survivors.last().copied().unwrap_or(own).max(own);
+        Ok((lo + hi) / 2.0)
+    }
+
+    fn min_weight(&self, _in_degree: usize) -> Option<f64> {
+        Some(0.5)
+    }
+
+    fn name(&self) -> &'static str {
+        "trimmed-midpoint"
+    }
+}
+
+/// Algorithm 1 with a configurable self-weight: the node's own value gets
+/// weight `self_weight` and the surviving received values share
+/// `1 − self_weight` equally. `self_weight = 1/(survivors+1)` recovers
+/// [`TrimmedMean`]. Validity and convergence still hold (all weights are
+/// positive and sum to one, so Lemma 3/4 go through with
+/// `α = min(self_weight, (1 − self_weight)/survivors)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedTrimmedMean {
+    f: usize,
+    self_weight: f64,
+}
+
+impl WeightedTrimmedMean {
+    /// Creates the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::InvalidParameter`] unless `0 < self_weight < 1`.
+    pub fn new(f: usize, self_weight: f64) -> Result<Self, RuleError> {
+        if !(self_weight > 0.0 && self_weight < 1.0) {
+            return Err(RuleError::InvalidParameter {
+                message: format!("self_weight must be in (0, 1), got {self_weight}"),
+            });
+        }
+        Ok(WeightedTrimmedMean { f, self_weight })
+    }
+}
+
+impl UpdateRule for WeightedTrimmedMean {
+    fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
+        ensure_finite(own, received)?;
+        if received.len() < 2 * self.f {
+            return Err(RuleError::InsufficientValues {
+                needed: 2 * self.f,
+                got: received.len(),
+            });
+        }
+        received.sort_unstable_by(f64::total_cmp);
+        let survivors = &received[self.f..received.len() - self.f];
+        if survivors.is_empty() {
+            return Ok(own);
+        }
+        let share = (1.0 - self.self_weight) / survivors.len() as f64;
+        Ok(self.self_weight * own + share * survivors.iter().sum::<f64>())
+    }
+
+    fn min_weight(&self, in_degree: usize) -> Option<f64> {
+        if in_degree < 2 * self.f {
+            return None;
+        }
+        let survivors = in_degree - 2 * self.f;
+        if survivors == 0 {
+            return Some(1.0);
+        }
+        Some(self.self_weight.min((1.0 - self.self_weight) / survivors as f64))
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-trimmed-mean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_matches_paper_formula() {
+        // |N⁻| = 5, f = 1: a_i = 1/(5 + 1 - 2) = 1/4.
+        let rule = TrimmedMean::new(1);
+        let mut r = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = rule.update(10.0, &mut r).unwrap();
+        // Survivors {2,3,4}; (10 + 2 + 3 + 4) / 4 = 4.75.
+        assert!((v - 4.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_with_f_zero_is_plain_mean() {
+        let trimmed = TrimmedMean::new(0);
+        let mean = Mean::new();
+        let mut a = vec![3.0, -1.0, 7.5];
+        let mut b = a.clone();
+        assert_eq!(
+            trimmed.update(2.0, &mut a).unwrap(),
+            mean.update(2.0, &mut b).unwrap()
+        );
+    }
+
+    #[test]
+    fn trimmed_mean_discards_byzantine_extremes() {
+        let rule = TrimmedMean::new(1);
+        // A faulty node reports 1e9; trimming must bound the result by the
+        // honest values.
+        let mut r = vec![1.0, 2.0, 1e9];
+        let v = rule.update(1.5, &mut r).unwrap();
+        assert!((1.0..=2.0).contains(&v), "output {v} escaped honest hull");
+    }
+
+    #[test]
+    fn trimmed_mean_survivor_count_zero_keeps_own_value() {
+        // |N⁻| = 2f: survivors empty, weight 1 on own value.
+        let rule = TrimmedMean::new(1);
+        let mut r = vec![-5.0, 99.0];
+        assert_eq!(rule.update(3.25, &mut r).unwrap(), 3.25);
+    }
+
+    #[test]
+    fn trimmed_mean_insufficient_values() {
+        let rule = TrimmedMean::new(2);
+        let mut r = vec![1.0, 2.0, 3.0];
+        assert_eq!(
+            rule.update(0.0, &mut r),
+            Err(RuleError::InsufficientValues { needed: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn rules_reject_non_finite_inputs() {
+        let rule = TrimmedMean::new(0);
+        let mut r = vec![1.0, f64::NAN];
+        assert!(matches!(
+            rule.update(0.0, &mut r),
+            Err(RuleError::NonFiniteInput { .. })
+        ));
+        let mut r = vec![1.0];
+        assert!(matches!(
+            rule.update(f64::INFINITY, &mut r),
+            Err(RuleError::NonFiniteInput { .. })
+        ));
+        let mut r = vec![f64::NEG_INFINITY];
+        assert!(matches!(
+            Mean::new().update(0.0, &mut r),
+            Err(RuleError::NonFiniteInput { .. })
+        ));
+    }
+
+    #[test]
+    fn min_weight_matches_a_i() {
+        let rule = TrimmedMean::new(2);
+        // a_i = 1/(|N⁻| + 1 - 2f) = 1/(7 + 1 - 4) = 0.25.
+        assert_eq!(rule.min_weight(7), Some(0.25));
+        assert_eq!(rule.min_weight(4), Some(1.0));
+        assert_eq!(rule.min_weight(3), None);
+        assert_eq!(Mean::new().min_weight(4), Some(0.2));
+    }
+
+    #[test]
+    fn midpoint_halves_the_range() {
+        let rule = TrimmedMidpoint::new(1);
+        let mut r = vec![0.0, 4.0, 100.0, -100.0];
+        // Survivors {0, 4}; own 2 is inside; midpoint (0 + 4)/2 = 2.
+        assert_eq!(rule.update(2.0, &mut r).unwrap(), 2.0);
+        // Own value outside the survivor range extends it.
+        let mut r = vec![0.0, 4.0, 100.0, -100.0];
+        assert_eq!(rule.update(10.0, &mut r).unwrap(), 5.0);
+        assert_eq!(rule.min_weight(10), Some(0.5));
+    }
+
+    #[test]
+    fn midpoint_with_no_survivors_keeps_own() {
+        let rule = TrimmedMidpoint::new(1);
+        let mut r = vec![-1.0, 1.0];
+        assert_eq!(rule.update(0.5, &mut r).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn weighted_rule_validates_parameters() {
+        assert!(WeightedTrimmedMean::new(1, 0.0).is_err());
+        assert!(WeightedTrimmedMean::new(1, 1.0).is_err());
+        assert!(WeightedTrimmedMean::new(1, -0.5).is_err());
+        assert!(WeightedTrimmedMean::new(1, f64::NAN).is_err());
+        assert!(WeightedTrimmedMean::new(1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn weighted_rule_weights_sum_to_one() {
+        let rule = WeightedTrimmedMean::new(1, 0.5).unwrap();
+        let mut r = vec![0.0, 2.0, 4.0, -50.0, 50.0];
+        // Survivors {0, 2, 4}: 0.5*own + (0.5/3)*(0+2+4) = 0.5*6 + 1 = 4.
+        let v = rule.update(6.0, &mut r).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+        // min weight: min(0.5, 0.5/3).
+        let w = rule.min_weight(5).unwrap();
+        assert!((w - 0.5 / 3.0).abs() < 1e-12);
+        assert_eq!(rule.min_weight(2), Some(1.0));
+    }
+
+    #[test]
+    fn all_rules_are_convex_combinations_of_inputs() {
+        // Output must lie within [min, max] of (own ∪ received) for every rule.
+        let rules: Vec<Box<dyn UpdateRule>> = vec![
+            Box::new(TrimmedMean::new(1)),
+            Box::new(Mean::new()),
+            Box::new(TrimmedMidpoint::new(1)),
+            Box::new(WeightedTrimmedMean::new(1, 0.3).unwrap()),
+        ];
+        let own = 1.5;
+        let inputs = [4.0, -2.0, 0.5, 3.0, 9.0];
+        for rule in &rules {
+            let mut r = inputs.to_vec();
+            let v = rule.update(own, &mut r).unwrap();
+            assert!((-2.0..=9.0).contains(&v), "{} output {v}", rule.name());
+        }
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(TrimmedMean::new(1).name(), "trimmed-mean");
+        assert_eq!(Mean::new().name(), "mean");
+        assert_eq!(TrimmedMidpoint::new(1).name(), "trimmed-midpoint");
+        assert_eq!(
+            WeightedTrimmedMean::new(1, 0.4).unwrap().name(),
+            "weighted-trimmed-mean"
+        );
+    }
+}

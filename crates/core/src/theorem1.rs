@@ -1,0 +1,621 @@
+//! Exact checker for the paper's tight condition (Theorem 1).
+//!
+//! **Theorem 1.** Let `F, L, C, R` partition `V` with `|F| ≤ f`, `L ≠ ∅`,
+//! `R ≠ ∅`. A correct iterative approximate Byzantine consensus algorithm
+//! exists only if for every such partition `C ∪ R ⇒ L` or `L ∪ C ⇒ R`.
+//! Theorems 2–3 prove the same condition *sufficient* (Algorithm 1 works).
+//!
+//! # How the checker works
+//!
+//! Call a set `L ⊆ W := V − F` **insular** (w.r.t. `F` and threshold `T`)
+//! when no node of `L` has `≥ T` in-neighbours in `W − L`; that is,
+//! `(W − L) 6⇒ L`. Since `C ∪ R = W − L` and `L ∪ C = W − R`, a partition
+//! violates Theorem 1 **iff `L` and `R` are two disjoint non-empty insular
+//! sets**. The checker therefore enumerates, per fault set `F`, the insular
+//! subsets of `W` in increasing size and reports the first disjoint pair.
+//!
+//! # Fault-set padding
+//!
+//! Only `|F| = min(f, n − 2)` needs to be enumerated. If a violating
+//! partition exists with `|F| = k < min(f, n − 2)` then `W` has at least
+//! three nodes, so one of the following moves produces a violating partition
+//! with `|F| = k + 1`:
+//!
+//! * move any node of `C` into `F` — every constraint set `W − L`, `W − R`
+//!   only shrinks;
+//! * if `C = ∅`, one of `L`, `R` has ≥ 2 nodes; moving a node `x` out of
+//!   (say) `L` into `F` leaves `W − (L − {x}) = W' − L'` unchanged for the
+//!   remaining `L` nodes and shrinks it for `R` nodes.
+//!
+//! Iterating lifts any violation to `|F| = min(f, n − 2)`, so enumerating
+//! that single size is complete. (Checked against the unpadded brute force
+//! in the test suite.)
+//!
+//! # Cost
+//!
+//! Deciding the condition is combinatorial: `C(n, f)` fault sets times
+//! `2^(n-f)` candidate sets. This is exact and fast for the paper-scale
+//! graphs (`n ≲ 16` interactively; `n ≈ 20` with [`check_parallel`]); for
+//! larger graphs use the budgeted variant or the randomized falsifier in
+//! [`crate::search`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use iabc_graph::{for_each_subset_of_size, for_each_subset_sized, Digraph, NodeSet};
+
+use crate::corollaries;
+use crate::error::CheckerError;
+use crate::relation::Threshold;
+use crate::witness::{ConditionReport, Witness};
+
+/// Returns `true` iff `L` is *insular* w.r.t. the fault-free pool `W`:
+/// no node of `L` has `threshold` or more in-neighbours in `W − L`,
+/// i.e. `(W − L) 6⇒ L`.
+///
+/// `L` must be a subset of `W`; nodes outside `W` are ignored by
+/// construction of the difference.
+pub fn is_insular(g: &Digraph, w: &NodeSet, l: &NodeSet, threshold: Threshold) -> bool {
+    let outside = w.difference(l);
+    l.iter()
+        .all(|v| g.in_neighbors(v).intersection_len(&outside) < threshold.get())
+}
+
+/// Options controlling the exact checker.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Maximum number of `(F, L)` candidate pairs to visit before giving up
+    /// with [`CheckerError::BudgetExhausted`]. `None` means unbounded.
+    pub budget: Option<u64>,
+    /// Skip the `O(n)`/`O(1)` corollary fast paths (used by tests to exercise
+    /// the full enumeration on graphs the fast paths would short-circuit).
+    pub skip_fast_paths: bool,
+}
+
+/// Checks the Theorem 1 condition with the synchronous threshold `f + 1`.
+///
+/// Returns [`ConditionReport::Satisfied`] iff iterative approximate Byzantine
+/// consensus tolerating `f` faults is possible on `g` (and then Algorithm 1
+/// achieves it), otherwise a verified violating [`Witness`].
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::theorem1;
+/// use iabc_graph::generators;
+///
+/// // §6.3: the chord network with f = 2, n = 7 does NOT satisfy Theorem 1...
+/// let bad = generators::chord(7, 5);
+/// assert!(!theorem1::check(&bad, 2).is_satisfied());
+/// // ...but with f = 1, n = 5 it does.
+/// let good = generators::chord(5, 3);
+/// assert!(theorem1::check(&good, 1).is_satisfied());
+/// ```
+pub fn check(g: &Digraph, f: usize) -> ConditionReport {
+    check_with(g, f, Threshold::synchronous(f), &CheckOptions::default())
+        .expect("unbounded check cannot exhaust its budget")
+}
+
+/// Convenience: the violating witness for the synchronous condition, if any.
+pub fn find_violation(g: &Digraph, f: usize) -> Option<Witness> {
+    match check(g, f) {
+        ConditionReport::Satisfied => None,
+        ConditionReport::Violated(w) => Some(w),
+    }
+}
+
+/// The largest `f` for which `g` satisfies the Theorem 1 condition — the
+/// graph's *Byzantine capacity* for iterative consensus.
+///
+/// Tolerating `f + 1` faults subsumes tolerating `f` (any `|F| ≤ f`
+/// scenario is also a `|F| ≤ f + 1` scenario, and the `⇒` threshold only
+/// rises), so satisfaction is downward-closed in `f` and a linear scan
+/// with early exit is exact. Corollary 2 bounds the answer by
+/// `⌈n/3⌉ − 1`, so the scan is short.
+///
+/// Returns `None` if the graph does not even satisfy the condition at
+/// `f = 0` (no unique source component).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::theorem1::max_tolerable_f;
+/// use iabc_graph::generators;
+///
+/// assert_eq!(max_tolerable_f(&generators::complete(7)), Some(2));
+/// assert_eq!(max_tolerable_f(&generators::hypercube(3)), Some(0));
+/// assert_eq!(max_tolerable_f(&generators::path(3)), Some(0));
+/// ```
+pub fn max_tolerable_f(g: &Digraph) -> Option<usize> {
+    let n = g.node_count();
+    let cap = n.div_ceil(3).saturating_sub(1); // Corollary 2: f <= ceil(n/3) - 1
+    let mut best: Option<usize> = None;
+    for f in 0..=cap {
+        if check(g, f).is_satisfied() {
+            best = Some(f);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Checks the Theorem 1 condition under an explicit `⇒` threshold
+/// (use [`Threshold::asynchronous`] for the Section 7 variant) and
+/// [`CheckOptions`].
+///
+/// # Errors
+///
+/// Returns [`CheckerError::BudgetExhausted`] if `options.budget` is reached
+/// before the search completes.
+pub fn check_with(
+    g: &Digraph,
+    f: usize,
+    threshold: Threshold,
+    options: &CheckOptions,
+) -> Result<ConditionReport, CheckerError> {
+    let n = g.node_count();
+    if n <= 1 {
+        // Consensus is trivial with zero or one node (paper assumes n ≥ 2).
+        return Ok(ConditionReport::Satisfied);
+    }
+    if !options.skip_fast_paths {
+        if let Some(w) = corollaries::quick_violation(g, f, threshold) {
+            debug_assert!(w.verify(g, f, threshold));
+            return Ok(ConditionReport::Violated(w));
+        }
+        if f == 0 && threshold.get() == 1 {
+            // f = 0 degenerates to the classical condition: a unique source
+            // component in the condensation. Two source components give two
+            // insular sets directly.
+            return Ok(check_f_zero(g));
+        }
+    }
+
+    let k_star = f.min(n - 2);
+    let full = NodeSet::full(n);
+    let mut visited: u64 = 0;
+    let mut result = ConditionReport::Satisfied;
+    let complete = for_each_subset_of_size(&full, k_star, |fault| {
+        match scan_fault_set(g, fault, threshold, options.budget, &mut visited) {
+            Ok(None) => true,
+            Ok(Some(wit)) => {
+                result = ConditionReport::Violated(wit);
+                false
+            }
+            Err(()) => {
+                result = ConditionReport::Satisfied; // placeholder, mapped below
+                visited = u64::MAX; // sentinel: budget blown
+                false
+            }
+        }
+    });
+    if visited == u64::MAX {
+        return Err(CheckerError::BudgetExhausted {
+            budget: options.budget.unwrap_or(0),
+        });
+    }
+    if !complete {
+        if let ConditionReport::Violated(w) = &result {
+            debug_assert!(w.verify(g, f, threshold), "checker produced invalid witness {w}");
+        }
+    }
+    Ok(result)
+}
+
+/// Parallel variant of [`check_with`]: fault sets are distributed over
+/// `threads` worker threads (clamped to at least 1). Returns the same answer
+/// as the sequential checker; when violations exist, which witness is
+/// returned may differ run-to-run.
+pub fn check_parallel(
+    g: &Digraph,
+    f: usize,
+    threshold: Threshold,
+    threads: usize,
+) -> ConditionReport {
+    let n = g.node_count();
+    if n <= 1 {
+        return ConditionReport::Satisfied;
+    }
+    if let Some(w) = corollaries::quick_violation(g, f, threshold) {
+        return ConditionReport::Violated(w);
+    }
+    if f == 0 && threshold.get() == 1 {
+        return check_f_zero(g);
+    }
+
+    let k_star = f.min(n - 2);
+    let full = NodeSet::full(n);
+    let mut fault_sets = Vec::new();
+    for_each_subset_of_size(&full, k_star, |fs| {
+        fault_sets.push(fs.clone());
+        true
+    });
+
+    let threads = threads.max(1).min(fault_sets.len().max(1));
+    let found = AtomicBool::new(false);
+    let witness: Mutex<Option<Witness>> = Mutex::new(None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(fault) = fault_sets.get(idx) else {
+                    return;
+                };
+                let mut visited = 0u64;
+                if let Ok(Some(wit)) = scan_fault_set(g, fault, threshold, None, &mut visited) {
+                    *witness.lock().expect("witness mutex poisoned") = Some(wit);
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            });
+        }
+    })
+    .expect("checker worker panicked");
+
+    match witness.into_inner().expect("witness mutex poisoned") {
+        Some(w) => ConditionReport::Violated(w),
+        None => ConditionReport::Satisfied,
+    }
+}
+
+/// Scans a single fault set `F` for two disjoint insular subsets of
+/// `W = V − F`. Returns `Err(())` if the budget is exhausted.
+fn scan_fault_set(
+    g: &Digraph,
+    fault: &NodeSet,
+    threshold: Threshold,
+    budget: Option<u64>,
+    visited: &mut u64,
+) -> Result<Option<Witness>, ()> {
+    let w = fault.complement();
+    let w_len = w.len();
+    if w_len < 2 {
+        return Ok(None);
+    }
+    let mut insular_sets: Vec<NodeSet> = Vec::new();
+    let mut hit: Option<Witness> = None;
+    // Size at most w_len - 1 (R must be non-empty). Enumerating by
+    // increasing size yields minimal witnesses first.
+    for_each_subset_sized(&w, 1, w_len - 1, |l| {
+        *visited += 1;
+        if let Some(b) = budget {
+            if *visited > b {
+                *visited = u64::MAX;
+                return false;
+            }
+        }
+        if !is_insular(g, &w, l, threshold) {
+            return true;
+        }
+        if let Some(r) = insular_sets.iter().find(|prev| prev.is_disjoint(l)) {
+            let center = w.difference(l).difference(r);
+            hit = Some(Witness {
+                fault_set: fault.clone(),
+                left: r.clone(),
+                center,
+                right: l.clone(),
+            });
+            return false;
+        }
+        insular_sets.push(l.clone());
+        true
+    });
+    if *visited == u64::MAX {
+        return Err(());
+    }
+    Ok(hit)
+}
+
+/// Fast path for `f = 0`: the condition holds iff the condensation of `g`
+/// has exactly one source component.
+fn check_f_zero(g: &Digraph) -> ConditionReport {
+    let sources = iabc_graph::algorithms::source_components(g);
+    if sources.len() <= 1 {
+        ConditionReport::Satisfied
+    } else {
+        let n = g.node_count();
+        let left = sources[0].clone();
+        let right = sources[1].clone();
+        let center = left.union(&right).complement();
+        ConditionReport::Violated(Witness {
+            fault_set: NodeSet::with_universe(n),
+            left,
+            center,
+            right,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::{generators, NodeId};
+
+    /// Unpadded, unpruned reference checker: literally quantify over every
+    /// partition F, L, C, R with |F| ≤ f by 4-colouring the nodes.
+    fn brute_force(g: &Digraph, f: usize, threshold: Threshold) -> bool {
+        let n = g.node_count();
+        let mut color = vec![0usize; n]; // 0=F 1=L 2=C 3=R
+        fn rec(
+            g: &Digraph,
+            f: usize,
+            threshold: Threshold,
+            color: &mut Vec<usize>,
+            i: usize,
+        ) -> bool {
+            let n = g.node_count();
+            if i == n {
+                let mut sets = [
+                    NodeSet::with_universe(n),
+                    NodeSet::with_universe(n),
+                    NodeSet::with_universe(n),
+                    NodeSet::with_universe(n),
+                ];
+                for (v, &c) in color.iter().enumerate() {
+                    sets[c].insert(NodeId::new(v));
+                }
+                let [fa, l, c, r] = sets;
+                if fa.len() > f || l.is_empty() || r.is_empty() {
+                    return true; // partition out of scope; fine
+                }
+                let cr = c.union(&r);
+                let lc = l.union(&c);
+                return crate::relation::dominates(g, &cr, &l, threshold)
+                    || crate::relation::dominates(g, &lc, &r, threshold);
+            }
+            for c in 0..4 {
+                color[i] = c;
+                if !rec(g, f, threshold, color, i + 1) {
+                    return false;
+                }
+            }
+            true
+        }
+        rec(g, f, threshold, &mut color, 0)
+    }
+
+    #[test]
+    fn complete_graphs_satisfy_iff_n_gt_3f() {
+        for f in 1..=2usize {
+            for n in 2..=(3 * f + 3) {
+                let g = generators::complete(n);
+                let expect = n > 3 * f;
+                assert_eq!(check(&g, f).is_satisfied(), expect, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_section63_chord_results() {
+        // f = 1, n = 4: complete graph, satisfied.
+        assert!(check(&generators::chord(4, 3), 1).is_satisfied());
+        // f = 2, n = 7: violated.
+        let report = check(&generators::chord(7, 5), 2);
+        let w = report.witness().expect("must be violated");
+        assert!(w.verify(&generators::chord(7, 5), 2, Threshold::synchronous(2)));
+        // f = 1, n = 5: satisfied.
+        assert!(check(&generators::chord(5, 3), 1).is_satisfied());
+    }
+
+    #[test]
+    fn paper_section62_hypercube_fails_for_f1() {
+        let g = generators::hypercube(3);
+        let report = check(&g, 1);
+        let w = report.witness().expect("hypercube must fail for f >= 1");
+        assert!(w.verify(&g, 1, Threshold::synchronous(1)));
+    }
+
+    #[test]
+    fn paper_section61_core_networks_satisfy() {
+        for f in 1..=2usize {
+            for n in (3 * f + 1)..=(3 * f + 4) {
+                let g = generators::core_network(n, f);
+                assert!(check(&g, f).is_satisfied(), "core network n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn checker_agrees_with_brute_force_on_small_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2012);
+        for f in 0..=1usize {
+            for n in 2..=6usize {
+                for trial in 0..8 {
+                    let p = 0.2 + 0.1 * (trial % 7) as f64;
+                    let g = generators::erdos_renyi(n, p, &mut rng);
+                    let t = Threshold::synchronous(f);
+                    let fast = check(&g, f).is_satisfied();
+                    let slow = brute_force(&g, f, t);
+                    assert_eq!(fast, slow, "n={n} f={f} trial={trial} g={g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_and_fastpathless_checks_agree() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        let opts = CheckOptions {
+            skip_fast_paths: true,
+            ..CheckOptions::default()
+        };
+        for n in 4..=7usize {
+            for f in 0..=2usize {
+                let g = generators::erdos_renyi(n, 0.5, &mut rng);
+                let t = Threshold::synchronous(f);
+                let with_fast = check(&g, f).is_satisfied();
+                let without_fast = check_with(&g, f, t, &opts).unwrap().is_satisfied();
+                assert_eq!(with_fast, without_fast, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn f_zero_reduces_to_unique_source_component() {
+        // Cycle: one SCC, satisfied.
+        assert!(check(&generators::cycle(5), 0).is_satisfied());
+        // Path: unique source (node 0), satisfied.
+        assert!(check(&generators::path(4), 0).is_satisfied());
+        // Two disjoint cycles: two sources, violated.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let report = check(&g, 0);
+        let w = report.witness().expect("two-source graph fails at f=0");
+        assert!(w.verify(&g, 0, Threshold::synchronous(0)));
+    }
+
+    #[test]
+    fn returned_witnesses_always_verify() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut violated = 0;
+        for _ in 0..30 {
+            let g = generators::erdos_renyi(7, 0.45, &mut rng);
+            for f in 0..=2usize {
+                if let ConditionReport::Violated(w) = check(&g, f) {
+                    violated += 1;
+                    assert!(w.verify(&g, f, Threshold::synchronous(f)), "g={g:?} f={f} w={w}");
+                }
+            }
+        }
+        assert!(violated > 0, "sweep should produce some violations");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // K9 with f = 2 satisfies the condition, so the search must visit
+        // every candidate; a budget of 3 cannot suffice.
+        let g = generators::complete(9);
+        let opts = CheckOptions {
+            budget: Some(3),
+            skip_fast_paths: true,
+        };
+        let err = check_with(&g, 2, Threshold::synchronous(2), &opts).unwrap_err();
+        assert!(matches!(err, CheckerError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn early_witness_beats_budget() {
+        // chord(9, 4) has in-degree 4 ≤ 2f: with fast paths skipped the
+        // enumeration still finds two disjoint insular singletons within a
+        // tiny budget, so the check succeeds rather than exhausting.
+        let g = generators::chord(9, 4);
+        let opts = CheckOptions {
+            budget: Some(10),
+            skip_fast_paths: true,
+        };
+        let report = check_with(&g, 2, Threshold::synchronous(2), &opts).unwrap();
+        assert!(!report.is_satisfied());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for (g, f) in [
+            (generators::chord(7, 5), 2usize),
+            (generators::chord(5, 3), 1),
+            (generators::core_network(7, 2), 2),
+            (generators::hypercube(3), 1),
+        ] {
+            let t = Threshold::synchronous(f);
+            let seq = check(&g, f).is_satisfied();
+            let par = check_parallel(&g, f, t, 4).is_satisfied();
+            assert_eq!(seq, par, "graph {g} f={f}");
+        }
+    }
+
+    #[test]
+    fn trivial_graphs_are_satisfied() {
+        assert!(check(&Digraph::new(0), 3).is_satisfied());
+        assert!(check(&Digraph::new(1), 3).is_satisfied());
+    }
+
+    #[test]
+    fn capacity_matches_known_families() {
+        // Complete graphs: capacity ⌈n/3⌉ - 1 exactly (Corollary 2 tight).
+        for n in 4..=10usize {
+            assert_eq!(
+                max_tolerable_f(&generators::complete(n)),
+                Some(n.div_ceil(3) - 1),
+                "K{n}"
+            );
+        }
+        // Core network is built for its f.
+        assert_eq!(max_tolerable_f(&generators::core_network(7, 2)), Some(2));
+        // chord(5,3) handles f = 1 but not 2 (n <= 3f).
+        assert_eq!(max_tolerable_f(&generators::chord(5, 3)), Some(1));
+        // Two disjoint cycles: not even f = 0.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        assert_eq!(max_tolerable_f(&g), None);
+        // Degenerate sizes.
+        assert_eq!(max_tolerable_f(&Digraph::new(0)), Some(0));
+        assert_eq!(max_tolerable_f(&Digraph::new(1)), Some(0));
+    }
+
+    #[test]
+    fn capacity_is_downward_closed() {
+        // Every f at or below the capacity is satisfied; capacity + 1 is not.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..15 {
+            let g = generators::erdos_renyi(7, 0.75, &mut rng);
+            if let Some(cap) = max_tolerable_f(&g) {
+                for f in 0..=cap {
+                    assert!(check(&g, f).is_satisfied(), "f={f} below capacity {cap}");
+                }
+                assert!(!check(&g, cap + 1).is_satisfied(), "capacity {cap} not maximal");
+            } else {
+                assert!(!check(&g, 0).is_satisfied());
+            }
+        }
+    }
+
+    #[test]
+    fn insularity_definition() {
+        let g = generators::chord(7, 5);
+        let w = NodeSet::from_indices(7, [0, 1, 2, 3, 4]); // V - {5, 6}
+        let t = Threshold::synchronous(2);
+        // The paper's witness sets are insular w.r.t. W.
+        assert!(is_insular(&g, &w, &NodeSet::from_indices(7, [0, 2]), t));
+        assert!(is_insular(&g, &w, &NodeSet::from_indices(7, [1, 3, 4]), t));
+        // The whole pool is trivially insular; a dominated set is not.
+        assert!(is_insular(&g, &w, &w, t));
+        assert!(!is_insular(&g, &w, &NodeSet::from_indices(7, [0]), t));
+    }
+
+    #[test]
+    fn async_threshold_checks_are_stricter() {
+        // Complete graph n = 7 tolerates f = 2 synchronously but not
+        // asynchronously (needs n > 5f = 10).
+        let g = generators::complete(7);
+        assert!(check(&g, 2).is_satisfied());
+        let report = check_with(
+            &g,
+            2,
+            Threshold::asynchronous(2),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(!report.is_satisfied());
+        // n = 11 > 5f works asynchronously.
+        let big = generators::complete(11);
+        let report = check_with(
+            &big,
+            2,
+            Threshold::asynchronous(2),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(report.is_satisfied());
+    }
+}

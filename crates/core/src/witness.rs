@@ -1,0 +1,263 @@
+//! Witness partitions and condition-check reports.
+//!
+//! When the Theorem 1 checker finds the condition violated it returns the
+//! concrete partition `F, L, C, R` that violates it — the same object the
+//! paper exhibits in its §6.3 chord counterexample (`F = {5,6}, L = {0,2},
+//! R = {1,3,4}`). Witnesses are self-validating: [`Witness::verify`]
+//! re-checks the definition against the graph, so a reported violation can
+//! always be independently confirmed.
+
+use std::fmt;
+
+use iabc_graph::{Digraph, NodeSet};
+use serde::{Deserialize, Serialize};
+
+use crate::relation::{dominates, Threshold};
+
+/// A partition `F, L, C, R` of `V` demonstrating that a graph violates the
+/// Theorem 1 condition for a given `f` (and `⇒` threshold).
+///
+/// Invariants (checked by [`Witness::verify`]):
+/// * `F, L, C, R` partition `V`;
+/// * `|F| ≤ f`, `L ≠ ∅`, `R ≠ ∅`;
+/// * `C ∪ R 6⇒ L` and `L ∪ C 6⇒ R`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Witness {
+    /// The (potentially) faulty set `F`, `|F| ≤ f`.
+    pub fault_set: NodeSet,
+    /// The "low" fault-free set `L` that would be stuck at the minimum input.
+    pub left: NodeSet,
+    /// The centre set `C` (may be empty).
+    pub center: NodeSet,
+    /// The "high" fault-free set `R` that would be stuck at the maximum input.
+    pub right: NodeSet,
+}
+
+impl Witness {
+    /// Checks this witness against `g` with fault bound `f` and the given
+    /// `⇒` threshold. Returns `true` iff it genuinely violates Theorem 1.
+    pub fn verify(&self, g: &Digraph, f: usize, threshold: Threshold) -> bool {
+        let n = g.node_count();
+        let parts = [&self.fault_set, &self.left, &self.center, &self.right];
+        // Universe agreement.
+        if parts.iter().any(|p| p.universe() != n) {
+            return false;
+        }
+        // Pairwise disjoint and jointly exhaustive.
+        let mut union = NodeSet::with_universe(n);
+        let mut total = 0usize;
+        for p in parts {
+            total += p.len();
+            union.union_with(p);
+        }
+        if union.len() != n || total != n {
+            return false;
+        }
+        // Size constraints.
+        if self.fault_set.len() > f || self.left.is_empty() || self.right.is_empty() {
+            return false;
+        }
+        // Neither side dominated: C ∪ R 6⇒ L and L ∪ C 6⇒ R.
+        let c_union_r = self.center.union(&self.right);
+        let l_union_c = self.left.union(&self.center);
+        !dominates(g, &c_union_r, &self.left, threshold)
+            && !dominates(g, &l_union_c, &self.right, threshold)
+    }
+}
+
+impl Witness {
+    /// Renders a multi-line, human-readable account of *why* this partition
+    /// violates the condition on `g`: per node of `L` (resp. `R`), how many
+    /// in-neighbours it has in `C ∪ R` (resp. `L ∪ C`), all of which must
+    /// fall below the threshold, plus the adversary this implies (the
+    /// Theorem 1 proof's split-brain strategy).
+    ///
+    /// The output is purely explanatory; use [`Witness::verify`] for the
+    /// boolean fact.
+    pub fn explain(&self, g: &Digraph, threshold: Threshold) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Violating partition (|F| = {}): F={}, L={}, C={}, R={}\n",
+            self.fault_set.len(),
+            self.fault_set,
+            self.left,
+            self.center,
+            self.right
+        ));
+        out.push_str(&format!(
+            "Threshold: a set dominates when some target node has >= {} in-neighbours in it.\n",
+            threshold.get()
+        ));
+        let c_union_r = self.center.union(&self.right);
+        out.push_str("C ∪ R 6⇒ L — every node of L hears too few outsiders:\n");
+        for v in self.left.iter() {
+            let cnt = g.in_neighbors(v).intersection_len(&c_union_r);
+            out.push_str(&format!(
+                "  node {v}: {cnt} in-neighbour(s) in C ∪ R (< {})\n",
+                threshold.get()
+            ));
+        }
+        let l_union_c = self.left.union(&self.center);
+        out.push_str("L ∪ C 6⇒ R — every node of R hears too few outsiders:\n");
+        for v in self.right.iter() {
+            let cnt = g.in_neighbors(v).intersection_len(&l_union_c);
+            out.push_str(&format!(
+                "  node {v}: {cnt} in-neighbour(s) in L ∪ C (< {})\n",
+                threshold.get()
+            ));
+        }
+        out.push_str(
+            "Consequence (Theorem 1 proof): with L holding input m, R holding M > m, and F \
+             sending m- to L / M+ to R, validity forces L to stay at m and R at M forever — \
+             convergence is impossible.\n",
+        );
+        out
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "F={}, L={}, C={}, R={}",
+            self.fault_set, self.left, self.center, self.right
+        )
+    }
+}
+
+/// Result of checking the Theorem 1 condition on a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConditionReport {
+    /// The graph satisfies the condition: iterative approximate Byzantine
+    /// consensus is possible (and Algorithm 1 achieves it — Theorems 2, 3).
+    Satisfied,
+    /// The graph violates the condition; no correct iterative algorithm
+    /// exists (Theorem 1). The witness partition realizes the impossibility.
+    Violated(Witness),
+}
+
+impl ConditionReport {
+    /// `true` iff the condition holds.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, ConditionReport::Satisfied)
+    }
+
+    /// The violating witness, if any.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            ConditionReport::Satisfied => None,
+            ConditionReport::Violated(w) => Some(w),
+        }
+    }
+}
+
+impl fmt::Display for ConditionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConditionReport::Satisfied => write!(f, "satisfied"),
+            ConditionReport::Violated(w) => write!(f, "violated by {w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::generators;
+
+    fn sets(n: usize, f: &[usize], l: &[usize], c: &[usize], r: &[usize]) -> Witness {
+        Witness {
+            fault_set: NodeSet::from_indices(n, f.iter().copied()),
+            left: NodeSet::from_indices(n, l.iter().copied()),
+            center: NodeSet::from_indices(n, c.iter().copied()),
+            right: NodeSet::from_indices(n, r.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn paper_chord_counterexample_verifies() {
+        // §6.3: chord with f = 2, n = 7; F = {5,6}, L = {0,2}, R = {1,3,4}.
+        let g = generators::chord(7, 5);
+        let w = sets(7, &[5, 6], &[0, 2], &[], &[1, 3, 4]);
+        assert!(w.verify(&g, 2, Threshold::synchronous(2)));
+    }
+
+    #[test]
+    fn chord_counterexample_fails_for_smaller_f() {
+        // The same partition is NOT a witness for f = 1: |F| = 2 > 1.
+        let g = generators::chord(7, 5);
+        let w = sets(7, &[5, 6], &[0, 2], &[], &[1, 3, 4]);
+        assert!(!w.verify(&g, 1, Threshold::synchronous(1)));
+    }
+
+    #[test]
+    fn overlap_or_gap_rejected() {
+        let g = generators::complete(4);
+        let t = Threshold::synchronous(1);
+        // Overlapping L and R.
+        let overlapping = sets(4, &[], &[0, 1], &[], &[1, 2, 3]);
+        assert!(!overlapping.verify(&g, 1, t));
+        // Not exhaustive (node 3 missing).
+        let gap = sets(4, &[], &[0], &[1], &[2]);
+        assert!(!gap.verify(&g, 1, t));
+    }
+
+    #[test]
+    fn empty_l_or_r_rejected() {
+        let g = generators::complete(4);
+        let t = Threshold::synchronous(1);
+        assert!(!sets(4, &[0], &[], &[1], &[2, 3]).verify(&g, 1, t));
+        assert!(!sets(4, &[0], &[1, 2, 3], &[], &[]).verify(&g, 1, t));
+    }
+
+    #[test]
+    fn dominated_partition_is_not_a_witness() {
+        // In the complete graph K4 with f = 1, every split is dominated.
+        let g = generators::complete(4);
+        let w = sets(4, &[0], &[1], &[], &[2, 3]);
+        assert!(!w.verify(&g, 1, Threshold::synchronous(1)));
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let g = generators::complete(4);
+        let w = sets(5, &[], &[0], &[1], &[2, 3, 4]);
+        assert!(!w.verify(&g, 1, Threshold::synchronous(1)));
+    }
+
+    #[test]
+    fn explain_names_every_boundary_node() {
+        let g = generators::chord(7, 5);
+        let w = sets(7, &[5, 6], &[0, 2], &[], &[1, 3, 4]);
+        let text = w.explain(&g, Threshold::synchronous(2));
+        // Every L and R node appears with its deficient count.
+        for v in [0usize, 2, 1, 3, 4] {
+            assert!(text.contains(&format!("node {v}:")), "missing node {v} in:\n{text}");
+        }
+        assert!(text.contains(">= 3"), "threshold f+1 = 3 shown:\n{text}");
+        assert!(text.contains("Theorem 1 proof"));
+        // The counts it reports must all be below the threshold.
+        for line in text.lines().filter(|l| l.trim_start().starts_with("node")) {
+            let cnt: usize = line
+                .split_whitespace()
+                .nth(2)
+                .and_then(|s| s.parse().ok())
+                .expect("count parses");
+            assert!(cnt < 3, "explained count must be < threshold: {line}");
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let sat = ConditionReport::Satisfied;
+        assert!(sat.is_satisfied());
+        assert!(sat.witness().is_none());
+        assert_eq!(sat.to_string(), "satisfied");
+
+        let w = sets(4, &[], &[0], &[1], &[2, 3]);
+        let vio = ConditionReport::Violated(w.clone());
+        assert!(!vio.is_satisfied());
+        assert_eq!(vio.witness(), Some(&w));
+        assert!(vio.to_string().contains("L={0}"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Classic digraph algorithms used by the condition checkers and the
+//! experiment harness: reachability, strongly connected components,
+//! condensation, and vertex connectivity (Menger via unit-capacity max-flow).
+
+use std::collections::VecDeque;
+
+use crate::{Digraph, NodeId, NodeSet};
+
+/// Nodes reachable from `start` (including `start`) following edge direction.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn reachable_from(g: &Digraph, start: NodeId) -> NodeSet {
+    assert!(start.index() < g.node_count(), "start node out of range");
+    let mut seen = NodeSet::with_universe(g.node_count());
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for v in g.out_neighbors(u).iter() {
+            if seen.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if every node can reach every other node.
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let root = NodeId::new(0);
+    reachable_from(g, root).len() == n && reachable_from(&g.reversed(), root).len() == n
+}
+
+/// Returns `true` if the underlying undirected graph is connected.
+pub fn is_weakly_connected(g: &Digraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let mut sym = g.clone();
+    sym.symmetrize();
+    reachable_from(&sym, NodeId::new(0)).len() == n
+}
+
+/// Strongly connected components in **reverse topological order** of the
+/// condensation (Tarjan). Each component is a [`NodeSet`] over the graph's
+/// node universe.
+pub fn strongly_connected_components(g: &Digraph) -> Vec<NodeSet> {
+    // Iterative Tarjan to avoid recursion-depth limits on long paths.
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS state: (node, iterator position over out-neighbours).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, Vec<usize>, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    let nbrs: Vec<usize> =
+                        g.out_neighbors(NodeId::new(v)).iter().map(|x| x.index()).collect();
+                    call.push(Frame::Resume(v, nbrs, 0));
+                }
+                Frame::Resume(v, nbrs, mut i) => {
+                    let mut descended = false;
+                    while i < nbrs.len() {
+                        let w = nbrs[i];
+                        i += 1;
+                        if index[w] == usize::MAX {
+                            call.push(Frame::Resume(v, nbrs, i));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = NodeSet::with_universe(n);
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.insert(NodeId::new(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(p, _, _)) = call.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The condensation of `g`: one node per SCC, with an edge between distinct
+/// components when any original edge crosses them. Returns the condensation
+/// and the component list (indexed by condensation node id, in the same
+/// reverse-topological order as [`strongly_connected_components`]).
+pub fn condensation(g: &Digraph) -> (Digraph, Vec<NodeSet>) {
+    let comps = strongly_connected_components(g);
+    let n = g.node_count();
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in comps.iter().enumerate() {
+        for v in comp.iter() {
+            comp_of[v.index()] = ci;
+        }
+    }
+    let mut cg = Digraph::new(comps.len());
+    for (u, v) in g.edges() {
+        let (cu, cv) = (comp_of[u.index()], comp_of[v.index()]);
+        if cu != cv {
+            cg.add_edge(NodeId::new(cu), NodeId::new(cv));
+        }
+    }
+    (cg, comps)
+}
+
+/// Components of the condensation with no incoming edges ("source SCCs").
+///
+/// A digraph admits non-fault-tolerant iterative consensus (`f = 0`) iff its
+/// condensation has exactly one source component — this is the classical
+/// baseline the paper's `f = 0` case degenerates to.
+pub fn source_components(g: &Digraph) -> Vec<NodeSet> {
+    let (cg, comps) = condensation(g);
+    comps
+        .iter()
+        .enumerate()
+        .filter(|(ci, _)| cg.in_degree(NodeId::new(*ci)) == 0)
+        .map(|(_, c)| c.clone())
+        .collect()
+}
+
+/// Maximum number of internally vertex-disjoint directed paths from `s` to
+/// `t` (`s ≠ t`), i.e. the `s`–`t` vertex connectivity when `(s, t) ∉ E`
+/// (Menger). Computed with unit-capacity max-flow on the split-node graph.
+///
+/// If the edge `(s, t)` exists the function counts it as one path plus the
+/// disjoint paths through the remaining graph, matching the usual convention.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either node is out of range.
+pub fn vertex_disjoint_paths(g: &Digraph, s: NodeId, t: NodeId) -> usize {
+    assert!(s != t, "s and t must differ");
+    let n = g.node_count();
+    assert!(s.index() < n && t.index() < n, "node out of range");
+
+    // Split each node v into v_in (2v) and v_out (2v+1) with capacity-1 arc
+    // v_in → v_out, except s and t which are not split (infinite capacity).
+    // Edge (u, v) becomes u_out → v_in with capacity 1.
+    // Max-flow from s_out to t_in via BFS augmentation (Edmonds–Karp); all
+    // capacities are 0/1 so adjacency-matrix residuals are fine for the
+    // n ≤ a-few-hundred graphs we analyse.
+    let nn = 2 * n;
+    let mut cap = vec![vec![0u8; nn]; nn];
+    let v_in = |v: usize| 2 * v;
+    let v_out = |v: usize| 2 * v + 1;
+    for v in 0..n {
+        if v != s.index() && v != t.index() {
+            cap[v_in(v)][v_out(v)] = 1;
+        } else {
+            // "Unsplit" terminals: generous internal capacity.
+            cap[v_in(v)][v_out(v)] = u8::MAX;
+        }
+    }
+    for (u, v) in g.edges() {
+        cap[v_out(u.index())][v_in(v.index())] = cap[v_out(u.index())][v_in(v.index())].max(1);
+    }
+    let source = v_out(s.index());
+    let sink = v_in(t.index());
+
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut parent = vec![usize::MAX; nn];
+        parent[source] = source;
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            if u == sink {
+                break;
+            }
+            for v in 0..nn {
+                if parent[v] == usize::MAX && cap[u][v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[sink] == usize::MAX {
+            return flow;
+        }
+        // All augmenting paths here carry exactly 1 unit.
+        let mut v = sink;
+        while v != source {
+            let u = parent[v];
+            cap[u][v] -= 1;
+            cap[v][u] = cap[v][u].saturating_add(1);
+            v = u;
+        }
+        flow += 1;
+    }
+}
+
+/// Global vertex connectivity of a digraph: the minimum over ordered pairs
+/// `(s, t)`, `s ≠ t`, of [`vertex_disjoint_paths`]. For the complete digraph
+/// (where no pair is non-adjacent) this returns `n - 1` by convention.
+///
+/// This is `O(n²)` max-flow runs — fine for the `n ≤ 64` graphs in the
+/// experiments (e.g. verifying hypercube connectivity `= d`, §6.2).
+pub fn vertex_connectivity(g: &Digraph) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    let mut best = n - 1;
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                let k = vertex_disjoint_paths(g, NodeId::new(s), NodeId::new(t));
+                best = best.min(k);
+            }
+        }
+    }
+    best
+}
+
+/// Length (in edges) of the shortest directed path from `s` to `t`, or `None`
+/// if unreachable.
+pub fn shortest_path_len(g: &Digraph, s: NodeId, t: NodeId) -> Option<usize> {
+    let n = g.node_count();
+    assert!(s.index() < n && t.index() < n, "node out of range");
+    let mut dist = vec![usize::MAX; n];
+    dist[s.index()] = 0;
+    let mut queue = VecDeque::from([s]);
+    while let Some(u) = queue.pop_front() {
+        if u == t {
+            return Some(dist[t.index()]);
+        }
+        for v in g.out_neighbors(u).iter() {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Directed diameter: the maximum over reachable ordered pairs of the
+/// shortest-path length. Returns `None` if some pair is unreachable.
+pub fn diameter(g: &Digraph) -> Option<usize> {
+    let n = g.node_count();
+    let mut best = 0usize;
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                match shortest_path_len(g, NodeId::new(s), NodeId::new(t)) {
+                    Some(d) => best = best.max(d),
+                    None => return None,
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn reachability_follows_direction() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(reachable_from(&g, nid(0)).to_indices(), vec![0, 1, 2]);
+        assert_eq!(reachable_from(&g, nid(2)).to_indices(), vec![2]);
+        assert_eq!(reachable_from(&g, nid(3)).to_indices(), vec![3]);
+    }
+
+    #[test]
+    fn strong_connectivity_cases() {
+        assert!(is_strongly_connected(&generators::cycle(5)));
+        assert!(!is_strongly_connected(&generators::path(5)));
+        assert!(is_strongly_connected(&generators::complete(1)));
+        assert!(is_strongly_connected(&Digraph::new(0)));
+        assert!(!is_strongly_connected(&Digraph::new(2)));
+    }
+
+    #[test]
+    fn weak_connectivity_cases() {
+        assert!(is_weakly_connected(&generators::path(5)));
+        let mut g = Digraph::new(4);
+        g.add_edge(nid(0), nid(1));
+        g.add_edge(nid(2), nid(3));
+        assert!(!is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn tarjan_finds_components() {
+        // Two 2-cycles joined by a one-way edge, plus an isolated node.
+        let g = Digraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let mut sizes: Vec<usize> = comps.iter().map(NodeSet::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+        // Reverse topological order: {2,3} (sink side) must precede {0,1}.
+        let pos_of = |target: &[usize]| {
+            comps
+                .iter()
+                .position(|c| c.to_indices() == target)
+                .expect("component present")
+        };
+        assert!(pos_of(&[2, 3]) < pos_of(&[0, 1]));
+    }
+
+    #[test]
+    fn tarjan_on_complete_graph_is_single_component() {
+        let comps = strongly_connected_components(&generators::complete(6));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 6);
+    }
+
+    #[test]
+    fn tarjan_handles_long_path_iteratively() {
+        // A 10_000-node path would overflow a recursive implementation.
+        let comps = strongly_connected_components(&generators::path(10_000));
+        assert_eq!(comps.len(), 10_000);
+    }
+
+    #[test]
+    fn condensation_structure() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
+        let (cg, comps) = condensation(&g);
+        assert_eq!(cg.node_count(), 2);
+        assert_eq!(cg.edge_count(), 1);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn source_components_identify_roots() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
+        let sources = source_components(&g);
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].to_indices(), vec![0, 1]);
+
+        // Two disjoint cycles: two sources.
+        let g2 = Digraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        assert_eq!(source_components(&g2).len(), 2);
+    }
+
+    #[test]
+    fn menger_on_hypercube_equals_dimension() {
+        // §6.2: the d-dimensional hypercube has connectivity d.
+        for d in 1..=4u32 {
+            let g = generators::hypercube(d);
+            assert_eq!(vertex_connectivity(&g), d as usize, "dimension {d}");
+        }
+    }
+
+    #[test]
+    fn menger_counts_disjoint_paths() {
+        // Diamond: 0 → {1, 2} → 3 gives two disjoint paths.
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(vertex_disjoint_paths(&g, nid(0), nid(3)), 2);
+        // Remove one middle node's edge: only one path remains.
+        let g2 = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3)]).unwrap();
+        assert_eq!(vertex_disjoint_paths(&g2, nid(0), nid(3)), 1);
+    }
+
+    #[test]
+    fn menger_with_direct_edge() {
+        // Direct edge s→t plus one indirect path.
+        let g = Digraph::from_edges(3, [(0, 2), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(vertex_disjoint_paths(&g, nid(0), nid(2)), 2);
+    }
+
+    #[test]
+    fn connectivity_of_complete_graph() {
+        assert_eq!(vertex_connectivity(&generators::complete(5)), 4);
+    }
+
+    #[test]
+    fn connectivity_of_disconnected_graph_is_zero() {
+        let mut g = Digraph::new(4);
+        g.add_undirected_edge(nid(0), nid(1));
+        g.add_undirected_edge(nid(2), nid(3));
+        assert_eq!(vertex_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn shortest_paths_and_diameter() {
+        let g = generators::cycle(5);
+        assert_eq!(shortest_path_len(&g, nid(0), nid(3)), Some(3));
+        assert_eq!(shortest_path_len(&g, nid(3), nid(0)), Some(2));
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(diameter(&generators::path(3)), None, "path is not strongly connected");
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+    }
+}

@@ -1,0 +1,378 @@
+//! Simple directed graphs over a fixed node set `{0, .., n-1}`.
+//!
+//! This mirrors the paper's network model (Section 2.1): a simple digraph
+//! `G(V, E)` with `V = {1, .., n}` (we 0-index), no self-loops, and
+//! authenticated reliable point-to-point links. Both in- and out-adjacency
+//! are stored as [`NodeSet`] bitsets so that the condition checker can
+//! evaluate `|N⁻(v) ∩ A|` in a few word operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId, NodeSet};
+
+/// A simple directed graph on nodes `{0, .., n-1}` with no self-loops.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{Digraph, NodeId};
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(g.in_degree(NodeId::new(2)), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    n: usize,
+    in_nbrs: Vec<NodeSet>,
+    out_nbrs: Vec<NodeSet>,
+    edge_count: usize,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            n,
+            in_nbrs: (0..n).map(|_| NodeSet::with_universe(n)).collect(),
+            out_nbrs: (0..n).map(|_| NodeSet::with_universe(n)).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] on
+    /// invalid edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            g.try_add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates over all node identifiers `0, .., n-1`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// The full node set `V` as a [`NodeSet`].
+    pub fn node_set(&self) -> NodeSet {
+        NodeSet::full(self.n)
+    }
+
+    #[inline]
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.n {
+            Err(GraphError::NodeOutOfRange {
+                node: node.index(),
+                n: self.n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the directed edge `(u, v)`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range or `u == v` (the model excludes
+    /// self-loops). Use [`Digraph::try_add_edge`] for a fallible variant.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.try_add_edge(u, v)
+            .unwrap_or_else(|e| panic!("add_edge({u}, {v}): {e}"))
+    }
+
+    /// Adds the directed edge `(u, v)`; returns `true` if it was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.index() });
+        }
+        let new = self.out_nbrs[u.index()].insert(v);
+        self.in_nbrs[v.index()].insert(u);
+        if new {
+            self.edge_count += 1;
+        }
+        Ok(new)
+    }
+
+    /// Adds both `(u, v)` and `(v, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Digraph::add_edge`].
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Removes the directed edge `(u, v)`; returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.n || v.index() >= self.n {
+            return false;
+        }
+        let had = self.out_nbrs[u.index()].remove(v);
+        self.in_nbrs[v.index()].remove(u);
+        if had {
+            self.edge_count -= 1;
+        }
+        had
+    }
+
+    /// Returns `true` if the directed edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.n && self.out_nbrs[u.index()].contains(v)
+    }
+
+    /// In-neighbour set `N⁻(v) = { u | (u, v) ∈ E }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_neighbors(&self, v: NodeId) -> &NodeSet {
+        &self.in_nbrs[v.index()]
+    }
+
+    /// Out-neighbour set `N⁺(v) = { u | (v, u) ∈ E }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_neighbors(&self, v: NodeId) -> &NodeSet {
+        &self.out_nbrs[v.index()]
+    }
+
+    /// `|N⁻(v)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_nbrs[v.index()].len()
+    }
+
+    /// `|N⁺(v)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_nbrs[v.index()].len()
+    }
+
+    /// Minimum in-degree over all nodes (`0` for the empty graph).
+    pub fn min_in_degree(&self) -> usize {
+        self.in_nbrs.iter().map(NodeSet::len).min().unwrap_or(0)
+    }
+
+    /// Iterates over all directed edges `(u, v)` in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.out_nbrs[u.index()].iter().map(move |v| (u, v)))
+    }
+
+    /// Returns the graph with every edge reversed.
+    pub fn reversed(&self) -> Digraph {
+        Digraph {
+            n: self.n,
+            in_nbrs: self.out_nbrs.clone(),
+            out_nbrs: self.in_nbrs.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Returns `true` if for every edge `(u, v)` the reverse `(v, u)` is also
+    /// present — the paper's notion of an *undirected* graph (Section 6.1).
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+
+    /// Adds the reverse of every edge, making the graph symmetric.
+    pub fn symmetrize(&mut self) {
+        let edges: Vec<_> = self.edges().collect();
+        for (u, v) in edges {
+            self.try_add_edge(v, u).expect("reverse of a valid edge is valid");
+        }
+    }
+
+    /// Induced subgraph on `keep`. Returns the subgraph and the mapping from
+    /// new (dense) node ids to the original ids, in ascending original order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.universe() != n`.
+    pub fn induced_subgraph(&self, keep: &NodeSet) -> (Digraph, Vec<NodeId>) {
+        assert_eq!(keep.universe(), self.n, "keep set universe must match graph");
+        let old_ids: Vec<NodeId> = keep.iter().collect();
+        let mut new_of_old = vec![usize::MAX; self.n];
+        for (new, old) in old_ids.iter().enumerate() {
+            new_of_old[old.index()] = new;
+        }
+        let mut sub = Digraph::new(old_ids.len());
+        for (new_u, old_u) in old_ids.iter().enumerate() {
+            for old_v in self.out_nbrs[old_u.index()].intersection(keep).iter() {
+                sub.add_edge(NodeId::new(new_u), NodeId::new(new_of_old[old_v.index()]));
+            }
+        }
+        (sub, old_ids)
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Digraph")
+            .field("n", &self.n)
+            .field("edges", &self.edges().map(|(u, v)| (u.index(), v.index())).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl fmt::Display for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digraph(n={}, m={})", self.n, self.edge_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = Digraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.min_in_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_updates_both_adjacencies() {
+        let mut g = Digraph::new(4);
+        assert!(g.add_edge(nid(0), nid(2)));
+        assert!(!g.add_edge(nid(0), nid(2)), "duplicate edge not re-added");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(nid(0), nid(2)));
+        assert!(!g.has_edge(nid(2), nid(0)));
+        assert_eq!(g.out_neighbors(nid(0)).to_indices(), vec![2]);
+        assert_eq!(g.in_neighbors(nid(2)).to_indices(), vec![0]);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Digraph::new(3);
+        assert!(matches!(
+            g.try_add_edge(nid(1), nid(1)),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Digraph::new(3);
+        assert!(matches!(
+            g.try_add_edge(nid(0), nid(3)),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = Digraph::new(3);
+        g.add_edge(nid(0), nid(1));
+        assert!(g.remove_edge(nid(0), nid(1)));
+        assert!(!g.remove_edge(nid(0), nid(1)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(nid(0), nid(1)));
+        assert!(g.in_neighbors(nid(1)).is_empty());
+    }
+
+    #[test]
+    fn from_edges_builds_graph() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(nid(2), nid(0)));
+        assert!(Digraph::from_edges(2, [(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let r = g.reversed();
+        assert!(r.has_edge(nid(1), nid(0)));
+        assert!(r.has_edge(nid(2), nid(1)));
+        assert_eq!(r.edge_count(), 2);
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn symmetry_detection_and_symmetrize() {
+        let mut g = Digraph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(!g.is_symmetric());
+        g.symmetrize();
+        assert!(g.is_symmetric());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        // 0 -> 1 -> 2 -> 3, plus 0 -> 3. Keep {1, 2, 3}.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let keep = NodeSet::from_indices(4, [1, 2, 3]);
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(map, vec![nid(1), nid(2), nid(3)]);
+        // Edges among kept nodes survive with remapped ids: 1->2 becomes 0->1.
+        assert!(sub.has_edge(nid(0), nid(1)));
+        assert!(sub.has_edge(nid(1), nid(2)));
+        // Edge 0->3 from a dropped node is gone.
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn edges_iterate_lexicographically() {
+        let g = Digraph::from_edges(3, [(2, 0), (0, 2), (0, 1)]).unwrap();
+        let e: Vec<_> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn display_and_debug_are_informative() {
+        let g = Digraph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(g.to_string(), "Digraph(n=2, m=1)");
+        assert!(format!("{g:?}").contains("(0, 1)"));
+    }
+}

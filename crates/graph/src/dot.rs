@@ -1,0 +1,124 @@
+//! Graphviz DOT export, with optional colour-coded node partitions.
+//!
+//! Experiment E11 uses this to regenerate the geometry of the paper's proof
+//! illustrations (Figures 1–3): the witness partition `F, L, C, R` returned
+//! by the Theorem 1 checker is rendered with one colour per part.
+
+use std::fmt::Write as _;
+
+use crate::{Digraph, NodeSet};
+
+/// A named, coloured group of nodes for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotGroup {
+    /// Label rendered into the node tooltip/cluster.
+    pub label: String,
+    /// Graphviz fill colour (e.g. `"lightblue"`, `"#ffcc00"`).
+    pub color: String,
+    /// Members of the group.
+    pub members: NodeSet,
+}
+
+impl DotGroup {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, color: impl Into<String>, members: NodeSet) -> Self {
+        DotGroup {
+            label: label.into(),
+            color: color.into(),
+            members,
+        }
+    }
+}
+
+/// Renders `g` as a Graphviz `digraph`.
+///
+/// Symmetric edge pairs are collapsed to a single `dir=both` edge to keep
+/// undirected-style graphs readable. Nodes covered by a [`DotGroup`] are
+/// filled with the group colour and labelled `"<id> (<group>)"`; groups are
+/// applied in order, first match wins.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, dot};
+/// let g = generators::cycle(3);
+/// let rendered = dot::to_dot(&g, "cycle3", &[]);
+/// assert!(rendered.contains("digraph cycle3"));
+/// assert!(rendered.contains("0 -> 1"));
+/// ```
+pub fn to_dot(g: &Digraph, name: &str, groups: &[DotGroup]) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle, style=filled, fillcolor=white];").unwrap();
+    for v in g.nodes() {
+        let group = groups.iter().find(|grp| grp.members.contains(v));
+        match group {
+            Some(grp) => writeln!(
+                out,
+                "  {} [fillcolor=\"{}\", label=\"{} ({})\"];",
+                v.index(),
+                grp.color,
+                v.index(),
+                grp.label
+            )
+            .unwrap(),
+            None => writeln!(out, "  {};", v.index()).unwrap(),
+        }
+    }
+    for (u, v) in g.edges() {
+        if g.has_edge(v, u) {
+            // Emit each symmetric pair once.
+            if u.index() < v.index() {
+                writeln!(out, "  {} -> {} [dir=both];", u.index(), v.index()).unwrap();
+            }
+        } else {
+            writeln!(out, "  {} -> {};", u.index(), v.index()).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, NodeSet};
+
+    #[test]
+    fn directed_edges_rendered_once() {
+        let g = generators::path(3);
+        let d = to_dot(&g, "p", &[]);
+        assert!(d.contains("0 -> 1;"));
+        assert!(d.contains("1 -> 2;"));
+        assert!(!d.contains("dir=both"));
+    }
+
+    #[test]
+    fn symmetric_edges_collapse_to_dir_both() {
+        let g = generators::complete(3);
+        let d = to_dot(&g, "k3", &[]);
+        assert_eq!(d.matches("dir=both").count(), 3);
+        assert!(!d.contains("1 -> 0"));
+    }
+
+    #[test]
+    fn groups_color_members() {
+        let g = generators::cycle(4);
+        let grp = DotGroup::new("L", "lightblue", NodeSet::from_indices(4, [0, 1]));
+        let d = to_dot(&g, "c", &[grp]);
+        assert!(d.contains("0 [fillcolor=\"lightblue\", label=\"0 (L)\"];"));
+        assert!(d.contains("1 [fillcolor=\"lightblue\", label=\"1 (L)\"];"));
+        assert!(d.contains("  2;"));
+    }
+
+    #[test]
+    fn first_matching_group_wins() {
+        let g = generators::cycle(3);
+        let g1 = DotGroup::new("A", "red", NodeSet::from_indices(3, [0]));
+        let g2 = DotGroup::new("B", "blue", NodeSet::from_indices(3, [0, 1]));
+        let d = to_dot(&g, "c", &[g1, g2]);
+        assert!(d.contains("0 (A)"));
+        assert!(d.contains("1 (B)"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a [`crate::Digraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier was `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge `(v, v)` was requested; the model excludes self-loops
+    /// (paper Section 2.1).
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        assert_eq!(
+            GraphError::NodeOutOfRange { node: 7, n: 5 }.to_string(),
+            "node 7 out of range for graph with 5 nodes"
+        );
+        assert_eq!(
+            GraphError::SelfLoop { node: 2 }.to_string(),
+            "self-loop on node 2 is not allowed"
+        );
+        assert_eq!(
+            GraphError::Parse {
+                line: 3,
+                message: "expected two integers".into()
+            }
+            .to_string(),
+            "parse error at line 3: expected two integers"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&GraphError::SelfLoop { node: 0 });
+    }
+}

@@ -1,0 +1,758 @@
+//! Generators for the graph families studied in the paper and common
+//! synthetic workloads.
+//!
+//! The families from Section 6 of the paper are [`core_network`] (§6.1),
+//! [`hypercube`] (§6.2, Figure 3) and [`chord`] (§6.3). The remaining
+//! generators provide workloads for tests, property tests and benchmarks.
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::{Digraph, NodeId};
+
+/// Complete digraph: every ordered pair `(u, v)`, `u ≠ v`, is an edge.
+///
+/// Classic approximate-agreement algorithms (Dolev et al. \[5\]) assume this
+/// topology with `n > 3f`.
+///
+/// # Examples
+///
+/// ```
+/// let g = iabc_graph::generators::complete(4);
+/// assert_eq!(g.edge_count(), 12);
+/// ```
+pub fn complete(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    g
+}
+
+/// Directed cycle `0 → 1 → ... → n-1 → 0`.
+pub fn cycle(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    for u in 0..n {
+        g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n));
+    }
+    g
+}
+
+/// Directed path `0 → 1 → ... → n-1`.
+pub fn path(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for u in 1..n {
+        g.add_edge(NodeId::new(u - 1), NodeId::new(u));
+    }
+    g
+}
+
+/// Undirected star: bidirectional edges between node `0` (the hub) and every
+/// other node.
+pub fn star(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for v in 1..n {
+        g.add_undirected_edge(NodeId::new(0), NodeId::new(v));
+    }
+    g
+}
+
+/// Chord network (paper Definition 5): nodes `0..n`, with an edge
+/// `(i, (i + k) mod n)` for every `1 ≤ k ≤ succ`.
+///
+/// The paper instantiates `succ = 2f + 1` and shows (§6.3):
+/// * `f = 1, n = 4` — the graph is complete, trivially satisfies Theorem 1;
+/// * `f = 2, n = 7` — **fails** Theorem 1 (witness `F={5,6}, L={0,2},
+///   R={1,3,4}`);
+/// * `f = 1, n = 5` — satisfies Theorem 1.
+///
+/// # Panics
+///
+/// Panics if `succ >= n` (every node would need a self-loop or duplicate).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, NodeId};
+/// let g = generators::chord(7, 5); // f = 2: succ = 2f + 1 = 5
+/// assert_eq!(g.in_degree(NodeId::new(0)), 5);
+/// ```
+pub fn chord(n: usize, succ: usize) -> Digraph {
+    assert!(succ < n, "chord requires succ < n (got succ={succ}, n={n})");
+    let mut g = Digraph::new(n);
+    for i in 0..n {
+        for k in 1..=succ {
+            g.add_edge(NodeId::new(i), NodeId::new((i + k) % n));
+        }
+    }
+    g
+}
+
+/// Core network (paper Definition 4): an undirected graph on `n > 3f` nodes
+/// containing a clique `K` of size `2f + 1`, with every node outside `K`
+/// bidirectionally connected to all of `K`.
+///
+/// The paper shows core networks always satisfy Theorem 1, and conjectures
+/// that with `n = 3f + 1` they are edge-minimal among undirected graphs
+/// admitting iterative consensus.
+///
+/// Nodes `0..2f+1` form the clique.
+///
+/// # Panics
+///
+/// Panics if `n <= 3 * f`.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, NodeId};
+/// let g = generators::core_network(4, 1); // K = {0,1,2}
+/// assert!(g.is_symmetric());
+/// assert_eq!(g.in_degree(NodeId::new(3)), 3); // node 3 hears all of K
+/// ```
+pub fn core_network(n: usize, f: usize) -> Digraph {
+    assert!(n > 3 * f, "core network requires n > 3f (got n={n}, f={f})");
+    let k = 2 * f + 1;
+    let mut g = Digraph::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_undirected_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    for v in k..n {
+        for u in 0..k {
+            g.add_undirected_edge(NodeId::new(v), NodeId::new(u));
+        }
+    }
+    g
+}
+
+/// `d`-dimensional binary hypercube on `2^d` nodes (undirected, i.e. each
+/// undirected link is a pair of directed edges).
+///
+/// Nodes `x` and `y` are adjacent iff they differ in exactly one bit. The
+/// paper (§6.2, Figure 3) shows the hypercube has connectivity `d` yet fails
+/// Theorem 1 for every `f ≥ 1`: cutting along any one dimension leaves each
+/// node with a single cross edge, so neither side can `⇒` the other.
+///
+/// # Panics
+///
+/// Panics if `d >= 32` (node count would overflow practical sizes).
+pub fn hypercube(d: u32) -> Digraph {
+    assert!(d < 32, "hypercube dimension too large: {d}");
+    let n = 1usize << d;
+    let mut g = Digraph::new(n);
+    for x in 0..n {
+        for bit in 0..d {
+            let y = x ^ (1usize << bit);
+            if x < y {
+                g.add_undirected_edge(NodeId::new(x), NodeId::new(y));
+            }
+        }
+    }
+    g
+}
+
+/// Undirected wheel: a cycle on nodes `1..n` plus a hub `0` connected to all.
+pub fn wheel(n: usize) -> Digraph {
+    assert!(n >= 4, "wheel requires n >= 4 (got {n})");
+    let mut g = star(n);
+    for i in 1..n {
+        let j = if i == n - 1 { 1 } else { i + 1 };
+        g.add_undirected_edge(NodeId::new(i), NodeId::new(j));
+    }
+    g
+}
+
+/// Undirected 2-D grid of `rows × cols` nodes; if `wrap` is true the grid is
+/// a torus. Node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize, wrap: bool) -> Digraph {
+    let n = rows * cols;
+    let mut g = Digraph::new(n);
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_undirected_edge(id(r, c), id(r, c + 1));
+            } else if wrap && cols > 2 {
+                g.add_undirected_edge(id(r, c), id(r, 0));
+            }
+            if r + 1 < rows {
+                g.add_undirected_edge(id(r, c), id(r + 1, c));
+            } else if wrap && rows > 2 {
+                g.add_undirected_edge(id(r, c), id(0, c));
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi random digraph `G(n, p)`: each ordered pair `(u, v)`, `u ≠ v`,
+/// is an edge independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Digraph {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} outside [0, 1]");
+    let mut g = Digraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random_bool(p) {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    g
+}
+
+/// Random digraph in which every node has **exactly** `k` in-neighbours,
+/// chosen uniformly without replacement.
+///
+/// Useful for probing Corollary 3 (`k = 2f` should always fail, `k ≥ 2f + 1`
+/// may succeed).
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+pub fn random_k_in_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Digraph {
+    assert!(k < n, "in-degree k={k} must be < n={n}");
+    let mut g = Digraph::new(n);
+    for v in 0..n {
+        let sources = (0..n).filter(|&u| u != v).choose_multiple(rng, k);
+        for u in sources {
+            g.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    g
+}
+
+/// Two complete digraphs of `k` nodes each (`{0..k}` and `{k..2k}`) joined
+/// by `bridges` bidirectional links (`i ↔ k + i` for `i < bridges`).
+///
+/// With few bridges the two cliques are mutually insular: for `f ≥ 1` and
+/// `bridges ≤ f` the graph violates Theorem 1 **with `F = ∅`** — a useful
+/// violating workload on which Algorithm 1 is still well-defined
+/// (min in-degree `k − 1`).
+///
+/// # Panics
+///
+/// Panics if `bridges > k` or `k == 0`.
+pub fn bridged_cliques(k: usize, bridges: usize) -> Digraph {
+    assert!(k > 0, "cliques must be non-empty");
+    assert!(bridges <= k, "cannot have more bridges than clique nodes");
+    let mut g = Digraph::new(2 * k);
+    for base in [0, k] {
+        for u in 0..k {
+            for v in 0..k {
+                if u != v {
+                    g.add_edge(NodeId::new(base + u), NodeId::new(base + v));
+                }
+            }
+        }
+    }
+    for i in 0..bridges {
+        g.add_undirected_edge(NodeId::new(i), NodeId::new(k + i));
+    }
+    g
+}
+
+/// A "lollipop" pathology: a complete digraph on `clique` nodes with a
+/// directed path of `tail` extra nodes hanging off node 0
+/// (`clique-1+1 → ... → clique-1+tail`). The tail nodes have in-degree 1, so
+/// any `f ≥ 1` violates Corollary 3 — handy for negative tests.
+pub fn lollipop(clique: usize, tail: usize) -> Digraph {
+    let n = clique + tail;
+    let mut g = Digraph::new(n);
+    for u in 0..clique {
+        for v in 0..clique {
+            if u != v {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    let mut prev = 0usize;
+    for t in 0..tail {
+        let v = clique + t;
+        g.add_edge(NodeId::new(prev), NodeId::new(v));
+        prev = v;
+    }
+    g
+}
+
+/// Circulant digraph: edge `(i, (i + k) mod n)` for every offset
+/// `k ∈ offsets`.
+///
+/// Generalizes [`chord`]: `chord(n, s)` is `circulant(n, 1..=s)`. Negative
+/// offsets are expressed as `n − k`. Offsets are deduplicated by the
+/// underlying simple graph.
+///
+/// # Panics
+///
+/// Panics if any offset is `0` (self-loop) or `≥ n`.
+pub fn circulant<I: IntoIterator<Item = usize>>(n: usize, offsets: I) -> Digraph {
+    let mut g = Digraph::new(n);
+    for k in offsets {
+        assert!(k != 0, "offset 0 would create self-loops");
+        assert!(k < n, "offset {k} must be < n = {n}");
+        for i in 0..n {
+            g.add_edge(NodeId::new(i), NodeId::new((i + k) % n));
+        }
+    }
+    g
+}
+
+/// De Bruijn digraph `B(k, d)` on `k^d` nodes, **minus self-loops** (the
+/// paper's network model excludes them): node `x` has an edge to
+/// `(x·k + a) mod k^d` for each symbol `a ∈ 0..k`.
+///
+/// A sparse, strongly connected workload with logarithmic diameter — a
+/// stress case where in-degrees sit at exactly `k` (minus the removed
+/// loops at the two fixed points).
+///
+/// # Panics
+///
+/// Panics if `k < 2`, `d == 0`, or `k^d` overflows `usize`.
+pub fn de_bruijn(k: usize, d: u32) -> Digraph {
+    assert!(k >= 2, "de Bruijn alphabet must have at least 2 symbols");
+    assert!(d >= 1, "de Bruijn word length must be at least 1");
+    let n = k.checked_pow(d).expect("k^d overflows usize");
+    let mut g = Digraph::new(n);
+    for x in 0..n {
+        for a in 0..k {
+            let y = (x * k + a) % n;
+            if x != y {
+                g.add_edge(NodeId::new(x), NodeId::new(y));
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world (undirected): a ring lattice where every node
+/// links to its `k` nearest neighbours on each side, then each lattice edge
+/// is rewired to a uniform random target with probability `beta`.
+///
+/// `beta = 0` returns the pristine lattice; `beta = 1` approaches a random
+/// graph while keeping the edge budget. Rewiring never creates self-loops
+/// or duplicate undirected edges (such draws are retried or skipped).
+///
+/// # Panics
+///
+/// Panics if `2 * k >= n` or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Digraph {
+    assert!(2 * k < n, "lattice degree 2k = {} must be < n = {n}", 2 * k);
+    assert!((0.0..=1.0).contains(&beta), "beta = {beta} outside [0, 1]");
+    let mut g = Digraph::new(n);
+    for i in 0..n {
+        for j in 1..=k {
+            let (u, v) = (i, (i + j) % n);
+            if rng.random_bool(beta) {
+                // Rewire: keep endpoint u, draw a fresh partner.
+                let mut tries = 0;
+                loop {
+                    let w = rng.random_range(0..n);
+                    if w != u && !g.has_edge(NodeId::new(u), NodeId::new(w)) {
+                        g.add_undirected_edge(NodeId::new(u), NodeId::new(w));
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 4 * n {
+                        // Saturated neighbourhood; fall back to the lattice edge.
+                        if !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+                            g.add_undirected_edge(NodeId::new(u), NodeId::new(v));
+                        }
+                        break;
+                    }
+                }
+            } else if !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+                g.add_undirected_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment (undirected): starts from a
+/// complete graph on `m + 1` seed nodes; each subsequent node attaches to
+/// `m` distinct existing nodes sampled with probability proportional to
+/// their current degree.
+///
+/// Produces hub-heavy degree distributions — the worst case for conditions
+/// like Theorem 1 that require *every* node to keep `2f + 1` independent
+/// sources.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Digraph {
+    assert!(m >= 1, "attachment count m must be positive");
+    assert!(n > m, "need n > m (got n={n}, m={m})");
+    let mut g = Digraph::new(n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_undirected_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    // Repeated-endpoints urn: each edge contributes both endpoints.
+    let mut urn: Vec<usize> = Vec::new();
+    for (u, v) in g.edges() {
+        urn.push(u.index());
+        urn.push(v.index());
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let pick = if urn.is_empty() {
+                rng.random_range(0..v)
+            } else {
+                urn[rng.random_range(0..urn.len())]
+            };
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &u in &targets {
+            g.add_undirected_edge(NodeId::new(v), NodeId::new(u));
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    g
+}
+
+/// Random tournament: for every unordered pair `{u, v}` exactly one of the
+/// directed edges `(u, v)`, `(v, u)` is present, chosen by a fair coin.
+pub fn random_tournament<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Digraph {
+    let mut g = Digraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(0.5) {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            } else {
+                g.add_edge(NodeId::new(v), NodeId::new(u));
+            }
+        }
+    }
+    g
+}
+
+/// Balanced rooted tree with bidirectional edges: the root `0` has `arity`
+/// children, each internal node has `arity` children, to the given `depth`
+/// (a `depth` of 0 is the single root).
+///
+/// Trees have leaves of degree 1 — with any `f ≥ 1` they violate
+/// Corollary 3 at every leaf, making them canonical negative workloads.
+pub fn balanced_tree(arity: usize, depth: u32) -> Digraph {
+    assert!(arity >= 1, "arity must be positive");
+    // n = 1 + arity + arity^2 + ... + arity^depth
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.checked_mul(arity).expect("tree too large");
+        n = n.checked_add(level).expect("tree too large");
+    }
+    let mut g = Digraph::new(n);
+    let mut next = 1usize; // next unused id
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut new_frontier = Vec::with_capacity(frontier.len() * arity);
+        for &parent in &frontier {
+            for _ in 0..arity {
+                g.add_undirected_edge(NodeId::new(parent), NodeId::new(next));
+                new_frontier.push(next);
+                next += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 4);
+            assert_eq!(g.out_degree(v), 4);
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn complete_small_cases() {
+        assert_eq!(complete(0).edge_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+        assert_eq!(complete(2).edge_count(), 2);
+    }
+
+    #[test]
+    fn cycle_and_path_shapes() {
+        let c = cycle(4);
+        assert_eq!(c.edge_count(), 4);
+        assert!(c.has_edge(nid(3), nid(0)));
+        let p = path(4);
+        assert_eq!(p.edge_count(), 3);
+        assert!(!p.has_edge(nid(3), nid(0)));
+        assert_eq!(cycle(1).edge_count(), 0, "no self-loop for n=1");
+    }
+
+    #[test]
+    fn chord_structure_matches_definition5() {
+        // f = 2 => succ = 5, n = 7: the paper's counterexample graph.
+        let g = chord(7, 5);
+        for i in 0..7 {
+            assert_eq!(g.out_degree(nid(i)), 5);
+            assert_eq!(g.in_degree(nid(i)), 5);
+            for k in 1..=5 {
+                assert!(g.has_edge(nid(i), nid((i + k) % 7)));
+            }
+            assert!(!g.has_edge(nid(i), nid((i + 6) % 7)));
+        }
+    }
+
+    #[test]
+    fn chord_f1_n4_is_complete() {
+        // Paper: "The case when f = 1 and n = 4 results in a fully connected graph".
+        let g = chord(4, 3);
+        assert_eq!(g, complete(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "succ < n")]
+    fn chord_rejects_succ_too_large() {
+        let _ = chord(4, 4);
+    }
+
+    #[test]
+    fn core_network_structure_matches_definition4() {
+        let f = 2;
+        let n = 9;
+        let g = core_network(n, f);
+        let k = 2 * f + 1;
+        assert!(g.is_symmetric());
+        // Clique nodes hear all other clique nodes and all outer nodes.
+        for u in 0..k {
+            assert_eq!(g.in_degree(nid(u)), n - 1);
+        }
+        // Outer nodes hear exactly the clique.
+        for v in k..n {
+            assert_eq!(g.in_degree(nid(v)), k);
+            for u in 0..k {
+                assert!(g.has_edge(nid(v), nid(u)) && g.has_edge(nid(u), nid(v)));
+            }
+            for w in k..n {
+                if v != w {
+                    assert!(!g.has_edge(nid(v), nid(w)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn core_network_rejects_small_n() {
+        let _ = core_network(6, 2);
+    }
+
+    #[test]
+    fn hypercube_has_degree_d() {
+        for d in 1..=5u32 {
+            let g = hypercube(d);
+            assert_eq!(g.node_count(), 1 << d);
+            for v in g.nodes() {
+                assert_eq!(g.in_degree(v), d as usize);
+                assert_eq!(g.out_degree(v), d as usize);
+            }
+            assert!(g.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn hypercube_adjacency_is_single_bit_flip() {
+        let g = hypercube(3);
+        for (u, v) in g.edges() {
+            assert_eq!((u.index() ^ v.index()).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn wheel_hub_and_rim() {
+        let g = wheel(6);
+        assert_eq!(g.in_degree(nid(0)), 5);
+        for v in 1..6 {
+            assert_eq!(g.in_degree(nid(v)), 3); // hub + two rim neighbours
+        }
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn grid_and_torus_degrees() {
+        let g = grid(3, 3, false);
+        assert_eq!(g.in_degree(nid(4)), 4); // centre
+        assert_eq!(g.in_degree(nid(0)), 2); // corner
+        let t = grid(3, 3, true);
+        for v in t.nodes() {
+            assert_eq!(t.in_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty = erdos_renyi(6, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(6, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 30);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let g1 = erdos_renyi(10, 0.3, &mut StdRng::seed_from_u64(42));
+        let g2 = erdos_renyi(10, 0.3, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn random_k_in_regular_has_exact_in_degree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_k_in_regular(12, 5, &mut rng);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn bridged_cliques_structure() {
+        let g = bridged_cliques(4, 1);
+        assert_eq!(g.node_count(), 8);
+        // Clique edges: 2 * 12; bridge: 2.
+        assert_eq!(g.edge_count(), 26);
+        assert!(g.has_edge(nid(0), nid(4)) && g.has_edge(nid(4), nid(0)));
+        assert!(!g.has_edge(nid(1), nid(5)));
+        assert_eq!(g.in_degree(nid(0)), 4);
+        assert_eq!(g.in_degree(nid(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bridges")]
+    fn bridged_cliques_rejects_excess_bridges() {
+        let _ = bridged_cliques(2, 3);
+    }
+
+    #[test]
+    fn circulant_generalizes_chord() {
+        assert_eq!(circulant(7, 1..=5), chord(7, 5));
+        let g = circulant(6, [1, 3]);
+        for i in 0..6 {
+            assert!(g.has_edge(nid(i), nid((i + 1) % 6)));
+            assert!(g.has_edge(nid(i), nid((i + 3) % 6)));
+            assert_eq!(g.out_degree(nid(i)), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offset 0")]
+    fn circulant_rejects_zero_offset() {
+        let _ = circulant(5, [0]);
+    }
+
+    #[test]
+    fn de_bruijn_structure() {
+        let g = de_bruijn(2, 3); // 8 nodes
+        assert_eq!(g.node_count(), 8);
+        // Node x points at 2x mod 8 and 2x+1 mod 8, minus self-loops at 0 and 7.
+        assert!(g.has_edge(nid(3), nid(6)));
+        assert!(g.has_edge(nid(3), nid(7)));
+        assert!(!g.has_edge(nid(0), nid(0)));
+        assert_eq!(g.out_degree(nid(0)), 1, "loop at 0 removed");
+        assert_eq!(g.out_degree(nid(7)), 1, "loop at 7 removed");
+        assert_eq!(g.out_degree(nid(3)), 2);
+        assert!(crate::algorithms::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(10, 2, 0.0, &mut rng);
+        assert!(g.is_symmetric());
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_symmetry_when_rewired() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = watts_strogatz(20, 3, 0.5, &mut rng);
+        assert!(g.is_symmetric());
+        // Every node keeps at least its own outgoing attachment budget.
+        assert!(g.edge_count() >= 2 * 20, "rewiring must not lose many edges");
+    }
+
+    #[test]
+    fn barabasi_albert_degrees_and_symmetry() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(30, 3, &mut rng);
+        assert!(g.is_symmetric());
+        // Every non-seed node attached to exactly 3 targets, so min degree >= 3.
+        for v in g.nodes() {
+            assert!(g.in_degree(v) >= 3, "node {v} has degree {}", g.in_degree(v));
+        }
+        // Edge count: seed K4 has 12 directed; each of 26 newcomers adds 6.
+        assert_eq!(g.edge_count(), 12 + 26 * 6);
+    }
+
+    #[test]
+    fn random_tournament_has_one_edge_per_pair() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_tournament(9, &mut rng);
+        assert_eq!(g.edge_count(), 9 * 8 / 2);
+        for u in 0..9 {
+            for v in (u + 1)..9 {
+                assert!(g.has_edge(nid(u), nid(v)) ^ g.has_edge(nid(v), nid(u)));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 2); // 1 + 2 + 4 = 7 nodes
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 2 * 6, "6 undirected tree edges");
+        assert!(g.is_symmetric());
+        assert_eq!(g.in_degree(nid(0)), 2);
+        assert_eq!(g.in_degree(nid(1)), 3); // parent + 2 children
+        assert_eq!(g.in_degree(nid(3)), 1); // leaf
+        let root_only = balanced_tree(3, 0);
+        assert_eq!(root_only.node_count(), 1);
+    }
+
+    #[test]
+    fn lollipop_tail_has_in_degree_one() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.in_degree(nid(4)), 1);
+        assert_eq!(g.in_degree(nid(5)), 1);
+        assert_eq!(g.in_degree(nid(6)), 1);
+        assert_eq!(g.in_degree(nid(0)), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Directed-graph substrate for the IABC (iterative approximate Byzantine
+//! consensus) reproduction.
+//!
+//! This crate provides everything graph-shaped that the paper
+//! (Vaidya–Tseng–Liang, PODC 2012) quantifies over:
+//!
+//! * [`NodeSet`] — fixed-universe bitsets, the representation that makes the
+//!   exponential Theorem 1 checker feasible (`|N⁻(v) ∩ A|` is a word-wise
+//!   AND + popcount);
+//! * [`Digraph`] — simple digraphs with bitset in/out adjacency (Section 2.1
+//!   network model: no self-loops, authenticated reliable links);
+//! * [`generators`] — the Section 6 families (core network, hypercube,
+//!   chord) plus synthetic workloads (circulants, de Bruijn, small-world,
+//!   preferential attachment, tournaments, trees);
+//! * [`algorithms`] — reachability, Tarjan SCC, condensation, Menger
+//!   vertex connectivity;
+//! * [`ops`] — unions, complements, box/tensor products, relabelings;
+//! * [`metrics`] — degree statistics, density, reciprocity, eccentricity;
+//! * [`dot`] / [`parse`] — Graphviz export and edge-list interchange.
+//!
+//! # Examples
+//!
+//! ```
+//! use iabc_graph::{generators, algorithms, NodeId};
+//!
+//! // The d-dimensional hypercube has vertex connectivity d (paper §6.2)...
+//! let cube = generators::hypercube(3);
+//! assert_eq!(algorithms::vertex_connectivity(&cube), 3);
+//! // ...and every node has exactly d in-neighbours.
+//! assert_eq!(cube.in_degree(NodeId::new(0)), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+mod digraph;
+pub mod dot;
+mod error;
+pub mod generators;
+pub mod metrics;
+mod nodeset;
+pub mod ops;
+pub mod parse;
+
+pub use digraph::Digraph;
+pub use error::GraphError;
+pub use nodeset::{for_each_subset_of_size, for_each_subset_sized, Iter, NodeSet};
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a [`Digraph`], a dense index in `0..n`.
+///
+/// A newtype (rather than a bare `usize`) so that node identifiers, set
+/// sizes, and counts cannot be confused at API boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "3");
+/// assert_eq!(NodeId::from(3usize), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a raw index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_conversions() {
+        let v = NodeId::new(7);
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(NodeId::from(7usize), v);
+        assert_eq!(v.to_string(), "7");
+    }
+
+    #[test]
+    fn node_id_ordering() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NodeId>();
+        assert_send_sync::<NodeSet>();
+        assert_send_sync::<Digraph>();
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! Graph statistics: degree summaries, density, reciprocity, distances.
+//!
+//! The paper's applications section reasons about topologies through their
+//! degrees and connectivity (a hypercube has connectivity `d` but fails
+//! Theorem 1; a chord network has in-degree exactly `2f + 1`). These metrics
+//! make such statements one-liners in experiments and reports.
+
+use crate::{algorithms, Digraph, NodeId};
+
+/// Summary of in-/out-degree distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest in-degree.
+    pub min_in: usize,
+    /// Largest in-degree.
+    pub max_in: usize,
+    /// Mean in-degree (= mean out-degree = `|E| / n`).
+    pub mean: f64,
+    /// Smallest out-degree.
+    pub min_out: usize,
+    /// Largest out-degree.
+    pub max_out: usize,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+///
+/// Returns all-zero stats for the empty graph.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, metrics};
+///
+/// let stats = metrics::degree_stats(&generators::chord(7, 5));
+/// assert_eq!(stats.min_in, 5);
+/// assert_eq!(stats.max_in, 5);
+/// ```
+pub fn degree_stats(g: &Digraph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats {
+            min_in: 0,
+            max_in: 0,
+            mean: 0.0,
+            min_out: 0,
+            max_out: 0,
+        };
+    }
+    let ins: Vec<usize> = g.nodes().map(|v| g.in_degree(v)).collect();
+    let outs: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+    DegreeStats {
+        min_in: ins.iter().copied().min().unwrap_or(0),
+        max_in: ins.iter().copied().max().unwrap_or(0),
+        mean: g.edge_count() as f64 / n as f64,
+        min_out: outs.iter().copied().min().unwrap_or(0),
+        max_out: outs.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Histogram of in-degrees: entry `k` counts nodes with in-degree `k`.
+///
+/// The vector has length `max_in_degree + 1` (empty for the empty graph).
+pub fn in_degree_histogram(g: &Digraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.nodes() {
+        let d = g.in_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Edge density `|E| / (n (n − 1))` — the fraction of possible directed
+/// edges present. `0.0` for graphs with fewer than two nodes.
+pub fn density(g: &Digraph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / (n * (n - 1)) as f64
+}
+
+/// Fraction of edges `(u, v)` whose reverse `(v, u)` is also present.
+/// `1.0` exactly when the graph [is symmetric](Digraph::is_symmetric)
+/// (and vacuously for edgeless graphs).
+pub fn reciprocity(g: &Digraph) -> f64 {
+    if g.edge_count() == 0 {
+        return 1.0;
+    }
+    let mutual = g.edges().filter(|&(u, v)| g.has_edge(v, u)).count();
+    mutual as f64 / g.edge_count() as f64
+}
+
+/// Eccentricity of `v`: the greatest BFS distance from `v` to any node.
+/// `None` if some node is unreachable from `v`.
+pub fn eccentricity(g: &Digraph, v: NodeId) -> Option<usize> {
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    let mut seen = 1usize;
+    let mut ecc = 0usize;
+    while let Some(u) = queue.pop_front() {
+        for w in g.out_neighbors(u).iter() {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[u.index()] + 1;
+                ecc = ecc.max(dist[w.index()]);
+                seen += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (seen == n).then_some(ecc)
+}
+
+/// Radius: the minimum [`eccentricity`] over all nodes. `None` if no node
+/// reaches every other node (or the graph is empty).
+pub fn radius(g: &Digraph) -> Option<usize> {
+    g.nodes().filter_map(|v| eccentricity(g, v)).min()
+}
+
+/// Average shortest-path length over all ordered reachable pairs `(u, v)`,
+/// `u ≠ v`. `None` if no pair is connected.
+pub fn average_path_length(g: &Digraph) -> Option<f64> {
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for u in g.nodes() {
+        let n = g.node_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[u.index()] = 0;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            for w in g.out_neighbors(x).iter() {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[x.index()] + 1;
+                    total += dist[w.index()];
+                    pairs += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    (pairs > 0).then(|| total as f64 / pairs as f64)
+}
+
+/// One-line structural profile used by reports and the CLI: order, size,
+/// degree extremes, density, reciprocity, connectivity, diameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Degree summary.
+    pub degrees: DegreeStats,
+    /// Edge density in `[0, 1]`.
+    pub density: f64,
+    /// Fraction of reciprocated edges.
+    pub reciprocity: f64,
+    /// Menger vertex connectivity (`None` for graphs below 2 nodes).
+    pub vertex_connectivity: Option<usize>,
+    /// Directed diameter (`None` if not strongly connected).
+    pub diameter: Option<usize>,
+}
+
+/// Computes a [`Profile`] of `g`.
+///
+/// Vertex connectivity costs `O(n)` max-flow probes; intended for the
+/// paper-scale graphs (`n` up to a few hundred), not million-node inputs.
+pub fn profile(g: &Digraph) -> Profile {
+    Profile {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        degrees: degree_stats(g),
+        density: density(g),
+        reciprocity: reciprocity(g),
+        vertex_connectivity: (g.node_count() >= 2).then(|| algorithms::vertex_connectivity(g)),
+        diameter: algorithms::diameter(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn degree_stats_on_regular_graphs() {
+        let g = generators::chord(9, 5);
+        let s = degree_stats(&g);
+        assert_eq!(s.min_in, 5);
+        assert_eq!(s.max_in, 5);
+        assert_eq!(s.min_out, 5);
+        assert_eq!(s.max_out, 5);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = generators::star(5); // hub 0 ↔ each of 1..5
+        let s = degree_stats(&g);
+        assert_eq!(s.max_in, 4);
+        assert_eq!(s.min_in, 1);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let s = degree_stats(&Digraph::new(0));
+        assert_eq!(s.max_in, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_nodes() {
+        let g = generators::star(4);
+        let h = in_degree_histogram(&g);
+        // Hub has in-degree 3, leaves have in-degree 1.
+        assert_eq!(h, vec![0, 3, 0, 1]);
+        assert!(in_degree_histogram(&Digraph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert_eq!(density(&generators::complete(6)), 1.0);
+        assert_eq!(density(&Digraph::new(6)), 0.0);
+        assert_eq!(density(&Digraph::new(1)), 0.0);
+        let half = generators::cycle(4);
+        assert!((density(&half) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocity_detects_symmetry() {
+        assert_eq!(reciprocity(&generators::hypercube(3)), 1.0);
+        assert_eq!(reciprocity(&generators::cycle(5)), 0.0);
+        assert_eq!(reciprocity(&Digraph::new(3)), 1.0);
+        // A path plus one reverse edge: 1 of 3 edges reciprocated... the
+        // reverse edge itself is also reciprocated, so 2 of 4.
+        let mut g = generators::path(4);
+        g.add_edge(nid(1), nid(0));
+        assert!((reciprocity(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eccentricity_and_radius_of_path() {
+        let g = generators::path(4); // 0→1→2→3
+        assert_eq!(eccentricity(&g, nid(0)), Some(3));
+        assert_eq!(eccentricity(&g, nid(1)), None, "node 0 unreachable from 1");
+        assert_eq!(radius(&g), Some(3));
+    }
+
+    #[test]
+    fn radius_of_cycle_and_star() {
+        assert_eq!(radius(&generators::cycle(5)), Some(4));
+        assert_eq!(radius(&generators::star(5)), Some(1), "hub reaches all in 1");
+        assert_eq!(radius(&Digraph::new(0)), None);
+    }
+
+    #[test]
+    fn average_path_length_matches_hand_count() {
+        let g = generators::path(3); // pairs: 0→1 (1), 0→2 (2), 1→2 (1)
+        let apl = average_path_length(&g).unwrap();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_path_length(&Digraph::new(3)), None);
+    }
+
+    #[test]
+    fn profile_of_hypercube_reports_connectivity_d() {
+        let p = profile(&generators::hypercube(3));
+        assert_eq!(p.nodes, 8);
+        assert_eq!(p.edges, 24);
+        assert_eq!(p.vertex_connectivity, Some(3));
+        assert_eq!(p.diameter, Some(3));
+        assert_eq!(p.reciprocity, 1.0);
+    }
+
+    #[test]
+    fn profile_handles_tiny_graphs() {
+        let p = profile(&Digraph::new(1));
+        assert_eq!(p.vertex_connectivity, None);
+        assert_eq!(p.diameter, Some(0));
+    }
+}

@@ -1,0 +1,646 @@
+//! Compact sets of node identifiers backed by fixed-universe bitsets.
+//!
+//! The condition checker in `iabc-core` enumerates an exponential number of
+//! node subsets and, for each, repeatedly evaluates quantities of the form
+//! `|N⁻(v) ∩ A|` (how many in-neighbours of `v` lie in a candidate set `A`).
+//! [`NodeSet`] makes that a handful of word operations: sets are bitsets over
+//! a fixed universe `{0, .., n-1}`, and intersection cardinality is a fused
+//! `AND` + popcount over the underlying words.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{BitAnd, BitOr, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+const WORD_BITS: usize = 64;
+
+/// A set of [`NodeId`]s drawn from a fixed universe `{0, .., universe-1}`.
+///
+/// All binary operations (`union`, `intersection`, ...) require both operands
+/// to share the same universe; mixing universes is a logic error and panics.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{NodeId, NodeSet};
+///
+/// let mut a = NodeSet::with_universe(8);
+/// a.insert(NodeId::new(1));
+/// a.insert(NodeId::new(5));
+/// let b = NodeSet::from_indices(8, [5, 6]);
+/// assert_eq!(a.intersection_len(&b), 1);
+/// assert!(a.union(&b).contains(NodeId::new(6)));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over the universe `{0, .., universe-1}`.
+    pub fn with_universe(universe: usize) -> Self {
+        let nwords = universe.div_ceil(WORD_BITS).max(1);
+        NodeSet {
+            words: vec![0; nwords],
+            universe,
+        }
+    }
+
+    /// Creates the full set `{0, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::with_universe(universe);
+        for i in 0..universe {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set from raw indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= universe`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(universe: usize, indices: I) -> Self {
+        let mut s = Self::with_universe(universe);
+        for i in indices {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Creates a singleton set `{node}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= universe`.
+    pub fn singleton(universe: usize, node: NodeId) -> Self {
+        let mut s = Self::with_universe(universe);
+        s.insert(node);
+        s
+    }
+
+    /// The size of the universe this set draws from (not the cardinality).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn check_node(&self, node: NodeId) {
+        assert!(
+            node.index() < self.universe,
+            "node {} out of universe 0..{}",
+            node.index(),
+            self.universe
+        );
+    }
+
+    /// Inserts `node`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= universe`.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        self.check_node(node);
+        let (w, b) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `node`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= universe`.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.check_node(node);
+        let (w, b) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Returns `true` if `node` is in the set.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        if node.index() >= self.universe {
+            return false;
+        }
+        let (w, b) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all elements, keeping the universe.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    #[inline]
+    fn assert_same_universe(&self, other: &NodeSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "NodeSet universes differ ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// This is the hot operation of the condition checker: it evaluates
+    /// `|N⁻(v) ∩ A|` against the `f + 1` threshold of the paper's `⇒`
+    /// relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        self.assert_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns a new set `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// In-place `self ∪= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Returns a new set `self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place `self ∩= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Returns a new set `self − other` (elements of `self` not in `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// In-place `self −= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the complement with respect to the universe.
+    pub fn complement(&self) -> NodeSet {
+        let mut out = Self::with_universe(self.universe);
+        for (o, w) in out.words.iter_mut().zip(&self.words) {
+            *o = !w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Clears bits at positions `>= universe` (upholds the representation
+    /// invariant after whole-word operations).
+    fn mask_tail(&mut self) {
+        let rem = self.universe % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.universe == 0 {
+            self.words.iter_mut().for_each(|w| *w = 0);
+        }
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(NodeId::new(wi * WORD_BITS + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the elements into a `Vec` of raw indices (ascending).
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter().map(NodeId::index).collect()
+    }
+}
+
+/// Iterator over the elements of a [`NodeSet`] in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId::new(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for node in iter {
+            self.insert(node);
+        }
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.words == other.words
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl Hash for NodeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.universe.hash(state);
+        self.words.hash(state);
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(NodeId::index)).finish()
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, node) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", node.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl BitOr for &NodeSet {
+    type Output = NodeSet;
+
+    fn bitor(self, rhs: &NodeSet) -> NodeSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &NodeSet {
+    type Output = NodeSet;
+
+    fn bitand(self, rhs: &NodeSet) -> NodeSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &NodeSet {
+    type Output = NodeSet;
+
+    fn sub(self, rhs: &NodeSet) -> NodeSet {
+        self.difference(rhs)
+    }
+}
+
+/// Enumerates all subsets of `pool` with exactly `k` elements, invoking
+/// `visit` for each. Iterative (Gosper-free) combination walk over the
+/// materialized element list; allocation-free per subset except the scratch
+/// set handed to `visit`.
+///
+/// Returns early (propagating `false`) if `visit` returns `false`.
+pub fn for_each_subset_of_size<F>(pool: &NodeSet, k: usize, mut visit: F) -> bool
+where
+    F: FnMut(&NodeSet) -> bool,
+{
+    let elems: Vec<NodeId> = pool.iter().collect();
+    if k > elems.len() {
+        return true;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    let mut scratch = NodeSet::with_universe(pool.universe());
+    loop {
+        scratch.clear();
+        for &i in &idx {
+            scratch.insert(elems[i]);
+        }
+        if !visit(&scratch) {
+            return false;
+        }
+        // advance combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if idx[i] != i + elems.len() - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Enumerates all subsets of `pool` with size in `min_size..=max_size`.
+///
+/// Returns early (propagating `false`) if `visit` returns `false`.
+pub fn for_each_subset_sized<F>(pool: &NodeSet, min_size: usize, max_size: usize, mut visit: F) -> bool
+where
+    F: FnMut(&NodeSet) -> bool,
+{
+    for k in min_size..=max_size.min(pool.len()) {
+        if !for_each_subset_of_size(pool, k, &mut visit) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<usize> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = NodeSet::with_universe(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.to_indices(), ids(&[]));
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = NodeSet::with_universe(130);
+        assert!(s.insert(NodeId::new(0)));
+        assert!(s.insert(NodeId::new(64)));
+        assert!(s.insert(NodeId::new(129)));
+        assert!(!s.insert(NodeId::new(64)), "double insert reports false");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId::new(129)));
+        assert!(!s.contains(NodeId::new(128)));
+        assert!(s.remove(NodeId::new(64)));
+        assert!(!s.remove(NodeId::new(64)));
+        assert_eq!(s.to_indices(), ids(&[0, 129]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = NodeSet::with_universe(4);
+        s.insert(NodeId::new(4));
+    }
+
+    #[test]
+    fn contains_out_of_universe_is_false() {
+        let s = NodeSet::full(4);
+        assert!(!s.contains(NodeId::new(100)));
+    }
+
+    #[test]
+    fn full_set_covers_universe() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!((0..70).all(|i| s.contains(NodeId::new(i))));
+    }
+
+    #[test]
+    fn set_algebra_matches_naive() {
+        let a = NodeSet::from_indices(100, [1, 3, 64, 65, 99]);
+        let b = NodeSet::from_indices(100, [3, 64, 98, 99]);
+        assert_eq!((&a | &b).to_indices(), ids(&[1, 3, 64, 65, 98, 99]));
+        assert_eq!((&a & &b).to_indices(), ids(&[3, 64, 99]));
+        assert_eq!((&a - &b).to_indices(), ids(&[1, 65]));
+        assert_eq!(a.intersection_len(&b), 3);
+    }
+
+    #[test]
+    fn complement_respects_universe_tail() {
+        let a = NodeSet::from_indices(67, [0, 66]);
+        let c = a.complement();
+        assert_eq!(c.len(), 65);
+        assert!(!c.contains(NodeId::new(0)));
+        assert!(!c.contains(NodeId::new(66)));
+        assert!(c.contains(NodeId::new(65)));
+        // Double complement is identity.
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn subset_and_disjoint_relations() {
+        let a = NodeSet::from_indices(10, [1, 2]);
+        let b = NodeSet::from_indices(10, [1, 2, 5]);
+        let c = NodeSet::from_indices(10, [7]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        let empty = NodeSet::with_universe(10);
+        assert!(empty.is_subset(&a));
+        assert!(empty.is_disjoint(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn mixed_universe_operations_panic() {
+        let a = NodeSet::with_universe(4);
+        let b = NodeSet::with_universe(5);
+        let _ = a.intersection_len(&b);
+    }
+
+    #[test]
+    fn iterator_yields_ascending_order() {
+        let a = NodeSet::from_indices(200, [150, 3, 64, 127, 128]);
+        assert_eq!(a.to_indices(), ids(&[3, 64, 127, 128, 150]));
+        assert_eq!(a.first(), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn display_formats_as_brace_list() {
+        let a = NodeSet::from_indices(10, [2, 5]);
+        assert_eq!(a.to_string(), "{2,5}");
+        assert_eq!(NodeSet::with_universe(10).to_string(), "{}");
+        assert_eq!(format!("{a:?}"), "{2, 5}");
+    }
+
+    #[test]
+    fn subset_enumeration_counts_binomials() {
+        let pool = NodeSet::full(6);
+        let mut count = 0usize;
+        for_each_subset_of_size(&pool, 3, |s| {
+            assert_eq!(s.len(), 3);
+            count += 1;
+            true
+        });
+        assert_eq!(count, 20); // C(6,3)
+
+        let mut total = 0usize;
+        for_each_subset_sized(&pool, 0, 6, |_| {
+            total += 1;
+            true
+        });
+        assert_eq!(total, 64); // 2^6
+    }
+
+    #[test]
+    fn subset_enumeration_early_exit() {
+        let pool = NodeSet::full(8);
+        let mut seen = 0usize;
+        let completed = for_each_subset_of_size(&pool, 2, |_| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(!completed);
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn subset_enumeration_respects_pool() {
+        let pool = NodeSet::from_indices(10, [2, 4, 9]);
+        let mut subsets = Vec::new();
+        for_each_subset_of_size(&pool, 2, |s| {
+            subsets.push(s.to_indices());
+            true
+        });
+        assert_eq!(subsets, vec![ids(&[2, 4]), ids(&[2, 9]), ids(&[4, 9])]);
+    }
+
+    #[test]
+    fn zero_universe_is_consistent() {
+        let s = NodeSet::with_universe(0);
+        assert!(s.is_empty());
+        assert_eq!(s.complement().len(), 0);
+        assert_eq!(s, NodeSet::full(0));
+    }
+
+    #[test]
+    fn extend_and_equality() {
+        let mut s = NodeSet::with_universe(16);
+        s.extend([NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(s, NodeSet::from_indices(16, [1, 2]));
+    }
+}

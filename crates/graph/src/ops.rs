@@ -1,0 +1,325 @@
+//! Structural operations on digraphs: unions, complements, products, and
+//! relabelings.
+//!
+//! These operators build composite topologies for experiments and supply the
+//! algebraic identities the property-test suite leans on — e.g. the
+//! `d`-dimensional hypercube of the paper's §6.2 is the `d`-fold
+//! [`cartesian_product`] of single edges, and Theorem 1 verdicts must be
+//! invariant under [`relabel`] (the condition is a graph property, not a
+//! labelling property).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Digraph, NodeId};
+
+/// Disjoint union: `a`'s nodes keep their ids, `b`'s nodes are shifted by
+/// `a.node_count()`.
+///
+/// The result has two weakly-separated halves, so for any `f ≥ 0` it
+/// violates Theorem 1 (no partition can dominate across the gap) — a handy
+/// negative workload.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, ops};
+///
+/// let g = ops::disjoint_union(&generators::cycle(3), &generators::cycle(4));
+/// assert_eq!(g.node_count(), 7);
+/// assert_eq!(g.edge_count(), 7);
+/// ```
+pub fn disjoint_union(a: &Digraph, b: &Digraph) -> Digraph {
+    let na = a.node_count();
+    let mut g = Digraph::new(na + b.node_count());
+    for (u, v) in a.edges() {
+        g.add_edge(u, v);
+    }
+    for (u, v) in b.edges() {
+        g.add_edge(NodeId::new(na + u.index()), NodeId::new(na + v.index()));
+    }
+    g
+}
+
+/// Edge-wise union of two graphs over the **same** node set.
+///
+/// # Panics
+///
+/// Panics if the node counts differ.
+pub fn overlay(a: &Digraph, b: &Digraph) -> Digraph {
+    assert_eq!(
+        a.node_count(),
+        b.node_count(),
+        "overlay requires equal node counts ({} vs {})",
+        a.node_count(),
+        b.node_count()
+    );
+    let mut g = a.clone();
+    for (u, v) in b.edges() {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// Complement graph: `(u, v)` is an edge iff `u ≠ v` and `(u, v) ∉ E`.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, ops};
+///
+/// let g = generators::cycle(5);
+/// let c = ops::complement(&g);
+/// assert_eq!(g.edge_count() + c.edge_count(), 5 * 4);
+/// ```
+pub fn complement(g: &Digraph) -> Digraph {
+    let n = g.node_count();
+    let mut out = Digraph::new(n);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u != v && !g.has_edge(u, v) {
+                out.add_edge(u, v);
+            }
+        }
+    }
+    out
+}
+
+/// Cartesian (box) product `a □ b`: node `(u, v)` has id
+/// `u * b.node_count() + v`; `(u, v) → (u', v')` iff `u = u'` and
+/// `(v, v') ∈ E(b)`, or `v = v'` and `(u, u') ∈ E(a)`.
+///
+/// The binary hypercube of the paper's §6.2 is the iterated box product of
+/// `K₂`s: `hypercube(d) = K₂ □ ... □ K₂` (`d` times) — asserted in the test
+/// suite.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, ops};
+///
+/// let k2 = generators::complete(2);
+/// let square = ops::cartesian_product(&k2, &k2);
+/// assert_eq!(square.node_count(), 4);
+/// assert_eq!(square.edge_count(), 8); // the 4-cycle, both directions
+/// ```
+pub fn cartesian_product(a: &Digraph, b: &Digraph) -> Digraph {
+    let (na, nb) = (a.node_count(), b.node_count());
+    let mut g = Digraph::new(na * nb);
+    let id = |u: usize, v: usize| NodeId::new(u * nb + v);
+    for u in 0..na {
+        for (x, y) in b.edges() {
+            g.add_edge(id(u, x.index()), id(u, y.index()));
+        }
+    }
+    for v in 0..nb {
+        for (x, y) in a.edges() {
+            g.add_edge(id(x.index(), v), id(y.index(), v));
+        }
+    }
+    g
+}
+
+/// Tensor (categorical) product `a × b`: `(u, v) → (u', v')` iff
+/// `(u, u') ∈ E(a)` **and** `(v, v') ∈ E(b)`.
+pub fn tensor_product(a: &Digraph, b: &Digraph) -> Digraph {
+    let nb = b.node_count();
+    let mut g = Digraph::new(a.node_count() * nb);
+    for (u, x) in a.edges() {
+        for (v, y) in b.edges() {
+            g.add_edge(
+                NodeId::new(u.index() * nb + v.index()),
+                NodeId::new(x.index() * nb + y.index()),
+            );
+        }
+    }
+    g
+}
+
+/// Relabels nodes through a permutation: node `i` of `g` becomes node
+/// `perm[i]` of the result.
+///
+/// The paper's condition is isomorphism-invariant, so Theorem 1 verdicts
+/// must agree before and after relabeling — the property-test suite checks
+/// exactly this.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn relabel(g: &Digraph, perm: &[usize]) -> Digraph {
+    let n = g.node_count();
+    assert_eq!(perm.len(), n, "permutation length {} != n {}", perm.len(), n);
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "perm is not a bijection on 0..{n}");
+        seen[p] = true;
+    }
+    let mut out = Digraph::new(n);
+    for (u, v) in g.edges() {
+        out.add_edge(NodeId::new(perm[u.index()]), NodeId::new(perm[v.index()]));
+    }
+    out
+}
+
+/// Relabels through a uniformly random permutation; returns the permuted
+/// graph and the permutation used (`node i → perm[i]`).
+pub fn random_relabel<R: Rng + ?Sized>(g: &Digraph, rng: &mut R) -> (Digraph, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..g.node_count()).collect();
+    perm.shuffle(rng);
+    (relabel(g, &perm), perm)
+}
+
+/// Returns `true` iff `perm` is an isomorphism from `a` onto `b`
+/// (`(u, v) ∈ E(a) ⟺ (perm[u], perm[v]) ∈ E(b)`).
+///
+/// # Panics
+///
+/// Panics if node counts differ or `perm` is not a permutation.
+pub fn is_isomorphism(a: &Digraph, b: &Digraph, perm: &[usize]) -> bool {
+    assert_eq!(a.node_count(), b.node_count(), "graphs must have equal order");
+    if a.edge_count() != b.edge_count() {
+        return false;
+    }
+    relabel(a, perm) == *b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn disjoint_union_shifts_second_graph() {
+        let a = generators::path(2); // 0 -> 1
+        let b = generators::path(3); // 0 -> 1 -> 2
+        let g = disjoint_union(&a, &b);
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_edge(nid(0), nid(1)));
+        assert!(g.has_edge(nid(2), nid(3)));
+        assert!(g.has_edge(nid(3), nid(4)));
+        assert!(!g.has_edge(nid(1), nid(2)), "halves stay disconnected");
+    }
+
+    #[test]
+    fn overlay_merges_edges() {
+        let a = generators::path(3);
+        let b = generators::cycle(3);
+        let g = overlay(&a, &b);
+        // path edges {01, 12} ⊂ cycle ∪ path = {01, 12, 20}.
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(nid(2), nid(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal node counts")]
+    fn overlay_rejects_mismatched_orders() {
+        let _ = overlay(&generators::path(2), &generators::path(3));
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = complement(&generators::complete(5));
+        assert_eq!(g.edge_count(), 0);
+        let e = complement(&Digraph::new(4));
+        assert_eq!(e, generators::complete(4));
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::erdos_renyi(7, 0.4, &mut rng);
+        assert_eq!(complement(&complement(&g)), g);
+    }
+
+    #[test]
+    fn hypercube_is_iterated_k2_box_product() {
+        let k2 = generators::complete(2);
+        let mut prod = k2.clone();
+        for _ in 1..3 {
+            prod = cartesian_product(&prod, &k2);
+        }
+        let cube = generators::hypercube(3);
+        // The box-product labelling already matches the generator's
+        // bit-vector labelling: node (u, v) = u * 2 + v appends one bit.
+        assert_eq!(prod.node_count(), cube.node_count());
+        assert_eq!(prod.edge_count(), cube.edge_count());
+        for (u, v) in prod.edges() {
+            assert_eq!(
+                (u.index() ^ v.index()).count_ones(),
+                1,
+                "box product edge {u}->{v} is not a single bit flip"
+            );
+        }
+    }
+
+    #[test]
+    fn box_product_degree_is_sum_of_degrees() {
+        let a = generators::cycle(3);
+        let b = generators::complete(3);
+        let g = cartesian_product(&a, &b);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1 + 2);
+            assert_eq!(g.out_degree(v), 1 + 2);
+        }
+    }
+
+    #[test]
+    fn tensor_product_degree_is_product_of_degrees() {
+        let a = generators::cycle(4);
+        let b = generators::complete(3);
+        let g = tensor_product(&a, &b);
+        assert_eq!(g.node_count(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 2);
+            assert_eq!(g.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn relabel_identity_and_rotation() {
+        let g = generators::path(3);
+        assert_eq!(relabel(&g, &[0, 1, 2]), g);
+        let r = relabel(&g, &[1, 2, 0]); // 0->1 becomes 1->2, 1->2 becomes 2->0
+        assert!(r.has_edge(nid(1), nid(2)));
+        assert!(r.has_edge(nid(2), nid(0)));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn relabel_rejects_non_permutation() {
+        let _ = relabel(&generators::path(3), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn random_relabel_is_isomorphism() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::erdos_renyi(8, 0.35, &mut rng);
+        let (h, perm) = random_relabel(&g, &mut rng);
+        assert!(is_isomorphism(&g, &h, &perm));
+        assert_eq!(g.edge_count(), h.edge_count());
+    }
+
+    #[test]
+    fn is_isomorphism_detects_mismatch() {
+        let a = generators::path(3);
+        let b = generators::cycle(3);
+        let perm = [0, 1, 2];
+        assert!(!is_isomorphism(&a, &b, &perm));
+    }
+
+    #[test]
+    fn degenerate_products_are_empty() {
+        let empty = Digraph::new(0);
+        let g = generators::cycle(3);
+        assert_eq!(cartesian_product(&empty, &g).node_count(), 0);
+        assert_eq!(tensor_product(&g, &empty).node_count(), 0);
+        assert_eq!(disjoint_union(&empty, &g), g);
+    }
+}

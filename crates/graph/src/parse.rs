@@ -1,0 +1,132 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first non-comment line is `n` (node count); every following
+//! non-comment line is `u v` (one directed edge). Lines starting with `#`
+//! and blank lines are ignored. This is the interchange format used by the
+//! experiment harness to snapshot witness graphs.
+
+use crate::{Digraph, GraphError, NodeId};
+
+/// Serializes a graph to the edge-list format (round-trips with
+/// [`parse_edge_list`]).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, parse};
+/// let g = generators::cycle(3);
+/// let text = parse::to_edge_list(&g);
+/// let back = parse::parse_edge_list(&text)?;
+/// assert_eq!(g, back);
+/// # Ok::<(), iabc_graph::GraphError>(())
+/// ```
+pub fn to_edge_list(g: &Digraph) -> String {
+    let mut out = format!("# iabc digraph: n={} m={}\n{}\n", g.node_count(), g.edge_count(), g.node_count());
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{} {}\n", u.index(), v.index()));
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input and propagates
+/// [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] from edge
+/// insertion.
+pub fn parse_edge_list(text: &str) -> Result<Digraph, GraphError> {
+    let mut graph: Option<Digraph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        match &mut graph {
+            None => {
+                let n: usize = line.parse().map_err(|_| GraphError::Parse {
+                    line: lineno,
+                    message: format!("expected node count, found {line:?}"),
+                })?;
+                graph = Some(Digraph::new(n));
+            }
+            Some(g) => {
+                let mut parts = line.split_whitespace();
+                let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(u), Some(v), None) => (u, v),
+                    _ => {
+                        return Err(GraphError::Parse {
+                            line: lineno,
+                            message: format!("expected `u v`, found {line:?}"),
+                        })
+                    }
+                };
+                let parse_node = |s: &str| -> Result<usize, GraphError> {
+                    s.parse().map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        message: format!("expected integer node id, found {s:?}"),
+                    })
+                };
+                g.try_add_edge(NodeId::new(parse_node(u)?), NodeId::new(parse_node(v)?))?;
+            }
+        }
+    }
+    graph.ok_or(GraphError::Parse {
+        line: 0,
+        message: "empty input: missing node count".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        for g in [
+            generators::complete(5),
+            generators::chord(7, 5),
+            generators::hypercube(3),
+            Digraph::new(4),
+        ] {
+            let text = to_edge_list(&g);
+            assert_eq!(parse_edge_list(&text).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_edge_list("# header\n\n3\n# edge below\n0 1\n\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_count_is_parse_error() {
+        let err = parse_edge_list("abc\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_edge_is_parse_error() {
+        let err = parse_edge_list("3\n0 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = parse_edge_list("3\n0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = parse_edge_list("3\n0 x\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_edge_propagates() {
+        let err = parse_edge_list("2\n0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, n: 2 }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse_edge_list("# only comments\n").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Byzantine behaviours implementable by a real (non-omniscient) process.
+//!
+//! The simulator's [`iabc_sim`]-style adversaries read global state; a
+//! deployed Byzantine node cannot. A [`LocalByzantine`] strategy sees only
+//! what the faulty node legitimately received on its own in-edges last
+//! round — and may still send arbitrary, per-receiver-different values
+//! (the paper's §2.2 point-to-point lying power).
+
+use iabc_graph::{NodeId, NodeSet};
+
+/// A Byzantine node's strategy, computable from local information only.
+///
+/// `inbox` holds the values received on the node's in-edges in the
+/// *previous* round, paired with their (authenticated) senders; it is empty
+/// in round 1.
+pub trait LocalByzantine: Send {
+    /// The value to put on the edge to `receiver` in `round`.
+    fn message(&mut self, round: usize, inbox: &[(NodeId, f64)], receiver: NodeId) -> f64;
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str {
+        "local-byzantine"
+    }
+}
+
+/// Shouts a fixed value on every edge, every round.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLiar {
+    /// The fixed lie.
+    pub value: f64,
+}
+
+impl LocalByzantine for ConstantLiar {
+    fn message(&mut self, _: usize, _: &[(NodeId, f64)], _: NodeId) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// The Theorem 1 proof adversary as a deployable process: members of `left`
+/// hear `m_minus`, members of `right` hear `m_plus`, everyone else hears
+/// `mid`. Entirely static — the proof needs no global knowledge at all,
+/// which is what makes the impossibility so robust.
+#[derive(Debug, Clone)]
+pub struct SplitBrainLiar {
+    /// Receivers pushed low.
+    pub left: NodeSet,
+    /// Receivers pushed high.
+    pub right: NodeSet,
+    /// Value below the honest minimum (`m⁻`).
+    pub m_minus: f64,
+    /// Value above the honest maximum (`M⁺`).
+    pub m_plus: f64,
+    /// In-range value for centre receivers.
+    pub mid: f64,
+}
+
+impl LocalByzantine for SplitBrainLiar {
+    fn message(&mut self, _: usize, _: &[(NodeId, f64)], receiver: NodeId) -> f64 {
+        if self.left.contains(receiver) {
+            self.m_minus
+        } else if self.right.contains(receiver) {
+            self.m_plus
+        } else {
+            self.mid
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "split-brain"
+    }
+}
+
+/// Estimates the network's value spread from its own inbox and plants
+/// values just beyond it — the deployable approximation of the simulator's
+/// omniscient `ExtremesAdversary`. Odd receivers get the inbox maximum
+/// plus `delta`, even receivers the minimum minus `delta`; before any
+/// inbox exists it falls back to `±delta`.
+#[derive(Debug, Clone, Copy)]
+pub struct InboxExtremist {
+    /// How far beyond the locally observed hull to aim.
+    pub delta: f64,
+}
+
+impl LocalByzantine for InboxExtremist {
+    fn message(&mut self, _: usize, inbox: &[(NodeId, f64)], receiver: NodeId) -> f64 {
+        let (lo, hi) = inbox.iter().fold((0.0f64, 0.0f64), |(lo, hi), &(_, v)| {
+            (lo.min(v), hi.max(v))
+        });
+        if receiver.index() % 2 == 1 {
+            hi + self.delta
+        } else {
+            lo - self.delta
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "inbox-extremist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn constant_liar_ignores_everything() {
+        let mut liar = ConstantLiar { value: 42.0 };
+        assert_eq!(liar.message(1, &[], nid(0)), 42.0);
+        assert_eq!(liar.message(9, &[(nid(1), -5.0)], nid(3)), 42.0);
+        assert_eq!(liar.name(), "constant");
+    }
+
+    #[test]
+    fn split_brain_routes_by_receiver() {
+        let mut liar = SplitBrainLiar {
+            left: NodeSet::from_indices(5, [0, 2]),
+            right: NodeSet::from_indices(5, [1, 3]),
+            m_minus: -1.0,
+            m_plus: 2.0,
+            mid: 0.5,
+        };
+        assert_eq!(liar.message(1, &[], nid(0)), -1.0);
+        assert_eq!(liar.message(1, &[], nid(3)), 2.0);
+        assert_eq!(liar.message(1, &[], nid(4)), 0.5);
+    }
+
+    #[test]
+    fn inbox_extremist_tracks_observed_hull() {
+        let mut liar = InboxExtremist { delta: 10.0 };
+        let inbox = [(nid(0), 3.0), (nid(1), 7.0)];
+        assert_eq!(liar.message(2, &inbox, nid(1)), 17.0, "odd receiver: hi + delta");
+        assert_eq!(liar.message(2, &inbox, nid(2)), -10.0, "even receiver: lo - delta");
+        // Empty inbox: falls back to ±delta around zero.
+        assert_eq!(liar.message(1, &[], nid(1)), 10.0);
+    }
+
+    #[test]
+    fn behaviours_are_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let liars: Vec<Box<dyn LocalByzantine>> = vec![
+            Box::new(ConstantLiar { value: 0.0 }),
+            Box::new(InboxExtremist { delta: 1.0 }),
+        ];
+        assert_send(&liars);
+        assert_eq!(liars.len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for threaded deployments.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a threaded deployment could not start or finish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// `inputs.len()` does not match the graph's node count.
+    InputLengthMismatch {
+        /// Number of inputs supplied.
+        inputs: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// The fault set was built over a different universe than the graph.
+    FaultSetMismatch {
+        /// Universe of the supplied fault set.
+        universe: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// Every node is faulty; there is no honest state to speak of.
+    NoFaultFreeNodes,
+    /// An input is NaN or infinite.
+    NonFiniteInput {
+        /// Offending node.
+        node: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// An honest node's in-degree cannot support trimming `2f` values.
+    InsufficientInDegree {
+        /// Offending node.
+        node: usize,
+        /// Its in-degree.
+        in_degree: usize,
+        /// Required minimum (`2f + 1` — Corollary 3, and one must survive).
+        needed: usize,
+    },
+    /// A node thread panicked or a link closed mid-protocol (should not
+    /// happen; indicates a bug or a poisoned thread).
+    NodeFailed {
+        /// The node whose thread failed.
+        node: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InputLengthMismatch { inputs, nodes } => {
+                write!(f, "{inputs} inputs supplied for {nodes} nodes")
+            }
+            RuntimeError::FaultSetMismatch { universe, nodes } => {
+                write!(f, "fault set universe {universe} does not match {nodes} nodes")
+            }
+            RuntimeError::NoFaultFreeNodes => write!(f, "every node is marked faulty"),
+            RuntimeError::NonFiniteInput { node, value } => {
+                write!(f, "input at node {node} is not finite ({value})")
+            }
+            RuntimeError::InsufficientInDegree { node, in_degree, needed } => {
+                write!(
+                    f,
+                    "node {node} has in-degree {in_degree}, below the {needed} required to trim 2f"
+                )
+            }
+            RuntimeError::NodeFailed { node } => {
+                write!(f, "node {node} thread failed mid-protocol")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let cases: Vec<(RuntimeError, &str)> = vec![
+            (
+                RuntimeError::InputLengthMismatch { inputs: 2, nodes: 3 },
+                "2 inputs supplied for 3 nodes",
+            ),
+            (RuntimeError::NoFaultFreeNodes, "every node is marked faulty"),
+            (
+                RuntimeError::InsufficientInDegree { node: 4, in_degree: 1, needed: 3 },
+                "node 4 has in-degree 1",
+            ),
+            (RuntimeError::NodeFailed { node: 2 }, "node 2 thread failed"),
+        ];
+        for (err, expect) in cases {
+            assert!(err.to_string().contains(expect), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(RuntimeError::NoFaultFreeNodes);
+    }
+}

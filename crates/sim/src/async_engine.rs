@@ -1,0 +1,714 @@
+//! Asynchronous execution models (paper Section 7).
+//!
+//! The paper sketches two generalizations; we make both concrete
+//! (documented as our concretization in DESIGN.md):
+//!
+//! * **Partially asynchronous** (the model of Bertsekas–Tsitsiklis \[4\],
+//!   §7 of that book): messages may be delayed up to `B − 1` extra ticks.
+//!   [`DelayBoundedSim`] keeps a per-edge mailbox holding the freshest
+//!   delivered value; a [`Scheduler`] (possibly adversarial) picks delays.
+//!
+//! * **Totally asynchronous** trim-`2f` algorithm: a node cannot wait for
+//!   all `|N⁻_i|` messages (up to `f` faulty senders may stay silent
+//!   forever), so it updates on any `|N⁻_i| − f` of them and trims `f` from
+//!   each end. [`WithholdingSim`] models the adversary's scheduling power as
+//!   choosing, per node and round, which `f` in-neighbour messages to
+//!   withhold. Survivor count is `|N⁻_i| − 3f`, whence the §7 requirement
+//!   `|N⁻_i| ≥ 3f + 1` (and the `2f + 1` threshold in the async `⇒`).
+
+use iabc_core::rules::UpdateRule;
+use iabc_graph::{Digraph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::error::SimError;
+use crate::trace::{Trace, ValidityReport};
+
+/// Chooses per-message delays for the partially asynchronous model.
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Extra ticks (in `0..B`) before the message sent by `sender` to
+    /// `receiver` at `round` becomes readable.
+    fn delay(&mut self, round: usize, sender: NodeId, receiver: NodeId, bound: usize) -> usize;
+}
+
+/// Delivers everything immediately (degenerates to the synchronous engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImmediateScheduler;
+
+impl Scheduler for ImmediateScheduler {
+    fn delay(&mut self, _: usize, _: NodeId, _: NodeId, _: usize) -> usize {
+        0
+    }
+}
+
+/// Delays every message by the maximum `B − 1` ticks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxDelayScheduler;
+
+impl Scheduler for MaxDelayScheduler {
+    fn delay(&mut self, _: usize, _: NodeId, _: NodeId, bound: usize) -> usize {
+        bound.saturating_sub(1)
+    }
+}
+
+/// Uniform random delay in `0..B` per message (seeded, reproducible).
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler with a deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn delay(&mut self, _: usize, _: NodeId, _: NodeId, bound: usize) -> usize {
+        if bound <= 1 {
+            0
+        } else {
+            self.rng.random_range(0..bound)
+        }
+    }
+}
+
+/// Delays only the edges *into* a victim set, maximally; everything else is
+/// immediate. The worst case for information flow across a cut: the victims
+/// run `B − 1` ticks stale while the rest of the network runs fresh — an
+/// adversarial-scheduler probe sharper than uniform delay.
+#[derive(Debug, Clone)]
+pub struct TargetedScheduler {
+    /// Receivers whose incoming messages are maximally delayed.
+    pub victims: NodeSet,
+}
+
+impl Scheduler for TargetedScheduler {
+    fn delay(&mut self, _: usize, _: NodeId, receiver: NodeId, bound: usize) -> usize {
+        if self.victims.contains(receiver) {
+            bound.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+}
+
+/// Outcome of an asynchronous run (same shape as the synchronous one).
+#[derive(Debug)]
+pub struct AsyncOutcome {
+    /// `true` iff the fault-free range reached epsilon in time.
+    pub converged: bool,
+    /// Ticks executed.
+    pub rounds: usize,
+    /// Final fault-free range.
+    pub final_range: f64,
+    /// Validity audit over the recorded trace.
+    pub validity: ValidityReport,
+    /// Recorded trace.
+    pub trace: Trace,
+}
+
+/// Partially asynchronous engine: per-edge mailboxes with delay bound `B`.
+///
+/// Each tick, every node (honest or, via the [`Adversary`], faulty)
+/// transmits on its out-edges; the [`Scheduler`] stamps each message with a
+/// delay `< B`; mailboxes expose the freshest *delivered* value. Honest
+/// nodes update every tick from their mailboxes, so they always consume a
+/// value `v_j[t']` with `t' ≥ t − B` — exactly the staleness the paper's
+/// partially-asynchronous generalization permits.
+#[derive(Debug)]
+pub struct DelayBoundedSim<'a> {
+    graph: &'a Digraph,
+    fault_set: NodeSet,
+    rule: &'a dyn UpdateRule,
+    adversary: Box<dyn Adversary>,
+    scheduler: Box<dyn Scheduler>,
+    delay_bound: usize,
+    states: Vec<f64>,
+    /// mailbox[receiver][k] = freshest delivered value from the k-th
+    /// in-neighbour (by ascending node id).
+    mailbox: Vec<Vec<f64>>,
+    /// in-flight messages: (deliver_at_tick, receiver, slot, value)
+    in_flight: Vec<(usize, usize, usize, f64)>,
+    round: usize,
+}
+
+impl<'a> DelayBoundedSim<'a> {
+    /// Sets up the engine; mailboxes start holding the initial states (as if
+    /// delivered before tick 0).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`crate::Simulation::new`]; additionally
+    /// `delay_bound` must be ≥ 1.
+    pub fn new(
+        graph: &'a Digraph,
+        inputs: &[f64],
+        fault_set: NodeSet,
+        rule: &'a dyn UpdateRule,
+        adversary: Box<dyn Adversary>,
+        scheduler: Box<dyn Scheduler>,
+        delay_bound: usize,
+    ) -> Result<Self, SimError> {
+        let n = graph.node_count();
+        if inputs.len() != n {
+            return Err(SimError::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
+        }
+        if fault_set.universe() != n {
+            return Err(SimError::FaultSetMismatch {
+                universe: fault_set.universe(),
+                nodes: n,
+            });
+        }
+        if fault_set.len() == n {
+            return Err(SimError::NoFaultFreeNodes);
+        }
+        if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(SimError::NonFiniteInput { node, value });
+        }
+        assert!(delay_bound >= 1, "delay bound B must be >= 1");
+        let mailbox = graph
+            .nodes()
+            .map(|v| {
+                graph
+                    .in_neighbors(v)
+                    .iter()
+                    .map(|j| inputs[j.index()])
+                    .collect()
+            })
+            .collect();
+        Ok(DelayBoundedSim {
+            graph,
+            fault_set,
+            rule,
+            adversary,
+            scheduler,
+            delay_bound,
+            states: inputs.to_vec(),
+            mailbox,
+            in_flight: Vec::new(),
+            round: 0,
+        })
+    }
+
+    /// Current fault-free range.
+    pub fn honest_range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &v) in self.states.iter().enumerate() {
+            if !self.fault_set.contains(NodeId::new(i)) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        hi - lo
+    }
+
+    /// Current states.
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// One tick: send, deliver, update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Rule`] if a rule application fails.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let prev = self.states.clone();
+        // Send phase.
+        for sender in self.graph.nodes() {
+            for (slot, receiver) in enumerate_out_slots(self.graph, sender) {
+                let value = if self.fault_set.contains(sender) {
+                    let view = AdversaryView {
+                        round: self.round,
+                        graph: self.graph,
+                        states: &prev,
+                        fault_set: &self.fault_set,
+                    };
+                    let raw = self.adversary.message(&view, sender, receiver);
+                    if raw.is_nan() {
+                        1e100
+                    } else {
+                        raw.clamp(-1e100, 1e100)
+                    }
+                } else {
+                    prev[sender.index()]
+                };
+                let delay = self
+                    .scheduler
+                    .delay(self.round, sender, receiver, self.delay_bound)
+                    .min(self.delay_bound - 1);
+                self.in_flight
+                    .push((self.round + delay, receiver.index(), slot, value));
+            }
+        }
+        // Delivery phase.
+        let now = self.round;
+        let mut still_flying = Vec::with_capacity(self.in_flight.len());
+        for (at, receiver, slot, value) in self.in_flight.drain(..) {
+            if at <= now {
+                self.mailbox[receiver][slot] = value;
+            } else {
+                still_flying.push((at, receiver, slot, value));
+            }
+        }
+        self.in_flight = still_flying;
+        // Update phase.
+        let mut next = prev.clone();
+        for i in self.graph.nodes() {
+            if self.fault_set.contains(i) {
+                continue;
+            }
+            let mut received = self.mailbox[i.index()].clone();
+            next[i.index()] = self
+                .rule
+                .update(prev[i.index()], &mut received)
+                .map_err(|source| SimError::Rule {
+                    node: i.index(),
+                    round: self.round,
+                    source,
+                })?;
+        }
+        self.states = next;
+        Ok(())
+    }
+
+    /// Runs to `epsilon` or `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Rule`] from [`DelayBoundedSim::step`].
+    pub fn run(&mut self, epsilon: f64, max_rounds: usize) -> Result<AsyncOutcome, SimError> {
+        let mut trace = Trace::new(false);
+        trace.push(self.round, &self.states, &self.fault_set);
+        while self.honest_range() > epsilon && self.round < max_rounds {
+            self.step()?;
+            trace.push(self.round, &self.states, &self.fault_set);
+        }
+        let final_range = self.honest_range();
+        Ok(AsyncOutcome {
+            converged: final_range <= epsilon,
+            rounds: self.round,
+            final_range,
+            validity: trace.validity(1e-9),
+            trace,
+        })
+    }
+}
+
+/// Stable slot numbering of `sender`'s position in each receiver's mailbox:
+/// receiver mailboxes are ordered by ascending in-neighbour id.
+fn enumerate_out_slots(graph: &Digraph, sender: NodeId) -> Vec<(usize, NodeId)> {
+    graph
+        .out_neighbors(sender)
+        .iter()
+        .map(|receiver| {
+            let slot = graph
+                .in_neighbors(receiver)
+                .iter()
+                .position(|j| j == sender)
+                .expect("sender is an in-neighbour of its out-neighbour");
+            (slot, receiver)
+        })
+        .collect()
+}
+
+/// Totally asynchronous trim-`2f` engine: each round the adversary withholds
+/// up to `f` in-neighbour messages per honest node (modelling unbounded
+/// delay on faulty senders); the node trims `f` low + `f` high from the
+/// remaining `|N⁻_i| − f` values and averages survivors with its own state.
+///
+/// With `|N⁻_i| = 3f` the survivor set is empty and states freeze — the
+/// engine exposes exactly the §7 threshold (`|N⁻_i| ≥ 3f + 1`).
+#[derive(Debug)]
+pub struct WithholdingSim<'a> {
+    graph: &'a Digraph,
+    fault_set: NodeSet,
+    f: usize,
+    adversary: Box<dyn Adversary>,
+    states: Vec<f64>,
+    round: usize,
+}
+
+impl<'a> WithholdingSim<'a> {
+    /// Sets up the engine.
+    ///
+    /// # Errors
+    ///
+    /// Same input validation as the synchronous engine.
+    pub fn new(
+        graph: &'a Digraph,
+        inputs: &[f64],
+        fault_set: NodeSet,
+        f: usize,
+        adversary: Box<dyn Adversary>,
+    ) -> Result<Self, SimError> {
+        let n = graph.node_count();
+        if inputs.len() != n {
+            return Err(SimError::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
+        }
+        if fault_set.universe() != n {
+            return Err(SimError::FaultSetMismatch {
+                universe: fault_set.universe(),
+                nodes: n,
+            });
+        }
+        if fault_set.len() == n {
+            return Err(SimError::NoFaultFreeNodes);
+        }
+        if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(SimError::NonFiniteInput { node, value });
+        }
+        Ok(WithholdingSim {
+            graph,
+            fault_set,
+            f,
+            adversary,
+            states: inputs.to_vec(),
+            round: 0,
+        })
+    }
+
+    /// Current states.
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// Current fault-free range.
+    pub fn honest_range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &v) in self.states.iter().enumerate() {
+            if !self.fault_set.contains(NodeId::new(i)) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        hi - lo
+    }
+
+    /// One round. The adversary withholds the messages of up to `f` faulty
+    /// in-neighbours per node (an honest sender's message always arrives —
+    /// faulty senders are the ones whose silence the algorithm must absorb).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Rule`] if a node has fewer than `2f` usable
+    /// values after withholding (in-degree `< 3f`).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let prev = self.states.clone();
+        let mut next = prev.clone();
+        for i in self.graph.nodes() {
+            if self.fault_set.contains(i) {
+                continue;
+            }
+            // Withhold: drop messages from up to f faulty in-neighbours.
+            let mut received = Vec::new();
+            let mut withheld = 0usize;
+            for j in self.graph.in_neighbors(i).iter() {
+                if self.fault_set.contains(j) && withheld < self.f {
+                    withheld += 1;
+                    continue;
+                }
+                let raw = if self.fault_set.contains(j) {
+                    let view = AdversaryView {
+                        round: self.round,
+                        graph: self.graph,
+                        states: &prev,
+                        fault_set: &self.fault_set,
+                    };
+                    self.adversary.message(&view, j, i)
+                } else {
+                    prev[j.index()]
+                };
+                received.push(if raw.is_nan() {
+                    1e100
+                } else {
+                    raw.clamp(-1e100, 1e100)
+                });
+            }
+            // Pessimism: if fewer than f faulty in-neighbours exist, the
+            // scheduler can still delay honest messages; drop the remainder
+            // from the *largest-id* honest senders to keep determinism.
+            while withheld < self.f && !received.is_empty() {
+                received.pop();
+                withheld += 1;
+            }
+            if received.len() < 2 * self.f {
+                return Err(SimError::Rule {
+                    node: i.index(),
+                    round: self.round,
+                    source: iabc_core::RuleError::InsufficientValues {
+                        needed: 2 * self.f,
+                        got: received.len(),
+                    },
+                });
+            }
+            received.sort_unstable_by(f64::total_cmp);
+            let survivors = &received[self.f..received.len() - self.f];
+            let weight = 1.0 / (survivors.len() as f64 + 1.0);
+            next[i.index()] = weight * (prev[i.index()] + survivors.iter().sum::<f64>());
+        }
+        self.states = next;
+        Ok(())
+    }
+
+    /// Runs to `epsilon` or `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Rule`] from [`WithholdingSim::step`].
+    pub fn run(&mut self, epsilon: f64, max_rounds: usize) -> Result<AsyncOutcome, SimError> {
+        let mut trace = Trace::new(false);
+        trace.push(self.round, &self.states, &self.fault_set);
+        while self.honest_range() > epsilon && self.round < max_rounds {
+            self.step()?;
+            trace.push(self.round, &self.states, &self.fault_set);
+        }
+        let final_range = self.honest_range();
+        Ok(AsyncOutcome {
+            converged: final_range <= epsilon,
+            rounds: self.round,
+            final_range,
+            validity: trace.validity(1e-9),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ConformingAdversary, ConstantAdversary, ExtremesAdversary};
+    use iabc_core::rules::TrimmedMean;
+    use iabc_graph::generators;
+
+    fn no_faults(n: usize) -> NodeSet {
+        NodeSet::with_universe(n)
+    }
+
+    #[test]
+    fn immediate_scheduler_matches_synchronous_engine() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+
+        let mut sync_sim = crate::Simulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            &rule,
+            Box::new(ConstantAdversary { value: 1e6 }),
+        )
+        .unwrap();
+        let mut async_sim = DelayBoundedSim::new(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ConstantAdversary { value: 1e6 }),
+            Box::new(ImmediateScheduler),
+            1,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            sync_sim.step().unwrap();
+            async_sim.step().unwrap();
+            for (a, b) in sync_sim.states().iter().zip(async_sim.states()) {
+                assert!((a - b).abs() < 1e-12, "engines diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_bounded_run_converges_with_max_delay() {
+        // E9: convergence survives worst-case bounded staleness.
+        let g = generators::complete(6);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0];
+        let faults = NodeSet::from_indices(6, [5]);
+        let rule = TrimmedMean::new(1);
+        for b in [1usize, 2, 5] {
+            let mut sim = DelayBoundedSim::new(
+                &g,
+                &inputs,
+                faults.clone(),
+                &rule,
+                Box::new(ExtremesAdversary { delta: 50.0 }),
+                Box::new(MaxDelayScheduler),
+                b,
+            )
+            .unwrap();
+            let out = sim.run(1e-6, 5_000).unwrap();
+            assert!(out.converged, "B={b} should still converge");
+            // NOTE: with stale values U[t] may transiently exceed U[t-1]
+            // (validity in the async model is w.r.t. the initial hull, not
+            // per-round monotonicity), so we check the hull instead:
+            let v = sim.states()[0];
+            assert!((0.0..=4.0).contains(&v), "escaped initial hull: {v}");
+        }
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let g = generators::complete(6);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0];
+        let faults = NodeSet::from_indices(6, [5]);
+        let rule = TrimmedMean::new(1);
+        let run = |seed| {
+            let mut sim = DelayBoundedSim::new(
+                &g,
+                &inputs,
+                faults.clone(),
+                &rule,
+                Box::new(ConformingAdversary),
+                Box::new(RandomScheduler::new(seed)),
+                3,
+            )
+            .unwrap();
+            sim.run(1e-9, 2_000).unwrap().rounds
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn withholding_converges_iff_in_degree_exceeds_3f() {
+        // K11 with f = 2: in-degree 10 ≥ 3f + 1 = 7 -> converges.
+        let g = generators::complete(11);
+        let mut inputs: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        inputs[9] = 0.0;
+        inputs[10] = 0.0;
+        let faults = NodeSet::from_indices(11, [9, 10]);
+        let mut sim = WithholdingSim::new(
+            &g,
+            &inputs,
+            faults,
+            2,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .unwrap();
+        let out = sim.run(1e-6, 5_000).unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+
+        // K7 with f = 2: in-degree 6 = 3f -> survivor set empty, frozen.
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let mut sim = WithholdingSim::new(
+            &g,
+            &inputs,
+            faults,
+            2,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .unwrap();
+        for _ in 0..50 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.states()[0], 0.0, "state must be frozen");
+        assert!(sim.honest_range() >= 4.0, "no progress possible at 3f in-degree");
+    }
+
+    #[test]
+    fn withholding_errors_below_3f_in_degree() {
+        // in-degree 5 with f = 2: after withholding 2, only 3 < 2f remain.
+        let g = generators::chord(7, 5);
+        let inputs = [0.0; 7];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let mut sim = WithholdingSim::new(
+            &g,
+            &inputs,
+            faults,
+            2,
+            Box::new(ConstantAdversary { value: 1.0 }),
+        )
+        .unwrap();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Rule { .. }));
+    }
+
+    #[test]
+    fn constructor_validation_mirrors_sync_engine() {
+        let g = generators::complete(3);
+        let rule = TrimmedMean::new(0);
+        assert!(DelayBoundedSim::new(
+            &g,
+            &[1.0, 2.0],
+            no_faults(3),
+            &rule,
+            Box::new(ConformingAdversary),
+            Box::new(ImmediateScheduler),
+            1,
+        )
+        .is_err());
+        assert!(WithholdingSim::new(
+            &g,
+            &[1.0, f64::NAN, 2.0],
+            no_faults(3),
+            0,
+            Box::new(ConformingAdversary),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn targeted_scheduler_delays_only_victims() {
+        let mut s = TargetedScheduler {
+            victims: NodeSet::from_indices(4, [2]),
+        };
+        assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(2), 5), 4);
+        assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(1), 5), 0);
+        assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(2), 1), 0, "B = 1 means no slack");
+    }
+
+    #[test]
+    fn targeted_delay_converges_slower_than_immediate() {
+        let g = generators::complete(6);
+        let inputs = [0.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+        let rule = TrimmedMean::new(1);
+        let faults = || NodeSet::from_indices(6, [5]);
+        let run = |scheduler: Box<dyn Scheduler>| {
+            let mut sim = DelayBoundedSim::new(
+                &g,
+                &inputs,
+                faults(),
+                &rule,
+                Box::new(ConformingAdversary),
+                scheduler,
+                4,
+            )
+            .unwrap();
+            sim.run(1e-6, 10_000).unwrap()
+        };
+        let fast = run(Box::new(ImmediateScheduler));
+        let slow = run(Box::new(TargetedScheduler {
+            victims: NodeSet::from_indices(6, [0, 1]),
+        }));
+        assert!(fast.converged && slow.converged);
+        // Per-tick monotonicity (Equation 1) is a *synchronous* property;
+        // with stale deliveries only containment in the historical hull is
+        // guaranteed. Check the final values stay in the initial hull.
+        for out in [&fast, &slow] {
+            let last = out.trace.last().expect("trace recorded");
+            assert!(last.min >= 0.0 - 1e-9 && last.max <= 100.0 + 1e-9);
+        }
+        assert!(
+            slow.rounds >= fast.rounds,
+            "starving two victims ({}) must not beat immediate delivery ({})",
+            slow.rounds,
+            fast.rounds
+        );
+    }
+}

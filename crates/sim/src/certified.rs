@@ -1,0 +1,223 @@
+//! Certified termination — the paper's footnote 2, made concrete.
+//!
+//! The iterative algorithms of the paper run forever; footnote 2 remarks a
+//! practical implementation "may keep track of time … to decide to
+//! terminate after a certain number of iterations". The sound way to do
+//! that is Lemma 5's contraction bound: from `α`, the worst-case
+//! propagation length `l`, and the *input* range, a node can precompute a
+//! round count after which the honest range is guaranteed ≤ ε — **under
+//! any adversary** — and stop without ever observing global state.
+//!
+//! [`run_certified`] does exactly that: it computes the bound, runs that
+//! many rounds blindly (no global convergence checks — real nodes cannot
+//! perform them), and reports the certificate next to what actually
+//! happened. Because the bound is extremely conservative, a `round_cap`
+//! protects against graphs whose certificate exceeds practical budgets; a
+//! capped run reports `capped: true` and carries no guarantee.
+
+use iabc_core::alpha;
+use iabc_core::rules::TrimmedMean;
+use iabc_graph::{Digraph, NodeId, NodeSet};
+
+use crate::adversary::Adversary;
+use crate::engine::Simulation;
+use crate::error::SimError;
+
+/// The a-priori termination certificate and the observed outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Rounds Lemma 5 certifies as sufficient for the target range.
+    pub bound_rounds: usize,
+    /// Rounds actually executed (`min(bound_rounds, round_cap)`).
+    pub ran_rounds: usize,
+    /// `true` if the cap truncated the certified schedule (no guarantee).
+    pub capped: bool,
+    /// The ε the certificate targets.
+    pub target_range: f64,
+    /// Honest range measured after the run (diagnostic only — the protocol
+    /// itself never sees it).
+    pub achieved_range: f64,
+    /// Final states (faulty entries meaningless).
+    pub final_states: Vec<f64>,
+}
+
+/// Runs Algorithm 1 for the Lemma 5 certified number of rounds and stops —
+/// no global convergence detection involved.
+///
+/// The initial range entering the bound is the **honest input spread**,
+/// which a deployment knows a priori (e.g. sensor calibration limits).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid inputs (see [`Simulation::new`]) or if
+/// the graph's in-degrees cannot support trimming `2f` values.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, NodeSet};
+/// use iabc_sim::adversary::PolarizingAdversary;
+/// use iabc_sim::certified::run_certified;
+///
+/// let g = generators::complete(7);
+/// let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 9.0, 9.0];
+/// let faults = NodeSet::from_indices(7, [5, 6]);
+/// let cert = run_certified(
+///     &g, &inputs, faults, 2,
+///     Box::new(PolarizingAdversary),
+///     1e-3, 100_000,
+/// )?;
+/// assert!(!cert.capped);
+/// assert!(cert.achieved_range <= 1e-3); // guarantee held, adversary or not
+/// # Ok::<(), iabc_sim::SimError>(())
+/// ```
+pub fn run_certified(
+    graph: &Digraph,
+    inputs: &[f64],
+    fault_set: NodeSet,
+    f: usize,
+    adversary: Box<dyn Adversary>,
+    epsilon: f64,
+    round_cap: usize,
+) -> Result<Certificate, SimError> {
+    let initial_range = honest_range(inputs, &fault_set);
+    let bound_rounds = alpha::iteration_bound(graph, f, initial_range, epsilon)
+        .map_err(|source| SimError::Rule {
+            node: 0,
+            round: 0,
+            source,
+        })?;
+    let rule = TrimmedMean::new(f);
+    let mut sim = Simulation::new(graph, inputs, fault_set, &rule, adversary)?;
+    let ran_rounds = bound_rounds.min(round_cap);
+    for _ in 0..ran_rounds {
+        sim.step()?;
+    }
+    Ok(Certificate {
+        bound_rounds,
+        ran_rounds,
+        capped: ran_rounds < bound_rounds,
+        target_range: epsilon,
+        achieved_range: sim.honest_range(),
+        final_states: sim.states().to_vec(),
+    })
+}
+
+fn honest_range(inputs: &[f64], fault_set: &NodeSet) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (i, &v) in inputs.iter().enumerate() {
+        if !fault_set.contains(NodeId::new(i)) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if lo.is_finite() {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ConformingAdversary, ExtremesAdversary, PullAdversary};
+    use iabc_graph::generators;
+
+    #[test]
+    fn certificate_holds_under_every_adversary() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 10.0, 20.0, 30.0, 40.0, 0.0, 0.0];
+        let make_faults = || NodeSet::from_indices(7, [5, 6]);
+        let adversaries: Vec<Box<dyn Adversary>> = vec![
+            Box::new(ConformingAdversary),
+            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(PullAdversary { toward_max: true }),
+        ];
+        for adv in adversaries {
+            let name = adv.name();
+            let cert =
+                run_certified(&g, &inputs, make_faults(), 2, adv, 1e-3, 200_000).unwrap();
+            assert!(!cert.capped, "{name}: bound {} unexpectedly above cap", cert.bound_rounds);
+            assert!(
+                cert.achieved_range <= cert.target_range,
+                "{name}: achieved {} > target {}",
+                cert.achieved_range,
+                cert.target_range
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_conservative() {
+        // The certificate must overshoot what the run actually needs.
+        let g = generators::complete(7);
+        let inputs = [0.0, 10.0, 20.0, 30.0, 40.0, 0.0, 0.0];
+        let cert = run_certified(
+            &g,
+            &inputs,
+            NodeSet::from_indices(7, [5, 6]),
+            2,
+            Box::new(ConformingAdversary),
+            1e-3,
+            200_000,
+        )
+        .unwrap();
+        assert!(cert.achieved_range < cert.target_range / 10.0,
+            "Lemma 5 bound should overshoot substantially; got {}", cert.achieved_range);
+    }
+
+    #[test]
+    fn cap_truncates_and_reports() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 10.0, 20.0, 30.0, 40.0, 0.0, 0.0];
+        let cert = run_certified(
+            &g,
+            &inputs,
+            NodeSet::from_indices(7, [5, 6]),
+            2,
+            Box::new(ConformingAdversary),
+            1e-9,
+            10,
+        )
+        .unwrap();
+        assert!(cert.capped);
+        assert_eq!(cert.ran_rounds, 10);
+        assert!(cert.bound_rounds > 10);
+    }
+
+    #[test]
+    fn zero_range_inputs_terminate_immediately() {
+        let g = generators::complete(4);
+        let inputs = [5.0; 4];
+        let cert = run_certified(
+            &g,
+            &inputs,
+            NodeSet::with_universe(4),
+            1,
+            Box::new(ConformingAdversary),
+            1e-6,
+            1000,
+        )
+        .unwrap();
+        assert_eq!(cert.bound_rounds, 0);
+        assert_eq!(cert.achieved_range, 0.0);
+    }
+
+    #[test]
+    fn deficient_graph_is_an_error() {
+        let g = generators::cycle(5);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let err = run_certified(
+            &g,
+            &inputs,
+            NodeSet::with_universe(5),
+            1,
+            Box::new(ConformingAdversary),
+            1e-6,
+            100,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Rule { .. }));
+    }
+}

@@ -1,0 +1,649 @@
+//! The synchronous round engine (the paper's execution model, §2.1/§2.3).
+//!
+//! One iteration `t`:
+//!
+//! 1. every node transmits its state `v[t-1]` on all outgoing edges —
+//!    faulty senders instead ask the [`Adversary`] for a per-edge value
+//!    (point-to-point model: different lies to different neighbours);
+//! 2. every fault-free node applies its [`UpdateRule`] to
+//!    `(own state, received vector)`;
+//! 3. states switch to the new values simultaneously (synchronous network).
+//!
+//! Non-finite Byzantine payloads are sanitized at the receiver boundary
+//! (clamped to huge-but-finite sentinels) before reaching the rule — rules
+//! also reject non-finite input themselves, as defense in depth.
+
+use iabc_core::rules::UpdateRule;
+use iabc_graph::{Digraph, NodeId, NodeSet};
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::error::SimError;
+use crate::trace::{Trace, ValidityReport};
+
+/// Sentinel magnitude for sanitized non-finite Byzantine payloads. Large
+/// enough to land in the trimmed tails, small enough that partial sums stay
+/// finite.
+const SANITIZE_CLAMP: f64 = 1e100;
+
+/// Configuration for a synchronous simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Record full per-round state vectors in the trace (costs memory).
+    pub record_states: bool,
+    /// Convergence threshold on the fault-free range `U[t] − µ[t]`.
+    pub epsilon: f64,
+    /// Hard cap on iterations.
+    pub max_rounds: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record_states: true,
+            epsilon: 1e-6,
+            max_rounds: 10_000,
+        }
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// `true` iff the fault-free range reached `epsilon` within the round cap.
+    pub converged: bool,
+    /// Rounds actually executed.
+    pub rounds: usize,
+    /// Final fault-free range `U − µ`.
+    pub final_range: f64,
+    /// Audit of the validity condition (Equation 1) over the whole run.
+    pub validity: ValidityReport,
+    /// The recorded trace.
+    pub trace: Trace,
+}
+
+/// A synchronous iterative-consensus simulation.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::TrimmedMean;
+/// use iabc_graph::{generators, NodeSet};
+/// use iabc_sim::{adversary::ConstantAdversary, SimConfig, Simulation};
+///
+/// // K7, f = 2: two colluding nodes shout 1e9; honest nodes still converge
+/// // inside the honest input hull.
+/// let g = generators::complete(7);
+/// let inputs = vec![0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+/// let faults = NodeSet::from_indices(7, [5, 6]);
+/// let rule = TrimmedMean::new(2);
+/// let adv = ConstantAdversary { value: 1e9 };
+/// let mut sim = Simulation::new(&g, &inputs, faults, &rule, Box::new(adv))?;
+/// let outcome = sim.run(&SimConfig::default())?;
+/// assert!(outcome.converged);
+/// assert!(outcome.validity.is_valid());
+/// # Ok::<(), iabc_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    graph: &'a Digraph,
+    fault_set: NodeSet,
+    rule: &'a dyn UpdateRule,
+    adversary: Box<dyn Adversary>,
+    states: Vec<f64>,
+    round: usize,
+    scratch: Vec<f64>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Sets up a simulation with initial `inputs` (one per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if inputs don't match the graph, contain
+    /// non-finite values, the fault set universe mismatches, or no node is
+    /// fault-free.
+    pub fn new(
+        graph: &'a Digraph,
+        inputs: &[f64],
+        fault_set: NodeSet,
+        rule: &'a dyn UpdateRule,
+        adversary: Box<dyn Adversary>,
+    ) -> Result<Self, SimError> {
+        let n = graph.node_count();
+        if inputs.len() != n {
+            return Err(SimError::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
+        }
+        if fault_set.universe() != n {
+            return Err(SimError::FaultSetMismatch {
+                universe: fault_set.universe(),
+                nodes: n,
+            });
+        }
+        if fault_set.len() == n {
+            return Err(SimError::NoFaultFreeNodes);
+        }
+        if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(SimError::NonFiniteInput { node, value });
+        }
+        Ok(Simulation {
+            graph,
+            fault_set,
+            rule,
+            adversary,
+            states: inputs.to_vec(),
+            round: 0,
+            scratch: Vec::with_capacity(n),
+        })
+    }
+
+    /// Current iteration count.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Current state vector (faulty entries are whatever their inputs were;
+    /// only fault-free entries are meaningful).
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// The faulty set.
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
+    /// Current fault-free range `U − µ`.
+    pub fn honest_range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &v) in self.states.iter().enumerate() {
+            if !self.fault_set.contains(NodeId::new(i)) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        hi - lo
+    }
+
+    /// Executes one synchronous iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Rule`] if the update rule fails at some node
+    /// (e.g. insufficient in-degree for the configured trimming).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let prev = self.states.clone();
+        let mut next = prev.clone();
+        for i in self.graph.nodes() {
+            if self.fault_set.contains(i) {
+                continue; // faulty nodes have no meaningful state evolution
+            }
+            self.scratch.clear();
+            for j in self.graph.in_neighbors(i).iter() {
+                let raw = if self.fault_set.contains(j) {
+                    let view = AdversaryView {
+                        round: self.round,
+                        graph: self.graph,
+                        states: &prev,
+                        fault_set: &self.fault_set,
+                    };
+                    if self.adversary.omits(&view, j, i) {
+                        // Missing message in a synchronous round: substitute
+                        // the receiver's own previous state (in-hull, so
+                        // validity is unaffected).
+                        prev[i.index()]
+                    } else {
+                        self.adversary.message(&view, j, i)
+                    }
+                } else {
+                    prev[j.index()]
+                };
+                self.scratch.push(sanitize(raw));
+            }
+            next[i.index()] =
+                self.rule
+                    .update(prev[i.index()], &mut self.scratch)
+                    .map_err(|source| SimError::Rule {
+                        node: i.index(),
+                        round: self.round,
+                        source,
+                    })?;
+        }
+        self.states = next;
+        Ok(())
+    }
+
+    /// Runs until the fault-free range is `≤ config.epsilon` or
+    /// `config.max_rounds` is hit, recording a trace throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Rule`] from [`Simulation::step`].
+    pub fn run(&mut self, config: &SimConfig) -> Result<Outcome, SimError> {
+        let mut trace = Trace::new(config.record_states);
+        trace.push(self.round, &self.states, &self.fault_set);
+        while self.honest_range() > config.epsilon && self.round < config.max_rounds {
+            self.step()?;
+            trace.push(self.round, &self.states, &self.fault_set);
+        }
+        let final_range = self.honest_range();
+        Ok(Outcome {
+            converged: final_range <= config.epsilon,
+            rounds: self.round,
+            final_range,
+            validity: trace.validity(1e-9),
+            trace,
+        })
+    }
+}
+
+/// Clamps Byzantine payloads to finite sentinels so that honest arithmetic
+/// stays well-defined. NaN maps to `+SANITIZE_CLAMP` (it will sit in a
+/// trimmed tail like any other outlier).
+pub(crate) fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        SANITIZE_CLAMP
+    } else {
+        v.clamp(-SANITIZE_CLAMP, SANITIZE_CLAMP)
+    }
+}
+
+/// Convenience one-call runner used by experiments and examples.
+///
+/// # Errors
+///
+/// See [`Simulation::new`] and [`Simulation::run`].
+pub fn run_consensus(
+    graph: &Digraph,
+    inputs: &[f64],
+    fault_set: NodeSet,
+    rule: &dyn UpdateRule,
+    adversary: Box<dyn Adversary>,
+    config: &SimConfig,
+) -> Result<Outcome, SimError> {
+    Simulation::new(graph, inputs, fault_set, rule, adversary)?.run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{
+        ConformingAdversary, ConstantAdversary, ExtremesAdversary, NaNAdversary, PullAdversary,
+        SplitBrainAdversary,
+    };
+    use iabc_core::rules::{Mean, TrimmedMean};
+    use iabc_graph::generators;
+
+    fn no_faults(n: usize) -> NodeSet {
+        NodeSet::with_universe(n)
+    }
+
+    #[test]
+    fn constructor_validates_inputs() {
+        let g = generators::complete(3);
+        let rule = TrimmedMean::new(0);
+        assert!(matches!(
+            Simulation::new(&g, &[1.0, 2.0], no_faults(3), &rule, Box::new(ConformingAdversary)),
+            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+        ));
+        assert!(matches!(
+            Simulation::new(
+                &g,
+                &[1.0, f64::NAN, 3.0],
+                no_faults(3),
+                &rule,
+                Box::new(ConformingAdversary)
+            ),
+            Err(SimError::NonFiniteInput { node: 1, .. })
+        ));
+        assert!(matches!(
+            Simulation::new(
+                &g,
+                &[1.0, 2.0, 3.0],
+                NodeSet::full(3),
+                &rule,
+                Box::new(ConformingAdversary)
+            ),
+            Err(SimError::NoFaultFreeNodes)
+        ));
+        assert!(matches!(
+            Simulation::new(
+                &g,
+                &[1.0, 2.0, 3.0],
+                NodeSet::with_universe(4),
+                &rule,
+                Box::new(ConformingAdversary)
+            ),
+            Err(SimError::FaultSetMismatch { universe: 4, nodes: 3 })
+        ));
+    }
+
+    #[test]
+    fn fault_free_mean_converges_on_complete_graph() {
+        let g = generators::complete(5);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rule = Mean::new();
+        let mut sim =
+            Simulation::new(&g, &inputs, no_faults(5), &rule, Box::new(ConformingAdversary))
+                .unwrap();
+        let out = sim.run(&SimConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+        // Equal weights on a complete graph preserve the average exactly.
+        let final_mean = out.trace.last().unwrap().states[0];
+        assert!((final_mean - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trimmed_mean_beats_constant_attacker_on_k7() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged, "range left: {}", out.final_range);
+        assert!(out.validity.is_valid());
+        // Converged value inside honest hull [0, 4].
+        let v = out.trace.last().unwrap().states[0];
+        assert!((0.0..=4.0).contains(&v), "agreed value {v} outside hull");
+    }
+
+    #[test]
+    fn plain_mean_violates_validity_under_attack() {
+        // Ablation E12: without trimming the constant attacker drags honest
+        // states outside the honest input hull.
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = Mean::new();
+        let mut sim = Simulation::new(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .unwrap();
+        let config = SimConfig {
+            max_rounds: 30,
+            ..SimConfig::default()
+        };
+        let out = sim.run(&config).unwrap();
+        assert!(!out.validity.is_valid(), "mean rule must break validity");
+        let v = out.trace.last().unwrap().states[0];
+        assert!(v > 4.0, "honest state {v} should have been dragged upward");
+    }
+
+    #[test]
+    fn extremes_attacker_is_neutralized_by_trimming() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ExtremesAdversary { delta: 1e6 }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+    }
+
+    #[test]
+    fn nan_bomb_is_sanitized_and_survived() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(NaNAdversary),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged, "sanitization must keep the run alive");
+        assert!(out.validity.is_valid());
+    }
+
+    #[test]
+    fn pull_adversary_slows_but_does_not_stop_convergence() {
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let honest = run_consensus(
+            &g,
+            &inputs,
+            faults.clone(),
+            &rule,
+            Box::new(ConformingAdversary),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let pulled = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(PullAdversary { toward_max: false }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(pulled.converged);
+        assert!(pulled.validity.is_valid());
+        assert!(
+            pulled.rounds >= honest.rounds,
+            "stealthy pull should not be faster than benign run ({} vs {})",
+            pulled.rounds,
+            honest.rounds
+        );
+    }
+
+    #[test]
+    fn split_brain_freezes_violating_chord_network() {
+        // E1: the proof-of-necessity execution. chord(7,5) violates the
+        // condition for f = 2; planting m/M on the witness sides and running
+        // the proof adversary keeps both sides frozen forever.
+        let g = generators::chord(7, 5);
+        let w = iabc_core::theorem1::find_violation(&g, 2).expect("violated");
+        let (m, m_cap) = (0.0, 1.0);
+        let mut inputs = vec![(m + m_cap) / 2.0; 7];
+        for v in w.left.iter() {
+            inputs[v.index()] = m;
+        }
+        for v in w.right.iter() {
+            inputs[v.index()] = m_cap;
+        }
+        let rule = TrimmedMean::new(2);
+        let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
+        let mut sim =
+            Simulation::new(&g, &inputs, w.fault_set.clone(), &rule, Box::new(adv)).unwrap();
+        for _ in 0..100 {
+            sim.step().unwrap();
+        }
+        for v in w.left.iter() {
+            assert_eq!(sim.states()[v.index()], m, "L node {v} moved");
+        }
+        for v in w.right.iter() {
+            assert_eq!(sim.states()[v.index()], m_cap, "R node {v} moved");
+        }
+        assert!(sim.honest_range() >= m_cap - m, "no convergence possible");
+    }
+
+    #[test]
+    fn rule_failure_carries_node_and_round() {
+        // Cycle has in-degree 1 < 2f = 2: the very first step fails.
+        let g = generators::cycle(4);
+        let rule = TrimmedMean::new(1);
+        let mut sim = Simulation::new(
+            &g,
+            &[0.0, 1.0, 2.0, 3.0],
+            no_faults(4),
+            &rule,
+            Box::new(ConformingAdversary),
+        )
+        .unwrap();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Rule { round: 1, .. }));
+    }
+
+    #[test]
+    fn max_rounds_caps_execution() {
+        // On a cycle the mean iteration converges only asymptotically, so an
+        // epsilon of 0 cannot be reached and the cap must fire.
+        let g = generators::cycle(5);
+        let rule = Mean::new();
+        let mut sim = Simulation::new(
+            &g,
+            &[0.0, 1.0, 2.0, 3.0, 4.0],
+            no_faults(5),
+            &rule,
+            Box::new(ConformingAdversary),
+        )
+        .unwrap();
+        let config = SimConfig {
+            epsilon: 0.0,
+            max_rounds: 7,
+            record_states: false,
+        };
+        let out = sim.run(&config).unwrap();
+        assert_eq!(out.rounds, 7);
+        assert!(!out.converged);
+        assert!(out.final_range > 0.0);
+    }
+
+    #[test]
+    fn sanitize_clamps_non_finite() {
+        assert_eq!(sanitize(f64::INFINITY), SANITIZE_CLAMP);
+        assert_eq!(sanitize(f64::NEG_INFINITY), -SANITIZE_CLAMP);
+        assert_eq!(sanitize(f64::NAN), SANITIZE_CLAMP);
+        assert_eq!(sanitize(3.5), 3.5);
+    }
+
+    #[test]
+    fn crash_faults_are_survived() {
+        // Failure injection: both faulty nodes crash-stop at round 3; the
+        // engine substitutes the receiver's own state and consensus proceeds.
+        use crate::adversary::CrashAdversary;
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(CrashAdversary { from_round: 3 }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+    }
+
+    #[test]
+    fn selective_omission_mixed_with_lies_is_survived() {
+        use crate::adversary::SelectiveOmissionAdversary;
+        let g = generators::complete(7);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(SelectiveOmissionAdversary {
+                silenced: NodeSet::from_indices(7, [0, 1]),
+                value: -1e8,
+            }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+    }
+
+    #[test]
+    fn broadcast_restriction_weakens_the_adversary() {
+        // The same split-brain witness attack that freezes chord(7,5) under
+        // point-to-point loses its freezing power once forced to broadcast:
+        // the adversary can no longer tell L and R different stories.
+        use crate::adversary::{BroadcastOf, SplitBrainAdversary};
+        let g = generators::chord(7, 5);
+        let w = iabc_core::theorem1::find_violation(&g, 2).expect("violated");
+        let (m, m_cap) = (0.0, 1.0);
+        let mut inputs = vec![0.5; 7];
+        for v in w.left.iter() {
+            inputs[v.index()] = m;
+        }
+        for v in w.right.iter() {
+            inputs[v.index()] = m_cap;
+        }
+        let rule = TrimmedMean::new(2);
+
+        // Point-to-point: frozen (as in E1).
+        let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
+        let mut p2p =
+            Simulation::new(&g, &inputs, w.fault_set.clone(), &rule, Box::new(adv)).unwrap();
+        for _ in 0..200 {
+            p2p.step().unwrap();
+        }
+
+        // Broadcast-restricted: the honest range must shrink below 1.
+        let adv = BroadcastOf::new(SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5));
+        let mut bcast =
+            Simulation::new(&g, &inputs, w.fault_set.clone(), &rule, Box::new(adv)).unwrap();
+        for _ in 0..200 {
+            bcast.step().unwrap();
+        }
+        assert!(p2p.honest_range() >= 1.0, "point-to-point attack must freeze");
+        assert!(
+            bcast.honest_range() < p2p.honest_range(),
+            "broadcast restriction should weaken the attack ({} vs {})",
+            bcast.honest_range(),
+            p2p.honest_range()
+        );
+    }
+
+    #[test]
+    fn chord_f1_n5_converges_with_one_fault() {
+        // §6.3 positive case, exercised end to end.
+        let g = generators::chord(5, 3);
+        let inputs = [0.0, 1.0, 2.0, 3.0, 2.0];
+        let faults = NodeSet::from_indices(5, [4]);
+        let rule = TrimmedMean::new(1);
+        let out = run_consensus(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ExtremesAdversary { delta: 100.0 }),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.validity.is_valid());
+        let v = out.trace.last().unwrap().states[0];
+        assert!((0.0..=3.0).contains(&v));
+    }
+}

@@ -1,0 +1,264 @@
+//! Execution traces and the metrics the paper's guarantees are stated over.
+//!
+//! The paper tracks two scalars per iteration over the fault-free nodes:
+//! `U[t] = max_i v_i[t]` and `µ[t] = min_i v_i[t]`. *Validity* requires
+//! `U` non-increasing and `µ` non-decreasing (Equation 1); *convergence*
+//! requires `U[t] − µ[t] → 0`. [`Trace`] records both (plus, optionally,
+//! full state vectors) and [`Trace::validity`] audits Equation 1 after the
+//! fact.
+
+use iabc_graph::{NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// Per-round snapshot of the fault-free extremes (and optionally all states).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Iteration index `t` (0 = initial states).
+    pub round: usize,
+    /// `U[t]`: maximum state over fault-free nodes.
+    pub max: f64,
+    /// `µ[t]`: minimum state over fault-free nodes.
+    pub min: f64,
+    /// Full state vector (all nodes, faulty entries included for context);
+    /// empty when state recording is disabled.
+    pub states: Vec<f64>,
+}
+
+impl RoundRecord {
+    /// The fault-free range `U[t] − µ[t]` (the paper's convergence measure).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// A violation of the validity condition (Equation 1) between two rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidityViolation {
+    /// The round `t` at which the violation was observed.
+    pub round: usize,
+    /// Human-readable description (`U` increased / `µ` decreased).
+    pub description: String,
+}
+
+/// Result of auditing a trace against the validity condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidityReport {
+    /// All observed violations (empty iff the execution was valid).
+    pub violations: Vec<ValidityViolation>,
+}
+
+impl ValidityReport {
+    /// `true` iff no violation was observed.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The recorded history of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<RoundRecord>,
+    record_states: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace. `record_states` controls whether full state
+    /// vectors are kept (disable for long benchmark runs).
+    pub fn new(record_states: bool) -> Self {
+        Trace {
+            records: Vec::new(),
+            record_states,
+        }
+    }
+
+    /// Appends a snapshot for `round` computed over the fault-free nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no fault-free nodes or any fault-free state is
+    /// non-finite (engine invariant).
+    pub fn push(&mut self, round: usize, states: &[f64], fault_set: &NodeSet) {
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for (i, &v) in states.iter().enumerate() {
+            if fault_set.contains(NodeId::new(i)) {
+                continue;
+            }
+            assert!(v.is_finite(), "fault-free state {v} at node {i} is not finite");
+            max = max.max(v);
+            min = min.min(v);
+        }
+        assert!(max.is_finite(), "no fault-free nodes in simulation");
+        self.records.push(RoundRecord {
+            round,
+            max,
+            min,
+            states: if self.record_states {
+                states.to_vec()
+            } else {
+                Vec::new()
+            },
+        });
+    }
+
+    /// The recorded rounds, in order (index 0 is the initial state).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The last snapshot, if any.
+    pub fn last(&self) -> Option<&RoundRecord> {
+        self.records.last()
+    }
+
+    /// `U[t] − µ[t]` per recorded round.
+    pub fn ranges(&self) -> Vec<f64> {
+        self.records.iter().map(RoundRecord::range).collect()
+    }
+
+    /// First round whose fault-free range is `≤ epsilon`, if any.
+    pub fn rounds_to_epsilon(&self, epsilon: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.range() <= epsilon)
+            .map(|r| r.round)
+    }
+
+    /// Audits the validity condition (Equation 1): `U` must never increase
+    /// and `µ` must never decrease, up to `tolerance` for floating-point
+    /// noise.
+    pub fn validity(&self, tolerance: f64) -> ValidityReport {
+        let mut violations = Vec::new();
+        for pair in self.records.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            if cur.max > prev.max + tolerance {
+                violations.push(ValidityViolation {
+                    round: cur.round,
+                    description: format!(
+                        "U increased: {:.6} -> {:.6}",
+                        prev.max, cur.max
+                    ),
+                });
+            }
+            if cur.min < prev.min - tolerance {
+                violations.push(ValidityViolation {
+                    round: cur.round,
+                    description: format!(
+                        "mu decreased: {:.6} -> {:.6}",
+                        prev.min, cur.min
+                    ),
+                });
+            }
+        }
+        ValidityReport { violations }
+    }
+
+    /// Per-round contraction factors `range[t+1] / range[t]` (skipping
+    /// rounds where the range is already ~0). Used by the Lemma 5
+    /// rate-comparison experiment (E10).
+    pub fn contraction_factors(&self) -> Vec<f64> {
+        self.records
+            .windows(2)
+            .filter(|w| w[0].range() > 1e-300)
+            .map(|w| w[1].range() / w[0].range())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_faults(n: usize) -> NodeSet {
+        NodeSet::with_universe(n)
+    }
+
+    #[test]
+    fn push_computes_fault_free_extremes() {
+        let mut t = Trace::new(true);
+        let faults = NodeSet::from_indices(3, [2]);
+        t.push(0, &[1.0, 5.0, 999.0], &faults);
+        let r = t.last().unwrap();
+        assert_eq!(r.max, 5.0);
+        assert_eq!(r.min, 1.0);
+        assert_eq!(r.range(), 4.0);
+        assert_eq!(r.states, vec![1.0, 5.0, 999.0]);
+    }
+
+    #[test]
+    fn state_recording_can_be_disabled() {
+        let mut t = Trace::new(false);
+        t.push(0, &[1.0, 2.0], &no_faults(2));
+        assert!(t.last().unwrap().states.is_empty());
+        assert_eq!(t.last().unwrap().range(), 1.0);
+    }
+
+    #[test]
+    fn rounds_to_epsilon_finds_first_crossing() {
+        let mut t = Trace::new(false);
+        t.push(0, &[0.0, 8.0], &no_faults(2));
+        t.push(1, &[2.0, 6.0], &no_faults(2));
+        t.push(2, &[3.0, 4.0], &no_faults(2));
+        assert_eq!(t.rounds_to_epsilon(4.0), Some(1));
+        assert_eq!(t.rounds_to_epsilon(0.5), None);
+        assert_eq!(t.ranges(), vec![8.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn validity_audit_accepts_monotone_trace() {
+        let mut t = Trace::new(false);
+        t.push(0, &[0.0, 10.0], &no_faults(2));
+        t.push(1, &[1.0, 9.0], &no_faults(2));
+        t.push(2, &[2.0, 8.0], &no_faults(2));
+        assert!(t.validity(1e-9).is_valid());
+    }
+
+    #[test]
+    fn validity_audit_flags_expansion() {
+        let mut t = Trace::new(false);
+        t.push(0, &[0.0, 10.0], &no_faults(2));
+        t.push(1, &[-1.0, 11.0], &no_faults(2)); // both sides escape
+        let report = t.validity(1e-9);
+        assert!(!report.is_valid());
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations[0].description.contains("U increased"));
+        assert!(report.violations[1].description.contains("mu decreased"));
+        assert_eq!(report.violations[0].round, 1);
+    }
+
+    #[test]
+    fn validity_tolerance_absorbs_fp_noise() {
+        let mut t = Trace::new(false);
+        t.push(0, &[0.0, 1.0], &no_faults(2));
+        t.push(1, &[0.0, 1.0 + 1e-14], &no_faults(2));
+        assert!(t.validity(1e-12).is_valid());
+        assert!(!t.validity(0.0).is_valid());
+    }
+
+    #[test]
+    fn contraction_factors_measure_shrinkage() {
+        let mut t = Trace::new(false);
+        t.push(0, &[0.0, 8.0], &no_faults(2));
+        t.push(1, &[0.0, 4.0], &no_faults(2));
+        t.push(2, &[0.0, 1.0], &no_faults(2));
+        let c = t.contraction_factors();
+        assert_eq!(c.len(), 2);
+        assert!((c[0] - 0.5).abs() < 1e-12);
+        assert!((c[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contraction_skips_degenerate_rounds() {
+        let mut t = Trace::new(false);
+        t.push(0, &[1.0, 1.0], &no_faults(2));
+        t.push(1, &[1.0, 1.0], &no_faults(2));
+        assert!(t.contraction_factors().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no fault-free nodes")]
+    fn all_faulty_panics() {
+        let mut t = Trace::new(false);
+        t.push(0, &[1.0], &NodeSet::from_indices(1, [0]));
+    }
+}

@@ -1,0 +1,656 @@
+//! Vector-valued (multidimensional) consensus — coordinate-wise
+//! Algorithm 1 on states in `ℝ^d`.
+//!
+//! The paper's inputs are single reals. Many of its motivating
+//! applications (sensor fusion, vehicle formation, distributed estimation)
+//! are naturally multidimensional. The straightforward lift runs
+//! Algorithm 1 **independently per coordinate**: each round, a node trims
+//! and averages coordinate `k` of the received vectors using only
+//! coordinate `k`.
+//!
+//! # What the lift guarantees — and what it does not
+//!
+//! * **Per-coordinate validity and convergence.** Each coordinate is
+//!   exactly a scalar Algorithm 1 execution (against the projection of the
+//!   adversary's messages), so on a Theorem-1-satisfying graph every
+//!   coordinate stays inside its honest input interval and the coordinate
+//!   ranges all converge. Equivalently: states remain in the **axis-aligned
+//!   bounding box** of the honest inputs.
+//! * **Box hull, not convex hull.** The box is strictly weaker than the
+//!   convex hull of the honest input *vectors*: different coordinates can
+//!   be trimmed against different neighbour subsets, so the agreed vector
+//!   may be a box point off the hull. The test
+//!   `agreement_can_leave_the_convex_hull` (and experiment X13)
+//!   exhibits this with honest inputs on a diagonal segment and an
+//!   adversary steering agreement off the diagonal. True convex-hull
+//!   validity requires the exact vector consensus machinery of the
+//!   authors' follow-up work (Vaidya–Garg, PODC 2013 — Tverberg-point
+//!   updates), which is out of scope here; this module documents the
+//!   boundary rather than blurring it.
+//!
+//! The adversary interface is vector-native ([`VectorAdversary`]), so
+//! attacks may correlate coordinates; [`CoordinateWise`] adapts a stack of
+//! scalar [`Adversary`] strategies, one per axis.
+
+use std::fmt;
+
+use iabc_core::rules::UpdateRule;
+use iabc_graph::{Digraph, NodeId, NodeSet};
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::error::SimError;
+
+/// Everything a full-information vector adversary sees when choosing a
+/// message: per-coordinate state columns (`coords[k][i]` is coordinate `k`
+/// of node `i`).
+#[derive(Debug)]
+pub struct VectorAdversaryView<'a> {
+    /// Iteration about to be computed (`t ≥ 1`).
+    pub round: usize,
+    /// The network.
+    pub graph: &'a Digraph,
+    /// State columns: `coords[k][i]` = coordinate `k` of node `i`.
+    pub coords: &'a [Vec<f64>],
+    /// The faulty set `F`.
+    pub fault_set: &'a NodeSet,
+}
+
+impl VectorAdversaryView<'_> {
+    /// Dimension `d` of the state space.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The honest bounding box: per coordinate, `(µ, U)` over fault-free
+    /// nodes.
+    pub fn honest_box(&self) -> Vec<(f64, f64)> {
+        self.coords
+            .iter()
+            .map(|col| {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for (i, &v) in col.iter().enumerate() {
+                    if !self.fault_set.contains(NodeId::new(i)) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                (lo, hi)
+            })
+            .collect()
+    }
+}
+
+/// A joint strategy for all faulty nodes over vector states.
+pub trait VectorAdversary: fmt::Debug + Send {
+    /// The `d`-dimensional value faulty `sender` puts on its edge to
+    /// `receiver`. Must return exactly `view.dim()` components (the engine
+    /// checks and truncates/pads with the receiver's own state as a
+    /// defensive boundary, mirroring scalar sanitization).
+    fn message(
+        &mut self,
+        view: &VectorAdversaryView<'_>,
+        sender: NodeId,
+        receiver: NodeId,
+    ) -> Vec<f64>;
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str {
+        "vector-adversary"
+    }
+}
+
+/// Adapts one scalar [`Adversary`] per coordinate (independent axes).
+///
+/// This is the natural product construction: coordinate `k`'s messages come
+/// from `strategies[k]` viewing only coordinate `k`'s states — exactly the
+/// model under which the per-coordinate guarantees are inherited.
+#[derive(Debug)]
+pub struct CoordinateWise {
+    strategies: Vec<Box<dyn Adversary>>,
+}
+
+impl CoordinateWise {
+    /// Builds the adapter from one strategy per coordinate.
+    pub fn new(strategies: Vec<Box<dyn Adversary>>) -> Self {
+        CoordinateWise { strategies }
+    }
+}
+
+impl VectorAdversary for CoordinateWise {
+    fn message(
+        &mut self,
+        view: &VectorAdversaryView<'_>,
+        sender: NodeId,
+        receiver: NodeId,
+    ) -> Vec<f64> {
+        self.strategies
+            .iter_mut()
+            .zip(view.coords)
+            .map(|(strategy, col)| {
+                let scalar_view = AdversaryView {
+                    round: view.round,
+                    graph: view.graph,
+                    states: col,
+                    fault_set: view.fault_set,
+                };
+                strategy.message(&scalar_view, sender, receiver)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "coordinate-wise"
+    }
+}
+
+/// A vector-native attack that steers the agreement **off the convex hull**
+/// of the honest inputs while staying inside the per-coordinate box: it
+/// pushes coordinate 0 toward the box minimum and all other coordinates
+/// toward the box maximum. Against honest inputs on a diagonal (where the
+/// hull is the diagonal itself), the limit lands near an off-diagonal box
+/// corner — the module-level caveat made executable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CornerPullAdversary;
+
+impl VectorAdversary for CornerPullAdversary {
+    fn message(
+        &mut self,
+        view: &VectorAdversaryView<'_>,
+        _sender: NodeId,
+        _receiver: NodeId,
+    ) -> Vec<f64> {
+        view.honest_box()
+            .iter()
+            .enumerate()
+            .map(|(k, &(lo, hi))| if k == 0 { lo } else { hi })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "corner-pull"
+    }
+}
+
+/// Outcome of a vector consensus run.
+#[derive(Debug)]
+pub struct VectorOutcome {
+    /// `true` iff every coordinate's honest range reached `epsilon`.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Final per-coordinate honest ranges.
+    pub final_ranges: Vec<f64>,
+    /// `true` iff every honest state stayed inside the honest input box in
+    /// every round (per-coordinate Equation 1, audited with tolerance
+    /// `1e-9`).
+    pub box_validity: bool,
+}
+
+/// Coordinate-wise Algorithm 1 over vector states.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::TrimmedMean;
+/// use iabc_graph::{generators, NodeSet};
+/// use iabc_sim::adversary::ExtremesAdversary;
+/// use iabc_sim::vector::{CoordinateWise, VectorSimConfig, VectorSimulation};
+///
+/// // 2-D sensor fusion on K7 with two Byzantine sensors.
+/// let g = generators::complete(7);
+/// let inputs: Vec<[f64; 2]> = vec![
+///     [0.0, 10.0], [1.0, 11.0], [2.0, 12.0], [3.0, 13.0], [4.0, 14.0],
+///     [0.0, 0.0], [0.0, 0.0],
+/// ];
+/// let inputs: Vec<Vec<f64>> = inputs.into_iter().map(|p| p.to_vec()).collect();
+/// let faults = NodeSet::from_indices(7, [5, 6]);
+/// let rule = TrimmedMean::new(2);
+/// let adv = CoordinateWise::new(vec![
+///     Box::new(ExtremesAdversary { delta: 1e6 }),
+///     Box::new(ExtremesAdversary { delta: 1e6 }),
+/// ]);
+/// let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv))?;
+/// let out = sim.run(&VectorSimConfig::default())?;
+/// assert!(out.converged && out.box_validity);
+/// # Ok::<(), iabc_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct VectorSimulation<'a> {
+    graph: &'a Digraph,
+    fault_set: NodeSet,
+    rule: &'a dyn UpdateRule,
+    adversary: Box<dyn VectorAdversary>,
+    /// Column-major states: `coords[k][i]`.
+    coords: Vec<Vec<f64>>,
+    round: usize,
+}
+
+/// Configuration for a vector run.
+#[derive(Debug, Clone)]
+pub struct VectorSimConfig {
+    /// Convergence threshold applied to every coordinate's honest range.
+    pub epsilon: f64,
+    /// Hard cap on iterations.
+    pub max_rounds: usize,
+}
+
+impl Default for VectorSimConfig {
+    fn default() -> Self {
+        VectorSimConfig {
+            epsilon: 1e-6,
+            max_rounds: 10_000,
+        }
+    }
+}
+
+impl<'a> VectorSimulation<'a> {
+    /// Sets up a run from row-major `inputs` (one vector per node, all the
+    /// same dimension `d ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors as [`crate::Simulation::new`];
+    /// dimension disagreements surface as
+    /// [`SimError::InputLengthMismatch`] (the offending row's length vs the
+    /// first row's).
+    pub fn new(
+        graph: &'a Digraph,
+        inputs: &[Vec<f64>],
+        fault_set: NodeSet,
+        rule: &'a dyn UpdateRule,
+        adversary: Box<dyn VectorAdversary>,
+    ) -> Result<Self, SimError> {
+        let n = graph.node_count();
+        if inputs.len() != n {
+            return Err(SimError::InputLengthMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+            });
+        }
+        let d = inputs.first().map_or(0, Vec::len);
+        if d == 0 {
+            return Err(SimError::InputLengthMismatch { inputs: 0, nodes: n });
+        }
+        if let Some(bad) = inputs.iter().find(|row| row.len() != d) {
+            return Err(SimError::InputLengthMismatch {
+                inputs: bad.len(),
+                nodes: d,
+            });
+        }
+        if fault_set.universe() != n {
+            return Err(SimError::FaultSetMismatch {
+                universe: fault_set.universe(),
+                nodes: n,
+            });
+        }
+        if fault_set.len() == n {
+            return Err(SimError::NoFaultFreeNodes);
+        }
+        for (node, row) in inputs.iter().enumerate() {
+            if let Some(&value) = row.iter().find(|v| !v.is_finite()) {
+                return Err(SimError::NonFiniteInput { node, value });
+            }
+        }
+        let coords = (0..d)
+            .map(|k| inputs.iter().map(|row| row[k]).collect())
+            .collect();
+        Ok(VectorSimulation {
+            graph,
+            fault_set,
+            rule,
+            adversary,
+            coords,
+            round: 0,
+        })
+    }
+
+    /// Current iteration count.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Dimension of the state space.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The state vector of node `i` (row-major copy).
+    pub fn state_of(&self, i: NodeId) -> Vec<f64> {
+        self.coords.iter().map(|col| col[i.index()]).collect()
+    }
+
+    /// Per-coordinate honest ranges `U_k − µ_k`.
+    pub fn honest_ranges(&self) -> Vec<f64> {
+        self.coords
+            .iter()
+            .map(|col| {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for (i, &v) in col.iter().enumerate() {
+                    if !self.fault_set.contains(NodeId::new(i)) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                hi - lo
+            })
+            .collect()
+    }
+
+    /// Executes one synchronous iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Rule`] if the update rule fails at some node.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let d = self.coords.len();
+        let prev = self.coords.clone();
+        let mut scratch: Vec<Vec<f64>> = vec![Vec::new(); d];
+        for i in self.graph.nodes() {
+            if self.fault_set.contains(i) {
+                continue;
+            }
+            for col in &mut scratch {
+                col.clear();
+            }
+            for j in self.graph.in_neighbors(i).iter() {
+                if self.fault_set.contains(j) {
+                    let view = VectorAdversaryView {
+                        round: self.round,
+                        graph: self.graph,
+                        coords: &prev,
+                        fault_set: &self.fault_set,
+                    };
+                    let mut msg = self.adversary.message(&view, j, i);
+                    // Defensive boundary: wrong-dimension payloads are
+                    // truncated to d and padded with the receiver's own
+                    // coordinates (in-hull).
+                    msg.truncate(d);
+                    while msg.len() < d {
+                        let k = msg.len();
+                        msg.push(prev[k][i.index()]);
+                    }
+                    for (k, col) in scratch.iter_mut().enumerate() {
+                        col.push(sanitize(msg[k]));
+                    }
+                } else {
+                    for (k, col) in scratch.iter_mut().enumerate() {
+                        col.push(prev[k][j.index()]);
+                    }
+                }
+            }
+            for (k, col) in scratch.iter_mut().enumerate() {
+                self.coords[k][i.index()] = self
+                    .rule
+                    .update(prev[k][i.index()], col)
+                    .map_err(|source| SimError::Rule {
+                        node: i.index(),
+                        round: self.round,
+                        source,
+                    })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until every coordinate's honest range is `≤ config.epsilon` or
+    /// the round cap fires, auditing per-coordinate validity throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Rule`] from [`VectorSimulation::step`].
+    pub fn run(&mut self, config: &VectorSimConfig) -> Result<VectorOutcome, SimError> {
+        const TOL: f64 = 1e-9;
+        let mut boxes: Vec<(f64, f64)> = self
+            .coords
+            .iter()
+            .map(|col| {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for (i, &v) in col.iter().enumerate() {
+                    if !self.fault_set.contains(NodeId::new(i)) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                (lo, hi)
+            })
+            .collect();
+        let mut box_validity = true;
+        while self.honest_ranges().iter().any(|&r| r > config.epsilon)
+            && self.round < config.max_rounds
+        {
+            self.step()?;
+            for (k, col) in self.coords.iter().enumerate() {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for (i, &v) in col.iter().enumerate() {
+                    if !self.fault_set.contains(NodeId::new(i)) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                let (blo, bhi) = boxes[k];
+                if lo < blo - TOL || hi > bhi + TOL {
+                    box_validity = false;
+                }
+                // Equation 1 per coordinate: each round is audited against
+                // the previous round's interval (monotone µ_k / U_k).
+                boxes[k] = (lo, hi);
+            }
+        }
+        let final_ranges = self.honest_ranges();
+        Ok(VectorOutcome {
+            converged: final_ranges.iter().all(|&r| r <= config.epsilon),
+            rounds: self.round,
+            final_ranges,
+            box_validity,
+        })
+    }
+}
+
+/// Scalar sanitization, re-used per coordinate.
+fn sanitize(v: f64) -> f64 {
+    crate::engine::sanitize(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ConformingAdversary, ConstantAdversary, ExtremesAdversary};
+    use iabc_core::rules::TrimmedMean;
+    use iabc_graph::generators;
+
+    fn rows(rows: &[&[f64]]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn constructor_validates_shapes() {
+        let g = generators::complete(3);
+        let rule = TrimmedMean::new(0);
+        let ok = rows(&[&[0.0, 1.0], &[1.0, 2.0], &[2.0, 3.0]]);
+        let adv = || Box::new(CoordinateWise::new(vec![])) as Box<dyn VectorAdversary>;
+        assert!(VectorSimulation::new(&g, &ok, NodeSet::with_universe(3), &rule, adv()).is_ok());
+        // Wrong node count.
+        let short = rows(&[&[0.0], &[1.0]]);
+        assert!(matches!(
+            VectorSimulation::new(&g, &short, NodeSet::with_universe(3), &rule, adv()),
+            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+        ));
+        // Ragged dimensions.
+        let ragged = rows(&[&[0.0, 1.0], &[1.0], &[2.0, 3.0]]);
+        assert!(matches!(
+            VectorSimulation::new(&g, &ragged, NodeSet::with_universe(3), &rule, adv()),
+            Err(SimError::InputLengthMismatch { .. })
+        ));
+        // Zero-dimensional states.
+        let empty = rows(&[&[], &[], &[]]);
+        assert!(VectorSimulation::new(&g, &empty, NodeSet::with_universe(3), &rule, adv()).is_err());
+        // Non-finite input.
+        let nan = rows(&[&[0.0, f64::NAN], &[1.0, 2.0], &[2.0, 3.0]]);
+        assert!(matches!(
+            VectorSimulation::new(&g, &nan, NodeSet::with_universe(3), &rule, adv()),
+            Err(SimError::NonFiniteInput { node: 0, .. })
+        ));
+        // All faulty.
+        assert!(matches!(
+            VectorSimulation::new(&g, &ok, NodeSet::full(3), &rule, adv()),
+            Err(SimError::NoFaultFreeNodes)
+        ));
+    }
+
+    #[test]
+    fn benign_vector_run_converges_per_coordinate() {
+        let g = generators::complete(5);
+        let inputs = rows(&[
+            &[0.0, 100.0],
+            &[1.0, 90.0],
+            &[2.0, 80.0],
+            &[3.0, 70.0],
+            &[4.0, 60.0],
+        ]);
+        let rule = TrimmedMean::new(0);
+        let adv = CoordinateWise::new(vec![
+            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary),
+        ]);
+        let mut sim =
+            VectorSimulation::new(&g, &inputs, NodeSet::with_universe(5), &rule, Box::new(adv))
+                .unwrap();
+        assert_eq!(sim.dim(), 2);
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.box_validity);
+        assert_eq!(out.final_ranges.len(), 2);
+        // Complete-graph equal weights preserve each coordinate's average.
+        let v = sim.state_of(NodeId::new(0));
+        assert!((v[0] - 2.0).abs() < 1e-3, "coordinate 0 settled at {}", v[0]);
+        assert!((v[1] - 80.0).abs() < 1e-2, "coordinate 1 settled at {}", v[1]);
+    }
+
+    #[test]
+    fn byzantine_vector_run_stays_in_the_box() {
+        let g = generators::complete(7);
+        let inputs = rows(&[
+            &[0.0, 10.0],
+            &[1.0, 11.0],
+            &[2.0, 12.0],
+            &[3.0, 13.0],
+            &[4.0, 14.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        ]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let adv = CoordinateWise::new(vec![
+            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ExtremesAdversary { delta: 1e7 }),
+        ]);
+        let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.box_validity);
+        let v = sim.state_of(NodeId::new(0));
+        assert!((0.0..=4.0).contains(&v[0]), "x = {} escaped", v[0]);
+        assert!((10.0..=14.0).contains(&v[1]), "y = {} escaped", v[1]);
+    }
+
+    #[test]
+    fn agreement_can_leave_the_convex_hull() {
+        // The honest inputs lie on the diagonal y = x: their convex hull is
+        // that segment. The corner-pull adversary pushes x down and y up;
+        // the run stays inside the box (validity per coordinate) yet
+        // converges to a point measurably off the diagonal — the documented
+        // boundary of coordinate-wise lifting.
+        let g = generators::complete(7);
+        let inputs = rows(&[
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+            &[3.0, 3.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+            &[2.0, 2.0],
+        ]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let mut sim =
+            VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(CornerPullAdversary))
+                .unwrap();
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.box_validity, "box validity must hold even off-hull");
+        let v = sim.state_of(NodeId::new(0));
+        assert!((0.0..=4.0).contains(&v[0]));
+        assert!((0.0..=4.0).contains(&v[1]));
+        assert!(
+            (v[0] - v[1]).abs() > 0.5,
+            "agreement ({}, {}) unexpectedly stayed near the diagonal hull",
+            v[0],
+            v[1]
+        );
+    }
+
+    #[test]
+    fn wrong_dimension_payloads_are_padded_in_hull() {
+        // An adversary that returns 1 coordinate instead of 2: the engine
+        // pads with the receiver's own state, so the run must stay valid.
+        #[derive(Debug)]
+        struct Short;
+        impl VectorAdversary for Short {
+            fn message(
+                &mut self,
+                _view: &VectorAdversaryView<'_>,
+                _s: NodeId,
+                _r: NodeId,
+            ) -> Vec<f64> {
+                vec![1e9]
+            }
+        }
+        let g = generators::complete(7);
+        let inputs = rows(&[
+            &[0.0, 10.0],
+            &[1.0, 11.0],
+            &[2.0, 12.0],
+            &[3.0, 13.0],
+            &[4.0, 14.0],
+            &[2.0, 12.0],
+            &[2.0, 12.0],
+        ]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = TrimmedMean::new(2);
+        let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(Short)).unwrap();
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.box_validity);
+    }
+
+    #[test]
+    fn rule_errors_carry_node_and_round() {
+        let g = generators::cycle(4); // in-degree 1 < 2f
+        let rule = TrimmedMean::new(1);
+        let inputs = rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let adv = CoordinateWise::new(vec![Box::new(ConformingAdversary)]);
+        let mut sim =
+            VectorSimulation::new(&g, &inputs, NodeSet::with_universe(4), &rule, Box::new(adv))
+                .unwrap();
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::Rule { round: 1, .. }));
+    }
+
+    #[test]
+    fn honest_box_and_names() {
+        let g = generators::complete(3);
+        let coords = vec![vec![0.0, 5.0, 1e9], vec![2.0, -1.0, 1e9]];
+        let faults = NodeSet::from_indices(3, [2]);
+        let view = VectorAdversaryView {
+            round: 1,
+            graph: &g,
+            coords: &coords,
+            fault_set: &faults,
+        };
+        assert_eq!(view.dim(), 2);
+        assert_eq!(view.honest_box(), vec![(0.0, 5.0), (-1.0, 2.0)]);
+        assert_eq!(CornerPullAdversary.name(), "corner-pull");
+        assert_eq!(CoordinateWise::new(vec![]).name(), "coordinate-wise");
+    }
+}

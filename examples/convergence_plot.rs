@@ -1,0 +1,67 @@
+//! Convergence, visually: log-scale charts of the honest range per round.
+//!
+//! ```text
+//! cargo run --example convergence_plot
+//! ```
+//!
+//! Theorem 3 says the honest range `U[t] − µ[t]` contracts to zero; on a
+//! log scale a geometric contraction is a straight line. This example runs
+//! Algorithm 1 on a §6.1 core network under three adversaries and renders
+//! the traces as ASCII charts — each attack changes the slope of the line,
+//! none changes its sign. (On this dense workload the out-of-hull
+//! "extremes" attack is the slowest: its planted outliers force the
+//! trimming to discard honest extremes every round.)
+
+use iabc::analysis::plot::{log_chart, log_sparkline};
+use iabc::core::rules::TrimmedMean;
+use iabc::core::theorem1;
+use iabc::graph::{generators, NodeSet};
+use iabc::sim::adversary::{Adversary, ConformingAdversary, ExtremesAdversary, PolarizingAdversary};
+use iabc::sim::{run_consensus, SimConfig};
+
+fn trace_ranges(adversary: Box<dyn Adversary>) -> (String, Vec<f64>) {
+    let g = generators::core_network(9, 2);
+    assert!(theorem1::check(&g, 2).is_satisfied());
+    let inputs: Vec<f64> = (0..9).map(|i| (i as f64) * 12.5).collect();
+    let faults = NodeSet::from_indices(9, [0, 4]);
+    let rule = TrimmedMean::new(2);
+    let name = adversary.name().to_string();
+    let out = run_consensus(
+        &g,
+        &inputs,
+        faults,
+        &rule,
+        adversary,
+        &SimConfig {
+            record_states: false,
+            epsilon: 1e-9,
+            max_rounds: 500,
+        },
+    )
+    .expect("core network run succeeds");
+    assert!(out.converged && out.validity.is_valid());
+    (name, out.trace.ranges())
+}
+
+fn main() {
+    println!("core network (9, f = 2), Algorithm 1, honest range per round (log scale)\n");
+    let runs: Vec<(String, Vec<f64>)> = vec![
+        trace_ranges(Box::new(ConformingAdversary)),
+        trace_ranges(Box::new(ExtremesAdversary { delta: 1e6 })),
+        trace_ranges(Box::new(PolarizingAdversary)),
+    ];
+
+    for (name, ranges) in &runs {
+        println!("adversary: {name}  ({} rounds to 1e-9)", ranges.len() - 1);
+        print!("{}", log_chart(ranges, 64, 8));
+        println!();
+    }
+
+    println!("side-by-side sparklines (same y-scaling per line):");
+    for (name, ranges) in &runs {
+        println!("  {:<12} {}", name, log_sparkline(ranges));
+    }
+    println!();
+    println!("Reading: straight line = geometric contraction (Lemma 5). Adversaries");
+    println!("change the slope — never the sign: convergence survives every strategy.");
+}

@@ -1,0 +1,31 @@
+//! Integration test: the full experiment harness (E1–E12) must regenerate
+//! every paper artifact with a PASS verdict, end to end through the facade.
+
+use iabc::analysis::experiments;
+
+#[test]
+fn full_reproduction_passes() {
+    let results = experiments::run_all();
+    assert_eq!(results.len(), 12);
+    for r in &results {
+        assert!(r.pass, "{} ({}) failed:\n{}", r.id, r.title, r.table);
+        assert!(!r.table.is_empty(), "{} produced no rows", r.id);
+    }
+}
+
+#[test]
+fn figures_are_renderable_dot() {
+    let fig = experiments::e11_figures();
+    assert!(fig.pass);
+    assert_eq!(fig.artifacts.len(), 3);
+    for (name, dot) in &fig.artifacts {
+        assert!(name.ends_with(".dot"));
+        assert!(dot.starts_with("digraph "), "{name} is not a DOT digraph");
+        assert!(dot.trim_end().ends_with('}'), "{name} is truncated");
+    }
+}
+
+#[test]
+fn falsifier_consistency_sweep_is_clean() {
+    assert!(experiments::falsifier_consistency_sweep(15));
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the Theorem 1 checker and its supporting
+//! machinery: coherence of witnesses, monotonicity laws, and agreement
+//! between the exact checker and the heuristics.
+
+use iabc::core::{search, theorem1, Threshold};
+use iabc::graph::{Digraph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random digraph on `n` nodes as an adjacency-bit vector.
+fn arb_digraph(n: usize) -> impl Strategy<Value = Digraph> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)))
+        .collect();
+    let count = pairs.len();
+    proptest::collection::vec(any::<bool>(), count).prop_map(move |bits| {
+        let mut g = Digraph::new(n);
+        for (present, &(u, v)) in bits.iter().zip(&pairs) {
+            if *present {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A violated report always carries a witness that independently
+    /// verifies; a satisfied report never coexists with a findable witness.
+    #[test]
+    fn witnesses_are_coherent(g in arb_digraph(7), f in 0usize..=2) {
+        let t = Threshold::synchronous(f);
+        match theorem1::check(&g, f) {
+            iabc::core::ConditionReport::Violated(w) => {
+                prop_assert!(w.verify(&g, f, t), "witness failed to verify: {w}");
+            }
+            iabc::core::ConditionReport::Satisfied => {
+                // The falsifier must not find anything either (soundness).
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                use rand::SeedableRng;
+                prop_assert!(search::falsify(&g, f, t, 150, &mut rng).is_none());
+            }
+        }
+    }
+
+    /// Monotone in edges: adding edges can only help the condition.
+    #[test]
+    fn satisfied_is_monotone_in_edges(g in arb_digraph(6), f in 0usize..=1, extra in 0usize..30) {
+        if theorem1::check(&g, f).is_satisfied() {
+            let mut g2 = g.clone();
+            // Add a deterministic batch of extra edges.
+            let n = g2.node_count();
+            for k in 0..extra {
+                let u = k % n;
+                let v = (k * 7 + 1) % n;
+                if u != v {
+                    g2.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            prop_assert!(
+                theorem1::check(&g2, f).is_satisfied(),
+                "adding edges broke the condition"
+            );
+        }
+    }
+
+    /// Monotone in f: satisfied at f implies satisfied at every f' < f.
+    #[test]
+    fn satisfied_is_antitone_in_f(g in arb_digraph(7), f in 1usize..=2) {
+        if theorem1::check(&g, f).is_satisfied() {
+            for smaller in 0..f {
+                prop_assert!(
+                    theorem1::check(&g, smaller).is_satisfied(),
+                    "satisfied at f={f} but not at f={smaller}"
+                );
+            }
+        }
+    }
+
+    /// The parallel checker always agrees with the sequential one.
+    #[test]
+    fn parallel_agrees_with_sequential(g in arb_digraph(7), f in 0usize..=2) {
+        let t = Threshold::synchronous(f);
+        let seq = theorem1::check(&g, f).is_satisfied();
+        let par = theorem1::check_parallel(&g, f, t, 3).is_satisfied();
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Insularity-based reformulation: for every reported witness, the left
+    /// and right parts are insular w.r.t. the fault-free pool.
+    #[test]
+    fn witness_parts_are_insular(g in arb_digraph(7), f in 0usize..=2) {
+        if let Some(w) = theorem1::find_violation(&g, f) {
+            let t = Threshold::synchronous(f);
+            let pool = w.fault_set.complement();
+            prop_assert!(theorem1::is_insular(&g, &pool, &w.left, t));
+            prop_assert!(theorem1::is_insular(&g, &pool, &w.right, t));
+        }
+    }
+
+    /// The async condition is at least as strict as the synchronous one.
+    #[test]
+    fn async_implies_sync(g in arb_digraph(7), f in 1usize..=1) {
+        if iabc::core::async_condition::check(&g, f).is_satisfied() {
+            prop_assert!(theorem1::check(&g, f).is_satisfied());
+        }
+    }
+
+    /// Propagation length is bounded by n - f - 1 whenever it exists
+    /// (the paper's remark after Definition 3).
+    #[test]
+    fn propagation_length_bound(g in arb_digraph(8), f in 0usize..=1, split in 1usize..7) {
+        use iabc::graph::NodeSet;
+        let n = 8;
+        let a = NodeSet::from_indices(n, 0..=split.min(n - 2));
+        let b = a.complement();
+        let t = Threshold::synchronous(f);
+        if let Some(l) = iabc::core::propagate::propagation_length(&g, &a, &b, t) {
+            prop_assert!(l < n - f, "l = {l} > n - f - 1");
+        }
+    }
+}

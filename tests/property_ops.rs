@@ -1,0 +1,192 @@
+//! Property-based tests for graph operations ([`iabc::graph::ops`]), the
+//! newer generators, graph metrics, and — the load-bearing one — invariance
+//! of the Theorem 1 verdict under relabeling (the condition is a property
+//! of the *graph*, not of node names).
+
+use iabc::core::theorem1;
+use iabc::graph::{algorithms, generators, metrics, ops, Digraph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph_from(n: usize, edges: &[(usize, usize)]) -> Digraph {
+    let mut g = Digraph::new(n);
+    for &(u, v) in edges {
+        if u < n && v < n && u != v {
+            g.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 verdicts are invariant under graph isomorphism.
+    #[test]
+    fn theorem1_is_relabel_invariant(
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 4..30),
+        f in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from(7, &edges);
+        let (h, perm) = ops::random_relabel(&g, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(ops::is_isomorphism(&g, &h, &perm));
+        prop_assert_eq!(
+            theorem1::check(&g, f).is_satisfied(),
+            theorem1::check(&h, f).is_satisfied(),
+            "verdict changed under relabeling {:?}", perm
+        );
+    }
+
+    /// Complement is involutive and edge counts are complementary.
+    #[test]
+    fn complement_involution(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..30),
+    ) {
+        let g = graph_from(8, &edges);
+        let c = ops::complement(&g);
+        prop_assert_eq!(ops::complement(&c), g.clone());
+        prop_assert_eq!(g.edge_count() + c.edge_count(), 8 * 7);
+    }
+
+    /// Box-product degrees are sums; tensor-product degrees are products.
+    #[test]
+    fn product_degree_laws(
+        ea in proptest::collection::vec((0usize..4, 0usize..4), 0..10),
+        eb in proptest::collection::vec((0usize..4, 0usize..4), 0..10),
+    ) {
+        let a = graph_from(4, &ea);
+        let b = graph_from(4, &eb);
+        let boxp = ops::cartesian_product(&a, &b);
+        let tens = ops::tensor_product(&a, &b);
+        for u in 0..4usize {
+            for v in 0..4usize {
+                let id = NodeId::new(u * 4 + v);
+                prop_assert_eq!(
+                    boxp.in_degree(id),
+                    a.in_degree(NodeId::new(u)) + b.in_degree(NodeId::new(v))
+                );
+                prop_assert_eq!(
+                    tens.in_degree(id),
+                    a.in_degree(NodeId::new(u)) * b.in_degree(NodeId::new(v))
+                );
+            }
+        }
+        prop_assert_eq!(
+            tens.edge_count(),
+            a.edge_count() * b.edge_count()
+        );
+    }
+
+    /// Disjoint union preserves both halves and never links them — and the
+    /// result always violates Theorem 1 (no side can dominate the other).
+    #[test]
+    fn disjoint_union_violates_condition(
+        ea in proptest::collection::vec((0usize..4, 0usize..4), 2..12),
+        eb in proptest::collection::vec((0usize..4, 0usize..4), 2..12),
+        f in 0usize..2,
+    ) {
+        let a = graph_from(4, &ea);
+        let b = graph_from(4, &eb);
+        let u = ops::disjoint_union(&a, &b);
+        prop_assert_eq!(u.edge_count(), a.edge_count() + b.edge_count());
+        prop_assert!(!theorem1::check(&u, f).is_satisfied());
+    }
+
+    /// Watts–Strogatz keeps symmetry and the per-node edge budget for any β.
+    #[test]
+    fn small_world_invariants(beta in 0.0f64..=1.0, seed in 0u64..500) {
+        let g = generators::watts_strogatz(14, 2, beta, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(g.is_symmetric());
+        // 14 nodes × 2 lattice partners each, minus any saturated-fallback
+        // collisions (rare); at least n undirected edges survive.
+        prop_assert!(g.edge_count() >= 2 * 14);
+        prop_assert!(g.edge_count() <= 2 * 14 * 2);
+    }
+
+    /// Barabási–Albert: newcomers attach to m distinct nodes, so min degree
+    /// is at least m and the edge count is exactly seed + m per newcomer.
+    #[test]
+    fn scale_free_invariants(m in 1usize..4, extra in 1usize..10, seed in 0u64..500) {
+        let n = m + 1 + extra;
+        let g = generators::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.min_in_degree() >= m);
+        let expect = m * (m + 1) + 2 * m * extra; // directed edges
+        prop_assert_eq!(g.edge_count(), expect);
+    }
+
+    /// Tournaments are oriented complete graphs: n(n-1)/2 edges, no mutual
+    /// pairs, and reciprocity 0.
+    #[test]
+    fn tournament_invariants(n in 2usize..10, seed in 0u64..500) {
+        let g = generators::random_tournament(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        prop_assert_eq!(metrics::reciprocity(&g), 0.0);
+        for (u, v) in g.edges() {
+            prop_assert!(!g.has_edge(v, u));
+        }
+    }
+
+    /// Circulant graphs are vertex-transitive: every rotation is an
+    /// automorphism, so relabeling by rotation gives the same graph.
+    #[test]
+    fn circulant_rotation_invariance(n in 3usize..12, shift in 1usize..12) {
+        prop_assume!(shift < n);
+        let offsets: Vec<usize> = (1..=((n - 1) / 2).max(1)).collect();
+        let g = generators::circulant(n, offsets.clone());
+        let perm: Vec<usize> = (0..n).map(|i| (i + shift) % n).collect();
+        prop_assert_eq!(ops::relabel(&g, &perm), g);
+    }
+
+    /// Metrics coherence: density ∈ [0,1]; eccentricity(v) ≤ diameter when
+    /// both exist; radius ≤ diameter.
+    #[test]
+    fn metrics_coherence(
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 10..40),
+    ) {
+        let g = graph_from(7, &edges);
+        let d = metrics::density(&g);
+        prop_assert!((0.0..=1.0).contains(&d));
+        if let Some(diam) = algorithms::diameter(&g) {
+            for v in g.nodes() {
+                if let Some(e) = metrics::eccentricity(&g, v) {
+                    prop_assert!(e <= diam);
+                }
+            }
+            if let Some(r) = metrics::radius(&g) {
+                prop_assert!(r <= diam);
+            }
+        }
+    }
+
+    /// in-degree histogram sums to n and is consistent with degree_stats.
+    #[test]
+    fn histogram_consistency(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..30),
+    ) {
+        let g = graph_from(8, &edges);
+        let hist = metrics::in_degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), 8);
+        let stats = metrics::degree_stats(&g);
+        let max_bucket = hist.len().saturating_sub(1);
+        prop_assert_eq!(max_bucket, stats.max_in);
+        prop_assert_eq!(hist.iter().position(|&c| c > 0).unwrap_or(0), stats.min_in);
+    }
+}
+
+/// Deterministic anchor: the hypercube is the iterated box product of K2,
+/// and its Theorem 1 failure (§6.2) is invariant under relabeling.
+#[test]
+fn hypercube_box_product_fails_like_generator() {
+    let k2 = generators::complete(2);
+    let mut prod = k2.clone();
+    for _ in 1..4 {
+        prod = ops::cartesian_product(&prod, &k2);
+    }
+    assert_eq!(prod.node_count(), 16);
+    assert!(!theorem1::check(&prod, 1).is_satisfied());
+    let (shuffled, _) = ops::random_relabel(&prod, &mut StdRng::seed_from_u64(3));
+    assert!(!theorem1::check(&shuffled, 1).is_satisfied());
+}

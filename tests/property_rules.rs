@@ -1,0 +1,127 @@
+//! Property-based tests for the update rules (Algorithm 1 and variants):
+//! convexity, the trimming guarantee (Lemmas 3/4 in executable form), and
+//! the degenerate-case identities.
+
+use iabc::core::rules::{Mean, TrimmedMean, TrimmedMidpoint, UpdateRule, WeightedTrimmedMean};
+use proptest::prelude::*;
+
+fn finite_val() -> impl Strategy<Value = f64> {
+    -1e6f64..1e6f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every rule's output is a convex combination of its inputs: it lies
+    /// within [min, max] of {own} ∪ received.
+    #[test]
+    fn rules_are_convex(
+        own in finite_val(),
+        received in proptest::collection::vec(finite_val(), 4..12),
+    ) {
+        let weighted = WeightedTrimmedMean::new(1, 0.37).expect("valid");
+        let rules: Vec<Box<dyn UpdateRule>> = vec![
+            Box::new(TrimmedMean::new(1)),
+            Box::new(Mean::new()),
+            Box::new(TrimmedMidpoint::new(1)),
+            Box::new(weighted),
+        ];
+        let lo = received.iter().copied().fold(own, f64::min);
+        let hi = received.iter().copied().fold(own, f64::max);
+        for rule in &rules {
+            let mut r = received.clone();
+            let v = rule.update(own, &mut r).expect("enough values");
+            prop_assert!(
+                (lo - 1e-9..=hi + 1e-9).contains(&v),
+                "{} produced {v} outside [{lo}, {hi}]",
+                rule.name()
+            );
+        }
+    }
+
+    /// The paper's trimming guarantee: with at most f arbitrary values mixed
+    /// into otherwise-honest inputs, the trimmed rules stay within the
+    /// honest hull (own value included). This is Theorem 2 at the level of
+    /// a single update.
+    #[test]
+    fn trimming_bounds_byzantine_influence(
+        own in -100.0f64..100.0,
+        honest in proptest::collection::vec(-100.0f64..100.0, 3..9),
+        byzantine in proptest::collection::vec(-1e9f64..1e9, 0..=1),
+    ) {
+        let f = 1usize;
+        prop_assume!(honest.len() >= 2 * f + 1 - byzantine.len());
+        let lo = honest.iter().copied().fold(own, f64::min);
+        let hi = honest.iter().copied().fold(own, f64::max);
+        let mut received: Vec<f64> = honest.clone();
+        received.extend(&byzantine);
+
+        for rule in [&TrimmedMean::new(f) as &dyn UpdateRule, &TrimmedMidpoint::new(f)] {
+            let mut r = received.clone();
+            let v = rule.update(own, &mut r).expect("enough values");
+            prop_assert!(
+                (lo - 1e-9..=hi + 1e-9).contains(&v),
+                "{}: {v} escaped honest hull [{lo}, {hi}] with byz {byzantine:?}",
+                rule.name()
+            );
+        }
+    }
+
+    /// TrimmedMean with f = 0 is identical to Mean.
+    #[test]
+    fn trimmed_mean_f0_equals_mean(
+        own in finite_val(),
+        received in proptest::collection::vec(finite_val(), 1..10),
+    ) {
+        let mut a = received.clone();
+        let mut b = received.clone();
+        let x = TrimmedMean::new(0).update(own, &mut a).unwrap();
+        let y = Mean::new().update(own, &mut b).unwrap();
+        prop_assert!((x - y).abs() <= 1e-9_f64.max(x.abs() * 1e-12));
+    }
+
+    /// Permutation invariance: rules only see the multiset of received
+    /// values.
+    #[test]
+    fn rules_are_permutation_invariant(
+        own in finite_val(),
+        mut received in proptest::collection::vec(finite_val(), 4..10),
+    ) {
+        let rule = TrimmedMean::new(1);
+        let mut sorted = received.clone();
+        sorted.sort_by(f64::total_cmp);
+        let v1 = rule.update(own, &mut received).unwrap();
+        let v2 = rule.update(own, &mut sorted).unwrap();
+        prop_assert_eq!(v1.to_bits(), v2.to_bits());
+    }
+
+    /// min_weight is a true lower bound: perturbing any single surviving
+    /// input by delta moves the output by at least min_weight * delta for
+    /// the linear rules. (Checked for TrimmedMean via its closed form.)
+    #[test]
+    fn min_weight_is_attained_by_trimmed_mean(
+        received in proptest::collection::vec(-100.0f64..100.0, 3..9),
+    ) {
+        let f = 1usize;
+        let rule = TrimmedMean::new(f);
+        let d = received.len();
+        prop_assume!(d > 2 * f);
+        let a_i = rule.min_weight(d).unwrap();
+        // Closed form: survivors = d - 2f, weight = 1/(survivors + 1).
+        prop_assert!((a_i - 1.0 / ((d - 2 * f) as f64 + 1.0)).abs() < 1e-12);
+    }
+
+    /// Weighted rule degenerates to keeping the own value when no survivors
+    /// remain, and never errs for valid parameters.
+    #[test]
+    fn weighted_rule_total_for_valid_params(
+        own in finite_val(),
+        w in 0.01f64..0.99,
+        received in proptest::collection::vec(finite_val(), 2..8),
+    ) {
+        let rule = WeightedTrimmedMean::new(1, w).expect("valid parameter");
+        let mut r = received.clone();
+        let v = rule.update(own, &mut r).unwrap();
+        prop_assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the threaded runtime: the deployment must compute
+//! exactly the deterministic engine's trajectory (the protocol is the same
+//! function; threads only change *who* evaluates it), and the paper's
+//! guarantees must survive real concurrency.
+
+use iabc::core::rules::TrimmedMean;
+use iabc::core::theorem1;
+use iabc::graph::{generators, NodeId, NodeSet};
+use iabc::runtime::{run_threaded, ConstantLiar};
+use iabc::sim::adversary::ConstantAdversary;
+use iabc::sim::Simulation;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Threads and engine agree bit-for-bit on complete graphs under the
+    /// constant-lie adversary (which both sides can express exactly).
+    #[test]
+    fn threads_match_engine(
+        n in 4usize..9,
+        seed_inputs in proptest::collection::vec(-100.0f64..100.0, 9),
+        lie in -1e6f64..1e6,
+        rounds in 1usize..12,
+    ) {
+        let f = (n - 1) / 3;
+        prop_assume!(f >= 1);
+        let g = generators::complete(n);
+        let inputs: Vec<f64> = seed_inputs.iter().copied().take(n).collect();
+        let faults = NodeSet::from_indices(n, [n - 1]);
+
+        let report = run_threaded(&g, &inputs, &faults, f, rounds, |_| {
+            Box::new(ConstantLiar { value: lie })
+        })
+        .expect("threaded run succeeds");
+
+        let rule = TrimmedMean::new(f);
+        let mut sim = Simulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            &rule,
+            Box::new(ConstantAdversary { value: lie }),
+        )
+        .expect("engine run succeeds");
+        for _ in 0..rounds {
+            sim.step().expect("engine step succeeds");
+        }
+
+        for i in 0..n {
+            if !faults.contains(NodeId::new(i)) {
+                prop_assert_eq!(
+                    report.final_states[i],
+                    sim.states()[i],
+                    "node {} diverged after {} rounds", i, rounds
+                );
+            }
+        }
+    }
+
+    /// Validity survives real concurrency: honest finals stay in the
+    /// honest input hull on a satisfying graph, for any constant lie.
+    #[test]
+    fn threaded_validity(
+        lie in -1e9f64..1e9,
+        spread in 1.0f64..100.0,
+    ) {
+        let g = generators::core_network(7, 2);
+        prop_assume!(theorem1::check(&g, 2).is_satisfied());
+        let inputs: Vec<f64> = (0..7).map(|i| i as f64 * spread / 6.0).collect();
+        let faults = NodeSet::from_indices(7, [1, 4]);
+        let report = run_threaded(&g, &inputs, &faults, 2, 60, |_| {
+            Box::new(ConstantLiar { value: lie })
+        })
+        .expect("run succeeds");
+        let honest_inputs: Vec<f64> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !faults.contains(NodeId::new(*i)))
+            .map(|(_, &v)| v)
+            .collect();
+        let lo = honest_inputs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = honest_inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in report.honest_states() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+}
