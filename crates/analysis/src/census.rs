@@ -64,7 +64,10 @@ pub fn census(n: usize, f: usize) -> CensusRow {
         })
         .collect();
     let bits = pairs.len();
-    assert!(bits <= 20, "census over 2^{bits} graphs is too large (n = {n})");
+    assert!(
+        bits <= 20,
+        "census over 2^{bits} graphs is too large (n = {n})"
+    );
     let total: u64 = 1 << bits;
 
     let mut satisfying = 0u64;

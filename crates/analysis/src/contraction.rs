@@ -228,10 +228,7 @@ mod tests {
         // along the frozen dimension cut never propagates.
         let g = generators::hypercube(3);
         let faults = NodeSet::with_universe(8);
-        let states: Vec<Vec<f64>> = vec![
-            vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
-            4
-        ];
+        let states: Vec<Vec<f64>> = vec![vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]; 4];
         let phases = compare_phases(&g, &states, &faults, 1, 0.25);
         assert!(phases.is_empty());
     }

@@ -47,7 +47,14 @@ fn run_rule(rule: &dyn UpdateRule, adversary: Box<dyn Adversary>) -> RunStats {
 
 /// Runs experiment E12.
 pub fn e12_ablation() -> ExperimentResult {
-    let mut table = Table::new(["rule", "adversary", "converged", "valid", "rounds", "final value"]);
+    let mut table = Table::new([
+        "rule",
+        "adversary",
+        "converged",
+        "valid",
+        "rounds",
+        "final value",
+    ]);
     let mut pass = true;
 
     let weighted = WeightedTrimmedMean::new(2, 0.5).expect("0.5 in (0,1)");

@@ -92,9 +92,8 @@ pub fn e7_hypercube() -> ExperimentResult {
             format!("{k} (antipodal pair)")
         };
         // Every dimension cut must be a valid witness for f = 1 (Figure 3).
-        let all_cuts_valid = (0..d).all(|bit| {
-            dimension_cut_witness(d, bit).verify(&g, 1, Threshold::synchronous(1))
-        });
+        let all_cuts_valid = (0..d)
+            .all(|bit| dimension_cut_witness(d, bit).verify(&g, 1, Threshold::synchronous(1)));
         // Exact check where feasible; seeded falsifier beyond.
         let (method, violated) = if d <= 4 {
             ("exact checker", !theorem1::check(&g, 1).is_satisfied())
@@ -123,7 +122,8 @@ pub fn e7_hypercube() -> ExperimentResult {
         id: "E7",
         title: "§6.2 / Figure 3: hypercubes have connectivity d yet fail Theorem 1 for f = 1",
         notes: vec![
-            "Figure 3's partition {0,1,2,3} | {4,5,6,7} is the bit-2 dimension cut of the 3-cube".into(),
+            "Figure 3's partition {0,1,2,3} | {4,5,6,7} is the bit-2 dimension cut of the 3-cube"
+                .into(),
         ],
         artifacts: Vec::new(),
         table,
@@ -133,7 +133,12 @@ pub fn e7_hypercube() -> ExperimentResult {
 
 /// Runs experiment E8 (§6.3: the three chord-network cases).
 pub fn e8_chord() -> ExperimentResult {
-    let mut table = Table::new(["case", "expectation", "checker verdict", "paper witness check"]);
+    let mut table = Table::new([
+        "case",
+        "expectation",
+        "checker verdict",
+        "paper witness check",
+    ]);
     let mut pass = true;
 
     // f = 1, n = 4: complete graph, trivially satisfied.
@@ -145,7 +150,12 @@ pub fn e8_chord() -> ExperimentResult {
         table.row([
             "chord(4, 3), f = 1".to_string(),
             "satisfied (graph is K4)".to_string(),
-            if ok { "satisfied, graph == K4" } else { "MISMATCH" }.to_string(),
+            if ok {
+                "satisfied, graph == K4"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
             "-".to_string(),
         ]);
     }

@@ -1,7 +1,7 @@
 //! E9 — Section 7 asynchronous generalization, executed.
 
-use iabc_core::rules::TrimmedMean;
 use iabc_core::async_condition;
+use iabc_core::rules::TrimmedMean;
 use iabc_graph::{generators, NodeSet};
 use iabc_sim::adversary::{ConstantAdversary, ExtremesAdversary};
 use iabc_sim::async_engine::{DelayBoundedSim, MaxDelayScheduler, RandomScheduler, WithholdingSim};
@@ -16,12 +16,22 @@ pub fn e9_async() -> ExperimentResult {
     let mut pass = true;
 
     // (a) The async condition boundary n > 5f on complete graphs.
-    for (n, f, expect) in [(10usize, 2usize, false), (11, 2, true), (5, 1, false), (6, 1, true)] {
+    for (n, f, expect) in [
+        (10usize, 2usize, false),
+        (11, 2, true),
+        (5, 1, false),
+        (6, 1, true),
+    ] {
         let verdict = async_condition::check(&generators::complete(n), f).is_satisfied();
         pass &= verdict == expect;
         table.row([
             format!("async condition on K{n}, f = {f}"),
-            (if expect { "satisfied (n > 5f)" } else { "violated (n <= 5f)" }).to_string(),
+            (if expect {
+                "satisfied (n > 5f)"
+            } else {
+                "violated (n <= 5f)"
+            })
+            .to_string(),
             (if verdict { "satisfied" } else { "violated" }).to_string(),
         ]);
     }

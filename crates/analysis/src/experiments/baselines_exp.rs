@@ -69,7 +69,14 @@ fn workloads() -> Vec<Workload> {
 
 /// Runs experiment X5 (baseline faceoff).
 pub fn x5_baselines() -> ExperimentResult {
-    let mut table = Table::new(["workload", "rule", "converged", "rounds", "final range", "valid"]);
+    let mut table = Table::new([
+        "workload",
+        "rule",
+        "converged",
+        "rounds",
+        "final range",
+        "valid",
+    ]);
     let mut pass = true;
     let mut notes = Vec::new();
 
@@ -101,9 +108,8 @@ pub fn x5_baselines() -> ExperimentResult {
             // * Algorithm 1 everywhere (Theorem 3);
             // * everything on complete graphs (Dolev's setting);
             // * W-MSR where (2f+1)-robustness holds.
-            let guaranteed = r.rule == "trimmed-mean"
-                || complete_graph
-                || (r.rule == "w-msr" && robust);
+            let guaranteed =
+                r.rule == "trimmed-mean" || complete_graph || (r.rule == "w-msr" && robust);
             if guaranteed && !(r.converged && r.valid) {
                 pass = false;
                 notes.push(format!("{}: {} broke its guarantee: {r:?}", w.name, r.rule));

@@ -17,7 +17,14 @@ use super::ExperimentResult;
 
 /// Runs experiment X8 (exhaustive census, `n ≤ 4`).
 pub fn x8_census() -> ExperimentResult {
-    let mut table = Table::new(["n", "f", "graphs", "satisfying", "min edges", "Cor. 3 holds"]);
+    let mut table = Table::new([
+        "n",
+        "f",
+        "graphs",
+        "satisfying",
+        "min edges",
+        "Cor. 3 holds",
+    ]);
     let mut pass = true;
     let mut notes = Vec::new();
 
@@ -26,7 +33,10 @@ pub fn x8_census() -> ExperimentResult {
         // Corollary 2 exhaustively: no satisfying graphs when n <= 3f.
         if n <= 3 * f && row.satisfying != 0 {
             pass = false;
-            notes.push(format!("n={n} f={f}: {} graphs satisfy despite n <= 3f", row.satisfying));
+            notes.push(format!(
+                "n={n} f={f}: {} graphs satisfy despite n <= 3f",
+                row.satisfying
+            ));
         }
         pass &= row.corollary3_holds;
         table.row([
@@ -34,7 +44,9 @@ pub fn x8_census() -> ExperimentResult {
             f.to_string(),
             row.graphs.to_string(),
             row.satisfying.to_string(),
-            row.min_edges.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            row.min_edges
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
             row.corollary3_holds.to_string(),
         ]);
 

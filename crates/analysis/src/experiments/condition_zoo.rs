@@ -33,12 +33,36 @@ struct ZooRow {
 fn panel() -> Vec<ZooRow> {
     let mut rng = StdRng::seed_from_u64(44);
     vec![
-        ZooRow { name: "K7".into(), graph: generators::complete(7), f: 2 },
-        ZooRow { name: "core(7,2)".into(), graph: generators::core_network(7, 2), f: 2 },
-        ZooRow { name: "chord(5,3)".into(), graph: generators::chord(5, 3), f: 1 },
-        ZooRow { name: "chord(7,5)".into(), graph: generators::chord(7, 5), f: 2 },
-        ZooRow { name: "hypercube(3)".into(), graph: generators::hypercube(3), f: 1 },
-        ZooRow { name: "wheel(8)".into(), graph: generators::wheel(8), f: 1 },
+        ZooRow {
+            name: "K7".into(),
+            graph: generators::complete(7),
+            f: 2,
+        },
+        ZooRow {
+            name: "core(7,2)".into(),
+            graph: generators::core_network(7, 2),
+            f: 2,
+        },
+        ZooRow {
+            name: "chord(5,3)".into(),
+            graph: generators::chord(5, 3),
+            f: 1,
+        },
+        ZooRow {
+            name: "chord(7,5)".into(),
+            graph: generators::chord(7, 5),
+            f: 2,
+        },
+        ZooRow {
+            name: "hypercube(3)".into(),
+            graph: generators::hypercube(3),
+            f: 1,
+        },
+        ZooRow {
+            name: "wheel(8)".into(),
+            graph: generators::wheel(8),
+            f: 1,
+        },
         ZooRow {
             name: "grown(9,1)".into(),
             graph: iabc_core::construction::grow_satisfying(
@@ -49,14 +73,23 @@ fn panel() -> Vec<ZooRow> {
             ),
             f: 1,
         },
-        ZooRow { name: "tree(2,2)".into(), graph: generators::balanced_tree(2, 2), f: 1 },
+        ZooRow {
+            name: "tree(2,2)".into(),
+            graph: generators::balanced_tree(2, 2),
+            f: 1,
+        },
     ]
 }
 
 /// Runs experiment X4 (condition zoo + implication checks).
 pub fn x4_condition_zoo() -> ExperimentResult {
     let mut table = Table::new([
-        "graph", "f", "theorem1", "(2f+1)-robust", "(f+1,f+1)-robust", "connectivity",
+        "graph",
+        "f",
+        "theorem1",
+        "(2f+1)-robust",
+        "(f+1,f+1)-robust",
+        "connectivity",
         "min in-deg",
     ]);
     let mut pass = true;
@@ -74,11 +107,17 @@ pub fn x4_condition_zoo() -> ExperimentResult {
         // Provable implications must hold on every instance.
         if strong && !sat {
             pass = false;
-            notes.push(format!("{}: (2f+1)-robust but Theorem 1 violated?!", row.name));
+            notes.push(format!(
+                "{}: (2f+1)-robust but Theorem 1 violated?!",
+                row.name
+            ));
         }
         if sat && !weak {
             pass = false;
-            notes.push(format!("{}: Theorem 1 holds but not (f+1,f+1)-robust?!", row.name));
+            notes.push(format!(
+                "{}: Theorem 1 holds but not (f+1,f+1)-robust?!",
+                row.name
+            ));
         }
         if row.name.starts_with("hypercube") && conn > 2 * f && !sat {
             hypercube_refutes_connectivity = true;
@@ -114,16 +153,22 @@ pub fn x4_condition_zoo() -> ExperimentResult {
             let weak = robustness::is_robust(&g, f + 1, f + 1);
             if strong && !sat {
                 pass = false;
-                notes.push(format!("random n={n} f={f}: (2f+1)-robust but violated: {g:?}"));
+                notes.push(format!(
+                    "random n={n} f={f}: (2f+1)-robust but violated: {g:?}"
+                ));
             }
             if sat && !weak {
                 pass = false;
-                notes.push(format!("random n={n} f={f}: satisfied but not (f+1,f+1)-robust: {g:?}"));
+                notes.push(format!(
+                    "random n={n} f={f}: satisfied but not (f+1,f+1)-robust: {g:?}"
+                ));
             }
             checked += 1;
         }
     }
-    notes.push(format!("implications verified on {checked} random (graph, f) samples"));
+    notes.push(format!(
+        "implications verified on {checked} random (graph, f) samples"
+    ));
 
     ExperimentResult {
         id: "X4",

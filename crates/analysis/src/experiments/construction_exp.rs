@@ -35,7 +35,11 @@ pub fn x7_construction() -> ExperimentResult {
     let mut rng = StdRng::seed_from_u64(77);
 
     // Part 1: growth always satisfies the condition.
-    for attachment in [Attachment::Uniform, Attachment::Preferential, Attachment::Lowest] {
+    for attachment in [
+        Attachment::Uniform,
+        Attachment::Preferential,
+        Attachment::Lowest,
+    ] {
         for f in 1..=2usize {
             let n = 3 * f + 4;
             let g = grow_satisfying(n, f, attachment, &mut rng);
@@ -93,7 +97,10 @@ pub fn x7_construction() -> ExperimentResult {
     table.row([
         "slack".to_string(),
         "core(5,1)".to_string(),
-        format!("{} -> {} edges after pruning", report.edges, report.pruned_edges),
+        format!(
+            "{} -> {} edges after pruning",
+            report.edges, report.pruned_edges
+        ),
         "pruning removes edges".to_string(),
         has_slack.to_string(),
     ]);

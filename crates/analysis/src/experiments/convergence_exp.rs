@@ -41,7 +41,13 @@ fn measure(
 
 /// Runs experiment E3.
 pub fn e3_convergence() -> ExperimentResult {
-    let mut table = Table::new(["graph", "f", "satisfies Thm 1", "rounds (benign)", "rounds (pull)"]);
+    let mut table = Table::new([
+        "graph",
+        "f",
+        "satisfies Thm 1",
+        "rounds (benign)",
+        "rounds (pull)",
+    ]);
     let mut pass = true;
 
     let cases: Vec<(String, Digraph, usize, NodeSet)> = vec![
@@ -92,7 +98,12 @@ pub fn e3_convergence() -> ExperimentResult {
     for (name, g, f, faults) in cases {
         let satisfied = theorem1::check(&g, f).is_satisfied();
         let benign = measure(&g, f, &faults, Box::new(ConformingAdversary));
-        let pulled = measure(&g, f, &faults, Box::new(PullAdversary { toward_max: false }));
+        let pulled = measure(
+            &g,
+            f,
+            &faults,
+            Box::new(PullAdversary { toward_max: false }),
+        );
         pass &= satisfied && benign.is_some() && pulled.is_some();
         table.row([
             name,

@@ -35,7 +35,12 @@ pub fn e4_corollary2() -> ExperimentResult {
             table.row([
                 n.to_string(),
                 f.to_string(),
-                if complete_violated { "violated" } else { "SATISFIED?!" }.to_string(),
+                if complete_violated {
+                    "violated"
+                } else {
+                    "SATISFIED?!"
+                }
+                .to_string(),
                 format!("{sample_violated}/{SAMPLES} violated"),
             ]);
         }
@@ -46,7 +51,12 @@ pub fn e4_corollary2() -> ExperimentResult {
         table.row([
             n.to_string(),
             f.to_string(),
-            if ok { "satisfied (boundary)" } else { "VIOLATED?!" }.to_string(),
+            if ok {
+                "satisfied (boundary)"
+            } else {
+                "VIOLATED?!"
+            }
+            .to_string(),
             "-".to_string(),
         ]);
     }
@@ -54,9 +64,7 @@ pub fn e4_corollary2() -> ExperimentResult {
     ExperimentResult {
         id: "E4",
         title: "Corollary 2: n must exceed 3f (complete graph = hardest case)",
-        notes: vec![
-            "monotonicity: K_n violated implies every n-node graph violated".into(),
-        ],
+        notes: vec!["monotonicity: K_n violated implies every n-node graph violated".into()],
         artifacts: Vec::new(),
         table,
         pass,
@@ -69,7 +77,13 @@ pub fn e4_corollary2() -> ExperimentResult {
 /// forced to `2f`; the checker must find a violation, and the minimal
 /// witness isolates that node (`L = {i}` as in the Corollary 3 proof).
 pub fn e5_corollary3() -> ExperimentResult {
-    let mut table = Table::new(["base graph", "f", "deficient node in-degree", "verdict", "witness isolates node"]);
+    let mut table = Table::new([
+        "base graph",
+        "f",
+        "deficient node in-degree",
+        "verdict",
+        "witness isolates node",
+    ]);
     let mut pass = true;
 
     for f in 1..=2usize {
@@ -78,7 +92,10 @@ pub fn e5_corollary3() -> ExperimentResult {
         let mut g = generators::complete(n);
         let victim = NodeId::new(0);
         while g.in_degree(victim) > 2 * f {
-            let u = g.in_neighbors(victim).first().expect("nonempty in-neighbourhood");
+            let u = g
+                .in_neighbors(victim)
+                .first()
+                .expect("nonempty in-neighbourhood");
             g.remove_edge(u, victim);
         }
         let report = theorem1::check(&g, f);
@@ -100,7 +117,10 @@ pub fn e5_corollary3() -> ExperimentResult {
         // passes and, for these dense graphs, the full condition holds too.
         let mut g2 = generators::complete(n);
         while g2.in_degree(victim) > 2 * f + 1 {
-            let u = g2.in_neighbors(victim).first().expect("nonempty in-neighbourhood");
+            let u = g2
+                .in_neighbors(victim)
+                .first()
+                .expect("nonempty in-neighbourhood");
             g2.remove_edge(u, victim);
         }
         let ok = theorem1::check(&g2, f).is_satisfied();
@@ -109,7 +129,12 @@ pub fn e5_corollary3() -> ExperimentResult {
             format!("K{n} with node 0 at in-degree 2f+1"),
             f.to_string(),
             (2 * f + 1).to_string(),
-            if ok { "satisfied (boundary)" } else { "violated" }.to_string(),
+            if ok {
+                "satisfied (boundary)"
+            } else {
+                "violated"
+            }
+            .to_string(),
             "-".to_string(),
         ]);
     }
@@ -132,7 +157,8 @@ pub fn e5_corollary3() -> ExperimentResult {
         id: "E5",
         title: "Corollary 3: every node needs at least 2f+1 in-neighbours",
         notes: vec![
-            "witness shape matches the proof: L = {deficient node}, F hides half its in-neighbours".into(),
+            "witness shape matches the proof: L = {deficient node}, F hides half its in-neighbours"
+                .into(),
         ],
         artifacts: Vec::new(),
         table,

@@ -49,13 +49,11 @@ pub fn x1_local_fault_model() -> ExperimentResult {
             (false, false) => "agree (violated)".to_string(),
             (true, false) => {
                 let w = local_report.witness().expect("violated");
-                pass &= local_fault::verify_local(
-                    w,
-                    &g,
-                    f,
-                    iabc_core::Threshold::synchronous(f),
-                );
-                format!("local strictly stronger: |F| = {} witness", w.fault_set.len())
+                pass &= local_fault::verify_local(w, &g, f, iabc_core::Threshold::synchronous(f));
+                format!(
+                    "local strictly stronger: |F| = {} witness",
+                    w.fault_set.len()
+                )
             }
             (false, true) => "IMPLICATION VIOLATED".to_string(),
         };
@@ -226,9 +224,11 @@ pub fn x2_matrix_representation() -> ExperimentResult {
 
     ExperimentResult {
         id: "X2",
-        title: "Matrix representation: per-round tau(M[t]) bounds the contraction (sharpens Lemma 5)",
+        title:
+            "Matrix representation: per-round tau(M[t]) bounds the contraction (sharpens Lemma 5)",
         notes: vec![
-            "each round of Algorithm 1 rewritten as a row-stochastic matrix over honest states".into(),
+            "each round of Algorithm 1 rewritten as a row-stochastic matrix over honest states"
+                .into(),
             "surviving faulty values bracketed by honest values (Lemma 3/4 construction)".into(),
         ],
         artifacts: Vec::new(),
@@ -344,7 +344,8 @@ pub fn x3_model_comparison() -> ExperimentResult {
 
     ExperimentResult {
         id: "X3",
-        title: "Model comparison: broadcast restriction weakens the attack; omission/crash absorbed",
+        title:
+            "Model comparison: broadcast restriction weakens the attack; omission/crash absorbed",
         notes: vec![
             "broadcast wrapper caches one value per (round, sender) — the [16]/[17] model".into(),
             "missing synchronous messages are substituted with the receiver's own state".into(),

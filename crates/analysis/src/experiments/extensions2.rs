@@ -44,14 +44,23 @@ pub fn x10_fault_models() -> ExperimentResult {
     let two_racks = FaultModel::Structure(
         AdversaryStructure::new(
             7,
-            vec![NodeSet::from_indices(7, [0, 1]), NodeSet::from_indices(7, [2, 3])],
+            vec![
+                NodeSet::from_indices(7, [0, 1]),
+                NodeSet::from_indices(7, [2, 3]),
+            ],
         )
         .expect("universe 7"),
     );
     let uniform2 = FaultModel::Structure(AdversaryStructure::uniform(7, 2));
 
     let cases: Vec<(&str, &iabc_graph::Digraph, FaultModel, bool, &str)> = vec![
-        ("chord(7,5)", &chord7, FaultModel::Total(2), false, "paper §6.3"),
+        (
+            "chord(7,5)",
+            &chord7,
+            FaultModel::Total(2),
+            false,
+            "paper §6.3",
+        ),
         (
             "chord(7,5)",
             &chord7,
@@ -67,8 +76,20 @@ pub fn x10_fault_models() -> ExperimentResult {
             "fault-location knowledge restores possibility",
         ),
         ("K7", &k7, FaultModel::Total(2), true, "n > 3f"),
-        ("K7", &k7, two_racks, true, "two 2-node racks, weaker than f-total(2)"),
-        ("K7", &k7, FaultModel::Local(2), true, "coverage-local condition"),
+        (
+            "K7",
+            &k7,
+            two_racks,
+            true,
+            "two 2-node racks, weaker than f-total(2)",
+        ),
+        (
+            "K7",
+            &k7,
+            FaultModel::Local(2),
+            true,
+            "coverage-local condition",
+        ),
     ];
     for (gname, g, model, expected, why) in cases {
         let report = check_model(g, &model);
@@ -80,7 +101,12 @@ pub fn x10_fault_models() -> ExperimentResult {
         table.row([
             gname.to_string(),
             model.to_string(),
-            if report.is_satisfied() { "satisfied" } else { "violated" }.to_string(),
+            if report.is_satisfied() {
+                "satisfied"
+            } else {
+                "violated"
+            }
+            .to_string(),
             if expected { "satisfied" } else { "violated" }.to_string(),
             why.to_string(),
         ]);
@@ -135,8 +161,8 @@ pub fn x10_fault_models() -> ExperimentResult {
         // of a fixed f converges.
         use iabc_core::fault_model::ModelTrimmedMean;
         use iabc_sim::model_engine::ModelSimulation;
-        let rack = AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])])
-            .expect("universe 7");
+        let rack =
+            AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).expect("universe 7");
         let aware = ModelTrimmedMean::new(FaultModel::Structure(rack));
         let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
         let mut sim =
@@ -176,7 +202,14 @@ pub fn x10_fault_models() -> ExperimentResult {
 
 /// Runs extension experiment X11 (time-varying topologies).
 pub fn x11_dynamic_topology() -> ExperimentResult {
-    let mut table = Table::new(["schedule", "adversary", "converged", "valid", "rounds", "note"]);
+    let mut table = Table::new([
+        "schedule",
+        "adversary",
+        "converged",
+        "valid",
+        "rounds",
+        "note",
+    ]);
     let mut pass = true;
     let f = 2usize;
     let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
@@ -251,11 +284,9 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
 
     // Violating interludes with satisfying dwells.
     {
-        let schedule = RoundRobinSchedule::new(
-            vec![generators::chord(7, 5), generators::complete(7)],
-            4,
-        )
-        .expect("schedule");
+        let schedule =
+            RoundRobinSchedule::new(vec![generators::chord(7, 5), generators::complete(7)], 4)
+                .expect("schedule");
         let mut sim = DynamicSimulation::new(
             &schedule,
             &inputs,
@@ -280,8 +311,7 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
     {
         let bad = generators::chord(7, 5);
         let w = theorem1::find_violation(&bad, f).expect("violated");
-        let schedule =
-            SwitchOnceSchedule::new(bad, generators::complete(7), 40).expect("schedule");
+        let schedule = SwitchOnceSchedule::new(bad, generators::complete(7), 40).expect("schedule");
         let mut planted = vec![0.5; 7];
         for v in w.left.iter() {
             planted[v.index()] = 0.0;
@@ -373,6 +403,9 @@ pub fn x12_quantized() -> ExperimentResult {
     let g = generators::complete(7);
     let f = 2usize;
     let faults = NodeSet::from_indices(7, [5, 6]);
+    // Deliberately awkward sensor readings (≈√2, ≈e, ≈π) that no quantum
+    // divides exactly.
+    #[allow(clippy::approx_constant)]
     let raw_inputs = [0.03, 1.41, 2.72, 3.14, 4.0, 2.0, 2.0];
 
     for &quantum in &[0.25, 1.0 / 16.0, 1.0 / 256.0] {

@@ -48,7 +48,6 @@ pub use baselines_exp::x5_baselines;
 pub use census_exp::x8_census;
 pub use condition_zoo::x4_condition_zoo;
 pub use construction_exp::x7_construction;
-pub use tournament::x9_adversary_tournament;
 pub use convergence_exp::e3_convergence;
 pub use corollaries_exp::{e4_corollary2, e5_corollary3};
 pub use extensions::{x1_local_fault_model, x2_matrix_representation, x3_model_comparison};
@@ -56,6 +55,7 @@ pub use extensions2::{x10_fault_models, x11_dynamic_topology, x12_quantized, x13
 pub use necessity::e1_necessity;
 pub use rate::e10_rate;
 pub use scaling::x6_scaling;
+pub use tournament::x9_adversary_tournament;
 pub use validity::e2_validity;
 
 use crate::table::Table;
@@ -160,9 +160,7 @@ mod tests {
         let ids: Vec<&str> = run_extensions().iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec![
-                "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13"
-            ]
+            vec!["X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13"]
         );
     }
 }

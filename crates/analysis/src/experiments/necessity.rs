@@ -42,16 +42,28 @@ pub(super) fn freeze_case(name: &str, g: &Digraph, f: usize) -> (Vec<String>, bo
     }
     let rule = TrimmedMean::new(f);
     let adversary = SplitBrainAdversary::from_witness(&witness, M_LOW, M_HIGH, 0.5);
-    let mut sim = Simulation::new(g, &inputs, witness.fault_set.clone(), &rule, Box::new(adversary))
-        .expect("valid simulation inputs");
+    let mut sim = Simulation::new(
+        g,
+        &inputs,
+        witness.fault_set.clone(),
+        &rule,
+        Box::new(adversary),
+    )
+    .expect("valid simulation inputs");
     let mut frozen = true;
     for _ in 0..ROUNDS {
         if sim.step().is_err() {
             frozen = false;
             break;
         }
-        frozen &= witness.left.iter().all(|v| sim.states()[v.index()] == M_LOW)
-            && witness.right.iter().all(|v| sim.states()[v.index()] == M_HIGH);
+        frozen &= witness
+            .left
+            .iter()
+            .all(|v| sim.states()[v.index()] == M_LOW)
+            && witness
+                .right
+                .iter()
+                .all(|v| sim.states()[v.index()] == M_HIGH);
         if !frozen {
             break;
         }
@@ -79,7 +91,11 @@ pub fn e1_necessity() -> ExperimentResult {
         ("hypercube(3) [§6.2]", generators::hypercube(3), 1),
         ("hypercube(4)", generators::hypercube(4), 1),
         ("K6 (n = 3f)", generators::complete(6), 2),
-        ("bridged_cliques(4, 1)", generators::bridged_cliques(4, 1), 1),
+        (
+            "bridged_cliques(4, 1)",
+            generators::bridged_cliques(4, 1),
+            1,
+        ),
     ];
     for (name, g, f) in cases {
         let (row, ok) = freeze_case(name, &g, f);

@@ -41,7 +41,12 @@ fn rate_case(name: &str, g: &Digraph, f: usize, fault_set: NodeSet) -> (Vec<Stri
         })
         .expect("run succeeds");
     let alpha = algorithm1_alpha(g, f).expect("degree bound satisfied");
-    let states: Vec<Vec<f64>> = out.trace.records().iter().map(|r| r.states.clone()).collect();
+    let states: Vec<Vec<f64>> = out
+        .trace
+        .records()
+        .iter()
+        .map(|r| r.states.clone())
+        .collect();
     let phases = compare_phases(g, &states, &fault_set, f, alpha);
     let all_hold = !phases.is_empty() && phases.iter().all(|p| p.holds());
     let worst = phases
@@ -117,8 +122,10 @@ pub fn e10_rate() -> ExperimentResult {
         id: "E10",
         title: "Lemma 5: measured per-phase contraction never exceeds (1 - alpha^l / 2)",
         notes: vec![
-            "phases re-enact the Theorem 3 proof: half-range split, l(s) = propagation length".into(),
-            "the bound is intentionally loose; 'worst measured/bound' << 1 is the expected shape".into(),
+            "phases re-enact the Theorem 3 proof: half-range split, l(s) = propagation length"
+                .into(),
+            "the bound is intentionally loose; 'worst measured/bound' << 1 is the expected shape"
+                .into(),
             "lambda2 is the fault-free linear-averaging rate, for context".into(),
         ],
         artifacts: Vec::new(),

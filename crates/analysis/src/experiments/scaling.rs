@@ -27,7 +27,12 @@ fn workload(name: &str, graph: Digraph, f: usize) -> (String, Digraph, usize) {
 /// Runs experiment X6 (scaling of rounds-to-ε).
 pub fn x6_scaling() -> ExperimentResult {
     let mut table = Table::new([
-        "family", "n", "f", "rounds to 1e-6", "mean contraction/round", "Lemma 5 bound (rounds)",
+        "family",
+        "n",
+        "f",
+        "rounds to 1e-6",
+        "mean contraction/round",
+        "Lemma 5 bound (rounds)",
     ]);
     let mut pass = true;
     let mut notes = Vec::new();
@@ -53,7 +58,10 @@ pub fn x6_scaling() -> ExperimentResult {
     cases.push(workload("chord", generators::chord(5, 3), 1));
 
     for (family, g, f) in cases {
-        debug_assert!(theorem1::check(&g, f).is_satisfied(), "{family} must satisfy");
+        debug_assert!(
+            theorem1::check(&g, f).is_satisfied(),
+            "{family} must satisfy"
+        );
         let n = g.node_count();
         // Spread inputs over [0, 100]; the last node is faulty.
         let inputs: Vec<f64> = (0..n).map(|i| 100.0 * i as f64 / (n - 1) as f64).collect();

@@ -54,8 +54,11 @@ pub fn x9_adversary_tournament() -> ExperimentResult {
                     let ok = out.converged && out.validity.is_valid();
                     pass &= ok;
                     if !ok {
-                        notes.push(format!("{name}/{label}: converged={} valid={}",
-                            out.converged, out.validity.is_valid()));
+                        notes.push(format!(
+                            "{name}/{label}: converged={} valid={}",
+                            out.converged,
+                            out.validity.is_valid()
+                        ));
                     }
                     if worst.as_ref().is_none_or(|(_, r)| out.rounds > *r) {
                         worst = Some((label.clone(), out.rounds));
@@ -74,7 +77,9 @@ pub fn x9_adversary_tournament() -> ExperimentResult {
             }
         }
         if let Some((label, rounds)) = worst {
-            notes.push(format!("{name}: slowest adversary is {label} ({rounds} rounds)"));
+            notes.push(format!(
+                "{name}: slowest adversary is {label} ({rounds} rounds)"
+            ));
         }
     }
 

@@ -7,6 +7,9 @@
 //! * [`census`] — exhaustive sweeps of **all** labeled digraphs at small `n`;
 //! * [`plot`] — Unicode sparklines / ASCII log charts of traces;
 //! * [`table`] — plain-text table rendering for reports;
+//! * [`sweep`] — the parallel sweep runner: fans experiment grids across
+//!   cores with per-cell coordinate-derived seeds, bit-identical for any
+//!   worker count;
 //! * [`experiments`] — one runnable regeneration per paper artifact
 //!   (E1–E12, extensions X1–X9; see DESIGN.md §4 and `EXPERIMENTS.md`).
 //!
@@ -30,4 +33,5 @@ pub mod experiments;
 pub mod matrix_repr;
 pub mod plot;
 pub mod spectral;
+pub mod sweep;
 pub mod table;

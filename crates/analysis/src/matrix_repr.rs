@@ -38,7 +38,11 @@ impl RoundMatrix {
     ///
     /// Panics if the vector length does not match.
     pub fn apply(&self, honest_prev: &[f64]) -> Vec<f64> {
-        assert_eq!(honest_prev.len(), self.honest.len(), "state vector length mismatch");
+        assert_eq!(
+            honest_prev.len(),
+            self.honest.len(),
+            "state vector length mismatch"
+        );
         self.rows
             .iter()
             .map(|row| row.iter().zip(honest_prev).map(|(m, v)| m * v).sum())
@@ -264,15 +268,13 @@ mod tests {
             let tau = m.ergodicity_coefficient();
             assert!((0.0..=1.0).contains(&tau));
             let hv = honest_vec(&prev, &faults);
-            let range_before =
-                hv.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                    - hv.iter().cloned().fold(f64::INFINITY, f64::min);
+            let range_before = hv.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - hv.iter().cloned().fold(f64::INFINITY, f64::min);
             sim.step().unwrap();
             prev = sim.states().to_vec();
             let hv2 = honest_vec(&prev, &faults);
-            let range_after =
-                hv2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                    - hv2.iter().cloned().fold(f64::INFINITY, f64::min);
+            let range_after = hv2.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - hv2.iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(
                 range_after <= tau * range_before + 1e-9,
                 "round {round}: {range_after} > tau {tau} * {range_before}"

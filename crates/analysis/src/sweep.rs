@@ -1,0 +1,466 @@
+//! Parallel sweep runner: fans independent experiment-grid cells across
+//! cores with **deterministic, thread-count-independent** results.
+//!
+//! Every grid in this workspace — the E1–E12/X1–X13 experiment harness,
+//! Monte-Carlo graph sweeps, the exhaustive tolerance census — decomposes
+//! into independent `(graph family, n, f, …)` cells with no shared state
+//! (the transition-matrix view of the protocol makes each cell a pure
+//! function of its coordinates). The runner exploits that:
+//!
+//! * each cell derives its RNG seed by hashing its [`CellCoords`]
+//!   (`seed = fnv1a(coords)`), never from a shared stream, so a cell's
+//!   output is a pure function of its coordinates;
+//! * workers pull cell *indices* from an atomic counter and write results
+//!   back by index, so the merged output order is the grid order no matter
+//!   how the OS schedules threads.
+//!
+//! Together these make sweep output **bit-identical** for `jobs = 1` and
+//! `jobs = N` — verified by `tests/sweep_parallel.rs` and unit tests here.
+//!
+//! Threading is `std::thread::scope` based (the container has no rayon;
+//! the fan-out pattern is the same work-stealing-by-counter idiom).
+//!
+//! # Examples
+//!
+//! ```
+//! use iabc_analysis::sweep::{run_cells, CellCoords, SweepCell};
+//!
+//! let cells: Vec<SweepCell<u64>> = (0..8)
+//!     .map(|i| {
+//!         let coords = CellCoords::new("double").with("i", i);
+//!         SweepCell::new(coords, move |seed| seed.wrapping_mul(2))
+//!     })
+//!     .collect();
+//! let serial = run_cells(cells, 1);
+//! assert_eq!(serial.len(), 8);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use iabc_core::theorem1;
+use iabc_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::census::{census, CensusRow};
+use crate::experiments::{self, ExperimentResult};
+use crate::table::Table;
+
+/// Grid coordinates identifying one sweep cell: an experiment name plus
+/// ordered `key = value` pairs. Hashing the canonical rendering yields the
+/// cell's RNG seed, so seeds depend only on coordinates — never on thread
+/// scheduling or cell execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCoords {
+    grid: String,
+    pairs: Vec<(String, String)>,
+}
+
+impl CellCoords {
+    /// Starts coordinates for a cell of the named grid.
+    pub fn new(grid: impl Into<String>) -> Self {
+        CellCoords {
+            grid: grid.into(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Appends one `key = value` coordinate.
+    pub fn with(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.pairs.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Canonical rendering, e.g. `census[n=4,f=1]`.
+    pub fn label(&self) -> String {
+        let coords: Vec<String> = self.pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}[{}]", self.grid, coords.join(","))
+    }
+
+    /// The cell's deterministic RNG seed: FNV-1a over [`Self::label`].
+    pub fn seed(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.label().as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// One independent unit of sweep work: coordinates plus the cell function,
+/// which receives the coordinate-derived seed.
+pub struct SweepCell<'a, T> {
+    /// The cell's grid coordinates.
+    pub coords: CellCoords,
+    run: Box<dyn Fn(u64) -> T + Send + Sync + 'a>,
+}
+
+impl<'a, T> std::fmt::Debug for SweepCell<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepCell")
+            .field("coords", &self.coords)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, T> SweepCell<'a, T> {
+    /// Wraps a cell function; it will be called with `coords.seed()`.
+    pub fn new(coords: CellCoords, run: impl Fn(u64) -> T + Send + Sync + 'a) -> Self {
+        SweepCell {
+            coords,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A completed cell: its coordinates, the seed it ran with, and its value.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<T> {
+    /// The cell's grid coordinates.
+    pub coords: CellCoords,
+    /// The coordinate-derived seed the cell function received.
+    pub seed: u64,
+    /// The cell function's output.
+    pub value: T,
+}
+
+/// Resolves a requested worker count: `Some(0)` or `None` with
+/// `parallel = true` means all available cores; `None` without
+/// `--parallel` means serial.
+pub fn effective_jobs(jobs: Option<usize>, parallel: bool) -> usize {
+    match jobs {
+        Some(0) | None if parallel => available_cores(),
+        Some(0) => available_cores(),
+        Some(n) => n,
+        None => 1,
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every cell and returns outcomes **in grid order**, regardless of
+/// `jobs`. `jobs == 0` uses all available cores; `jobs <= 1` runs serially
+/// on the calling thread.
+pub fn run_cells<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<SweepOutcome<T>> {
+    let jobs = if jobs == 0 { available_cores() } else { jobs };
+    let workers = jobs.min(cells.len()).max(1);
+
+    if workers <= 1 {
+        return cells
+            .into_iter()
+            .map(|cell| {
+                let seed = cell.coords.seed();
+                SweepOutcome {
+                    seed,
+                    value: (cell.run)(seed),
+                    coords: cell.coords,
+                }
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, SweepOutcome<T>)>> =
+        Mutex::new(Vec::with_capacity(cells.len()));
+    let cells_ref = &cells;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, SweepOutcome<T>)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells_ref.get(idx) else {
+                        break;
+                    };
+                    let seed = cell.coords.seed();
+                    local.push((
+                        idx,
+                        SweepOutcome {
+                            coords: cell.coords.clone(),
+                            seed,
+                            value: (cell.run)(seed),
+                        },
+                    ));
+                }
+                collected
+                    .lock()
+                    .expect("sweep result mutex poisoned")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut merged = collected.into_inner().expect("sweep result mutex poisoned");
+    merged.sort_by_key(|(idx, _)| *idx);
+    merged.into_iter().map(|(_, outcome)| outcome).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Grid builders
+// ---------------------------------------------------------------------------
+
+type ExperimentRunner = fn() -> ExperimentResult;
+
+/// The experiment grid: one runner per paper artifact, in paper order.
+const EXPERIMENT_RUNNERS: [(&str, ExperimentRunner); 12] = [
+    ("E1", experiments::e1_necessity),
+    ("E2", experiments::e2_validity),
+    ("E3", experiments::e3_convergence),
+    ("E4", experiments::e4_corollary2),
+    ("E5", experiments::e5_corollary3),
+    ("E6", experiments::e6_core_network),
+    ("E7", experiments::e7_hypercube),
+    ("E8", experiments::e8_chord),
+    ("E9", experiments::e9_async),
+    ("E10", experiments::e10_rate),
+    ("E11", experiments::e11_figures),
+    ("E12", experiments::e12_ablation),
+];
+
+/// `true` iff `id` names a paper experiment (case-insensitive `E1`..`E12`).
+pub fn is_known_experiment_id(id: &str) -> bool {
+    EXPERIMENT_RUNNERS
+        .iter()
+        .any(|(known, _)| known.eq_ignore_ascii_case(id))
+}
+
+/// Largest `n` the exhaustive census can enumerate (`n(n−1) ≤ 20`).
+pub const CENSUS_MAX_N: usize = 5;
+
+/// Builds one cell per paper experiment (E1–E12), optionally restricted to
+/// the given ids (case-insensitive; validate with
+/// [`is_known_experiment_id`] first — unknown ids are ignored here).
+pub fn experiment_cells(ids: &[String]) -> Vec<SweepCell<'static, ExperimentResult>> {
+    EXPERIMENT_RUNNERS
+        .into_iter()
+        .filter(|(id, _)| ids.is_empty() || ids.iter().any(|want| want.eq_ignore_ascii_case(id)))
+        .map(|(id, runner)| {
+            SweepCell::new(
+                CellCoords::new("experiments").with("id", id),
+                move |_seed| runner(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the experiment grid through the sweep runner and summarizes it.
+/// With `ids` empty, all of E1–E12 run. The summary table (and each
+/// underlying [`ExperimentResult`]) is bit-identical for any `jobs`.
+pub fn run_experiment_sweep(
+    ids: &[String],
+    jobs: usize,
+) -> (Table, Vec<SweepOutcome<ExperimentResult>>) {
+    let outcomes = run_cells(experiment_cells(ids), jobs);
+    let mut table = Table::new(["id", "title", "rows", "pass"]);
+    for outcome in &outcomes {
+        table.row([
+            outcome.value.id.to_string(),
+            outcome.value.title.to_string(),
+            outcome.value.table.len().to_string(),
+            outcome.value.pass.to_string(),
+        ]);
+    }
+    (table, outcomes)
+}
+
+/// Parameters for a Monte-Carlo Erdős–Rényi tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct MonteCarloSpec {
+    /// Node counts to sweep.
+    pub ns: Vec<usize>,
+    /// Fault bounds to sweep.
+    pub fs: Vec<usize>,
+    /// Edge probability of each sampled digraph.
+    pub edge_prob: f64,
+    /// Graphs sampled per `(n, f)` cell.
+    pub trials: usize,
+}
+
+/// Tallies from one Monte-Carlo `(n, f)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonteCarloCellStats {
+    /// Node count of this cell.
+    pub n: usize,
+    /// Fault bound of this cell.
+    pub f: usize,
+    /// Graphs sampled.
+    pub trials: usize,
+    /// How many sampled graphs satisfy the Theorem 1 condition.
+    pub satisfying: usize,
+    /// How many satisfy Corollary 3's in-degree bound (`≥ 2f + 1`).
+    pub corollary3: usize,
+}
+
+/// Builds one cell per `(n, f)` pair of the Monte-Carlo sweep. Each cell
+/// seeds its own RNG from its coordinates, so a cell's tally never depends
+/// on which worker ran it or in what order.
+pub fn monte_carlo_cells(spec: &MonteCarloSpec) -> Vec<SweepCell<'static, MonteCarloCellStats>> {
+    let mut cells = Vec::new();
+    for &n in &spec.ns {
+        for &f in &spec.fs {
+            let (edge_prob, trials) = (spec.edge_prob, spec.trials);
+            let coords = CellCoords::new("monte-carlo")
+                .with("n", n)
+                .with("f", f)
+                .with("p", edge_prob)
+                .with("trials", trials);
+            cells.push(SweepCell::new(coords, move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut satisfying = 0usize;
+                let mut corollary3 = 0usize;
+                for _ in 0..trials {
+                    let g = generators::erdos_renyi(n, edge_prob, &mut rng);
+                    if g.min_in_degree() > 2 * f {
+                        corollary3 += 1;
+                    }
+                    if theorem1::check(&g, f).is_satisfied() {
+                        satisfying += 1;
+                    }
+                }
+                MonteCarloCellStats {
+                    n,
+                    f,
+                    trials,
+                    satisfying,
+                    corollary3,
+                }
+            }));
+        }
+    }
+    cells
+}
+
+/// Runs a Monte-Carlo tolerance sweep and renders the per-cell tallies.
+pub fn run_monte_carlo_sweep(spec: &MonteCarloSpec, jobs: usize) -> Table {
+    let outcomes = run_cells(monte_carlo_cells(spec), jobs);
+    let mut table = Table::new([
+        "n",
+        "f",
+        "p",
+        "trials",
+        "satisfying",
+        "corollary3_in_degree",
+    ]);
+    for outcome in &outcomes {
+        let s = &outcome.value;
+        table.row([
+            s.n.to_string(),
+            s.f.to_string(),
+            format!("{}", spec.edge_prob),
+            s.trials.to_string(),
+            s.satisfying.to_string(),
+            s.corollary3.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Builds one exhaustive-census cell per `(n, f)` pair, `n` in
+/// `2..=max_n`, capped at [`CENSUS_MAX_N`] (beyond which the census
+/// cannot enumerate: `n(n−1) > 20`). Callers wanting a hard error instead
+/// of a silent cap should validate `max_n` first.
+pub fn census_cells(max_n: usize, fs: &[usize]) -> Vec<SweepCell<'static, CensusRow>> {
+    let mut cells = Vec::new();
+    for n in 2..=max_n.min(CENSUS_MAX_N) {
+        for &f in fs {
+            let coords = CellCoords::new("census").with("n", n).with("f", f);
+            cells.push(SweepCell::new(coords, move |_seed| census(n, f)));
+        }
+    }
+    cells
+}
+
+/// Runs the exhaustive tolerance census across `(n, f)` cells and renders
+/// the classic census table.
+pub fn run_census_sweep(max_n: usize, fs: &[usize], jobs: usize) -> Table {
+    let outcomes = run_cells(census_cells(max_n, fs), jobs);
+    let mut table = Table::new(["n", "f", "graphs", "satisfying", "min_edges", "corollary3"]);
+    for outcome in &outcomes {
+        let row = &outcome.value;
+        table.row([
+            row.n.to_string(),
+            row.f.to_string(),
+            row.graphs.to_string(),
+            row.satisfying.to_string(),
+            row.min_edges
+                .map_or_else(|| "-".to_string(), |m| m.to_string()),
+            row.corollary3_holds.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_depend_only_on_coordinates() {
+        let a = CellCoords::new("g").with("n", 6).with("f", 1);
+        let b = CellCoords::new("g").with("n", 6).with("f", 1);
+        let c = CellCoords::new("g").with("n", 6).with("f", 2);
+        assert_eq!(a.seed(), b.seed());
+        assert_ne!(a.seed(), c.seed());
+        assert_eq!(a.label(), "g[n=6,f=1]");
+    }
+
+    #[test]
+    fn outcomes_preserve_grid_order_across_job_counts() {
+        let build = || {
+            (0..40)
+                .map(|i| {
+                    let coords = CellCoords::new("order").with("i", i);
+                    SweepCell::new(coords, move |seed| (i, seed))
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = run_cells(build(), 1);
+        for jobs in [2, 3, 8] {
+            let parallel = run_cells(build(), jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.coords, p.coords);
+                assert_eq!(s.seed, p.seed);
+                assert_eq!(s.value, p.value);
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_sweep_is_bit_identical_across_job_counts() {
+        let spec = MonteCarloSpec {
+            ns: vec![5, 6],
+            fs: vec![0, 1],
+            edge_prob: 0.6,
+            trials: 8,
+        };
+        let serial = run_monte_carlo_sweep(&spec, 1).to_string();
+        let parallel = run_monte_carlo_sweep(&spec, 4).to_string();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn census_sweep_matches_direct_census() {
+        let table = run_census_sweep(4, &[0, 1], 2);
+        // n ∈ {2, 3, 4} × f ∈ {0, 1}.
+        assert_eq!(table.len(), 6);
+        let direct = census(3, 1);
+        let rendered = table.to_string();
+        assert!(rendered.contains(&direct.satisfying.to_string()));
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(effective_jobs(None, false), 1);
+        assert_eq!(effective_jobs(Some(3), false), 3);
+        assert!(effective_jobs(None, true) >= 1);
+        assert!(effective_jobs(Some(0), false) >= 1);
+    }
+}

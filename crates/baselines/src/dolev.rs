@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn reduce_rejects_short_input() {
         let err = reduced(0.0, &mut [1.0], 1).unwrap_err();
-        assert!(matches!(err, RuleError::InsufficientValues { needed: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            RuleError::InsufficientValues { needed: 3, got: 2 }
+        ));
     }
 
     #[test]
@@ -177,7 +180,9 @@ mod tests {
     #[test]
     fn midpoint_is_center_of_reduced_range() {
         let rule = DolevMidpoint::new(1);
-        let v = rule.update(0.0, &mut [1.0, 2.0, 3.0, 100.0, -100.0]).unwrap();
+        let v = rule
+            .update(0.0, &mut [1.0, 2.0, 3.0, 100.0, -100.0])
+            .unwrap();
         // Multiset {-100, 0, 1, 2, 3, 100} -> {0, 1, 2, 3}; midpoint 1.5.
         assert!((v - 1.5).abs() < 1e-12);
     }

@@ -124,7 +124,9 @@ mod tests {
         assert!((v - (0.0 + 10.0 + 20.0 + 30.0) / 4.0).abs() < 1e-12);
         // Algorithm 1 on the same input also trims the *smallest* (10),
         // keeping {20, 30}: the rules genuinely differ.
-        let a1 = TrimmedMean::new(1).update(0.0, &mut [10.0, 20.0, 30.0, 40.0]).unwrap();
+        let a1 = TrimmedMean::new(1)
+            .update(0.0, &mut [10.0, 20.0, 30.0, 40.0])
+            .unwrap();
         assert!((a1 - (0.0 + 20.0 + 30.0) / 3.0).abs() < 1e-12);
         assert_ne!(v, a1);
     }
@@ -135,7 +137,10 @@ mod tests {
         let mean = Mean::new();
         let mut a = vec![1.0, 4.0, -2.0];
         let mut b = a.clone();
-        assert_eq!(wmsr.update(0.5, &mut a).unwrap(), mean.update(0.5, &mut b).unwrap());
+        assert_eq!(
+            wmsr.update(0.5, &mut a).unwrap(),
+            mean.update(0.5, &mut b).unwrap()
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ fn bench_quantized_rule(c: &mut Criterion) {
     let aware = ModelTrimmedMean::new(FaultModel::Structure(
         AdversaryStructure::new(
             17,
-            vec![NodeSet::from_indices(17, [1, 2]), NodeSet::from_indices(17, [5, 6])],
+            vec![
+                NodeSet::from_indices(17, [1, 2]),
+                NodeSet::from_indices(17, [5, 6]),
+            ],
         )
         .expect("universe"),
     ));

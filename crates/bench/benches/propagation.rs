@@ -51,5 +51,10 @@ fn bench_robustness(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_propagates_to, bench_closure, bench_robustness);
+criterion_group!(
+    benches,
+    bench_propagates_to,
+    bench_closure,
+    bench_robustness
+);
 criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench: serial vs parallel sweep throughput on the Monte-Carlo
+//! tolerance grid and the exhaustive census grid.
+//!
+//! On a multi-core host the `jobs=all` rows should beat `jobs=1` roughly
+//! linearly in core count (cells are independent and CPU-bound); on a
+//! single-core host they tie. Output tables are bit-identical either way —
+//! that's asserted by `tests/sweep_parallel.rs`, not here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iabc_analysis::sweep::{run_census_sweep, run_monte_carlo_sweep, MonteCarloSpec};
+
+fn spec() -> MonteCarloSpec {
+    MonteCarloSpec {
+        ns: vec![6, 7, 8, 9],
+        fs: vec![1, 2],
+        edge_prob: 0.55,
+        trials: 25,
+    }
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep_monte_carlo");
+    group.sample_size(10);
+    group.bench_function("jobs1", |b| {
+        b.iter(|| black_box(run_monte_carlo_sweep(&spec(), 1).to_string()))
+    });
+    group.bench_function(format!("jobs{cores}"), |b| {
+        b.iter(|| black_box(run_monte_carlo_sweep(&spec(), cores).to_string()))
+    });
+    group.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep_census");
+    group.sample_size(10);
+    group.bench_function("jobs1", |b| {
+        b.iter(|| black_box(run_census_sweep(4, &[0, 1, 2], 1).to_string()))
+    });
+    group.bench_function(format!("jobs{cores}"), |b| {
+        b.iter(|| black_box(run_census_sweep(4, &[0, 1, 2], cores).to_string()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_census);
+criterion_main!(benches);

@@ -43,7 +43,9 @@ fn main() -> ExitCode {
     let selected: Vec<&ExperimentResult> = if ids.is_empty() {
         all.iter().collect()
     } else {
-        all.iter().filter(|r| ids.contains(&r.id.to_string())).collect()
+        all.iter()
+            .filter(|r| ids.contains(&r.id.to_string()))
+            .collect()
     };
     if selected.is_empty() {
         eprintln!("no experiments matched {ids:?}; valid ids are E1..E12, X1..X13");

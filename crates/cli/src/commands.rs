@@ -1,12 +1,11 @@
 //! The `iabc` subcommand implementations.
 
+use iabc_analysis::sweep;
 use iabc_baselines::{DolevMidpoint, DolevSelectMean, Wmsr};
 use iabc_core::fault_model::{check_model, AdversaryStructure, FaultModel};
 use iabc_core::quantized::{QuantizedTrimmedMean, Rounding};
 use iabc_core::rules::{Mean, TrimmedMean, TrimmedMidpoint, UpdateRule};
-use iabc_core::{
-    alpha, construction, local_fault, minimality, robustness, theorem1, Threshold,
-};
+use iabc_core::{alpha, construction, local_fault, minimality, robustness, theorem1, Threshold};
 use iabc_graph::dot::{to_dot, DotGroup};
 use iabc_graph::{generators, metrics, parse, Digraph, NodeSet};
 use iabc_sim::adversary::{
@@ -293,13 +292,18 @@ fn simulate_with_structure(
     let mut sim = ModelSimulation::new(g, &inputs, fault_set.clone(), &rule, adversary)
         .map_err(|e| CliError::Run(e.to_string()))?;
     let out = sim.run(&config).map_err(|e| CliError::Run(e.to_string()))?;
-    let mut report = format!("{g}, model = {model}, rule = model-trimmed-mean, faulty = {faulty:?}\n");
+    let mut report =
+        format!("{g}, model = {model}, rule = model-trimmed-mean, faulty = {faulty:?}\n");
     report.push_str(&format!(
         "converged: {} in {} rounds; final range {:.3e}; validity: {}\n",
         out.converged,
         out.rounds,
         out.final_range,
-        if out.validity.is_valid() { "ok" } else { "VIOLATED" }
+        if out.validity.is_valid() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
     ));
     if let Some(last) = out.trace.last() {
         if let Some((i, v)) = last
@@ -357,7 +361,11 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         out.converged,
         out.rounds,
         out.final_range,
-        if out.validity.is_valid() { "ok" } else { "VIOLATED" }
+        if out.validity.is_valid() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
     ));
     if let Some(last) = out.trace.last() {
         if let Some((i, v)) = last
@@ -452,7 +460,8 @@ pub fn dot_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 pub fn repair_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let g = load_graph(args)?;
     let f: usize = args.required("f")?;
-    let repair = iabc_core::repair::suggest_edges(&g, f).map_err(|e| CliError::Run(e.to_string()))?;
+    let repair =
+        iabc_core::repair::suggest_edges(&g, f).map_err(|e| CliError::Run(e.to_string()))?;
     let mut out = format!("{g}, f = {f}\n");
     if repair.added.is_empty() {
         out.push_str("already satisfies the condition; no edges needed\n");
@@ -593,7 +602,9 @@ pub fn baseline_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let f: usize = args.required("f")?;
     let faulty: Vec<usize> = args.list("faulty")?;
     if faulty.iter().any(|&v| v >= n) {
-        return Err(CliError::Usage(format!("--faulty contains a node >= n = {n}")));
+        return Err(CliError::Usage(format!(
+            "--faulty contains a node >= n = {n}"
+        )));
     }
     let fault_set = NodeSet::from_indices(n, faulty.iter().copied());
     let seed: u64 = args.optional("seed")?.unwrap_or(0);
@@ -659,7 +670,9 @@ pub fn record_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let rounds: usize = args.optional("rounds")?.unwrap_or(50);
     let faulty: Vec<usize> = args.list("faulty")?;
     if faulty.iter().any(|&v| v >= n) {
-        return Err(CliError::Usage(format!("--faulty contains a node >= n = {n}")));
+        return Err(CliError::Usage(format!(
+            "--faulty contains a node >= n = {n}"
+        )));
     }
     let fault_set = NodeSet::from_indices(n, faulty.iter().copied());
     let inputs: Vec<f64> = {
@@ -682,15 +695,9 @@ pub fn record_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         args.optional("seed")?.unwrap_or(0),
     )?;
     let rule = TrimmedMean::new(f);
-    let transcript = iabc_sim::transcript::record(
-        &g,
-        &inputs,
-        fault_set,
-        &rule,
-        adversary.as_mut(),
-        rounds,
-    )
-    .map_err(|e| CliError::Run(e.to_string()))?;
+    let transcript =
+        iabc_sim::transcript::record(&g, &inputs, fault_set, &rule, adversary.as_mut(), rounds)
+            .map_err(|e| CliError::Run(e.to_string()))?;
     let text = transcript.to_text();
     match args.flag("out") {
         Some(path) if !path.is_empty() => {
@@ -698,7 +705,11 @@ pub fn record_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             Ok(format!(
                 "recorded {} rounds ({} Byzantine messages) to {path}\n",
                 transcript.rounds.len(),
-                transcript.rounds.iter().map(|r| r.messages.len()).sum::<usize>()
+                transcript
+                    .rounds
+                    .iter()
+                    .map(|r| r.messages.len())
+                    .sum::<usize>()
             ))
         }
         _ => Ok(text),
@@ -737,6 +748,107 @@ pub fn replay_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     }
 }
 
+/// `iabc sweep <experiments|monte-carlo|census> [--parallel] [--jobs N] ...`
+///
+/// Fans the chosen grid across cores via the `iabc-analysis` sweep runner.
+/// Per-cell seeds derive from grid coordinates, so output is bit-identical
+/// for any `--jobs` value (and with/without `--parallel`).
+pub fn sweep_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let jobs = sweep_jobs(args)?;
+    let grid = args.positional(0).ok_or_else(|| {
+        CliError::Usage("expected a sweep grid: experiments | monte-carlo | census".into())
+    })?;
+    match grid {
+        "experiments" => {
+            let ids: Vec<String> = args.list("ids")?;
+            let unknown: Vec<&str> = ids
+                .iter()
+                .map(String::as_str)
+                .filter(|id| !sweep::is_known_experiment_id(id))
+                .collect();
+            if !unknown.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "unknown experiment id(s) {}; expected E1..E12",
+                    unknown.join(", ")
+                )));
+            }
+            let (summary, outcomes) = sweep::run_experiment_sweep(&ids, jobs);
+            let mut out = format!(
+                "experiment sweep ({} cells, {jobs} jobs)\n\n{summary}\n",
+                outcomes.len()
+            );
+            let failed: Vec<&str> = outcomes
+                .iter()
+                .filter(|o| !o.value.pass)
+                .map(|o| o.value.id)
+                .collect();
+            if failed.is_empty() {
+                out.push_str("all experiments PASS\n");
+            } else {
+                out.push_str(&format!("FAILED: {}\n", failed.join(", ")));
+            }
+            Ok(out)
+        }
+        "monte-carlo" => {
+            let ns: Vec<usize> = args.list("n")?;
+            let fs: Vec<usize> = args.list("f")?;
+            let spec = sweep::MonteCarloSpec {
+                ns: if ns.is_empty() { vec![6, 8, 10] } else { ns },
+                fs: if fs.is_empty() { vec![1] } else { fs },
+                edge_prob: args.optional("p")?.unwrap_or(0.5),
+                trials: args.optional("trials")?.unwrap_or(100),
+            };
+            if !(0.0..=1.0).contains(&spec.edge_prob) {
+                return Err(CliError::Usage("--p must be in [0, 1]".into()));
+            }
+            let table = sweep::run_monte_carlo_sweep(&spec, jobs);
+            Ok(format!(
+                "Monte-Carlo tolerance sweep (p = {}, {} trials/cell, {jobs} jobs)\n\n{table}",
+                spec.edge_prob, spec.trials
+            ))
+        }
+        "census" => {
+            let max_n: usize = args.optional("max-n")?.unwrap_or(4);
+            let fs: Vec<usize> = args.list("f")?;
+            let fs = if fs.is_empty() { vec![0, 1] } else { fs };
+            if max_n < 2 {
+                return Err(CliError::Usage("--max-n must be at least 2".into()));
+            }
+            if max_n > sweep::CENSUS_MAX_N {
+                return Err(CliError::Usage(format!(
+                    "--max-n {max_n} exceeds the exhaustive-census limit of {} \
+                     (2^(n(n-1)) graphs; use `sweep monte-carlo` for larger n)",
+                    sweep::CENSUS_MAX_N
+                )));
+            }
+            let table = sweep::run_census_sweep(max_n, &fs, jobs);
+            Ok(format!(
+                "exhaustive tolerance census (n = 2..={max_n}, {jobs} jobs)\n\n{table}"
+            ))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown sweep grid {other:?}; expected experiments | monte-carlo | census"
+        ))),
+    }
+}
+
+/// Resolves `--jobs N` / `--parallel` into a worker count (default: serial).
+fn sweep_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
+    let jobs: Option<usize> = match args.flag("jobs") {
+        None => None,
+        Some("") => {
+            return Err(CliError::Usage(
+                "flag --jobs needs a value (0 = all cores)".into(),
+            ))
+        }
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::Usage(format!("flag --jobs: cannot parse {raw:?}")))?,
+        ),
+    };
+    Ok(sweep::effective_jobs(jobs, args.has_flag("parallel")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +862,49 @@ mod tests {
         let path = std::env::temp_dir().join(format!("iabc-cli-test-{name}.txt"));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sweep_census_is_deterministic_across_job_counts() {
+        let serial = run(&argv(&["sweep", "census", "--max-n", "4", "--jobs", "1"])).unwrap();
+        let parallel = run(&argv(&["sweep", "census", "--max-n", "4", "--jobs", "4"])).unwrap();
+        // Everything after the header line (which names the job count)
+        // must match bit-for-bit.
+        let body = |s: &str| s.split_once('\n').map(|(_, b)| b.to_string()).unwrap();
+        assert_eq!(body(&serial), body(&parallel));
+        assert!(
+            serial.contains("4096"),
+            "n=4 census should enumerate 2^12 graphs"
+        );
+    }
+
+    #[test]
+    fn sweep_experiments_subset_runs_and_passes() {
+        let out = run(&argv(&[
+            "sweep",
+            "experiments",
+            "--ids",
+            "E4,E5",
+            "--parallel",
+        ]))
+        .unwrap();
+        assert!(out.contains("E4"));
+        assert!(out.contains("E5"));
+        assert!(out.contains("all experiments PASS"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_grid_and_bad_flags() {
+        assert!(run(&argv(&["sweep", "frobnicate"])).is_err());
+        assert!(run(&argv(&["sweep"])).is_err());
+        assert!(run(&argv(&["sweep", "monte-carlo", "--p", "1.5"])).is_err());
+        assert!(run(&argv(&["sweep", "census", "--jobs"])).is_err());
+        // A typo'd experiment id must error, not silently run the rest.
+        let err = run(&argv(&["sweep", "experiments", "--ids", "E4,E13"])).unwrap_err();
+        assert!(err.to_string().contains("E13"));
+        // A census beyond the enumerable limit must error, not silently cap.
+        let err = run(&argv(&["sweep", "census", "--max-n", "8"])).unwrap_err();
+        assert!(err.to_string().contains("monte-carlo"));
     }
 
     #[test]
@@ -807,7 +962,14 @@ mod tests {
         // The rack scenario: structure {5,6}, faults {5,6} — converges with
         // the structure-aware rule even though the f-total condition fails.
         let report = run(&argv(&[
-            "simulate", &path, "--structure", "5,6", "--faulty", "5,6", "--seed", "11",
+            "simulate",
+            &path,
+            "--structure",
+            "5,6",
+            "--faulty",
+            "5,6",
+            "--seed",
+            "11",
         ]))
         .unwrap();
         assert!(report.contains("rule = model-trimmed-mean"), "{report}");
@@ -815,7 +977,12 @@ mod tests {
         assert!(report.contains("validity: ok"), "{report}");
         // Infeasible fault set under the structure is a usage error.
         assert!(run(&argv(&[
-            "simulate", &path, "--structure", "5,6", "--faulty", "0,1",
+            "simulate",
+            &path,
+            "--structure",
+            "5,6",
+            "--faulty",
+            "0,1",
         ]))
         .is_err());
     }
@@ -825,21 +992,50 @@ mod tests {
         let edge_list = run(&argv(&["generate", "complete", "7"])).unwrap();
         let path = write_graph("k7-quantized", &edge_list);
         let report = run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--rule", "quantized",
-            "--quantum", "0.25", "--eps", "0.25", "--seed", "9",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rule",
+            "quantized",
+            "--quantum",
+            "0.25",
+            "--eps",
+            "0.25",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         assert!(report.contains("rule = quantized-trimmed-mean"), "{report}");
         assert!(report.contains("converged: true"), "{report}");
         // Quantized rule without --quantum is a usage error.
         assert!(run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--rule", "quantized",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rule",
+            "quantized",
         ]))
         .is_err());
         // Unknown rounding mode is a usage error.
         assert!(run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--rule", "quantized",
-            "--quantum", "0.25", "--rounding", "stochastic",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rule",
+            "quantized",
+            "--quantum",
+            "0.25",
+            "--rounding",
+            "stochastic",
         ]))
         .is_err());
     }
@@ -878,8 +1074,17 @@ mod tests {
         let edge_list = run(&argv(&["generate", "complete", "7"])).unwrap();
         let path = write_graph("simk7", &edge_list);
         let report = run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--adversary", "constant",
-            "--seed", "3", "--trace",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--adversary",
+            "constant",
+            "--seed",
+            "3",
+            "--trace",
         ]))
         .unwrap();
         assert!(report.contains("converged: true"), "{report}");
@@ -900,7 +1105,14 @@ mod tests {
         .is_err());
         // Unknown adversary / rule.
         assert!(run(&argv(&[
-            "simulate", &path, "--f", "1", "--faulty", "3", "--adversary", "nope"
+            "simulate",
+            &path,
+            "--f",
+            "1",
+            "--faulty",
+            "3",
+            "--adversary",
+            "nope"
         ]))
         .is_err());
         assert!(run(&argv(&[
@@ -914,8 +1126,16 @@ mod tests {
         let edge_list = run(&argv(&["generate", "complete", "7"])).unwrap();
         let path = write_graph("simk7mean", &edge_list);
         let report = run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--adversary", "constant",
-            "--rule", "mean",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--adversary",
+            "constant",
+            "--rule",
+            "mean",
         ]))
         .unwrap();
         assert!(report.contains("validity: VIOLATED"), "{report}");
@@ -984,12 +1204,30 @@ mod tests {
         let gpath = write_graph("reck7", &edge_list);
         let tpath = write_graph("reck7-transcript", "");
         let rec = run(&argv(&[
-            "record", &gpath, "--f", "2", "--faulty", "5,6", "--rounds", "15",
-            "--adversary", "constant", "--out", &tpath,
+            "record",
+            &gpath,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rounds",
+            "15",
+            "--adversary",
+            "constant",
+            "--out",
+            &tpath,
         ]))
         .unwrap();
         assert!(rec.contains("recorded 15 rounds"), "{rec}");
-        let rep = run(&argv(&["replay", &gpath, "--f", "2", "--transcript", &tpath])).unwrap();
+        let rep = run(&argv(&[
+            "replay",
+            &gpath,
+            "--f",
+            "2",
+            "--transcript",
+            &tpath,
+        ]))
+        .unwrap();
         assert!(rep.contains("replay VERIFIED"), "{rep}");
     }
 
@@ -999,8 +1237,18 @@ mod tests {
         let gpath = write_graph("tampk7", &edge_list);
         let tpath = write_graph("tampk7-transcript", "");
         run(&argv(&[
-            "record", &gpath, "--f", "2", "--faulty", "5,6", "--rounds", "10",
-            "--adversary", "extremes", "--out", &tpath,
+            "record",
+            &gpath,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rounds",
+            "10",
+            "--adversary",
+            "extremes",
+            "--out",
+            &tpath,
         ]))
         .unwrap();
         // Corrupt one recorded state.
@@ -1014,7 +1262,15 @@ mod tests {
             tampered
         };
         std::fs::write(&tpath, tampered).unwrap();
-        let rep = run(&argv(&["replay", &gpath, "--f", "2", "--transcript", &tpath])).unwrap();
+        let rep = run(&argv(&[
+            "replay",
+            &gpath,
+            "--f",
+            "2",
+            "--transcript",
+            &tpath,
+        ]))
+        .unwrap();
         assert!(rep.contains("replay FAILED"), "{rep}");
     }
 
@@ -1103,10 +1359,22 @@ mod tests {
         let edge_list = run(&argv(&["generate", "complete", "7"])).unwrap();
         let path = write_graph("base-k7", &edge_list);
         let out = run(&argv(&[
-            "baseline", &path, "--f", "2", "--faulty", "5,6", "--adversary", "polarizing",
+            "baseline",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--adversary",
+            "polarizing",
         ]))
         .unwrap();
-        for rule in ["trimmed-mean", "dolev-midpoint", "dolev-select-mean", "w-msr"] {
+        for rule in [
+            "trimmed-mean",
+            "dolev-midpoint",
+            "dolev-select-mean",
+            "w-msr",
+        ] {
             assert!(out.contains(rule), "missing {rule} in {out}");
         }
         assert!(out.contains("true"), "{out}");
@@ -1129,8 +1397,16 @@ mod tests {
         let edge_list = run(&argv(&["generate", "complete", "7"])).unwrap();
         let path = write_graph("sim-wmsr", &edge_list);
         let out = run(&argv(&[
-            "simulate", &path, "--f", "2", "--faulty", "5,6", "--rule", "w-msr",
-            "--adversary", "echo",
+            "simulate",
+            &path,
+            "--f",
+            "2",
+            "--faulty",
+            "5,6",
+            "--rule",
+            "w-msr",
+            "--adversary",
+            "echo",
         ]))
         .unwrap();
         assert!(out.contains("rule = w-msr"), "{out}");

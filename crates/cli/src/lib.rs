@@ -16,6 +16,8 @@
 //! iabc profile graph.txt                        # degrees/connectivity/diameter
 //! iabc minimal graph.txt --f 1                  # edge-criticality probe (§6.1)
 //! iabc construct 9 --f 1                        # satisfying-by-construction graph
+//! iabc sweep experiments --parallel             # E1–E12 fanned across all cores
+//! iabc sweep monte-carlo --n 6,8 --f 1 --jobs 4 # random-graph tolerance sweep
 //! iabc dot graph.txt --f 2                      # DOT, witness colour-coded
 //! ```
 
@@ -47,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "minimal" => commands::minimal_cmd(&ParsedArgs::parse(rest)?),
         "construct" => commands::construct_cmd(&ParsedArgs::parse(rest)?),
         "baseline" => commands::baseline_cmd(&ParsedArgs::parse(rest)?),
+        "sweep" => commands::sweep_cmd(&ParsedArgs::parse(rest)?),
         "record" => commands::record_cmd(&ParsedArgs::parse(rest)?),
         "replay" => commands::replay_cmd(&ParsedArgs::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -94,6 +97,13 @@ pub fn usage() -> String {
                                       emit a graph satisfying Theorem 1 by construction\n\
        dot <file> [--f N]             Graphviz DOT (witness colour-coded if violated)\n\
        repair <file> --f N            add edges until Theorem 1 holds (witness-driven)\n\
+       sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N]\n\
+                                      fan the E1..E12 harness across cores (0 = all);\n\
+                                      bit-identical output for any job count\n\
+       sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--parallel] [--jobs N]\n\
+                                      random-digraph tolerance sweep, one cell per (n,f)\n\
+       sweep census [--max-n 4 --f 0,1] [--parallel] [--jobs N]\n\
+                                      exhaustive small-n census, one cell per (n,f)\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\
        replay <file> --f N --transcript T.txt   verify a recorded run\n"
         .to_string()

@@ -57,7 +57,10 @@ pub fn algorithm1_alpha(g: &Digraph, f: usize) -> Result<f64, RuleError> {
 ///
 /// Panics unless `0 < alpha ≤ 1` and `l ≥ 1`.
 pub fn contraction_factor(alpha: f64, l: usize) -> f64 {
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1], got {alpha}"
+    );
     assert!(l >= 1, "propagation length must be >= 1");
     1.0 - alpha.powi(l as i32) / 2.0
 }

@@ -179,7 +179,10 @@ mod tests {
         for f in 1..=2usize {
             let n = 3 * f + 5;
             let g = grow_satisfying(n, f, Attachment::Preferential, &mut rng);
-            assert!(theorem1::check(&g, f).is_satisfied(), "preferential n={n} f={f}");
+            assert!(
+                theorem1::check(&g, f).is_satisfied(),
+                "preferential n={n} f={f}"
+            );
         }
     }
 

@@ -139,8 +139,8 @@ mod tests {
             for n in 2..=(3 * f) {
                 let g = generators::complete(n);
                 let t = Threshold::synchronous(f);
-                let w = quick_violation(&g, f, t)
-                    .unwrap_or_else(|| panic!("K{n} must fail for f={f}"));
+                let w =
+                    quick_violation(&g, f, t).unwrap_or_else(|| panic!("K{n} must fail for f={f}"));
                 assert!(w.verify(&g, f, t), "invalid witness for K{n}, f={f}: {w}");
             }
         }
@@ -161,7 +161,11 @@ mod tests {
         let t = Threshold::synchronous(2);
         let w = quick_violation(&g, 2, t).expect("tail node in-degree 1 < 5");
         assert!(w.verify(&g, 2, t), "invalid corollary 3 witness: {w}");
-        assert_eq!(w.left.to_indices(), vec![7], "witness isolates the tail node");
+        assert_eq!(
+            w.left.to_indices(),
+            vec![7],
+            "witness isolates the tail node"
+        );
     }
 
     #[test]

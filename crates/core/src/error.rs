@@ -18,7 +18,10 @@ impl fmt::Display for CheckerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckerError::BudgetExhausted { budget } => {
-                write!(f, "checker budget of {budget} candidate partitions exhausted")
+                write!(
+                    f,
+                    "checker budget of {budget} candidate partitions exhausted"
+                )
             }
         }
     }
@@ -42,7 +45,10 @@ impl fmt::Display for StructureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StructureError::UniverseMismatch { expected, got } => {
-                write!(f, "generator universe {got} does not match structure universe {expected}")
+                write!(
+                    f,
+                    "generator universe {got} does not match structure universe {expected}"
+                )
             }
         }
     }

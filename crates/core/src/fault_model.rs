@@ -124,7 +124,10 @@ impl AdversaryStructure {
         // Keep only ⊆-maximal generators, deduplicated.
         let mut maximal: Vec<NodeSet> = Vec::new();
         for g in &generators {
-            if generators.iter().any(|h| g != h && g.is_subset(h) && h.len() > g.len()) {
+            if generators
+                .iter()
+                .any(|h| g != h && g.is_subset(h) && h.len() > g.len())
+            {
                 continue;
             }
             if !maximal.contains(g) {
@@ -333,7 +336,10 @@ pub fn check_model(g: &Digraph, model: &FaultModel) -> ConditionReport {
     });
     match found {
         Some(w) => {
-            debug_assert!(verify_model(&w, g, model), "invalid generalized witness {w}");
+            debug_assert!(
+                verify_model(&w, g, model),
+                "invalid generalized witness {w}"
+            );
             ConditionReport::Violated(w)
         }
         None => ConditionReport::Satisfied,
@@ -582,8 +588,7 @@ impl IdentifiedRule for ModelTrimmedMean {
         }
         received.sort_unstable_by(|a, b| f64::total_cmp(&a.1, &b.1));
         let k_lo = self.coverable_prefix(g, received);
-        let reversed: Vec<(iabc_graph::NodeId, f64)> =
-            received.iter().rev().copied().collect();
+        let reversed: Vec<(iabc_graph::NodeId, f64)> = received.iter().rev().copied().collect();
         let k_hi = self.coverable_prefix(g, &reversed);
         if k_lo + k_hi >= received.len() {
             // Trim sets cover everything: fall back to the own value
@@ -615,7 +620,13 @@ mod tests {
     #[test]
     fn structure_rejects_universe_mismatch() {
         let err = AdversaryStructure::new(5, vec![NodeSet::from_indices(4, [0])]).unwrap_err();
-        assert!(matches!(err, StructureError::UniverseMismatch { expected: 5, got: 4 }));
+        assert!(matches!(
+            err,
+            StructureError::UniverseMismatch {
+                expected: 5,
+                got: 4
+            }
+        ));
     }
 
     #[test]
@@ -742,10 +753,11 @@ mod tests {
         // {3, 4} can never be all-faulty, so the proof's scenario (b)
         // becomes infeasible and insularity of L = {0, 2} collapses.
         let g = generators::chord(7, 5);
-        assert!(
-            !check_model(&g, &FaultModel::Structure(AdversaryStructure::uniform(7, 2)))
-                .is_satisfied()
-        );
+        assert!(!check_model(
+            &g,
+            &FaultModel::Structure(AdversaryStructure::uniform(7, 2))
+        )
+        .is_satisfied());
         let rack = AdversaryStructure::new(7, vec![ns(7, &[5, 6])]).unwrap();
         assert!(check_model(&g, &FaultModel::Structure(rack)).is_satisfied());
     }
@@ -882,7 +894,9 @@ mod tests {
             FaultModel::Structure(AdversaryStructure::uniform(7, 2)),
         ] {
             let report = check_model(&g, &model);
-            let w = report.witness().unwrap_or_else(|| panic!("{model} must violate chord(7,5)"));
+            let w = report
+                .witness()
+                .unwrap_or_else(|| panic!("{model} must violate chord(7,5)"));
             assert!(verify_model(w, &g, &model), "model {model}");
         }
     }
@@ -968,7 +982,10 @@ mod tests {
             let mut values: Vec<f64> = with_ids.iter().map(|&(_, v)| v).collect();
             let a = rule.update(&g, NodeId::new(7), own, &mut with_ids).unwrap();
             let b = classic.update(own, &mut values).unwrap();
-            assert_eq!(a, b, "structure-aware rule must reduce to Algorithm 1 under Total(f)");
+            assert_eq!(
+                a, b,
+                "structure-aware rule must reduce to Algorithm 1 under Total(f)"
+            );
         }
     }
 
@@ -1028,7 +1045,10 @@ mod tests {
         for bad in [-1e9, -1.0, 0.5, 7.0, 1e9] {
             let mut recv = pairs(4, &[(1, 0.0), (2, 1.0), (3, bad)]);
             let v = rule.update(&g, NodeId::new(0), 0.5, &mut recv).unwrap();
-            assert!((0.0..=1.0).contains(&v), "bad={bad}: output {v} escaped hull");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "bad={bad}: output {v} escaped hull"
+            );
         }
     }
 
@@ -1043,6 +1063,9 @@ mod tests {
         let mut values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let b = TrimmedMean::new(1).update(10.0, &mut values).unwrap();
         assert_eq!(a, b);
-        assert_eq!(ModelTrimmedMean::new(FaultModel::Total(1)).name(), "model-trimmed-mean");
+        assert_eq!(
+            ModelTrimmedMean::new(FaultModel::Total(1)).name(),
+            "model-trimmed-mean"
+        );
     }
 }

@@ -32,7 +32,11 @@ use crate::witness::{ConditionReport, Witness};
 ///
 /// Panics if the set universe does not match the graph.
 pub fn is_f_local(g: &Digraph, fault: &NodeSet, f: usize) -> bool {
-    assert_eq!(fault.universe(), g.node_count(), "fault set universe mismatch");
+    assert_eq!(
+        fault.universe(),
+        g.node_count(),
+        "fault set universe mismatch"
+    );
     g.nodes()
         .filter(|v| !fault.contains(*v))
         .all(|v| g.in_neighbors(v).intersection_len(fault) <= f)
@@ -224,7 +228,10 @@ mod tests {
         let grown = grow_f_local(&g, &seed, 2);
         assert!(seed.is_subset(&grown));
         assert!(is_f_local(&g, &grown, 2));
-        assert!(grown.len() >= 2, "chord(12,5) admits multi-node 2-local sets");
+        assert!(
+            grown.len() >= 2,
+            "chord(12,5) admits multi-node 2-local sets"
+        );
         assert!(grown.len() < 12, "cannot fault everyone");
     }
 

@@ -68,8 +68,16 @@ pub fn propagates_to(
     b: &NodeSet,
     threshold: Threshold,
 ) -> Option<Propagation> {
-    assert_eq!(a.universe(), g.node_count(), "set A universe must match graph");
-    assert_eq!(b.universe(), g.node_count(), "set B universe must match graph");
+    assert_eq!(
+        a.universe(),
+        g.node_count(),
+        "set A universe must match graph"
+    );
+    assert_eq!(
+        b.universe(),
+        g.node_count(),
+        "set B universe must match graph"
+    );
     let mut source = a.clone();
     let mut remainder = b.clone();
     let mut steps = Vec::new();
@@ -110,7 +118,11 @@ pub fn propagation_length(
 ///
 /// Panics if set universes do not match the graph.
 pub fn closure(g: &Digraph, w: &NodeSet, s: &NodeSet, threshold: Threshold) -> NodeSet {
-    assert_eq!(w.universe(), g.node_count(), "pool universe must match graph");
+    assert_eq!(
+        w.universe(),
+        g.node_count(),
+        "pool universe must match graph"
+    );
     let mut current = s.intersection(w);
     loop {
         let rest = w.difference(&current);
@@ -125,12 +137,7 @@ pub fn closure(g: &Digraph, w: &NodeSet, s: &NodeSet, threshold: Threshold) -> N
 /// Lemma 2: when the graph satisfies Theorem 1, for any partition `A, B, F`
 /// of `V` with `A, B` non-empty and `|F| ≤ f`, at least one of `A`, `B`
 /// propagates to the other. This helper evaluates that disjunction directly.
-pub fn one_side_propagates(
-    g: &Digraph,
-    a: &NodeSet,
-    b: &NodeSet,
-    threshold: Threshold,
-) -> bool {
+pub fn one_side_propagates(g: &Digraph, a: &NodeSet, b: &NodeSet, threshold: Threshold) -> bool {
     propagates_to(g, a, b, threshold).is_some() || propagates_to(g, b, a, threshold).is_some()
 }
 
@@ -164,11 +171,7 @@ mod tests {
     #[test]
     fn multi_step_propagation_orders_steps() {
         // 0,1 -> 2 -> (with 0) -> 3: threshold 2 chain.
-        let g = iabc_graph::Digraph::from_edges(
-            4,
-            [(0, 2), (1, 2), (0, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = iabc_graph::Digraph::from_edges(4, [(0, 2), (1, 2), (0, 3), (2, 3)]).unwrap();
         let a = NodeSet::from_indices(4, [0, 1]);
         let b = NodeSet::from_indices(4, [2, 3]);
         let p = propagates_to(&g, &a, &b, Threshold::synchronous(1)).expect("chain propagates");

@@ -88,7 +88,10 @@ pub fn quantize(value: f64, quantum: f64, rounding: Rounding) -> f64 {
 /// Snaps every input to the lattice — use before starting a quantized run
 /// so that the lattice-closure invariant holds from round 0.
 pub fn quantize_inputs(inputs: &[f64], quantum: f64, rounding: Rounding) -> Vec<f64> {
-    inputs.iter().map(|&v| quantize(v, quantum, rounding)).collect()
+    inputs
+        .iter()
+        .map(|&v| quantize(v, quantum, rounding))
+        .collect()
 }
 
 /// **Algorithm 1 on a lattice**: trim the `f` smallest and `f` largest
@@ -129,7 +132,11 @@ impl QuantizedTrimmedMean {
                 message: format!("quantum must be finite and positive, got {quantum}"),
             });
         }
-        Ok(QuantizedTrimmedMean { f, quantum, rounding })
+        Ok(QuantizedTrimmedMean {
+            f,
+            quantum,
+            rounding,
+        })
     }
 
     /// The lattice step.

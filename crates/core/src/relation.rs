@@ -80,8 +80,16 @@ impl Threshold {
 /// assert_eq!(relation::influenced_set(&g, &a, &b, Threshold::synchronous(1)), b);
 /// ```
 pub fn influenced_set(g: &Digraph, a: &NodeSet, b: &NodeSet, threshold: Threshold) -> NodeSet {
-    assert_eq!(a.universe(), g.node_count(), "set A universe must match graph");
-    assert_eq!(b.universe(), g.node_count(), "set B universe must match graph");
+    assert_eq!(
+        a.universe(),
+        g.node_count(),
+        "set A universe must match graph"
+    );
+    assert_eq!(
+        b.universe(),
+        g.node_count(),
+        "set B universe must match graph"
+    );
     let mut out = NodeSet::with_universe(g.node_count());
     for v in b.iter() {
         if g.in_neighbors(v).intersection_len(a) >= threshold.get() {
@@ -98,8 +106,16 @@ pub fn influenced_set(g: &Digraph, a: &NodeSet, b: &NodeSet, threshold: Threshol
 ///
 /// Panics if the set universes do not match the graph.
 pub fn dominates(g: &Digraph, a: &NodeSet, b: &NodeSet, threshold: Threshold) -> bool {
-    assert_eq!(a.universe(), g.node_count(), "set A universe must match graph");
-    assert_eq!(b.universe(), g.node_count(), "set B universe must match graph");
+    assert_eq!(
+        a.universe(),
+        g.node_count(),
+        "set A universe must match graph"
+    );
+    assert_eq!(
+        b.universe(),
+        g.node_count(),
+        "set B universe must match graph"
+    );
     b.iter()
         .any(|v| g.in_neighbors(v).intersection_len(a) >= threshold.get())
 }

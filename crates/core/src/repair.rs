@@ -77,8 +77,7 @@ pub fn suggest_edges(g: &Digraph, f: usize) -> Result<Repair, RepairError> {
     let mut current = g.clone();
     let mut added = Vec::new();
     loop {
-        let report =
-            check_with(&current, f, threshold, &options).map_err(RepairError::Checker)?;
+        let report = check_with(&current, f, threshold, &options).map_err(RepairError::Checker)?;
         let ConditionReport::Violated(w) = report else {
             return Ok(Repair {
                 graph: current,
@@ -90,9 +89,7 @@ pub fn suggest_edges(g: &Digraph, f: usize) -> Result<Repair, RepairError> {
         // would work equally; L is canonical.)
         let target = w.left.first().expect("witness left side is non-empty");
         let pool = w.center.union(&w.right);
-        let mut cross = current
-            .in_neighbors(target)
-            .intersection_len(&pool);
+        let mut cross = current.in_neighbors(target).intersection_len(&pool);
         let mut progressed = false;
         for source in pool.iter() {
             if cross > f {

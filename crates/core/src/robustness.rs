@@ -140,7 +140,11 @@ mod tests {
     fn reachable_count_on_dimension_cut() {
         let g = generators::hypercube(3);
         let side = NodeSet::from_indices(8, [0, 1, 2, 3]);
-        assert_eq!(reachable_count(&g, &side, 1), 4, "every node has 1 cross link");
+        assert_eq!(
+            reachable_count(&g, &side, 1),
+            4,
+            "every node has 1 cross link"
+        );
         assert_eq!(reachable_count(&g, &side, 2), 0, "nobody has 2 cross links");
     }
 

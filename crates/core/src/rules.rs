@@ -240,7 +240,10 @@ impl UpdateRule for WeightedTrimmedMean {
         if survivors == 0 {
             return Some(1.0);
         }
-        Some(self.self_weight.min((1.0 - self.self_weight) / survivors as f64))
+        Some(
+            self.self_weight
+                .min((1.0 - self.self_weight) / survivors as f64),
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -248,7 +248,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(violations_found > 0, "sweep should produce findable violations");
+        assert!(
+            violations_found > 0,
+            "sweep should produce findable violations"
+        );
     }
 
     #[test]

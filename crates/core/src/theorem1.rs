@@ -197,7 +197,10 @@ pub fn check_with(
     }
     if !complete {
         if let ConditionReport::Violated(w) = &result {
-            debug_assert!(w.verify(g, f, threshold), "checker produced invalid witness {w}");
+            debug_assert!(
+                w.verify(g, f, threshold),
+                "checker produced invalid witness {w}"
+            );
         }
     }
     Ok(result)
@@ -484,7 +487,10 @@ mod tests {
             for f in 0..=2usize {
                 if let ConditionReport::Violated(w) = check(&g, f) {
                     violated += 1;
-                    assert!(w.verify(&g, f, Threshold::synchronous(f)), "g={g:?} f={f} w={w}");
+                    assert!(
+                        w.verify(&g, f, Threshold::synchronous(f)),
+                        "g={g:?} f={f} w={w}"
+                    );
                 }
             }
         }
@@ -573,7 +579,10 @@ mod tests {
                 for f in 0..=cap {
                     assert!(check(&g, f).is_satisfied(), "f={f} below capacity {cap}");
                 }
-                assert!(!check(&g, cap + 1).is_satisfied(), "capacity {cap} not maximal");
+                assert!(
+                    !check(&g, cap + 1).is_satisfied(),
+                    "capacity {cap} not maximal"
+                );
             } else {
                 assert!(!check(&g, 0).is_satisfied());
             }
@@ -599,13 +608,8 @@ mod tests {
         // asynchronously (needs n > 5f = 10).
         let g = generators::complete(7);
         assert!(check(&g, 2).is_satisfied());
-        let report = check_with(
-            &g,
-            2,
-            Threshold::asynchronous(2),
-            &CheckOptions::default(),
-        )
-        .unwrap();
+        let report =
+            check_with(&g, 2, Threshold::asynchronous(2), &CheckOptions::default()).unwrap();
         assert!(!report.is_satisfied());
         // n = 11 > 5f works asynchronously.
         let big = generators::complete(11);

@@ -232,7 +232,10 @@ mod tests {
         let text = w.explain(&g, Threshold::synchronous(2));
         // Every L and R node appears with its deficient count.
         for v in [0usize, 2, 1, 3, 4] {
-            assert!(text.contains(&format!("node {v}:")), "missing node {v} in:\n{text}");
+            assert!(
+                text.contains(&format!("node {v}:")),
+                "missing node {v} in:\n{text}"
+            );
         }
         assert!(text.contains(">= 3"), "threshold f+1 = 3 shown:\n{text}");
         assert!(text.contains("Theorem 1 proof"));

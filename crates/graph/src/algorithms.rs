@@ -80,8 +80,11 @@ pub fn strongly_connected_components(g: &Digraph) -> Vec<NodeSet> {
                     next_index += 1;
                     stack.push(v);
                     on_stack[v] = true;
-                    let nbrs: Vec<usize> =
-                        g.out_neighbors(NodeId::new(v)).iter().map(|x| x.index()).collect();
+                    let nbrs: Vec<usize> = g
+                        .out_neighbors(NodeId::new(v))
+                        .iter()
+                        .map(|x| x.index())
+                        .collect();
                     call.push(Frame::Resume(v, nbrs, 0));
                 }
                 Frame::Resume(v, nbrs, mut i) => {
@@ -431,7 +434,11 @@ mod tests {
         assert_eq!(shortest_path_len(&g, nid(0), nid(3)), Some(3));
         assert_eq!(shortest_path_len(&g, nid(3), nid(0)), Some(2));
         assert_eq!(diameter(&g), Some(4));
-        assert_eq!(diameter(&generators::path(3)), None, "path is not strongly connected");
+        assert_eq!(
+            diameter(&generators::path(3)),
+            None,
+            "path is not strongly connected"
+        );
         assert_eq!(diameter(&generators::complete(4)), Some(1));
     }
 }

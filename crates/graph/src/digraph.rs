@@ -220,7 +220,8 @@ impl Digraph {
     pub fn symmetrize(&mut self) {
         let edges: Vec<_> = self.edges().collect();
         for (u, v) in edges {
-            self.try_add_edge(v, u).expect("reverse of a valid edge is valid");
+            self.try_add_edge(v, u)
+                .expect("reverse of a valid edge is valid");
         }
     }
 
@@ -231,7 +232,11 @@ impl Digraph {
     ///
     /// Panics if `keep.universe() != n`.
     pub fn induced_subgraph(&self, keep: &NodeSet) -> (Digraph, Vec<NodeId>) {
-        assert_eq!(keep.universe(), self.n, "keep set universe must match graph");
+        assert_eq!(
+            keep.universe(),
+            self.n,
+            "keep set universe must match graph"
+        );
         let old_ids: Vec<NodeId> = keep.iter().collect();
         let mut new_of_old = vec![usize::MAX; self.n];
         for (new, old) in old_ids.iter().enumerate() {
@@ -251,7 +256,13 @@ impl fmt::Debug for Digraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Digraph")
             .field("n", &self.n)
-            .field("edges", &self.edges().map(|(u, v)| (u.index(), v.index())).collect::<Vec<_>>())
+            .field(
+                "edges",
+                &self
+                    .edges()
+                    .map(|(u, v)| (u.index(), v.index()))
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -705,7 +705,10 @@ mod tests {
         let g = watts_strogatz(20, 3, 0.5, &mut rng);
         assert!(g.is_symmetric());
         // Every node keeps at least its own outgoing attachment budget.
-        assert!(g.edge_count() >= 2 * 20, "rewiring must not lose many edges");
+        assert!(
+            g.edge_count() >= 2 * 20,
+            "rewiring must not lose many edges"
+        );
     }
 
     #[test]
@@ -715,7 +718,11 @@ mod tests {
         assert!(g.is_symmetric());
         // Every non-seed node attached to exactly 3 targets, so min degree >= 3.
         for v in g.nodes() {
-            assert!(g.in_degree(v) >= 3, "node {v} has degree {}", g.in_degree(v));
+            assert!(
+                g.in_degree(v) >= 3,
+                "node {v} has degree {}",
+                g.in_degree(v)
+            );
         }
         // Edge count: seed K4 has 12 directed; each of 26 newcomers adds 6.
         assert_eq!(g.edge_count(), 12 + 26 * 6);

@@ -259,7 +259,11 @@ mod tests {
     #[test]
     fn radius_of_cycle_and_star() {
         assert_eq!(radius(&generators::cycle(5)), Some(4));
-        assert_eq!(radius(&generators::star(5)), Some(1), "hub reaches all in 1");
+        assert_eq!(
+            radius(&generators::star(5)),
+            Some(1),
+            "hub reaches all in 1"
+        );
         assert_eq!(radius(&Digraph::new(0)), None);
     }
 

@@ -279,7 +279,10 @@ impl NodeSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         self.assert_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if the sets share no element.
@@ -378,7 +381,9 @@ impl Hash for NodeSet {
 
 impl fmt::Debug for NodeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(NodeId::index)).finish()
+        f.debug_set()
+            .entries(self.iter().map(NodeId::index))
+            .finish()
     }
 }
 
@@ -464,7 +469,12 @@ where
 /// Enumerates all subsets of `pool` with size in `min_size..=max_size`.
 ///
 /// Returns early (propagating `false`) if `visit` returns `false`.
-pub fn for_each_subset_sized<F>(pool: &NodeSet, min_size: usize, max_size: usize, mut visit: F) -> bool
+pub fn for_each_subset_sized<F>(
+    pool: &NodeSet,
+    min_size: usize,
+    max_size: usize,
+    mut visit: F,
+) -> bool
 where
     F: FnMut(&NodeSet) -> bool,
 {

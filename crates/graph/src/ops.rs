@@ -148,7 +148,13 @@ pub fn tensor_product(a: &Digraph, b: &Digraph) -> Digraph {
 /// Panics if `perm` is not a permutation of `0..n`.
 pub fn relabel(g: &Digraph, perm: &[usize]) -> Digraph {
     let n = g.node_count();
-    assert_eq!(perm.len(), n, "permutation length {} != n {}", perm.len(), n);
+    assert_eq!(
+        perm.len(),
+        n,
+        "permutation length {} != n {}",
+        perm.len(),
+        n
+    );
     let mut seen = vec![false; n];
     for &p in perm {
         assert!(p < n && !seen[p], "perm is not a bijection on 0..{n}");
@@ -176,7 +182,11 @@ pub fn random_relabel<R: Rng + ?Sized>(g: &Digraph, rng: &mut R) -> (Digraph, Ve
 ///
 /// Panics if node counts differ or `perm` is not a permutation.
 pub fn is_isomorphism(a: &Digraph, b: &Digraph, perm: &[usize]) -> bool {
-    assert_eq!(a.node_count(), b.node_count(), "graphs must have equal order");
+    assert_eq!(
+        a.node_count(),
+        b.node_count(),
+        "graphs must have equal order"
+    );
     if a.edge_count() != b.edge_count() {
         return false;
     }

@@ -21,7 +21,12 @@ use crate::{Digraph, GraphError, NodeId};
 /// # Ok::<(), iabc_graph::GraphError>(())
 /// ```
 pub fn to_edge_list(g: &Digraph) -> String {
-    let mut out = format!("# iabc digraph: n={} m={}\n{}\n", g.node_count(), g.edge_count(), g.node_count());
+    let mut out = format!(
+        "# iabc digraph: n={} m={}\n{}\n",
+        g.node_count(),
+        g.edge_count(),
+        g.node_count()
+    );
     for (u, v) in g.edges() {
         out.push_str(&format!("{} {}\n", u.index(), v.index()));
     }

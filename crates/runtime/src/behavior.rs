@@ -87,9 +87,9 @@ pub struct InboxExtremist {
 
 impl LocalByzantine for InboxExtremist {
     fn message(&mut self, _: usize, inbox: &[(NodeId, f64)], receiver: NodeId) -> f64 {
-        let (lo, hi) = inbox.iter().fold((0.0f64, 0.0f64), |(lo, hi), &(_, v)| {
-            (lo.min(v), hi.max(v))
-        });
+        let (lo, hi) = inbox
+            .iter()
+            .fold((0.0f64, 0.0f64), |(lo, hi), &(_, v)| (lo.min(v), hi.max(v)));
         if receiver.index() % 2 == 1 {
             hi + self.delta
         } else {
@@ -136,8 +136,16 @@ mod tests {
     fn inbox_extremist_tracks_observed_hull() {
         let mut liar = InboxExtremist { delta: 10.0 };
         let inbox = [(nid(0), 3.0), (nid(1), 7.0)];
-        assert_eq!(liar.message(2, &inbox, nid(1)), 17.0, "odd receiver: hi + delta");
-        assert_eq!(liar.message(2, &inbox, nid(2)), -10.0, "even receiver: lo - delta");
+        assert_eq!(
+            liar.message(2, &inbox, nid(1)),
+            17.0,
+            "odd receiver: hi + delta"
+        );
+        assert_eq!(
+            liar.message(2, &inbox, nid(2)),
+            -10.0,
+            "even receiver: lo - delta"
+        );
         // Empty inbox: falls back to ±delta around zero.
         assert_eq!(liar.message(1, &[], nid(1)), 10.0);
     }

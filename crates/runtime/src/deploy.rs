@@ -161,12 +161,7 @@ pub fn run_threaded(
         let mut handles = Vec::with_capacity(n);
         let ins_iter = ins_of.into_iter();
         let outs_iter = outs_of.into_iter();
-        for (i, ((role, ins), outs)) in roles
-            .into_iter()
-            .zip(ins_iter)
-            .zip(outs_iter)
-            .enumerate()
-        {
+        for (i, ((role, ins), outs)) in roles.into_iter().zip(ins_iter).zip(outs_iter).enumerate() {
             handles.push(scope.spawn(move || match role {
                 Role::Honest(state) => honest_node(i, state, f, rounds, &ins, &outs),
                 Role::Byzantine(strategy, input) => {
@@ -177,7 +172,10 @@ pub fn run_threaded(
         handles
             .into_iter()
             .enumerate()
-            .map(|(i, h)| h.join().unwrap_or(Err(RuntimeError::NodeFailed { node: i })))
+            .map(|(i, h)| {
+                h.join()
+                    .unwrap_or(Err(RuntimeError::NodeFailed { node: i }))
+            })
             .collect()
     });
     for (i, r) in results.into_iter().enumerate() {
@@ -203,12 +201,17 @@ fn honest_node(
     let mut received = Vec::with_capacity(ins.len());
     for t in 1..=rounds {
         for (_, tx) in outs {
-            tx.send(Message { round: t, value: state })
-                .map_err(|_| RuntimeError::NodeFailed { node: index })?;
+            tx.send(Message {
+                round: t,
+                value: state,
+            })
+            .map_err(|_| RuntimeError::NodeFailed { node: index })?;
         }
         received.clear();
         for (_, rx) in ins {
-            let msg = rx.recv().map_err(|_| RuntimeError::NodeFailed { node: index })?;
+            let msg = rx
+                .recv()
+                .map_err(|_| RuntimeError::NodeFailed { node: index })?;
             debug_assert_eq!(msg.round, t, "synchronous round discipline broken");
             received.push(sanitize(msg.value));
         }
@@ -231,12 +234,17 @@ fn byzantine_node(
     for t in 1..=rounds {
         for (receiver, tx) in outs {
             let lie = strategy.message(t, &inbox, *receiver);
-            tx.send(Message { round: t, value: lie })
-                .map_err(|_| RuntimeError::NodeFailed { node: index })?;
+            tx.send(Message {
+                round: t,
+                value: lie,
+            })
+            .map_err(|_| RuntimeError::NodeFailed { node: index })?;
         }
         inbox.clear();
         for (sender, rx) in ins {
-            let msg = rx.recv().map_err(|_| RuntimeError::NodeFailed { node: index })?;
+            let msg = rx
+                .recv()
+                .map_err(|_| RuntimeError::NodeFailed { node: index })?;
             inbox.push((*sender, msg.value));
         }
     }
@@ -257,10 +265,21 @@ mod tests {
     fn fault_free_deployment_contracts() {
         let g = generators::complete(5);
         let inputs = [0.0, 10.0, 20.0, 30.0, 40.0];
-        let report = run_threaded(&g, &inputs, &NodeSet::with_universe(5), 1, 100, no_byzantine)
-            .unwrap();
+        let report = run_threaded(
+            &g,
+            &inputs,
+            &NodeSet::with_universe(5),
+            1,
+            100,
+            no_byzantine,
+        )
+        .unwrap();
         assert_eq!(report.rounds, 100);
-        assert!(report.honest_range() < 1e-9, "range {}", report.honest_range());
+        assert!(
+            report.honest_range() < 1e-9,
+            "range {}",
+            report.honest_range()
+        );
         // Validity: final states inside the input hull.
         for v in report.honest_states() {
             assert!((0.0..=40.0).contains(&v));
@@ -336,7 +355,11 @@ mod tests {
         for i in right.iter() {
             assert_eq!(report.final_states[i.index()], 1.0, "R node {i} moved");
         }
-        assert_eq!(report.honest_range(), 1.0, "no progress, exactly as Theorem 1 proves");
+        assert_eq!(
+            report.honest_range(),
+            1.0,
+            "no progress, exactly as Theorem 1 proves"
+        );
     }
 
     #[test]
@@ -348,7 +371,11 @@ mod tests {
             Box::new(InboxExtremist { delta: 1e6 })
         })
         .unwrap();
-        assert!(report.honest_range() < 1e-6, "range {}", report.honest_range());
+        assert!(
+            report.honest_range() < 1e-6,
+            "range {}",
+            report.honest_range()
+        );
         for v in report.honest_states() {
             assert!((5.0..=25.0).contains(&v), "validity violated: {v}");
         }
@@ -373,11 +400,17 @@ mod tests {
 
         assert!(matches!(
             run_threaded(&g, &[0.0; 3], &none, 1, 1, byz),
-            Err(RuntimeError::InputLengthMismatch { inputs: 3, nodes: 4 })
+            Err(RuntimeError::InputLengthMismatch {
+                inputs: 3,
+                nodes: 4
+            })
         ));
         assert!(matches!(
             run_threaded(&g, &[0.0; 4], &wrong_universe, 1, 1, byz),
-            Err(RuntimeError::FaultSetMismatch { universe: 5, nodes: 4 })
+            Err(RuntimeError::FaultSetMismatch {
+                universe: 5,
+                nodes: 4
+            })
         ));
         assert!(matches!(
             run_threaded(&g, &[0.0; 4], &all, 1, 1, byz),

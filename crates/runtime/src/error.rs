@@ -53,13 +53,20 @@ impl fmt::Display for RuntimeError {
                 write!(f, "{inputs} inputs supplied for {nodes} nodes")
             }
             RuntimeError::FaultSetMismatch { universe, nodes } => {
-                write!(f, "fault set universe {universe} does not match {nodes} nodes")
+                write!(
+                    f,
+                    "fault set universe {universe} does not match {nodes} nodes"
+                )
             }
             RuntimeError::NoFaultFreeNodes => write!(f, "every node is marked faulty"),
             RuntimeError::NonFiniteInput { node, value } => {
                 write!(f, "input at node {node} is not finite ({value})")
             }
-            RuntimeError::InsufficientInDegree { node, in_degree, needed } => {
+            RuntimeError::InsufficientInDegree {
+                node,
+                in_degree,
+                needed,
+            } => {
                 write!(
                     f,
                     "node {node} has in-degree {in_degree}, below the {needed} required to trim 2f"
@@ -82,12 +89,22 @@ mod tests {
     fn messages_are_lowercase_and_specific() {
         let cases: Vec<(RuntimeError, &str)> = vec![
             (
-                RuntimeError::InputLengthMismatch { inputs: 2, nodes: 3 },
+                RuntimeError::InputLengthMismatch {
+                    inputs: 2,
+                    nodes: 3,
+                },
                 "2 inputs supplied for 3 nodes",
             ),
-            (RuntimeError::NoFaultFreeNodes, "every node is marked faulty"),
             (
-                RuntimeError::InsufficientInDegree { node: 4, in_degree: 1, needed: 3 },
+                RuntimeError::NoFaultFreeNodes,
+                "every node is marked faulty",
+            ),
+            (
+                RuntimeError::InsufficientInDegree {
+                    node: 4,
+                    in_degree: 1,
+                    needed: 3,
+                },
                 "node 4 has in-degree 1",
             ),
             (RuntimeError::NodeFailed { node: 2 }, "node 2 thread failed"),

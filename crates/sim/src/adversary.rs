@@ -14,8 +14,8 @@
 
 use std::fmt;
 
-use iabc_graph::{Digraph, NodeId, NodeSet};
 use iabc_core::Witness;
+use iabc_graph::{Digraph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -125,7 +125,10 @@ impl RandomAdversary {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64, seed: u64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi}]");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi}]"
+        );
         RandomAdversary {
             lo,
             hi,

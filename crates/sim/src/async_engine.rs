@@ -268,14 +268,14 @@ impl<'a> DelayBoundedSim<'a> {
                 continue;
             }
             let mut received = self.mailbox[i.index()].clone();
-            next[i.index()] = self
-                .rule
-                .update(prev[i.index()], &mut received)
-                .map_err(|source| SimError::Rule {
-                    node: i.index(),
-                    round: self.round,
-                    source,
-                })?;
+            next[i.index()] =
+                self.rule
+                    .update(prev[i.index()], &mut received)
+                    .map_err(|source| SimError::Rule {
+                        node: i.index(),
+                        round: self.round,
+                        source,
+                    })?;
         }
         self.states = next;
         Ok(())
@@ -618,7 +618,10 @@ mod tests {
             sim.step().unwrap();
         }
         assert_eq!(sim.states()[0], 0.0, "state must be frozen");
-        assert!(sim.honest_range() >= 4.0, "no progress possible at 3f in-degree");
+        assert!(
+            sim.honest_range() >= 4.0,
+            "no progress possible at 3f in-degree"
+        );
     }
 
     #[test]
@@ -670,7 +673,11 @@ mod tests {
         };
         assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(2), 5), 4);
         assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(1), 5), 0);
-        assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(2), 1), 0, "B = 1 means no slack");
+        assert_eq!(
+            s.delay(0, NodeId::new(0), NodeId::new(2), 1),
+            0,
+            "B = 1 means no slack"
+        );
     }
 
     #[test]

@@ -81,11 +81,13 @@ pub fn run_certified(
     round_cap: usize,
 ) -> Result<Certificate, SimError> {
     let initial_range = honest_range(inputs, &fault_set);
-    let bound_rounds = alpha::iteration_bound(graph, f, initial_range, epsilon)
-        .map_err(|source| SimError::Rule {
-            node: 0,
-            round: 0,
-            source,
+    let bound_rounds =
+        alpha::iteration_bound(graph, f, initial_range, epsilon).map_err(|source| {
+            SimError::Rule {
+                node: 0,
+                round: 0,
+                source,
+            }
         })?;
     let rule = TrimmedMean::new(f);
     let mut sim = Simulation::new(graph, inputs, fault_set, &rule, adversary)?;
@@ -136,9 +138,12 @@ mod tests {
         ];
         for adv in adversaries {
             let name = adv.name();
-            let cert =
-                run_certified(&g, &inputs, make_faults(), 2, adv, 1e-3, 200_000).unwrap();
-            assert!(!cert.capped, "{name}: bound {} unexpectedly above cap", cert.bound_rounds);
+            let cert = run_certified(&g, &inputs, make_faults(), 2, adv, 1e-3, 200_000).unwrap();
+            assert!(
+                !cert.capped,
+                "{name}: bound {} unexpectedly above cap",
+                cert.bound_rounds
+            );
             assert!(
                 cert.achieved_range <= cert.target_range,
                 "{name}: achieved {} > target {}",
@@ -163,8 +168,11 @@ mod tests {
             200_000,
         )
         .unwrap();
-        assert!(cert.achieved_range < cert.target_range / 10.0,
-            "Lemma 5 bound should overshoot substantially; got {}", cert.achieved_range);
+        assert!(
+            cert.achieved_range < cert.target_range / 10.0,
+            "Lemma 5 bound should overshoot substantially; got {}",
+            cert.achieved_range
+        );
     }
 
     #[test]

@@ -444,14 +444,14 @@ impl<'a> DynamicSimulation<'a> {
                 };
                 self.scratch.push(crate::engine::sanitize(raw));
             }
-            next[i.index()] =
-                self.rule
-                    .update(prev[i.index()], &mut self.scratch)
-                    .map_err(|source| SimError::Rule {
-                        node: i.index(),
-                        round: self.round,
-                        source,
-                    })?;
+            next[i.index()] = self
+                .rule
+                .update(prev[i.index()], &mut self.scratch)
+                .map_err(|source| SimError::Rule {
+                    node: i.index(),
+                    round: self.round,
+                    source,
+                })?;
         }
         self.states = next;
         Ok(())
@@ -502,13 +502,19 @@ mod tests {
         ));
         assert!(matches!(
             RoundRobinSchedule::new(vec![generators::complete(4), generators::complete(5)], 1),
-            Err(SimError::ScheduleMismatch { expected: 4, got: 5 })
+            Err(SimError::ScheduleMismatch {
+                expected: 4,
+                got: 5
+            })
         ));
         assert!(matches!(
             SwitchOnceSchedule::new(generators::complete(4), generators::complete(5), 3),
             Err(SimError::ScheduleMismatch { .. })
         ));
-        assert!(matches!(SequenceSchedule::new(vec![]), Err(SimError::EmptySchedule)));
+        assert!(matches!(
+            SequenceSchedule::new(vec![]),
+            Err(SimError::EmptySchedule)
+        ));
     }
 
     #[test]
@@ -518,10 +524,18 @@ mod tests {
         let s = RoundRobinSchedule::new(vec![k4.clone(), c4.clone()], 3).unwrap();
         assert_eq!(s.dwell(), 3);
         for round in 1..=3 {
-            assert_eq!(s.graph_at(round).edge_count(), k4.edge_count(), "round {round}");
+            assert_eq!(
+                s.graph_at(round).edge_count(),
+                k4.edge_count(),
+                "round {round}"
+            );
         }
         for round in 4..=6 {
-            assert_eq!(s.graph_at(round).edge_count(), c4.edge_count(), "round {round}");
+            assert_eq!(
+                s.graph_at(round).edge_count(),
+                c4.edge_count(),
+                "round {round}"
+            );
         }
         assert_eq!(s.graph_at(7).edge_count(), k4.edge_count());
         // Dwell zero is clamped to one.
@@ -533,7 +547,10 @@ mod tests {
     #[test]
     fn switch_once_boundary() {
         let s = SwitchOnceSchedule::new(generators::complete(4), generators::cycle(4), 5).unwrap();
-        assert_eq!(s.graph_at(5).edge_count(), generators::complete(4).edge_count());
+        assert_eq!(
+            s.graph_at(5).edge_count(),
+            generators::complete(4).edge_count()
+        );
         assert_eq!(s.graph_at(6).edge_count(), 4);
         assert_eq!(s.distinct_graphs().len(), 2);
     }
@@ -601,11 +618,9 @@ mod tests {
         // on K7 for n − f − 1 = 4 rounds per cycle guarantees one full
         // contraction phase per cycle, so convergence survives the
         // violating interludes.
-        let schedule = RoundRobinSchedule::new(
-            vec![generators::chord(7, 5), generators::complete(7)],
-            4,
-        )
-        .unwrap();
+        let schedule =
+            RoundRobinSchedule::new(vec![generators::chord(7, 5), generators::complete(7)], 4)
+                .unwrap();
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
@@ -683,7 +698,10 @@ mod tests {
         for _ in 0..40 {
             sim.step().unwrap();
         }
-        assert!(sim.honest_range() >= m_cap - m, "must be frozen before the switch");
+        assert!(
+            sim.honest_range() >= m_cap - m,
+            "must be frozen before the switch"
+        );
         let out = sim.run(&SimConfig::default()).unwrap();
         assert!(out.converged, "switching to K7 must unfreeze the run");
         assert!(out.validity.is_valid());
@@ -696,7 +714,11 @@ mod tests {
         assert_eq!(schedule.len(), 20);
         assert!(!schedule.is_empty());
         for g in schedule.distinct_graphs() {
-            assert!(g.min_in_degree() >= 4, "floor violated: {}", g.min_in_degree());
+            assert!(
+                g.min_in_degree() >= 4,
+                "floor violated: {}",
+                g.min_in_degree()
+            );
             assert!(g.edge_count() <= base.edge_count());
         }
         // Deterministic in the seed.
@@ -734,7 +756,10 @@ mod tests {
         )
         .unwrap();
         let out = sim.run(&SimConfig::default()).unwrap();
-        assert!(out.validity.is_valid(), "validity floor must protect Equation 1");
+        assert!(
+            out.validity.is_valid(),
+            "validity floor must protect Equation 1"
+        );
         assert!(out.converged, "final range {}", out.final_range);
     }
 
@@ -743,7 +768,10 @@ mod tests {
         let base = generators::cycle(5); // in-degree 1
         assert!(matches!(
             sample_edge_drops(&base, 0.5, 2, 1, 10),
-            Err(SimError::ScheduleMismatch { expected: 2, got: 1 })
+            Err(SimError::ScheduleMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             sample_edge_drops(&generators::complete(5), 0.5, 2, 1, 0),
@@ -780,7 +808,10 @@ mod tests {
                 &rule,
                 Box::new(ConformingAdversary)
             ),
-            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+            Err(SimError::InputLengthMismatch {
+                inputs: 2,
+                nodes: 3
+            })
         ));
         assert!(matches!(
             DynamicSimulation::new(
@@ -810,7 +841,10 @@ mod tests {
                 &rule,
                 Box::new(ConformingAdversary)
             ),
-            Err(SimError::FaultSetMismatch { universe: 4, nodes: 3 })
+            Err(SimError::FaultSetMismatch {
+                universe: 4,
+                nodes: 3
+            })
         ));
     }
 
@@ -818,11 +852,9 @@ mod tests {
     fn starving_round_surfaces_rule_error_with_round_number() {
         // K7 for two rounds, then a cycle (in-degree 1 < 2f): the failure
         // must name round 3.
-        let schedule = RoundRobinSchedule::new(
-            vec![generators::complete(7), generators::cycle(7)],
-            2,
-        )
-        .unwrap();
+        let schedule =
+            RoundRobinSchedule::new(vec![generators::complete(7), generators::cycle(7)], 2)
+                .unwrap();
         let rule = TrimmedMean::new(2);
         let mut sim = DynamicSimulation::new(
             &schedule,

@@ -203,14 +203,14 @@ impl<'a> Simulation<'a> {
                 };
                 self.scratch.push(sanitize(raw));
             }
-            next[i.index()] =
-                self.rule
-                    .update(prev[i.index()], &mut self.scratch)
-                    .map_err(|source| SimError::Rule {
-                        node: i.index(),
-                        round: self.round,
-                        source,
-                    })?;
+            next[i.index()] = self
+                .rule
+                .update(prev[i.index()], &mut self.scratch)
+                .map_err(|source| SimError::Rule {
+                    node: i.index(),
+                    round: self.round,
+                    source,
+                })?;
         }
         self.states = next;
         Ok(())
@@ -286,8 +286,17 @@ mod tests {
         let g = generators::complete(3);
         let rule = TrimmedMean::new(0);
         assert!(matches!(
-            Simulation::new(&g, &[1.0, 2.0], no_faults(3), &rule, Box::new(ConformingAdversary)),
-            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+            Simulation::new(
+                &g,
+                &[1.0, 2.0],
+                no_faults(3),
+                &rule,
+                Box::new(ConformingAdversary)
+            ),
+            Err(SimError::InputLengthMismatch {
+                inputs: 2,
+                nodes: 3
+            })
         ));
         assert!(matches!(
             Simulation::new(
@@ -317,7 +326,10 @@ mod tests {
                 &rule,
                 Box::new(ConformingAdversary)
             ),
-            Err(SimError::FaultSetMismatch { universe: 4, nodes: 3 })
+            Err(SimError::FaultSetMismatch {
+                universe: 4,
+                nodes: 3
+            })
         ));
     }
 
@@ -326,9 +338,14 @@ mod tests {
         let g = generators::complete(5);
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0];
         let rule = Mean::new();
-        let mut sim =
-            Simulation::new(&g, &inputs, no_faults(5), &rule, Box::new(ConformingAdversary))
-                .unwrap();
+        let mut sim = Simulation::new(
+            &g,
+            &inputs,
+            no_faults(5),
+            &rule,
+            Box::new(ConformingAdversary),
+        )
+        .unwrap();
         let out = sim.run(&SimConfig::default()).unwrap();
         assert!(out.converged);
         assert!(out.validity.is_valid());
@@ -616,7 +633,10 @@ mod tests {
         for _ in 0..200 {
             bcast.step().unwrap();
         }
-        assert!(p2p.honest_range() >= 1.0, "point-to-point attack must freeze");
+        assert!(
+            p2p.honest_range() >= 1.0,
+            "point-to-point attack must freeze"
+        );
         assert!(
             bcast.honest_range() < p2p.honest_range(),
             "broadcast restriction should weaken the attack ({} vs {})",

@@ -66,10 +66,20 @@ impl fmt::Display for SimError {
                 write!(f, "at least one node must be fault-free")
             }
             SimError::FaultSetMismatch { universe, nodes } => {
-                write!(f, "fault set universe {universe} does not match {nodes} nodes")
+                write!(
+                    f,
+                    "fault set universe {universe} does not match {nodes} nodes"
+                )
             }
-            SimError::Rule { node, round, source } => {
-                write!(f, "update rule failed at node {node}, round {round}: {source}")
+            SimError::Rule {
+                node,
+                round,
+                source,
+            } => {
+                write!(
+                    f,
+                    "update rule failed at node {node}, round {round}: {source}"
+                )
             }
             SimError::EmptySchedule => {
                 write!(f, "topology schedule needs at least one graph")
@@ -97,7 +107,11 @@ mod tests {
     #[test]
     fn display_is_specific() {
         assert_eq!(
-            SimError::InputLengthMismatch { inputs: 3, nodes: 5 }.to_string(),
+            SimError::InputLengthMismatch {
+                inputs: 3,
+                nodes: 5
+            }
+            .to_string(),
             "got 3 inputs for a graph with 5 nodes"
         );
         assert!(SimError::Rule {

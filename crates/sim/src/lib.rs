@@ -49,8 +49,8 @@ pub mod async_engine;
 pub mod certified;
 pub mod dynamic;
 mod engine;
-pub mod model_engine;
 mod error;
+pub mod model_engine;
 pub mod trace;
 pub mod transcript;
 pub mod vector;

@@ -295,17 +295,23 @@ mod tests {
         for _ in 0..100 {
             frozen.step().unwrap();
         }
-        assert!(frozen.honest_range() >= m_cap - m, "oblivious rule must stay frozen");
+        assert!(
+            frozen.honest_range() >= m_cap - m,
+            "oblivious rule must stay frozen"
+        );
 
         // Structure-aware rule under the rack model: converges.
         let rack = AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).unwrap();
         let aware = ModelTrimmedMean::new(FaultModel::Structure(rack));
         let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
         let mut sim =
-            ModelSimulation::new(&g, &inputs, w.fault_set.clone(), &aware, Box::new(adv))
-                .unwrap();
+            ModelSimulation::new(&g, &inputs, w.fault_set.clone(), &aware, Box::new(adv)).unwrap();
         let out = sim.run(&SimConfig::default()).unwrap();
-        assert!(out.converged, "structure-aware rule must converge (range {})", out.final_range);
+        assert!(
+            out.converged,
+            "structure-aware rule must converge (range {})",
+            out.final_range
+        );
         assert!(out.validity.is_valid());
         // Agreement inside the honest hull [0, 1].
         let v = out.trace.last().unwrap().states[0];
@@ -357,7 +363,10 @@ mod tests {
                 &rule,
                 Box::new(ConstantAdversary { value: 0.0 })
             ),
-            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+            Err(SimError::InputLengthMismatch {
+                inputs: 2,
+                nodes: 3
+            })
         ));
         assert!(matches!(
             ModelSimulation::new(

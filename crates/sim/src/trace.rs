@@ -84,7 +84,10 @@ impl Trace {
             if fault_set.contains(NodeId::new(i)) {
                 continue;
             }
-            assert!(v.is_finite(), "fault-free state {v} at node {i} is not finite");
+            assert!(
+                v.is_finite(),
+                "fault-free state {v} at node {i} is not finite"
+            );
             max = max.max(v);
             min = min.min(v);
         }
@@ -134,19 +137,13 @@ impl Trace {
             if cur.max > prev.max + tolerance {
                 violations.push(ValidityViolation {
                     round: cur.round,
-                    description: format!(
-                        "U increased: {:.6} -> {:.6}",
-                        prev.max, cur.max
-                    ),
+                    description: format!("U increased: {:.6} -> {:.6}", prev.max, cur.max),
                 });
             }
             if cur.min < prev.min - tolerance {
                 violations.push(ValidityViolation {
                     round: cur.round,
-                    description: format!(
-                        "mu decreased: {:.6} -> {:.6}",
-                        prev.min, cur.min
-                    ),
+                    description: format!("mu decreased: {:.6} -> {:.6}", prev.min, cur.min),
                 });
             }
         }

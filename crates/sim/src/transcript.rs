@@ -336,7 +336,10 @@ impl std::fmt::Display for ReplayError {
                 round,
                 sender,
                 receiver,
-            } => write!(f, "round {round}: no recorded message {sender} -> {receiver}"),
+            } => write!(
+                f,
+                "round {round}: no recorded message {sender} -> {receiver}"
+            ),
             ReplayError::StateMismatch {
                 round,
                 node,
@@ -501,7 +504,8 @@ mod tests {
         let rule = TrimmedMean::new(2);
         assert!(matches!(
             replay(&g, &rule, &t),
-            Err(ReplayError::StateMismatch { round: 6, .. }) | Err(ReplayError::StateMismatch { round: 5, .. })
+            Err(ReplayError::StateMismatch { round: 6, .. })
+                | Err(ReplayError::StateMismatch { round: 5, .. })
         ));
     }
 
@@ -553,10 +557,22 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_input() {
         assert!(Transcript::from_text("").is_err());
-        assert!(Transcript::from_text("faulty 1\n").is_err(), "faulty before n");
-        assert!(Transcript::from_text("n 3\nmsg 0 1 2.0\n").is_err(), "msg before round");
-        assert!(Transcript::from_text("n 3\nfaulty 9\n").is_err(), "faulty out of range");
-        assert!(Transcript::from_text("n 3\nbogus\n").is_err(), "unknown tag");
+        assert!(
+            Transcript::from_text("faulty 1\n").is_err(),
+            "faulty before n"
+        );
+        assert!(
+            Transcript::from_text("n 3\nmsg 0 1 2.0\n").is_err(),
+            "msg before round"
+        );
+        assert!(
+            Transcript::from_text("n 3\nfaulty 9\n").is_err(),
+            "faulty out of range"
+        );
+        assert!(
+            Transcript::from_text("n 3\nbogus\n").is_err(),
+            "unknown tag"
+        );
     }
 
     #[test]

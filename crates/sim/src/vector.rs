@@ -269,7 +269,10 @@ impl<'a> VectorSimulation<'a> {
         }
         let d = inputs.first().map_or(0, Vec::len);
         if d == 0 {
-            return Err(SimError::InputLengthMismatch { inputs: 0, nodes: n });
+            return Err(SimError::InputLengthMismatch {
+                inputs: 0,
+                nodes: n,
+            });
         }
         if let Some(bad) = inputs.iter().find(|row| row.len() != d) {
             return Err(SimError::InputLengthMismatch {
@@ -380,14 +383,14 @@ impl<'a> VectorSimulation<'a> {
                 }
             }
             for (k, col) in scratch.iter_mut().enumerate() {
-                self.coords[k][i.index()] = self
-                    .rule
-                    .update(prev[k][i.index()], col)
-                    .map_err(|source| SimError::Rule {
-                        node: i.index(),
-                        round: self.round,
-                        source,
-                    })?;
+                self.coords[k][i.index()] =
+                    self.rule
+                        .update(prev[k][i.index()], col)
+                        .map_err(|source| SimError::Rule {
+                            node: i.index(),
+                            round: self.round,
+                            source,
+                        })?;
             }
         }
         Ok(())
@@ -474,7 +477,10 @@ mod tests {
         let short = rows(&[&[0.0], &[1.0]]);
         assert!(matches!(
             VectorSimulation::new(&g, &short, NodeSet::with_universe(3), &rule, adv()),
-            Err(SimError::InputLengthMismatch { inputs: 2, nodes: 3 })
+            Err(SimError::InputLengthMismatch {
+                inputs: 2,
+                nodes: 3
+            })
         ));
         // Ragged dimensions.
         let ragged = rows(&[&[0.0, 1.0], &[1.0], &[2.0, 3.0]]);
@@ -484,7 +490,9 @@ mod tests {
         ));
         // Zero-dimensional states.
         let empty = rows(&[&[], &[], &[]]);
-        assert!(VectorSimulation::new(&g, &empty, NodeSet::with_universe(3), &rule, adv()).is_err());
+        assert!(
+            VectorSimulation::new(&g, &empty, NodeSet::with_universe(3), &rule, adv()).is_err()
+        );
         // Non-finite input.
         let nan = rows(&[&[0.0, f64::NAN], &[1.0, 2.0], &[2.0, 3.0]]);
         assert!(matches!(
@@ -523,8 +531,16 @@ mod tests {
         assert_eq!(out.final_ranges.len(), 2);
         // Complete-graph equal weights preserve each coordinate's average.
         let v = sim.state_of(NodeId::new(0));
-        assert!((v[0] - 2.0).abs() < 1e-3, "coordinate 0 settled at {}", v[0]);
-        assert!((v[1] - 80.0).abs() < 1e-2, "coordinate 1 settled at {}", v[1]);
+        assert!(
+            (v[0] - 2.0).abs() < 1e-3,
+            "coordinate 0 settled at {}",
+            v[0]
+        );
+        assert!(
+            (v[1] - 80.0).abs() < 1e-2,
+            "coordinate 1 settled at {}",
+            v[1]
+        );
     }
 
     #[test]

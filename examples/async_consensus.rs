@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = sim.run(1e-6, 20_000)?;
         println!(
             "  K{n}, f = {f}: condition {} -> converged = {} (range {:.2e} after {} rounds)",
-            if cond.is_satisfied() { "satisfied" } else { "violated " },
+            if cond.is_satisfied() {
+                "satisfied"
+            } else {
+                "violated "
+            },
             out.converged,
             out.final_range,
             out.rounds,

@@ -76,9 +76,13 @@ fn main() {
     });
 
     // The §6.1 core network at its minimum size.
-    run_workload("core network (7, 2)", &generators::core_network(7, 2), 2, &[0, 3], || {
-        Box::new(PolarizingAdversary)
-    });
+    run_workload(
+        "core network (7, 2)",
+        &generators::core_network(7, 2),
+        2,
+        &[0, 3],
+        || Box::new(PolarizingAdversary),
+    );
 
     println!("Only trimmed-mean (Algorithm 1) is *guaranteed* beyond complete graphs;");
     println!("the baselines run there as heuristics and are reported for comparison.");

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The satisfied instance: f = 1, n = 5 --------------------------
     let g = generators::chord(5, 3);
-    println!("\nchord(5, 3): f = 1 — condition {}", theorem1::check(&g, 1));
+    println!(
+        "\nchord(5, 3): f = 1 — condition {}",
+        theorem1::check(&g, 1)
+    );
     let inputs = [0.0, 1.0, 0.25, 0.75, 0.5];
     let faults = NodeSet::from_indices(5, [4]);
     let rule = TrimmedMean::new(1);
@@ -76,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "with one stealthy Byzantine node: converged = {} in {} rounds (validity {})",
         out.converged,
         out.rounds,
-        if out.validity.is_valid() { "ok" } else { "violated" }
+        if out.validity.is_valid() {
+            "ok"
+        } else {
+            "violated"
+        }
     );
     assert!(out.converged && out.validity.is_valid());
     Ok(())

@@ -16,7 +16,9 @@ use iabc::analysis::plot::{log_chart, log_sparkline};
 use iabc::core::rules::TrimmedMean;
 use iabc::core::theorem1;
 use iabc::graph::{generators, NodeSet};
-use iabc::sim::adversary::{Adversary, ConformingAdversary, ExtremesAdversary, PolarizingAdversary};
+use iabc::sim::adversary::{
+    Adversary, ConformingAdversary, ExtremesAdversary, PolarizingAdversary,
+};
 use iabc::sim::{run_consensus, SimConfig};
 
 fn trace_ranges(adversary: Box<dyn Adversary>) -> (String, Vec<f64>) {

@@ -32,8 +32,8 @@ fn main() {
     let witness = theorem1::find_violation(&bad, 2).expect("chord(7,5) violates Theorem 1 at f=2");
     println!("chord(7,5) violates Theorem 1 at f = 2; witness: {witness}");
 
-    let schedule = SwitchOnceSchedule::new(bad, generators::complete(7), 40)
-        .expect("same node count");
+    let schedule =
+        SwitchOnceSchedule::new(bad, generators::complete(7), 40).expect("same node count");
     let mut inputs = vec![0.5; 7];
     for v in witness.left.iter() {
         inputs[v.index()] = 0.0;
@@ -55,10 +55,16 @@ fn main() {
     for round in 1..=40 {
         sim.step().expect("step");
         if round % 10 == 0 {
-            println!("round {round:>3}: honest range = {:.3} (frozen)", sim.honest_range());
+            println!(
+                "round {round:>3}: honest range = {:.3} (frozen)",
+                sim.honest_range()
+            );
         }
     }
-    assert!(sim.honest_range() >= 1.0, "must be frozen before the repair");
+    assert!(
+        sim.honest_range() >= 1.0,
+        "must be frozen before the repair"
+    );
 
     println!("round  40: switching topology chord(7,5) -> K7 (the repair)");
     let out = sim.run(&SimConfig::default()).expect("post-repair run");

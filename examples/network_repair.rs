@@ -20,7 +20,11 @@ use iabc::sim::adversary::{ExtremesAdversary, SplitBrainAdversary};
 use iabc::sim::{SimConfig, Simulation};
 
 fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn std::error::Error>> {
-    println!("== {name} (n = {}, m = {}, f = {f})", g.node_count(), g.edge_count());
+    println!(
+        "== {name} (n = {}, m = {}, f = {f})",
+        g.node_count(),
+        g.edge_count()
+    );
     let before = theorem1::check(g, f);
     println!("   before: {before}");
 
@@ -40,7 +44,10 @@ fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn st
         for _ in 0..100 {
             sim.step()?;
         }
-        println!("   original under attack: range still {:.2} after 100 rounds", sim.honest_range());
+        println!(
+            "   original under attack: range still {:.2} after 100 rounds",
+            sim.honest_range()
+        );
     }
 
     // Repair.
@@ -73,15 +80,27 @@ fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn st
         "   repaired under attack: converged = {} in {} rounds (validity {})\n",
         out.converged,
         out.rounds,
-        if out.validity.is_valid() { "ok" } else { "violated" }
+        if out.validity.is_valid() {
+            "ok"
+        } else {
+            "violated"
+        }
     );
     assert!(out.converged && out.validity.is_valid());
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    repair_and_verify("chord(7, 5), f = 2  [§6.3 counterexample]", &generators::chord(7, 5), 2)?;
-    repair_and_verify("hypercube(3), f = 1 [§6.2 / Figure 3]", &generators::hypercube(3), 1)?;
+    repair_and_verify(
+        "chord(7, 5), f = 2  [§6.3 counterexample]",
+        &generators::chord(7, 5),
+        2,
+    )?;
+    repair_and_verify(
+        "hypercube(3), f = 1 [§6.2 / Figure 3]",
+        &generators::hypercube(3),
+        1,
+    )?;
     repair_and_verify(
         "bridged_cliques(4, 1), f = 1",
         &generators::bridged_cliques(4, 1),

@@ -22,14 +22,19 @@ use iabc::sim::{run_consensus, SimConfig};
 fn main() {
     let g = generators::complete(7);
     let faults = NodeSet::from_indices(7, [5, 6]);
+    // Deliberately awkward sensor readings (≈√2, ≈e, ≈π) that no quantum
+    // divides exactly.
+    #[allow(clippy::approx_constant)]
     let raw_inputs = [0.03, 1.41, 2.72, 3.14, 4.0, 2.0, 2.0];
     println!("K7, f = 2, extremes adversary; raw inputs {raw_inputs:?}\n");
-    println!("{:>12} {:>9} {:>8} {:>14} {:>9}", "quantum", "rounding", "rounds", "final range", "valid");
+    println!(
+        "{:>12} {:>9} {:>8} {:>14} {:>9}",
+        "quantum", "rounding", "rounds", "final range", "valid"
+    );
 
     for &quantum in &[0.25, 1.0 / 16.0, 1.0 / 256.0] {
         for rounding in [Rounding::Nearest, Rounding::Floor] {
-            let rule = QuantizedTrimmedMean::new(2, quantum, rounding)
-                .expect("positive quantum");
+            let rule = QuantizedTrimmedMean::new(2, quantum, rounding).expect("positive quantum");
             let inputs = quantize_inputs(&raw_inputs, quantum, rounding);
             let out = run_consensus(
                 &g,

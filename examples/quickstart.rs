@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.converged,
         out.rounds,
         out.final_range,
-        if out.validity.is_valid() { "ok" } else { "VIOLATED" }
+        if out.validity.is_valid() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
     );
     let agreed = out.trace.last().expect("nonempty trace").states[0];
     println!("agreed value: {agreed:.4} (inside the honest hull [10, 50])");

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pattern (a 2f+1 clique of "anchor" sensors everyone exchanges with).
     let fused = generators::core_network(n, f);
     assert!(theorem1::check(&fused, f).is_satisfied());
-    println!("core-network deployment: satisfied (anchors = nodes 0..{})", 2 * f + 1);
+    println!(
+        "core-network deployment: satisfied (anchors = nodes 0..{})",
+        2 * f + 1
+    );
 
     // Ground truth 21.5 °C, honest readings with ±0.5 °C noise; node 9 is
     // compromised.
@@ -48,8 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let attacks: Vec<(&str, Box<dyn Adversary>)> = vec![
         ("stuck-at-zero", Box::new(ConstantAdversary { value: 0.0 })),
-        ("random noise", Box::new(RandomAdversary::new(-40.0, 85.0, 7))),
-        ("stealthy pull-down", Box::new(PullAdversary { toward_max: false })),
+        (
+            "random noise",
+            Box::new(RandomAdversary::new(-40.0, 85.0, 7)),
+        ),
+        (
+            "stealthy pull-down",
+            Box::new(PullAdversary { toward_max: false }),
+        ),
     ];
 
     for (name, adversary) in attacks {
@@ -66,12 +75,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "attack {name:>18}: fused = {fusedv:.3} °C in {} rounds (|error| = {:.3}, validity {})",
             out.rounds,
             (fusedv - truth).abs(),
-            if out.validity.is_valid() { "ok" } else { "VIOLATED" }
+            if out.validity.is_valid() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
         assert!(out.converged && out.validity.is_valid());
         // The fused estimate can never leave the honest reading hull.
         let lo = readings[..9].iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = readings[..9].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = readings[..9]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!((lo..=hi).contains(&fusedv));
     }
     println!("all attacks absorbed; estimates stayed within the honest reading hull");

@@ -20,14 +20,12 @@
 //! possibility — and then cashes it in with the structure-aware rule
 //! (`ModelTrimmedMean`): same graph, same adversary, convergence.
 
-use iabc::core::fault_model::{
-    check_model, AdversaryStructure, FaultModel, ModelTrimmedMean,
-};
-use iabc::sim::model_engine::ModelSimulation;
-use iabc::sim::SimConfig;
+use iabc::core::fault_model::{check_model, AdversaryStructure, FaultModel, ModelTrimmedMean};
 use iabc::core::rules::TrimmedMean;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::SplitBrainAdversary;
+use iabc::sim::model_engine::ModelSimulation;
+use iabc::sim::SimConfig;
 use iabc::sim::Simulation;
 
 fn verdict(satisfied: bool) -> &'static str {
@@ -55,15 +53,18 @@ fn main() {
     );
 
     // Structures with located faults.
-    let rack = AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])])
-        .expect("universe 7");
+    let rack =
+        AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).expect("universe 7");
     println!(
         "  one known rack {{5, 6}}                : {}",
         verdict(check_model(&g, &FaultModel::Structure(rack)).is_satisfied())
     );
     let two_racks = AdversaryStructure::new(
         7,
-        vec![NodeSet::from_indices(7, [5, 6]), NodeSet::from_indices(7, [0, 1])],
+        vec![
+            NodeSet::from_indices(7, [5, 6]),
+            NodeSet::from_indices(7, [0, 1]),
+        ],
     )
     .expect("universe 7");
     let two_racks_model = FaultModel::Structure(two_racks);
@@ -116,12 +117,18 @@ fn main() {
 
     // The payoff: the structure-aware rule, same adversary, converges.
     println!("\nthe payoff — structure-aware ModelTrimmedMean vs the same adversary:");
-    let rack = AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])])
-        .expect("universe 7");
+    let rack =
+        AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).expect("universe 7");
     let aware = ModelTrimmedMean::new(FaultModel::Structure(rack));
     let adversary = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-    let mut sim = ModelSimulation::new(&g, &inputs, w.fault_set.clone(), &aware, Box::new(adversary))
-        .expect("valid simulation");
+    let mut sim = ModelSimulation::new(
+        &g,
+        &inputs,
+        w.fault_set.clone(),
+        &aware,
+        Box::new(adversary),
+    )
+    .expect("valid simulation");
     let out = sim.run(&SimConfig::default()).expect("run succeeds");
     println!(
         "  converged = {} in {} rounds, final range {:.2e}, valid = {}",

@@ -41,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "under 2 inbox-extremist threads:        -> range {:.2e}, states in [{:.2}, {:.2}]",
         report.honest_range(),
-        report.honest_states().iter().copied().fold(f64::INFINITY, f64::min),
-        report.honest_states().iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        report
+            .honest_states()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
+        report
+            .honest_states()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
 
     // 3. The necessity proof, live: chord(7,5) fails Theorem 1 at f = 2,

@@ -73,7 +73,11 @@ fn main() {
             p.edges,
             p.vertex_connectivity.unwrap_or(0),
             p.degrees.min_in,
-            if report.is_satisfied() { "SATISFIED" } else { "violated" },
+            if report.is_satisfied() {
+                "SATISFIED"
+            } else {
+                "violated"
+            },
             why
         );
     }

@@ -20,9 +20,7 @@
 use iabc::core::rules::TrimmedMean;
 use iabc::graph::{generators, NodeId, NodeSet};
 use iabc::sim::adversary::ExtremesAdversary;
-use iabc::sim::vector::{
-    CoordinateWise, CornerPullAdversary, VectorSimConfig, VectorSimulation,
-};
+use iabc::sim::vector::{CoordinateWise, CornerPullAdversary, VectorSimConfig, VectorSimulation};
 
 fn main() {
     let g = generators::complete(7);
@@ -52,7 +50,10 @@ fn main() {
         "  converged = {} in {} rounds, box validity = {}",
         out.converged, out.rounds, out.box_validity
     );
-    println!("  fused position: ({:.4}, {:.4}) — inside the box\n", p[0], p[1]);
+    println!(
+        "  fused position: ({:.4}, {:.4}) — inside the box\n",
+        p[0], p[1]
+    );
     assert!(out.converged && out.box_validity);
     assert!((0.0..=4.0).contains(&p[0]) && (10.0..=14.0).contains(&p[1]));
 
@@ -65,14 +66,9 @@ fn main() {
             vec![x, x]
         })
         .collect();
-    let mut sim = VectorSimulation::new(
-        &g,
-        &diagonal,
-        faults,
-        &rule,
-        Box::new(CornerPullAdversary),
-    )
-    .expect("valid simulation");
+    let mut sim =
+        VectorSimulation::new(&g, &diagonal, faults, &rule, Box::new(CornerPullAdversary))
+            .expect("valid simulation");
     let out = sim.run(&VectorSimConfig::default()).expect("run");
     let p = sim.state_of(NodeId::new(0));
     println!(

@@ -26,10 +26,16 @@ fn rack_aware_deployment_pipeline() {
     let g = generators::chord(7, 5);
 
     // Stage 1 — design-time analysis.
-    assert!(!theorem1::check(&g, 2).is_satisfied(), "f-total(2) must fail (§6.3)");
+    assert!(
+        !theorem1::check(&g, 2).is_satisfied(),
+        "f-total(2) must fail (§6.3)"
+    );
     let rack = AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).unwrap();
     let model = FaultModel::Structure(rack);
-    assert!(check_model(&g, &model).is_satisfied(), "rack structure must pass");
+    assert!(
+        check_model(&g, &model).is_satisfied(),
+        "rack structure must pass"
+    );
 
     // Stage 2 — the paper's witness adversary attacks a rack-aware fleet.
     let w = Witness {
@@ -63,7 +69,10 @@ fn rack_aware_deployment_pipeline() {
     for _ in 0..80 {
         frozen.step().unwrap();
     }
-    assert!(frozen.honest_range() >= 1.0, "oblivious rule must freeze in the same engine");
+    assert!(
+        frozen.honest_range() >= 1.0,
+        "oblivious rule must freeze in the same engine"
+    );
 
     // Stage 4 — the operator upgrades the overlay to a core network at
     // round 30 (dynamic schedule): now even the oblivious rule converges.
@@ -72,10 +81,16 @@ fn rack_aware_deployment_pipeline() {
     let schedule = SwitchOnceSchedule::new(g.clone(), upgraded, 30).unwrap();
     let rule = TrimmedMean::new(2);
     let adv = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-    let out = DynamicSimulation::new(&schedule, &inputs, w.fault_set.clone(), &rule, Box::new(adv))
-        .unwrap()
-        .run(&SimConfig::default())
-        .unwrap();
+    let out = DynamicSimulation::new(
+        &schedule,
+        &inputs,
+        w.fault_set.clone(),
+        &rule,
+        Box::new(adv),
+    )
+    .unwrap()
+    .run(&SimConfig::default())
+    .unwrap();
     assert!(out.converged && out.validity.is_valid());
     assert!(out.rounds > 30, "convergence cannot predate the upgrade");
 }
@@ -106,7 +121,10 @@ fn quantized_rule_survives_topology_churn() {
         record_states: true,
     })
     .unwrap();
-    assert!(out.validity.is_valid(), "lattice validity must survive churn");
+    assert!(
+        out.validity.is_valid(),
+        "lattice validity must survive churn"
+    );
     assert!(
         out.final_range <= quantum + 1e-12,
         "range {} did not reach the quantization floor",
@@ -137,7 +155,11 @@ fn quantized_rule_in_the_async_engine() {
     )
     .unwrap();
     let out = sim.run(quantum, 5_000).unwrap();
-    assert!(out.converged, "async quantized run stuck at range {}", out.final_range);
+    assert!(
+        out.converged,
+        "async quantized run stuck at range {}",
+        out.final_range
+    );
     assert!(out.final_range <= quantum + 1e-12);
 }
 
@@ -176,7 +198,11 @@ fn quantized_vector_fusion() {
     let v = sim.state_of(NodeId::new(0));
     // Outputs are lattice points inside the per-axis hulls.
     for (k, (lo, hi)) in [(0usize, (0.0, 4.0)), (1, (10.0, 14.0))] {
-        assert!((lo..=hi).contains(&v[k]), "coord {k}: {} outside hull", v[k]);
+        assert!(
+            (lo..=hi).contains(&v[k]),
+            "coord {k}: {} outside hull",
+            v[k]
+        );
         let scaled = v[k] / quantum;
         assert_eq!(scaled, scaled.round(), "coord {k}: {} off-lattice", v[k]);
     }

@@ -14,9 +14,17 @@ fn checker_verdict_predicts_executability() {
     // Satisfying graphs: Algorithm 1 converges under a stealthy adversary.
     let satisfying: Vec<(iabc::graph::Digraph, usize, NodeSet)> = vec![
         (generators::complete(7), 2, NodeSet::from_indices(7, [5, 6])),
-        (generators::core_network(7, 2), 2, NodeSet::from_indices(7, [5, 6])),
+        (
+            generators::core_network(7, 2),
+            2,
+            NodeSet::from_indices(7, [5, 6]),
+        ),
         (generators::chord(5, 3), 1, NodeSet::from_indices(5, [4])),
-        (generators::core_network(4, 1), 1, NodeSet::from_indices(4, [3])),
+        (
+            generators::core_network(4, 1),
+            1,
+            NodeSet::from_indices(4, [3]),
+        ),
     ];
     for (g, f, faults) in satisfying {
         assert!(theorem1::check(&g, f).is_satisfied(), "{g} f={f}");
@@ -133,8 +141,14 @@ fn async_section7_bounds() {
     assert!(!async_condition::check(&generators::complete(10), 2).is_satisfied());
     assert!(async_condition::satisfies_node_bound(11, 2));
     assert!(!async_condition::satisfies_node_bound(10, 2));
-    assert!(async_condition::satisfies_degree_bound(&generators::complete(6), 1));
-    assert!(!async_condition::satisfies_degree_bound(&generators::chord(8, 3), 1));
+    assert!(async_condition::satisfies_degree_bound(
+        &generators::complete(6),
+        1
+    ));
+    assert!(!async_condition::satisfies_degree_bound(
+        &generators::chord(8, 3),
+        1
+    ));
 }
 
 /// Lemma 2: on a satisfying graph, for any fault-free bipartition one side
@@ -179,5 +193,8 @@ fn agreed_value_stays_in_honest_hull() {
     .unwrap();
     assert!(out.converged);
     let agreed = out.trace.last().unwrap().states[0];
-    assert!((-2.0..=7.0).contains(&agreed), "agreed {agreed} escaped hull");
+    assert!(
+        (-2.0..=7.0).contains(&agreed),
+        "agreed {agreed} escaped hull"
+    );
 }

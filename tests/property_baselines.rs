@@ -152,6 +152,9 @@ fn guaranteed_rules_converge_on_satisfying_graphs() {
             &SimConfig::default(),
         )
         .unwrap();
-        assert!(out.converged && out.validity.is_valid(), "seed {seed}: {out:?}");
+        assert!(
+            out.converged && out.validity.is_valid(),
+            "seed {seed}: {out:?}"
+        );
     }
 }

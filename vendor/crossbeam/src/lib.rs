@@ -1,0 +1,59 @@
+//! Offline stand-in for the `crossbeam` crate. The workspace only uses
+//! unbounded MPSC channels (`crossbeam::channel::{unbounded, Sender,
+//! Receiver}`), which `std::sync::mpsc` covers directly.
+
+#![warn(missing_docs)]
+
+/// A handle for spawning threads inside a [`scope`] (crossbeam-utils
+/// style: the spawn closure receives the scope again for nested spawns).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope whose threads are all joined before `scope`
+/// returns (backed by `std::thread::scope`). A panicking child propagates
+/// as a panic rather than an `Err`, which the workspace's `.expect(...)`
+/// call sites treat identically.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer channels (the `crossbeam-channel` subset the workspace
+/// uses), backed by `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = super::unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+    }
+}

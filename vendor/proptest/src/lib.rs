@@ -1,0 +1,124 @@
+//! Offline stand-in for `proptest`: a miniature property-testing harness
+//! implementing the API subset the workspace's test suite uses.
+//!
+//! Supported surface: the [`proptest!`] macro (with `#![proptest_config]`,
+//! plain and `mut` bindings), range strategies, `prop_map`,
+//! [`collection::vec`] / [`collection::btree_set`], [`arbitrary::any`],
+//! [`sample::select`], `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test path and case index), failures are
+//! reported via plain `assert!` without shrinking, and `prop_assume!`
+//! skips to the next case rather than recording rejections.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Turns `fn name(x in strategy, ...) { body }` items into `#[test]`
+/// functions that run `body` over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each property fn in turn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __proptest_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome: ::core::result::Result<
+                    (),
+                    ::std::boxed::Box<dyn ::std::error::Error>,
+                > = (|| {
+                    $crate::__proptest_case!{ __proptest_rng; $body; $($args)* }
+                })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("case {} of {} failed: {e}", __case, stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds each `name in strategy` argument, then runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; $body:block; ) => {
+        $body
+        ::core::result::Result::Ok(())
+    };
+    ($rng:ident; $body:block; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!{ $rng; $body; $($rest)* }
+    };
+    ($rng:ident; $body:block; mut $name:ident in $strat:expr) => {
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $body
+        ::core::result::Result::Ok(())
+    };
+    ($rng:ident; $body:block; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!{ $rng; $body; $($rest)* }
+    };
+    ($rng:ident; $body:block; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $body
+        ::core::result::Result::Ok(())
+    };
+}
+
+/// Asserts a condition for the current case (plain `assert!` here — no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the rest of the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

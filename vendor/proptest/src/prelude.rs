@@ -1,0 +1,32 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate as prop;
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The harness binds plain and `mut` arguments and honors
+        /// assumptions.
+        #[test]
+        fn harness_smoke(
+            a in 0usize..10,
+            mut v in prop::collection::vec(any::<bool>(), 2..5),
+            pick in prop::sample::select(vec![1i32, 3, 5]),
+        ) {
+            prop_assume!(a != 9);
+            v.push(true);
+            prop_assert!(a < 9);
+            prop_assert!(v.len() >= 3);
+            prop_assert_eq!(pick % 2, 1);
+            prop_assert_ne!(pick, 2);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The [`Strategy`] trait and combinators: how test inputs are generated.
+
+use rand::rngs::StdRng;
+use rand::SampleRange;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: Clone,
+    core::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: Clone,
+    core::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_map_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = (0usize..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}

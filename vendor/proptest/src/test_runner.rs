@@ -1,0 +1,36 @@
+//! Test-runner configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives the RNG for one case of one property test: FNV-1a over the
+/// test path, mixed with the case index. Deterministic across runs and
+/// thread counts.
+pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}

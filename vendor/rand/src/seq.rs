@@ -1,0 +1,77 @@
+//! Sequence helpers: in-place shuffling and sampling without replacement.
+
+use crate::{RngCore, SampleRange};
+
+/// Extension trait for slices: Fisher–Yates shuffle.
+pub trait SliceRandom {
+    /// Shuffles the slice in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_from(rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Extension trait for iterators: uniform sampling without replacement.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Picks up to `amount` distinct elements uniformly at random
+    /// (reservoir sampling).
+    fn choose_multiple<R: RngCore + ?Sized>(self, rng: &mut R, amount: usize) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        for (i, item) in self.enumerate() {
+            if reservoir.len() < amount {
+                reservoir.push(item);
+            } else {
+                let j = (0..=i).sample_from(rng);
+                if j < amount {
+                    reservoir[j] = item;
+                }
+            }
+        }
+        reservoir
+    }
+
+    /// Picks one element uniformly at random, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        self.choose_multiple(rng, 1).pop()
+    }
+}
+
+impl<I: Iterator + Sized> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let picked = (0..100).choose_multiple(&mut rng, 10);
+        assert_eq!(picked.len(), 10);
+        let mut unique = picked.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 10);
+
+        // Requesting more than available yields everything.
+        let all = (0..3).choose_multiple(&mut rng, 10);
+        assert_eq!(all.len(), 3);
+    }
+}

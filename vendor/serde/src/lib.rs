@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compiles
+//! without network access. Real serialization can be restored by swapping
+//! this vendored crate for upstream serde once a registry is available.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

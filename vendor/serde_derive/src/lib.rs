@@ -1,0 +1,21 @@
+//! Offline no-op stand-ins for serde's derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` (plus the
+//! `#[serde(...)]` helper attribute) as forward-looking annotations; nothing
+//! consumes the generated impls yet. These derives therefore accept the
+//! attribute and expand to nothing, which keeps the annotated code compiling
+//! without the real serde dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
