@@ -12,11 +12,12 @@
 use iabc_core::rules::{Mean, TrimmedMean, TrimmedMidpoint, UpdateRule, WeightedTrimmedMean};
 use iabc_graph::{generators, NodeSet};
 use iabc_sim::adversary::{Adversary, ConstantAdversary, PullAdversary};
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::SimConfig;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 struct RunStats {
     converged: bool,
@@ -29,7 +30,13 @@ fn run_rule(rule: &dyn UpdateRule, adversary: Box<dyn Adversary>) -> RunStats {
     let g = generators::complete(7);
     let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
     let faults = NodeSet::from_indices(7, [5, 6]);
-    let mut sim = Simulation::new(&g, &inputs, faults, rule, adversary).expect("valid sim");
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(rule)
+        .adversary(adversary)
+        .synchronous()
+        .expect("valid sim");
     let out = sim
         .run(&SimConfig {
             record_states: false,

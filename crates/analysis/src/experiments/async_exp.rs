@@ -4,7 +4,8 @@ use iabc_core::async_condition;
 use iabc_core::rules::TrimmedMean;
 use iabc_graph::{generators, NodeSet};
 use iabc_sim::adversary::{ConstantAdversary, ExtremesAdversary};
-use iabc_sim::async_engine::{DelayBoundedSim, MaxDelayScheduler, RandomScheduler, WithholdingSim};
+use iabc_sim::async_engine::{MaxDelayScheduler, RandomScheduler};
+use iabc_sim::{RunConfig, Scenario, Termination};
 
 use crate::table::Table;
 
@@ -56,17 +57,16 @@ pub fn e9_async() -> ExperimentResult {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0];
         let faults = NodeSet::from_indices(6, [5]);
         let rule = TrimmedMean::new(1);
-        let mut sim = DelayBoundedSim::new(
-            &g,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(ExtremesAdversary { delta: 100.0 }),
-            Box::new(MaxDelayScheduler),
-            b,
-        )
-        .expect("valid sim");
-        let out = sim.run(1e-6, 20_000).expect("run succeeds");
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 100.0 }))
+            .delay_bounded(Box::new(MaxDelayScheduler), b)
+            .expect("valid sim");
+        let out = sim
+            .run(&RunConfig::bounded(1e-6, 20_000))
+            .expect("run succeeds");
         let inside = sim.states()[0] >= 0.0 && sim.states()[0] <= 4.0;
         pass &= out.converged && inside;
         table.row([
@@ -75,17 +75,16 @@ pub fn e9_async() -> ExperimentResult {
             format!("converged: {} in {} ticks", out.converged, out.rounds),
         ]);
 
-        let mut sim = DelayBoundedSim::new(
-            &g,
-            &inputs,
-            faults,
-            &rule,
-            Box::new(ExtremesAdversary { delta: 100.0 }),
-            Box::new(RandomScheduler::new(b as u64)),
-            b,
-        )
-        .expect("valid sim");
-        let out = sim.run(1e-6, 20_000).expect("run succeeds");
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 100.0 }))
+            .delay_bounded(Box::new(RandomScheduler::new(b as u64)), b)
+            .expect("valid sim");
+        let out = sim
+            .run(&RunConfig::bounded(1e-6, 20_000))
+            .expect("run succeeds");
         pass &= out.converged;
         table.row([
             format!("delay-bounded K6, f = 1, B = {b}, random scheduler"),
@@ -102,15 +101,15 @@ pub fn e9_async() -> ExperimentResult {
         inputs[9] = 0.0;
         inputs[10] = 0.0;
         let faults = NodeSet::from_indices(11, [9, 10]);
-        let mut sim = WithholdingSim::new(
-            &g,
-            &inputs,
-            faults,
-            2,
-            Box::new(ConstantAdversary { value: 1e9 }),
-        )
-        .expect("valid sim");
-        let out = sim.run(1e-6, 10_000).expect("run succeeds");
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .withholding(2)
+            .expect("valid sim");
+        let out = sim
+            .run(&RunConfig::bounded(1e-6, 10_000))
+            .expect("run succeeds");
         pass &= out.converged && out.validity.is_valid();
         table.row([
             "withholding K11, f = 2 (in-degree 10 >= 3f+1)".to_string(),
@@ -122,24 +121,30 @@ pub fn e9_async() -> ExperimentResult {
         let g = generators::complete(7);
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
-        let mut sim = WithholdingSim::new(
-            &g,
-            &inputs,
-            faults,
-            2,
-            Box::new(ConstantAdversary { value: 1e9 }),
-        )
-        .expect("valid sim");
-        let mut frozen = true;
-        for _ in 0..100 {
-            sim.step().expect("step succeeds");
-        }
-        frozen &= sim.states()[0] == 0.0 && sim.honest_range() >= 4.0;
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .withholding(2)
+            .expect("valid sim");
+        // The engine proves the freeze: the driver reports Halted instead
+        // of burning the round budget.
+        let out = sim
+            .run(&RunConfig::bounded(1e-6, 10_000))
+            .expect("run succeeds");
+        let frozen = out.termination == Termination::Halted
+            && sim.states()[0] == 0.0
+            && sim.honest_range() >= 4.0;
         pass &= frozen;
         table.row([
             "withholding K7, f = 2 (in-degree 6 = 3f)".to_string(),
-            "frozen (survivor set empty)".to_string(),
-            format!("frozen: {frozen}, range {}", sim.honest_range()),
+            "halts (survivor set empty)".to_string(),
+            format!(
+                "termination: {:?} after {} round(s), range {}",
+                out.termination,
+                out.rounds,
+                sim.honest_range()
+            ),
         ]);
     }
 

@@ -10,11 +10,12 @@ use iabc_core::rules::TrimmedMean;
 use iabc_core::theorem1;
 use iabc_graph::{generators, Digraph, NodeSet};
 use iabc_sim::adversary::{Adversary, ConformingAdversary, PullAdversary};
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::SimConfig;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 const EPSILON: f64 = 1e-6;
 const MAX_ROUNDS: usize = 5_000;
@@ -28,7 +29,13 @@ fn measure(
     let n = g.node_count();
     let inputs: Vec<f64> = (0..n).map(|i| (i as f64 * 17.0) % 10.0).collect();
     let rule = TrimmedMean::new(f);
-    let mut sim = Simulation::new(g, &inputs, fault_set.clone(), &rule, adversary).ok()?;
+    let mut sim = Scenario::on(g)
+        .inputs(&inputs)
+        .faults(fault_set.clone())
+        .rule(&rule)
+        .adversary(adversary)
+        .synchronous()
+        .ok()?;
     let out = sim
         .run(&SimConfig {
             record_states: false,

@@ -19,12 +19,13 @@ use iabc_sim::adversary::{
     BroadcastOf, ConstantAdversary, CrashAdversary, PullAdversary, SelectiveOmissionAdversary,
     SplitBrainAdversary,
 };
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::SimConfig;
 
 use crate::matrix_repr::round_matrix;
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 /// Runs extension experiment X1 (f-local fault model).
 pub fn x1_local_fault_model() -> ExperimentResult {
@@ -78,16 +79,15 @@ pub fn x1_local_fault_model() -> ExperimentResult {
         if local_ok {
             let inputs: Vec<f64> = (0..12).map(|i| (i % 7) as f64).collect();
             let rule = TrimmedMean::new(f);
-            let out = Simulation::new(
-                &g,
-                &inputs,
-                fault.clone(),
-                &rule,
-                Box::new(ConstantAdversary { value: 1e9 }),
-            )
-            .expect("valid sim")
-            .run(&SimConfig::default())
-            .expect("run succeeds");
+            let out = Scenario::on(&g)
+                .inputs(&inputs)
+                .faults(fault.clone())
+                .rule(&rule)
+                .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+                .synchronous()
+                .expect("valid sim")
+                .run(&SimConfig::default())
+                .expect("run succeeds");
             pass &= admissible && out.converged && out.validity.is_valid();
             row_note = format!(
                 "{row_note}; converged {} in {} rounds, valid {}",
@@ -174,14 +174,13 @@ pub fn x2_matrix_representation() -> ExperimentResult {
         let n = g.node_count();
         let inputs: Vec<f64> = (0..n).map(|i| ((i * 13) % 9) as f64).collect();
         let rule = TrimmedMean::new(f);
-        let mut sim = Simulation::new(
-            &g,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(PullAdversary { toward_max: false }),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(PullAdversary { toward_max: false }))
+            .synchronous()
+            .expect("valid sim");
 
         let honest_range = |states: &[f64]| {
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -256,24 +255,24 @@ pub fn x3_model_comparison() -> ExperimentResult {
             inputs[v.index()] = m_cap;
         }
         let rule = TrimmedMean::new(2);
-        let mut p2p = Simulation::new(
-            &g,
-            &inputs,
-            w.fault_set.clone(),
-            &rule,
-            Box::new(SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5)),
-        )
-        .expect("valid sim");
-        let mut bcast = Simulation::new(
-            &g,
-            &inputs,
-            w.fault_set.clone(),
-            &rule,
-            Box::new(BroadcastOf::new(SplitBrainAdversary::from_witness(
+        let mut p2p = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(SplitBrainAdversary::from_witness(
                 &w, m, m_cap, 0.5,
-            ))),
-        )
-        .expect("valid sim");
+            )))
+            .synchronous()
+            .expect("valid sim");
+        let mut bcast = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(BroadcastOf::new(
+                SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5),
+            )))
+            .synchronous()
+            .expect("valid sim");
         for _ in 0..200 {
             p2p.step().expect("step");
             bcast.step().expect("step");
@@ -297,16 +296,15 @@ pub fn x3_model_comparison() -> ExperimentResult {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let out = Simulation::new(
-            &g,
-            &inputs,
-            faults,
-            &rule,
-            Box::new(CrashAdversary { from_round: 2 }),
-        )
-        .expect("valid sim")
-        .run(&SimConfig::default())
-        .expect("run");
+        let out = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(&rule)
+            .adversary(Box::new(CrashAdversary { from_round: 2 }))
+            .synchronous()
+            .expect("valid sim")
+            .run(&SimConfig::default())
+            .expect("run");
         pass &= out.converged && out.validity.is_valid();
         table.row([
             "K7, f=2: crash-stop at round 2".to_string(),
@@ -321,19 +319,18 @@ pub fn x3_model_comparison() -> ExperimentResult {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let out = Simulation::new(
-            &g,
-            &inputs,
-            faults,
-            &rule,
-            Box::new(SelectiveOmissionAdversary {
+        let out = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(&rule)
+            .adversary(Box::new(SelectiveOmissionAdversary {
                 silenced: NodeSet::from_indices(7, [0, 1, 2]),
                 value: 1e8,
-            }),
-        )
-        .expect("valid sim")
-        .run(&SimConfig::default())
-        .expect("run");
+            }))
+            .synchronous()
+            .expect("valid sim")
+            .run(&SimConfig::default())
+            .expect("run");
         pass &= out.converged && out.validity.is_valid();
         table.row([
             "K7, f=2: omission to {0,1,2}, lies of 1e8 to the rest".to_string(),

@@ -21,15 +21,15 @@ use iabc_core::theorem1;
 use iabc_graph::{generators, NodeId, NodeSet};
 use iabc_sim::adversary::{ExtremesAdversary, SplitBrainAdversary};
 use iabc_sim::dynamic::{
-    sample_edge_drops, DynamicSimulation, RoundRobinSchedule, StaticSchedule, SwitchOnceSchedule,
-    TopologySchedule,
+    sample_edge_drops, RoundRobinSchedule, StaticSchedule, SwitchOnceSchedule, TopologySchedule,
 };
-use iabc_sim::vector::{CornerPullAdversary, VectorSimConfig, VectorSimulation};
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::vector::{CornerPullAdversary, VectorSimConfig};
+use iabc_sim::SimConfig;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 /// Runs extension experiment X10 (generalized fault models).
 pub fn x10_fault_models() -> ExperimentResult {
@@ -141,7 +141,12 @@ pub fn x10_fault_models() -> ExperimentResult {
         }
         let rule = TrimmedMean::new(2);
         let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
-        let mut sim = Simulation::new(&chord7, &inputs, w.fault_set.clone(), &rule, Box::new(adv))
+        let mut sim = Scenario::on(&chord7)
+            .inputs(&inputs)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(adv))
+            .synchronous()
             .expect("valid sim");
         for _ in 0..100 {
             sim.step().expect("step");
@@ -160,14 +165,17 @@ pub fn x10_fault_models() -> ExperimentResult {
         // adversary, same fault set — trimming the coverable prefix instead
         // of a fixed f converges.
         use iabc_core::fault_model::ModelTrimmedMean;
-        use iabc_sim::model_engine::ModelSimulation;
+
         let rack =
             AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).expect("universe 7");
         let aware = ModelTrimmedMean::new(FaultModel::Structure(rack));
         let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
-        let mut sim =
-            ModelSimulation::new(&chord7, &inputs, w.fault_set.clone(), &aware, Box::new(adv))
-                .expect("valid sim");
+        let mut sim = Scenario::on(&chord7)
+            .inputs(&inputs)
+            .faults(w.fault_set.clone())
+            .adversary(Box::new(adv))
+            .model_aware(&aware)
+            .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
         pass &= out.converged && out.validity.is_valid();
         table.row([
@@ -230,14 +238,13 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             planted[v.index()] = 1.0;
         }
         let adv = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-        let mut sim = DynamicSimulation::new(
-            &schedule,
-            &planted,
-            w.fault_set.clone(),
-            &rule,
-            Box::new(adv),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(schedule.graph_at(1))
+            .inputs(&planted)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(adv))
+            .dynamic(&schedule)
+            .expect("valid sim");
         let out = sim
             .run(&SimConfig {
                 max_rounds: 120,
@@ -262,14 +269,13 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             1,
         )
         .expect("schedule");
-        let mut sim = DynamicSimulation::new(
-            &schedule,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(schedule.graph_at(1))
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+            .dynamic(&schedule)
+            .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
         pass &= out.converged && out.validity.is_valid();
         table.row([
@@ -287,14 +293,13 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
         let schedule =
             RoundRobinSchedule::new(vec![generators::chord(7, 5), generators::complete(7)], 4)
                 .expect("schedule");
-        let mut sim = DynamicSimulation::new(
-            &schedule,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(ExtremesAdversary { delta: 1e4 }),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(schedule.graph_at(1))
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 1e4 }))
+            .dynamic(&schedule)
+            .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
         pass &= out.converged && out.validity.is_valid();
         table.row([
@@ -320,14 +325,13 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             planted[v.index()] = 1.0;
         }
         let adv = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-        let mut sim = DynamicSimulation::new(
-            &schedule,
-            &planted,
-            w.fault_set.clone(),
-            &rule,
-            Box::new(adv),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(schedule.graph_at(1))
+            .inputs(&planted)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(adv))
+            .dynamic(&schedule)
+            .expect("valid sim");
         for _ in 0..40 {
             sim.step().expect("step");
         }
@@ -354,14 +358,13 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             .all(|g| g.min_in_degree() >= 2 * f);
         let inputs8 = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 0.0];
         let faults8 = NodeSet::from_indices(8, [6, 7]);
-        let mut sim = DynamicSimulation::new(
-            &schedule,
-            &inputs8,
-            faults8,
-            &rule,
-            Box::new(ExtremesAdversary { delta: 1e5 }),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(schedule.graph_at(1))
+            .inputs(&inputs8)
+            .faults(faults8)
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 1e5 }))
+            .dynamic(&schedule)
+            .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
         pass &= floor_ok && out.converged && out.validity.is_valid();
         table.row([
@@ -412,14 +415,13 @@ pub fn x12_quantized() -> ExperimentResult {
         for rounding in [Rounding::Nearest, Rounding::Floor] {
             let rule = QuantizedTrimmedMean::new(f, quantum, rounding).expect("valid quantum");
             let inputs = quantize_inputs(&raw_inputs, quantum, rounding);
-            let mut sim = Simulation::new(
-                &g,
-                &inputs,
-                faults.clone(),
-                &rule,
-                Box::new(ExtremesAdversary { delta: 1e6 }),
-            )
-            .expect("valid sim");
+            let mut sim = Scenario::on(&g)
+                .inputs(&inputs)
+                .faults(faults.clone())
+                .rule(&rule)
+                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .synchronous()
+                .expect("valid sim");
             let out = sim
                 .run(&SimConfig {
                     epsilon: quantum,
@@ -479,7 +481,12 @@ pub fn x13_vector() -> ExperimentResult {
             Box::new(ExtremesAdversary { delta: 1e6 }),
             Box::new(ExtremesAdversary { delta: 1e6 }),
         ]);
-        let mut sim = VectorSimulation::new(&g, &inputs, faults.clone(), &rule, Box::new(adv))
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs.concat())
+            .faults(faults.clone())
+            .rule(&rule)
+            .vector_adversary(Box::new(adv))
+            .vector(2)
             .expect("valid sim");
         let out = sim.run(&VectorSimConfig::default()).expect("run");
         pass &= out.converged && out.box_validity;
@@ -502,14 +509,13 @@ pub fn x13_vector() -> ExperimentResult {
                 vec![x, x]
             })
             .collect();
-        let mut sim = VectorSimulation::new(
-            &g,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(CornerPullAdversary),
-        )
-        .expect("valid sim");
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs.concat())
+            .faults(faults.clone())
+            .rule(&rule)
+            .vector_adversary(Box::new(CornerPullAdversary))
+            .vector(2)
+            .expect("valid sim");
         let out = sim.run(&VectorSimConfig::default()).expect("run");
         let v = sim.state_of(NodeId::new(0));
         let off_hull = (v[0] - v[1]).abs() > 0.5;

@@ -10,11 +10,11 @@ use iabc_core::rules::TrimmedMean;
 use iabc_core::theorem1;
 use iabc_graph::{generators, Digraph};
 use iabc_sim::adversary::SplitBrainAdversary;
-use iabc_sim::Simulation;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 const ROUNDS: usize = 200;
 const M_LOW: f64 = 0.0;
@@ -42,14 +42,13 @@ pub(super) fn freeze_case(name: &str, g: &Digraph, f: usize) -> (Vec<String>, bo
     }
     let rule = TrimmedMean::new(f);
     let adversary = SplitBrainAdversary::from_witness(&witness, M_LOW, M_HIGH, 0.5);
-    let mut sim = Simulation::new(
-        g,
-        &inputs,
-        witness.fault_set.clone(),
-        &rule,
-        Box::new(adversary),
-    )
-    .expect("valid simulation inputs");
+    let mut sim = Scenario::on(g)
+        .inputs(&inputs)
+        .faults(witness.fault_set.clone())
+        .rule(&rule)
+        .adversary(Box::new(adversary))
+        .synchronous()
+        .expect("valid simulation inputs");
     let mut frozen = true;
     for _ in 0..ROUNDS {
         if sim.step().is_err() {

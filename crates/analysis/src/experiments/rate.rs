@@ -12,7 +12,7 @@ use iabc_core::alpha::algorithm1_alpha;
 use iabc_core::rules::TrimmedMean;
 use iabc_graph::{generators, Digraph, NodeSet};
 use iabc_sim::adversary::PullAdversary;
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::SimConfig;
 
 use crate::contraction::compare_phases;
 use crate::convergence::fit_geometric_rate;
@@ -20,19 +20,19 @@ use crate::spectral::estimate_lambda2;
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 fn rate_case(name: &str, g: &Digraph, f: usize, fault_set: NodeSet) -> (Vec<String>, bool) {
     let n = g.node_count();
     let inputs: Vec<f64> = (0..n).map(|i| ((i * 23) % 11) as f64).collect();
     let rule = TrimmedMean::new(f);
-    let mut sim = Simulation::new(
-        g,
-        &inputs,
-        fault_set.clone(),
-        &rule,
-        Box::new(PullAdversary { toward_max: true }),
-    )
-    .expect("valid sim");
+    let mut sim = Scenario::on(g)
+        .inputs(&inputs)
+        .faults(fault_set.clone())
+        .rule(&rule)
+        .adversary(Box::new(PullAdversary { toward_max: true }))
+        .synchronous()
+        .expect("valid sim");
     let out = sim
         .run(&SimConfig {
             record_states: true,

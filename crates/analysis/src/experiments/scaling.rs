@@ -12,13 +12,14 @@ use iabc_core::rules::TrimmedMean;
 use iabc_core::{alpha, theorem1};
 use iabc_graph::{generators, Digraph, NodeSet};
 use iabc_sim::adversary::PolarizingAdversary;
-use iabc_sim::{run_consensus, SimConfig};
+use iabc_sim::SimConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 fn workload(name: &str, graph: Digraph, f: usize) -> (String, Digraph, usize) {
     (name.to_string(), graph, f)
@@ -72,14 +73,14 @@ pub fn x6_scaling() -> ExperimentResult {
             epsilon: 1e-6,
             max_rounds: 50_000,
         };
-        let outcome = match run_consensus(
-            &g,
-            &inputs,
-            faults,
-            &rule,
-            Box::new(PolarizingAdversary),
-            &config,
-        ) {
+        let outcome = match Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(&rule)
+            .adversary(Box::new(PolarizingAdversary))
+            .synchronous()
+            .and_then(|mut sim| sim.run(&config))
+        {
             Ok(o) => o,
             Err(e) => {
                 pass = false;
@@ -132,18 +133,20 @@ pub fn x6_scaling() -> ExperimentResult {
         let inputs: Vec<f64> = (0..10).map(|i| 100.0 * i as f64 / 9.0).collect();
         let faults = NodeSet::from_indices(10, [9]);
         let rule = TrimmedMean::new(1);
-        if let Ok(out) = run_consensus(
-            &g,
-            &inputs,
-            faults,
-            &rule,
-            Box::new(PolarizingAdversary),
-            &SimConfig {
-                record_states: false,
-                epsilon: 1e-6,
-                max_rounds: 10_000,
-            },
-        ) {
+        if let Ok(out) = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(&rule)
+            .adversary(Box::new(PolarizingAdversary))
+            .synchronous()
+            .and_then(|mut sim| {
+                sim.run(&SimConfig {
+                    record_states: false,
+                    epsilon: 1e-6,
+                    max_rounds: 10_000,
+                })
+            })
+        {
             let chart = crate::plot::log_chart(&out.trace.ranges(), 72, 10);
             artifacts.push((
                 "x6_core10_contraction.txt".to_string(),

@@ -15,11 +15,12 @@ use iabc_core::rules::TrimmedMean;
 use iabc_core::theorem1;
 use iabc_graph::{generators, Digraph, NodeSet};
 use iabc_sim::adversary::standard_roster;
-use iabc_sim::{run_consensus, SimConfig};
+use iabc_sim::SimConfig;
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 fn workloads() -> Vec<(&'static str, Digraph, usize, Vec<usize>)> {
     vec![
@@ -49,7 +50,14 @@ pub fn x9_adversary_tournament() -> ExperimentResult {
         for adversary in standard_roster((0.0, 7.0 * (n - 1) as f64)) {
             let label = adversary.name().to_string();
             let faults = NodeSet::from_indices(n, faulty.iter().copied());
-            match run_consensus(&g, &inputs, faults, &rule, adversary, &config) {
+            match Scenario::on(&g)
+                .inputs(&inputs)
+                .faults(faults)
+                .rule(&rule)
+                .adversary(adversary)
+                .synchronous()
+                .and_then(|mut sim| sim.run(&config))
+            {
                 Ok(out) => {
                     let ok = out.converged && out.validity.is_valid();
                     pass &= ok;

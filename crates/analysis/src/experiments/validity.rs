@@ -8,13 +8,14 @@
 use iabc_core::rules::TrimmedMean;
 use iabc_graph::{generators, Digraph, NodeSet};
 use iabc_sim::adversary::standard_roster;
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::SimConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::table::Table;
 
 use super::ExperimentResult;
+use iabc_sim::Scenario;
 
 const SEEDS: u64 = 5;
 const MAX_ROUNDS: usize = 200;
@@ -30,7 +31,12 @@ fn sweep_family(name: &str, g: &Digraph, f: usize, fault_set: &NodeSet) -> (Vec<
         let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
         for adversary in standard_roster((0.0, 1.0)) {
             runs += 1;
-            let mut sim = Simulation::new(g, &inputs, fault_set.clone(), &rule, adversary)
+            let mut sim = Scenario::on(g)
+                .inputs(&inputs)
+                .faults(fault_set.clone())
+                .rule(&rule)
+                .adversary(adversary)
+                .synchronous()
                 .expect("valid simulation inputs");
             let config = SimConfig {
                 record_states: false,

@@ -5,11 +5,18 @@
 //! the qualitative claims of the paper's related-work section: the Dolev
 //! rules win on complete graphs (bigger per-round contraction) but carry no
 //! guarantee off the complete topology, where Algorithm 1 keeps converging.
+//!
+//! Every contender — Algorithm 1, W-MSR, both Dolev rules — is driven
+//! through the **same** [`iabc_sim::Engine`] entrypoint:
+//! [`Faceoff::engine`] builds the rule's engine via
+//! [`iabc_sim::Scenario`], and [`Faceoff::run`] executes it with the
+//! shared [`iabc_sim::Engine::run`] driver. A baseline rule's "engine
+//! implementation" is exactly that scenario-built engine.
 
 use iabc_core::rules::UpdateRule;
 use iabc_graph::{Digraph, NodeSet};
 use iabc_sim::adversary::Adversary;
-use iabc_sim::{run_consensus, SimConfig, SimError};
+use iabc_sim::{Engine, RunConfig, Scenario, SimError, Termination};
 
 /// A single rule's result on a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,7 +25,12 @@ pub struct RuleResult {
     pub rule: &'static str,
     /// Whether the honest range reached ε within the round budget.
     pub converged: bool,
-    /// Rounds executed (equals the budget when not converged).
+    /// Why the run ended; `None` when the rule errored mid-run (e.g.
+    /// in-degree too small for its trimming) and was reported rather than
+    /// aborted.
+    pub termination: Option<Termination>,
+    /// Rounds executed (equals the budget when the cap fired; `0` when the
+    /// rule errored).
     pub rounds: usize,
     /// Final honest range `U − µ`.
     pub final_range: f64,
@@ -40,7 +52,7 @@ pub struct Faceoff<'a> {
     /// Builds a fresh adversary per contender.
     pub adversary_factory: &'a dyn Fn() -> Box<dyn Adversary>,
     /// Engine configuration (ε, round budget).
-    pub config: SimConfig,
+    pub config: RunConfig,
 }
 
 impl std::fmt::Debug for Faceoff<'_> {
@@ -55,23 +67,37 @@ impl std::fmt::Debug for Faceoff<'_> {
 }
 
 impl Faceoff<'_> {
-    /// Runs one contender.
+    /// Builds the boxed [`Engine`] that runs `rule` on this workload — the
+    /// rule's engine implementation, type-erased so heterogeneous
+    /// contenders share one code path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario/constructor validation errors.
+    pub fn engine<'b>(
+        &'b self,
+        rule: &'b dyn UpdateRule,
+    ) -> Result<Box<dyn Engine + 'b>, SimError> {
+        Scenario::on(self.graph)
+            .inputs(self.inputs)
+            .faults(self.fault_set.clone())
+            .rule(rule)
+            .adversary((self.adversary_factory)())
+            .boxed_synchronous()
+    }
+
+    /// Runs one contender through the shared [`Engine::run`] driver.
     ///
     /// # Errors
     ///
     /// Propagates engine errors (bad inputs, rule failures mid-run).
     pub fn run(&self, rule: &dyn UpdateRule) -> Result<RuleResult, SimError> {
-        let outcome = run_consensus(
-            self.graph,
-            self.inputs,
-            self.fault_set.clone(),
-            rule,
-            (self.adversary_factory)(),
-            &self.config,
-        )?;
+        let mut engine = self.engine(rule)?;
+        let outcome = engine.run(&self.config)?;
         Ok(RuleResult {
             rule: rule.name(),
             converged: outcome.converged,
+            termination: Some(outcome.termination),
             rounds: outcome.rounds,
             final_range: outcome.final_range,
             valid: outcome.validity.is_valid(),
@@ -88,6 +114,7 @@ impl Faceoff<'_> {
                 self.run(*rule).unwrap_or(RuleResult {
                     rule: rule.name(),
                     converged: false,
+                    termination: None,
                     rounds: 0,
                     final_range: f64::INFINITY,
                     valid: false,
@@ -119,7 +146,7 @@ mod tests {
             inputs: &ins,
             fault_set: faults,
             adversary_factory: &|| Box::new(ExtremesAdversary { delta: 100.0 }),
-            config: SimConfig::default(),
+            config: RunConfig::default(),
         };
         let a1 = TrimmedMean::new(2);
         let mid = DolevMidpoint::new(2);
@@ -143,7 +170,7 @@ mod tests {
             inputs: &ins,
             fault_set: faults,
             adversary_factory: &|| Box::new(ConstantAdversary { value: 50.0 }),
-            config: SimConfig::default(),
+            config: RunConfig::default(),
         };
         let a1 = faceoff.run(&TrimmedMean::new(1)).unwrap();
         let mid = faceoff.run(&DolevMidpoint::new(1)).unwrap();
@@ -157,6 +184,31 @@ mod tests {
     }
 
     #[test]
+    fn baseline_engines_step_like_any_engine() {
+        // The W-MSR and Dolev baselines are first-class `Engine`s: steppable,
+        // inspectable, and drivable by the shared driver.
+        let g = generators::complete(7);
+        let ins = inputs(7);
+        let faceoff = Faceoff {
+            graph: &g,
+            inputs: &ins,
+            fault_set: NodeSet::from_indices(7, [5, 6]),
+            adversary_factory: &|| Box::new(ExtremesAdversary { delta: 100.0 }),
+            config: RunConfig::default(),
+        };
+        let wmsr = Wmsr::new(2);
+        let dolev = DolevMidpoint::new(2);
+        for rule in [&wmsr as &dyn UpdateRule, &dolev] {
+            let mut e = faceoff.engine(rule).unwrap();
+            e.step().unwrap();
+            assert_eq!(e.round(), 1);
+            assert_eq!(e.states().len(), 7);
+            let out = e.run(&RunConfig::default()).unwrap();
+            assert_eq!(out.termination, Termination::Converged);
+        }
+    }
+
+    #[test]
     fn failing_rule_is_reported_not_fatal() {
         // Path graph: in-degree 1 < 2f, TrimmedMean(1) errors at round 1.
         let g = generators::path(4);
@@ -166,9 +218,9 @@ mod tests {
             inputs: &ins,
             fault_set: NodeSet::with_universe(4),
             adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
-            config: SimConfig {
+            config: RunConfig {
                 max_rounds: 10,
-                ..SimConfig::default()
+                ..RunConfig::default()
             },
         };
         let a1 = TrimmedMean::new(1);
@@ -176,6 +228,10 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert!(!results[0].converged);
         assert_eq!(results[0].rounds, 0);
+        assert_eq!(
+            results[0].termination, None,
+            "an errored rule must not masquerade as a capped run"
+        );
     }
 
     #[test]
@@ -187,7 +243,7 @@ mod tests {
             inputs: &ins,
             fault_set: NodeSet::with_universe(4),
             adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
-            config: SimConfig::default(),
+            config: RunConfig::default(),
         };
         let dbg = format!("{faceoff:?}");
         assert!(dbg.contains("epsilon"));

@@ -9,7 +9,8 @@ use iabc_baselines::{DolevMidpoint, DolevSelectMean, Wmsr};
 use iabc_core::rules::{TrimmedMean, UpdateRule};
 use iabc_graph::{generators, NodeSet};
 use iabc_sim::adversary::PolarizingAdversary;
-use iabc_sim::{run_consensus, SimConfig};
+use iabc_sim::Scenario;
+use iabc_sim::SimConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,15 +64,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     for (name, rule) in &rules {
         group.bench_function(*name, |b| {
             b.iter(|| {
-                let out = run_consensus(
-                    &g,
-                    &inputs,
-                    faults(),
-                    rule.as_ref(),
-                    Box::new(PolarizingAdversary),
-                    &config,
-                )
-                .expect("run succeeds");
+                let out = Scenario::on(&g)
+                    .inputs(&inputs)
+                    .faults(faults())
+                    .rule(rule.as_ref())
+                    .adversary(Box::new(PolarizingAdversary))
+                    .synchronous()
+                    .and_then(|mut sim| sim.run(&config))
+                    .expect("run succeeds");
                 black_box(out.rounds)
             })
         });

@@ -11,9 +11,9 @@ use iabc_core::quantized::{QuantizedTrimmedMean, Rounding};
 use iabc_core::rules::{TrimmedMean, UpdateRule};
 use iabc_graph::{generators, NodeSet};
 use iabc_sim::adversary::ExtremesAdversary;
-use iabc_sim::dynamic::{DynamicSimulation, RoundRobinSchedule, StaticSchedule};
+use iabc_sim::dynamic::{RoundRobinSchedule, StaticSchedule, TopologySchedule};
 use iabc_sim::vector::{CoordinateWise, VectorSimulation};
-use iabc_sim::Simulation;
+use iabc_sim::Scenario;
 
 /// Fault-model checking: the same graph under Total, a small structure,
 /// and Local — the cost spread of coverage-based checking.
@@ -61,14 +61,13 @@ fn bench_dynamic_engine(c: &mut Criterion) {
 
     group.bench_function("static_engine", |b| {
         b.iter(|| {
-            let mut sim = Simulation::new(
-                &g,
-                &inputs,
-                faults.clone(),
-                &rule,
-                Box::new(ExtremesAdversary { delta: 1e6 }),
-            )
-            .expect("sim");
+            let mut sim = Scenario::on(&g)
+                .inputs(&inputs)
+                .faults(faults.clone())
+                .rule(&rule)
+                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .synchronous()
+                .expect("sim");
             for _ in 0..30 {
                 sim.step().expect("step");
             }
@@ -79,14 +78,13 @@ fn bench_dynamic_engine(c: &mut Criterion) {
     let static_schedule = StaticSchedule::new(g.clone());
     group.bench_function("dynamic_engine/static_schedule", |b| {
         b.iter(|| {
-            let mut sim = DynamicSimulation::new(
-                &static_schedule,
-                &inputs,
-                faults.clone(),
-                &rule,
-                Box::new(ExtremesAdversary { delta: 1e6 }),
-            )
-            .expect("sim");
+            let mut sim = Scenario::on(static_schedule.graph_at(1))
+                .inputs(&inputs)
+                .faults(faults.clone())
+                .rule(&rule)
+                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .dynamic(&static_schedule)
+                .expect("sim");
             for _ in 0..30 {
                 sim.step().expect("step");
             }
@@ -101,14 +99,13 @@ fn bench_dynamic_engine(c: &mut Criterion) {
     .expect("schedule");
     group.bench_function("dynamic_engine/round_robin", |b| {
         b.iter(|| {
-            let mut sim = DynamicSimulation::new(
-                &robin,
-                &inputs,
-                faults.clone(),
-                &rule,
-                Box::new(ExtremesAdversary { delta: 1e6 }),
-            )
-            .expect("sim");
+            let mut sim = Scenario::on(robin.graph_at(1))
+                .inputs(&inputs)
+                .faults(faults.clone())
+                .rule(&rule)
+                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .dynamic(&robin)
+                .expect("sim");
             for _ in 0..30 {
                 sim.step().expect("step");
             }

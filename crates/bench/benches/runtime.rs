@@ -9,7 +9,7 @@ use iabc_core::rules::TrimmedMean;
 use iabc_graph::{generators, NodeSet};
 use iabc_runtime::{run_threaded, ConstantLiar};
 use iabc_sim::adversary::ConstantAdversary;
-use iabc_sim::Simulation;
+use iabc_sim::Scenario;
 
 fn bench_threads_vs_engine(c: &mut Criterion) {
     let rounds = 30usize;
@@ -33,14 +33,13 @@ fn bench_threads_vs_engine(c: &mut Criterion) {
         group.bench_function("engine", |b| {
             b.iter(|| {
                 let rule = TrimmedMean::new(f);
-                let mut sim = Simulation::new(
-                    &g,
-                    &inputs,
-                    faults(),
-                    &rule,
-                    Box::new(ConstantAdversary { value: 1e6 }),
-                )
-                .expect("engine run");
+                let mut sim = Scenario::on(&g)
+                    .inputs(&inputs)
+                    .faults(faults())
+                    .rule(&rule)
+                    .adversary(Box::new(ConstantAdversary { value: 1e6 }))
+                    .synchronous()
+                    .expect("engine run");
                 for _ in 0..rounds {
                     sim.step().expect("step");
                 }

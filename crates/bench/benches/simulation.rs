@@ -9,7 +9,7 @@ use iabc_bench::simulation_grid;
 use iabc_core::rules::TrimmedMean;
 use iabc_graph::NodeSet;
 use iabc_sim::adversary::{ExtremesAdversary, PullAdversary};
-use iabc_sim::Simulation;
+use iabc_sim::Scenario;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_20rounds");
@@ -21,14 +21,13 @@ fn bench_rounds(c: &mut Criterion) {
         let rule = TrimmedMean::new(w.f);
         group.bench_function(&w.name, |b| {
             b.iter(|| {
-                let mut sim = Simulation::new(
-                    &w.graph,
-                    &inputs,
-                    faults.clone(),
-                    &rule,
-                    Box::new(ExtremesAdversary { delta: 10.0 }),
-                )
-                .expect("valid sim");
+                let mut sim = Scenario::on(&w.graph)
+                    .inputs(&inputs)
+                    .faults(faults.clone())
+                    .rule(&rule)
+                    .adversary(Box::new(ExtremesAdversary { delta: 10.0 }))
+                    .synchronous()
+                    .expect("valid sim");
                 for _ in 0..20 {
                     sim.step().expect("step succeeds");
                 }
@@ -49,14 +48,13 @@ fn bench_convergence_to_eps(c: &mut Criterion) {
         let rule = TrimmedMean::new(w.f);
         group.bench_function(&w.name, |b| {
             b.iter(|| {
-                let mut sim = Simulation::new(
-                    &w.graph,
-                    &inputs,
-                    faults.clone(),
-                    &rule,
-                    Box::new(PullAdversary { toward_max: false }),
-                )
-                .expect("valid sim");
+                let mut sim = Scenario::on(&w.graph)
+                    .inputs(&inputs)
+                    .faults(faults.clone())
+                    .rule(&rule)
+                    .adversary(Box::new(PullAdversary { toward_max: false }))
+                    .synchronous()
+                    .expect("valid sim");
                 let mut rounds = 0usize;
                 while sim.honest_range() > 1e-3 && rounds < 10_000 {
                     sim.step().expect("step succeeds");

@@ -13,7 +13,7 @@ use iabc_sim::adversary::{
     ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
     RandomAdversary,
 };
-use iabc_sim::{SimConfig, Simulation};
+use iabc_sim::{RunConfig, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -162,19 +162,25 @@ pub fn generate(rest: &[String]) -> Result<String, CliError> {
     Ok(parse::to_edge_list(&g))
 }
 
-fn adversary_by_name(name: &str, seed: u64) -> Result<Box<dyn Adversary>, CliError> {
+/// Resolves an adversary name into an infallible factory (adversaries are
+/// stateful, so harnesses that run several contenders need a fresh one per
+/// run). Unknown names error here, once — the returned closure cannot fail.
+fn adversary_factory(
+    name: &str,
+    seed: u64,
+) -> Result<Box<dyn Fn() -> Box<dyn Adversary>>, CliError> {
     Ok(match name {
-        "conforming" => Box::new(ConformingAdversary),
-        "constant" => Box::new(ConstantAdversary { value: 1e9 }),
-        "random" => Box::new(RandomAdversary::new(-1e6, 1e6, seed)),
-        "extremes" => Box::new(ExtremesAdversary { delta: 1e6 }),
-        "pull-low" => Box::new(PullAdversary { toward_max: false }),
-        "pull-high" => Box::new(PullAdversary { toward_max: true }),
-        "crash" => Box::new(CrashAdversary { from_round: 2 }),
-        "flip-flop" => Box::new(FlipFlopAdversary { delta: 1e6 }),
-        "polarizing" => Box::new(PolarizingAdversary),
-        "echo" => Box::new(EchoAdversary),
-        "nan" => Box::new(NaNAdversary),
+        "conforming" => Box::new(|| Box::new(ConformingAdversary)),
+        "constant" => Box::new(|| Box::new(ConstantAdversary { value: 1e9 })),
+        "random" => Box::new(move || Box::new(RandomAdversary::new(-1e6, 1e6, seed))),
+        "extremes" => Box::new(|| Box::new(ExtremesAdversary { delta: 1e6 })),
+        "pull-low" => Box::new(|| Box::new(PullAdversary { toward_max: false })),
+        "pull-high" => Box::new(|| Box::new(PullAdversary { toward_max: true })),
+        "crash" => Box::new(|| Box::new(CrashAdversary { from_round: 2 })),
+        "flip-flop" => Box::new(|| Box::new(FlipFlopAdversary { delta: 1e6 })),
+        "polarizing" => Box::new(|| Box::new(PolarizingAdversary)),
+        "echo" => Box::new(|| Box::new(EchoAdversary)),
+        "nan" => Box::new(|| Box::new(NaNAdversary)),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown adversary {other:?} (try conforming, constant, random, extremes, \
@@ -182,6 +188,10 @@ fn adversary_by_name(name: &str, seed: u64) -> Result<Box<dyn Adversary>, CliErr
             )))
         }
     })
+}
+
+fn adversary_by_name(name: &str, seed: u64) -> Result<Box<dyn Adversary>, CliError> {
+    adversary_factory(name, seed).map(|make| make())
 }
 
 fn rule_by_name(name: &str, f: usize, args: &ParsedArgs) -> Result<Box<dyn UpdateRule>, CliError> {
@@ -267,7 +277,6 @@ fn simulate_with_structure(
     faulty: &[usize],
 ) -> Result<String, CliError> {
     use iabc_core::fault_model::ModelTrimmedMean;
-    use iabc_sim::model_engine::ModelSimulation;
 
     let n = g.node_count();
     let structure = parse_structure(spec, n)?;
@@ -284,12 +293,16 @@ fn simulate_with_structure(
         args.optional("seed")?.unwrap_or(0),
     )?;
     let rule = ModelTrimmedMean::new(model.clone());
-    let config = SimConfig {
+    let config = RunConfig {
         record_states: true,
         epsilon: args.optional("eps")?.unwrap_or(1e-6),
         max_rounds: args.optional("max-rounds")?.unwrap_or(10_000),
     };
-    let mut sim = ModelSimulation::new(g, &inputs, fault_set.clone(), &rule, adversary)
+    let mut sim = Scenario::on(g)
+        .inputs(&inputs)
+        .faults(fault_set.clone())
+        .adversary(adversary)
+        .model_aware(&rule)
         .map_err(|e| CliError::Run(e.to_string()))?;
     let out = sim.run(&config).map_err(|e| CliError::Run(e.to_string()))?;
     let mut report =
@@ -342,12 +355,17 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         args.optional("seed")?.unwrap_or(0),
     )?;
     let rule = rule_by_name(args.flag("rule").unwrap_or("trimmed-mean"), f, args)?;
-    let config = SimConfig {
+    let config = RunConfig {
         record_states: true,
         epsilon: args.optional("eps")?.unwrap_or(1e-6),
         max_rounds: args.optional("max-rounds")?.unwrap_or(10_000),
     };
-    let mut sim = Simulation::new(&g, &inputs, fault_set, rule.as_ref(), adversary)
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(fault_set)
+        .rule(rule.as_ref())
+        .adversary(adversary)
+        .synchronous()
         .map_err(|e| CliError::Run(e.to_string()))?;
     let out = sim.run(&config).map_err(|e| CliError::Run(e.to_string()))?;
 
@@ -548,7 +566,11 @@ pub fn minimal_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         }
     ));
     if args.has_flag("prune") {
-        let pruned = minimality::prune_to_minimal(&g, f).expect("probe verified satisfaction");
+        let Some(pruned) = minimality::prune_to_minimal(&g, f) else {
+            return Err(CliError::Run(
+                "pruning failed: the graph no longer satisfies the condition".into(),
+            ));
+        };
         if let Some(path) = args.flag("out") {
             if !path.is_empty() {
                 std::fs::write(path, parse::to_edge_list(&pruned))
@@ -609,8 +631,8 @@ pub fn baseline_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let fault_set = NodeSet::from_indices(n, faulty.iter().copied());
     let seed: u64 = args.optional("seed")?.unwrap_or(0);
     let adversary_name = args.flag("adversary").unwrap_or("extremes").to_string();
-    // Validate the name once so the per-rule factory below cannot fail.
-    adversary_by_name(&adversary_name, seed)?;
+    // Resolve the name once; the factory itself cannot fail afterwards.
+    let make_adversary = adversary_factory(&adversary_name, seed)?;
     let inputs: Vec<f64> = {
         let given: Vec<f64> = args.list("inputs")?;
         if given.is_empty() {
@@ -625,7 +647,7 @@ pub fn baseline_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             given
         }
     };
-    let config = SimConfig {
+    let config = RunConfig {
         record_states: false,
         epsilon: args.optional("eps")?.unwrap_or(1e-6),
         max_rounds: args.optional("max-rounds")?.unwrap_or(20_000),
@@ -634,9 +656,7 @@ pub fn baseline_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         graph: &g,
         inputs: &inputs,
         fault_set,
-        adversary_factory: &|| {
-            adversary_by_name(&adversary_name, seed).expect("name validated above")
-        },
+        adversary_factory: &*make_adversary,
         config,
     };
     let a1 = TrimmedMean::new(f);

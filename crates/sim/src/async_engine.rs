@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::trace::{Trace, ValidityReport};
+use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// Chooses per-message delays for the partially asynchronous model.
 pub trait Scheduler: std::fmt::Debug + Send {
@@ -95,21 +95,6 @@ impl Scheduler for TargetedScheduler {
             0
         }
     }
-}
-
-/// Outcome of an asynchronous run (same shape as the synchronous one).
-#[derive(Debug)]
-pub struct AsyncOutcome {
-    /// `true` iff the fault-free range reached epsilon in time.
-    pub converged: bool,
-    /// Ticks executed.
-    pub rounds: usize,
-    /// Final fault-free range.
-    pub final_range: f64,
-    /// Validity audit over the recorded trace.
-    pub validity: ValidityReport,
-    /// Recorded trace.
-    pub trace: Trace,
 }
 
 /// Partially asynchronous engine: per-edge mailboxes with delay bound `B`.
@@ -200,14 +185,7 @@ impl<'a> DelayBoundedSim<'a> {
 
     /// Current fault-free range.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
-        hi - lo
+        honest_range_of(&self.states, &self.fault_set)
     }
 
     /// Current states.
@@ -215,12 +193,22 @@ impl<'a> DelayBoundedSim<'a> {
         &self.states
     }
 
+    /// Current tick count.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The faulty set.
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
     /// One tick: send, deliver, update.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Rule`] if a rule application fails.
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let prev = self.states.clone();
         // Send phase.
@@ -278,29 +266,37 @@ impl<'a> DelayBoundedSim<'a> {
                     })?;
         }
         self.states = next;
-        Ok(())
+        Ok(StepStatus::Progressed)
     }
 
-    /// Runs to `epsilon` or `max_rounds`.
+    /// Runs via the shared [`Engine::run`] driver. The unified [`RunConfig`]
+    /// replaces the old bare `(epsilon, max_rounds)` signature and gives
+    /// asynchronous runs `record_states` too; use
+    /// [`RunConfig::bounded`] for the old shape.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`DelayBoundedSim::step`].
-    pub fn run(&mut self, epsilon: f64, max_rounds: usize) -> Result<AsyncOutcome, SimError> {
-        let mut trace = Trace::new(false);
-        trace.push(self.round, &self.states, &self.fault_set);
-        while self.honest_range() > epsilon && self.round < max_rounds {
-            self.step()?;
-            trace.push(self.round, &self.states, &self.fault_set);
-        }
-        let final_range = self.honest_range();
-        Ok(AsyncOutcome {
-            converged: final_range <= epsilon,
-            rounds: self.round,
-            final_range,
-            validity: trace.validity(1e-9),
-            trace,
-        })
+    pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
+        Engine::run(self, config)
+    }
+}
+
+impl Engine for DelayBoundedSim<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        DelayBoundedSim::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
     }
 }
 
@@ -385,30 +381,39 @@ impl<'a> WithholdingSim<'a> {
         &self.states
     }
 
+    /// Current round count.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The faulty set.
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
     /// Current fault-free range.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
-        hi - lo
+        honest_range_of(&self.states, &self.fault_set)
     }
 
     /// One round. The adversary withholds the messages of up to `f` faulty
     /// in-neighbours per node (an honest sender's message always arrives —
     /// faulty senders are the ones whose silence the algorithm must absorb).
     ///
+    /// Returns [`StepStatus::Halted`] when **every** honest node's survivor
+    /// set was empty (in-degree exactly `3f`): survivor membership depends
+    /// only on the topology and `f`, so such a configuration is frozen
+    /// forever — the executable form of the §7 threshold `|N⁻_i| ≥ 3f + 1`.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Rule`] if a node has fewer than `2f` usable
     /// values after withholding (in-degree `< 3f`).
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let prev = self.states.clone();
         let mut next = prev.clone();
+        let mut any_survivors = false;
         for i in self.graph.nodes() {
             if self.fault_set.contains(i) {
                 continue;
@@ -457,33 +462,47 @@ impl<'a> WithholdingSim<'a> {
             }
             received.sort_unstable_by(f64::total_cmp);
             let survivors = &received[self.f..received.len() - self.f];
+            any_survivors |= !survivors.is_empty();
             let weight = 1.0 / (survivors.len() as f64 + 1.0);
             next[i.index()] = weight * (prev[i.index()] + survivors.iter().sum::<f64>());
         }
         self.states = next;
-        Ok(())
+        Ok(if any_survivors {
+            StepStatus::Progressed
+        } else {
+            StepStatus::Halted
+        })
     }
 
-    /// Runs to `epsilon` or `max_rounds`.
+    /// Runs via the shared [`Engine::run`] driver. The unified [`RunConfig`]
+    /// replaces the old bare `(epsilon, max_rounds)` signature; use
+    /// [`RunConfig::bounded`] for the old shape. A frozen configuration
+    /// (every in-degree exactly `3f`) now reports
+    /// [`crate::Termination::Halted`] instead of burning the round budget.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`WithholdingSim::step`].
-    pub fn run(&mut self, epsilon: f64, max_rounds: usize) -> Result<AsyncOutcome, SimError> {
-        let mut trace = Trace::new(false);
-        trace.push(self.round, &self.states, &self.fault_set);
-        while self.honest_range() > epsilon && self.round < max_rounds {
-            self.step()?;
-            trace.push(self.round, &self.states, &self.fault_set);
-        }
-        let final_range = self.honest_range();
-        Ok(AsyncOutcome {
-            converged: final_range <= epsilon,
-            rounds: self.round,
-            final_range,
-            validity: trace.validity(1e-9),
-            trace,
-        })
+    pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
+        Engine::run(self, config)
+    }
+}
+
+impl Engine for WithholdingSim<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        WithholdingSim::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
     }
 }
 
@@ -550,7 +569,7 @@ mod tests {
                 b,
             )
             .unwrap();
-            let out = sim.run(1e-6, 5_000).unwrap();
+            let out = sim.run(&RunConfig::bounded(1e-6, 5_000)).unwrap();
             assert!(out.converged, "B={b} should still converge");
             // NOTE: with stale values U[t] may transiently exceed U[t-1]
             // (validity in the async model is w.r.t. the initial hull, not
@@ -577,7 +596,7 @@ mod tests {
                 3,
             )
             .unwrap();
-            sim.run(1e-9, 2_000).unwrap().rounds
+            sim.run(&RunConfig::bounded(1e-9, 2_000)).unwrap().rounds
         };
         assert_eq!(run(42), run(42));
     }
@@ -598,7 +617,7 @@ mod tests {
             Box::new(ConstantAdversary { value: 1e9 }),
         )
         .unwrap();
-        let out = sim.run(1e-6, 5_000).unwrap();
+        let out = sim.run(&RunConfig::bounded(1e-6, 5_000)).unwrap();
         assert!(out.converged);
         assert!(out.validity.is_valid());
 
@@ -697,7 +716,7 @@ mod tests {
                 4,
             )
             .unwrap();
-            sim.run(1e-6, 10_000).unwrap()
+            sim.run(&RunConfig::bounded(1e-6, 10_000)).unwrap()
         };
         let fast = run(Box::new(ImmediateScheduler));
         let slow = run(Box::new(TargetedScheduler {

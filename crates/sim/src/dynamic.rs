@@ -35,10 +35,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
-use crate::engine::Outcome;
 use crate::error::SimError;
-use crate::trace::Trace;
-use crate::SimConfig;
+use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A round-indexed communication topology. Rounds are 1-based, matching
 /// the engine (`graph_at(1)` is the graph used by the first iteration).
@@ -314,23 +312,24 @@ pub fn validity_floor(g: &Digraph, f: usize, fault_set: &NodeSet) -> bool {
 /// use iabc_core::rules::TrimmedMean;
 /// use iabc_graph::{generators, NodeSet};
 /// use iabc_sim::adversary::ExtremesAdversary;
-/// use iabc_sim::dynamic::{DynamicSimulation, RoundRobinSchedule};
-/// use iabc_sim::SimConfig;
+/// use iabc_sim::dynamic::RoundRobinSchedule;
+/// use iabc_sim::{RunConfig, Scenario};
 ///
 /// // Alternate every round between K7 and the core network: both satisfy
 /// // Theorem 1 for f = 2, and the run converges under attack.
+/// let base = generators::complete(7);
 /// let schedule = RoundRobinSchedule::new(
 ///     vec![generators::complete(7), generators::core_network(7, 2)],
 ///     1,
 /// )?;
-/// let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
-/// let faults = NodeSet::from_indices(7, [5, 6]);
 /// let rule = TrimmedMean::new(2);
-/// let mut sim = DynamicSimulation::new(
-///     &schedule, &inputs, faults, &rule,
-///     Box::new(ExtremesAdversary { delta: 1e6 }),
-/// )?;
-/// let out = sim.run(&SimConfig::default())?;
+/// let mut sim = Scenario::on(&base)
+///     .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0])
+///     .faults(NodeSet::from_indices(7, [5, 6]))
+///     .rule(&rule)
+///     .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+///     .dynamic(&schedule)?;
+/// let out = sim.run(&RunConfig::default())?;
 /// assert!(out.converged && out.validity.is_valid());
 /// # Ok::<(), iabc_sim::SimError>(())
 /// ```
@@ -398,16 +397,14 @@ impl<'a> DynamicSimulation<'a> {
         &self.states
     }
 
+    /// The faulty set.
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
     /// Current fault-free range `U − µ`.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
-        hi - lo
+        honest_range_of(&self.states, &self.fault_set)
     }
 
     /// Executes one synchronous iteration on this round's graph.
@@ -416,7 +413,7 @@ impl<'a> DynamicSimulation<'a> {
     ///
     /// Returns [`SimError::Rule`] if the update rule fails at some node
     /// (e.g. this round's graph starves a node below `2f` in-degree).
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let graph = self.schedule.graph_at(self.round);
         let prev = self.states.clone();
@@ -454,29 +451,35 @@ impl<'a> DynamicSimulation<'a> {
                 })?;
         }
         self.states = next;
-        Ok(())
+        Ok(StepStatus::Progressed)
     }
 
-    /// Runs until convergence or the round cap, recording a trace.
+    /// Runs via the shared [`Engine::run`] driver (convenience wrapper so
+    /// callers need not import the trait).
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`DynamicSimulation::step`].
-    pub fn run(&mut self, config: &SimConfig) -> Result<Outcome, SimError> {
-        let mut trace = Trace::new(config.record_states);
-        trace.push(self.round, &self.states, &self.fault_set);
-        while self.honest_range() > config.epsilon && self.round < config.max_rounds {
-            self.step()?;
-            trace.push(self.round, &self.states, &self.fault_set);
-        }
-        let final_range = self.honest_range();
-        Ok(Outcome {
-            converged: final_range <= config.epsilon,
-            rounds: self.round,
-            final_range,
-            validity: trace.validity(1e-9),
-            trace,
-        })
+    pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
+        Engine::run(self, config)
+    }
+}
+
+impl Engine for DynamicSimulation<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        DynamicSimulation::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
     }
 }
 
@@ -604,7 +607,7 @@ mod tests {
             Box::new(ExtremesAdversary { delta: 1e6 }),
         )
         .unwrap();
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(out.converged);
         assert!(out.validity.is_valid());
         // Consensus value inside the honest hull [0, 4].
@@ -632,7 +635,7 @@ mod tests {
             Box::new(ExtremesAdversary { delta: 1e4 }),
         )
         .unwrap();
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(out.converged, "final range {}", out.final_range);
         assert!(out.validity.is_valid());
     }
@@ -702,7 +705,7 @@ mod tests {
             sim.honest_range() >= m_cap - m,
             "must be frozen before the switch"
         );
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(out.converged, "switching to K7 must unfreeze the run");
         assert!(out.validity.is_valid());
     }
@@ -755,7 +758,7 @@ mod tests {
             Box::new(ExtremesAdversary { delta: 1e5 }),
         )
         .unwrap();
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(
             out.validity.is_valid(),
             "validity floor must protect Equation 1"

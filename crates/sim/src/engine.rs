@@ -14,71 +14,42 @@
 //! also reject non-finite input themselves, as defense in depth.
 
 use iabc_core::rules::UpdateRule;
-use iabc_graph::{Digraph, NodeId, NodeSet};
+use iabc_graph::{Digraph, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::trace::{Trace, ValidityReport};
+use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
+use crate::scenario::Scenario;
 
 /// Sentinel magnitude for sanitized non-finite Byzantine payloads. Large
 /// enough to land in the trimmed tails, small enough that partial sums stay
 /// finite.
 const SANITIZE_CLAMP: f64 = 1e100;
 
-/// Configuration for a synchronous simulation run.
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Record full per-round state vectors in the trace (costs memory).
-    pub record_states: bool,
-    /// Convergence threshold on the fault-free range `U[t] − µ[t]`.
-    pub epsilon: f64,
-    /// Hard cap on iterations.
-    pub max_rounds: usize,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            record_states: true,
-            epsilon: 1e-6,
-            max_rounds: 10_000,
-        }
-    }
-}
-
-/// Outcome of a completed run.
-#[derive(Debug)]
-pub struct Outcome {
-    /// `true` iff the fault-free range reached `epsilon` within the round cap.
-    pub converged: bool,
-    /// Rounds actually executed.
-    pub rounds: usize,
-    /// Final fault-free range `U − µ`.
-    pub final_range: f64,
-    /// Audit of the validity condition (Equation 1) over the whole run.
-    pub validity: ValidityReport,
-    /// The recorded trace.
-    pub trace: Trace,
-}
-
 /// A synchronous iterative-consensus simulation.
+///
+/// Usually built through [`Scenario`] (`Scenario::on(&g)...synchronous()`);
+/// the direct [`Simulation::new`] constructor remains for callers that
+/// already hold all the parts.
 ///
 /// # Examples
 ///
 /// ```
 /// use iabc_core::rules::TrimmedMean;
 /// use iabc_graph::{generators, NodeSet};
-/// use iabc_sim::{adversary::ConstantAdversary, SimConfig, Simulation};
+/// use iabc_sim::{adversary::ConstantAdversary, RunConfig, Scenario};
 ///
 /// // K7, f = 2: two colluding nodes shout 1e9; honest nodes still converge
 /// // inside the honest input hull.
 /// let g = generators::complete(7);
-/// let inputs = vec![0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
-/// let faults = NodeSet::from_indices(7, [5, 6]);
 /// let rule = TrimmedMean::new(2);
-/// let adv = ConstantAdversary { value: 1e9 };
-/// let mut sim = Simulation::new(&g, &inputs, faults, &rule, Box::new(adv))?;
-/// let outcome = sim.run(&SimConfig::default())?;
+/// let mut sim = Scenario::on(&g)
+///     .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0])
+///     .faults(NodeSet::from_indices(7, [5, 6]))
+///     .rule(&rule)
+///     .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+///     .synchronous()?;
+/// let outcome = sim.run(&RunConfig::default())?;
 /// assert!(outcome.converged);
 /// assert!(outcome.validity.is_valid());
 /// # Ok::<(), iabc_sim::SimError>(())
@@ -157,14 +128,7 @@ impl<'a> Simulation<'a> {
 
     /// Current fault-free range `U − µ`.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
-        hi - lo
+        honest_range_of(&self.states, &self.fault_set)
     }
 
     /// Executes one synchronous iteration.
@@ -173,7 +137,7 @@ impl<'a> Simulation<'a> {
     ///
     /// Returns [`SimError::Rule`] if the update rule fails at some node
     /// (e.g. insufficient in-degree for the configured trimming).
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let prev = self.states.clone();
         let mut next = prev.clone();
@@ -213,30 +177,35 @@ impl<'a> Simulation<'a> {
                 })?;
         }
         self.states = next;
-        Ok(())
+        Ok(StepStatus::Progressed)
     }
 
-    /// Runs until the fault-free range is `≤ config.epsilon` or
-    /// `config.max_rounds` is hit, recording a trace throughout.
+    /// Runs via the shared [`Engine::run`] driver (convenience wrapper so
+    /// callers need not import the trait).
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`Simulation::step`].
-    pub fn run(&mut self, config: &SimConfig) -> Result<Outcome, SimError> {
-        let mut trace = Trace::new(config.record_states);
-        trace.push(self.round, &self.states, &self.fault_set);
-        while self.honest_range() > config.epsilon && self.round < config.max_rounds {
-            self.step()?;
-            trace.push(self.round, &self.states, &self.fault_set);
-        }
-        let final_range = self.honest_range();
-        Ok(Outcome {
-            converged: final_range <= config.epsilon,
-            rounds: self.round,
-            final_range,
-            validity: trace.validity(1e-9),
-            trace,
-        })
+    pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
+        Engine::run(self, config)
+    }
+}
+
+impl Engine for Simulation<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        Simulation::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
     }
 }
 
@@ -251,20 +220,29 @@ pub(crate) fn sanitize(v: f64) -> f64 {
     }
 }
 
-/// Convenience one-call runner used by experiments and examples.
+/// One-call synchronous runner — a thin compatibility shim over
+/// [`Scenario`], kept so pre-unification snippets keep compiling.
+/// Deprecated in spirit (not yet attributed): prefer
+/// `Scenario::on(graph)...synchronous()?.run(config)` in new code.
 ///
 /// # Errors
 ///
-/// See [`Simulation::new`] and [`Simulation::run`].
+/// See [`Simulation::new`] and [`Engine::run`].
 pub fn run_consensus(
     graph: &Digraph,
     inputs: &[f64],
     fault_set: NodeSet,
     rule: &dyn UpdateRule,
     adversary: Box<dyn Adversary>,
-    config: &SimConfig,
+    config: &RunConfig,
 ) -> Result<Outcome, SimError> {
-    Simulation::new(graph, inputs, fault_set, rule, adversary)?.run(config)
+    Scenario::on(graph)
+        .inputs(inputs)
+        .faults(fault_set)
+        .rule(rule)
+        .adversary(adversary)
+        .synchronous()?
+        .run(config)
 }
 
 #[cfg(test)]
@@ -346,7 +324,7 @@ mod tests {
             Box::new(ConformingAdversary),
         )
         .unwrap();
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(out.converged);
         assert!(out.validity.is_valid());
         // Equal weights on a complete graph preserve the average exactly.
@@ -366,7 +344,7 @@ mod tests {
             faults,
             &rule,
             Box::new(ConstantAdversary { value: 1e9 }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged, "range left: {}", out.final_range);
@@ -392,9 +370,9 @@ mod tests {
             Box::new(ConstantAdversary { value: 1e9 }),
         )
         .unwrap();
-        let config = SimConfig {
+        let config = RunConfig {
             max_rounds: 30,
-            ..SimConfig::default()
+            ..RunConfig::default()
         };
         let out = sim.run(&config).unwrap();
         assert!(!out.validity.is_valid(), "mean rule must break validity");
@@ -414,7 +392,7 @@ mod tests {
             faults,
             &rule,
             Box::new(ExtremesAdversary { delta: 1e6 }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged);
@@ -433,7 +411,7 @@ mod tests {
             faults,
             &rule,
             Box::new(NaNAdversary),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged, "sanitization must keep the run alive");
@@ -452,7 +430,7 @@ mod tests {
             faults.clone(),
             &rule,
             Box::new(ConformingAdversary),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         let pulled = run_consensus(
@@ -461,7 +439,7 @@ mod tests {
             faults,
             &rule,
             Box::new(PullAdversary { toward_max: false }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(pulled.converged);
@@ -536,7 +514,7 @@ mod tests {
             Box::new(ConformingAdversary),
         )
         .unwrap();
-        let config = SimConfig {
+        let config = RunConfig {
             epsilon: 0.0,
             max_rounds: 7,
             record_states: false,
@@ -570,7 +548,7 @@ mod tests {
             faults,
             &rule,
             Box::new(CrashAdversary { from_round: 3 }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged);
@@ -593,7 +571,7 @@ mod tests {
                 silenced: NodeSet::from_indices(7, [0, 1]),
                 value: -1e8,
             }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged);
@@ -658,7 +636,7 @@ mod tests {
             faults,
             &rule,
             Box::new(ExtremesAdversary { delta: 100.0 }),
-            &SimConfig::default(),
+            &RunConfig::default(),
         )
         .unwrap();
         assert!(out.converged);

@@ -51,6 +51,29 @@ pub enum SimError {
         /// What was found instead.
         got: usize,
     },
+    /// A [`crate::Scenario`] terminal was invoked before a required
+    /// component was supplied.
+    ScenarioIncomplete {
+        /// The missing component (e.g. `"inputs"`, `"update rule"`).
+        what: &'static str,
+    },
+    /// A [`crate::Scenario`] terminal would have to silently discard a
+    /// component of the wrong kind (e.g. a scalar adversary set on a
+    /// vector scenario) — refused so the configured attack cannot be
+    /// dropped unnoticed.
+    ScenarioConflict {
+        /// What was set versus what the terminal needs.
+        what: &'static str,
+    },
+    /// A vector scenario's flat inputs do not factor as `nodes × dim`.
+    VectorShapeMismatch {
+        /// Flat input length supplied.
+        inputs: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Requested dimension `d`.
+        dim: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +109,20 @@ impl fmt::Display for SimError {
             }
             SimError::ScheduleMismatch { expected, got } => {
                 write!(f, "topology schedule expected {expected}, got {got}")
+            }
+            SimError::ScenarioIncomplete { what } => {
+                write!(f, "scenario is missing its {what}")
+            }
+            SimError::ScenarioConflict { what } => {
+                write!(f, "scenario component mismatch: {what}")
+            }
+            SimError::VectorShapeMismatch { inputs, nodes, dim } => {
+                write!(
+                    f,
+                    "got {inputs} flat inputs for {nodes} nodes x dimension {dim} \
+                     (expected {})",
+                    nodes * dim
+                )
             }
         }
     }

@@ -1,45 +1,73 @@
 //! Round-based simulation of iterative approximate Byzantine consensus,
 //! matching the execution model of Vaidya–Tseng–Liang (PODC 2012).
 //!
-//! * [`Simulation`] — the synchronous engine (§2.1/§2.3): per-edge
-//!   point-to-point messages, full-information colluding Byzantine nodes,
-//!   simultaneous state updates.
+//! # One builder, one trait, one outcome
+//!
+//! The paper defines a single execution loop — transmit, trim, update —
+//! and every execution model in this crate is a variation on it. The API
+//! reflects that:
+//!
+//! * [`Scenario`] collects a workload (graph, inputs, faults, rule,
+//!   adversary) once; a terminal method picks the execution model:
+//!   [`Scenario::synchronous`], [`Scenario::model_aware`],
+//!   [`Scenario::dynamic`], [`Scenario::delay_bounded`],
+//!   [`Scenario::withholding`], or [`Scenario::vector`].
+//! * Every engine implements [`Engine`]; its provided [`Engine::run`]
+//!   owns the convergence/round-cap loop, so adding a new scenario means
+//!   implementing `step()` plus three accessors — not a seventh driver.
+//! * Every run returns the same [`Outcome`], whose [`Termination`] says
+//!   *why* it ended: `Converged` (range reached `epsilon`),
+//!   `RoundCapReached` (budget exhausted), or `Halted` (the engine proved
+//!   a permanent fixpoint, e.g. §7's empty survivor sets). See
+//!   [`run`](module docs) for exact semantics.
+//!
+//! The [`run_consensus`] one-call helper is kept as a thin compatibility
+//! shim over [`Scenario`] (deprecated in spirit — prefer the builder), and
+//! [`SimConfig`] remains as an alias of [`RunConfig`].
+//!
+//! # Module map
+//!
+//! * [`scenario`] — the [`Scenario`] builder (start here).
+//! * [`run`] — [`Engine`], [`RunConfig`], [`Outcome`], [`Termination`].
 //! * [`adversary`] — pluggable attack strategies, including the exact
 //!   adversary from the proof of Theorem 1 ([`adversary::SplitBrainAdversary`]).
 //! * [`trace`] — `U[t]`, `µ[t]` recording plus the Equation 1 validity audit.
 //! * [`async_engine`] — the §7 asynchronous models: bounded-delay mailboxes
 //!   and the totally-asynchronous withhold-and-trim-`2f` algorithm.
-//! * [`dynamic`] — time-varying topologies: round-indexed graph schedules
-//!   with per-round validity and dwell-based convergence.
-//! * [`vector`] — coordinate-wise Algorithm 1 on `ℝ^d` states (box-hull
-//!   validity; the convex-hull boundary is demonstrated, not blurred).
-//! * [`model_engine`] — the engine for identity-aware rules: runs the
-//!   generalized fault model's structure-aware trimming
+//! * [`dynamic`] — time-varying topologies: round-indexed graph schedules.
+//! * [`vector`] — coordinate-wise Algorithm 1 on `ℝ^d` states.
+//! * [`model_engine`] — the engine for identity-aware rules
 //!   ([`iabc_core::fault_model::ModelTrimmedMean`]).
-//! * [`transcript`] — message-level recording and deterministic replay
-//!   verification of complete executions.
+//! * [`certified`] — Lemma 5 a-priori termination certificates.
+//! * [`transcript`] — message-level recording and deterministic replay.
 //!
 //! # Examples
 //!
 //! ```
 //! use iabc_core::rules::TrimmedMean;
 //! use iabc_graph::{generators, NodeSet};
-//! use iabc_sim::{adversary::ExtremesAdversary, run_consensus, SimConfig};
+//! use iabc_sim::adversary::ExtremesAdversary;
+//! use iabc_sim::{RunConfig, Scenario, Termination};
 //!
 //! // Core network (§6.1) with f = 1 under an extremes attack: converges,
 //! // stays valid.
 //! let g = generators::core_network(5, 1);
-//! let inputs = [10.0, 20.0, 30.0, 40.0, 0.0];
-//! let faults = NodeSet::from_indices(5, [4]);
 //! let rule = TrimmedMean::new(1);
-//! let out = run_consensus(
-//!     &g, &inputs, faults, &rule,
-//!     Box::new(ExtremesAdversary { delta: 1e3 }),
-//!     &SimConfig::default(),
-//! )?;
-//! assert!(out.converged && out.validity.is_valid());
+//! let mut sim = Scenario::on(&g)
+//!     .inputs(&[10.0, 20.0, 30.0, 40.0, 0.0])
+//!     .faults(NodeSet::from_indices(5, [4]))
+//!     .rule(&rule)
+//!     .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+//!     .synchronous()?;
+//! let out = sim.run(&RunConfig::default())?;
+//! assert_eq!(out.termination, Termination::Converged);
+//! assert!(out.validity.is_valid());
 //! # Ok::<(), iabc_sim::SimError>(())
 //! ```
+//!
+//! The same scenario drives any other execution model by swapping the
+//! terminal — e.g. `.delay_bounded(Box::new(MaxDelayScheduler), 3)` for §7
+//! partial asynchrony — and yields the same [`Outcome`] type.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -51,12 +79,16 @@ pub mod dynamic;
 mod engine;
 mod error;
 pub mod model_engine;
+pub mod run;
+pub mod scenario;
 pub mod trace;
 pub mod transcript;
 pub mod vector;
 
-pub use engine::{run_consensus, Outcome, SimConfig, Simulation};
+pub use engine::{run_consensus, Simulation};
 pub use error::SimError;
+pub use run::{Engine, Outcome, RunConfig, SimConfig, StepStatus, Termination};
+pub use scenario::Scenario;
 
 #[cfg(test)]
 mod tests {
@@ -65,8 +97,20 @@ mod tests {
     #[test]
     fn public_types_are_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<SimConfig>();
+        assert_send::<RunConfig>();
         assert_send::<SimError>();
+        assert_send::<Termination>();
         assert_send::<trace::Trace>();
+    }
+
+    #[test]
+    fn sim_config_alias_still_constructs() {
+        // External snippets write `SimConfig { .. }` and
+        // `SimConfig::default()`; both must keep compiling.
+        let c = SimConfig {
+            record_states: false,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.max_rounds, RunConfig::default().max_rounds);
     }
 }

@@ -20,10 +20,8 @@ use iabc_core::fault_model::IdentifiedRule;
 use iabc_graph::{Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
-use crate::engine::Outcome;
 use crate::error::SimError;
-use crate::trace::Trace;
-use crate::SimConfig;
+use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A synchronous simulation delivering `(sender, value)` pairs to an
 /// [`IdentifiedRule`]. Mirrors [`crate::Simulation`] otherwise.
@@ -35,7 +33,7 @@ use crate::SimConfig;
 /// use iabc_graph::{generators, NodeSet};
 /// use iabc_sim::adversary::ConstantAdversary;
 /// use iabc_sim::model_engine::ModelSimulation;
-/// use iabc_sim::SimConfig;
+/// use iabc_sim::RunConfig;
 ///
 /// // K7 where only the rack {5, 6} can fail: the structure-aware rule
 /// // trims at most the rack, and consensus survives constant lies.
@@ -47,7 +45,7 @@ use crate::SimConfig;
 /// let mut sim = ModelSimulation::new(
 ///     &g, &inputs, faults, &rule, Box::new(ConstantAdversary { value: 1e9 }),
 /// )?;
-/// let out = sim.run(&SimConfig::default())?;
+/// let out = sim.run(&RunConfig::default())?;
 /// assert!(out.converged && out.validity.is_valid());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -115,16 +113,14 @@ impl<'a> ModelSimulation<'a> {
         &self.states
     }
 
+    /// The faulty set.
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
     /// Current fault-free range `U − µ`.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
-        hi - lo
+        honest_range_of(&self.states, &self.fault_set)
     }
 
     /// Executes one synchronous iteration.
@@ -132,7 +128,7 @@ impl<'a> ModelSimulation<'a> {
     /// # Errors
     ///
     /// Returns [`SimError::Rule`] if the rule fails at some node.
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let prev = self.states.clone();
         let mut next = prev.clone();
@@ -169,29 +165,35 @@ impl<'a> ModelSimulation<'a> {
                 })?;
         }
         self.states = next;
-        Ok(())
+        Ok(StepStatus::Progressed)
     }
 
-    /// Runs until convergence or the round cap, recording a trace.
+    /// Runs via the shared [`Engine::run`] driver (convenience wrapper so
+    /// callers need not import the trait).
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`ModelSimulation::step`].
-    pub fn run(&mut self, config: &SimConfig) -> Result<Outcome, SimError> {
-        let mut trace = Trace::new(config.record_states);
-        trace.push(self.round, &self.states, &self.fault_set);
-        while self.honest_range() > config.epsilon && self.round < config.max_rounds {
-            self.step()?;
-            trace.push(self.round, &self.states, &self.fault_set);
-        }
-        let final_range = self.honest_range();
-        Ok(Outcome {
-            converged: final_range <= config.epsilon,
-            rounds: self.round,
-            final_range,
-            validity: trace.validity(1e-9),
-            trace,
-        })
+    pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
+        Engine::run(self, config)
+    }
+}
+
+impl Engine for ModelSimulation<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        ModelSimulation::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
     }
 }
 
@@ -306,7 +308,7 @@ mod tests {
         let adv = SplitBrainAdversary::from_witness(&w, m, m_cap, 0.5);
         let mut sim =
             ModelSimulation::new(&g, &inputs, w.fault_set.clone(), &aware, Box::new(adv)).unwrap();
-        let out = sim.run(&SimConfig::default()).unwrap();
+        let out = sim.run(&RunConfig::default()).unwrap();
         assert!(
             out.converged,
             "structure-aware rule must converge (range {})",
@@ -342,9 +344,9 @@ mod tests {
             )
             .unwrap();
             let out = sim
-                .run(&SimConfig {
+                .run(&RunConfig {
                     max_rounds: 200,
-                    ..SimConfig::default()
+                    ..RunConfig::default()
                 })
                 .unwrap();
             assert!(out.validity.is_valid(), "trial {trial}: validity broke");

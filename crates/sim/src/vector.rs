@@ -39,6 +39,8 @@ use iabc_graph::{Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::run::{Engine, RunConfig, StepStatus};
+use crate::trace::{ValidityReport, ValidityViolation};
 
 /// Everything a full-information vector adversary sees when choosing a
 /// message: per-coordinate state columns (`coords[k][i]` is coordinate `k`
@@ -223,6 +225,16 @@ pub struct VectorSimulation<'a> {
     /// Column-major states: `coords[k][i]`.
     coords: Vec<Vec<f64>>,
     round: usize,
+    /// Row-major flattened view (`flat[i*d + k]`) kept in sync with
+    /// `coords` for the [`Engine`] state surface.
+    flat: Vec<f64>,
+    /// `fault_set` expanded to the `n*d` flattened index space.
+    flat_faults: NodeSet,
+    /// Per-coordinate honest hulls `(µ_k, U_k)`, ratcheted each step for
+    /// the box-validity audit (per-coordinate Equation 1).
+    boxes: Vec<(f64, f64)>,
+    /// Violations of the per-coordinate audit, recorded as they happen.
+    box_violations: Vec<ValidityViolation>,
 }
 
 /// Configuration for a vector run.
@@ -294,8 +306,19 @@ impl<'a> VectorSimulation<'a> {
                 return Err(SimError::NonFiniteInput { node, value });
             }
         }
-        let coords = (0..d)
+        let coords: Vec<Vec<f64>> = (0..d)
             .map(|k| inputs.iter().map(|row| row[k]).collect())
+            .collect();
+        let flat = inputs.concat();
+        let flat_faults = NodeSet::from_indices(
+            n * d,
+            (0..n)
+                .filter(|&i| fault_set.contains(NodeId::new(i)))
+                .flat_map(|i| (i * d)..((i + 1) * d)),
+        );
+        let boxes = coords
+            .iter()
+            .map(|col| honest_extremes(col, &fault_set))
             .collect();
         Ok(VectorSimulation {
             graph,
@@ -304,7 +327,21 @@ impl<'a> VectorSimulation<'a> {
             adversary,
             coords,
             round: 0,
+            flat,
+            flat_faults,
+            boxes,
+            box_violations: Vec::new(),
         })
+    }
+
+    /// Re-derives the row-major flattened cache from `coords`.
+    fn refresh_flat(&mut self) {
+        let d = self.coords.len();
+        for (k, col) in self.coords.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                self.flat[i * d + k] = v;
+            }
+        }
     }
 
     /// Current iteration count.
@@ -327,13 +364,7 @@ impl<'a> VectorSimulation<'a> {
         self.coords
             .iter()
             .map(|col| {
-                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                for (i, &v) in col.iter().enumerate() {
-                    if !self.fault_set.contains(NodeId::new(i)) {
-                        lo = lo.min(v);
-                        hi = hi.max(v);
-                    }
-                }
+                let (lo, hi) = honest_extremes(col, &self.fault_set);
                 hi - lo
             })
             .collect()
@@ -344,7 +375,7 @@ impl<'a> VectorSimulation<'a> {
     /// # Errors
     ///
     /// Returns [`SimError::Rule`] if the update rule fails at some node.
-    pub fn step(&mut self) -> Result<(), SimError> {
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let d = self.coords.len();
         let prev = self.coords.clone();
@@ -393,59 +424,106 @@ impl<'a> VectorSimulation<'a> {
                         })?;
             }
         }
-        Ok(())
+        self.refresh_flat();
+        self.audit_boxes();
+        Ok(StepStatus::Progressed)
     }
 
-    /// Runs until every coordinate's honest range is `≤ config.epsilon` or
-    /// the round cap fires, auditing per-coordinate validity throughout.
+    /// Per-coordinate Equation 1: each coordinate's honest hull must only
+    /// shrink. Ratchets `boxes` to the current hulls and records any
+    /// expansion (beyond fp tolerance) as a violation.
+    fn audit_boxes(&mut self) {
+        const TOL: f64 = 1e-9;
+        for (k, col) in self.coords.iter().enumerate() {
+            let (lo, hi) = honest_extremes(col, &self.fault_set);
+            let (blo, bhi) = self.boxes[k];
+            if lo < blo - TOL || hi > bhi + TOL {
+                self.box_violations.push(ValidityViolation {
+                    round: self.round,
+                    description: format!(
+                        "coordinate {k}: hull [{blo:.6}, {bhi:.6}] expanded to [{lo:.6}, {hi:.6}]"
+                    ),
+                });
+            }
+            self.boxes[k] = (lo, hi);
+        }
+    }
+
+    /// Runs via the shared [`Engine::run`] driver until every
+    /// coordinate's honest range is `≤ config.epsilon` or the round cap
+    /// fires, auditing per-coordinate validity throughout.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Rule`] from [`VectorSimulation::step`].
     pub fn run(&mut self, config: &VectorSimConfig) -> Result<VectorOutcome, SimError> {
-        const TOL: f64 = 1e-9;
-        let mut boxes: Vec<(f64, f64)> = self
+        let outcome = Engine::run(
+            self,
+            &RunConfig {
+                record_states: false,
+                epsilon: config.epsilon,
+                max_rounds: config.max_rounds,
+            },
+        )?;
+        Ok(VectorOutcome {
+            converged: outcome.converged,
+            rounds: outcome.rounds,
+            final_ranges: self.honest_ranges(),
+            box_validity: outcome.validity.is_valid(),
+        })
+    }
+}
+
+/// The [`Engine`] view of a vector run: states are exposed **row-major
+/// flattened** (`states()[i*d + k]` is coordinate `k` of node `i`, with the
+/// fault set expanded to match), and `honest_range` is the **maximum
+/// per-coordinate** fault-free range — so the shared driver's convergence
+/// check means "every coordinate within epsilon". Validity comes from the
+/// engine's native **per-coordinate** box audit (via
+/// [`Engine::native_validity`]) rather than the flattened trace extremes:
+/// the union hull across coordinates cannot see one coordinate escaping
+/// its own hull while staying inside another's, the per-coordinate audit
+/// can. [`VectorSimulation::run`] reports the same audit as
+/// [`VectorOutcome::box_validity`].
+impl Engine for VectorSimulation<'_> {
+    fn step(&mut self) -> Result<StepStatus, SimError> {
+        VectorSimulation::step(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn states(&self) -> &[f64] {
+        &self.flat
+    }
+
+    // Deliberately NOT `self.fault_set`: the Engine surface indexes the
+    // flattened `n*d` state space, so the matching expanded set is returned.
+    #[allow(clippy::misnamed_getters)]
+    fn fault_set(&self) -> &NodeSet {
+        &self.flat_faults
+    }
+
+    // Scope the box audit to this run: re-baseline the hulls at the
+    // current state and drop violations recorded by earlier steps/runs,
+    // matching the run-window coverage of the trace audit.
+    fn begin_run(&mut self) {
+        self.box_violations.clear();
+        self.boxes = self
             .coords
             .iter()
-            .map(|col| {
-                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                for (i, &v) in col.iter().enumerate() {
-                    if !self.fault_set.contains(NodeId::new(i)) {
-                        lo = lo.min(v);
-                        hi = hi.max(v);
-                    }
-                }
-                (lo, hi)
-            })
+            .map(|col| honest_extremes(col, &self.fault_set))
             .collect();
-        let mut box_validity = true;
-        while self.honest_ranges().iter().any(|&r| r > config.epsilon)
-            && self.round < config.max_rounds
-        {
-            self.step()?;
-            for (k, col) in self.coords.iter().enumerate() {
-                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                for (i, &v) in col.iter().enumerate() {
-                    if !self.fault_set.contains(NodeId::new(i)) {
-                        lo = lo.min(v);
-                        hi = hi.max(v);
-                    }
-                }
-                let (blo, bhi) = boxes[k];
-                if lo < blo - TOL || hi > bhi + TOL {
-                    box_validity = false;
-                }
-                // Equation 1 per coordinate: each round is audited against
-                // the previous round's interval (monotone µ_k / U_k).
-                boxes[k] = (lo, hi);
-            }
-        }
-        let final_ranges = self.honest_ranges();
-        Ok(VectorOutcome {
-            converged: final_ranges.iter().all(|&r| r <= config.epsilon),
-            rounds: self.round,
-            final_ranges,
-            box_validity,
+    }
+
+    fn honest_range(&self) -> f64 {
+        self.honest_ranges().into_iter().fold(0.0, f64::max)
+    }
+
+    fn native_validity(&self) -> Option<ValidityReport> {
+        Some(ValidityReport {
+            violations: self.box_violations.clone(),
         })
     }
 }
@@ -453,6 +531,18 @@ impl<'a> VectorSimulation<'a> {
 /// Scalar sanitization, re-used per coordinate.
 fn sanitize(v: f64) -> f64 {
     crate::engine::sanitize(v)
+}
+
+/// `(µ, U)` of one coordinate column over fault-free nodes.
+fn honest_extremes(col: &[f64], fault_set: &NodeSet) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (i, &v) in col.iter().enumerate() {
+        if !fault_set.contains(NodeId::new(i)) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -638,6 +728,98 @@ mod tests {
         let out = sim.run(&VectorSimConfig::default()).unwrap();
         assert!(out.converged);
         assert!(out.box_validity);
+    }
+
+    #[test]
+    fn engine_validity_is_per_coordinate_not_union_hull() {
+        use iabc_core::rules::Mean;
+        // Coordinate 0's honest hull [0, 1] sits strictly inside
+        // coordinate 1's range [10, 20]. An un-trimmed Mean rule lets a
+        // constant-5 lie drag coordinate 0 outside its own hull while the
+        // union hull across coordinates never moves — so a flattened-trace
+        // audit would report valid. The engine's native per-coordinate
+        // audit must flag it.
+        let g = generators::complete(7);
+        let inputs = rows(&[
+            &[0.0, 10.0],
+            &[0.2, 12.0],
+            &[0.4, 14.0],
+            &[0.6, 16.0],
+            &[1.0, 20.0],
+            &[0.5, 15.0],
+            &[0.5, 15.0],
+        ]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = Mean::new();
+        let adv = CoordinateWise::new(vec![
+            Box::new(ConstantAdversary { value: 5.0 }),
+            Box::new(ConformingAdversary),
+        ]);
+        let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
+        let out = crate::Engine::run(&mut sim, &RunConfig::bounded(1e-6, 500)).unwrap();
+        assert!(
+            !out.validity.is_valid(),
+            "coordinate 0 escaped [0, 1]; the per-coordinate audit must see it"
+        );
+        assert!(
+            out.validity
+                .violations
+                .iter()
+                .all(|v| v.description.starts_with("coordinate 0")),
+            "only coordinate 0 was attacked: {:?}",
+            out.validity.violations
+        );
+        // The inherent VectorOutcome agrees (same audit, same engine).
+        let adv = CoordinateWise::new(vec![
+            Box::new(ConstantAdversary { value: 5.0 }),
+            Box::new(ConformingAdversary),
+        ]);
+        let mut sim = VectorSimulation::new(
+            &g,
+            &inputs,
+            NodeSet::from_indices(7, [5, 6]),
+            &rule,
+            Box::new(adv),
+        )
+        .unwrap();
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        assert!(!out.box_validity);
+    }
+
+    #[test]
+    fn box_audit_is_scoped_to_each_run() {
+        use iabc_core::rules::Mean;
+        // Warm up with steps that violate coordinate 0's hull, then run():
+        // the run must be judged on its own rounds only (the pre-refactor
+        // driver re-baselined the boxes at run start).
+        let g = generators::complete(7);
+        let inputs = rows(&[
+            &[0.0, 10.0],
+            &[0.2, 12.0],
+            &[0.4, 14.0],
+            &[0.6, 16.0],
+            &[1.0, 20.0],
+            &[0.5, 15.0],
+            &[0.5, 15.0],
+        ]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let rule = Mean::new();
+        let adv = CoordinateWise::new(vec![
+            Box::new(ConstantAdversary { value: 5.0 }),
+            Box::new(ConformingAdversary),
+        ]);
+        let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
+        for _ in 0..3 {
+            sim.step().unwrap(); // hull of coordinate 0 expands toward 5
+        }
+        let out = sim.run(&VectorSimConfig::default()).unwrap();
+        // Inside the run the states only contract toward the (new) hull,
+        // so the warmup violations must not leak into this verdict.
+        assert!(out.converged);
+        assert!(
+            out.box_validity,
+            "violations from warmup steps leaked into the run's audit"
+        );
     }
 
     #[test]

@@ -18,9 +18,8 @@ use iabc::core::async_condition;
 use iabc::core::rules::TrimmedMean;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::{ConstantAdversary, ExtremesAdversary};
-use iabc::sim::async_engine::{
-    DelayBoundedSim, MaxDelayScheduler, RandomScheduler, WithholdingSim,
-};
+use iabc::sim::async_engine::{MaxDelayScheduler, RandomScheduler};
+use iabc::sim::{RunConfig, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Bounded delay on K6 with f = 1 --------------------------------
@@ -30,26 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rule = TrimmedMean::new(1);
     println!("partially asynchronous (bounded delay), K6, f = 1:");
     for b in [1usize, 3, 6] {
-        let mut worst = DelayBoundedSim::new(
-            &g,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(ExtremesAdversary { delta: 1e3 }),
-            Box::new(MaxDelayScheduler),
-            b,
-        )?;
-        let w = worst.run(1e-6, 50_000)?;
-        let mut random = DelayBoundedSim::new(
-            &g,
-            &inputs,
-            faults.clone(),
-            &rule,
-            Box::new(ExtremesAdversary { delta: 1e3 }),
-            Box::new(RandomScheduler::new(9)),
-            b,
-        )?;
-        let r = random.run(1e-6, 50_000)?;
+        let mut worst = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+            .delay_bounded(Box::new(MaxDelayScheduler), b)?;
+        let w = worst.run(&RunConfig::bounded(1e-6, 50_000))?;
+        let mut random = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+            .delay_bounded(Box::new(RandomScheduler::new(9)), b)?;
+        let r = random.run(&RunConfig::bounded(1e-6, 50_000))?;
         println!(
             "  B = {b}: max-delay schedule -> {} ticks; random schedule -> {} ticks",
             w.rounds, r.rounds
@@ -68,14 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             inputs[i] = 0.0;
         }
         let faults = NodeSet::from_indices(n, faulty);
-        let mut sim = WithholdingSim::new(
-            &g,
-            &inputs,
-            faults,
-            f,
-            Box::new(ConstantAdversary { value: 1e9 }),
-        )?;
-        let out = sim.run(1e-6, 20_000)?;
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .withholding(f)?;
+        let out = sim.run(&RunConfig::bounded(1e-6, 20_000))?;
         println!(
             "  K{n}, f = {f}: condition {} -> converged = {} (range {:.2e} after {} rounds)",
             if cond.is_satisfied() {

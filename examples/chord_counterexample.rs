@@ -15,7 +15,8 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::{theorem1, Threshold, Witness};
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::{PullAdversary, SplitBrainAdversary};
-use iabc::sim::{SimConfig, Simulation};
+use iabc::sim::Scenario;
+use iabc::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The violated instance: f = 2, n = 7 ---------------------------
@@ -48,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let rule = TrimmedMean::new(2);
     let adv = SplitBrainAdversary::from_witness(&found, m, m_cap, 0.5);
-    let mut sim = Simulation::new(&g, &inputs, found.fault_set.clone(), &rule, Box::new(adv))?;
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(found.fault_set.clone())
+        .rule(&rule)
+        .adversary(Box::new(adv))
+        .synchronous()?;
     for _ in 0..500 {
         sim.step()?;
     }
@@ -67,14 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = [0.0, 1.0, 0.25, 0.75, 0.5];
     let faults = NodeSet::from_indices(5, [4]);
     let rule = TrimmedMean::new(1);
-    let out = Simulation::new(
-        &g,
-        &inputs,
-        faults,
-        &rule,
-        Box::new(PullAdversary { toward_max: false }),
-    )?
-    .run(&SimConfig::default())?;
+    let out = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(Box::new(PullAdversary { toward_max: false }))
+        .synchronous()?
+        .run(&SimConfig::default())?;
     println!(
         "with one stealthy Byzantine node: converged = {} in {} rounds (validity {})",
         out.converged,

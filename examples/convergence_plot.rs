@@ -19,7 +19,8 @@ use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::{
     Adversary, ConformingAdversary, ExtremesAdversary, PolarizingAdversary,
 };
-use iabc::sim::{run_consensus, SimConfig};
+use iabc::sim::Scenario;
+use iabc::sim::SimConfig;
 
 fn trace_ranges(adversary: Box<dyn Adversary>) -> (String, Vec<f64>) {
     let g = generators::core_network(9, 2);
@@ -28,19 +29,20 @@ fn trace_ranges(adversary: Box<dyn Adversary>) -> (String, Vec<f64>) {
     let faults = NodeSet::from_indices(9, [0, 4]);
     let rule = TrimmedMean::new(2);
     let name = adversary.name().to_string();
-    let out = run_consensus(
-        &g,
-        &inputs,
-        faults,
-        &rule,
-        adversary,
-        &SimConfig {
-            record_states: false,
-            epsilon: 1e-9,
-            max_rounds: 500,
-        },
-    )
-    .expect("core network run succeeds");
+    let out = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(adversary)
+        .synchronous()
+        .and_then(|mut sim| {
+            sim.run(&SimConfig {
+                record_states: false,
+                epsilon: 1e-9,
+                max_rounds: 500,
+            })
+        })
+        .expect("core network run succeeds");
     assert!(out.converged && out.validity.is_valid());
     (name, out.trace.ranges())
 }

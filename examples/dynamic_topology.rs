@@ -21,9 +21,8 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::theorem1;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::{ExtremesAdversary, SplitBrainAdversary};
-use iabc::sim::dynamic::{
-    sample_edge_drops, DynamicSimulation, SwitchOnceSchedule, TopologySchedule,
-};
+use iabc::sim::dynamic::{sample_edge_drops, SwitchOnceSchedule, TopologySchedule};
+use iabc::sim::Scenario;
 use iabc::sim::SimConfig;
 
 fn main() {
@@ -43,14 +42,13 @@ fn main() {
     }
     let rule = TrimmedMean::new(2);
     let adversary = SplitBrainAdversary::from_witness(&witness, 0.0, 1.0, 0.5);
-    let mut sim = DynamicSimulation::new(
-        &schedule,
-        &inputs,
-        witness.fault_set.clone(),
-        &rule,
-        Box::new(adversary),
-    )
-    .expect("valid simulation");
+    let mut sim = Scenario::on(schedule.graph_at(1))
+        .inputs(&inputs)
+        .faults(witness.fault_set.clone())
+        .rule(&rule)
+        .adversary(Box::new(adversary))
+        .dynamic(&schedule)
+        .expect("valid simulation");
 
     for round in 1..=40 {
         sim.step().expect("step");
@@ -95,14 +93,13 @@ fn main() {
 
     let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 0.0];
     let faults = NodeSet::from_indices(8, [6, 7]);
-    let mut sim = DynamicSimulation::new(
-        &schedule,
-        &inputs,
-        faults,
-        &rule,
-        Box::new(ExtremesAdversary { delta: 1e5 }),
-    )
-    .expect("valid simulation");
+    let mut sim = Scenario::on(schedule.graph_at(1))
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(Box::new(ExtremesAdversary { delta: 1e5 }))
+        .dynamic(&schedule)
+        .expect("valid simulation");
     let out = sim.run(&SimConfig::default()).expect("faded run");
     println!(
         "edge-fade outcome: converged = {} in {} rounds, valid = {}",

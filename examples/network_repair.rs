@@ -17,7 +17,8 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::theorem1;
 use iabc::graph::{generators, Digraph, NodeSet};
 use iabc::sim::adversary::{ExtremesAdversary, SplitBrainAdversary};
-use iabc::sim::{SimConfig, Simulation};
+use iabc::sim::Scenario;
+use iabc::sim::SimConfig;
 
 fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn std::error::Error>> {
     println!(
@@ -40,7 +41,12 @@ fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn st
         }
         let rule = TrimmedMean::new(f);
         let adv = SplitBrainAdversary::from_witness(w, 0.0, 1.0, 0.25);
-        let mut sim = Simulation::new(g, &inputs, w.fault_set.clone(), &rule, Box::new(adv))?;
+        let mut sim = Scenario::on(g)
+            .inputs(&inputs)
+            .faults(w.fault_set.clone())
+            .rule(&rule)
+            .adversary(Box::new(adv))
+            .synchronous()?;
         for _ in 0..100 {
             sim.step()?;
         }
@@ -68,14 +74,13 @@ fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn st
     let inputs: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
     let faults = NodeSet::from_indices(n, (n - f..n).collect::<Vec<_>>());
     let rule = TrimmedMean::new(f);
-    let out = Simulation::new(
-        &repair.graph,
-        &inputs,
-        faults,
-        &rule,
-        Box::new(ExtremesAdversary { delta: 1e6 }),
-    )?
-    .run(&SimConfig::default())?;
+    let out = Scenario::on(&repair.graph)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .synchronous()?
+        .run(&SimConfig::default())?;
     println!(
         "   repaired under attack: converged = {} in {} rounds (validity {})\n",
         out.converged,

@@ -17,7 +17,8 @@
 use iabc::core::quantized::{quantize_inputs, QuantizedTrimmedMean, Rounding};
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::ExtremesAdversary;
-use iabc::sim::{run_consensus, SimConfig};
+use iabc::sim::Scenario;
+use iabc::sim::SimConfig;
 
 fn main() {
     let g = generators::complete(7);
@@ -36,19 +37,20 @@ fn main() {
         for rounding in [Rounding::Nearest, Rounding::Floor] {
             let rule = QuantizedTrimmedMean::new(2, quantum, rounding).expect("positive quantum");
             let inputs = quantize_inputs(&raw_inputs, quantum, rounding);
-            let out = run_consensus(
-                &g,
-                &inputs,
-                faults.clone(),
-                &rule,
-                Box::new(ExtremesAdversary { delta: 1e6 }),
-                &SimConfig {
-                    epsilon: quantum, // the provable floor
-                    max_rounds: 2_000,
-                    record_states: false,
-                },
-            )
-            .expect("run succeeds");
+            let out = Scenario::on(&g)
+                .inputs(&inputs)
+                .faults(faults.clone())
+                .rule(&rule)
+                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .synchronous()
+                .and_then(|mut sim| {
+                    sim.run(&SimConfig {
+                        epsilon: quantum, // the provable floor
+                        max_rounds: 2_000,
+                        record_states: false,
+                    })
+                })
+                .expect("run succeeds");
             assert!(out.validity.is_valid(), "lattice validity is exact");
             assert!(
                 out.final_range <= quantum + 1e-12,

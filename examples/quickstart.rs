@@ -14,7 +14,8 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::theorem1;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::ExtremesAdversary;
-use iabc::sim::{run_consensus, SimConfig};
+use iabc::sim::Scenario;
+use iabc::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f = 2;
@@ -49,14 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = [10.0, 50.0, 30.0, 20.0, 40.0, 25.0, 35.0, 0.0, 0.0];
     let faults = NodeSet::from_indices(9, [7, 8]);
     let rule = TrimmedMean::new(f);
-    let out = run_consensus(
-        &g,
-        &inputs,
-        faults,
-        &rule,
-        Box::new(ExtremesAdversary { delta: 1e6 }),
-        &SimConfig::default(),
-    )?;
+    let out = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .synchronous()
+        .and_then(|mut sim| sim.run(&SimConfig::default()))?;
 
     println!(
         "converged: {} in {} rounds; final range {:.2e}; validity: {}",

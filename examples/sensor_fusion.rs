@@ -16,7 +16,7 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::theorem1;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::{Adversary, ConstantAdversary, PullAdversary, RandomAdversary};
-use iabc::sim::{run_consensus, SimConfig};
+use iabc::sim::{Scenario, SimConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,14 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (name, adversary) in attacks {
-        let out = run_consensus(
-            &fused,
-            &readings,
-            faults.clone(),
-            &rule,
-            adversary,
-            &SimConfig::default(),
-        )?;
+        let out = Scenario::on(&fused)
+            .inputs(&readings)
+            .faults(faults.clone())
+            .rule(&rule)
+            .adversary(adversary)
+            .synchronous()?
+            .run(&SimConfig::default())?;
         let fusedv = out.trace.last().expect("nonempty trace").states[0];
         println!(
             "attack {name:>18}: fused = {fusedv:.3} °C in {} rounds (|error| = {:.3}, validity {})",

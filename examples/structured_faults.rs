@@ -24,9 +24,8 @@ use iabc::core::fault_model::{check_model, AdversaryStructure, FaultModel, Model
 use iabc::core::rules::TrimmedMean;
 use iabc::graph::{generators, NodeSet};
 use iabc::sim::adversary::SplitBrainAdversary;
-use iabc::sim::model_engine::ModelSimulation;
+use iabc::sim::Scenario;
 use iabc::sim::SimConfig;
-use iabc::sim::Simulation;
 
 fn verdict(satisfied: bool) -> &'static str {
     if satisfied {
@@ -105,7 +104,12 @@ fn main() {
     }
     let rule = TrimmedMean::new(2);
     let adversary = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-    let mut sim = Simulation::new(&g, &inputs, w.fault_set.clone(), &rule, Box::new(adversary))
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(w.fault_set.clone())
+        .rule(&rule)
+        .adversary(Box::new(adversary))
+        .synchronous()
         .expect("valid simulation");
     for _ in 0..100 {
         sim.step().expect("step");
@@ -121,14 +125,12 @@ fn main() {
         AdversaryStructure::new(7, vec![NodeSet::from_indices(7, [5, 6])]).expect("universe 7");
     let aware = ModelTrimmedMean::new(FaultModel::Structure(rack));
     let adversary = SplitBrainAdversary::from_witness(&w, 0.0, 1.0, 0.5);
-    let mut sim = ModelSimulation::new(
-        &g,
-        &inputs,
-        w.fault_set.clone(),
-        &aware,
-        Box::new(adversary),
-    )
-    .expect("valid simulation");
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(w.fault_set.clone())
+        .adversary(Box::new(adversary))
+        .model_aware(&aware)
+        .expect("valid simulation");
     let out = sim.run(&SimConfig::default()).expect("run succeeds");
     println!(
         "  converged = {} in {} rounds, final range {:.2e}, valid = {}",

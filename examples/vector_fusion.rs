@@ -20,7 +20,8 @@
 use iabc::core::rules::TrimmedMean;
 use iabc::graph::{generators, NodeId, NodeSet};
 use iabc::sim::adversary::ExtremesAdversary;
-use iabc::sim::vector::{CoordinateWise, CornerPullAdversary, VectorSimConfig, VectorSimulation};
+use iabc::sim::vector::{CoordinateWise, CornerPullAdversary, VectorSimConfig};
+use iabc::sim::Scenario;
 
 fn main() {
     let g = generators::complete(7);
@@ -42,7 +43,12 @@ fn main() {
         Box::new(ExtremesAdversary { delta: 1e6 }),
         Box::new(ExtremesAdversary { delta: 1e6 }),
     ]);
-    let mut sim = VectorSimulation::new(&g, &inputs, faults.clone(), &rule, Box::new(adversary))
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs.concat())
+        .faults(faults.clone())
+        .rule(&rule)
+        .vector_adversary(Box::new(adversary))
+        .vector(2)
         .expect("valid simulation");
     let out = sim.run(&VectorSimConfig::default()).expect("run");
     let p = sim.state_of(NodeId::new(0));
@@ -66,9 +72,13 @@ fn main() {
             vec![x, x]
         })
         .collect();
-    let mut sim =
-        VectorSimulation::new(&g, &diagonal, faults, &rule, Box::new(CornerPullAdversary))
-            .expect("valid simulation");
+    let mut sim = Scenario::on(&g)
+        .inputs(&diagonal.concat())
+        .faults(faults)
+        .rule(&rule)
+        .vector_adversary(Box::new(CornerPullAdversary))
+        .vector(2)
+        .expect("valid simulation");
     let out = sim.run(&VectorSimConfig::default()).expect("run");
     let p = sim.state_of(NodeId::new(0));
     println!(

@@ -26,31 +26,38 @@
 //!
 //! # Quick start
 //!
-//! Check whether a network tolerates `f` Byzantine nodes, then watch
-//! Algorithm 1 do it:
+//! Check whether a network tolerates `f` Byzantine nodes, then build the
+//! workload once with [`sim::Scenario`] and run it — every execution model
+//! (synchronous, model-aware, dynamic topology, delay-bounded,
+//! withholding, vector) hangs off the same builder and returns the same
+//! [`sim::Outcome`]:
 //!
 //! ```
 //! use iabc::core::rules::TrimmedMean;
 //! use iabc::core::theorem1;
 //! use iabc::graph::{generators, NodeSet};
-//! use iabc::sim::{adversary::ExtremesAdversary, run_consensus, SimConfig};
+//! use iabc::sim::{adversary::ExtremesAdversary, RunConfig, Scenario, Termination};
 //!
 //! // A core network (paper §6.1) on 7 nodes tolerates f = 2:
 //! let g = generators::core_network(7, 2);
 //! assert!(theorem1::check(&g, 2).is_satisfied());
 //!
 //! // ... and the trimmed-mean iteration survives two colluding liars:
-//! let inputs = [10.0, 30.0, 20.0, 25.0, 15.0, 0.0, 0.0];
-//! let faults = NodeSet::from_indices(7, [5, 6]);
 //! let rule = TrimmedMean::new(2);
-//! let out = run_consensus(
-//!     &g, &inputs, faults, &rule,
-//!     Box::new(ExtremesAdversary { delta: 1e6 }),
-//!     &SimConfig::default(),
-//! )?;
-//! assert!(out.converged && out.validity.is_valid());
+//! let mut sim = Scenario::on(&g)
+//!     .inputs(&[10.0, 30.0, 20.0, 25.0, 15.0, 0.0, 0.0])
+//!     .faults(NodeSet::from_indices(7, [5, 6]))
+//!     .rule(&rule)
+//!     .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+//!     .synchronous()?;
+//! let out = sim.run(&RunConfig::default())?;
+//! assert_eq!(out.termination, Termination::Converged);
+//! assert!(out.validity.is_valid());
 //! # Ok::<(), iabc::sim::SimError>(())
 //! ```
+//!
+//! (The pre-unification one-call helper `iabc::sim::run_consensus` is kept
+//! as a compatibility shim over the builder.)
 //!
 //! See `examples/` for runnable walkthroughs of the paper's applications
 //! and `EXPERIMENTS.md` for the full reproduction record.

@@ -11,11 +11,11 @@ use iabc::core::rules::TrimmedMean;
 use iabc::core::{theorem1, Threshold, Witness};
 use iabc::graph::{generators, NodeId, NodeSet};
 use iabc::sim::adversary::{ConstantAdversary, ExtremesAdversary, SplitBrainAdversary};
-use iabc::sim::async_engine::{DelayBoundedSim, MaxDelayScheduler};
+use iabc::sim::async_engine::MaxDelayScheduler;
 use iabc::sim::dynamic::{sample_edge_drops, DynamicSimulation, SwitchOnceSchedule};
 use iabc::sim::model_engine::ModelSimulation;
 use iabc::sim::vector::{CoordinateWise, VectorSimConfig, VectorSimulation};
-use iabc::sim::{SimConfig, Simulation};
+use iabc::sim::{RunConfig, Scenario, SimConfig, Simulation};
 
 /// The §6.3 chord network operated by someone who knows the fault domain:
 /// f-total says impossible, the structure says possible, the structure-
@@ -144,17 +144,14 @@ fn quantized_rule_in_the_async_engine() {
     let raw: Vec<f64> = (0..11).map(|i| (i % 6) as f64).collect();
     let inputs = quantize_inputs(&raw, quantum, Rounding::Nearest);
     let faults = NodeSet::from_indices(11, [9, 10]);
-    let mut sim = DelayBoundedSim::new(
-        &g,
-        &inputs,
-        faults,
-        &rule,
-        Box::new(ConstantAdversary { value: 1e9 }),
-        Box::new(MaxDelayScheduler),
-        3,
-    )
-    .unwrap();
-    let out = sim.run(quantum, 5_000).unwrap();
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .rule(&rule)
+        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .delay_bounded(Box::new(MaxDelayScheduler), 3)
+        .unwrap();
+    let out = sim.run(&RunConfig::bounded(quantum, 5_000)).unwrap();
     assert!(
         out.converged,
         "async quantized run stuck at range {}",
