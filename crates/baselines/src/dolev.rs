@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use iabc_core::rules::UpdateRule;
+use iabc_core::rules::{sort_total, UpdateRule};
 use iabc_core::RuleError;
 
 fn reduced(own: f64, received: &mut [f64], f: usize) -> Result<Vec<f64>, RuleError> {
@@ -42,7 +42,7 @@ fn reduced(own: f64, received: &mut [f64], f: usize) -> Result<Vec<f64>, RuleErr
             got: multiset.len(),
         });
     }
-    multiset.sort_unstable_by(f64::total_cmp);
+    sort_total(&mut multiset);
     multiset.drain(..f);
     multiset.truncate(multiset.len() - f);
     Ok(multiset)

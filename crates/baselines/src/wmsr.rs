@@ -23,7 +23,7 @@
 
 use std::fmt;
 
-use iabc_core::rules::UpdateRule;
+use iabc_core::rules::{average_with_own, sort_total, UpdateRule};
 use iabc_core::RuleError;
 
 /// The W-MSR rule with parameter `f`.
@@ -66,15 +66,14 @@ impl UpdateRule for Wmsr {
         if let Some(&bad) = received.iter().find(|v| !v.is_finite()) {
             return Err(RuleError::NonFiniteInput { value: bad });
         }
-        received.sort_unstable_by(f64::total_cmp);
+        sort_total(received);
         // Values strictly below / strictly above the own state.
         let below = received.partition_point(|&v| v < own);
         let above = received.len() - received.partition_point(|&v| v <= own);
         let drop_low = below.min(self.f);
         let drop_high = above.min(self.f);
         let survivors = &received[drop_low..received.len() - drop_high];
-        let weight = 1.0 / (survivors.len() as f64 + 1.0);
-        Ok(weight * (own + survivors.iter().sum::<f64>()))
+        Ok(average_with_own(own, survivors))
     }
 
     fn min_weight(&self, in_degree: usize) -> Option<f64> {

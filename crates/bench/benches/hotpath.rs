@@ -1,0 +1,101 @@
+//! Bench: compiled hot-path step throughput (rounds/sec) vs the retained
+//! pre-refactor reference stepper, across the [`iabc_bench::hotpath_grid`]
+//! workloads (complete / random / kite at n ∈ {100, 1000, 5000}).
+//!
+//! Set `IABC_HOTPATH_QUICK=1` to restrict to the n ∈ {100, 1000} quick
+//! grid (the CI `perf-smoke` mode). `iabc perf` runs the same workloads
+//! and writes the machine-readable `BENCH_hotpath.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iabc_bench::{hotpath_fault_nodes, hotpath_grid, hotpath_inputs};
+use iabc_core::rules::TrimmedMean;
+use iabc_graph::NodeSet;
+use iabc_sim::adversary::ConstantAdversary;
+use iabc_sim::reference::{ReferenceStepper, ReferenceTrimmedMean};
+use iabc_sim::Simulation;
+
+fn quick() -> bool {
+    std::env::var_os("IABC_HOTPATH_QUICK").is_some()
+}
+
+fn fault_set_for(n: usize, f: usize) -> NodeSet {
+    NodeSet::from_indices(n, hotpath_fault_nodes(n, f))
+}
+
+/// Steps per timed sample: enough to amortize timer overhead, small enough
+/// that n = 5000 complete (a ~25M-edge gather + 5000 sorts per step) stays
+/// benchable.
+fn steps_for(n: usize) -> usize {
+    if n >= 5000 {
+        2
+    } else {
+        10
+    }
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_compiled");
+    group.sample_size(10);
+    for w in hotpath_grid(quick()) {
+        let n = w.graph.node_count();
+        let inputs = hotpath_inputs(n);
+        let faults = fault_set_for(n, w.f);
+        let rule = TrimmedMean::new(w.f);
+        let steps = steps_for(n);
+        let mut sim = Simulation::new(
+            &w.graph,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .expect("valid workload");
+        group.bench_function(format!("{}/f{}/{}steps", w.name, w.f, steps), |b| {
+            b.iter(|| {
+                for _ in 0..steps {
+                    sim.step().expect("step succeeds");
+                }
+                black_box(sim.honest_range())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_reference");
+    group.sample_size(10);
+    for w in hotpath_grid(quick()) {
+        let n = w.graph.node_count();
+        // The reference stepper is the pre-refactor engine: skip n = 5000
+        // outside quick mode comparisons only if it would dominate wall
+        // time — it is the baseline the speedup is measured against, so we
+        // keep it for every size the compiled bench runs.
+        let inputs = hotpath_inputs(n);
+        let faults = fault_set_for(n, w.f);
+        let rule = ReferenceTrimmedMean::new(w.f);
+        let steps = steps_for(n);
+        let mut sim = ReferenceStepper::new(
+            &w.graph,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .expect("valid workload");
+        group.bench_function(format!("{}/f{}/{}steps", w.name, w.f, steps), |b| {
+            b.iter(|| {
+                for _ in 0..steps {
+                    sim.step().expect("step succeeds");
+                }
+                black_box(sim.states()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled, bench_reference);
+criterion_main!(benches);

@@ -869,6 +869,112 @@ fn sweep_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
     Ok(sweep::effective_jobs(jobs, args.has_flag("parallel")))
 }
 
+/// `iabc perf [--quick] [--steps S] [--out FILE]` — measures the compiled
+/// synchronous engine's step throughput (rounds/sec) against the retained
+/// pre-refactor reference stepper on the [`iabc_bench::hotpath_grid`]
+/// workloads, and writes the machine-readable `BENCH_hotpath.json` so the
+/// repo accumulates a perf trajectory across commits.
+pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    use iabc_sim::reference::{ReferenceStepper, ReferenceTrimmedMean};
+    use std::time::Instant;
+
+    let quick = args.has_flag("quick");
+    let out_path = args.flag("out").unwrap_or("BENCH_hotpath.json").to_string();
+    let steps_override = args.optional::<usize>("steps")?;
+
+    let mut report = format!(
+        "hotpath throughput ({} grid): compiled engine vs pre-refactor reference\n\
+         {:<16} {:>4} {:>6} {:>14} {:>14} {:>8}\n",
+        if quick { "quick" } else { "full" },
+        "workload",
+        "f",
+        "steps",
+        "compiled/s",
+        "reference/s",
+        "speedup"
+    );
+    let mut entries = Vec::new();
+    for w in iabc_bench::hotpath_grid(quick) {
+        let n = w.graph.node_count();
+        let steps = steps_override
+            .unwrap_or(if n >= 5000 { 4 } else { 40 })
+            .max(1);
+        // Same inputs and fault placement as benches/hotpath.rs — both
+        // consumers share the iabc_bench helpers so they provably time the
+        // same workload.
+        let inputs = iabc_bench::hotpath_inputs(n);
+        let faults = NodeSet::from_indices(n, iabc_bench::hotpath_fault_nodes(n, w.f));
+
+        let rule = TrimmedMean::new(w.f);
+        let mut compiled_sim = iabc_sim::Simulation::new(
+            &w.graph,
+            &inputs,
+            faults.clone(),
+            &rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+        let time_steps = |step: &mut dyn FnMut() -> Result<(), CliError>| -> Result<f64, CliError> {
+            for _ in 0..2 {
+                step()?; // warmup
+            }
+            let start = Instant::now();
+            for _ in 0..steps {
+                step()?;
+            }
+            Ok(steps as f64 / start.elapsed().as_secs_f64().max(1e-12))
+        };
+        let compiled = time_steps(&mut || {
+            compiled_sim
+                .step()
+                .map(|_| ())
+                .map_err(|e| CliError::Run(e.to_string()))
+        })?;
+
+        let slow_rule = ReferenceTrimmedMean::new(w.f);
+        let mut reference_sim = ReferenceStepper::new(
+            &w.graph,
+            &inputs,
+            faults,
+            &slow_rule,
+            Box::new(ConstantAdversary { value: 1e9 }),
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+        let reference = time_steps(&mut || {
+            reference_sim
+                .step()
+                .map_err(|e| CliError::Run(e.to_string()))
+        })?;
+
+        let speedup = compiled / reference;
+        report.push_str(&format!(
+            "{:<16} {:>4} {:>6} {:>14.1} {:>14.1} {:>7.2}x\n",
+            w.name, w.f, steps, compiled, reference, speedup
+        ));
+        entries.push(format!(
+            "    {{\"topology\": \"{}\", \"n\": {}, \"f\": {}, \"steps\": {}, \
+             \"compiled_steps_per_sec\": {:.3}, \"reference_steps_per_sec\": {:.3}, \
+             \"speedup\": {:.3}}}",
+            w.name.split('/').next().unwrap_or(&w.name),
+            n,
+            w.f,
+            steps,
+            compiled,
+            reference,
+            speedup
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{}\",\n  \"unit\": \"steps_per_sec\",\n  \
+         \"adversary\": \"constant\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
+    report.push_str(&format!("wrote {out_path}\n"));
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1431,5 +1537,29 @@ mod tests {
         .unwrap();
         assert!(out.contains("rule = w-msr"), "{out}");
         assert!(out.contains("converged: true"), "{out}");
+    }
+
+    #[test]
+    fn perf_writes_well_formed_hotpath_json() {
+        let out_path = std::env::temp_dir().join("iabc-cli-test-BENCH_hotpath.json");
+        let out_path = out_path.to_string_lossy().into_owned();
+        // --steps 1 keeps the smoke test fast; the quick grid still covers
+        // all three topology families at n in {100, 1000}.
+        let report = run(&argv(&[
+            "perf", "--quick", "--steps", "1", "--out", &out_path,
+        ]))
+        .unwrap();
+        assert!(report.contains("speedup"), "{report}");
+        assert!(report.contains("complete/n1000"), "{report}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"bench\": \"hotpath\""), "{json}");
+        assert!(json.contains("\"mode\": \"quick\""), "{json}");
+        assert!(json.contains("\"compiled_steps_per_sec\""), "{json}");
+        assert_eq!(json.matches("\"topology\"").count(), 6, "{json}");
+        // Structurally sound: balanced braces/brackets, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
+        std::fs::remove_file(&out_path).ok();
     }
 }

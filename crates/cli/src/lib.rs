@@ -17,6 +17,7 @@
 //! iabc minimal graph.txt --f 1                  # edge-criticality probe (§6.1)
 //! iabc construct 9 --f 1                        # satisfying-by-construction graph
 //! iabc sweep experiments --parallel             # E1–E12 fanned across all cores
+//! iabc perf --quick                             # hot-path rounds/sec + BENCH_hotpath.json
 //! iabc sweep monte-carlo --n 6,8 --f 1 --jobs 4 # random-graph tolerance sweep
 //! iabc dot graph.txt --f 2                      # DOT, witness colour-coded
 //! ```
@@ -52,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "sweep" => commands::sweep_cmd(&ParsedArgs::parse(rest)?),
         "record" => commands::record_cmd(&ParsedArgs::parse(rest)?),
         "replay" => commands::replay_cmd(&ParsedArgs::parse(rest)?),
+        "perf" => commands::perf_cmd(&ParsedArgs::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{}",
@@ -105,7 +107,11 @@ pub fn usage() -> String {
        sweep census [--max-n 4 --f 0,1] [--parallel] [--jobs N]\n\
                                       exhaustive small-n census, one cell per (n,f)\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\
-       replay <file> --f N --transcript T.txt   verify a recorded run\n"
+       replay <file> --f N --transcript T.txt   verify a recorded run\n\
+       perf [--quick] [--steps S] [--out BENCH_hotpath.json]\n\
+                                      hot-path rounds/sec (compiled vs pre-refactor\n\
+                                      reference) on complete/random/kite topologies;\n\
+                                      writes the JSON perf trajectory artifact\n"
         .to_string()
 }
 

@@ -16,6 +16,162 @@ use std::fmt;
 
 use crate::error::RuleError;
 
+/// Maps IEEE-754 bit patterns to keys whose **signed** integer order equals
+/// [`f64::total_cmp`]'s total order (the standard sign-magnitude
+/// transform). The mask leaves the sign bit alone, so the transform is an
+/// involution: applying it twice restores the original bits.
+#[inline]
+const fn total_order_key(bits: u64) -> u64 {
+    bits ^ ((((bits as i64) >> 63) as u64) >> 1)
+}
+
+/// Reinterprets an `f64` slice as its raw bit patterns.
+#[inline]
+fn as_bits_mut(values: &mut [f64]) -> &mut [u64] {
+    // SAFETY: f64 and u64 have identical size and alignment, every bit
+    // pattern is valid for both, and the mutable borrow is passed through
+    // exclusively.
+    unsafe { core::slice::from_raw_parts_mut(values.as_mut_ptr().cast::<u64>(), values.len()) }
+}
+
+/// Sorts `values` into [`f64::total_cmp`] ascending order, in place.
+///
+/// This is the hot comparison loop of every trimming rule. Instead of
+/// calling `total_cmp` per comparison (two bit transforms each time), the
+/// slice is transformed to total-order keys once, sorted with a plain
+/// integer comparison, and transformed back — the result is the exact
+/// permutation `sort_unstable_by(f64::total_cmp)` produces (equal keys are
+/// bit-identical values, so unstable tie order is unobservable).
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::sort_total;
+///
+/// let mut v = [2.0, -1.0, 0.0, -0.0, 1.5];
+/// sort_total(&mut v);
+/// assert_eq!(v, [-1.0, -0.0, 0.0, 1.5, 2.0]);
+/// assert!(v[1].is_sign_negative() && !v[2].is_sign_negative());
+/// ```
+#[inline]
+pub fn sort_total(values: &mut [f64]) {
+    let bits = as_bits_mut(values);
+    for b in bits.iter_mut() {
+        *b = total_order_key(*b);
+    }
+    bits.sort_unstable_by_key(|&k| k as i64);
+    for b in bits.iter_mut() {
+        *b = total_order_key(*b);
+    }
+}
+
+/// Sorts `values` and returns the survivors after dropping the `f`
+/// smallest and `f` largest — the trim step of Algorithm 1, shared by the
+/// trimming rules and the §7 withholding engine.
+///
+/// Callers must guarantee `values.len() >= 2 * f` (the rules' public
+/// `update` surfaces validate and return
+/// [`RuleError::InsufficientValues`] first).
+#[inline]
+pub fn trimmed_survivors(values: &mut [f64], f: usize) -> &[f64] {
+    debug_assert!(values.len() >= 2 * f, "trim requires >= 2f values");
+    sort_total(values);
+    &values[f..values.len() - f]
+}
+
+/// IEEE-754 exponent mask: all-ones exponent ⇔ the value is ±∞ or NaN.
+const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+
+/// The rules' shared validated trim front-end: checks `own` and every
+/// received value finite (the received scan is **fused into the sort's
+/// key-encode pass**, so the hot path pays no separate O(n) validation
+/// walk), checks the `2f` length bound, then sorts and returns the
+/// survivors. Error precedence matches the historical rules: non-finite
+/// `own`, then non-finite received (first in delivery order), then length.
+///
+/// On the error paths `values` is left with its original contents (the
+/// key transform is an involution and is undone), so callers observe the
+/// documented "may reorder in place" contract and nothing stronger.
+///
+/// # Errors
+///
+/// [`RuleError::NonFiniteInput`] or [`RuleError::InsufficientValues`] as
+/// described above.
+#[inline]
+pub fn validated_trimmed_survivors(
+    own: f64,
+    values: &mut [f64],
+    f: usize,
+) -> Result<&[f64], RuleError> {
+    if !own.is_finite() {
+        return Err(RuleError::NonFiniteInput { value: own });
+    }
+    let bits = as_bits_mut(values);
+    let mut nonfinite = false;
+    for b in bits.iter_mut() {
+        let orig = *b;
+        nonfinite |= orig & EXP_MASK == EXP_MASK;
+        *b = total_order_key(orig);
+    }
+    if nonfinite || values.len() < 2 * f {
+        // Cold path: undo the transform, then report precisely.
+        let bits = as_bits_mut(values);
+        for b in bits.iter_mut() {
+            *b = total_order_key(*b);
+        }
+        if nonfinite {
+            let bad = values
+                .iter()
+                .copied()
+                .find(|v| !v.is_finite())
+                .expect("non-finite value was seen during encoding");
+            return Err(RuleError::NonFiniteInput { value: bad });
+        }
+        return Err(RuleError::InsufficientValues {
+            needed: 2 * f,
+            got: values.len(),
+        });
+    }
+    let bits = as_bits_mut(values);
+    bits.sort_unstable_by_key(|&k| k as i64);
+    for b in bits.iter_mut() {
+        *b = total_order_key(*b);
+    }
+    Ok(&values[f..values.len() - f])
+}
+
+/// Equal-weight average of `own` with `survivors` — the paper's
+/// `a_i = 1 / (|survivors| + 1)` combination, shared by Algorithm 1,
+/// W-MSR, and the threaded runtime. The summation order (ascending
+/// survivors, then `own` added first) is part of the bit-for-bit contract.
+#[inline]
+pub fn average_with_own(own: f64, survivors: &[f64]) -> f64 {
+    let weight = 1.0 / (survivors.len() as f64 + 1.0);
+    weight * (own + survivors.iter().sum::<f64>())
+}
+
+/// The fused trim-and-average inner loop of Algorithm 1: sort, drop `f`
+/// per side, average the survivors with `own` at equal weight. This is the
+/// *single* place the hot arithmetic lives — [`TrimmedMean`], the §7
+/// withholding engine, and the threaded runtime all call it.
+///
+/// Preconditions (checked by callers, `debug_assert`ed here): all inputs
+/// finite, `values.len() >= 2 * f`.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::trim_kernel;
+///
+/// let mut received = [0.0, 10.0, 4.0, -100.0, 6.0];
+/// // Drops -100 and 10; survivors {0, 4, 6} average with own 2.0.
+/// assert!((trim_kernel(2.0, &mut received, 1) - 3.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn trim_kernel(own: f64, values: &mut [f64], f: usize) -> f64 {
+    average_with_own(own, trimmed_survivors(values, f))
+}
+
 /// A memory-less state-update function `Z_i` (paper Section 2.3).
 ///
 /// Implementations must be deterministic and independent of iteration
@@ -88,17 +244,8 @@ impl TrimmedMean {
 
 impl UpdateRule for TrimmedMean {
     fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
-        ensure_finite(own, received)?;
-        if received.len() < 2 * self.f {
-            return Err(RuleError::InsufficientValues {
-                needed: 2 * self.f,
-                got: received.len(),
-            });
-        }
-        received.sort_unstable_by(f64::total_cmp);
-        let survivors = &received[self.f..received.len() - self.f];
-        let weight = 1.0 / (survivors.len() as f64 + 1.0);
-        Ok(weight * (own + survivors.iter().sum::<f64>()))
+        let survivors = validated_trimmed_survivors(own, received, self.f)?;
+        Ok(average_with_own(own, survivors))
     }
 
     fn min_weight(&self, in_degree: usize) -> Option<f64> {
@@ -163,15 +310,7 @@ impl TrimmedMidpoint {
 
 impl UpdateRule for TrimmedMidpoint {
     fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
-        ensure_finite(own, received)?;
-        if received.len() < 2 * self.f {
-            return Err(RuleError::InsufficientValues {
-                needed: 2 * self.f,
-                got: received.len(),
-            });
-        }
-        received.sort_unstable_by(f64::total_cmp);
-        let survivors = &received[self.f..received.len() - self.f];
+        let survivors = validated_trimmed_survivors(own, received, self.f)?;
         let lo = survivors.first().copied().unwrap_or(own).min(own);
         let hi = survivors.last().copied().unwrap_or(own).max(own);
         Ok((lo + hi) / 2.0)
@@ -216,15 +355,7 @@ impl WeightedTrimmedMean {
 
 impl UpdateRule for WeightedTrimmedMean {
     fn update(&self, own: f64, received: &mut [f64]) -> Result<f64, RuleError> {
-        ensure_finite(own, received)?;
-        if received.len() < 2 * self.f {
-            return Err(RuleError::InsufficientValues {
-                needed: 2 * self.f,
-                got: received.len(),
-            });
-        }
-        received.sort_unstable_by(f64::total_cmp);
-        let survivors = &received[self.f..received.len() - self.f];
+        let survivors = validated_trimmed_survivors(own, received, self.f)?;
         if survivors.is_empty() {
             return Ok(own);
         }
@@ -254,6 +385,62 @@ impl UpdateRule for WeightedTrimmedMean {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_total_matches_total_cmp_on_every_value_class() {
+        // NaNs (both signs, quiet/signaling payloads), infinities, zeros,
+        // subnormals, ordinary values: the keyed integer sort must land on
+        // exactly the permutation `sort_unstable_by(f64::total_cmp)` picks.
+        let tricky = [
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // signaling NaN
+            f64::from_bits(0xFFF8_0000_0000_0001),
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            f64::from_bits(1),                      // smallest subnormal
+            -f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest -subnormal
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+            3.5,
+            -2.25,
+        ];
+        let mut keyed = tricky.to_vec();
+        let mut reference = tricky.to_vec();
+        sort_total(&mut keyed);
+        reference.sort_unstable_by(f64::total_cmp);
+        let keyed_bits: Vec<u64> = keyed.iter().map(|v| v.to_bits()).collect();
+        let reference_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(keyed_bits, reference_bits);
+    }
+
+    #[test]
+    fn trim_kernel_is_bitwise_equal_to_the_inlined_formula() {
+        let inputs = [4.0, -2.0, 0.5, 3.0, 9.0, -7.25, 1e-300, 2.0];
+        let own = 1.5;
+        for f in 0..=4usize {
+            let mut a = inputs.to_vec();
+            let fast = trim_kernel(own, &mut a, f);
+            let mut b = inputs.to_vec();
+            b.sort_unstable_by(f64::total_cmp);
+            let survivors = &b[f..b.len() - f];
+            let weight = 1.0 / (survivors.len() as f64 + 1.0);
+            let slow = weight * (own + survivors.iter().sum::<f64>());
+            assert_eq!(fast.to_bits(), slow.to_bits(), "f = {f}");
+        }
+    }
+
+    #[test]
+    fn average_with_own_handles_empty_survivors() {
+        assert_eq!(average_with_own(3.25, &[]), 3.25);
+        assert!((average_with_own(1.0, &[2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
 
     #[test]
     fn trimmed_mean_matches_paper_formula() {

@@ -1,0 +1,271 @@
+//! Compiled (CSR) topology for allocation-free hot loops.
+//!
+//! The simulation engines execute the same per-round gather —
+//! "for every fault-free node, visit every in-neighbour in ascending id
+//! order" — millions of times. [`crate::Digraph`] stores adjacency as
+//! bitsets, which is the right shape for the Theorem 1 condition checker
+//! (`|N⁻(v) ∩ A|` in a few word ops) but makes the gather pay a
+//! trailing-zeros loop per edge plus a bitset membership test per sender.
+//!
+//! [`CompiledTopology`] is the execution-shaped view: the in-adjacency
+//! flattened to CSR arrays (`offsets`/`in_neighbors`, both `u32`) plus the
+//! fault set densified to a `Vec<bool>`, built **once** from a
+//! `(Digraph, NodeSet)` pair. The per-edge cost drops to one slice load and
+//! one byte load, and the layout is sequential — exactly the row gather of
+//! the matrix formulation `v[t] = M[t] v[t-1]` (Vaidya, arXiv:1203.1888).
+//!
+//! Iteration order over `in_neighbors_of` is ascending node id, matching
+//! `Digraph::in_neighbors(..).iter()` bit for bit — the engines' goldens
+//! rely on this.
+//!
+//! [`CompiledTopology::rebuild`] re-derives the CSR arrays from a new graph
+//! while reusing the allocations — the dynamic-topology engine calls it
+//! when its schedule hands out a different graph for the next round.
+
+use crate::{Digraph, NodeId, NodeSet};
+
+/// CSR view of a digraph's in-adjacency plus a dense fault flag per node.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_graph::{generators, CompiledTopology, NodeSet};
+///
+/// let g = generators::complete(4);
+/// let faults = NodeSet::from_indices(4, [3]);
+/// let t = CompiledTopology::compile(&g, &faults);
+/// assert_eq!(t.node_count(), 4);
+/// assert_eq!(t.in_neighbors_of(0), &[1, 2, 3]);
+/// assert!(t.is_faulty(3) && !t.is_faulty(0));
+/// assert_eq!(t.max_in_degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTopology {
+    n: usize,
+    /// `offsets[i]..offsets[i + 1]` indexes node `i`'s in-neighbour run.
+    offsets: Vec<u32>,
+    /// All in-neighbour ids, concatenated per node in ascending order.
+    in_neighbors: Vec<u32>,
+    /// Dense fault flags (`is_faulty[i]` ⇔ node `i` is Byzantine).
+    is_faulty: Vec<bool>,
+    /// Sub-CSR of the **faulty** in-edges: `faulty_in[i]` runs hold
+    /// `(slot, sender)` pairs, where `slot` is the position inside node
+    /// `i`'s full in-neighbour row. Lets the engines gather every
+    /// in-neighbour branchlessly and then overwrite just the faulty slots
+    /// with adversary values.
+    faulty_offsets: Vec<u32>,
+    faulty_in: Vec<(u32, u32)>,
+    max_in_degree: usize,
+}
+
+impl CompiledTopology {
+    /// Compiles `graph`'s in-adjacency and `faults` into flat arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault set universe differs from the graph's node count
+    /// or the graph has more than `u32::MAX` nodes/edges (far beyond any
+    /// supported workload).
+    pub fn compile(graph: &Digraph, faults: &NodeSet) -> Self {
+        assert_eq!(
+            faults.universe(),
+            graph.node_count(),
+            "fault set universe must match the graph"
+        );
+        let n = graph.node_count();
+        let mut compiled = CompiledTopology {
+            n,
+            offsets: Vec::with_capacity(n + 1),
+            in_neighbors: Vec::with_capacity(graph.edge_count()),
+            is_faulty: (0..n).map(|i| faults.contains(NodeId::new(i))).collect(),
+            faulty_offsets: Vec::with_capacity(n + 1),
+            faulty_in: Vec::new(),
+            max_in_degree: 0,
+        };
+        compiled.fill_csr(graph);
+        compiled
+    }
+
+    /// Re-derives the CSR arrays from `graph`, reusing the existing
+    /// allocations. The fault flags are kept — topology churn does not move
+    /// the Byzantine set (the dynamic engine's model, §2.2: `F` is fixed
+    /// for the whole execution while edges come and go).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different node count than the compiled one.
+    pub fn rebuild(&mut self, graph: &Digraph) {
+        assert_eq!(
+            graph.node_count(),
+            self.n,
+            "rebuild requires the same node universe"
+        );
+        self.offsets.clear();
+        self.in_neighbors.clear();
+        self.faulty_offsets.clear();
+        self.faulty_in.clear();
+        self.fill_csr(graph);
+    }
+
+    fn fill_csr(&mut self, graph: &Digraph) {
+        assert!(u32::try_from(self.n).is_ok(), "node count exceeds u32");
+        self.max_in_degree = 0;
+        self.offsets.push(0);
+        self.faulty_offsets.push(0);
+        for v in graph.nodes() {
+            for (slot, u) in graph.in_neighbors(v).iter().enumerate() {
+                self.in_neighbors.push(u.index() as u32);
+                if self.is_faulty[u.index()] {
+                    self.faulty_in.push((slot as u32, u.index() as u32));
+                }
+            }
+            let end = u32::try_from(self.in_neighbors.len()).expect("edge count exceeds u32");
+            self.max_in_degree = self.max_in_degree.max(graph.in_degree(v));
+            self.offsets.push(end);
+            self.faulty_offsets.push(self.faulty_in.len() as u32);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges in the compiled view.
+    pub fn edge_count(&self) -> usize {
+        self.in_neighbors.len()
+    }
+
+    /// Node `i`'s in-neighbours, ascending — the CSR row.
+    #[inline]
+    pub fn in_neighbors_of(&self, i: usize) -> &[u32] {
+        &self.in_neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// `|N⁻(i)|`.
+    #[inline]
+    pub fn in_degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Largest in-degree — the capacity bound for per-node scratch buffers.
+    pub fn max_in_degree(&self) -> usize {
+        self.max_in_degree
+    }
+
+    /// Whether node `i` is in the compiled fault set.
+    #[inline]
+    pub fn is_faulty(&self, i: usize) -> bool {
+        self.is_faulty[i]
+    }
+
+    /// Node `i`'s **faulty** in-edges as `(slot, sender)` pairs, `slot`
+    /// indexing into [`CompiledTopology::in_neighbors_of`]'s row. The
+    /// branchless-gather companion: gather the whole row, then patch these
+    /// slots with adversary values.
+    #[inline]
+    pub fn faulty_in_edges_of(&self, i: usize) -> &[(u32, u32)] {
+        &self.faulty_in[self.faulty_offsets[i] as usize..self.faulty_offsets[i + 1] as usize]
+    }
+
+    /// The raw CSR offset of node `i`'s row — stable slot arithmetic for
+    /// flattened per-edge state (e.g. the delay-bounded engine's mailbox:
+    /// the value from `i`'s `k`-th in-neighbour lives at
+    /// `in_offset(i) + k`).
+    #[inline]
+    pub fn in_offset(&self, i: usize) -> usize {
+        self.offsets[i] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn compile_matches_digraph_adjacency() {
+        let g = generators::chord(7, 5);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let t = CompiledTopology::compile(&g, &faults);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.edge_count(), g.edge_count());
+        assert_eq!(t.max_in_degree(), 5);
+        for v in g.nodes() {
+            let expect: Vec<u32> = g.in_neighbors(v).iter().map(|u| u.index() as u32).collect();
+            assert_eq!(t.in_neighbors_of(v.index()), expect.as_slice());
+            assert_eq!(t.in_degree(v.index()), g.in_degree(v));
+            assert_eq!(t.is_faulty(v.index()), faults.contains(v));
+            // The faulty sub-CSR names exactly the faulty slots of the row.
+            let expect_faulty: Vec<(u32, u32)> = expect
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| faults.contains(crate::NodeId::new(u as usize)))
+                .map(|(slot, &u)| (slot as u32, u))
+                .collect();
+            assert_eq!(t.faulty_in_edges_of(v.index()), expect_faulty.as_slice());
+        }
+    }
+
+    #[test]
+    fn in_offsets_are_contiguous() {
+        let g = generators::core_network(7, 2);
+        let t = CompiledTopology::compile(&g, &NodeSet::with_universe(7));
+        let mut expected = 0usize;
+        for i in 0..7 {
+            assert_eq!(t.in_offset(i), expected);
+            expected += t.in_degree(i);
+        }
+        assert_eq!(expected, t.edge_count());
+    }
+
+    #[test]
+    fn rebuild_reuses_and_tracks_new_topology() {
+        let dense = generators::complete(6);
+        let sparse = generators::cycle(6);
+        let mut t = CompiledTopology::compile(&dense, &NodeSet::from_indices(6, [0]));
+        assert_eq!(t.edge_count(), dense.edge_count());
+        t.rebuild(&sparse);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.max_in_degree(), 1);
+        for v in sparse.nodes() {
+            let expect: Vec<u32> = sparse
+                .in_neighbors(v)
+                .iter()
+                .map(|u| u.index() as u32)
+                .collect();
+            assert_eq!(t.in_neighbors_of(v.index()), expect.as_slice());
+        }
+        // Fault flags survive the rebuild.
+        assert!(t.is_faulty(0));
+        assert!(!t.is_faulty(1));
+        // And rebuilding back restores the dense view exactly.
+        t.rebuild(&dense);
+        assert_eq!(
+            t,
+            CompiledTopology::compile(&dense, &NodeSet::from_indices(6, [0]))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault set universe")]
+    fn mismatched_universe_panics() {
+        let g = generators::complete(3);
+        let _ = CompiledTopology::compile(&g, &NodeSet::with_universe(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "same node universe")]
+    fn rebuild_rejects_different_node_count() {
+        let mut t = CompiledTopology::compile(&generators::complete(3), &NodeSet::with_universe(3));
+        t.rebuild(&generators::complete(4));
+    }
+
+    #[test]
+    fn empty_graph_compiles() {
+        let t = CompiledTopology::compile(&Digraph::new(0), &NodeSet::with_universe(0));
+        assert_eq!(t.node_count(), 0);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.max_in_degree(), 0);
+    }
+}

@@ -9,6 +9,11 @@
 //!   AND + popcount);
 //! * [`Digraph`] — simple digraphs with bitset in/out adjacency (Section 2.1
 //!   network model: no self-loops, authenticated reliable links);
+//! * [`CompiledTopology`] — the execution-shaped CSR view (flat
+//!   `offsets`/`in_neighbors` arrays + dense fault flags) the simulation
+//!   engines compile a `(Digraph, NodeSet)` pair into once, so the
+//!   per-round gather is a sequential slice walk instead of bitset
+//!   iteration;
 //! * [`generators`] — the Section 6 families (core network, hypercube,
 //!   chord) plus synthetic workloads (circulants, de Bruijn, small-world,
 //!   preferential attachment, tournaments, trees);
@@ -34,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod algorithms;
+mod compiled;
 mod digraph;
 pub mod dot;
 mod error;
@@ -43,6 +49,7 @@ mod nodeset;
 pub mod ops;
 pub mod parse;
 
+pub use compiled::CompiledTopology;
 pub use digraph::Digraph;
 pub use error::GraphError;
 pub use nodeset::{for_each_subset_of_size, for_each_subset_sized, Iter, NodeSet};

@@ -15,7 +15,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use iabc_core::rules::{TrimmedMean, UpdateRule};
+use iabc_core::rules::trim_kernel;
 use iabc_graph::{Digraph, NodeId, NodeSet};
 
 use crate::behavior::LocalByzantine;
@@ -197,7 +197,6 @@ fn honest_node(
     ins: &[(NodeId, Receiver<Message>)],
     outs: &[(NodeId, Sender<Message>)],
 ) -> Result<f64, RuntimeError> {
-    let rule = TrimmedMean::new(f);
     let mut received = Vec::with_capacity(ins.len());
     for t in 1..=rounds {
         for (_, tx) in outs {
@@ -215,9 +214,11 @@ fn honest_node(
             debug_assert_eq!(msg.round, t, "synchronous round discipline broken");
             received.push(sanitize(msg.value));
         }
-        state = rule
-            .update(state, &mut received)
-            .map_err(|_| RuntimeError::NodeFailed { node: index })?;
+        // The kernel's preconditions were established before any thread
+        // spawned: in-degree >= 2f (checked by `run_threaded`) and every
+        // received value finite (sanitized above), so this is the exact
+        // arithmetic of `TrimmedMean::update` minus the re-validation.
+        state = trim_kernel(state, &mut received, f);
     }
     Ok(state)
 }

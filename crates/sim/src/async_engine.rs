@@ -16,8 +16,8 @@
 //!   withhold. Survivor count is `|N⁻_i| − 3f`, whence the §7 requirement
 //!   `|N⁻_i| ≥ 3f + 1` (and the `2f + 1` threshold in the async `⇒`).
 
-use iabc_core::rules::UpdateRule;
-use iabc_graph::{Digraph, NodeId, NodeSet};
+use iabc_core::rules::{trim_kernel, UpdateRule};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,20 +105,40 @@ impl Scheduler for TargetedScheduler {
 /// nodes update every tick from their mailboxes, so they always consume a
 /// value `v_j[t']` with `t' ≥ t − B` — exactly the staleness the paper's
 /// partially-asynchronous generalization permits.
+///
+/// Hot-path layout: the mailbox is one flat `Vec<f64>` addressed by the
+/// compiled topology's CSR offsets (receiver `i`'s `k`-th in-neighbour at
+/// `in_offset(i) + k`), the out-edge → mailbox-slot table is precompiled at
+/// construction (the naive engine recomputed it per sender per tick), the
+/// state vector is double-buffered, and the in-flight queue drains into a
+/// retained sibling buffer — zero steady-state allocation per tick.
 #[derive(Debug)]
 pub struct DelayBoundedSim<'a> {
     graph: &'a Digraph,
+    compiled: CompiledTopology,
     fault_set: NodeSet,
     rule: &'a dyn UpdateRule,
     adversary: Box<dyn Adversary>,
     scheduler: Box<dyn Scheduler>,
     delay_bound: usize,
     states: Vec<f64>,
-    /// mailbox[receiver][k] = freshest delivered value from the k-th
-    /// in-neighbour (by ascending node id).
-    mailbox: Vec<Vec<f64>>,
-    /// in-flight messages: (deliver_at_tick, receiver, slot, value)
-    in_flight: Vec<(usize, usize, usize, f64)>,
+    next: Vec<f64>,
+    /// Flat mailbox: `mailbox[compiled.in_offset(i) + k]` = freshest
+    /// delivered value from receiver `i`'s `k`-th in-neighbour (ascending).
+    mailbox: Vec<f64>,
+    /// Per-sender CSR of `(receiver, mailbox slot)` pairs, receivers
+    /// ascending — the send loop's precompiled slot table.
+    out_offsets: Vec<u32>,
+    out_edges: Vec<(u32, u32)>,
+    /// In-flight messages: (deliver_at_tick, mailbox slot, value), kept in
+    /// send order — when two messages for the same slot deliver on the
+    /// same tick, the later-sent (fresher) one must overwrite, so the
+    /// delivery drain relies on this ordering.
+    in_flight: Vec<(usize, u32, f64)>,
+    /// Retained drain buffer swapped with `in_flight` each tick.
+    in_flight_next: Vec<(usize, u32, f64)>,
+    /// Per-node receive scratch handed to the rule.
+    received: Vec<f64>,
     round: usize,
 }
 
@@ -159,26 +179,52 @@ impl<'a> DelayBoundedSim<'a> {
             return Err(SimError::NonFiniteInput { node, value });
         }
         assert!(delay_bound >= 1, "delay bound B must be >= 1");
-        let mailbox = graph
-            .nodes()
-            .map(|v| {
-                graph
-                    .in_neighbors(v)
+        let compiled = CompiledTopology::compile(graph, &fault_set);
+        // Mailboxes start holding the senders' initial states, flattened to
+        // the CSR layout.
+        let mut mailbox = Vec::with_capacity(compiled.edge_count());
+        for i in 0..n {
+            mailbox.extend(
+                compiled
+                    .in_neighbors_of(i)
                     .iter()
-                    .map(|j| inputs[j.index()])
-                    .collect()
-            })
-            .collect();
+                    .map(|&j| inputs[j as usize]),
+            );
+        }
+        // Precompile the per-sender (receiver, mailbox slot) table: iterate
+        // receivers ascending so each sender's bucket comes out receiver-
+        // ascending — the order the naive engine sent in.
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let base = compiled.in_offset(i);
+            for (k, &j) in compiled.in_neighbors_of(i).iter().enumerate() {
+                buckets[j as usize].push((i as u32, (base + k) as u32));
+            }
+        }
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_edges = Vec::with_capacity(compiled.edge_count());
+        out_offsets.push(0u32);
+        for bucket in buckets {
+            out_edges.extend(bucket);
+            out_offsets.push(out_edges.len() as u32);
+        }
+        let received = Vec::with_capacity(compiled.max_in_degree());
         Ok(DelayBoundedSim {
             graph,
+            compiled,
             fault_set,
             rule,
             adversary,
             scheduler,
             delay_bound,
             states: inputs.to_vec(),
+            next: inputs.to_vec(),
             mailbox,
+            out_offsets,
+            out_edges,
             in_flight: Vec::new(),
+            in_flight_next: Vec::new(),
+            received,
             round: 0,
         })
     }
@@ -210,62 +256,71 @@ impl<'a> DelayBoundedSim<'a> {
     /// Returns [`SimError::Rule`] if a rule application fails.
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
-        let prev = self.states.clone();
-        // Send phase.
-        for sender in self.graph.nodes() {
-            for (slot, receiver) in enumerate_out_slots(self.graph, sender) {
-                let value = if self.fault_set.contains(sender) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        states: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    let raw = self.adversary.message(&view, sender, receiver);
-                    if raw.is_nan() {
-                        1e100
-                    } else {
-                        raw.clamp(-1e100, 1e100)
-                    }
+        let view = AdversaryView {
+            round: self.round,
+            graph: self.graph,
+            states: &self.states,
+            fault_set: &self.fault_set,
+        };
+        // Send phase: walk the precompiled per-sender slot table.
+        for sender in 0..self.compiled.node_count() {
+            let faulty_sender = self.compiled.is_faulty(sender);
+            let edges = &self.out_edges
+                [self.out_offsets[sender] as usize..self.out_offsets[sender + 1] as usize];
+            for &(receiver, slot) in edges {
+                let value = if faulty_sender {
+                    let raw = self.adversary.message(
+                        &view,
+                        NodeId::new(sender),
+                        NodeId::new(receiver as usize),
+                    );
+                    crate::engine::sanitize(raw)
                 } else {
-                    prev[sender.index()]
+                    view.states[sender]
                 };
                 let delay = self
                     .scheduler
-                    .delay(self.round, sender, receiver, self.delay_bound)
+                    .delay(
+                        self.round,
+                        NodeId::new(sender),
+                        NodeId::new(receiver as usize),
+                        self.delay_bound,
+                    )
                     .min(self.delay_bound - 1);
-                self.in_flight
-                    .push((self.round + delay, receiver.index(), slot, value));
+                self.in_flight.push((self.round + delay, slot, value));
             }
         }
-        // Delivery phase.
+        // Delivery phase: drain in send order (same-slot ties resolve to
+        // the later-sent message, as before) into the retained buffer.
         let now = self.round;
-        let mut still_flying = Vec::with_capacity(self.in_flight.len());
-        for (at, receiver, slot, value) in self.in_flight.drain(..) {
+        for &(at, slot, value) in &self.in_flight {
             if at <= now {
-                self.mailbox[receiver][slot] = value;
+                self.mailbox[slot as usize] = value;
             } else {
-                still_flying.push((at, receiver, slot, value));
+                self.in_flight_next.push((at, slot, value));
             }
         }
-        self.in_flight = still_flying;
+        self.in_flight.clear();
+        std::mem::swap(&mut self.in_flight, &mut self.in_flight_next);
         // Update phase.
-        let mut next = prev.clone();
-        for i in self.graph.nodes() {
-            if self.fault_set.contains(i) {
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue;
             }
-            let mut received = self.mailbox[i.index()].clone();
-            next[i.index()] =
-                self.rule
-                    .update(prev[i.index()], &mut received)
-                    .map_err(|source| SimError::Rule {
-                        node: i.index(),
-                        round: self.round,
-                        source,
-                    })?;
+            let base = self.compiled.in_offset(i);
+            self.received.clear();
+            self.received
+                .extend_from_slice(&self.mailbox[base..base + self.compiled.in_degree(i)]);
+            self.next[i] = self
+                .rule
+                .update(view.states[i], &mut self.received)
+                .map_err(|source| SimError::Rule {
+                    node: i,
+                    round: self.round,
+                    source,
+                })?;
         }
-        self.states = next;
+        std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }
 
@@ -300,23 +355,6 @@ impl Engine for DelayBoundedSim<'_> {
     }
 }
 
-/// Stable slot numbering of `sender`'s position in each receiver's mailbox:
-/// receiver mailboxes are ordered by ascending in-neighbour id.
-fn enumerate_out_slots(graph: &Digraph, sender: NodeId) -> Vec<(usize, NodeId)> {
-    graph
-        .out_neighbors(sender)
-        .iter()
-        .map(|receiver| {
-            let slot = graph
-                .in_neighbors(receiver)
-                .iter()
-                .position(|j| j == sender)
-                .expect("sender is an in-neighbour of its out-neighbour");
-            (slot, receiver)
-        })
-        .collect()
-}
-
 /// Totally asynchronous trim-`2f` engine: each round the adversary withholds
 /// up to `f` in-neighbour messages per honest node (modelling unbounded
 /// delay on faulty senders); the node trims `f` low + `f` high from the
@@ -327,10 +365,13 @@ fn enumerate_out_slots(graph: &Digraph, sender: NodeId) -> Vec<(usize, NodeId)> 
 #[derive(Debug)]
 pub struct WithholdingSim<'a> {
     graph: &'a Digraph,
+    compiled: CompiledTopology,
     fault_set: NodeSet,
     f: usize,
     adversary: Box<dyn Adversary>,
     states: Vec<f64>,
+    next: Vec<f64>,
+    received: Vec<f64>,
     round: usize,
 }
 
@@ -366,12 +407,17 @@ impl<'a> WithholdingSim<'a> {
         if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             return Err(SimError::NonFiniteInput { node, value });
         }
+        let compiled = CompiledTopology::compile(graph, &fault_set);
+        let received = Vec::with_capacity(compiled.max_in_degree());
         Ok(WithholdingSim {
             graph,
+            compiled,
             fault_set,
             f,
             adversary,
             states: inputs.to_vec(),
+            next: inputs.to_vec(),
+            received,
             round: 0,
         })
     }
@@ -411,62 +457,56 @@ impl<'a> WithholdingSim<'a> {
     /// values after withholding (in-degree `< 3f`).
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
-        let prev = self.states.clone();
-        let mut next = prev.clone();
+        let view = AdversaryView {
+            round: self.round,
+            graph: self.graph,
+            states: &self.states,
+            fault_set: &self.fault_set,
+        };
         let mut any_survivors = false;
-        for i in self.graph.nodes() {
-            if self.fault_set.contains(i) {
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue;
             }
             // Withhold: drop messages from up to f faulty in-neighbours.
-            let mut received = Vec::new();
+            self.received.clear();
             let mut withheld = 0usize;
-            for j in self.graph.in_neighbors(i).iter() {
-                if self.fault_set.contains(j) && withheld < self.f {
-                    withheld += 1;
-                    continue;
+            for &j in self.compiled.in_neighbors_of(i) {
+                let j = j as usize;
+                if self.compiled.is_faulty(j) {
+                    if withheld < self.f {
+                        withheld += 1;
+                        continue;
+                    }
+                    let raw = self
+                        .adversary
+                        .message(&view, NodeId::new(j), NodeId::new(i));
+                    self.received.push(crate::engine::sanitize(raw));
+                } else {
+                    self.received.push(crate::engine::sanitize(view.states[j]));
                 }
-                let raw = if self.fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        states: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    self.adversary.message(&view, j, i)
-                } else {
-                    prev[j.index()]
-                };
-                received.push(if raw.is_nan() {
-                    1e100
-                } else {
-                    raw.clamp(-1e100, 1e100)
-                });
             }
             // Pessimism: if fewer than f faulty in-neighbours exist, the
             // scheduler can still delay honest messages; drop the remainder
             // from the *largest-id* honest senders to keep determinism.
-            while withheld < self.f && !received.is_empty() {
-                received.pop();
+            while withheld < self.f && !self.received.is_empty() {
+                self.received.pop();
                 withheld += 1;
             }
-            if received.len() < 2 * self.f {
+            if self.received.len() < 2 * self.f {
                 return Err(SimError::Rule {
-                    node: i.index(),
+                    node: i,
                     round: self.round,
                     source: iabc_core::RuleError::InsufficientValues {
                         needed: 2 * self.f,
-                        got: received.len(),
+                        got: self.received.len(),
                     },
                 });
             }
-            received.sort_unstable_by(f64::total_cmp);
-            let survivors = &received[self.f..received.len() - self.f];
-            any_survivors |= !survivors.is_empty();
-            let weight = 1.0 / (survivors.len() as f64 + 1.0);
-            next[i.index()] = weight * (prev[i.index()] + survivors.iter().sum::<f64>());
+            any_survivors |= self.received.len() > 2 * self.f;
+            self.next[i] = trim_kernel(view.states[i], &mut self.received, self.f);
         }
-        self.states = next;
+        std::mem::swap(&mut self.states, &mut self.next);
         Ok(if any_survivors {
             StepStatus::Progressed
         } else {

@@ -30,7 +30,7 @@
 use std::fmt;
 
 use iabc_core::rules::UpdateRule;
-use iabc_graph::{Digraph, NodeId, NodeSet};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -306,6 +306,14 @@ pub fn validity_floor(g: &Digraph, f: usize, fault_set: &NodeSet) -> bool {
 /// [`crate::Simulation`] exactly, but each round's sends and receives use
 /// the schedule's graph for that round.
 ///
+/// The engine keeps one [`CompiledTopology`] and **rebuilds it in place**
+/// (reusing its allocations) only when the schedule hands out a different
+/// graph than the previous round — detected by reference address, which is
+/// stable because [`TopologySchedule::graph_at`] returns references into
+/// the schedule itself. A schedule that dwells on a graph therefore pays
+/// zero recompilation inside the dwell window, and the per-round loop is
+/// the same double-buffered, allocation-free gather as the static engine.
+///
 /// # Examples
 ///
 /// ```
@@ -340,8 +348,13 @@ pub struct DynamicSimulation<'a> {
     rule: &'a dyn UpdateRule,
     adversary: Box<dyn Adversary>,
     states: Vec<f64>,
+    next: Vec<f64>,
     round: usize,
     scratch: Vec<f64>,
+    compiled: CompiledTopology,
+    /// Address of the schedule graph `compiled` was built from (stable for
+    /// the schedule's lifetime; used to skip redundant rebuilds).
+    compiled_for: usize,
 }
 
 impl<'a> DynamicSimulation<'a> {
@@ -376,14 +389,20 @@ impl<'a> DynamicSimulation<'a> {
         if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             return Err(SimError::NonFiniteInput { node, value });
         }
+        let first = schedule.graph_at(1);
+        let compiled = CompiledTopology::compile(first, &fault_set);
+        let scratch = Vec::with_capacity(compiled.max_in_degree());
         Ok(DynamicSimulation {
             schedule,
             fault_set,
             rule,
             adversary,
             states: inputs.to_vec(),
+            next: inputs.to_vec(),
             round: 0,
-            scratch: Vec::with_capacity(n),
+            scratch,
+            compiled,
+            compiled_for: first as *const Digraph as usize,
         })
     }
 
@@ -416,41 +435,55 @@ impl<'a> DynamicSimulation<'a> {
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let graph = self.schedule.graph_at(self.round);
-        let prev = self.states.clone();
-        let mut next = prev.clone();
-        for i in graph.nodes() {
-            if self.fault_set.contains(i) {
+        let addr = graph as *const Digraph as usize;
+        if addr != self.compiled_for {
+            self.compiled.rebuild(graph);
+            self.compiled_for = addr;
+            // `reserve` is relative to `len`, so clear first to guarantee
+            // capacity >= the new max in-degree (keeps the gather below
+            // allocation-free even when the schedule grows denser).
+            self.scratch.clear();
+            self.scratch.reserve(self.compiled.max_in_degree());
+        }
+        let view = AdversaryView {
+            round: self.round,
+            graph,
+            states: &self.states,
+            fault_set: &self.fault_set,
+        };
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue;
             }
             self.scratch.clear();
-            for j in graph.in_neighbors(i).iter() {
-                let raw = if self.fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph,
-                        states: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    if self.adversary.omits(&view, j, i) {
-                        prev[i.index()]
-                    } else {
-                        self.adversary.message(&view, j, i)
-                    }
+            self.scratch.extend(
+                self.compiled
+                    .in_neighbors_of(i)
+                    .iter()
+                    .map(|&j| crate::engine::sanitize(view.states[j as usize])),
+            );
+            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
+                let raw = if self
+                    .adversary
+                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
+                {
+                    view.states[i]
                 } else {
-                    prev[j.index()]
+                    self.adversary
+                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
                 };
-                self.scratch.push(crate::engine::sanitize(raw));
+                self.scratch[slot as usize] = crate::engine::sanitize(raw);
             }
-            next[i.index()] = self
+            self.next[i] = self
                 .rule
-                .update(prev[i.index()], &mut self.scratch)
+                .update(view.states[i], &mut self.scratch)
                 .map_err(|source| SimError::Rule {
-                    node: i.index(),
+                    node: i,
                     round: self.round,
                     source,
                 })?;
         }
-        self.states = next;
+        std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }
 

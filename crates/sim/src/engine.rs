@@ -14,7 +14,7 @@
 //! also reject non-finite input themselves, as defense in depth.
 
 use iabc_core::rules::UpdateRule;
-use iabc_graph::{Digraph, NodeSet};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
@@ -31,6 +31,18 @@ const SANITIZE_CLAMP: f64 = 1e100;
 /// Usually built through [`Scenario`] (`Scenario::on(&g)...synchronous()`);
 /// the direct [`Simulation::new`] constructor remains for callers that
 /// already hold all the parts.
+///
+/// # Hot-path contract
+///
+/// The constructor compiles the `(graph, fault set)` pair into a
+/// [`CompiledTopology`] (CSR in-adjacency + dense fault flags) and
+/// allocates **two** state buffers plus one scratch vector. Each
+/// [`Simulation::step`] reads the current buffer, writes the next one, and
+/// `std::mem::swap`s them — zero heap allocation per round in steady
+/// state. Faulty entries are never written, so both buffers carry the
+/// faulty nodes' inputs forever (their "state" is meaningless in the
+/// Byzantine model). One [`AdversaryView`] is built per round and shared
+/// by every faulty-edge query of that round.
 ///
 /// # Examples
 ///
@@ -57,10 +69,12 @@ const SANITIZE_CLAMP: f64 = 1e100;
 #[derive(Debug)]
 pub struct Simulation<'a> {
     graph: &'a Digraph,
+    compiled: CompiledTopology,
     fault_set: NodeSet,
     rule: &'a dyn UpdateRule,
     adversary: Box<dyn Adversary>,
     states: Vec<f64>,
+    next: Vec<f64>,
     round: usize,
     scratch: Vec<f64>,
 }
@@ -99,14 +113,18 @@ impl<'a> Simulation<'a> {
         if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             return Err(SimError::NonFiniteInput { node, value });
         }
+        let compiled = CompiledTopology::compile(graph, &fault_set);
+        let scratch = Vec::with_capacity(compiled.max_in_degree());
         Ok(Simulation {
             graph,
+            compiled,
             fault_set,
             rule,
             adversary,
             states: inputs.to_vec(),
+            next: inputs.to_vec(),
             round: 0,
-            scratch: Vec::with_capacity(n),
+            scratch,
         })
     }
 
@@ -131,7 +149,8 @@ impl<'a> Simulation<'a> {
         honest_range_of(&self.states, &self.fault_set)
     }
 
-    /// Executes one synchronous iteration.
+    /// Executes one synchronous iteration — the compiled, allocation-free
+    /// row gather (see the type-level "hot-path contract").
     ///
     /// # Errors
     ///
@@ -139,44 +158,53 @@ impl<'a> Simulation<'a> {
     /// (e.g. insufficient in-degree for the configured trimming).
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
-        let prev = self.states.clone();
-        let mut next = prev.clone();
-        for i in self.graph.nodes() {
-            if self.fault_set.contains(i) {
+        let view = AdversaryView {
+            round: self.round,
+            graph: self.graph,
+            states: &self.states,
+            fault_set: &self.fault_set,
+        };
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue; // faulty nodes have no meaningful state evolution
             }
+            // Branchless row gather — sanitize applies to honest values
+            // too (for in-range states the clamp is the identity, but a
+            // finite input beyond ±1e100 must clip exactly as it always
+            // has) — then patch the precompiled faulty slots with
+            // adversary values.
             self.scratch.clear();
-            for j in self.graph.in_neighbors(i).iter() {
-                let raw = if self.fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        states: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    if self.adversary.omits(&view, j, i) {
-                        // Missing message in a synchronous round: substitute
-                        // the receiver's own previous state (in-hull, so
-                        // validity is unaffected).
-                        prev[i.index()]
-                    } else {
-                        self.adversary.message(&view, j, i)
-                    }
+            self.scratch.extend(
+                self.compiled
+                    .in_neighbors_of(i)
+                    .iter()
+                    .map(|&j| sanitize(view.states[j as usize])),
+            );
+            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
+                let raw = if self
+                    .adversary
+                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
+                {
+                    // Missing message in a synchronous round: substitute
+                    // the receiver's own previous state (in-hull, so
+                    // validity is unaffected).
+                    view.states[i]
                 } else {
-                    prev[j.index()]
+                    self.adversary
+                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
                 };
-                self.scratch.push(sanitize(raw));
+                self.scratch[slot as usize] = sanitize(raw);
             }
-            next[i.index()] = self
+            self.next[i] = self
                 .rule
-                .update(prev[i.index()], &mut self.scratch)
+                .update(view.states[i], &mut self.scratch)
                 .map_err(|source| SimError::Rule {
-                    node: i.index(),
+                    node: i,
                     round: self.round,
                     source,
                 })?;
         }
-        self.states = next;
+        std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }
 

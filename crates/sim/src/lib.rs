@@ -25,6 +25,31 @@
 //! shim over [`Scenario`] (deprecated in spirit — prefer the builder), and
 //! [`SimConfig`] remains as an alias of [`RunConfig`].
 //!
+//! # The compiled hot path and the double-buffer contract
+//!
+//! Every engine compiles its `(graph, fault set)` pair into an
+//! [`iabc_graph::CompiledTopology`] (CSR in-adjacency, dense fault flags,
+//! and a faulty-edge sub-CSR) at construction and steps with **two**
+//! state buffers: reads come from the current buffer, writes go to the next,
+//! and a `std::mem::swap` publishes the round — zero heap allocation per
+//! round in steady state. The contract that makes this safe:
+//!
+//! * **faulty entries are never written** — both buffers carry the faulty
+//!   nodes' inputs forever (their "state" is meaningless in the Byzantine
+//!   model, §2.2), and every fault-free entry is rewritten each round;
+//! * **one [`adversary::AdversaryView`] per round** — the view snapshots
+//!   the read buffer, which no write of the same round can touch;
+//! * the dynamic-topology engine **rebuilds its CSR in place** (reusing
+//!   allocations) only when the schedule hands out a different graph,
+//!   detected by reference address.
+//!
+//! The hot arithmetic itself (sort, trim `f` per side, equal-weight
+//! average) lives in [`iabc_core::rules::trim_kernel`], shared with the
+//! baselines and the threaded runtime. The pre-refactor engine is
+//! retained verbatim in [`reference`] and pinned bit-for-bit against the
+//! compiled engines by `tests/compiled_equivalence.rs` and the
+//! `tests/engine_equivalence.rs` goldens.
+//!
 //! # Module map
 //!
 //! * [`scenario`] — the [`Scenario`] builder (start here).
@@ -40,6 +65,8 @@
 //!   ([`iabc_core::fault_model::ModelTrimmedMean`]).
 //! * [`certified`] — Lemma 5 a-priori termination certificates.
 //! * [`transcript`] — message-level recording and deterministic replay.
+//! * [`reference`] — the retained naive pre-refactor stepper (differential
+//!   testing witness and benchmark baseline).
 //!
 //! # Examples
 //!
@@ -79,6 +106,7 @@ pub mod dynamic;
 mod engine;
 mod error;
 pub mod model_engine;
+pub mod reference;
 pub mod run;
 pub mod scenario;
 pub mod trace;

@@ -17,14 +17,17 @@
 //! cross-partition edges alive.
 
 use iabc_core::fault_model::IdentifiedRule;
-use iabc_graph::{Digraph, NodeId, NodeSet};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A synchronous simulation delivering `(sender, value)` pairs to an
-/// [`IdentifiedRule`]. Mirrors [`crate::Simulation`] otherwise.
+/// [`IdentifiedRule`]. Mirrors [`crate::Simulation`] otherwise, including
+/// its hot-path contract: compiled CSR topology, double-buffered states
+/// (`std::mem::swap` per round, no steady-state allocation), and one
+/// [`AdversaryView`] per round.
 ///
 /// # Examples
 ///
@@ -52,10 +55,12 @@ use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 #[derive(Debug)]
 pub struct ModelSimulation<'a> {
     graph: &'a Digraph,
+    compiled: CompiledTopology,
     fault_set: NodeSet,
     rule: &'a dyn IdentifiedRule,
     adversary: Box<dyn Adversary>,
     states: Vec<f64>,
+    next: Vec<f64>,
     round: usize,
     scratch: Vec<(NodeId, f64)>,
 }
@@ -92,14 +97,18 @@ impl<'a> ModelSimulation<'a> {
         if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             return Err(SimError::NonFiniteInput { node, value });
         }
+        let compiled = CompiledTopology::compile(graph, &fault_set);
+        let scratch = Vec::with_capacity(compiled.max_in_degree());
         Ok(ModelSimulation {
             graph,
+            compiled,
             fault_set,
             rule,
             adversary,
             states: inputs.to_vec(),
+            next: inputs.to_vec(),
             round: 0,
-            scratch: Vec::with_capacity(n),
+            scratch,
         })
     }
 
@@ -130,41 +139,51 @@ impl<'a> ModelSimulation<'a> {
     /// Returns [`SimError::Rule`] if the rule fails at some node.
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
-        let prev = self.states.clone();
-        let mut next = prev.clone();
-        for i in self.graph.nodes() {
-            if self.fault_set.contains(i) {
+        let view = AdversaryView {
+            round: self.round,
+            graph: self.graph,
+            states: &self.states,
+            fault_set: &self.fault_set,
+        };
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue;
             }
             self.scratch.clear();
-            for j in self.graph.in_neighbors(i).iter() {
-                let raw = if self.fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        states: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    if self.adversary.omits(&view, j, i) {
-                        prev[i.index()]
-                    } else {
-                        self.adversary.message(&view, j, i)
-                    }
+            self.scratch
+                .extend(self.compiled.in_neighbors_of(i).iter().map(|&j| {
+                    (
+                        NodeId::new(j as usize),
+                        crate::engine::sanitize(view.states[j as usize]),
+                    )
+                }));
+            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
+                let raw = if self
+                    .adversary
+                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
+                {
+                    view.states[i]
                 } else {
-                    prev[j.index()]
+                    self.adversary
+                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
                 };
-                self.scratch.push((j, crate::engine::sanitize(raw)));
+                self.scratch[slot as usize].1 = crate::engine::sanitize(raw);
             }
-            next[i.index()] = self
+            self.next[i] = self
                 .rule
-                .update(self.graph, i, prev[i.index()], &mut self.scratch)
+                .update(
+                    self.graph,
+                    NodeId::new(i),
+                    view.states[i],
+                    &mut self.scratch,
+                )
                 .map_err(|source| SimError::Rule {
-                    node: i.index(),
+                    node: i,
                     round: self.round,
                     source,
                 })?;
         }
-        self.states = next;
+        std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }
 

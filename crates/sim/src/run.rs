@@ -190,10 +190,27 @@ pub trait Engine {
         None
     }
 
+    /// Engine-native convergence range, if it differs from the extremes of
+    /// the flattened [`Engine::states`] view. The default (`None`) lets
+    /// the driver reuse the `(min, max)` pair [`Trace::push`] already
+    /// computed — one fused scan per round. The vector engine overrides
+    /// this with its **maximum per-coordinate** range: the flattened
+    /// extremes only see the union hull across coordinates, which can
+    /// report convergence while one coordinate is still wide.
+    fn native_range(&self) -> Option<f64> {
+        None
+    }
+
     /// Runs until the fault-free range is `≤ config.epsilon`, the round
     /// cap fires, or the engine halts — recording a trace and auditing
     /// validity throughout. This provided driver is the *only*
     /// convergence loop in the crate.
+    ///
+    /// The convergence check, the trace extremes, and the reported
+    /// `final_range` all come from the **single** min/max pass inside
+    /// [`Trace::push`] (unless the engine supplies
+    /// [`Engine::native_range`]); the pre-fusion driver scanned the state
+    /// vector three times per round for the same numbers.
     ///
     /// # Errors
     ///
@@ -201,10 +218,11 @@ pub trait Engine {
     fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
         self.begin_run();
         let mut trace = Trace::new(config.record_states);
-        trace.push(self.round(), self.states(), self.fault_set());
+        let (mut lo, mut hi) = trace.push(self.round(), self.states(), self.fault_set());
+        let mut range = self.native_range().unwrap_or(hi - lo);
         let mut halted = false;
         let termination = loop {
-            if self.honest_range() <= config.epsilon {
+            if range <= config.epsilon {
                 break Termination::Converged;
             }
             if halted {
@@ -214,9 +232,9 @@ pub trait Engine {
                 break Termination::RoundCapReached;
             }
             halted = self.step()? == StepStatus::Halted;
-            trace.push(self.round(), self.states(), self.fault_set());
+            (lo, hi) = trace.push(self.round(), self.states(), self.fault_set());
+            range = self.native_range().unwrap_or(hi - lo);
         };
-        let final_range = self.honest_range();
         let validity = self
             .native_validity()
             .unwrap_or_else(|| trace.validity(VALIDITY_TOLERANCE));
@@ -224,7 +242,7 @@ pub trait Engine {
             converged: termination == Termination::Converged,
             termination,
             rounds: self.round(),
-            final_range,
+            final_range: range,
             validity,
             trace,
         })

@@ -71,13 +71,19 @@ impl Trace {
         }
     }
 
-    /// Appends a snapshot for `round` computed over the fault-free nodes.
+    /// Appends a snapshot for `round` computed over the fault-free nodes
+    /// and returns the `(min, max)` extremes of that single pass.
+    ///
+    /// The return value lets the shared driver fuse its convergence check
+    /// with the recording — one extremes scan per round instead of three
+    /// (driver range, trace min, trace max), with the final round's result
+    /// reused for `Outcome::final_range`.
     ///
     /// # Panics
     ///
     /// Panics if there are no fault-free nodes or any fault-free state is
     /// non-finite (engine invariant).
-    pub fn push(&mut self, round: usize, states: &[f64], fault_set: &NodeSet) {
+    pub fn push(&mut self, round: usize, states: &[f64], fault_set: &NodeSet) -> (f64, f64) {
         let mut max = f64::NEG_INFINITY;
         let mut min = f64::INFINITY;
         for (i, &v) in states.iter().enumerate() {
@@ -102,6 +108,7 @@ impl Trace {
                 Vec::new()
             },
         });
+        (min, max)
     }
 
     /// The recorded rounds, in order (index 0 is the initial state).
@@ -174,7 +181,8 @@ mod tests {
     fn push_computes_fault_free_extremes() {
         let mut t = Trace::new(true);
         let faults = NodeSet::from_indices(3, [2]);
-        t.push(0, &[1.0, 5.0, 999.0], &faults);
+        let (lo, hi) = t.push(0, &[1.0, 5.0, 999.0], &faults);
+        assert_eq!((lo, hi), (1.0, 5.0), "push returns the fused extremes");
         let r = t.last().unwrap();
         assert_eq!(r.max, 5.0);
         assert_eq!(r.min, 1.0);

@@ -240,22 +240,24 @@ pub fn record(
         initial_states: inputs.to_vec(),
         rounds: Vec::with_capacity(rounds),
     };
+    // Double-buffered like the engines: faulty entries are never written,
+    // so both buffers carry the faulty inputs forever.
     let mut states = inputs.to_vec();
+    let mut next = inputs.to_vec();
+    let mut received: Vec<f64> = Vec::new();
     for round in 1..=rounds {
-        let prev = states.clone();
         let mut messages = Vec::new();
-        let mut next = prev.clone();
         for i in graph.nodes() {
             if fault_set.contains(i) {
                 continue;
             }
-            let mut received = Vec::with_capacity(graph.in_degree(i));
+            received.clear();
             for j in graph.in_neighbors(i).iter() {
                 let raw = if fault_set.contains(j) {
                     let view = AdversaryView {
                         round,
                         graph,
-                        states: &prev,
+                        states: &states,
                         fault_set: &fault_set,
                     };
                     if adversary.omits(&view, j, i) {
@@ -265,7 +267,7 @@ pub fn record(
                             value: 0.0,
                             omitted: true,
                         });
-                        prev[i.index()]
+                        states[i.index()]
                     } else {
                         let v = adversary.message(&view, j, i);
                         messages.push(MessageRecord {
@@ -277,19 +279,19 @@ pub fn record(
                         v
                     }
                 } else {
-                    prev[j.index()]
+                    states[j.index()]
                 };
                 received.push(sanitize(raw));
             }
             next[i.index()] = rule
-                .update(prev[i.index()], &mut received)
+                .update(states[i.index()], &mut received)
                 .map_err(|source| SimError::Rule {
                     node: i.index(),
                     round,
                     source,
                 })?;
         }
-        states = next;
+        std::mem::swap(&mut states, &mut next);
         transcript.rounds.push(RoundTranscript {
             round,
             messages,
@@ -383,14 +385,14 @@ pub fn replay(
     }
     let fault_set = &transcript.fault_set;
     let mut states = transcript.initial_states.clone();
+    let mut next = transcript.initial_states.clone();
+    let mut received: Vec<f64> = Vec::new();
     for rt in &transcript.rounds {
-        let prev = states.clone();
-        let mut next = prev.clone();
         for i in graph.nodes() {
             if fault_set.contains(i) {
                 continue;
             }
-            let mut received = Vec::with_capacity(graph.in_degree(i));
+            received.clear();
             for j in graph.in_neighbors(i).iter() {
                 let raw = if fault_set.contains(j) {
                     let rec = rt
@@ -403,17 +405,17 @@ pub fn replay(
                             receiver: i,
                         })?;
                     if rec.omitted {
-                        prev[i.index()]
+                        states[i.index()]
                     } else {
                         rec.value
                     }
                 } else {
-                    prev[j.index()]
+                    states[j.index()]
                 };
                 received.push(sanitize(raw));
             }
             next[i.index()] = rule
-                .update(prev[i.index()], &mut received)
+                .update(states[i.index()], &mut received)
                 .map_err(|e| ReplayError::Rule(e.to_string()))?;
         }
         // Verify honest coordinates against the recorded snapshot.
@@ -438,7 +440,7 @@ pub fn replay(
                 });
             }
         }
-        states = next;
+        std::mem::swap(&mut states, &mut next);
     }
     Ok(states)
 }

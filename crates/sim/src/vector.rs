@@ -35,7 +35,7 @@
 use std::fmt;
 
 use iabc_core::rules::UpdateRule;
-use iabc_graph::{Digraph, NodeId, NodeSet};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
@@ -219,11 +219,16 @@ pub struct VectorOutcome {
 #[derive(Debug)]
 pub struct VectorSimulation<'a> {
     graph: &'a Digraph,
+    compiled: CompiledTopology,
     fault_set: NodeSet,
     rule: &'a dyn UpdateRule,
     adversary: Box<dyn VectorAdversary>,
     /// Column-major states: `coords[k][i]`.
     coords: Vec<Vec<f64>>,
+    /// Double buffer written by [`VectorSimulation::step`] and swapped in.
+    next_coords: Vec<Vec<f64>>,
+    /// Retained per-coordinate receive scratch.
+    scratch: Vec<Vec<f64>>,
     round: usize,
     /// Row-major flattened view (`flat[i*d + k]`) kept in sync with
     /// `coords` for the [`Engine`] state surface.
@@ -306,9 +311,12 @@ impl<'a> VectorSimulation<'a> {
                 return Err(SimError::NonFiniteInput { node, value });
             }
         }
+        let compiled = CompiledTopology::compile(graph, &fault_set);
         let coords: Vec<Vec<f64>> = (0..d)
             .map(|k| inputs.iter().map(|row| row[k]).collect())
             .collect();
+        let next_coords = coords.clone();
+        let scratch = vec![Vec::with_capacity(compiled.max_in_degree()); d];
         let flat = inputs.concat();
         let flat_faults = NodeSet::from_indices(
             n * d,
@@ -322,10 +330,13 @@ impl<'a> VectorSimulation<'a> {
             .collect();
         Ok(VectorSimulation {
             graph,
+            compiled,
             fault_set,
             rule,
             adversary,
             coords,
+            next_coords,
+            scratch,
             round: 0,
             flat,
             flat_faults,
@@ -370,7 +381,12 @@ impl<'a> VectorSimulation<'a> {
             .collect()
     }
 
-    /// Executes one synchronous iteration.
+    /// Executes one synchronous iteration. Like the scalar engines this is
+    /// double-buffered: coordinate columns are read from `coords`, written
+    /// to `next_coords`, and swapped — the per-step `coords.clone()` and
+    /// scratch allocations of the naive loop are gone (the adversary's
+    /// per-message `Vec<f64>` payload is the one remaining allocation; it
+    /// is part of the [`VectorAdversary`] API).
     ///
     /// # Errors
     ///
@@ -378,52 +394,54 @@ impl<'a> VectorSimulation<'a> {
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
         let d = self.coords.len();
-        let prev = self.coords.clone();
-        let mut scratch: Vec<Vec<f64>> = vec![Vec::new(); d];
-        for i in self.graph.nodes() {
-            if self.fault_set.contains(i) {
+        let view = VectorAdversaryView {
+            round: self.round,
+            graph: self.graph,
+            coords: &self.coords,
+            fault_set: &self.fault_set,
+        };
+        for i in 0..self.compiled.node_count() {
+            if self.compiled.is_faulty(i) {
                 continue;
             }
-            for col in &mut scratch {
+            for col in &mut self.scratch {
                 col.clear();
             }
-            for j in self.graph.in_neighbors(i).iter() {
-                if self.fault_set.contains(j) {
-                    let view = VectorAdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        coords: &prev,
-                        fault_set: &self.fault_set,
-                    };
-                    let mut msg = self.adversary.message(&view, j, i);
+            for &j in self.compiled.in_neighbors_of(i) {
+                let j = j as usize;
+                if self.compiled.is_faulty(j) {
+                    let mut msg = self
+                        .adversary
+                        .message(&view, NodeId::new(j), NodeId::new(i));
                     // Defensive boundary: wrong-dimension payloads are
                     // truncated to d and padded with the receiver's own
                     // coordinates (in-hull).
                     msg.truncate(d);
                     while msg.len() < d {
                         let k = msg.len();
-                        msg.push(prev[k][i.index()]);
+                        msg.push(view.coords[k][i]);
                     }
-                    for (k, col) in scratch.iter_mut().enumerate() {
+                    for (k, col) in self.scratch.iter_mut().enumerate() {
                         col.push(sanitize(msg[k]));
                     }
                 } else {
-                    for (k, col) in scratch.iter_mut().enumerate() {
-                        col.push(prev[k][j.index()]);
+                    for (k, col) in self.scratch.iter_mut().enumerate() {
+                        col.push(view.coords[k][j]);
                     }
                 }
             }
-            for (k, col) in scratch.iter_mut().enumerate() {
-                self.coords[k][i.index()] =
+            for (k, col) in self.scratch.iter_mut().enumerate() {
+                self.next_coords[k][i] =
                     self.rule
-                        .update(prev[k][i.index()], col)
+                        .update(view.coords[k][i], col)
                         .map_err(|source| SimError::Rule {
-                            node: i.index(),
+                            node: i,
                             round: self.round,
                             source,
                         })?;
             }
         }
+        std::mem::swap(&mut self.coords, &mut self.next_coords);
         self.refresh_flat();
         self.audit_boxes();
         Ok(StepStatus::Progressed)
@@ -519,6 +537,13 @@ impl Engine for VectorSimulation<'_> {
 
     fn honest_range(&self) -> f64 {
         self.honest_ranges().into_iter().fold(0.0, f64::max)
+    }
+
+    // The driver's fused trace extremes only see the flattened union hull;
+    // convergence must mean "every coordinate within epsilon", so the
+    // engine supplies its per-coordinate maximum range instead.
+    fn native_range(&self) -> Option<f64> {
+        Some(self.honest_range())
     }
 
     fn native_validity(&self) -> Option<ValidityReport> {

@@ -443,6 +443,75 @@ fn vector_engine_reproduces_pre_refactor_outcome() {
     }
 }
 
+/// FNV-1a over the state vector's f64 bit patterns — a compact fingerprint
+/// for large-n goldens where embedding 500 bit patterns would be noise.
+fn fnv1a_state_bits(states: &[f64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &v in states {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[test]
+fn large_n_synchronous_golden_is_stable() {
+    // Production-scale pin: K500 with f = 16, constant attacker. The
+    // compiled hot path (CSR gather, keyed-sort kernel, double buffers)
+    // must land on the exact fixpoint the pre-refactor engine reached —
+    // captured here as (rounds, verdicts, FNV-1a over all 500 final bit
+    // patterns). Catches optimization-dependent float drift that small-n
+    // goldens can miss.
+    let n = 500usize;
+    let f = 16usize;
+    let g = generators::complete(n);
+    let inputs: Vec<f64> = (0..n)
+        .map(|i| if i >= n - f { 0.0 } else { (i % 101) as f64 })
+        .collect();
+    let rule = TrimmedMean::new(f);
+    let mut sim = Scenario::on(&g)
+        .inputs(&inputs)
+        .fault_nodes(n - f..n)
+        .rule(&rule)
+        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .synchronous()
+        .unwrap();
+    let out = sim.run(&RunConfig::bounded(1e-6, 10_000)).unwrap();
+    assert_eq!(out.rounds, 3, "round count drifted");
+    assert!(out.converged);
+    assert!(out.validity.is_valid());
+    assert_eq!(
+        fnv1a_state_bits(sim.states()),
+        11264396032272787041,
+        "final-state fingerprint drifted (states[0] = {:?} = {:#x})",
+        sim.states()[0],
+        sim.states()[0].to_bits()
+    );
+
+    // Self-verifying golden: the retained pre-refactor stepper + rule reach
+    // the identical fingerprint in the same number of rounds.
+    use iabc::sim::reference::{ReferenceStepper, ReferenceTrimmedMean};
+    let slow_rule = ReferenceTrimmedMean::new(f);
+    let mut naive = ReferenceStepper::new(
+        &g,
+        &inputs,
+        NodeSet::from_indices(n, n - f..n),
+        &slow_rule,
+        Box::new(ConstantAdversary { value: 1e9 }),
+    )
+    .unwrap();
+    for _ in 0..out.rounds {
+        naive.step().unwrap();
+    }
+    assert_eq!(
+        fnv1a_state_bits(naive.states()),
+        11264396032272787041,
+        "pre-refactor reference disagrees with the compiled fixpoint"
+    );
+}
+
 #[test]
 fn baselines_run_through_the_same_engine_surface() {
     // The W-MSR and Dolev baselines are plain rules to the Scenario
