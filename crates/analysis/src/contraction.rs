@@ -198,7 +198,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(PullAdversary { toward_max: true }),
+            Box::new(PullAdversary::new(true)),
         )
         .unwrap();
         let out = sim.run(&SimConfig::default()).unwrap();

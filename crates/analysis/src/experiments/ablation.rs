@@ -76,11 +76,11 @@ pub fn e12_ablation() -> ExperimentResult {
         for (adv_name, adversary) in [
             (
                 "constant(1e9)",
-                Box::new(ConstantAdversary { value: 1e9 }) as Box<dyn Adversary>,
+                Box::new(ConstantAdversary::new(1e9)) as Box<dyn Adversary>,
             ),
             (
                 "pull-low",
-                Box::new(PullAdversary { toward_max: false }) as Box<dyn Adversary>,
+                Box::new(PullAdversary::new(false)) as Box<dyn Adversary>,
             ),
         ] {
             let stats = run_rule(rule.as_ref(), adversary);

@@ -61,7 +61,7 @@ pub fn e9_async() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 100.0 }))
+            .adversary(Box::new(ExtremesAdversary::new(100.0)))
             .delay_bounded(Box::new(MaxDelayScheduler), b)
             .expect("valid sim");
         let out = sim
@@ -79,7 +79,7 @@ pub fn e9_async() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults)
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 100.0 }))
+            .adversary(Box::new(ExtremesAdversary::new(100.0)))
             .delay_bounded(Box::new(RandomScheduler::new(b as u64)), b)
             .expect("valid sim");
         let out = sim
@@ -104,7 +104,7 @@ pub fn e9_async() -> ExperimentResult {
         let mut sim = Scenario::on(&g)
             .inputs(&inputs)
             .faults(faults)
-            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .adversary(Box::new(ConstantAdversary::new(1e9)))
             .withholding(2)
             .expect("valid sim");
         let out = sim
@@ -124,7 +124,7 @@ pub fn e9_async() -> ExperimentResult {
         let mut sim = Scenario::on(&g)
             .inputs(&inputs)
             .faults(faults)
-            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .adversary(Box::new(ConstantAdversary::new(1e9)))
             .withholding(2)
             .expect("valid sim");
         // The engine proves the freeze: the driver reports Halted instead

@@ -41,28 +41,28 @@ fn workloads() -> Vec<Workload> {
             graph: generators::complete(7),
             f: 2,
             faults: vec![5, 6],
-            adversary: || Box::new(ExtremesAdversary { delta: 50.0 }),
+            adversary: || Box::new(ExtremesAdversary::new(50.0)),
         },
         Workload {
             name: "K7 / polarizing",
             graph: generators::complete(7),
             f: 2,
             faults: vec![5, 6],
-            adversary: || Box::new(PolarizingAdversary),
+            adversary: || Box::new(PolarizingAdversary::new()),
         },
         Workload {
             name: "chord(5,3) / polarizing",
             graph: generators::chord(5, 3),
             f: 1,
             faults: vec![4],
-            adversary: || Box::new(PolarizingAdversary),
+            adversary: || Box::new(PolarizingAdversary::new()),
         },
         Workload {
             name: "core(7,2) / extremes",
             graph: generators::core_network(7, 2),
             f: 2,
             faults: vec![5, 6],
-            adversary: || Box::new(ExtremesAdversary { delta: 50.0 }),
+            adversary: || Box::new(ExtremesAdversary::new(50.0)),
         },
     ]
 }

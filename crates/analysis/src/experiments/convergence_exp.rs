@@ -104,13 +104,8 @@ pub fn e3_convergence() -> ExperimentResult {
 
     for (name, g, f, faults) in cases {
         let satisfied = theorem1::check(&g, f).is_satisfied();
-        let benign = measure(&g, f, &faults, Box::new(ConformingAdversary));
-        let pulled = measure(
-            &g,
-            f,
-            &faults,
-            Box::new(PullAdversary { toward_max: false }),
-        );
+        let benign = measure(&g, f, &faults, Box::new(ConformingAdversary::new()));
+        let pulled = measure(&g, f, &faults, Box::new(PullAdversary::new(false)));
         pass &= satisfied && benign.is_some() && pulled.is_some();
         table.row([
             name,

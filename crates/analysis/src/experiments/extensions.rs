@@ -83,7 +83,7 @@ pub fn x1_local_fault_model() -> ExperimentResult {
                 .inputs(&inputs)
                 .faults(fault.clone())
                 .rule(&rule)
-                .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+                .adversary(Box::new(ConstantAdversary::new(1e9)))
                 .synchronous()
                 .expect("valid sim")
                 .run(&SimConfig::default())
@@ -178,7 +178,7 @@ pub fn x2_matrix_representation() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(PullAdversary { toward_max: false }))
+            .adversary(Box::new(PullAdversary::new(false)))
             .synchronous()
             .expect("valid sim");
 
@@ -199,7 +199,7 @@ pub fn x2_matrix_representation() -> ExperimentResult {
         let mut ok = true;
         for round in 1..=rounds {
             let prev = sim.states().to_vec();
-            let mut adv = PullAdversary { toward_max: false };
+            let mut adv = PullAdversary::new(false);
             let m = round_matrix(&g, f, &faults, &prev, &mut adv, round).expect("matrix builds");
             let tau = m.ergodicity_coefficient();
             max_tau = max_tau.max(tau);
@@ -300,7 +300,7 @@ pub fn x3_model_comparison() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults)
             .rule(&rule)
-            .adversary(Box::new(CrashAdversary { from_round: 2 }))
+            .adversary(Box::new(CrashAdversary::new(2)))
             .synchronous()
             .expect("valid sim")
             .run(&SimConfig::default())
@@ -323,10 +323,10 @@ pub fn x3_model_comparison() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults)
             .rule(&rule)
-            .adversary(Box::new(SelectiveOmissionAdversary {
-                silenced: NodeSet::from_indices(7, [0, 1, 2]),
-                value: 1e8,
-            }))
+            .adversary(Box::new(SelectiveOmissionAdversary::new(
+                NodeSet::from_indices(7, [0, 1, 2]),
+                1e8,
+            )))
             .synchronous()
             .expect("valid sim")
             .run(&SimConfig::default())

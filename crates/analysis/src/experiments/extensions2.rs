@@ -273,7 +273,7 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+            .adversary(Box::new(ExtremesAdversary::new(1e6)))
             .dynamic(&schedule)
             .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
@@ -297,7 +297,7 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 1e4 }))
+            .adversary(Box::new(ExtremesAdversary::new(1e4)))
             .dynamic(&schedule)
             .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
@@ -362,7 +362,7 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
             .inputs(&inputs8)
             .faults(faults8)
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 1e5 }))
+            .adversary(Box::new(ExtremesAdversary::new(1e5)))
             .dynamic(&schedule)
             .expect("valid sim");
         let out = sim.run(&SimConfig::default()).expect("run");
@@ -419,7 +419,7 @@ pub fn x12_quantized() -> ExperimentResult {
                 .inputs(&inputs)
                 .faults(faults.clone())
                 .rule(&rule)
-                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .adversary(Box::new(ExtremesAdversary::new(1e6)))
                 .synchronous()
                 .expect("valid sim");
             let out = sim
@@ -478,8 +478,8 @@ pub fn x13_vector() -> ExperimentResult {
             vec![0.0, 0.0],
         ];
         let adv = CoordinateWise::new(vec![
-            Box::new(ExtremesAdversary { delta: 1e6 }),
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
+            Box::new(ExtremesAdversary::new(1e6)),
         ]);
         let mut sim = Scenario::on(&g)
             .inputs(&inputs.concat())
@@ -513,7 +513,7 @@ pub fn x13_vector() -> ExperimentResult {
             .inputs(&inputs.concat())
             .faults(faults.clone())
             .rule(&rule)
-            .vector_adversary(Box::new(CornerPullAdversary))
+            .vector_adversary(Box::new(CornerPullAdversary::new()))
             .vector(2)
             .expect("valid sim");
         let out = sim.run(&VectorSimConfig::default()).expect("run");

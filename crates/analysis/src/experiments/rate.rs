@@ -30,7 +30,7 @@ fn rate_case(name: &str, g: &Digraph, f: usize, fault_set: NodeSet) -> (Vec<Stri
         .inputs(&inputs)
         .faults(fault_set.clone())
         .rule(&rule)
-        .adversary(Box::new(PullAdversary { toward_max: true }))
+        .adversary(Box::new(PullAdversary::new(true)))
         .synchronous()
         .expect("valid sim");
     let out = sim

@@ -77,7 +77,7 @@ pub fn x6_scaling() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults)
             .rule(&rule)
-            .adversary(Box::new(PolarizingAdversary))
+            .adversary(Box::new(PolarizingAdversary::new()))
             .synchronous()
             .and_then(|mut sim| sim.run(&config))
         {
@@ -137,7 +137,7 @@ pub fn x6_scaling() -> ExperimentResult {
             .inputs(&inputs)
             .faults(faults)
             .rule(&rule)
-            .adversary(Box::new(PolarizingAdversary))
+            .adversary(Box::new(PolarizingAdversary::new()))
             .synchronous()
             .and_then(|mut sim| {
                 sim.run(&SimConfig {

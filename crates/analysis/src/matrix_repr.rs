@@ -18,6 +18,7 @@
 use iabc_core::RuleError;
 use iabc_graph::{Digraph, NodeId, NodeSet};
 use iabc_sim::adversary::{Adversary, AdversaryView};
+use iabc_sim::plan::{faulty_edges_of, PlannedMessage, RoundPlan, RoundSlots};
 
 /// The honest-only transition matrix of one Algorithm 1 round.
 #[derive(Debug, Clone)]
@@ -105,6 +106,22 @@ pub fn round_matrix(
         honest.iter().enumerate().map(|(k, &v)| (v, k)).collect();
     let mut rows = Vec::with_capacity(honest.len());
 
+    // Two-phase protocol: plan every faulty edge of the round once, in
+    // the same receiver-major order the gather below consumes it.
+    // Omission is not modelled here (the matrix view assumes a full
+    // received multiset), so the slots disallow it.
+    let edges = faulty_edges_of(g, fault_set);
+    let view = AdversaryView {
+        round,
+        graph: g,
+        states: prev,
+        fault_set,
+    };
+    let mut plan = RoundPlan::new();
+    plan.begin(edges.len());
+    adversary.plan_round(&view, RoundSlots::new(&edges, false), &mut plan);
+    let mut cursor = 0u32;
+
     for (&i, _) in honest.iter().zip(0..) {
         let in_deg = g.in_degree(i);
         if f > 0 && in_deg < 2 * f + 1 {
@@ -117,13 +134,13 @@ pub fn round_matrix(
         let mut received: Vec<(f64, NodeId, bool)> = Vec::with_capacity(in_deg);
         for j in g.in_neighbors(i).iter() {
             if fault_set.contains(j) {
-                let view = AdversaryView {
-                    round,
-                    graph: g,
-                    states: prev,
-                    fault_set,
+                let raw = match plan.get(cursor) {
+                    PlannedMessage::Value(v) => v,
+                    // No omission in this model: substitute the
+                    // receiver's own (honest, in-hull) previous state.
+                    PlannedMessage::Omit => prev[i.index()],
                 };
-                let raw = adversary.message(&view, j, i);
+                cursor += 1;
                 let v = if raw.is_nan() {
                     1e100
                 } else {
@@ -199,7 +216,7 @@ mod tests {
         let g = generators::complete(7);
         let faults = NodeSet::from_indices(7, [5, 6]);
         let prev = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
-        let mut adv = ConstantAdversary { value: 1e9 };
+        let mut adv = ConstantAdversary::new(1e9);
         let m = round_matrix(&g, 2, &faults, &prev, &mut adv, 1).unwrap();
         assert_eq!(m.honest.len(), 5);
         for row in &m.rows {
@@ -223,21 +240,21 @@ mod tests {
         let rule = TrimmedMean::new(2);
         for mk in 0..3 {
             let mut engine_adv: Box<dyn Adversary> = match mk {
-                0 => Box::new(ConstantAdversary { value: 1e9 }),
-                1 => Box::new(ExtremesAdversary { delta: 7.0 }),
-                _ => Box::new(PullAdversary { toward_max: true }),
+                0 => Box::new(ConstantAdversary::new(1e9)),
+                1 => Box::new(ExtremesAdversary::new(7.0)),
+                _ => Box::new(PullAdversary::new(true)),
             };
             let mut matrix_adv: Box<dyn Adversary> = match mk {
-                0 => Box::new(ConstantAdversary { value: 1e9 }),
-                1 => Box::new(ExtremesAdversary { delta: 7.0 }),
-                _ => Box::new(PullAdversary { toward_max: true }),
+                0 => Box::new(ConstantAdversary::new(1e9)),
+                1 => Box::new(ExtremesAdversary::new(7.0)),
+                _ => Box::new(PullAdversary::new(true)),
             };
             let m = round_matrix(&g, 2, &faults, &inputs, matrix_adv.as_mut(), 1).unwrap();
             let predicted = m.apply(&honest_vec(&inputs, &faults));
 
             let mut sim = Simulation::new(&g, &inputs, faults.clone(), &rule, {
                 // move the boxed adversary into the sim
-                std::mem::replace(&mut engine_adv, Box::new(ConstantAdversary { value: 0.0 }))
+                std::mem::replace(&mut engine_adv, Box::new(ConstantAdversary::new(0.0)))
             })
             .unwrap();
             sim.step().unwrap();
@@ -259,11 +276,11 @@ mod tests {
             &prev,
             faults.clone(),
             &rule,
-            Box::new(PullAdversary { toward_max: false }),
+            Box::new(PullAdversary::new(false)),
         )
         .unwrap();
         for round in 1..=20 {
-            let mut adv = PullAdversary { toward_max: false };
+            let mut adv = PullAdversary::new(false);
             let m = round_matrix(&g, 2, &faults, &prev, &mut adv, round).unwrap();
             let tau = m.ergodicity_coefficient();
             assert!((0.0..=1.0).contains(&tau));
@@ -306,7 +323,7 @@ mod tests {
         let g = generators::cycle(5);
         let faults = NodeSet::from_indices(5, [4]);
         let prev = [0.0; 5];
-        let mut adv = ConstantAdversary { value: 1.0 };
+        let mut adv = ConstantAdversary::new(1.0);
         assert!(matches!(
             round_matrix(&g, 1, &faults, &prev, &mut adv, 1),
             Err(RuleError::InsufficientValues { .. })
@@ -318,7 +335,7 @@ mod tests {
         let g = generators::complete(4);
         let faults = NodeSet::with_universe(4);
         let prev = [1.0, 2.0, 3.0, 4.0];
-        let mut adv = ConstantAdversary { value: 0.0 };
+        let mut adv = ConstantAdversary::new(0.0);
         let m = round_matrix(&g, 0, &faults, &prev, &mut adv, 1).unwrap();
         for row in &m.rows {
             for &x in row {

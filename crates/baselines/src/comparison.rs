@@ -145,7 +145,7 @@ mod tests {
             graph: &g,
             inputs: &ins,
             fault_set: faults,
-            adversary_factory: &|| Box::new(ExtremesAdversary { delta: 100.0 }),
+            adversary_factory: &|| Box::new(ExtremesAdversary::new(100.0)),
             config: RunConfig::default(),
         };
         let a1 = TrimmedMean::new(2);
@@ -169,7 +169,7 @@ mod tests {
             graph: &g,
             inputs: &ins,
             fault_set: faults,
-            adversary_factory: &|| Box::new(ConstantAdversary { value: 50.0 }),
+            adversary_factory: &|| Box::new(ConstantAdversary::new(50.0)),
             config: RunConfig::default(),
         };
         let a1 = faceoff.run(&TrimmedMean::new(1)).unwrap();
@@ -193,7 +193,7 @@ mod tests {
             graph: &g,
             inputs: &ins,
             fault_set: NodeSet::from_indices(7, [5, 6]),
-            adversary_factory: &|| Box::new(ExtremesAdversary { delta: 100.0 }),
+            adversary_factory: &|| Box::new(ExtremesAdversary::new(100.0)),
             config: RunConfig::default(),
         };
         let wmsr = Wmsr::new(2);
@@ -217,7 +217,7 @@ mod tests {
             graph: &g,
             inputs: &ins,
             fault_set: NodeSet::with_universe(4),
-            adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
+            adversary_factory: &|| Box::new(ConstantAdversary::new(0.0)),
             config: RunConfig {
                 max_rounds: 10,
                 ..RunConfig::default()
@@ -242,7 +242,7 @@ mod tests {
             graph: &g,
             inputs: &ins,
             fault_set: NodeSet::with_universe(4),
-            adversary_factory: &|| Box::new(ConstantAdversary { value: 0.0 }),
+            adversary_factory: &|| Box::new(ConstantAdversary::new(0.0)),
             config: RunConfig::default(),
         };
         let dbg = format!("{faceoff:?}");

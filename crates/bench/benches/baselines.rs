@@ -68,7 +68,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     .inputs(&inputs)
                     .faults(faults())
                     .rule(rule.as_ref())
-                    .adversary(Box::new(PolarizingAdversary))
+                    .adversary(Box::new(PolarizingAdversary::new()))
                     .synchronous()
                     .and_then(|mut sim| sim.run(&config))
                     .expect("run succeeds");

@@ -65,7 +65,7 @@ fn bench_dynamic_engine(c: &mut Criterion) {
                 .inputs(&inputs)
                 .faults(faults.clone())
                 .rule(&rule)
-                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .adversary(Box::new(ExtremesAdversary::new(1e6)))
                 .synchronous()
                 .expect("sim");
             for _ in 0..30 {
@@ -82,7 +82,7 @@ fn bench_dynamic_engine(c: &mut Criterion) {
                 .inputs(&inputs)
                 .faults(faults.clone())
                 .rule(&rule)
-                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .adversary(Box::new(ExtremesAdversary::new(1e6)))
                 .dynamic(&static_schedule)
                 .expect("sim");
             for _ in 0..30 {
@@ -103,7 +103,7 @@ fn bench_dynamic_engine(c: &mut Criterion) {
                 .inputs(&inputs)
                 .faults(faults.clone())
                 .rule(&rule)
-                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .adversary(Box::new(ExtremesAdversary::new(1e6)))
                 .dynamic(&robin)
                 .expect("sim");
             for _ in 0..30 {
@@ -181,7 +181,7 @@ fn bench_vector_engine(c: &mut Criterion) {
         group.bench_function(format!("d{d}"), |b| {
             b.iter(|| {
                 let advs: Vec<Box<dyn iabc_sim::adversary::Adversary>> = (0..d)
-                    .map(|_| Box::new(ExtremesAdversary { delta: 1e6 }) as Box<_>)
+                    .map(|_| Box::new(ExtremesAdversary::new(1e6)) as Box<_>)
                     .collect();
                 let mut sim = VectorSimulation::new(
                     &g,

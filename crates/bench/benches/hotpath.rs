@@ -49,7 +49,7 @@ fn bench_compiled(c: &mut Criterion) {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .expect("valid workload");
         group.bench_function(format!("{}/f{}/{}steps", w.name, w.f, steps), |b| {
@@ -82,7 +82,7 @@ fn bench_reference(c: &mut Criterion) {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .expect("valid workload");
         group.bench_function(format!("{}/f{}/{}steps", w.name, w.f, steps), |b| {
@@ -97,5 +97,47 @@ fn bench_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compiled, bench_reference);
+/// Parallel round execution: the same compiled engine at 1 vs 2 vs 4
+/// workers on the densest workload of each size. The trajectories are
+/// bit-identical by construction (two-phase adversary plan + pure
+/// per-node phase 2), so this group measures pure scheduling overhead /
+/// speedup; on a single-core host expect ~1x.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_parallel");
+    group.sample_size(10);
+    for w in hotpath_grid(quick()) {
+        let n = w.graph.node_count();
+        if !w.name.starts_with("complete") || n < 1000 {
+            continue;
+        }
+        let inputs = hotpath_inputs(n);
+        let rule = TrimmedMean::new(w.f);
+        let steps = steps_for(n);
+        for jobs in [1usize, 2, 4] {
+            let mut sim = Simulation::new(
+                &w.graph,
+                &inputs,
+                fault_set_for(n, w.f),
+                &rule,
+                Box::new(ConstantAdversary::new(1e9)),
+            )
+            .expect("valid workload")
+            .with_jobs(jobs);
+            group.bench_function(
+                format!("{}/f{}/jobs{}/{}steps", w.name, w.f, jobs, steps),
+                |b| {
+                    b.iter(|| {
+                        for _ in 0..steps {
+                            sim.step().expect("step succeeds");
+                        }
+                        black_box(sim.honest_range())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled, bench_reference, bench_parallel);
 criterion_main!(benches);

@@ -37,7 +37,7 @@ fn bench_threads_vs_engine(c: &mut Criterion) {
                     .inputs(&inputs)
                     .faults(faults())
                     .rule(&rule)
-                    .adversary(Box::new(ConstantAdversary { value: 1e6 }))
+                    .adversary(Box::new(ConstantAdversary::new(1e6)))
                     .synchronous()
                     .expect("engine run");
                 for _ in 0..rounds {

@@ -25,7 +25,7 @@ fn bench_rounds(c: &mut Criterion) {
                     .inputs(&inputs)
                     .faults(faults.clone())
                     .rule(&rule)
-                    .adversary(Box::new(ExtremesAdversary { delta: 10.0 }))
+                    .adversary(Box::new(ExtremesAdversary::new(10.0)))
                     .synchronous()
                     .expect("valid sim");
                 for _ in 0..20 {
@@ -52,7 +52,7 @@ fn bench_convergence_to_eps(c: &mut Criterion) {
                     .inputs(&inputs)
                     .faults(faults.clone())
                     .rule(&rule)
-                    .adversary(Box::new(PullAdversary { toward_max: false }))
+                    .adversary(Box::new(PullAdversary::new(false)))
                     .synchronous()
                     .expect("valid sim");
                 let mut rounds = 0usize;

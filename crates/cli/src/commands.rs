@@ -170,17 +170,17 @@ fn adversary_factory(
     seed: u64,
 ) -> Result<Box<dyn Fn() -> Box<dyn Adversary>>, CliError> {
     Ok(match name {
-        "conforming" => Box::new(|| Box::new(ConformingAdversary)),
-        "constant" => Box::new(|| Box::new(ConstantAdversary { value: 1e9 })),
+        "conforming" => Box::new(|| Box::new(ConformingAdversary::new())),
+        "constant" => Box::new(|| Box::new(ConstantAdversary::new(1e9))),
         "random" => Box::new(move || Box::new(RandomAdversary::new(-1e6, 1e6, seed))),
-        "extremes" => Box::new(|| Box::new(ExtremesAdversary { delta: 1e6 })),
-        "pull-low" => Box::new(|| Box::new(PullAdversary { toward_max: false })),
-        "pull-high" => Box::new(|| Box::new(PullAdversary { toward_max: true })),
-        "crash" => Box::new(|| Box::new(CrashAdversary { from_round: 2 })),
-        "flip-flop" => Box::new(|| Box::new(FlipFlopAdversary { delta: 1e6 })),
-        "polarizing" => Box::new(|| Box::new(PolarizingAdversary)),
-        "echo" => Box::new(|| Box::new(EchoAdversary)),
-        "nan" => Box::new(|| Box::new(NaNAdversary)),
+        "extremes" => Box::new(|| Box::new(ExtremesAdversary::new(1e6))),
+        "pull-low" => Box::new(|| Box::new(PullAdversary::new(false))),
+        "pull-high" => Box::new(|| Box::new(PullAdversary::new(true))),
+        "crash" => Box::new(|| Box::new(CrashAdversary::new(2))),
+        "flip-flop" => Box::new(|| Box::new(FlipFlopAdversary::new(1e6))),
+        "polarizing" => Box::new(|| Box::new(PolarizingAdversary::new())),
+        "echo" => Box::new(|| Box::new(EchoAdversary::new())),
+        "nan" => Box::new(|| Box::new(NaNAdversary::new())),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown adversary {other:?} (try conforming, constant, random, extremes, \
@@ -360,11 +360,13 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         epsilon: args.optional("eps")?.unwrap_or(1e-6),
         max_rounds: args.optional("max-rounds")?.unwrap_or(10_000),
     };
+    let jobs: usize = args.optional("jobs")?.unwrap_or(1);
     let mut sim = Scenario::on(&g)
         .inputs(&inputs)
         .faults(fault_set)
         .rule(rule.as_ref())
         .adversary(adversary)
+        .parallel(jobs)
         .synchronous()
         .map_err(|e| CliError::Run(e.to_string()))?;
     let out = sim.run(&config).map_err(|e| CliError::Run(e.to_string()))?;
@@ -869,11 +871,22 @@ fn sweep_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
     Ok(sweep::effective_jobs(jobs, args.has_flag("parallel")))
 }
 
-/// `iabc perf [--quick] [--steps S] [--out FILE]` — measures the compiled
-/// synchronous engine's step throughput (rounds/sec) against the retained
-/// pre-refactor reference stepper on the [`iabc_bench::hotpath_grid`]
-/// workloads, and writes the machine-readable `BENCH_hotpath.json` so the
-/// repo accumulates a perf trajectory across commits.
+/// `iabc perf [--quick] [--steps S] [--jobs N] [--out FILE]` — measures
+/// the compiled synchronous engine's step throughput (rounds/sec) against
+/// the retained pre-refactor reference stepper on the
+/// [`iabc_bench::hotpath_grid`] workloads, adds a **parallel-vs-serial**
+/// datapoint (the same compiled engine at `--jobs N` vs one worker), and
+/// writes the machine-readable `BENCH_hotpath.json` so the repo
+/// accumulates a perf trajectory across commits.
+///
+/// `iabc perf --check [--baseline FILE] [--tolerance T]` additionally
+/// diffs the fresh run against the committed baseline JSON and **fails**
+/// (non-zero exit) if any workload's compiled-vs-reference speedup — or
+/// the parallel datapoint's speedup — regressed by more than the noise
+/// tolerance (default 0.4, i.e. a 40% drop). Workloads missing from
+/// either side (e.g. quick-mode runs checked against a full-mode
+/// baseline) are skipped, so CI smoke runs can check against the
+/// committed full grid.
 pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     use iabc_sim::reference::{ReferenceStepper, ReferenceTrimmedMean};
     use std::time::Instant;
@@ -881,6 +894,17 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let quick = args.has_flag("quick");
     let out_path = args.flag("out").unwrap_or("BENCH_hotpath.json").to_string();
     let steps_override = args.optional::<usize>("steps")?;
+    let jobs: usize = args.optional("jobs")?.unwrap_or(4);
+    let check = args.has_flag("check");
+    let baseline_path = args.flag("baseline").unwrap_or("BENCH_hotpath.json");
+    let tolerance: f64 = args.optional("tolerance")?.unwrap_or(0.4);
+    let baseline = if check {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::Io(format!("{baseline_path}: {e}")))?;
+        Some(parse_bench_json(&text))
+    } else {
+        None
+    };
 
     let mut report = format!(
         "hotpath throughput ({} grid): compiled engine vs pre-refactor reference\n\
@@ -894,6 +918,7 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         "speedup"
     );
     let mut entries = Vec::new();
+    let mut fresh: Vec<BenchEntry> = Vec::new();
     for w in iabc_bench::hotpath_grid(quick) {
         let n = w.graph.node_count();
         let steps = steps_override
@@ -911,7 +936,7 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .map_err(|e| CliError::Run(e.to_string()))?;
         let time_steps = |step: &mut dyn FnMut() -> Result<(), CliError>| -> Result<f64, CliError> {
@@ -937,7 +962,7 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             &inputs,
             faults,
             &slow_rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .map_err(|e| CliError::Run(e.to_string()))?;
         let reference = time_steps(&mut || {
@@ -951,28 +976,184 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             "{:<16} {:>4} {:>6} {:>14.1} {:>14.1} {:>7.2}x\n",
             w.name, w.f, steps, compiled, reference, speedup
         ));
+        let topology = w.name.split('/').next().unwrap_or(&w.name).to_string();
+        fresh.push(BenchEntry {
+            topology: topology.clone(),
+            n,
+            f: w.f,
+            speedup,
+        });
         entries.push(format!(
             "    {{\"topology\": \"{}\", \"n\": {}, \"f\": {}, \"steps\": {}, \
              \"compiled_steps_per_sec\": {:.3}, \"reference_steps_per_sec\": {:.3}, \
              \"speedup\": {:.3}}}",
-            w.name.split('/').next().unwrap_or(&w.name),
-            n,
-            w.f,
-            steps,
-            compiled,
-            reference,
-            speedup
+            topology, n, w.f, steps, compiled, reference, speedup
         ));
     }
+
+    // Parallel-vs-serial datapoint: the acceptance workload is the dense
+    // synchronous engine at n = 10^4 (complete, f = n/30); quick mode
+    // scales it down to n = 10^3 for CI smoke runs. Both sides are the
+    // SAME compiled engine — only the phase 2 worker count differs — and
+    // the trajectories are bit-identical by construction.
+    let par_n = if quick { 1_000 } else { 10_000 };
+    let par_f = (par_n - 1) / 30;
+    let par_steps = steps_override.unwrap_or(if quick { 10 } else { 3 }).max(1);
+    let par_graph = iabc_graph::generators::complete(par_n);
+    let par_inputs = iabc_bench::hotpath_inputs(par_n);
+    let par_faults = NodeSet::from_indices(par_n, iabc_bench::hotpath_fault_nodes(par_n, par_f));
+    let rule = TrimmedMean::new(par_f);
+    let time_engine = |engine_jobs: usize| -> Result<f64, CliError> {
+        let mut sim = iabc_sim::Simulation::new(
+            &par_graph,
+            &par_inputs,
+            par_faults.clone(),
+            &rule,
+            Box::new(ConstantAdversary::new(1e9)),
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?
+        .with_jobs(engine_jobs);
+        sim.step().map_err(|e| CliError::Run(e.to_string()))?; // warmup
+        let start = Instant::now();
+        for _ in 0..par_steps {
+            sim.step().map_err(|e| CliError::Run(e.to_string()))?;
+        }
+        Ok(par_steps as f64 / start.elapsed().as_secs_f64().max(1e-12))
+    };
+    let serial_rate = time_engine(1)?;
+    let parallel_rate = time_engine(jobs)?;
+    let par_speedup = parallel_rate / serial_rate;
+    report.push_str(&format!(
+        "parallel: complete/n{par_n} f={par_f} — {serial_rate:.1} steps/s serial vs \
+         {parallel_rate:.1} steps/s at --jobs {jobs} ({par_speedup:.2}x)\n"
+    ));
+    let parallel_json = format!(
+        "  \"parallel\": {{\"topology\": \"complete\", \"n\": {par_n}, \"f\": {par_f}, \
+         \"steps\": {par_steps}, \"jobs\": {jobs}, \"serial_steps_per_sec\": {serial_rate:.3}, \
+         \"parallel_steps_per_sec\": {parallel_rate:.3}, \"speedup\": {par_speedup:.3}}},"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{}\",\n  \"unit\": \"steps_per_sec\",\n  \
-         \"adversary\": \"constant\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"adversary\": \"constant\",\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
+        parallel_json,
         entries.join(",\n")
     );
+
+    if let Some(baseline) = baseline {
+        let mut regressions = Vec::new();
+        let mut compared = 0usize;
+        for e in &fresh {
+            let Some(base) = baseline
+                .results
+                .iter()
+                .find(|b| b.topology == e.topology && b.n == e.n && b.f == e.f)
+            else {
+                continue;
+            };
+            compared += 1;
+            if e.speedup < base.speedup * (1.0 - tolerance) {
+                regressions.push(format!(
+                    "{}/n{} f={}: speedup {:.2}x vs baseline {:.2}x (tolerance {:.0}%)",
+                    e.topology,
+                    e.n,
+                    e.f,
+                    e.speedup,
+                    base.speedup,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        // The parallel datapoint is compared on the job count alone: the
+        // committed baseline records the full-grid n = 10^4 workload while
+        // CI's quick mode measures n = 10^3, and requiring equal n would
+        // silently skip the one trajectory this guard exists for. Speedup
+        // (parallel/serial on the SAME engine and machine) is the
+        // scale-portable quantity; the generous tolerance absorbs the
+        // residual n-dependence of scheduling overhead.
+        if let Some((base_n, base_jobs, base_speedup)) = baseline.parallel {
+            if base_jobs == jobs {
+                compared += 1;
+                if par_speedup < base_speedup * (1.0 - tolerance) {
+                    regressions.push(format!(
+                        "parallel complete/n{par_n} --jobs {jobs}: speedup {par_speedup:.2}x \
+                         vs baseline {base_speedup:.2}x at n={base_n} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(CliError::Run(format!(
+                "perf regression against {baseline_path} ({compared} workloads compared):\n  {}",
+                regressions.join("\n  ")
+            )));
+        }
+        report.push_str(&format!(
+            "perf check PASSED: {compared} workload(s) within {:.0}% of {baseline_path}\n",
+            tolerance * 100.0
+        ));
+    }
+
     std::fs::write(&out_path, &json).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
     report.push_str(&format!("wrote {out_path}\n"));
     Ok(report)
+}
+
+/// One parsed baseline workload (the fields `perf --check` compares).
+struct BenchEntry {
+    topology: String,
+    n: usize,
+    f: usize,
+    speedup: f64,
+}
+
+/// A parsed `BENCH_hotpath.json` baseline.
+struct BenchBaseline {
+    results: Vec<BenchEntry>,
+    /// `(n, jobs, speedup)` of the parallel datapoint, if recorded.
+    parallel: Option<(usize, usize, f64)>,
+}
+
+/// Extracts the value of `"key": value` from a single JSON object line
+/// (the self-emitted `BENCH_hotpath.json` is line-oriented; this avoids a
+/// JSON dependency the container does not have).
+fn json_field<'s>(line: &'s str, key: &str) -> Option<&'s str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses the entries of a self-emitted `BENCH_hotpath.json`. Unparsable
+/// lines are skipped — the checker then simply has fewer workloads to
+/// compare, which it reports.
+fn parse_bench_json(text: &str) -> BenchBaseline {
+    let mut results = Vec::new();
+    let mut parallel = None;
+    for line in text.lines() {
+        let (Some(topology), Some(n), Some(f), Some(speedup)) = (
+            json_field(line, "topology"),
+            json_field(line, "n").and_then(|v| v.parse::<usize>().ok()),
+            json_field(line, "f").and_then(|v| v.parse::<usize>().ok()),
+            json_field(line, "speedup").and_then(|v| v.parse::<f64>().ok()),
+        ) else {
+            continue;
+        };
+        if let Some(jobs) = json_field(line, "jobs").and_then(|v| v.parse::<usize>().ok()) {
+            parallel = Some((n, jobs, speedup));
+        } else {
+            results.push(BenchEntry {
+                topology: topology.to_string(),
+                n,
+                f,
+                speedup,
+            });
+        }
+    }
+    BenchBaseline { results, parallel }
 }
 
 #[cfg(test)]
@@ -1555,11 +1736,78 @@ mod tests {
         assert!(json.contains("\"bench\": \"hotpath\""), "{json}");
         assert!(json.contains("\"mode\": \"quick\""), "{json}");
         assert!(json.contains("\"compiled_steps_per_sec\""), "{json}");
-        assert_eq!(json.matches("\"topology\"").count(), 6, "{json}");
+        // 6 grid entries + the parallel-vs-serial datapoint.
+        assert_eq!(json.matches("\"topology\"").count(), 7, "{json}");
+        assert!(json.contains("\"parallel\""), "{json}");
+        assert!(json.contains("\"serial_steps_per_sec\""), "{json}");
         // Structurally sound: balanced braces/brackets, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
         std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn perf_check_passes_against_own_baseline_and_catches_regressions() {
+        let base = std::env::temp_dir().join("iabc-cli-test-perf-baseline.json");
+        let base = base.to_string_lossy().into_owned();
+        let out = std::env::temp_dir().join("iabc-cli-test-perf-fresh.json");
+        let out = out.to_string_lossy().into_owned();
+        // Emit a baseline, then re-run with --check against it: two runs
+        // of the same binary on the same machine sit well inside the
+        // default tolerance.
+        run(&argv(&["perf", "--quick", "--steps", "1", "--out", &base])).unwrap();
+        let report = run(&argv(&[
+            "perf",
+            "--quick",
+            "--steps",
+            "1",
+            "--check",
+            "--baseline",
+            &base,
+            "--out",
+            &out,
+            "--tolerance",
+            "0.9",
+        ]))
+        .unwrap();
+        assert!(report.contains("perf check PASSED"), "{report}");
+        // Doctor the baseline to claim an impossible 1000x speedup on one
+        // workload: the check must fail and name it.
+        let doctored = std::fs::read_to_string(&base).unwrap().replacen(
+            "\"speedup\":",
+            "\"speedup\": 1000.0, \"old\":",
+            1,
+        );
+        std::fs::write(&base, doctored).unwrap();
+        let err = run(&argv(&[
+            "perf",
+            "--quick",
+            "--steps",
+            "1",
+            "--check",
+            "--baseline",
+            &base,
+            "--out",
+            &out,
+            "--tolerance",
+            "0.9",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("perf regression"),
+            "doctored baseline must fail the check: {err}"
+        );
+        // A missing baseline is an I/O error, not a silent pass.
+        assert!(run(&argv(&[
+            "perf",
+            "--quick",
+            "--check",
+            "--baseline",
+            "/nonexistent/bench.json"
+        ]))
+        .is_err());
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&out).ok();
     }
 }

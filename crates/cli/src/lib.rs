@@ -83,6 +83,8 @@ pub fn usage() -> String {
                                       flags: --adversary NAME (conforming|constant|\n\
                                       random|extremes|pull-low|pull-high|crash|\n\
                                       flip-flop|polarizing|echo|nan),\n\
+                                      --jobs N (parallel node loop, 0 = all cores;\n\
+                                      bit-identical for any value),\n\
                                       --inputs V,V,.. | --seed S, --eps E, --max-rounds R,\n\
                                       --rule trimmed-mean|mean|midpoint|w-msr|\n\
                                       dolev-midpoint|dolev-select-mean|quantized\n\
@@ -108,10 +110,15 @@ pub fn usage() -> String {
                                       exhaustive small-n census, one cell per (n,f)\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\
        replay <file> --f N --transcript T.txt   verify a recorded run\n\
-       perf [--quick] [--steps S] [--out BENCH_hotpath.json]\n\
+       perf [--quick] [--steps S] [--jobs N] [--out BENCH_hotpath.json]\n\
                                       hot-path rounds/sec (compiled vs pre-refactor\n\
-                                      reference) on complete/random/kite topologies;\n\
-                                      writes the JSON perf trajectory artifact\n"
+                                      reference) on complete/random/kite topologies,\n\
+                                      plus a parallel-vs-serial datapoint at --jobs N;\n\
+                                      writes the JSON perf trajectory artifact\n\
+       perf --check [--baseline FILE] [--tolerance 0.4]\n\
+                                      diff a fresh run against the committed\n\
+                                      BENCH_hotpath.json and fail on speedup\n\
+                                      regressions beyond the noise tolerance\n"
         .to_string()
 }
 

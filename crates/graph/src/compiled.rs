@@ -168,6 +168,25 @@ impl CompiledTopology {
         &self.faulty_in[self.faulty_offsets[i] as usize..self.faulty_offsets[i + 1] as usize]
     }
 
+    /// The raw sub-CSR offset of node `i`'s faulty in-edge run — stable
+    /// per-edge slot arithmetic for flattened per-faulty-edge state: the
+    /// `k`-th entry of [`CompiledTopology::faulty_in_edges_of`]`(i)` has
+    /// global faulty-edge index `faulty_in_offset(i) + k`. The two-phase
+    /// adversary protocol keys its per-round `RoundPlan` table on exactly
+    /// these indices, so the engines' per-edge lookup is an array index
+    /// rather than a trait call.
+    #[inline]
+    pub fn faulty_in_offset(&self, i: usize) -> usize {
+        self.faulty_offsets[i] as usize
+    }
+
+    /// Total number of faulty in-edges across all receivers — the length
+    /// of the flat index space of [`CompiledTopology::faulty_in_offset`].
+    #[inline]
+    pub fn faulty_edge_count(&self) -> usize {
+        self.faulty_in.len()
+    }
+
     /// The raw CSR offset of node `i`'s row — stable slot arithmetic for
     /// flattened per-edge state (e.g. the delay-bounded engine's mailbox:
     /// the value from `i`'s `k`-th in-neighbour lives at
@@ -205,6 +224,20 @@ mod tests {
                 .collect();
             assert_eq!(t.faulty_in_edges_of(v.index()), expect_faulty.as_slice());
         }
+    }
+
+    #[test]
+    fn faulty_in_offsets_index_the_sub_csr_contiguously() {
+        let g = generators::chord(7, 5);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let t = CompiledTopology::compile(&g, &faults);
+        let mut expected = 0usize;
+        for i in 0..7 {
+            assert_eq!(t.faulty_in_offset(i), expected);
+            expected += t.faulty_in_edges_of(i).len();
+        }
+        assert_eq!(expected, t.faulty_edge_count());
+        assert!(t.faulty_edge_count() > 0);
     }
 
     #[test]

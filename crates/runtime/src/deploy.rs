@@ -309,7 +309,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConstantAdversary { value: 1e6 }),
+            Box::new(ConstantAdversary::new(1e6)),
         )
         .unwrap();
         for _ in 0..rounds {

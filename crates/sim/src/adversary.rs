@@ -1,4 +1,4 @@
-//! Full-information Byzantine adversaries.
+//! Full-information Byzantine adversaries — the **two-phase** protocol.
 //!
 //! The paper's failure model (Section 2.2): up to `f` nodes misbehave
 //! arbitrarily, may collude, know the complete system state and the
@@ -6,11 +6,44 @@
 //! **different** values to different out-neighbours — the distinguishing
 //! power this paper studies (contrast the broadcast model of \[16, 17\]).
 //!
-//! An [`Adversary`] is queried once per (faulty sender, receiver, round)
-//! with a full [`AdversaryView`] of the system, matching that model
-//! exactly. The star exhibit is [`SplitBrainAdversary`], the adversary from
-//! the **proof of Theorem 1**: it sends `m⁻ < m` to `L`, `M⁺ > M` to `R`,
-//! and a mid-range value to `C`, freezing a violating partition forever.
+//! # The two-phase protocol
+//!
+//! An [`Adversary`] is invoked **once per round**, not once per edge:
+//!
+//! 1. **Plan** ([`Adversary::plan_round`], phase 1, serial). The engine
+//!    passes a full [`AdversaryView`] of the system plus a
+//!    [`RoundSlots`] listing every faulty edge it will deliver this
+//!    round, and the adversary fills a flat [`RoundPlan`] — one
+//!    [`crate::plan::PlannedMessage`] (value or omission) per slot. All
+//!    mutable state lives here: RNG streams draw in slot order,
+//!    per-round caches ([`BroadcastOf`]) reset, and hull-querying
+//!    strategies compute `U[t-1]`/`µ[t-1]` **once** via
+//!    [`AdversaryView::honest_hull`] instead of once per message.
+//! 2. **Execute** (phase 2, parallelizable). The engine's node loop —
+//!    which may fan across cores — reads the finished plan by index.
+//!    The adversary is not touched again until the next round.
+//!
+//! What belongs where: anything that mutates (`&mut self`) or scans the
+//! whole state vector belongs in `plan_round`; the per-edge decision
+//! itself should reduce to writing a precomputed value into the plan.
+//!
+//! # The per-edge shim
+//!
+//! [`Adversary::message`]/[`Adversary::omits`] survive only as a
+//! **default-implemented shim** for unmigrated (e.g. downstream)
+//! adversaries: the provided `plan_round` loops over the slots calling
+//! them one edge at a time, exactly as the pre-two-phase engines did.
+//! Implement **either** `plan_round` (preferred — enables per-round
+//! memoization) **or** `message` (+ optionally `omits`); the default
+//! `message` body panics so a type implementing neither fails loudly.
+//! Every adversary in this crate implements `plan_round` natively.
+//!
+//! The star exhibit is [`SplitBrainAdversary`], the adversary from the
+//! **proof of Theorem 1**: it sends `m⁻ < m` to `L`, `M⁺ > M` to `R`, and
+//! a mid-range value to `C`, freezing a violating partition forever.
+//!
+//! All adversary structs are `#[non_exhaustive]` with `new(..)`
+//! constructors, so future cached fields are not breaking changes.
 
 use std::fmt;
 
@@ -19,7 +52,9 @@ use iabc_graph::{Digraph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Everything a full-information adversary can see when choosing a message.
+use crate::plan::{PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
+
+/// Everything a full-information adversary can see when planning a round.
 #[derive(Debug)]
 pub struct AdversaryView<'a> {
     /// Iteration about to be computed (`t ≥ 1`; states are `v[t-1]`).
@@ -33,40 +68,87 @@ pub struct AdversaryView<'a> {
 }
 
 impl AdversaryView<'_> {
+    /// The fault-free hull `(µ[t-1], U[t-1])` in a single pass. Call this
+    /// **once** per [`Adversary::plan_round`] and reuse the pair — the
+    /// whole point of phase 1 is that the O(n) scan happens per round,
+    /// not per message.
+    pub fn honest_hull(&self) -> (f64, f64) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &v) in self.states.iter().enumerate() {
+            if !self.fault_set.contains(NodeId::new(i)) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
+
     /// Maximum state over fault-free nodes (`U[t-1]`).
     pub fn honest_max(&self) -> f64 {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !self.fault_set.contains(NodeId::new(*i)))
-            .map(|(_, &v)| v)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.honest_hull().1
     }
 
     /// Minimum state over fault-free nodes (`µ[t-1]`).
     pub fn honest_min(&self) -> f64 {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !self.fault_set.contains(NodeId::new(*i)))
-            .map(|(_, &v)| v)
-            .fold(f64::INFINITY, f64::min)
+        self.honest_hull().0
     }
 }
 
-/// A joint strategy for all faulty nodes (they collude per §2.2).
+/// A joint strategy for all faulty nodes (they collude per §2.2),
+/// speaking the two-phase protocol described in the [module docs](self).
 pub trait Adversary: fmt::Debug + Send {
-    /// The value faulty node `sender` puts on its edge to `receiver`.
-    fn message(&mut self, view: &AdversaryView<'_>, sender: NodeId, receiver: NodeId) -> f64;
-
-    /// Whether faulty node `sender` *omits* its message to `receiver` this
-    /// round (sends nothing). The synchronous engine detects the missing
-    /// message and substitutes the receiver's own previous state — a
-    /// standard synchronous-model convention that keeps `|r_i[t]| = |N⁻_i|`
-    /// and preserves validity (the substituted value is in the honest hull).
+    /// Phase 1: plan every message this round delivers on a faulty edge.
     ///
-    /// Defaults to never omitting; [`message`](Adversary::message) is not
-    /// called for omitted edges.
+    /// Runs once per round, serially, with full mutable state. `slots`
+    /// enumerates the faulty edges in the engine's delivery order (RNG
+    /// draws must follow that order to stay reproducible); fill `plan`
+    /// with one entry per slot. `plan` arrives reset to all-`Omit` and
+    /// may be larger than `slots` (engines with sparse slot spaces only
+    /// read the slots they named).
+    ///
+    /// The default implementation is the compatibility shim: it queries
+    /// the per-edge [`Adversary::omits`]/[`Adversary::message`] pair one
+    /// slot at a time — exactly the pre-two-phase engine protocol,
+    /// skipping `omits` when the engine does not honour omission.
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        for edge in slots.iter() {
+            if slots.allows_omission() && self.omits(view, edge.sender_id(), edge.receiver_id()) {
+                plan.set_omit(edge.slot);
+            } else {
+                plan.set_value(
+                    edge.slot,
+                    self.message(view, edge.sender_id(), edge.receiver_id()),
+                );
+            }
+        }
+    }
+
+    /// Per-edge shim: the value faulty `sender` puts on its edge to
+    /// `receiver`. Only called by the default [`Adversary::plan_round`];
+    /// implement it (instead of `plan_round`) to port a pre-two-phase
+    /// adversary unchanged.
+    ///
+    /// # Panics
+    ///
+    /// The default body panics: an adversary must implement at least one
+    /// of `plan_round` or `message`.
+    fn message(&mut self, view: &AdversaryView<'_>, sender: NodeId, receiver: NodeId) -> f64 {
+        let _ = (view, sender, receiver);
+        unimplemented!(
+            "adversary {:?} implements neither plan_round nor the per-edge message shim",
+            self.name()
+        )
+    }
+
+    /// Per-edge shim: whether faulty `sender` *omits* its message to
+    /// `receiver` this round. Only consulted by the default
+    /// [`Adversary::plan_round`], and only when the engine honours
+    /// omission; defaults to never omitting.
     fn omits(&mut self, view: &AdversaryView<'_>, sender: NodeId, receiver: NodeId) -> bool {
         let _ = (view, sender, receiver);
         false
@@ -78,14 +160,55 @@ pub trait Adversary: fmt::Debug + Send {
     }
 }
 
+/// Plans a single edge and returns its message (`None` = omitted) — a
+/// convenience for tests and diagnostics that want the old "query one
+/// edge" ergonomics on top of the two-phase protocol. Each call is its
+/// own plan: stateful adversaries advance exactly as if the engine had
+/// planned a one-edge round.
+pub fn plan_one(
+    adversary: &mut dyn Adversary,
+    view: &AdversaryView<'_>,
+    sender: NodeId,
+    receiver: NodeId,
+    omissions: bool,
+) -> Option<f64> {
+    let edges = [PlannedEdge {
+        slot: 0,
+        sender: sender.index() as u32,
+        receiver: receiver.index() as u32,
+    }];
+    let mut plan = RoundPlan::new();
+    plan.begin(1);
+    adversary.plan_round(view, RoundSlots::new(&edges, omissions), &mut plan);
+    match plan.get(0) {
+        PlannedMessage::Value(v) => Some(v),
+        PlannedMessage::Omit => None,
+    }
+}
+
 /// Faulty nodes behave exactly like honest ones (crash-free benign run).
 /// Useful as a baseline: Algorithm 1 must of course converge here too.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct ConformingAdversary;
 
+impl ConformingAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        ConformingAdversary
+    }
+}
+
 impl Adversary for ConformingAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, sender: NodeId, _receiver: NodeId) -> f64 {
-        view.states[sender.index()]
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, view.states[edge.sender as usize]);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -95,14 +218,24 @@ impl Adversary for ConformingAdversary {
 
 /// Every faulty node sends the same constant to everyone.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ConstantAdversary {
     /// The constant sent on every edge.
     pub value: f64,
 }
 
+impl ConstantAdversary {
+    /// Creates the adversary sending `value` on every edge.
+    pub fn new(value: f64) -> Self {
+        ConstantAdversary { value }
+    }
+}
+
 impl Adversary for ConstantAdversary {
-    fn message(&mut self, _: &AdversaryView<'_>, _: NodeId, _: NodeId) -> f64 {
-        self.value
+    fn plan_round(&mut self, _: &AdversaryView<'_>, slots: RoundSlots<'_>, plan: &mut RoundPlan) {
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, self.value);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -111,7 +244,10 @@ impl Adversary for ConstantAdversary {
 }
 
 /// Uniform random noise in `[lo, hi]`, independently per edge and round.
+/// Draws one value per slot, in slot order — the stream is a pure
+/// function of the seed and the engine's edge enumeration.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct RandomAdversary {
     lo: f64,
     hi: f64,
@@ -138,8 +274,10 @@ impl RandomAdversary {
 }
 
 impl Adversary for RandomAdversary {
-    fn message(&mut self, _: &AdversaryView<'_>, _: NodeId, _: NodeId) -> f64 {
-        self.rng.random_range(self.lo..=self.hi)
+    fn plan_round(&mut self, _: &AdversaryView<'_>, slots: RoundSlots<'_>, plan: &mut RoundPlan) {
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, self.rng.random_range(self.lo..=self.hi));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -151,17 +289,33 @@ impl Adversary for RandomAdversary {
 /// receivers get `µ[t-1] − delta`. Blatant, and exactly what trimming
 /// defeats: the planted extremes land in the trimmed tails.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ExtremesAdversary {
     /// How far beyond the honest hull to aim.
     pub delta: f64,
 }
 
+impl ExtremesAdversary {
+    /// Creates the adversary aiming `delta` beyond the honest hull.
+    pub fn new(delta: f64) -> Self {
+        ExtremesAdversary { delta }
+    }
+}
+
 impl Adversary for ExtremesAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, receiver: NodeId) -> f64 {
-        if receiver.index() % 2 == 1 {
-            view.honest_max() + self.delta
-        } else {
-            view.honest_min() - self.delta
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let (lo, hi) = view.honest_hull();
+        let (below, above) = (lo - self.delta, hi + self.delta);
+        for edge in slots.iter() {
+            plan.set_value(
+                edge.slot,
+                if edge.receiver % 2 == 1 { above } else { below },
+            );
         }
     }
 
@@ -175,17 +329,30 @@ impl Adversary for ExtremesAdversary {
 /// cannot reliably discard it; it drags convergence toward one extreme and
 /// maximizes the number of rounds without ever violating validity.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct PullAdversary {
     /// `true` → pull toward `U[t-1]`; `false` → toward `µ[t-1]`.
     pub toward_max: bool,
 }
 
+impl PullAdversary {
+    /// Creates the adversary; `toward_max` picks the hull end it reports.
+    pub fn new(toward_max: bool) -> Self {
+        PullAdversary { toward_max }
+    }
+}
+
 impl Adversary for PullAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, _: NodeId) -> f64 {
-        if self.toward_max {
-            view.honest_max()
-        } else {
-            view.honest_min()
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let (lo, hi) = view.honest_hull();
+        let lie = if self.toward_max { hi } else { lo };
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, lie);
         }
     }
 
@@ -197,14 +364,30 @@ impl Adversary for PullAdversary {
 /// Failure injection: sends NaN and infinities. The engine must sanitize
 /// these before they reach an update rule (rules reject non-finite input).
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct NaNAdversary;
 
+impl NaNAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        NaNAdversary
+    }
+}
+
 impl Adversary for NaNAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, receiver: NodeId) -> f64 {
-        match (view.round + receiver.index()) % 3 {
-            0 => f64::NAN,
-            1 => f64::INFINITY,
-            _ => f64::NEG_INFINITY,
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        for edge in slots.iter() {
+            let value = match (view.round + edge.receiver as usize) % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            plan.set_value(edge.slot, value);
         }
     }
 
@@ -219,6 +402,7 @@ impl Adversary for NaNAdversary {
 /// `R` holding `M`), this freezes the partition: `L` stays at `m`, `R` at
 /// `M`, forever (experiment E1).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SplitBrainAdversary {
     left: NodeSet,
     right: NodeSet,
@@ -249,13 +433,17 @@ impl SplitBrainAdversary {
 }
 
 impl Adversary for SplitBrainAdversary {
-    fn message(&mut self, _: &AdversaryView<'_>, _: NodeId, receiver: NodeId) -> f64 {
-        if self.left.contains(receiver) {
-            self.m_minus
-        } else if self.right.contains(receiver) {
-            self.m_plus
-        } else {
-            self.mid
+    fn plan_round(&mut self, _: &AdversaryView<'_>, slots: RoundSlots<'_>, plan: &mut RoundPlan) {
+        for edge in slots.iter() {
+            let receiver = edge.receiver_id();
+            let value = if self.left.contains(receiver) {
+                self.m_minus
+            } else if self.right.contains(receiver) {
+                self.m_plus
+            } else {
+                self.mid
+            };
+            plan.set_value(edge.slot, value);
         }
     }
 
@@ -266,20 +454,39 @@ impl Adversary for SplitBrainAdversary {
 
 /// Failure injection: faulty nodes crash-stop — they omit every message
 /// from `from_round` onward (and send their true state before that).
-/// Exercises the engine's missing-message substitution path.
+/// Exercises the engine's missing-message substitution path. Under
+/// execution models that do not honour omission (the delay-bounded
+/// engine) the node keeps transmitting its true state, exactly as the
+/// per-edge protocol behaved.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct CrashAdversary {
     /// First round at which the crash takes effect.
     pub from_round: usize,
 }
 
-impl Adversary for CrashAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, sender: NodeId, _receiver: NodeId) -> f64 {
-        view.states[sender.index()]
+impl CrashAdversary {
+    /// Creates the adversary; the crash takes effect at `from_round`.
+    pub fn new(from_round: usize) -> Self {
+        CrashAdversary { from_round }
     }
+}
 
-    fn omits(&mut self, view: &AdversaryView<'_>, _sender: NodeId, _receiver: NodeId) -> bool {
-        view.round >= self.from_round
+impl Adversary for CrashAdversary {
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let crashed = slots.allows_omission() && view.round >= self.from_round;
+        for edge in slots.iter() {
+            if crashed {
+                plan.set_omit(edge.slot);
+            } else {
+                plan.set_value(edge.slot, view.states[edge.sender as usize]);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -290,6 +497,7 @@ impl Adversary for CrashAdversary {
 /// Faulty nodes omit messages to a fixed subset of receivers every round
 /// while lying to the rest — mixes omission and commission failures.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SelectiveOmissionAdversary {
     /// Receivers that never hear from the faulty nodes.
     pub silenced: NodeSet,
@@ -297,13 +505,23 @@ pub struct SelectiveOmissionAdversary {
     pub value: f64,
 }
 
-impl Adversary for SelectiveOmissionAdversary {
-    fn message(&mut self, _: &AdversaryView<'_>, _: NodeId, _: NodeId) -> f64 {
-        self.value
+impl SelectiveOmissionAdversary {
+    /// Creates the adversary: `silenced` receivers hear nothing, everyone
+    /// else hears `value`.
+    pub fn new(silenced: NodeSet, value: f64) -> Self {
+        SelectiveOmissionAdversary { silenced, value }
     }
+}
 
-    fn omits(&mut self, _: &AdversaryView<'_>, _sender: NodeId, receiver: NodeId) -> bool {
-        self.silenced.contains(receiver)
+impl Adversary for SelectiveOmissionAdversary {
+    fn plan_round(&mut self, _: &AdversaryView<'_>, slots: RoundSlots<'_>, plan: &mut RoundPlan) {
+        for edge in slots.iter() {
+            if slots.allows_omission() && self.silenced.contains(edge.receiver_id()) {
+                plan.set_omit(edge.slot);
+            } else {
+                plan.set_value(edge.slot, self.value);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -314,14 +532,21 @@ impl Adversary for SelectiveOmissionAdversary {
 /// Restricts any inner adversary to the **broadcast model** of refs.\ \[16\]/\[17\]
 /// (Sundaram–Hadjicostis, LeBlanc et al.): a faulty node may lie, but must
 /// send the *same* value to all its out-neighbours in a round. The wrapper
-/// caches the inner adversary's first answer per `(round, sender)` and
-/// replays it for every receiver — mechanically removing the point-to-point
-/// "split-brain" power this paper's model grants.
+/// plans one inner message per faulty sender (against the first edge the
+/// engine names for that sender, matching the pre-two-phase first-query
+/// semantics) and replays it on every edge of that sender — mechanically
+/// removing the point-to-point "split-brain" power this paper's model
+/// grants.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct BroadcastOf<A> {
     inner: A,
-    cache_round: usize,
-    cache: Vec<Option<f64>>,
+    /// Scratch: the first edge named per sender, in slot order.
+    firsts: Vec<PlannedEdge>,
+    /// Scratch: the inner adversary's per-sender sub-plan.
+    sub_plan: RoundPlan,
+    /// Scratch: sender id → sub-plan slot (`u32::MAX` = unseen).
+    first_slot_of: Vec<u32>,
 }
 
 impl<A: Adversary> BroadcastOf<A> {
@@ -329,25 +554,49 @@ impl<A: Adversary> BroadcastOf<A> {
     pub fn new(inner: A) -> Self {
         BroadcastOf {
             inner,
-            cache_round: usize::MAX,
-            cache: Vec::new(),
+            firsts: Vec::new(),
+            sub_plan: RoundPlan::new(),
+            first_slot_of: Vec::new(),
         }
     }
 }
 
 impl<A: Adversary> Adversary for BroadcastOf<A> {
-    fn message(&mut self, view: &AdversaryView<'_>, sender: NodeId, receiver: NodeId) -> f64 {
-        if self.cache_round != view.round {
-            self.cache_round = view.round;
-            self.cache.clear();
-            self.cache.resize(view.graph.node_count(), None);
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let n = view.graph.node_count();
+        self.first_slot_of.clear();
+        self.first_slot_of.resize(n, u32::MAX);
+        self.firsts.clear();
+        for edge in slots.iter() {
+            if self.first_slot_of[edge.sender as usize] == u32::MAX {
+                self.first_slot_of[edge.sender as usize] = self.firsts.len() as u32;
+                self.firsts.push(PlannedEdge {
+                    slot: self.firsts.len() as u32,
+                    sender: edge.sender,
+                    receiver: edge.receiver,
+                });
+            }
         }
-        if let Some(v) = self.cache[sender.index()] {
-            return v;
+        // The inner adversary plans once per sender. Omission is disabled
+        // for the sub-plan: the pre-two-phase wrapper never forwarded
+        // `omits`, always querying the inner `message`.
+        self.sub_plan.begin(self.firsts.len());
+        self.inner.plan_round(
+            view,
+            RoundSlots::new(&self.firsts, false),
+            &mut self.sub_plan,
+        );
+        for edge in slots.iter() {
+            let sub_slot = self.first_slot_of[edge.sender as usize];
+            if let PlannedMessage::Value(v) = self.sub_plan.get(sub_slot) {
+                plan.set_value(edge.slot, v);
+            }
         }
-        let v = self.inner.message(view, sender, receiver);
-        self.cache[sender.index()] = Some(v);
-        v
     }
 
     fn name(&self) -> &'static str {
@@ -362,17 +611,34 @@ impl<A: Adversary> Adversary for BroadcastOf<A> {
 /// constraint forbids rules from keying on `t`, so oscillating inputs must
 /// not resonate) and exercises the trimming on alternating tails.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct FlipFlopAdversary {
     /// How far beyond the honest hull to aim.
     pub delta: f64,
 }
 
+impl FlipFlopAdversary {
+    /// Creates the adversary aiming `delta` beyond the honest hull.
+    pub fn new(delta: f64) -> Self {
+        FlipFlopAdversary { delta }
+    }
+}
+
 impl Adversary for FlipFlopAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, _: NodeId) -> f64 {
-        if view.round.is_multiple_of(2) {
-            view.honest_max() + self.delta
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let (lo, hi) = view.honest_hull();
+        let lie = if view.round.is_multiple_of(2) {
+            hi + self.delta
         } else {
-            view.honest_min() - self.delta
+            lo - self.delta
+        };
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, lie);
         }
     }
 
@@ -391,15 +657,32 @@ impl Adversary for FlipFlopAdversary {
 /// [`PullAdversary`] (one-sided, merely biases the limit) and
 /// [`ExtremesAdversary`] (out-of-hull, removed by trimming).
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct PolarizingAdversary;
 
+impl PolarizingAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        PolarizingAdversary
+    }
+}
+
 impl Adversary for PolarizingAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, receiver: NodeId) -> f64 {
-        let mid = (view.honest_max() + view.honest_min()) / 2.0;
-        if view.states[receiver.index()] >= mid {
-            view.honest_max()
-        } else {
-            view.honest_min()
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        let (lo, hi) = view.honest_hull();
+        let mid = (hi + lo) / 2.0;
+        for edge in slots.iter() {
+            let value = if view.states[edge.receiver as usize] >= mid {
+                hi
+            } else {
+                lo
+            };
+            plan.set_value(edge.slot, value);
         }
     }
 
@@ -413,11 +696,26 @@ impl Adversary for PolarizingAdversary {
 /// neighbour, it contributes zero new information and anchors each receiver
 /// where it already is.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct EchoAdversary;
 
+impl EchoAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        EchoAdversary
+    }
+}
+
 impl Adversary for EchoAdversary {
-    fn message(&mut self, view: &AdversaryView<'_>, _: NodeId, receiver: NodeId) -> f64 {
-        view.states[receiver.index()]
+    fn plan_round(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: RoundSlots<'_>,
+        plan: &mut RoundPlan,
+    ) {
+        for edge in slots.iter() {
+            plan.set_value(edge.slot, view.states[edge.receiver as usize]);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -430,24 +728,25 @@ impl Adversary for EchoAdversary {
 pub fn standard_roster(value_range: (f64, f64)) -> Vec<Box<dyn Adversary>> {
     let (lo, hi) = value_range;
     vec![
-        Box::new(ConformingAdversary),
-        Box::new(ConstantAdversary { value: hi + 100.0 }),
+        Box::new(ConformingAdversary::new()),
+        Box::new(ConstantAdversary::new(hi + 100.0)),
         Box::new(RandomAdversary::new(lo - 50.0, hi + 50.0, 0xDECAF)),
-        Box::new(ExtremesAdversary { delta: 10.0 }),
-        Box::new(PullAdversary { toward_max: false }),
-        Box::new(PullAdversary { toward_max: true }),
-        Box::new(NaNAdversary),
-        Box::new(CrashAdversary { from_round: 3 }),
-        Box::new(BroadcastOf::new(ExtremesAdversary { delta: 25.0 })),
-        Box::new(FlipFlopAdversary { delta: 10.0 }),
-        Box::new(PolarizingAdversary),
-        Box::new(EchoAdversary),
+        Box::new(ExtremesAdversary::new(10.0)),
+        Box::new(PullAdversary::new(false)),
+        Box::new(PullAdversary::new(true)),
+        Box::new(NaNAdversary::new()),
+        Box::new(CrashAdversary::new(3)),
+        Box::new(BroadcastOf::new(ExtremesAdversary::new(25.0))),
+        Box::new(FlipFlopAdversary::new(10.0)),
+        Box::new(PolarizingAdversary::new()),
+        Box::new(EchoAdversary::new()),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::faulty_edges_of;
     use iabc_graph::generators;
 
     fn view_fixture<'a>(
@@ -463,6 +762,11 @@ mod tests {
         }
     }
 
+    /// `plan_one` with omissions enabled — the shape most tests want.
+    fn ask(adv: &mut dyn Adversary, view: &AdversaryView<'_>, s: usize, r: usize) -> Option<f64> {
+        plan_one(adv, view, NodeId::new(s), NodeId::new(r), true)
+    }
+
     #[test]
     fn view_honest_extremes_skip_faulty_nodes() {
         let g = generators::complete(4);
@@ -471,6 +775,7 @@ mod tests {
         let view = view_fixture(&g, &states, &faults);
         assert_eq!(view.honest_max(), 10.0);
         assert_eq!(view.honest_min(), 0.0);
+        assert_eq!(view.honest_hull(), (0.0, 10.0));
     }
 
     #[test]
@@ -479,8 +784,8 @@ mod tests {
         let states = [1.0, 2.0, 3.0];
         let faults = NodeSet::from_indices(3, [1]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = ConformingAdversary;
-        assert_eq!(adv.message(&view, NodeId::new(1), NodeId::new(0)), 2.0);
+        let mut adv = ConformingAdversary::new();
+        assert_eq!(ask(&mut adv, &view, 1, 0), Some(2.0));
     }
 
     #[test]
@@ -489,8 +794,8 @@ mod tests {
         let states = [1.0, 2.0, 3.0];
         let faults = NodeSet::from_indices(3, [0]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = ConstantAdversary { value: 42.0 };
-        assert_eq!(adv.message(&view, NodeId::new(0), NodeId::new(2)), 42.0);
+        let mut adv = ConstantAdversary::new(42.0);
+        assert_eq!(ask(&mut adv, &view, 0, 2), Some(42.0));
     }
 
     #[test]
@@ -502,8 +807,8 @@ mod tests {
         let mut a = RandomAdversary::new(-1.0, 1.0, 7);
         let mut b = RandomAdversary::new(-1.0, 1.0, 7);
         for _ in 0..20 {
-            let va = a.message(&view, NodeId::new(0), NodeId::new(1));
-            let vb = b.message(&view, NodeId::new(0), NodeId::new(1));
+            let va = ask(&mut a, &view, 0, 1).unwrap();
+            let vb = ask(&mut b, &view, 0, 1).unwrap();
             assert_eq!(va, vb, "same seed, same stream");
             assert!((-1.0..=1.0).contains(&va));
         }
@@ -515,9 +820,9 @@ mod tests {
         let states = [0.0, 1.0, 2.0, 3.0];
         let faults = NodeSet::from_indices(4, [3]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = ExtremesAdversary { delta: 5.0 };
-        assert_eq!(adv.message(&view, NodeId::new(3), NodeId::new(1)), 7.0); // U + 5
-        assert_eq!(adv.message(&view, NodeId::new(3), NodeId::new(0)), -5.0); // mu - 5
+        let mut adv = ExtremesAdversary::new(5.0);
+        assert_eq!(ask(&mut adv, &view, 3, 1), Some(7.0)); // U + 5
+        assert_eq!(ask(&mut adv, &view, 3, 0), Some(-5.0)); // mu - 5
     }
 
     #[test]
@@ -526,10 +831,10 @@ mod tests {
         let states = [0.0, 1.0, 2.0, 9.0];
         let faults = NodeSet::from_indices(4, [3]);
         let view = view_fixture(&g, &states, &faults);
-        let mut lo = PullAdversary { toward_max: false };
-        let mut hi = PullAdversary { toward_max: true };
-        assert_eq!(lo.message(&view, NodeId::new(3), NodeId::new(0)), 0.0);
-        assert_eq!(hi.message(&view, NodeId::new(3), NodeId::new(0)), 2.0);
+        let mut lo = PullAdversary::new(false);
+        let mut hi = PullAdversary::new(true);
+        assert_eq!(ask(&mut lo, &view, 3, 0), Some(0.0));
+        assert_eq!(ask(&mut hi, &view, 3, 0), Some(2.0));
     }
 
     #[test]
@@ -538,9 +843,9 @@ mod tests {
         let states = [0.0; 3];
         let faults = NodeSet::from_indices(3, [0]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = NaNAdversary;
+        let mut adv = NaNAdversary::new();
         let vals: Vec<f64> = (0..3)
-            .map(|r| adv.message(&view, NodeId::new(0), NodeId::new(r)))
+            .map(|r| ask(&mut adv, &view, 0, r).unwrap())
             .collect();
         assert!(vals.iter().any(|v| v.is_nan()));
         assert!(vals.contains(&f64::INFINITY));
@@ -557,13 +862,13 @@ mod tests {
         let view = view_fixture(&g, &states, &faults);
         let sender = w.fault_set.first().unwrap();
         for l in w.left.iter() {
-            assert_eq!(adv.message(&view, sender, l), -0.5);
+            assert_eq!(plan_one(&mut adv, &view, sender, l, true), Some(-0.5));
         }
         for r in w.right.iter() {
-            assert_eq!(adv.message(&view, sender, r), 1.5);
+            assert_eq!(plan_one(&mut adv, &view, sender, r, true), Some(1.5));
         }
         for c in w.center.iter() {
-            assert_eq!(adv.message(&view, sender, c), 0.5);
+            assert_eq!(plan_one(&mut adv, &view, sender, c, true), Some(0.5));
         }
     }
 
@@ -592,8 +897,8 @@ mod tests {
         let states = [0.0; 3];
         let faults = NodeSet::from_indices(3, [0]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = ConstantAdversary { value: 1.0 };
-        assert!(!adv.omits(&view, NodeId::new(0), NodeId::new(1)));
+        let mut adv = ConstantAdversary::new(1.0);
+        assert_eq!(ask(&mut adv, &view, 0, 1), Some(1.0));
     }
 
     #[test]
@@ -601,22 +906,27 @@ mod tests {
         let g = generators::complete(3);
         let states = [1.0, 2.0, 3.0];
         let faults = NodeSet::from_indices(3, [0]);
-        let mut adv = CrashAdversary { from_round: 2 };
+        let mut adv = CrashAdversary::new(2);
         let early = AdversaryView {
             round: 1,
             graph: &g,
             states: &states,
             fault_set: &faults,
         };
-        assert!(!adv.omits(&early, NodeId::new(0), NodeId::new(1)));
-        assert_eq!(adv.message(&early, NodeId::new(0), NodeId::new(1)), 1.0);
+        assert_eq!(ask(&mut adv, &early, 0, 1), Some(1.0));
         let late = AdversaryView {
             round: 2,
             graph: &g,
             states: &states,
             fault_set: &faults,
         };
-        assert!(adv.omits(&late, NodeId::new(0), NodeId::new(1)));
+        assert_eq!(ask(&mut adv, &late, 0, 1), None, "crashed => omitted");
+        // Under a model that does not honour omission the node keeps
+        // transmitting its true state.
+        assert_eq!(
+            plan_one(&mut adv, &late, NodeId::new(0), NodeId::new(1), false),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -625,13 +935,9 @@ mod tests {
         let states = [0.0; 4];
         let faults = NodeSet::from_indices(4, [0]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = SelectiveOmissionAdversary {
-            silenced: NodeSet::from_indices(4, [1]),
-            value: 9.0,
-        };
-        assert!(adv.omits(&view, NodeId::new(0), NodeId::new(1)));
-        assert!(!adv.omits(&view, NodeId::new(0), NodeId::new(2)));
-        assert_eq!(adv.message(&view, NodeId::new(0), NodeId::new(2)), 9.0);
+        let mut adv = SelectiveOmissionAdversary::new(NodeSet::from_indices(4, [1]), 9.0);
+        assert_eq!(ask(&mut adv, &view, 0, 1), None);
+        assert_eq!(ask(&mut adv, &view, 0, 2), Some(9.0));
     }
 
     #[test]
@@ -641,21 +947,31 @@ mod tests {
         let faults = NodeSet::from_indices(4, [3]);
         let view = view_fixture(&g, &states, &faults);
         // Extremes sends different values by receiver parity; the wrapper
-        // must flatten that to one value per round.
-        let mut adv = BroadcastOf::new(ExtremesAdversary { delta: 5.0 });
-        let v1 = adv.message(&view, NodeId::new(3), NodeId::new(1));
-        let v0 = adv.message(&view, NodeId::new(3), NodeId::new(0));
-        let v2 = adv.message(&view, NodeId::new(3), NodeId::new(2));
-        assert_eq!(v1, v0);
-        assert_eq!(v1, v2);
-        // A new round may pick a new value (cache reset).
+        // must flatten that to one value per sender per round. Plan a whole
+        // round at once, as the engines do.
+        let mut adv = BroadcastOf::new(ExtremesAdversary::new(5.0));
+        let edges = faulty_edges_of(&g, &faults);
+        assert_eq!(edges.len(), 3);
+        let mut plan = RoundPlan::new();
+        plan.begin(edges.len());
+        adv.plan_round(&view, RoundSlots::new(&edges, true), &mut plan);
+        let values: Vec<f64> = (0..3)
+            .map(|s| match plan.get(s) {
+                PlannedMessage::Value(v) => v,
+                PlannedMessage::Omit => panic!("broadcast never omits"),
+            })
+            .collect();
+        assert_eq!(values[0], values[1]);
+        assert_eq!(values[0], values[2]);
+        // A new round may pick a new value (the plan is per-round).
         let next = AdversaryView {
             round: 2,
             graph: &g,
             states: &states,
             fault_set: &faults,
         };
-        let _ = adv.message(&next, NodeId::new(3), NodeId::new(0));
+        plan.begin(edges.len());
+        adv.plan_round(&next, RoundSlots::new(&edges, true), &mut plan);
     }
 
     #[test]
@@ -663,21 +979,21 @@ mod tests {
         let g = generators::complete(3);
         let states = [0.0, 10.0, 5.0];
         let faults = NodeSet::from_indices(3, [2]);
-        let mut adv = FlipFlopAdversary { delta: 1.0 };
+        let mut adv = FlipFlopAdversary::new(1.0);
         let even = AdversaryView {
             round: 2,
             graph: &g,
             states: &states,
             fault_set: &faults,
         };
-        assert_eq!(adv.message(&even, NodeId::new(2), NodeId::new(0)), 11.0);
+        assert_eq!(ask(&mut adv, &even, 2, 0), Some(11.0));
         let odd = AdversaryView {
             round: 3,
             graph: &g,
             states: &states,
             fault_set: &faults,
         };
-        assert_eq!(adv.message(&odd, NodeId::new(2), NodeId::new(0)), -1.0);
+        assert_eq!(ask(&mut adv, &odd, 2, 0), Some(-1.0));
     }
 
     #[test]
@@ -686,11 +1002,11 @@ mod tests {
         let states = [0.0, 10.0, 6.0, -7.0];
         let faults = NodeSet::from_indices(4, [3]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = PolarizingAdversary;
+        let mut adv = PolarizingAdversary::new();
         // Honest hull [0, 10], midpoint 5. Node 2 (state 6) is above: gets max.
-        assert_eq!(adv.message(&view, NodeId::new(3), NodeId::new(2)), 10.0);
+        assert_eq!(ask(&mut adv, &view, 3, 2), Some(10.0));
         // Node 0 (state 0) is below: gets min. Both lies are in-hull.
-        assert_eq!(adv.message(&view, NodeId::new(3), NodeId::new(0)), 0.0);
+        assert_eq!(ask(&mut adv, &view, 3, 0), Some(0.0));
     }
 
     #[test]
@@ -699,9 +1015,9 @@ mod tests {
         let states = [4.0, 8.0, 0.0];
         let faults = NodeSet::from_indices(3, [2]);
         let view = view_fixture(&g, &states, &faults);
-        let mut adv = EchoAdversary;
-        assert_eq!(adv.message(&view, NodeId::new(2), NodeId::new(0)), 4.0);
-        assert_eq!(adv.message(&view, NodeId::new(2), NodeId::new(1)), 8.0);
+        let mut adv = EchoAdversary::new();
+        assert_eq!(ask(&mut adv, &view, 2, 0), Some(4.0));
+        assert_eq!(ask(&mut adv, &view, 2, 1), Some(8.0));
     }
 
     #[test]
@@ -717,5 +1033,46 @@ mod tests {
                 assert!(names.contains(&expected), "roster missing {expected}");
             }
         }
+    }
+
+    /// An unmigrated downstream-style adversary: implements only the
+    /// per-edge shim and must still work through the default `plan_round`.
+    #[test]
+    fn per_edge_shim_still_plans() {
+        #[derive(Debug)]
+        struct Legacy;
+        impl Adversary for Legacy {
+            fn message(&mut self, _: &AdversaryView<'_>, s: NodeId, r: NodeId) -> f64 {
+                (s.index() * 10 + r.index()) as f64
+            }
+            fn omits(&mut self, _: &AdversaryView<'_>, _: NodeId, r: NodeId) -> bool {
+                r.index() == 1
+            }
+        }
+        let g = generators::complete(4);
+        let states = [0.0; 4];
+        let faults = NodeSet::from_indices(4, [3]);
+        let view = view_fixture(&g, &states, &faults);
+        let mut adv = Legacy;
+        assert_eq!(ask(&mut adv, &view, 3, 0), Some(30.0));
+        assert_eq!(ask(&mut adv, &view, 3, 1), None, "shim honours omits");
+        // Engines without omission skip the omits query entirely.
+        assert_eq!(
+            plan_one(&mut adv, &view, NodeId::new(3), NodeId::new(1), false),
+            Some(31.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "neither plan_round nor")]
+    fn implementing_neither_hook_fails_loudly() {
+        #[derive(Debug)]
+        struct Hollow;
+        impl Adversary for Hollow {}
+        let g = generators::complete(2);
+        let states = [0.0; 2];
+        let faults = NodeSet::from_indices(2, [0]);
+        let view = view_fixture(&g, &states, &faults);
+        let _ = ask(&mut Hollow, &view, 0, 1);
     }
 }

@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::plan::{PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// Chooses per-message delays for the partially asynchronous model.
@@ -82,9 +83,17 @@ impl Scheduler for RandomScheduler {
 /// run `B − 1` ticks stale while the rest of the network runs fresh — an
 /// adversarial-scheduler probe sharper than uniform delay.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TargetedScheduler {
     /// Receivers whose incoming messages are maximally delayed.
     pub victims: NodeSet,
+}
+
+impl TargetedScheduler {
+    /// Creates the scheduler targeting `victims`.
+    pub fn new(victims: NodeSet) -> Self {
+        TargetedScheduler { victims }
+    }
 }
 
 impl Scheduler for TargetedScheduler {
@@ -110,8 +119,15 @@ impl Scheduler for TargetedScheduler {
 /// compiled topology's CSR offsets (receiver `i`'s `k`-th in-neighbour at
 /// `in_offset(i) + k`), the out-edge → mailbox-slot table is precompiled at
 /// construction (the naive engine recomputed it per sender per tick), the
-/// state vector is double-buffered, and the in-flight queue drains into a
-/// retained sibling buffer — zero steady-state allocation per tick.
+/// state vector is double-buffered, and in-flight messages live in a
+/// **calendar queue** — `B` buckets keyed by `deliver_at % B`, so each
+/// tick drains exactly its own bucket instead of rescanning every
+/// in-flight message (the old flat-`Vec` scan was O(in-flight) per tick,
+/// which at `B ≫ 1` meant touching every undelivered message `B` times).
+/// Buckets retain their allocations: zero steady-state allocation per
+/// tick. Faulty sends follow the two-phase protocol: the adversary plans
+/// the tick's messages once (sender-major slot order), and the send loop
+/// reads the plan by index.
 #[derive(Debug)]
 pub struct DelayBoundedSim<'a> {
     graph: &'a Digraph,
@@ -130,13 +146,15 @@ pub struct DelayBoundedSim<'a> {
     /// ascending — the send loop's precompiled slot table.
     out_offsets: Vec<u32>,
     out_edges: Vec<(u32, u32)>,
-    /// In-flight messages: (deliver_at_tick, mailbox slot, value), kept in
-    /// send order — when two messages for the same slot deliver on the
-    /// same tick, the later-sent (fresher) one must overwrite, so the
-    /// delivery drain relies on this ordering.
-    in_flight: Vec<(usize, u32, f64)>,
-    /// Retained drain buffer swapped with `in_flight` each tick.
-    in_flight_next: Vec<(usize, u32, f64)>,
+    /// Calendar queue: `calendar[t % B]` holds `(mailbox slot, value)`
+    /// messages delivering at tick `t`, in send order — when two messages
+    /// for the same slot deliver on the same tick, the later-sent
+    /// (fresher) one must overwrite, so the drain relies on this ordering.
+    calendar: Vec<Vec<(u32, f64)>>,
+    /// The tick's faulty sends, sender-major (the send loop's query
+    /// order), densely slotted for the round plan.
+    planned_edges: Vec<PlannedEdge>,
+    plan: RoundPlan,
     /// Per-node receive scratch handed to the rule.
     received: Vec<f64>,
     round: usize,
@@ -209,6 +227,22 @@ impl<'a> DelayBoundedSim<'a> {
             out_offsets.push(out_edges.len() as u32);
         }
         let received = Vec::with_capacity(compiled.max_in_degree());
+        // The tick's faulty-edge slots, in the send loop's query order:
+        // faulty senders ascending, each sender's receivers ascending.
+        let mut planned_edges = Vec::new();
+        for sender in 0..n {
+            if !compiled.is_faulty(sender) {
+                continue;
+            }
+            let edges = &out_edges[out_offsets[sender] as usize..out_offsets[sender + 1] as usize];
+            for &(receiver, _slot) in edges {
+                planned_edges.push(PlannedEdge {
+                    slot: planned_edges.len() as u32,
+                    sender: sender as u32,
+                    receiver,
+                });
+            }
+        }
         Ok(DelayBoundedSim {
             graph,
             compiled,
@@ -222,8 +256,9 @@ impl<'a> DelayBoundedSim<'a> {
             mailbox,
             out_offsets,
             out_edges,
-            in_flight: Vec::new(),
-            in_flight_next: Vec::new(),
+            calendar: vec![Vec::new(); delay_bound],
+            planned_edges,
+            plan: RoundPlan::new(),
             received,
             round: 0,
         })
@@ -249,7 +284,7 @@ impl<'a> DelayBoundedSim<'a> {
         &self.fault_set
     }
 
-    /// One tick: send, deliver, update.
+    /// One tick: plan the adversary's sends, send, deliver, update.
     ///
     /// # Errors
     ///
@@ -262,21 +297,36 @@ impl<'a> DelayBoundedSim<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        // Send phase: walk the precompiled per-sender slot table.
+        // Phase 1: plan every faulty send of this tick. Omission is not
+        // part of this execution model (a delayed message always arrives
+        // within B ticks), so the slots disallow it; a plan that omits
+        // anyway simply sends nothing this tick, leaving the mailbox
+        // value stale — the closest in-model interpretation.
+        self.plan.begin(self.planned_edges.len());
+        self.adversary.plan_round(
+            &view,
+            RoundSlots::new(&self.planned_edges, false),
+            &mut self.plan,
+        );
+        // Send phase: walk the precompiled per-sender slot table, reading
+        // faulty payloads off the plan in the same sender-major order it
+        // was filled in. The scheduler is still queried per edge, honest
+        // and faulty alike — its stream is unchanged.
+        let mut cursor = 0u32;
         for sender in 0..self.compiled.node_count() {
             let faulty_sender = self.compiled.is_faulty(sender);
             let edges = &self.out_edges
                 [self.out_offsets[sender] as usize..self.out_offsets[sender + 1] as usize];
             for &(receiver, slot) in edges {
                 let value = if faulty_sender {
-                    let raw = self.adversary.message(
-                        &view,
-                        NodeId::new(sender),
-                        NodeId::new(receiver as usize),
-                    );
-                    crate::engine::sanitize(raw)
+                    let planned = self.plan.get(cursor);
+                    cursor += 1;
+                    match planned {
+                        PlannedMessage::Value(raw) => Some(crate::engine::sanitize(raw)),
+                        PlannedMessage::Omit => None,
+                    }
                 } else {
-                    view.states[sender]
+                    Some(view.states[sender])
                 };
                 let delay = self
                     .scheduler
@@ -287,21 +337,21 @@ impl<'a> DelayBoundedSim<'a> {
                         self.delay_bound,
                     )
                     .min(self.delay_bound - 1);
-                self.in_flight.push((self.round + delay, slot, value));
+                if let Some(value) = value {
+                    self.calendar[(self.round + delay) % self.delay_bound].push((slot, value));
+                }
             }
         }
-        // Delivery phase: drain in send order (same-slot ties resolve to
-        // the later-sent message, as before) into the retained buffer.
-        let now = self.round;
-        for &(at, slot, value) in &self.in_flight {
-            if at <= now {
-                self.mailbox[slot as usize] = value;
-            } else {
-                self.in_flight_next.push((at, slot, value));
-            }
+        // Delivery phase: every in-flight message has deliver-at within
+        // [round, round + B - 1], so the bucket at round % B holds exactly
+        // the messages due now, already in send order (same-slot ties
+        // resolve to the later-sent message, as before). One drain, no
+        // rescan of later buckets.
+        let due = self.round % self.delay_bound;
+        for &(slot, value) in &self.calendar[due] {
+            self.mailbox[slot as usize] = value;
         }
-        self.in_flight.clear();
-        std::mem::swap(&mut self.in_flight, &mut self.in_flight_next);
+        self.calendar[due].clear();
         // Update phase.
         for i in 0..self.compiled.node_count() {
             if self.compiled.is_faulty(i) {
@@ -373,6 +423,11 @@ pub struct WithholdingSim<'a> {
     next: Vec<f64>,
     received: Vec<f64>,
     round: usize,
+    /// The faulty edges that actually deliver (per honest receiver, the
+    /// faulty in-neighbours *beyond* the first `f` withheld ones) — the
+    /// withheld set depends only on topology and `f`, so this is static.
+    planned_edges: Vec<PlannedEdge>,
+    plan: RoundPlan,
 }
 
 impl<'a> WithholdingSim<'a> {
@@ -409,6 +464,30 @@ impl<'a> WithholdingSim<'a> {
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
         let received = Vec::with_capacity(compiled.max_in_degree());
+        // Enumerate the faulty edges that deliver each round, in the
+        // update loop's query order (receiver-major, senders ascending,
+        // first f faulty in-neighbours withheld).
+        let mut planned_edges = Vec::new();
+        for i in 0..n {
+            if compiled.is_faulty(i) {
+                continue;
+            }
+            let mut withheld = 0usize;
+            for &j in compiled.in_neighbors_of(i) {
+                if !compiled.is_faulty(j as usize) {
+                    continue;
+                }
+                if withheld < f {
+                    withheld += 1;
+                    continue;
+                }
+                planned_edges.push(PlannedEdge {
+                    slot: planned_edges.len() as u32,
+                    sender: j,
+                    receiver: i as u32,
+                });
+            }
+        }
         Ok(WithholdingSim {
             graph,
             compiled,
@@ -419,6 +498,8 @@ impl<'a> WithholdingSim<'a> {
             next: inputs.to_vec(),
             received,
             round: 0,
+            planned_edges,
+            plan: RoundPlan::new(),
         })
     }
 
@@ -463,12 +544,24 @@ impl<'a> WithholdingSim<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
+        // Phase 1: plan the non-withheld faulty messages. Omission is the
+        // scheduler's power here, not the adversary's (a planned Omit is
+        // treated as the receiver's own state, like the synchronous
+        // missing-message convention), so the slots disallow it.
+        self.plan.begin(self.planned_edges.len());
+        self.adversary.plan_round(
+            &view,
+            RoundSlots::new(&self.planned_edges, false),
+            &mut self.plan,
+        );
         let mut any_survivors = false;
+        let mut cursor = 0u32;
         for i in 0..self.compiled.node_count() {
             if self.compiled.is_faulty(i) {
                 continue;
             }
-            // Withhold: drop messages from up to f faulty in-neighbours.
+            // Withhold: drop messages from up to f faulty in-neighbours;
+            // the rest read off the plan in fill order.
             self.received.clear();
             let mut withheld = 0usize;
             for &j in self.compiled.in_neighbors_of(i) {
@@ -478,9 +571,11 @@ impl<'a> WithholdingSim<'a> {
                         withheld += 1;
                         continue;
                     }
-                    let raw = self
-                        .adversary
-                        .message(&view, NodeId::new(j), NodeId::new(i));
+                    let raw = match self.plan.get(cursor) {
+                        PlannedMessage::Value(v) => v,
+                        PlannedMessage::Omit => view.states[i],
+                    };
+                    cursor += 1;
                     self.received.push(crate::engine::sanitize(raw));
                 } else {
                     self.received.push(crate::engine::sanitize(view.states[j]));
@@ -569,7 +664,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConstantAdversary { value: 1e6 }),
+            Box::new(ConstantAdversary::new(1e6)),
         )
         .unwrap();
         let mut async_sim = DelayBoundedSim::new(
@@ -577,7 +672,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e6 }),
+            Box::new(ConstantAdversary::new(1e6)),
             Box::new(ImmediateScheduler),
             1,
         )
@@ -604,7 +699,7 @@ mod tests {
                 &inputs,
                 faults.clone(),
                 &rule,
-                Box::new(ExtremesAdversary { delta: 50.0 }),
+                Box::new(ExtremesAdversary::new(50.0)),
                 Box::new(MaxDelayScheduler),
                 b,
             )
@@ -631,7 +726,7 @@ mod tests {
                 &inputs,
                 faults.clone(),
                 &rule,
-                Box::new(ConformingAdversary),
+                Box::new(ConformingAdversary::new()),
                 Box::new(RandomScheduler::new(seed)),
                 3,
             )
@@ -654,7 +749,7 @@ mod tests {
             &inputs,
             faults,
             2,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         let out = sim.run(&RunConfig::bounded(1e-6, 5_000)).unwrap();
@@ -670,7 +765,7 @@ mod tests {
             &inputs,
             faults,
             2,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         for _ in 0..50 {
@@ -694,7 +789,7 @@ mod tests {
             &inputs,
             faults,
             2,
-            Box::new(ConstantAdversary { value: 1.0 }),
+            Box::new(ConstantAdversary::new(1.0)),
         )
         .unwrap();
         let err = sim.step().unwrap_err();
@@ -710,7 +805,7 @@ mod tests {
             &[1.0, 2.0],
             no_faults(3),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             Box::new(ImmediateScheduler),
             1,
         )
@@ -720,16 +815,14 @@ mod tests {
             &[1.0, f64::NAN, 2.0],
             no_faults(3),
             0,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
         )
         .is_err());
     }
 
     #[test]
     fn targeted_scheduler_delays_only_victims() {
-        let mut s = TargetedScheduler {
-            victims: NodeSet::from_indices(4, [2]),
-        };
+        let mut s = TargetedScheduler::new(NodeSet::from_indices(4, [2]));
         assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(2), 5), 4);
         assert_eq!(s.delay(0, NodeId::new(0), NodeId::new(1), 5), 0);
         assert_eq!(
@@ -751,7 +844,7 @@ mod tests {
                 &inputs,
                 faults(),
                 &rule,
-                Box::new(ConformingAdversary),
+                Box::new(ConformingAdversary::new()),
                 scheduler,
                 4,
             )
@@ -759,9 +852,10 @@ mod tests {
             sim.run(&RunConfig::bounded(1e-6, 10_000)).unwrap()
         };
         let fast = run(Box::new(ImmediateScheduler));
-        let slow = run(Box::new(TargetedScheduler {
-            victims: NodeSet::from_indices(6, [0, 1]),
-        }));
+        let slow = run(Box::new(TargetedScheduler::new(NodeSet::from_indices(
+            6,
+            [0, 1],
+        ))));
         assert!(fast.converged && slow.converged);
         // Per-tick monotonicity (Equation 1) is a *synchronous* property;
         // with stale deliveries only containment in the historical hull is

@@ -64,7 +64,7 @@ pub struct Certificate {
 /// let faults = NodeSet::from_indices(7, [5, 6]);
 /// let cert = run_certified(
 ///     &g, &inputs, faults, 2,
-///     Box::new(PolarizingAdversary),
+///     Box::new(PolarizingAdversary::new()),
 ///     1e-3, 100_000,
 /// )?;
 /// assert!(!cert.capped);
@@ -132,9 +132,9 @@ mod tests {
         let inputs = [0.0, 10.0, 20.0, 30.0, 40.0, 0.0, 0.0];
         let make_faults = || NodeSet::from_indices(7, [5, 6]);
         let adversaries: Vec<Box<dyn Adversary>> = vec![
-            Box::new(ConformingAdversary),
-            Box::new(ExtremesAdversary { delta: 1e6 }),
-            Box::new(PullAdversary { toward_max: true }),
+            Box::new(ConformingAdversary::new()),
+            Box::new(ExtremesAdversary::new(1e6)),
+            Box::new(PullAdversary::new(true)),
         ];
         for adv in adversaries {
             let name = adv.name();
@@ -163,7 +163,7 @@ mod tests {
             &inputs,
             NodeSet::from_indices(7, [5, 6]),
             2,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             1e-3,
             200_000,
         )
@@ -184,7 +184,7 @@ mod tests {
             &inputs,
             NodeSet::from_indices(7, [5, 6]),
             2,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             1e-9,
             10,
         )
@@ -203,7 +203,7 @@ mod tests {
             &inputs,
             NodeSet::with_universe(4),
             1,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             1e-6,
             1000,
         )
@@ -221,7 +221,7 @@ mod tests {
             &inputs,
             NodeSet::with_universe(5),
             1,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             1e-6,
             100,
         )

@@ -35,7 +35,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
+// Phase 2 of the dynamic engine is the SAME pure per-node function as the
+// static engine's, applied to whichever topology this round compiled —
+// one copy, so the engine-equivalence goldens can never diverge between
+// the two.
+use crate::engine::step_node;
 use crate::error::SimError;
+use crate::parallel;
+use crate::plan::{sub_csr_edges, PlannedEdge, RoundPlan, RoundSlots};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A round-indexed communication topology. Rounds are 1-based, matching
@@ -310,9 +317,12 @@ pub fn validity_floor(g: &Digraph, f: usize, fault_set: &NodeSet) -> bool {
 /// (reusing its allocations) only when the schedule hands out a different
 /// graph than the previous round — detected by reference address, which is
 /// stable because [`TopologySchedule::graph_at`] returns references into
-/// the schedule itself. A schedule that dwells on a graph therefore pays
-/// zero recompilation inside the dwell window, and the per-round loop is
-/// the same double-buffered, allocation-free gather as the static engine.
+/// the schedule itself. The round's faulty-edge slot list (the two-phase
+/// protocol's plan keys) is re-derived in the same place, so a dwelling
+/// schedule pays zero recompilation inside the dwell window, and the
+/// per-round loop is the same double-buffered, allocation-free gather as
+/// the static engine — including its [`DynamicSimulation::with_jobs`]
+/// parallel node loop with the bit-for-bit determinism contract.
 ///
 /// # Examples
 ///
@@ -335,7 +345,7 @@ pub fn validity_floor(g: &Digraph, f: usize, fault_set: &NodeSet) -> bool {
 ///     .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0])
 ///     .faults(NodeSet::from_indices(7, [5, 6]))
 ///     .rule(&rule)
-///     .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+///     .adversary(Box::new(ExtremesAdversary::new(1e6)))
 ///     .dynamic(&schedule)?;
 /// let out = sim.run(&RunConfig::default())?;
 /// assert!(out.converged && out.validity.is_valid());
@@ -355,6 +365,9 @@ pub struct DynamicSimulation<'a> {
     /// Address of the schedule graph `compiled` was built from (stable for
     /// the schedule's lifetime; used to skip redundant rebuilds).
     compiled_for: usize,
+    planned_edges: Vec<PlannedEdge>,
+    plan: RoundPlan,
+    jobs: usize,
 }
 
 impl<'a> DynamicSimulation<'a> {
@@ -392,6 +405,8 @@ impl<'a> DynamicSimulation<'a> {
         let first = schedule.graph_at(1);
         let compiled = CompiledTopology::compile(first, &fault_set);
         let scratch = Vec::with_capacity(compiled.max_in_degree());
+        let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
+        sub_csr_edges(&compiled, &mut planned_edges);
         Ok(DynamicSimulation {
             schedule,
             fault_set,
@@ -403,7 +418,24 @@ impl<'a> DynamicSimulation<'a> {
             scratch,
             compiled,
             compiled_for: first as *const Digraph as usize,
+            planned_edges,
+            plan: RoundPlan::new(),
+            jobs: 1,
         })
+    }
+
+    /// Fans the node loop across `jobs` worker threads (`0` = all
+    /// available cores); bit-for-bit identical for any value, including
+    /// across in-place topology rebuilds.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// In-place form of [`DynamicSimulation::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = parallel::effective_jobs(jobs);
     }
 
     /// Current iteration count.
@@ -439,6 +471,7 @@ impl<'a> DynamicSimulation<'a> {
         if addr != self.compiled_for {
             self.compiled.rebuild(graph);
             self.compiled_for = addr;
+            sub_csr_edges(&self.compiled, &mut self.planned_edges);
             // `reserve` is relative to `len`, so clear first to guarantee
             // capacity >= the new max in-degree (keeps the gather below
             // allocation-free even when the schedule grows denser).
@@ -451,37 +484,31 @@ impl<'a> DynamicSimulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        for i in 0..self.compiled.node_count() {
-            if self.compiled.is_faulty(i) {
-                continue;
+        self.plan.begin(self.compiled.faulty_edge_count());
+        self.adversary.plan_round(
+            &view,
+            RoundSlots::new(&self.planned_edges, true),
+            &mut self.plan,
+        );
+        let (compiled, rule, states, plan, round) = (
+            &self.compiled,
+            self.rule,
+            &self.states,
+            &self.plan,
+            self.round,
+        );
+        if self.jobs > 1 {
+            parallel::run_chunked(
+                &mut self.next,
+                self.jobs,
+                || Vec::with_capacity(compiled.max_in_degree()),
+                |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
+            )?;
+        } else {
+            let scratch = &mut self.scratch;
+            for (i, out) in self.next.iter_mut().enumerate() {
+                step_node(compiled, rule, states, plan, round, i, out, scratch)?;
             }
-            self.scratch.clear();
-            self.scratch.extend(
-                self.compiled
-                    .in_neighbors_of(i)
-                    .iter()
-                    .map(|&j| crate::engine::sanitize(view.states[j as usize])),
-            );
-            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
-                let raw = if self
-                    .adversary
-                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
-                {
-                    view.states[i]
-                } else {
-                    self.adversary
-                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
-                };
-                self.scratch[slot as usize] = crate::engine::sanitize(raw);
-            }
-            self.next[i] = self
-                .rule
-                .update(view.states[i], &mut self.scratch)
-                .map_err(|source| SimError::Rule {
-                    node: i,
-                    round: self.round,
-                    source,
-                })?;
         }
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
@@ -604,7 +631,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         let mut dynamic = DynamicSimulation::new(
@@ -612,7 +639,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         for _ in 0..25 {
@@ -637,7 +664,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .unwrap();
         let out = sim.run(&RunConfig::default()).unwrap();
@@ -665,7 +692,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e4 }),
+            Box::new(ExtremesAdversary::new(1e4)),
         )
         .unwrap();
         let out = sim.run(&RunConfig::default()).unwrap();
@@ -788,7 +815,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e5 }),
+            Box::new(ExtremesAdversary::new(1e5)),
         )
         .unwrap();
         let out = sim.run(&RunConfig::default()).unwrap();
@@ -842,7 +869,7 @@ mod tests {
                 &[1.0, 2.0],
                 no_faults(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::InputLengthMismatch {
                 inputs: 2,
@@ -855,7 +882,7 @@ mod tests {
                 &[1.0, f64::NAN, 3.0],
                 no_faults(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::NonFiniteInput { node: 1, .. })
         ));
@@ -865,7 +892,7 @@ mod tests {
                 &[1.0, 2.0, 3.0],
                 NodeSet::full(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::NoFaultFreeNodes)
         ));
@@ -875,7 +902,7 @@ mod tests {
                 &[1.0, 2.0, 3.0],
                 NodeSet::with_universe(4),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::FaultSetMismatch {
                 universe: 4,
@@ -897,7 +924,7 @@ mod tests {
             &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
             no_faults(7),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
         )
         .unwrap();
         sim.step().unwrap();

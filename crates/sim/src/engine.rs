@@ -2,11 +2,12 @@
 //!
 //! One iteration `t`:
 //!
-//! 1. every node transmits its state `v[t-1]` on all outgoing edges —
-//!    faulty senders instead ask the [`Adversary`] for a per-edge value
-//!    (point-to-point model: different lies to different neighbours);
-//! 2. every fault-free node applies its [`UpdateRule`] to
-//!    `(own state, received vector)`;
+//! 1. **plan** (serial): the [`Adversary`] is handed one
+//!    [`AdversaryView`] plus the round's faulty-edge slots and fills a
+//!    [`RoundPlan`] — all adversary state mutates here, once per round;
+//! 2. **gather + update** (parallelizable): every fault-free node applies
+//!    its [`UpdateRule`] to `(own state, received vector)`, with faulty
+//!    slots patched from the finished plan by index;
 //! 3. states switch to the new values simultaneously (synchronous network).
 //!
 //! Non-finite Byzantine payloads are sanitized at the receiver boundary
@@ -14,10 +15,12 @@
 //! also reject non-finite input themselves, as defense in depth.
 
 use iabc_core::rules::UpdateRule;
-use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
+use iabc_graph::{CompiledTopology, Digraph, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::parallel;
+use crate::plan::{sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 use crate::scenario::Scenario;
 
@@ -39,10 +42,20 @@ const SANITIZE_CLAMP: f64 = 1e100;
 /// allocates **two** state buffers plus one scratch vector. Each
 /// [`Simulation::step`] reads the current buffer, writes the next one, and
 /// `std::mem::swap`s them — zero heap allocation per round in steady
-/// state. Faulty entries are never written, so both buffers carry the
-/// faulty nodes' inputs forever (their "state" is meaningless in the
-/// Byzantine model). One [`AdversaryView`] is built per round and shared
-/// by every faulty-edge query of that round.
+/// state (serial mode). Faulty entries are never written, so both buffers
+/// carry the faulty nodes' inputs forever (their "state" is meaningless in
+/// the Byzantine model). One [`AdversaryView`] is built per round; the
+/// adversary plans the whole round against it (phase 1), and the node
+/// loop reads the plan by sub-CSR index (phase 2).
+///
+/// # Parallel rounds
+///
+/// [`Simulation::with_jobs`] fans the node loop of every round across
+/// worker threads (phase 2 only — the adversary always plans serially).
+/// Results are **bit-identical to the serial loop for any job count**:
+/// each node's arithmetic is a pure function of the previous states and
+/// the plan, and every node is computed exactly once. See
+/// [`crate::parallel`] for the scheduling contract.
 ///
 /// # Examples
 ///
@@ -59,7 +72,7 @@ const SANITIZE_CLAMP: f64 = 1e100;
 ///     .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0])
 ///     .faults(NodeSet::from_indices(7, [5, 6]))
 ///     .rule(&rule)
-///     .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+///     .adversary(Box::new(ConstantAdversary::new(1e9)))
 ///     .synchronous()?;
 /// let outcome = sim.run(&RunConfig::default())?;
 /// assert!(outcome.converged);
@@ -77,6 +90,12 @@ pub struct Simulation<'a> {
     next: Vec<f64>,
     round: usize,
     scratch: Vec<f64>,
+    /// Faulty edges delivered each round, slots keyed on the sub-CSR.
+    planned_edges: Vec<PlannedEdge>,
+    /// The per-round message table (retained allocation).
+    plan: RoundPlan,
+    /// Worker threads for the node loop (1 = serial).
+    jobs: usize,
 }
 
 impl<'a> Simulation<'a> {
@@ -115,6 +134,8 @@ impl<'a> Simulation<'a> {
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
         let scratch = Vec::with_capacity(compiled.max_in_degree());
+        let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
+        sub_csr_edges(&compiled, &mut planned_edges);
         Ok(Simulation {
             graph,
             compiled,
@@ -125,7 +146,29 @@ impl<'a> Simulation<'a> {
             next: inputs.to_vec(),
             round: 0,
             scratch,
+            planned_edges,
+            plan: RoundPlan::new(),
+            jobs: 1,
         })
+    }
+
+    /// Fans the node loop across `jobs` worker threads (`0` = all
+    /// available cores). Bit-for-bit identical to serial execution for
+    /// any value; worthwhile from roughly `n ≥ 10³` on dense graphs.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// In-place form of [`Simulation::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = parallel::effective_jobs(jobs);
+    }
+
+    /// Worker threads used by the node loop.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Current iteration count.
@@ -149,8 +192,10 @@ impl<'a> Simulation<'a> {
         honest_range_of(&self.states, &self.fault_set)
     }
 
-    /// Executes one synchronous iteration — the compiled, allocation-free
-    /// row gather (see the type-level "hot-path contract").
+    /// Executes one synchronous iteration — phase 1 plans the adversary's
+    /// round serially, phase 2 runs the compiled row gather per node,
+    /// fanned across [`Simulation::jobs`] workers (see the type-level
+    /// "hot-path contract").
     ///
     /// # Errors
     ///
@@ -164,45 +209,31 @@ impl<'a> Simulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        for i in 0..self.compiled.node_count() {
-            if self.compiled.is_faulty(i) {
-                continue; // faulty nodes have no meaningful state evolution
+        self.plan.begin(self.compiled.faulty_edge_count());
+        self.adversary.plan_round(
+            &view,
+            RoundSlots::new(&self.planned_edges, true),
+            &mut self.plan,
+        );
+        let (compiled, rule, states, plan, round) = (
+            &self.compiled,
+            self.rule,
+            &self.states,
+            &self.plan,
+            self.round,
+        );
+        if self.jobs > 1 {
+            parallel::run_chunked(
+                &mut self.next,
+                self.jobs,
+                || Vec::with_capacity(compiled.max_in_degree()),
+                |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
+            )?;
+        } else {
+            let scratch = &mut self.scratch;
+            for (i, out) in self.next.iter_mut().enumerate() {
+                step_node(compiled, rule, states, plan, round, i, out, scratch)?;
             }
-            // Branchless row gather — sanitize applies to honest values
-            // too (for in-range states the clamp is the identity, but a
-            // finite input beyond ±1e100 must clip exactly as it always
-            // has) — then patch the precompiled faulty slots with
-            // adversary values.
-            self.scratch.clear();
-            self.scratch.extend(
-                self.compiled
-                    .in_neighbors_of(i)
-                    .iter()
-                    .map(|&j| sanitize(view.states[j as usize])),
-            );
-            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
-                let raw = if self
-                    .adversary
-                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
-                {
-                    // Missing message in a synchronous round: substitute
-                    // the receiver's own previous state (in-hull, so
-                    // validity is unaffected).
-                    view.states[i]
-                } else {
-                    self.adversary
-                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
-                };
-                self.scratch[slot as usize] = sanitize(raw);
-            }
-            self.next[i] = self
-                .rule
-                .update(view.states[i], &mut self.scratch)
-                .map_err(|source| SimError::Rule {
-                    node: i,
-                    round: self.round,
-                    source,
-                })?;
         }
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
@@ -235,6 +266,56 @@ impl Engine for Simulation<'_> {
     fn fault_set(&self) -> &NodeSet {
         &self.fault_set
     }
+}
+
+/// Phase 2 body shared by the serial and parallel node loops of the
+/// scalar engines ([`Simulation`] and, against whichever topology the
+/// round compiled, [`crate::dynamic::DynamicSimulation`]): the branchless
+/// row gather — sanitize applies to honest values too (for in-range
+/// states the clamp is the identity, but a finite input beyond ±1e100
+/// must clip exactly as it always has) — with the precompiled faulty
+/// slots patched from the round plan by sub-CSR index. An
+/// [`PlannedMessage::Omit`] entry is the missing-message case: the
+/// receiver's own previous state is substituted (in-hull, so validity is
+/// unaffected). A pure function of `(states, plan)`, which is what makes
+/// serial and parallel execution bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_node(
+    compiled: &CompiledTopology,
+    rule: &dyn UpdateRule,
+    states: &[f64],
+    plan: &RoundPlan,
+    round: usize,
+    i: usize,
+    out: &mut f64,
+    scratch: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    if compiled.is_faulty(i) {
+        return Ok(()); // faulty nodes have no meaningful state evolution
+    }
+    scratch.clear();
+    scratch.extend(
+        compiled
+            .in_neighbors_of(i)
+            .iter()
+            .map(|&j| sanitize(states[j as usize])),
+    );
+    let base = compiled.faulty_in_offset(i) as u32;
+    for (k, &(slot, _sender)) in compiled.faulty_in_edges_of(i).iter().enumerate() {
+        let raw = match plan.get(base + k as u32) {
+            PlannedMessage::Value(v) => v,
+            PlannedMessage::Omit => states[i],
+        };
+        scratch[slot as usize] = sanitize(raw);
+    }
+    *out = rule
+        .update(states[i], scratch)
+        .map_err(|source| SimError::Rule {
+            node: i,
+            round,
+            source,
+        })?;
+    Ok(())
 }
 
 /// Clamps Byzantine payloads to finite sentinels so that honest arithmetic
@@ -297,7 +378,7 @@ mod tests {
                 &[1.0, 2.0],
                 no_faults(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::InputLengthMismatch {
                 inputs: 2,
@@ -310,7 +391,7 @@ mod tests {
                 &[1.0, f64::NAN, 3.0],
                 no_faults(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::NonFiniteInput { node: 1, .. })
         ));
@@ -320,7 +401,7 @@ mod tests {
                 &[1.0, 2.0, 3.0],
                 NodeSet::full(3),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::NoFaultFreeNodes)
         ));
@@ -330,7 +411,7 @@ mod tests {
                 &[1.0, 2.0, 3.0],
                 NodeSet::with_universe(4),
                 &rule,
-                Box::new(ConformingAdversary)
+                Box::new(ConformingAdversary::new())
             ),
             Err(SimError::FaultSetMismatch {
                 universe: 4,
@@ -349,7 +430,7 @@ mod tests {
             &inputs,
             no_faults(5),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
         )
         .unwrap();
         let out = sim.run(&RunConfig::default()).unwrap();
@@ -371,7 +452,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
             &RunConfig::default(),
         )
         .unwrap();
@@ -395,7 +476,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         let config = RunConfig {
@@ -419,7 +500,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
             &RunConfig::default(),
         )
         .unwrap();
@@ -438,7 +519,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(NaNAdversary),
+            Box::new(NaNAdversary::new()),
             &RunConfig::default(),
         )
         .unwrap();
@@ -457,7 +538,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
             &RunConfig::default(),
         )
         .unwrap();
@@ -466,7 +547,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(PullAdversary { toward_max: false }),
+            Box::new(PullAdversary::new(false)),
             &RunConfig::default(),
         )
         .unwrap();
@@ -521,7 +602,7 @@ mod tests {
             &[0.0, 1.0, 2.0, 3.0],
             no_faults(4),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
         )
         .unwrap();
         let err = sim.step().unwrap_err();
@@ -539,7 +620,7 @@ mod tests {
             &[0.0, 1.0, 2.0, 3.0, 4.0],
             no_faults(5),
             &rule,
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
         )
         .unwrap();
         let config = RunConfig {
@@ -575,7 +656,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(CrashAdversary { from_round: 3 }),
+            Box::new(CrashAdversary::new(3)),
             &RunConfig::default(),
         )
         .unwrap();
@@ -595,10 +676,10 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(SelectiveOmissionAdversary {
-                silenced: NodeSet::from_indices(7, [0, 1]),
-                value: -1e8,
-            }),
+            Box::new(SelectiveOmissionAdversary::new(
+                NodeSet::from_indices(7, [0, 1]),
+                -1e8,
+            )),
             &RunConfig::default(),
         )
         .unwrap();
@@ -663,7 +744,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 100.0 }),
+            Box::new(ExtremesAdversary::new(100.0)),
             &RunConfig::default(),
         )
         .unwrap();

@@ -43,6 +43,18 @@
 //!   allocations) only when the schedule hands out a different graph,
 //!   detected by reference address.
 //!
+//! # The two-phase adversary protocol and parallel rounds
+//!
+//! Adversaries are invoked once per **round**, not once per edge: phase 1
+//! ([`adversary::Adversary::plan_round`], serial, `&mut self`) fills a
+//! flat [`plan::RoundPlan`] over the round's faulty-edge slots; phase 2
+//! (the node loop) reads the finished plan by index. Because phase 2 is a
+//! pure function of `(states, plan)` per node, the synchronous,
+//! model-aware, and dynamic engines can fan it across worker threads
+//! (`with_jobs(n)` / [`Scenario::parallel`]) with results **bit-for-bit
+//! identical to serial execution for any job count** — pinned by
+//! `tests/parallel_equivalence.rs`.
+//!
 //! The hot arithmetic itself (sort, trim `f` per side, equal-weight
 //! average) lives in [`iabc_core::rules::trim_kernel`], shared with the
 //! baselines and the threaded runtime. The pre-refactor engine is
@@ -54,8 +66,10 @@
 //!
 //! * [`scenario`] — the [`Scenario`] builder (start here).
 //! * [`run`] — [`Engine`], [`RunConfig`], [`Outcome`], [`Termination`].
-//! * [`adversary`] — pluggable attack strategies, including the exact
-//!   adversary from the proof of Theorem 1 ([`adversary::SplitBrainAdversary`]).
+//! * [`adversary`] — pluggable attack strategies (two-phase protocol),
+//!   including the exact adversary from the proof of Theorem 1
+//!   ([`adversary::SplitBrainAdversary`]).
+//! * [`plan`] — phase 1's [`plan::RoundPlan`]/[`plan::RoundSlots`] tables.
 //! * [`trace`] — `U[t]`, `µ[t]` recording plus the Equation 1 validity audit.
 //! * [`async_engine`] — the §7 asynchronous models: bounded-delay mailboxes
 //!   and the totally-asynchronous withhold-and-trim-`2f` algorithm.
@@ -84,7 +98,7 @@
 //!     .inputs(&[10.0, 20.0, 30.0, 40.0, 0.0])
 //!     .faults(NodeSet::from_indices(5, [4]))
 //!     .rule(&rule)
-//!     .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+//!     .adversary(Box::new(ExtremesAdversary::new(1e3)))
 //!     .synchronous()?;
 //! let out = sim.run(&RunConfig::default())?;
 //! assert_eq!(out.termination, Termination::Converged);
@@ -106,6 +120,8 @@ pub mod dynamic;
 mod engine;
 mod error;
 pub mod model_engine;
+mod parallel;
+pub mod plan;
 pub mod reference;
 pub mod run;
 pub mod scenario;

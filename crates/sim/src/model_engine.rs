@@ -21,13 +21,17 @@ use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::parallel;
+use crate::plan::{sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A synchronous simulation delivering `(sender, value)` pairs to an
 /// [`IdentifiedRule`]. Mirrors [`crate::Simulation`] otherwise, including
-/// its hot-path contract: compiled CSR topology, double-buffered states
-/// (`std::mem::swap` per round, no steady-state allocation), and one
-/// [`AdversaryView`] per round.
+/// its hot-path contract (compiled CSR topology, double-buffered states,
+/// one [`AdversaryView`] per round), the two-phase adversary protocol
+/// (the adversary plans each round once, serially; the node loop reads
+/// the plan by sub-CSR index), and the [`ModelSimulation::with_jobs`]
+/// parallel node loop with the same bit-for-bit determinism contract.
 ///
 /// # Examples
 ///
@@ -46,7 +50,7 @@ use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 /// let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
 /// let faults = NodeSet::from_indices(7, [5, 6]);
 /// let mut sim = ModelSimulation::new(
-///     &g, &inputs, faults, &rule, Box::new(ConstantAdversary { value: 1e9 }),
+///     &g, &inputs, faults, &rule, Box::new(ConstantAdversary::new(1e9)),
 /// )?;
 /// let out = sim.run(&RunConfig::default())?;
 /// assert!(out.converged && out.validity.is_valid());
@@ -63,6 +67,9 @@ pub struct ModelSimulation<'a> {
     next: Vec<f64>,
     round: usize,
     scratch: Vec<(NodeId, f64)>,
+    planned_edges: Vec<PlannedEdge>,
+    plan: RoundPlan,
+    jobs: usize,
 }
 
 impl<'a> ModelSimulation<'a> {
@@ -99,6 +106,8 @@ impl<'a> ModelSimulation<'a> {
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
         let scratch = Vec::with_capacity(compiled.max_in_degree());
+        let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
+        sub_csr_edges(&compiled, &mut planned_edges);
         Ok(ModelSimulation {
             graph,
             compiled,
@@ -109,7 +118,23 @@ impl<'a> ModelSimulation<'a> {
             next: inputs.to_vec(),
             round: 0,
             scratch,
+            planned_edges,
+            plan: RoundPlan::new(),
+            jobs: 1,
         })
+    }
+
+    /// Fans the node loop across `jobs` worker threads (`0` = all
+    /// available cores); bit-for-bit identical for any value.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// In-place form of [`ModelSimulation::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = parallel::effective_jobs(jobs);
     }
 
     /// Current iteration count.
@@ -132,7 +157,8 @@ impl<'a> ModelSimulation<'a> {
         honest_range_of(&self.states, &self.fault_set)
     }
 
-    /// Executes one synchronous iteration.
+    /// Executes one synchronous iteration (plan serially, then gather and
+    /// update per node, fanned across the configured workers).
     ///
     /// # Errors
     ///
@@ -145,43 +171,34 @@ impl<'a> ModelSimulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        for i in 0..self.compiled.node_count() {
-            if self.compiled.is_faulty(i) {
-                continue;
+        self.plan.begin(self.compiled.faulty_edge_count());
+        self.adversary.plan_round(
+            &view,
+            RoundSlots::new(&self.planned_edges, true),
+            &mut self.plan,
+        );
+        let (graph, compiled, rule, states, plan, round) = (
+            self.graph,
+            &self.compiled,
+            self.rule,
+            &self.states,
+            &self.plan,
+            self.round,
+        );
+        if self.jobs > 1 {
+            parallel::run_chunked(
+                &mut self.next,
+                self.jobs,
+                || Vec::with_capacity(compiled.max_in_degree()),
+                |i, out, scratch| {
+                    step_node(graph, compiled, rule, states, plan, round, i, out, scratch)
+                },
+            )?;
+        } else {
+            let scratch = &mut self.scratch;
+            for (i, out) in self.next.iter_mut().enumerate() {
+                step_node(graph, compiled, rule, states, plan, round, i, out, scratch)?;
             }
-            self.scratch.clear();
-            self.scratch
-                .extend(self.compiled.in_neighbors_of(i).iter().map(|&j| {
-                    (
-                        NodeId::new(j as usize),
-                        crate::engine::sanitize(view.states[j as usize]),
-                    )
-                }));
-            for &(slot, j) in self.compiled.faulty_in_edges_of(i) {
-                let raw = if self
-                    .adversary
-                    .omits(&view, NodeId::new(j as usize), NodeId::new(i))
-                {
-                    view.states[i]
-                } else {
-                    self.adversary
-                        .message(&view, NodeId::new(j as usize), NodeId::new(i))
-                };
-                self.scratch[slot as usize].1 = crate::engine::sanitize(raw);
-            }
-            self.next[i] = self
-                .rule
-                .update(
-                    self.graph,
-                    NodeId::new(i),
-                    view.states[i],
-                    &mut self.scratch,
-                )
-                .map_err(|source| SimError::Rule {
-                    node: i,
-                    round: self.round,
-                    source,
-                })?;
         }
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
@@ -196,6 +213,49 @@ impl<'a> ModelSimulation<'a> {
     pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
         Engine::run(self, config)
     }
+}
+
+/// Phase 2 body shared by the serial and parallel node loops: identical
+/// to the scalar engine's, except the rule receives `(sender, value)`
+/// pairs and the graph/node identity.
+#[allow(clippy::too_many_arguments)]
+fn step_node(
+    graph: &Digraph,
+    compiled: &CompiledTopology,
+    rule: &dyn IdentifiedRule,
+    states: &[f64],
+    plan: &RoundPlan,
+    round: usize,
+    i: usize,
+    out: &mut f64,
+    scratch: &mut Vec<(NodeId, f64)>,
+) -> Result<(), SimError> {
+    if compiled.is_faulty(i) {
+        return Ok(());
+    }
+    scratch.clear();
+    scratch.extend(compiled.in_neighbors_of(i).iter().map(|&j| {
+        (
+            NodeId::new(j as usize),
+            crate::engine::sanitize(states[j as usize]),
+        )
+    }));
+    let base = compiled.faulty_in_offset(i) as u32;
+    for (k, &(slot, _sender)) in compiled.faulty_in_edges_of(i).iter().enumerate() {
+        let raw = match plan.get(base + k as u32) {
+            PlannedMessage::Value(v) => v,
+            PlannedMessage::Omit => states[i],
+        };
+        scratch[slot as usize].1 = crate::engine::sanitize(raw);
+    }
+    *out = rule
+        .update(graph, NodeId::new(i), states[i], scratch)
+        .map_err(|source| SimError::Rule {
+            node: i,
+            round,
+            source,
+        })?;
+    Ok(())
 }
 
 impl Engine for ModelSimulation<'_> {
@@ -238,7 +298,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &classic,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         let mut model = ModelSimulation::new(
@@ -246,7 +306,7 @@ mod tests {
             &inputs,
             faults,
             &blind,
-            Box::new(ConstantAdversary { value: 1e9 }),
+            Box::new(ConstantAdversary::new(1e9)),
         )
         .unwrap();
         for _ in 0..20 {
@@ -268,7 +328,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &classic,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .unwrap();
         let mut b = ModelSimulation::new(
@@ -276,7 +336,7 @@ mod tests {
             &inputs,
             faults,
             &aware,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .unwrap();
         for _ in 0..25 {
@@ -359,7 +419,7 @@ mod tests {
                 &inputs,
                 rack,
                 &rule,
-                Box::new(ExtremesAdversary { delta: 1e7 }),
+                Box::new(ExtremesAdversary::new(1e7)),
             )
             .unwrap();
             let out = sim
@@ -382,7 +442,7 @@ mod tests {
                 &[1.0, 2.0],
                 NodeSet::with_universe(3),
                 &rule,
-                Box::new(ConstantAdversary { value: 0.0 })
+                Box::new(ConstantAdversary::new(0.0))
             ),
             Err(SimError::InputLengthMismatch {
                 inputs: 2,
@@ -395,7 +455,7 @@ mod tests {
                 &[1.0, f64::NAN, 3.0],
                 NodeSet::with_universe(3),
                 &rule,
-                Box::new(ConstantAdversary { value: 0.0 })
+                Box::new(ConstantAdversary::new(0.0))
             ),
             Err(SimError::NonFiniteInput { node: 1, .. })
         ));
@@ -405,7 +465,7 @@ mod tests {
                 &[1.0, 2.0, 3.0],
                 NodeSet::full(3),
                 &rule,
-                Box::new(ConstantAdversary { value: 0.0 })
+                Box::new(ConstantAdversary::new(0.0))
             ),
             Err(SimError::NoFaultFreeNodes)
         ));

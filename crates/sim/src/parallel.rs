@@ -1,0 +1,207 @@
+//! Phase 2 of the two-phase protocol: the parallel node loop.
+//!
+//! Within a round, fault-free nodes are independent — each computes
+//! `Z_i(t)` from its own received multiset (the row gather of the matrix
+//! view `v[t] = M[t] v[t-1]`). Once phase 1 has frozen the adversary's
+//! [`crate::plan::RoundPlan`], the loop is embarrassingly parallel: every
+//! node reads the shared previous-state buffer and the plan, and writes
+//! exactly its own entry of the next buffer.
+//!
+//! [`run_chunked`] fans that loop across `jobs` scoped threads
+//! (`std::thread::scope`; no rayon in this container) with the same
+//! work-stealing-by-queue idiom as `iabc_analysis::sweep`: the next
+//! buffer is split into disjoint `&mut` chunks held in a mutex-guarded
+//! queue, workers pop chunks until the queue drains. Because each node's
+//! arithmetic is a pure function of `(states, plan, topology)` and every
+//! node is computed by exactly one worker, the result is **bit-identical
+//! to the serial loop for any `jobs` value** — chunking and scheduling
+//! affect only which core runs which node, never the float operations.
+//!
+//! Error determinism: the serial loop reports the failure of the
+//! *lowest-indexed* failing node. Workers therefore process every chunk
+//! (no early abort) and the smallest failing node index wins, so the
+//! returned error is the same for any `jobs` value too.
+
+use std::sync::Mutex;
+
+use crate::error::SimError;
+
+/// Minimum nodes per chunk — below this, queue traffic dominates.
+const MIN_CHUNK: usize = 16;
+
+/// Resolves a requested job count: `0` means all available cores.
+pub(crate) fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Runs `node_fn` for every index of `next`, fanning across up to `jobs`
+/// threads. `node_fn(i, out, scratch)` must write node `i`'s next state
+/// into `out` (or leave it untouched for faulty nodes) using only shared
+/// reads; `make_scratch` builds one worker-local scratch value per
+/// worker. With `jobs <= 1` the loop runs inline on the caller's thread
+/// with zero threading overhead.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing node, independent of
+/// `jobs` (see module docs).
+pub(crate) fn run_chunked<S, MS, F>(
+    next: &mut [f64],
+    jobs: usize,
+    make_scratch: MS,
+    node_fn: F,
+) -> Result<(), SimError>
+where
+    S: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(usize, &mut f64, &mut S) -> Result<(), SimError> + Sync,
+{
+    let n = next.len();
+    if jobs <= 1 || n <= MIN_CHUNK {
+        let mut scratch = make_scratch();
+        for (i, out) in next.iter_mut().enumerate() {
+            node_fn(i, out, &mut scratch)?;
+        }
+        return Ok(());
+    }
+
+    let workers = jobs.min(n.div_ceil(MIN_CHUNK));
+    // ~4 chunks per worker so a straggler chunk can be stolen around.
+    let chunk = n.div_ceil(workers * 4).max(MIN_CHUNK);
+    let queue: Mutex<Vec<(usize, &mut [f64])>> = Mutex::new(
+        next.chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| (c * chunk, slice))
+            .collect(),
+    );
+    let first_error: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = make_scratch();
+                loop {
+                    let item = queue.lock().expect("round work queue poisoned").pop();
+                    let Some((start, slice)) = item else { break };
+                    for (off, out) in slice.iter_mut().enumerate() {
+                        let i = start + off;
+                        if let Err(e) = node_fn(i, out, &mut scratch) {
+                            let mut slot = first_error.lock().expect("error slot poisoned");
+                            match &*slot {
+                                Some((node, _)) if *node <= i => {}
+                                _ => *slot = Some((i, e)),
+                            }
+                            // Stop this chunk like the serial loop stops the
+                            // round; other chunks still run so the smallest
+                            // failing node is always the one reported.
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    match first_error.into_inner().expect("error slot poisoned") {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn chunked_run_matches_serial_for_any_jobs() {
+        let n = 1000;
+        let compute = |i: usize| (i as f64).sqrt() * 3.25 - (i % 7) as f64;
+        let mut serial = vec![0.0; n];
+        run_chunked(
+            &mut serial,
+            1,
+            || (),
+            |i, out, ()| {
+                *out = compute(i);
+                Ok(())
+            },
+        )
+        .unwrap();
+        for jobs in [2, 4, 7, 64] {
+            let mut par = vec![0.0; n];
+            run_chunked(
+                &mut par,
+                jobs,
+                || (),
+                |i, out, ()| {
+                    *out = compute(i);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_failing_node_wins_for_any_jobs() {
+        let fail_at = [907usize, 41, 333];
+        for jobs in [1usize, 2, 4, 7] {
+            let mut buf = vec![0.0; 1000];
+            let err = run_chunked(
+                &mut buf,
+                jobs,
+                || (),
+                |i, out, ()| {
+                    if fail_at.contains(&i) {
+                        return Err(SimError::NonFiniteInput {
+                            node: i,
+                            value: f64::NAN,
+                        });
+                    }
+                    *out = 1.0;
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+            match err {
+                SimError::NonFiniteInput { node, .. } => {
+                    assert_eq!(node, 41, "jobs = {jobs}: must report the lowest node");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_scratch_is_isolated() {
+        // Each worker's scratch accumulates only its own nodes; the sum of
+        // writes still covers every node exactly once.
+        let n = 500;
+        let mut buf = vec![0.0; n];
+        run_chunked(
+            &mut buf,
+            4,
+            || 0usize,
+            |_, out, count| {
+                *count += 1;
+                *out = 1.0;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(buf.iter().sum::<f64>(), n as f64);
+    }
+}

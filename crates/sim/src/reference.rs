@@ -18,6 +18,11 @@
 //!
 //! Nothing here is optimized, and nothing here should be "improved" — its
 //! entire value is staying byte-identical to the pre-refactor semantics.
+//! (The adversary is now consulted through the two-phase plan protocol —
+//! the trait no longer offers per-edge queries — but the plan is filled
+//! in exactly the old query order, so every value and RNG draw is
+//! unchanged; the *arithmetic* below is still the pre-refactor loop,
+//! allocations and all.)
 
 use iabc_core::rules::UpdateRule;
 use iabc_core::RuleError;
@@ -26,10 +31,12 @@ use iabc_graph::{Digraph, NodeSet};
 use crate::adversary::{Adversary, AdversaryView};
 use crate::engine::sanitize;
 use crate::error::SimError;
+use crate::plan::{faulty_edges_of, PlannedMessage, RoundPlan, RoundSlots};
 
 /// The pre-refactor synchronous step loop: clones the state vector twice
-/// per round, iterates bitset adjacency, and builds one [`AdversaryView`]
-/// per faulty in-edge query.
+/// per round, iterates bitset adjacency, and allocates a fresh per-round
+/// adversary plan (the pre-two-phase loop built one [`AdversaryView`] per
+/// faulty in-edge query; the plan preserves that query order).
 #[derive(Debug)]
 pub struct ReferenceStepper<'a> {
     graph: &'a Digraph,
@@ -101,6 +108,18 @@ impl<'a> ReferenceStepper<'a> {
         self.round += 1;
         let previous = self.states.to_vec();
         let mut next = previous.to_vec();
+        let edges = faulty_edges_of(self.graph, &self.fault_set);
+        let view = AdversaryView {
+            round: self.round,
+            graph: self.graph,
+            states: &previous,
+            fault_set: &self.fault_set,
+        };
+        let mut plan = RoundPlan::new();
+        plan.begin(edges.len());
+        self.adversary
+            .plan_round(&view, RoundSlots::new(&edges, true), &mut plan);
+        let mut cursor = 0u32;
         for i in self.graph.nodes() {
             if self.fault_set.contains(i) {
                 continue;
@@ -108,16 +127,11 @@ impl<'a> ReferenceStepper<'a> {
             let mut received = Vec::new();
             for j in self.graph.in_neighbors(i).iter() {
                 let raw = if self.fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round: self.round,
-                        graph: self.graph,
-                        states: &previous,
-                        fault_set: &self.fault_set,
-                    };
-                    if self.adversary.omits(&view, j, i) {
-                        previous[i.index()]
-                    } else {
-                        self.adversary.message(&view, j, i)
+                    let planned = plan.get(cursor);
+                    cursor += 1;
+                    match planned {
+                        PlannedMessage::Value(v) => v,
+                        PlannedMessage::Omit => previous[i.index()],
                     }
                 } else {
                     previous[j.index()]
@@ -219,7 +233,7 @@ mod tests {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .unwrap();
         let mut compiled = Simulation::new(
@@ -227,7 +241,7 @@ mod tests {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .unwrap();
         for _ in 0..25 {
@@ -246,7 +260,7 @@ mod tests {
             &[1.0, 2.0],
             NodeSet::with_universe(3),
             &rule,
-            Box::new(ConstantAdversary { value: 0.0 }),
+            Box::new(ConstantAdversary::new(0.0)),
         )
         .is_err());
         assert!(ReferenceStepper::new(
@@ -254,7 +268,7 @@ mod tests {
             &[1.0, f64::NAN, 2.0],
             NodeSet::with_universe(3),
             &rule,
-            Box::new(ConstantAdversary { value: 0.0 }),
+            Box::new(ConstantAdversary::new(0.0)),
         )
         .is_err());
         assert!(ReferenceStepper::new(
@@ -262,7 +276,7 @@ mod tests {
             &[1.0, 2.0, 3.0],
             NodeSet::full(3),
             &rule,
-            Box::new(ConstantAdversary { value: 0.0 }),
+            Box::new(ConstantAdversary::new(0.0)),
         )
         .is_err());
     }

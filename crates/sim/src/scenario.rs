@@ -37,7 +37,7 @@
 //!     .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0])
 //!     .faults(NodeSet::from_indices(7, [5, 6]))
 //!     .rule(&rule)
-//!     .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+//!     .adversary(Box::new(ExtremesAdversary::new(1e6)))
 //!     .synchronous()?;
 //! let outcome = engine.run(&RunConfig::default())?;
 //! assert_eq!(outcome.termination, Termination::Converged);
@@ -68,6 +68,7 @@ pub struct Scenario<'a> {
     rule: Option<&'a dyn UpdateRule>,
     adversary: Option<Box<dyn Adversary>>,
     vector_adversary: Option<Box<dyn VectorAdversary>>,
+    jobs: usize,
 }
 
 impl fmt::Debug for Scenario<'_> {
@@ -93,7 +94,23 @@ impl<'a> Scenario<'a> {
             rule: None,
             adversary: None,
             vector_adversary: None,
+            jobs: 1,
         }
+    }
+
+    /// Fans each round's node loop across `jobs` worker threads (`0` =
+    /// all available cores) on the engines with a parallel phase 2:
+    /// [`Scenario::synchronous`], [`Scenario::model_aware`], and
+    /// [`Scenario::dynamic`]. Results are **bit-for-bit identical** to
+    /// serial execution for any value — parallelism is purely a
+    /// performance knob, never a semantic one. The remaining terminals
+    /// (delay-bounded, withholding, vector) execute serially regardless;
+    /// their per-round work is dominated by inherently sequential
+    /// scheduling state.
+    #[must_use]
+    pub fn parallel(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Initial states, one per node — or, for [`Scenario::vector`],
@@ -178,7 +195,7 @@ impl<'a> Scenario<'a> {
         Ok(self
             .adversary
             .take()
-            .unwrap_or_else(|| Box::new(ConformingAdversary)))
+            .unwrap_or_else(|| Box::new(ConformingAdversary::new())))
     }
 
     /// Terminal: the synchronous engine (the paper's base model).
@@ -193,6 +210,7 @@ impl<'a> Scenario<'a> {
         let fault_set = self.take_fault_set();
         let adversary = self.take_adversary()?;
         Simulation::new(self.graph, &inputs, fault_set, rule, adversary)
+            .map(|sim| sim.with_jobs(self.jobs))
     }
 
     /// Terminal: the identity-aware engine for structure-aware rules
@@ -218,6 +236,7 @@ impl<'a> Scenario<'a> {
         let fault_set = self.take_fault_set();
         let adversary = self.take_adversary()?;
         ModelSimulation::new(self.graph, &inputs, fault_set, rule, adversary)
+            .map(|sim| sim.with_jobs(self.jobs))
     }
 
     /// Terminal: the time-varying-topology engine. The schedule must agree
@@ -245,6 +264,7 @@ impl<'a> Scenario<'a> {
         let fault_set = self.take_fault_set();
         let adversary = self.take_adversary()?;
         DynamicSimulation::new(schedule, &inputs, fault_set, rule, adversary)
+            .map(|sim| sim.with_jobs(self.jobs))
     }
 
     /// Terminal: the §7 partially-asynchronous engine (per-edge mailboxes,
@@ -340,7 +360,7 @@ impl<'a> Scenario<'a> {
         let adversary = self.vector_adversary.take().unwrap_or_else(|| {
             Box::new(CoordinateWise::new(
                 (0..d)
-                    .map(|_| Box::new(ConformingAdversary) as Box<dyn Adversary>)
+                    .map(|_| Box::new(ConformingAdversary::new()) as Box<dyn Adversary>)
                     .collect(),
             ))
         });
@@ -421,7 +441,7 @@ mod tests {
             Scenario::on(&g)
                 .inputs(&[0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0])
                 .fault_nodes([5, 6])
-                .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+                .adversary(Box::new(ConstantAdversary::new(1e9)))
         };
         base().rule(&rule).synchronous().unwrap();
         base().model_aware(&aware).unwrap();
@@ -487,7 +507,7 @@ mod tests {
                 .inputs(&[0.0; 14])
                 .fault_nodes([5, 6])
                 .rule(&rule)
-                .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+                .adversary(Box::new(ConstantAdversary::new(1e9)))
                 .vector(2),
             Err(SimError::ScenarioConflict { .. })
         ));
@@ -497,7 +517,7 @@ mod tests {
                 .inputs(&[0.0; 7])
                 .fault_nodes([5, 6])
                 .rule(&rule)
-                .vector_adversary(Box::new(CornerPullAdversary))
+                .vector_adversary(Box::new(CornerPullAdversary::new()))
                 .synchronous(),
             Err(SimError::ScenarioConflict { .. })
         ));
@@ -507,8 +527,8 @@ mod tests {
                 .inputs(&[0.0; 14])
                 .fault_nodes([5, 6])
                 .rule(&rule)
-                .adversary(Box::new(ConstantAdversary { value: 1e9 }))
-                .vector_adversary(Box::new(CornerPullAdversary))
+                .adversary(Box::new(ConstantAdversary::new(1e9)))
+                .vector_adversary(Box::new(CornerPullAdversary::new()))
                 .vector(2),
             Err(SimError::ScenarioConflict { .. })
         ));

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::plan::{faulty_edges_of, PlannedMessage, RoundPlan, RoundSlots};
 
 /// One recorded Byzantine message (or omission).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -241,11 +242,25 @@ pub fn record(
         rounds: Vec::with_capacity(rounds),
     };
     // Double-buffered like the engines: faulty entries are never written,
-    // so both buffers carry the faulty inputs forever.
+    // so both buffers carry the faulty inputs forever. The adversary
+    // plans each round once (two-phase protocol) over the same edge
+    // enumeration the recording loop walks, so recorded values match the
+    // pre-plan per-edge protocol bit for bit.
+    let edges = faulty_edges_of(graph, &fault_set);
+    let mut plan = RoundPlan::new();
     let mut states = inputs.to_vec();
     let mut next = inputs.to_vec();
     let mut received: Vec<f64> = Vec::new();
     for round in 1..=rounds {
+        let view = AdversaryView {
+            round,
+            graph,
+            states: &states,
+            fault_set: &fault_set,
+        };
+        plan.begin(edges.len());
+        adversary.plan_round(&view, RoundSlots::new(&edges, true), &mut plan);
+        let mut cursor = 0u32;
         let mut messages = Vec::new();
         for i in graph.nodes() {
             if fault_set.contains(i) {
@@ -254,29 +269,27 @@ pub fn record(
             received.clear();
             for j in graph.in_neighbors(i).iter() {
                 let raw = if fault_set.contains(j) {
-                    let view = AdversaryView {
-                        round,
-                        graph,
-                        states: &states,
-                        fault_set: &fault_set,
-                    };
-                    if adversary.omits(&view, j, i) {
-                        messages.push(MessageRecord {
-                            sender: j,
-                            receiver: i,
-                            value: 0.0,
-                            omitted: true,
-                        });
-                        states[i.index()]
-                    } else {
-                        let v = adversary.message(&view, j, i);
-                        messages.push(MessageRecord {
-                            sender: j,
-                            receiver: i,
-                            value: v,
-                            omitted: false,
-                        });
-                        v
+                    let planned = plan.get(cursor);
+                    cursor += 1;
+                    match planned {
+                        PlannedMessage::Omit => {
+                            messages.push(MessageRecord {
+                                sender: j,
+                                receiver: i,
+                                value: 0.0,
+                                omitted: true,
+                            });
+                            states[i.index()]
+                        }
+                        PlannedMessage::Value(v) => {
+                            messages.push(MessageRecord {
+                                sender: j,
+                                receiver: i,
+                                value: v,
+                                omitted: false,
+                            });
+                            v
+                        }
                     }
                 } else {
                     states[j.index()]
@@ -465,7 +478,7 @@ mod tests {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let mut adv = ExtremesAdversary { delta: 50.0 };
+        let mut adv = ExtremesAdversary::new(50.0);
         let t = record(&g, &inputs, faults, &rule, &mut adv, 12).unwrap();
         (g, t)
     }
@@ -547,7 +560,7 @@ mod tests {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let mut adv = CrashAdversary { from_round: 2 };
+        let mut adv = CrashAdversary::new(2);
         let t = record(&g, &inputs, faults, &rule, &mut adv, 5).unwrap();
         assert!(t.rounds[2].messages.iter().all(|m| m.omitted));
         let back = Transcript::from_text(&t.to_text()).unwrap();

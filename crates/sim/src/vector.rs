@@ -39,6 +39,7 @@ use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
+use crate::plan::{faulty_edges_into, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
 use crate::run::{Engine, RunConfig, StepStatus};
 use crate::trace::{ValidityReport, ValidityViolation};
 
@@ -84,16 +85,19 @@ impl VectorAdversaryView<'_> {
 
 /// A joint strategy for all faulty nodes over vector states.
 pub trait VectorAdversary: fmt::Debug + Send {
-    /// The `d`-dimensional value faulty `sender` puts on its edge to
-    /// `receiver`. Must return exactly `view.dim()` components (the engine
-    /// checks and truncates/pads with the receiver's own state as a
-    /// defensive boundary, mirroring scalar sanitization).
+    /// Writes the `d`-dimensional value faulty `sender` puts on its edge
+    /// to `receiver` into `out` (length `view.dim()`). The engine
+    /// prefills `out` with the **receiver's own coordinates**, so any
+    /// coordinate the adversary leaves untouched stays in-hull — the
+    /// out-parameter form of the old truncate-and-pad defensive boundary,
+    /// minus the old per-message `Vec<f64>` allocation.
     fn message(
         &mut self,
         view: &VectorAdversaryView<'_>,
         sender: NodeId,
         receiver: NodeId,
-    ) -> Vec<f64>;
+        out: &mut [f64],
+    );
 
     /// Short identifier for reports.
     fn name(&self) -> &'static str {
@@ -106,15 +110,74 @@ pub trait VectorAdversary: fmt::Debug + Send {
 /// This is the natural product construction: coordinate `k`'s messages come
 /// from `strategies[k]` viewing only coordinate `k`'s states — exactly the
 /// model under which the per-coordinate guarantees are inherited.
+///
+/// Scalar adversaries speak the two-phase protocol, so the adapter plans
+/// each round lazily on its first query: one [`RoundPlan`] per
+/// coordinate over the round's faulty edges (in the engine's query
+/// order, which keeps per-coordinate RNG streams identical to the old
+/// per-edge adapter), then answers every per-edge query by plan lookup.
 #[derive(Debug)]
 pub struct CoordinateWise {
     strategies: Vec<Box<dyn Adversary>>,
+    planned_round: usize,
+    /// Address of the graph `edges` was derived from: graph and fault set
+    /// are fixed for a simulation's lifetime, so the edge list is
+    /// re-derived only if the adapter is queried against a different
+    /// graph — per-round planning reuses it allocation-free.
+    edges_for: usize,
+    edges: Vec<PlannedEdge>,
+    plans: Vec<RoundPlan>,
 }
 
 impl CoordinateWise {
     /// Builds the adapter from one strategy per coordinate.
     pub fn new(strategies: Vec<Box<dyn Adversary>>) -> Self {
-        CoordinateWise { strategies }
+        CoordinateWise {
+            strategies,
+            planned_round: usize::MAX,
+            edges_for: 0,
+            edges: Vec::new(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Plans the round: one scalar plan per (used) coordinate.
+    fn plan_now(&mut self, view: &VectorAdversaryView<'_>) {
+        self.planned_round = view.round;
+        let graph_addr = view.graph as *const Digraph as usize;
+        if self.edges_for != graph_addr {
+            self.edges_for = graph_addr;
+            faulty_edges_into(view.graph, view.fault_set, &mut self.edges);
+        }
+        let used = self.strategies.len().min(view.dim());
+        if self.plans.len() < used {
+            self.plans.resize_with(used, RoundPlan::new);
+        }
+        for k in 0..used {
+            let scalar_view = AdversaryView {
+                round: view.round,
+                graph: view.graph,
+                states: &view.coords[k],
+                fault_set: view.fault_set,
+            };
+            self.plans[k].begin(self.edges.len());
+            self.strategies[k].plan_round(
+                &scalar_view,
+                RoundSlots::new(&self.edges, false),
+                &mut self.plans[k],
+            );
+        }
+    }
+
+    /// Dense slot of `(sender, receiver)` in the receiver-major edge list.
+    fn slot_of(&self, sender: u32, receiver: u32) -> Option<u32> {
+        let idx = self
+            .edges
+            .partition_point(|e| (e.receiver, e.sender) < (receiver, sender));
+        match self.edges.get(idx) {
+            Some(e) if (e.sender, e.receiver) == (sender, receiver) => Some(idx as u32),
+            _ => None,
+        }
     }
 }
 
@@ -124,20 +187,20 @@ impl VectorAdversary for CoordinateWise {
         view: &VectorAdversaryView<'_>,
         sender: NodeId,
         receiver: NodeId,
-    ) -> Vec<f64> {
-        self.strategies
-            .iter_mut()
-            .zip(view.coords)
-            .map(|(strategy, col)| {
-                let scalar_view = AdversaryView {
-                    round: view.round,
-                    graph: view.graph,
-                    states: col,
-                    fault_set: view.fault_set,
-                };
-                strategy.message(&scalar_view, sender, receiver)
-            })
-            .collect()
+        out: &mut [f64],
+    ) {
+        if self.planned_round != view.round {
+            self.plan_now(view);
+        }
+        let Some(slot) = self.slot_of(sender.index() as u32, receiver.index() as u32) else {
+            return; // not a faulty->honest edge this round; leave own state
+        };
+        let used = self.strategies.len().min(out.len());
+        for (k, out_k) in out.iter_mut().enumerate().take(used) {
+            if let PlannedMessage::Value(v) = self.plans[k].get(slot) {
+                *out_k = v;
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -150,9 +213,31 @@ impl VectorAdversary for CoordinateWise {
 /// pushes coordinate 0 toward the box minimum and all other coordinates
 /// toward the box maximum. Against honest inputs on a diagonal (where the
 /// hull is the diagonal itself), the limit lands near an off-diagonal box
-/// corner — the module-level caveat made executable.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CornerPullAdversary;
+/// corner — the module-level caveat made executable. The box corner is
+/// memoized per round (the hull-caching discipline of the scalar
+/// two-phase families, applied to the vector side).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CornerPullAdversary {
+    cached_round: usize,
+    corner: Vec<f64>,
+}
+
+impl CornerPullAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        CornerPullAdversary {
+            cached_round: usize::MAX,
+            corner: Vec::new(),
+        }
+    }
+}
+
+impl Default for CornerPullAdversary {
+    fn default() -> Self {
+        CornerPullAdversary::new()
+    }
+}
 
 impl VectorAdversary for CornerPullAdversary {
     fn message(
@@ -160,12 +245,22 @@ impl VectorAdversary for CornerPullAdversary {
         view: &VectorAdversaryView<'_>,
         _sender: NodeId,
         _receiver: NodeId,
-    ) -> Vec<f64> {
-        view.honest_box()
-            .iter()
-            .enumerate()
-            .map(|(k, &(lo, hi))| if k == 0 { lo } else { hi })
-            .collect()
+        out: &mut [f64],
+    ) {
+        if self.cached_round != view.round || self.corner.len() != view.dim() {
+            self.cached_round = view.round;
+            self.corner.clear();
+            self.corner
+                .extend(
+                    view.honest_box()
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &(lo, hi))| if k == 0 { lo } else { hi }),
+                );
+        }
+        for (out_k, &corner_k) in out.iter_mut().zip(&self.corner) {
+            *out_k = corner_k;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -208,8 +303,8 @@ pub struct VectorOutcome {
 /// let faults = NodeSet::from_indices(7, [5, 6]);
 /// let rule = TrimmedMean::new(2);
 /// let adv = CoordinateWise::new(vec![
-///     Box::new(ExtremesAdversary { delta: 1e6 }),
-///     Box::new(ExtremesAdversary { delta: 1e6 }),
+///     Box::new(ExtremesAdversary::new(1e6)),
+///     Box::new(ExtremesAdversary::new(1e6)),
 /// ]);
 /// let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv))?;
 /// let out = sim.run(&VectorSimConfig::default())?;
@@ -229,6 +324,9 @@ pub struct VectorSimulation<'a> {
     next_coords: Vec<Vec<f64>>,
     /// Retained per-coordinate receive scratch.
     scratch: Vec<Vec<f64>>,
+    /// Retained `d`-wide buffer handed to [`VectorAdversary::message`] as
+    /// the out-parameter, prefilled with the receiver's own coordinates.
+    msg_buf: Vec<f64>,
     round: usize,
     /// Row-major flattened view (`flat[i*d + k]`) kept in sync with
     /// `coords` for the [`Engine`] state surface.
@@ -317,6 +415,7 @@ impl<'a> VectorSimulation<'a> {
             .collect();
         let next_coords = coords.clone();
         let scratch = vec![Vec::with_capacity(compiled.max_in_degree()); d];
+        let msg_buf = vec![0.0; d];
         let flat = inputs.concat();
         let flat_faults = NodeSet::from_indices(
             n * d,
@@ -337,6 +436,7 @@ impl<'a> VectorSimulation<'a> {
             coords,
             next_coords,
             scratch,
+            msg_buf,
             round: 0,
             flat,
             flat_faults,
@@ -383,17 +483,17 @@ impl<'a> VectorSimulation<'a> {
 
     /// Executes one synchronous iteration. Like the scalar engines this is
     /// double-buffered: coordinate columns are read from `coords`, written
-    /// to `next_coords`, and swapped — the per-step `coords.clone()` and
-    /// scratch allocations of the naive loop are gone (the adversary's
-    /// per-message `Vec<f64>` payload is the one remaining allocation; it
-    /// is part of the [`VectorAdversary`] API).
+    /// to `next_coords`, and swapped — and with the out-parameter
+    /// [`VectorAdversary`] API the adversary's payload lands in a retained
+    /// `d`-wide buffer, so the per-step `coords.clone()`, the scratch
+    /// allocations, *and* the old per-message `Vec<f64>` payload of the
+    /// naive loop are all gone: zero steady-state allocation per round.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Rule`] if the update rule fails at some node.
     pub fn step(&mut self) -> Result<StepStatus, SimError> {
         self.round += 1;
-        let d = self.coords.len();
         let view = VectorAdversaryView {
             round: self.round,
             graph: self.graph,
@@ -410,19 +510,21 @@ impl<'a> VectorSimulation<'a> {
             for &j in self.compiled.in_neighbors_of(i) {
                 let j = j as usize;
                 if self.compiled.is_faulty(j) {
-                    let mut msg = self
-                        .adversary
-                        .message(&view, NodeId::new(j), NodeId::new(i));
-                    // Defensive boundary: wrong-dimension payloads are
-                    // truncated to d and padded with the receiver's own
-                    // coordinates (in-hull).
-                    msg.truncate(d);
-                    while msg.len() < d {
-                        let k = msg.len();
-                        msg.push(view.coords[k][i]);
+                    // Defensive boundary: prefill with the receiver's own
+                    // coordinates — whatever the adversary leaves
+                    // untouched stays in-hull (the out-parameter form of
+                    // the old truncate-and-pad).
+                    for (k, slot) in self.msg_buf.iter_mut().enumerate() {
+                        *slot = view.coords[k][i];
                     }
+                    self.adversary.message(
+                        &view,
+                        NodeId::new(j),
+                        NodeId::new(i),
+                        &mut self.msg_buf,
+                    );
                     for (k, col) in self.scratch.iter_mut().enumerate() {
-                        col.push(sanitize(msg[k]));
+                        col.push(sanitize(self.msg_buf[k]));
                     }
                 } else {
                     for (k, col) in self.scratch.iter_mut().enumerate() {
@@ -633,8 +735,8 @@ mod tests {
         ]);
         let rule = TrimmedMean::new(0);
         let adv = CoordinateWise::new(vec![
-            Box::new(ConformingAdversary),
-            Box::new(ConformingAdversary),
+            Box::new(ConformingAdversary::new()),
+            Box::new(ConformingAdversary::new()),
         ]);
         let mut sim =
             VectorSimulation::new(&g, &inputs, NodeSet::with_universe(5), &rule, Box::new(adv))
@@ -673,8 +775,8 @@ mod tests {
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
         let adv = CoordinateWise::new(vec![
-            Box::new(ConstantAdversary { value: 1e9 }),
-            Box::new(ExtremesAdversary { delta: 1e7 }),
+            Box::new(ConstantAdversary::new(1e9)),
+            Box::new(ExtremesAdversary::new(1e7)),
         ]);
         let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
         let out = sim.run(&VectorSimConfig::default()).unwrap();
@@ -704,9 +806,14 @@ mod tests {
         ]);
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let mut sim =
-            VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(CornerPullAdversary))
-                .unwrap();
+        let mut sim = VectorSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            &rule,
+            Box::new(CornerPullAdversary::new()),
+        )
+        .unwrap();
         let out = sim.run(&VectorSimConfig::default()).unwrap();
         assert!(out.converged);
         assert!(out.box_validity, "box validity must hold even off-hull");
@@ -723,8 +830,9 @@ mod tests {
 
     #[test]
     fn wrong_dimension_payloads_are_padded_in_hull() {
-        // An adversary that returns 1 coordinate instead of 2: the engine
-        // pads with the receiver's own state, so the run must stay valid.
+        // An adversary that writes only 1 coordinate of 2: the engine's
+        // prefill leaves the receiver's own state in the untouched
+        // coordinate, so the run must stay valid.
         #[derive(Debug)]
         struct Short;
         impl VectorAdversary for Short {
@@ -733,8 +841,9 @@ mod tests {
                 _view: &VectorAdversaryView<'_>,
                 _s: NodeId,
                 _r: NodeId,
-            ) -> Vec<f64> {
-                vec![1e9]
+                out: &mut [f64],
+            ) {
+                out[0] = 1e9;
             }
         }
         let g = generators::complete(7);
@@ -777,8 +886,8 @@ mod tests {
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = Mean::new();
         let adv = CoordinateWise::new(vec![
-            Box::new(ConstantAdversary { value: 5.0 }),
-            Box::new(ConformingAdversary),
+            Box::new(ConstantAdversary::new(5.0)),
+            Box::new(ConformingAdversary::new()),
         ]);
         let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
         let out = crate::Engine::run(&mut sim, &RunConfig::bounded(1e-6, 500)).unwrap();
@@ -796,8 +905,8 @@ mod tests {
         );
         // The inherent VectorOutcome agrees (same audit, same engine).
         let adv = CoordinateWise::new(vec![
-            Box::new(ConstantAdversary { value: 5.0 }),
-            Box::new(ConformingAdversary),
+            Box::new(ConstantAdversary::new(5.0)),
+            Box::new(ConformingAdversary::new()),
         ]);
         let mut sim = VectorSimulation::new(
             &g,
@@ -830,8 +939,8 @@ mod tests {
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = Mean::new();
         let adv = CoordinateWise::new(vec![
-            Box::new(ConstantAdversary { value: 5.0 }),
-            Box::new(ConformingAdversary),
+            Box::new(ConstantAdversary::new(5.0)),
+            Box::new(ConformingAdversary::new()),
         ]);
         let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
         for _ in 0..3 {
@@ -852,7 +961,7 @@ mod tests {
         let g = generators::cycle(4); // in-degree 1 < 2f
         let rule = TrimmedMean::new(1);
         let inputs = rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
-        let adv = CoordinateWise::new(vec![Box::new(ConformingAdversary)]);
+        let adv = CoordinateWise::new(vec![Box::new(ConformingAdversary::new())]);
         let mut sim =
             VectorSimulation::new(&g, &inputs, NodeSet::with_universe(4), &rule, Box::new(adv))
                 .unwrap();
@@ -873,7 +982,7 @@ mod tests {
         };
         assert_eq!(view.dim(), 2);
         assert_eq!(view.honest_box(), vec![(0.0, 5.0), (-1.0, 2.0)]);
-        assert_eq!(CornerPullAdversary.name(), "corner-pull");
+        assert_eq!(CornerPullAdversary::new().name(), "corner-pull");
         assert_eq!(CoordinateWise::new(vec![]).name(), "coordinate-wise");
     }
 }

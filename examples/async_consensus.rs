@@ -33,14 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+            .adversary(Box::new(ExtremesAdversary::new(1e3)))
             .delay_bounded(Box::new(MaxDelayScheduler), b)?;
         let w = worst.run(&RunConfig::bounded(1e-6, 50_000))?;
         let mut random = Scenario::on(&g)
             .inputs(&inputs)
             .faults(faults.clone())
             .rule(&rule)
-            .adversary(Box::new(ExtremesAdversary { delta: 1e3 }))
+            .adversary(Box::new(ExtremesAdversary::new(1e3)))
             .delay_bounded(Box::new(RandomScheduler::new(9)), b)?;
         let r = random.run(&RunConfig::bounded(1e-6, 50_000))?;
         println!(
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Scenario::on(&g)
             .inputs(&inputs)
             .faults(faults)
-            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .adversary(Box::new(ConstantAdversary::new(1e9)))
             .withholding(f)?;
         let out = sim.run(&RunConfig::bounded(1e-6, 20_000))?;
         println!(

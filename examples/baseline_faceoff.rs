@@ -66,13 +66,13 @@ fn run_workload(
 fn main() {
     // The classical setting: complete graph, n > 3f.
     run_workload("complete K7", &generators::complete(7), 2, &[5, 6], || {
-        Box::new(PolarizingAdversary)
+        Box::new(PolarizingAdversary::new())
     });
 
     // A graph the Dolev algorithm was never designed for: the sparse §6.3
     // chord network that satisfies Theorem 1 at f = 1.
     run_workload("chord(5, 3)", &generators::chord(5, 3), 1, &[4], || {
-        Box::new(PolarizingAdversary)
+        Box::new(PolarizingAdversary::new())
     });
 
     // The §6.1 core network at its minimum size.
@@ -81,7 +81,7 @@ fn main() {
         &generators::core_network(7, 2),
         2,
         &[0, 3],
-        || Box::new(PolarizingAdversary),
+        || Box::new(PolarizingAdversary::new()),
     );
 
     println!("Only trimmed-mean (Algorithm 1) is *guaranteed* beyond complete graphs;");

@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .inputs(&inputs)
         .faults(faults)
         .rule(&rule)
-        .adversary(Box::new(PullAdversary { toward_max: false }))
+        .adversary(Box::new(PullAdversary::new(false)))
         .synchronous()?
         .run(&SimConfig::default())?;
     println!(

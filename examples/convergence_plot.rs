@@ -50,9 +50,9 @@ fn trace_ranges(adversary: Box<dyn Adversary>) -> (String, Vec<f64>) {
 fn main() {
     println!("core network (9, f = 2), Algorithm 1, honest range per round (log scale)\n");
     let runs: Vec<(String, Vec<f64>)> = vec![
-        trace_ranges(Box::new(ConformingAdversary)),
-        trace_ranges(Box::new(ExtremesAdversary { delta: 1e6 })),
-        trace_ranges(Box::new(PolarizingAdversary)),
+        trace_ranges(Box::new(ConformingAdversary::new())),
+        trace_ranges(Box::new(ExtremesAdversary::new(1e6))),
+        trace_ranges(Box::new(PolarizingAdversary::new())),
     ];
 
     for (name, ranges) in &runs {

@@ -97,7 +97,7 @@ fn main() {
         .inputs(&inputs)
         .faults(faults)
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 1e5 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e5)))
         .dynamic(&schedule)
         .expect("valid simulation");
     let out = sim.run(&SimConfig::default()).expect("faded run");

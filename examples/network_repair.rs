@@ -78,7 +78,7 @@ fn repair_and_verify(name: &str, g: &Digraph, f: usize) -> Result<(), Box<dyn st
         .inputs(&inputs)
         .faults(faults)
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .synchronous()?
         .run(&SimConfig::default())?;
     println!(

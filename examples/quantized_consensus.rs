@@ -41,7 +41,7 @@ fn main() {
                 .inputs(&inputs)
                 .faults(faults.clone())
                 .rule(&rule)
-                .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+                .adversary(Box::new(ExtremesAdversary::new(1e6)))
                 .synchronous()
                 .and_then(|mut sim| {
                     sim.run(&SimConfig {

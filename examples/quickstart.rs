@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .inputs(&inputs)
         .faults(faults)
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .synchronous()
         .and_then(|mut sim| sim.run(&SimConfig::default()))?;
 

@@ -50,15 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rule = TrimmedMean::new(f);
 
     let attacks: Vec<(&str, Box<dyn Adversary>)> = vec![
-        ("stuck-at-zero", Box::new(ConstantAdversary { value: 0.0 })),
+        ("stuck-at-zero", Box::new(ConstantAdversary::new(0.0))),
         (
             "random noise",
             Box::new(RandomAdversary::new(-40.0, 85.0, 7)),
         ),
-        (
-            "stealthy pull-down",
-            Box::new(PullAdversary { toward_max: false }),
-        ),
+        ("stealthy pull-down", Box::new(PullAdversary::new(false))),
     ];
 
     for (name, adversary) in attacks {

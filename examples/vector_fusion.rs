@@ -40,8 +40,8 @@ fn main() {
     ];
     println!("scene 1 — extremes attack on both axes (honest box: [0,4] x [10,14])");
     let adversary = CoordinateWise::new(vec![
-        Box::new(ExtremesAdversary { delta: 1e6 }),
-        Box::new(ExtremesAdversary { delta: 1e6 }),
+        Box::new(ExtremesAdversary::new(1e6)),
+        Box::new(ExtremesAdversary::new(1e6)),
     ]);
     let mut sim = Scenario::on(&g)
         .inputs(&inputs.concat())
@@ -76,7 +76,7 @@ fn main() {
         .inputs(&diagonal.concat())
         .faults(faults)
         .rule(&rule)
-        .vector_adversary(Box::new(CornerPullAdversary))
+        .vector_adversary(Box::new(CornerPullAdversary::new()))
         .vector(2)
         .expect("valid simulation");
     let out = sim.run(&VectorSimConfig::default()).expect("run");

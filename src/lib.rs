@@ -48,7 +48,7 @@
 //!     .inputs(&[10.0, 30.0, 20.0, 25.0, 15.0, 0.0, 0.0])
 //!     .faults(NodeSet::from_indices(7, [5, 6]))
 //!     .rule(&rule)
-//!     .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+//!     .adversary(Box::new(ExtremesAdversary::new(1e6)))
 //!     .synchronous()?;
 //! let out = sim.run(&RunConfig::default())?;
 //! assert_eq!(out.termination, Termination::Converged);

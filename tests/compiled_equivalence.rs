@@ -38,19 +38,19 @@ fn random_graph_with_floor(n: usize, floor: usize, density: f64, rng: &mut StdRn
 
 fn adversary_from_id(id: u8, n: usize, seed: u64) -> Box<dyn Adversary> {
     match id % 10 {
-        0 => Box::new(ConformingAdversary),
-        1 => Box::new(ConstantAdversary { value: 1e9 }),
-        2 => Box::new(ExtremesAdversary { delta: 77.0 }),
-        3 => Box::new(PullAdversary { toward_max: true }),
-        4 => Box::new(NaNAdversary),
+        0 => Box::new(ConformingAdversary::new()),
+        1 => Box::new(ConstantAdversary::new(1e9)),
+        2 => Box::new(ExtremesAdversary::new(77.0)),
+        3 => Box::new(PullAdversary::new(true)),
+        4 => Box::new(NaNAdversary::new()),
         5 => Box::new(RandomAdversary::new(-1e5, 1e5, seed)),
-        6 => Box::new(CrashAdversary { from_round: 2 }),
-        7 => Box::new(FlipFlopAdversary { delta: 13.0 }),
-        8 => Box::new(PolarizingAdversary),
-        _ => Box::new(SelectiveOmissionAdversary {
-            silenced: NodeSet::from_indices(n, [0]),
-            value: -4e8,
-        }),
+        6 => Box::new(CrashAdversary::new(2)),
+        7 => Box::new(FlipFlopAdversary::new(13.0)),
+        8 => Box::new(PolarizingAdversary::new()),
+        _ => Box::new(SelectiveOmissionAdversary::new(
+            NodeSet::from_indices(n, [0]),
+            -4e8,
+        )),
     }
 }
 

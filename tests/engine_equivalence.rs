@@ -77,7 +77,7 @@ fn synchronous_engine_reproduces_pre_refactor_outcome() {
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
         .rule(&rule)
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .synchronous()
         .unwrap();
     let out = sim.run(&RunConfig::default()).unwrap();
@@ -97,14 +97,14 @@ fn synchronous_engine_reproduces_pre_refactor_outcome() {
         &K7_INPUTS,
         NodeSet::from_indices(7, [5, 6]),
         &rule,
-        Box::new(ConstantAdversary { value: 1e9 }),
+        Box::new(ConstantAdversary::new(1e9)),
     )
     .unwrap();
     let mut built = Scenario::on(&g)
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
         .rule(&rule)
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .synchronous()
         .unwrap();
     for _ in 0..10 {
@@ -135,7 +135,7 @@ fn model_engine_reproduces_pre_refactor_outcome() {
     let mut sim = Scenario::on(&g)
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .model_aware(&aware)
         .unwrap();
     let out = sim.run(&RunConfig::default()).unwrap();
@@ -153,13 +153,13 @@ fn model_engine_reproduces_pre_refactor_outcome() {
         &K7_INPUTS,
         NodeSet::from_indices(7, [5, 6]),
         &aware,
-        Box::new(ExtremesAdversary { delta: 1e6 }),
+        Box::new(ExtremesAdversary::new(1e6)),
     )
     .unwrap();
     let mut built = Scenario::on(&g)
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .model_aware(&aware)
         .unwrap();
     for _ in 0..10 {
@@ -195,7 +195,7 @@ fn dynamic_engine_reproduces_pre_refactor_outcome() {
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .dynamic(&schedule)
         .unwrap();
     let out = sim.run(&RunConfig::default()).unwrap();
@@ -213,14 +213,14 @@ fn dynamic_engine_reproduces_pre_refactor_outcome() {
         &K7_INPUTS,
         NodeSet::from_indices(7, [5, 6]),
         &rule,
-        Box::new(ExtremesAdversary { delta: 1e6 }),
+        Box::new(ExtremesAdversary::new(1e6)),
     )
     .unwrap();
     let mut built = Scenario::on(schedule.graph_at(1))
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 1e6 }))
+        .adversary(Box::new(ExtremesAdversary::new(1e6)))
         .dynamic(&schedule)
         .unwrap();
     for _ in 0..10 {
@@ -256,7 +256,7 @@ fn delay_bounded_engine_reproduces_pre_refactor_outcome() {
         .inputs(&inputs)
         .fault_nodes([5])
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 50.0 }))
+        .adversary(Box::new(ExtremesAdversary::new(50.0)))
         .delay_bounded(Box::new(MaxDelayScheduler), 3)
         .unwrap();
     let out = sim.run(&RunConfig::bounded(1e-6, 5_000)).unwrap();
@@ -274,7 +274,7 @@ fn delay_bounded_engine_reproduces_pre_refactor_outcome() {
         &inputs,
         NodeSet::from_indices(6, [5]),
         &rule,
-        Box::new(ExtremesAdversary { delta: 50.0 }),
+        Box::new(ExtremesAdversary::new(50.0)),
         Box::new(MaxDelayScheduler),
         3,
     )
@@ -283,7 +283,7 @@ fn delay_bounded_engine_reproduces_pre_refactor_outcome() {
         .inputs(&inputs)
         .fault_nodes([5])
         .rule(&rule)
-        .adversary(Box::new(ExtremesAdversary { delta: 50.0 }))
+        .adversary(Box::new(ExtremesAdversary::new(50.0)))
         .delay_bounded(Box::new(MaxDelayScheduler), 3)
         .unwrap();
     for _ in 0..10 {
@@ -320,7 +320,7 @@ fn withholding_engine_reproduces_pre_refactor_outcome() {
     let mut sim = Scenario::on(&g)
         .inputs(&inputs)
         .fault_nodes([9, 10])
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .withholding(2)
         .unwrap();
     let out = sim.run(&RunConfig::bounded(1e-6, 5_000)).unwrap();
@@ -338,13 +338,13 @@ fn withholding_engine_reproduces_pre_refactor_outcome() {
         &inputs,
         NodeSet::from_indices(11, [9, 10]),
         2,
-        Box::new(ConstantAdversary { value: 1e9 }),
+        Box::new(ConstantAdversary::new(1e9)),
     )
     .unwrap();
     let mut built = Scenario::on(&g)
         .inputs(&inputs)
         .fault_nodes([9, 10])
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .withholding(2)
         .unwrap();
     for _ in 0..5 {
@@ -391,8 +391,8 @@ fn vector_engine_reproduces_pre_refactor_outcome() {
     let rule = TrimmedMean::new(2);
     let make_adv = || {
         Box::new(CoordinateWise::new(vec![
-            Box::new(ConstantAdversary { value: 1e9 }),
-            Box::new(ExtremesAdversary { delta: 1e7 }),
+            Box::new(ConstantAdversary::new(1e9)),
+            Box::new(ExtremesAdversary::new(1e7)),
         ]))
     };
     let mut sim = Scenario::on(&g)
@@ -475,7 +475,7 @@ fn large_n_synchronous_golden_is_stable() {
         .inputs(&inputs)
         .fault_nodes(n - f..n)
         .rule(&rule)
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .synchronous()
         .unwrap();
     let out = sim.run(&RunConfig::bounded(1e-6, 10_000)).unwrap();
@@ -499,7 +499,7 @@ fn large_n_synchronous_golden_is_stable() {
         &inputs,
         NodeSet::from_indices(n, n - f..n),
         &slow_rule,
-        Box::new(ConstantAdversary { value: 1e9 }),
+        Box::new(ConstantAdversary::new(1e9)),
     )
     .unwrap();
     for _ in 0..out.rounds {
@@ -527,7 +527,7 @@ fn baselines_run_through_the_same_engine_surface() {
             .inputs(&K7_INPUTS)
             .fault_nodes([5, 6])
             .rule(rule)
-            .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+            .adversary(Box::new(ConstantAdversary::new(1e9)))
             .boxed_synchronous()
             .unwrap();
         let out = engine.run(&RunConfig::default()).unwrap();
@@ -544,7 +544,7 @@ fn frozen_withholding_run_halts_instead_of_burning_the_budget() {
     let mut sim = Scenario::on(&g)
         .inputs(&K7_INPUTS)
         .fault_nodes([5, 6])
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .withholding(2)
         .unwrap();
     let out = sim.run(&RunConfig::bounded(1e-6, 10_000)).unwrap();

@@ -105,7 +105,7 @@ fn every_satisfying_4_node_graph_converges_under_attack() {
                 &inputs,
                 faults,
                 &rule,
-                Box::new(ExtremesAdversary { delta: 100.0 }),
+                Box::new(ExtremesAdversary::new(100.0)),
             )
             .expect("valid sim")
             .run(&config)

@@ -112,7 +112,7 @@ fn quantized_rule_survives_topology_churn() {
         &inputs,
         faults,
         &rule,
-        Box::new(ExtremesAdversary { delta: 1e6 }),
+        Box::new(ExtremesAdversary::new(1e6)),
     )
     .unwrap()
     .run(&SimConfig {
@@ -148,7 +148,7 @@ fn quantized_rule_in_the_async_engine() {
         .inputs(&inputs)
         .faults(faults)
         .rule(&rule)
-        .adversary(Box::new(ConstantAdversary { value: 1e9 }))
+        .adversary(Box::new(ConstantAdversary::new(1e9)))
         .delay_bounded(Box::new(MaxDelayScheduler), 3)
         .unwrap();
     let out = sim.run(&RunConfig::bounded(quantum, 5_000)).unwrap();
@@ -180,8 +180,8 @@ fn quantized_vector_fusion() {
     ];
     let faults = NodeSet::from_indices(7, [5, 6]);
     let adv = CoordinateWise::new(vec![
-        Box::new(ExtremesAdversary { delta: 1e6 }),
-        Box::new(ExtremesAdversary { delta: 1e6 }),
+        Box::new(ExtremesAdversary::new(1e6)),
+        Box::new(ExtremesAdversary::new(1e6)),
     ]);
     let mut sim = VectorSimulation::new(&g, &inputs, faults, &rule, Box::new(adv)).unwrap();
     let out = sim
@@ -222,7 +222,7 @@ fn three_engines_one_trajectory() {
         &inputs,
         faults.clone(),
         &rule,
-        Box::new(ConstantAdversary { value: -4e8 }),
+        Box::new(ConstantAdversary::new(-4e8)),
     )
     .unwrap();
     let mut identified = ModelSimulation::new(
@@ -230,7 +230,7 @@ fn three_engines_one_trajectory() {
         &inputs,
         faults.clone(),
         &blind,
-        Box::new(ConstantAdversary { value: -4e8 }),
+        Box::new(ConstantAdversary::new(-4e8)),
     )
     .unwrap();
     let mut dynamic = DynamicSimulation::new(
@@ -238,7 +238,7 @@ fn three_engines_one_trajectory() {
         &inputs,
         faults,
         &rule,
-        Box::new(ConstantAdversary { value: -4e8 }),
+        Box::new(ConstantAdversary::new(-4e8)),
     )
     .unwrap();
     for _ in 0..30 {

@@ -48,7 +48,7 @@ fn stage2_simulate_under_attack() {
         &inputs,
         faults,
         &rule,
-        Box::new(PolarizingAdversary),
+        Box::new(PolarizingAdversary::new()),
         &SimConfig::default(),
     )
     .expect("simulation runs");
@@ -65,7 +65,7 @@ fn stage3_certified_termination() {
         &inputs,
         faults,
         F,
-        Box::new(PolarizingAdversary),
+        Box::new(PolarizingAdversary::new()),
         1e-2,
         2_000_000,
     )
@@ -127,7 +127,7 @@ fn stage6_repair_a_broken_alternative() {
         &inputs,
         NodeSet::from_indices(n, [0]),
         &rule,
-        Box::new(PolarizingAdversary),
+        Box::new(PolarizingAdversary::new()),
         &SimConfig::default(),
     )
     .expect("repaired graph simulates");

@@ -36,7 +36,7 @@ fn checker_verdict_predicts_executability() {
             &inputs,
             faults,
             &rule,
-            Box::new(PullAdversary { toward_max: true }),
+            Box::new(PullAdversary::new(true)),
             &SimConfig::default(),
         )
         .expect("simulation runs");
@@ -187,7 +187,7 @@ fn agreed_value_stays_in_honest_hull() {
         &inputs,
         faults,
         &rule,
-        Box::new(ConstantAdversary { value: 1e9 }),
+        Box::new(ConstantAdversary::new(1e9)),
         &SimConfig::default(),
     )
     .unwrap();

@@ -1,0 +1,263 @@
+//! Determinism guard for parallel round execution: for random digraphs,
+//! fault sets, and every stateful adversary family, a run at
+//! `--jobs ∈ {2, 4, 7}` must be **bit-for-bit identical** to the serial
+//! run — final-state f64 bit patterns, round counts, and the validity
+//! verdict. Covers the synchronous, model-aware, and dynamic engines
+//! (including the dynamic engine's in-place CSR rebuild path, where the
+//! per-round plan slots are re-derived).
+//!
+//! The contract under test is the one the two-phase protocol was built
+//! for: the adversary plans each round serially (all RNG draws happen in
+//! slot order, independent of the worker count), and phase 2 is a pure
+//! function of `(states, plan)` per node — so thread scheduling can never
+//! touch a float.
+
+use iabc::core::fault_model::{FaultModel, ModelTrimmedMean};
+use iabc::core::rules::TrimmedMean;
+use iabc::graph::{generators, Digraph, NodeId, NodeSet};
+use iabc::sim::adversary::{
+    Adversary, BroadcastOf, ConformingAdversary, ConstantAdversary, CrashAdversary, EchoAdversary,
+    ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
+    RandomAdversary, SelectiveOmissionAdversary,
+};
+use iabc::sim::dynamic::{DynamicSimulation, RoundRobinSchedule};
+use iabc::sim::model_engine::ModelSimulation;
+use iabc::sim::{Engine, RunConfig, Scenario, Simulation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const JOB_COUNTS: [usize; 3] = [2, 4, 7];
+
+/// A random digraph whose every node keeps in-degree ≥ `floor` (so the
+/// trimming rule stays total).
+fn random_graph_with_floor(n: usize, floor: usize, density: f64, rng: &mut StdRng) -> Digraph {
+    let mut g = generators::complete(n);
+    for v in 0..n {
+        let v = NodeId::new(v);
+        for u in 0..n {
+            let u = NodeId::new(u);
+            if u != v && g.in_degree(v) > floor && !rng.random_bool(density) {
+                g.remove_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Every adversary family, including the stateful ones whose RNG streams
+/// and per-round caches the plan protocol must keep worker-count-free.
+fn adversary_from_id(id: u8, n: usize, seed: u64) -> Box<dyn Adversary> {
+    match id % 12 {
+        0 => Box::new(ConformingAdversary::new()),
+        1 => Box::new(ConstantAdversary::new(1e9)),
+        2 => Box::new(ExtremesAdversary::new(77.0)),
+        3 => Box::new(PullAdversary::new(true)),
+        4 => Box::new(NaNAdversary::new()),
+        5 => Box::new(RandomAdversary::new(-1e5, 1e5, seed)),
+        6 => Box::new(CrashAdversary::new(2)),
+        7 => Box::new(FlipFlopAdversary::new(13.0)),
+        8 => Box::new(PolarizingAdversary::new()),
+        9 => Box::new(EchoAdversary::new()),
+        10 => Box::new(BroadcastOf::new(RandomAdversary::new(-500.0, 500.0, seed))),
+        _ => Box::new(SelectiveOmissionAdversary::new(
+            NodeSet::from_indices(n, [0]),
+            -4e8,
+        )),
+    }
+}
+
+struct Workload {
+    graph: Digraph,
+    inputs: Vec<f64>,
+    faults: NodeSet,
+    f: usize,
+    adv_id: u8,
+    seed: u64,
+}
+
+fn workload(n: usize, f: usize, density: f64, adv_id: u8, seed: u64) -> Workload {
+    let f = f.min((n - 1) / 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = random_graph_with_floor(n, 2 * f + 1, density, &mut rng);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(-100.0..100.0)).collect();
+    let mut faults = NodeSet::with_universe(n);
+    while faults.len() < f {
+        faults.insert(NodeId::new(rng.random_range(0..n)));
+    }
+    Workload {
+        graph,
+        inputs,
+        faults,
+        f,
+        adv_id,
+        seed,
+    }
+}
+
+/// (rounds, converged, valid, final-state bit patterns) of a run.
+fn fingerprint<E: Engine>(mut engine: E) -> (usize, bool, bool, Vec<u64>) {
+    let out = engine.run(&RunConfig::bounded(1e-9, 40)).unwrap();
+    let bits = engine.states().iter().map(|v| v.to_bits()).collect();
+    (out.rounds, out.converged, out.validity.is_valid(), bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synchronous engine: serial vs every tested job count.
+    #[test]
+    fn synchronous_runs_are_bit_identical_across_job_counts(
+        n in 6usize..16,
+        f in 0usize..3,
+        density in 0u8..3,
+        adv_id in 0u8..12,
+        seed in 0u64..10_000,
+    ) {
+        let w = workload(n, f, [0.3, 0.6, 0.9][density as usize], adv_id, seed);
+        let rule = TrimmedMean::new(w.f);
+        let build = |jobs: usize| {
+            Simulation::new(
+                &w.graph,
+                &w.inputs,
+                w.faults.clone(),
+                &rule,
+                adversary_from_id(w.adv_id, n, w.seed),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in JOB_COUNTS {
+            let parallel = fingerprint(build(jobs));
+            prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
+        }
+    }
+
+    /// Model-aware engine (identity-delivering scratch, structure-aware
+    /// trimming): same contract.
+    #[test]
+    fn model_engine_runs_are_bit_identical_across_job_counts(
+        n in 6usize..14,
+        f in 0usize..3,
+        adv_id in 0u8..12,
+        seed in 0u64..10_000,
+    ) {
+        let w = workload(n, f, 0.8, adv_id, seed);
+        let rule = ModelTrimmedMean::new(FaultModel::Total(w.f));
+        let build = |jobs: usize| {
+            ModelSimulation::new(
+                &w.graph,
+                &w.inputs,
+                w.faults.clone(),
+                &rule,
+                adversary_from_id(w.adv_id, n, w.seed),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in JOB_COUNTS {
+            let parallel = fingerprint(build(jobs));
+            prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
+        }
+    }
+
+    /// Dynamic engine with forced rebuild churn: two distinct allocations
+    /// of the same graph make the address check rebuild the CSR (and the
+    /// plan's slot list) at every dwell boundary; worker count must still
+    /// be invisible.
+    #[test]
+    fn dynamic_rebuild_runs_are_bit_identical_across_job_counts(
+        n in 6usize..14,
+        f in 0usize..3,
+        dwell in 1usize..4,
+        adv_id in 0u8..12,
+        seed in 0u64..10_000,
+    ) {
+        let w = workload(n, f, 0.7, adv_id, seed);
+        let schedule =
+            RoundRobinSchedule::new(vec![w.graph.clone(), w.graph.clone()], dwell).unwrap();
+        let rule = TrimmedMean::new(w.f);
+        let build = |jobs: usize| {
+            DynamicSimulation::new(
+                &schedule,
+                &w.inputs,
+                w.faults.clone(),
+                &rule,
+                adversary_from_id(w.adv_id, n, w.seed),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in JOB_COUNTS {
+            let parallel = fingerprint(build(jobs));
+            prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
+        }
+    }
+}
+
+/// The `Scenario::parallel` knob reaches the engine: a parallel-built
+/// scenario reproduces the serial golden trajectory exactly.
+#[test]
+fn scenario_parallel_matches_serial_bitwise() {
+    let g = generators::complete(9);
+    let inputs: Vec<f64> = (0..9).map(|i| (i * i % 13) as f64).collect();
+    let rule = TrimmedMean::new(2);
+    let build = |jobs: usize| {
+        Scenario::on(&g)
+            .inputs(&inputs)
+            .fault_nodes([7, 8])
+            .rule(&rule)
+            .adversary(Box::new(RandomAdversary::new(-50.0, 50.0, 99)))
+            .parallel(jobs)
+            .synchronous()
+            .unwrap()
+    };
+    let mut serial = build(1);
+    let mut parallel = build(4);
+    assert_eq!(parallel.jobs(), 4);
+    for round in 0..30 {
+        serial.step().unwrap();
+        parallel.step().unwrap();
+        for (i, (a, b)) in serial.states().iter().zip(parallel.states()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "round {} node {i}: serial {a:?} vs parallel {b:?}",
+                round + 1
+            );
+        }
+    }
+}
+
+/// Rule errors are reported deterministically (lowest failing node) for
+/// any job count.
+#[test]
+fn parallel_rule_errors_name_the_lowest_node_deterministically() {
+    // A cycle has in-degree 1 < 2f: every honest node fails; the reported
+    // node must be the lowest-indexed fault-free one regardless of jobs.
+    let g = generators::cycle(64);
+    let inputs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let rule = TrimmedMean::new(1);
+    for jobs in [1usize, 2, 4, 7] {
+        let mut sim = Simulation::new(
+            &g,
+            &inputs,
+            NodeSet::from_indices(64, [0]),
+            &rule,
+            Box::new(ConformingAdversary::new()),
+        )
+        .unwrap()
+        .with_jobs(jobs);
+        let err = sim.step().unwrap_err();
+        match err {
+            iabc::sim::SimError::Rule { node, round, .. } => {
+                assert_eq!(node, 1, "jobs = {jobs}");
+                assert_eq!(round, 1, "jobs = {jobs}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

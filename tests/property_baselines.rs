@@ -148,7 +148,7 @@ fn guaranteed_rules_converge_on_satisfying_graphs() {
             &inputs,
             faults,
             &rule,
-            Box::new(PolarizingAdversary),
+            Box::new(PolarizingAdversary::new()),
             &SimConfig::default(),
         )
         .unwrap();

@@ -27,9 +27,9 @@ fn arb_digraph(n: usize) -> impl Strategy<Value = Digraph> {
 
 fn adversary_from_id(id: u8) -> Box<dyn Adversary> {
     match id % 3 {
-        0 => Box::new(ConstantAdversary { value: 5e8 }),
-        1 => Box::new(ExtremesAdversary { delta: 11.0 }),
-        _ => Box::new(PullAdversary { toward_max: true }),
+        0 => Box::new(ConstantAdversary::new(5e8)),
+        1 => Box::new(ExtremesAdversary::new(11.0)),
+        _ => Box::new(PullAdversary::new(true)),
     }
 }
 
@@ -70,7 +70,7 @@ proptest! {
         let inputs = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
         let faults = NodeSet::from_indices(7, [5, 6]);
         let rule = TrimmedMean::new(2);
-        let mut adv = ExtremesAdversary { delta: 9.0 };
+        let mut adv = ExtremesAdversary::new(9.0);
         let mut t = record(&g, &inputs, faults, &rule, &mut adv, 12).unwrap();
         t.rounds[round_idx].states_after[node] += delta;
         prop_assert!(replay(&g, &rule, &t).is_err());

@@ -166,7 +166,7 @@ proptest! {
         let inputs: Vec<f64> = (0..8).map(|_| rng.random_range(-5.0..5.0)).collect();
         let mut sim = ModelSimulation::new(
             &g, &inputs, rack, &rule,
-            Box::new(ExtremesAdversary { delta: 1e7 }),
+            Box::new(ExtremesAdversary::new(1e7)),
         ).expect("sim");
         let out = sim.run(&SimConfig { max_rounds: 150, ..SimConfig::default() }).expect("run");
         prop_assert!(out.validity.is_valid());
@@ -248,7 +248,7 @@ proptest! {
             &inputs,
             faults,
             &rule,
-            Box::new(ExtremesAdversary { delta: 1e6 }),
+            Box::new(ExtremesAdversary::new(1e6)),
         )
         .expect("valid sim")
         .run(&SimConfig { epsilon: q, max_rounds: 3_000, record_states: true })
@@ -273,11 +273,11 @@ proptest! {
         let rule = TrimmedMean::new(2);
         let mut fixed = Simulation::new(
             &g, &inputs, faults.clone(), &rule,
-            Box::new(ConstantAdversary { value: 7e8 }),
+            Box::new(ConstantAdversary::new(7e8)),
         ).expect("sim");
         let mut dynamic = DynamicSimulation::new(
             &schedule, &inputs, faults, &rule,
-            Box::new(ConstantAdversary { value: 7e8 }),
+            Box::new(ConstantAdversary::new(7e8)),
         ).expect("sim");
         for _ in 0..rounds {
             fixed.step().expect("step");
@@ -335,11 +335,11 @@ proptest! {
         let rule = TrimmedMean::new(2);
         let mut scalar_sim = Simulation::new(
             &g, &scalars, faults.clone(), &rule,
-            Box::new(ConstantAdversary { value: -3e8 }),
+            Box::new(ConstantAdversary::new(-3e8)),
         ).expect("sim");
         let mut vector_sim = VectorSimulation::new(
             &g, &rows, faults, &rule,
-            Box::new(CoordinateWise::new(vec![Box::new(ConstantAdversary { value: -3e8 })])),
+            Box::new(CoordinateWise::new(vec![Box::new(ConstantAdversary::new(-3e8))])),
         ).expect("sim");
         for _ in 0..rounds {
             scalar_sim.step().expect("step");
@@ -373,7 +373,7 @@ proptest! {
             })
             .collect();
         let advs: Vec<Box<dyn iabc::sim::adversary::Adversary>> = (0..d)
-            .map(|_| Box::new(ExtremesAdversary { delta: 1e5 }) as Box<_>)
+            .map(|_| Box::new(ExtremesAdversary::new(1e5)) as Box<_>)
             .collect();
         let mut sim = VectorSimulation::new(
             &g, &rows, faults, &rule, Box::new(CoordinateWise::new(advs)),

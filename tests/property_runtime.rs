@@ -40,7 +40,7 @@ proptest! {
             &inputs,
             faults.clone(),
             &rule,
-            Box::new(ConstantAdversary { value: lie }),
+            Box::new(ConstantAdversary::new(lie)),
         )
         .expect("engine run succeeds");
         for _ in 0..rounds {

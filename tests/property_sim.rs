@@ -16,11 +16,11 @@ use proptest::prelude::*;
 
 fn adversary_from_id(id: u8) -> Box<dyn Adversary> {
     match id % 6 {
-        0 => Box::new(ConformingAdversary),
-        1 => Box::new(ConstantAdversary { value: 1e7 }),
-        2 => Box::new(ExtremesAdversary { delta: 42.0 }),
-        3 => Box::new(PullAdversary { toward_max: true }),
-        4 => Box::new(NaNAdversary),
+        0 => Box::new(ConformingAdversary::new()),
+        1 => Box::new(ConstantAdversary::new(1e7)),
+        2 => Box::new(ExtremesAdversary::new(42.0)),
+        3 => Box::new(PullAdversary::new(true)),
+        4 => Box::new(NaNAdversary::new()),
         _ => Box::new(RandomAdversary::new(-1e4, 1e4, 99)),
     }
 }
@@ -77,7 +77,7 @@ proptest! {
             &inputs,
             faults,
             &rule,
-            Box::new(PullAdversary { toward_max: false }),
+            Box::new(PullAdversary::new(false)),
         )
         .unwrap();
         let out = sim.run(&SimConfig { record_states: false, epsilon, max_rounds: bound }).unwrap();
@@ -98,7 +98,7 @@ proptest! {
         let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
         let faults = NodeSet::from_indices(n, [rng.random_range(0..n)]);
         let rule = TrimmedMean::new(f);
-        let out = Simulation::new(&g, &inputs, faults, &rule, Box::new(ExtremesAdversary { delta: 5.0 }))
+        let out = Simulation::new(&g, &inputs, faults, &rule, Box::new(ExtremesAdversary::new(5.0)))
             .unwrap()
             .run(&SimConfig { record_states: false, epsilon: 1e-6, max_rounds: 3000 })
             .unwrap();
