@@ -10,15 +10,18 @@
 //! * each cell derives its RNG seed by hashing its [`CellCoords`]
 //!   (`seed = fnv1a(coords)`), never from a shared stream, so a cell's
 //!   output is a pure function of its coordinates;
-//! * workers pull cell *indices* from an atomic counter and write results
-//!   back by index, so the merged output order is the grid order no matter
-//!   how the OS schedules threads.
+//! * workers steal cell *indices* off the executor's chunk queue and
+//!   write results back by index, so the merged output order is the grid
+//!   order no matter how the OS schedules threads.
 //!
 //! Together these make sweep output **bit-identical** for `jobs = 1` and
 //! `jobs = N` — verified by `tests/sweep_parallel.rs` and unit tests here.
 //!
-//! Threading is `std::thread::scope` based (the container has no rayon;
-//! the fan-out pattern is the same work-stealing-by-counter idiom).
+//! Threading is the workspace-wide [`iabc_exec::Executor`] (the container
+//! has no rayon): one pool is created per [`run_cells`] call — per
+//! *sweep*, not per cell — with a chunk floor of one cell, since cells
+//! vary wildly in cost and must be stealable individually. The private
+//! scoped-thread work-stealing loop this module used to carry is gone.
 //!
 //! # Examples
 //!
@@ -36,10 +39,9 @@
 //! ```
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use iabc_core::theorem1;
+use iabc_exec::{Chunking, Executor};
 use iabc_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,59 +149,28 @@ fn available_cores() -> usize {
 
 /// Runs every cell and returns outcomes **in grid order**, regardless of
 /// `jobs`. `jobs == 0` uses all available cores; `jobs <= 1` runs serially
-/// on the calling thread.
+/// on the calling thread. The worker pool is created once for the whole
+/// sweep and each cell is written to its own output slot, so no merge
+/// sort is needed — the output slice *is* the grid order.
 pub fn run_cells<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<SweepOutcome<T>> {
     let jobs = if jobs == 0 { available_cores() } else { jobs };
-    let workers = jobs.min(cells.len()).max(1);
-
-    if workers <= 1 {
-        return cells
-            .into_iter()
-            .map(|cell| {
-                let seed = cell.coords.seed();
-                SweepOutcome {
-                    seed,
-                    value: (cell.run)(seed),
-                    coords: cell.coords,
-                }
-            })
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, SweepOutcome<T>)>> =
-        Mutex::new(Vec::with_capacity(cells.len()));
-    let cells_ref = &cells;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, SweepOutcome<T>)> = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells_ref.get(idx) else {
-                        break;
-                    };
-                    let seed = cell.coords.seed();
-                    local.push((
-                        idx,
-                        SweepOutcome {
-                            coords: cell.coords.clone(),
-                            seed,
-                            value: (cell.run)(seed),
-                        },
-                    ));
-                }
-                collected
-                    .lock()
-                    .expect("sweep result mutex poisoned")
-                    .extend(local);
-            });
-        }
+    let exec = Executor::new(jobs.min(cells.len()).max(1));
+    let mut outcomes: Vec<Option<SweepOutcome<T>>> = (0..cells.len()).map(|_| None).collect();
+    // Exactly one cell per chunk: a census cell can cost 10⁶× a trivial
+    // one, so every cell must be individually stealable.
+    exec.for_each(&mut outcomes, Chunking::Exact(1), |idx, slot| {
+        let cell = &cells[idx];
+        let seed = cell.coords.seed();
+        *slot = Some(SweepOutcome {
+            coords: cell.coords.clone(),
+            seed,
+            value: (cell.run)(seed),
+        });
     });
-
-    let mut merged = collected.into_inner().expect("sweep result mutex poisoned");
-    merged.sort_by_key(|(idx, _)| *idx);
-    merged.into_iter().map(|(_, outcome)| outcome).collect()
+    outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("every grid cell is computed exactly once"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------

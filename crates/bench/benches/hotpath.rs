@@ -139,5 +139,66 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compiled, bench_reference, bench_parallel);
+/// Pool vs per-step spawn: the persistent executor against respawning its
+/// workers before every step (`set_jobs` drops and rebuilds the pool —
+/// the cost model of the old scoped-thread-per-`step()` design), at small
+/// n where the spawn cost dominates the round arithmetic. Trajectories
+/// are bit-identical; only the thread lifecycle differs. `iabc perf`
+/// records the same comparison as the `"pool"` JSON datapoint.
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_pool");
+    group.sample_size(10);
+    let n = 128;
+    let f = n / 30;
+    let graph = iabc_graph::generators::complete(n);
+    let inputs = hotpath_inputs(n);
+    let rule = TrimmedMean::new(f);
+    let steps = 50;
+    let jobs = 4;
+    let build = || {
+        Simulation::new(
+            &graph,
+            &inputs,
+            fault_set_for(n, f),
+            &rule,
+            Box::new(ConstantAdversary::new(1e9)),
+        )
+        .expect("valid workload")
+        .with_jobs(jobs)
+    };
+    let mut sim = build();
+    group.bench_function(
+        format!("complete_n{n}/retained/jobs{jobs}/{steps}steps"),
+        |b| {
+            b.iter(|| {
+                for _ in 0..steps {
+                    sim.step().expect("step succeeds");
+                }
+                black_box(sim.honest_range())
+            })
+        },
+    );
+    let mut sim = build();
+    group.bench_function(
+        format!("complete_n{n}/respawn/jobs{jobs}/{steps}steps"),
+        |b| {
+            b.iter(|| {
+                for _ in 0..steps {
+                    sim.set_jobs(jobs); // per-step pool rebuild: the old cost
+                    sim.step().expect("step succeeds");
+                }
+                black_box(sim.honest_range())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compiled,
+    bench_reference,
+    bench_parallel,
+    bench_pool
+);
 criterion_main!(benches);

@@ -83,7 +83,7 @@ pub fn usage() -> String {
                                       flags: --adversary NAME (conforming|constant|\n\
                                       random|extremes|pull-low|pull-high|crash|\n\
                                       flip-flop|polarizing|echo|nan),\n\
-                                      --jobs N (parallel node loop, 0 = all cores;\n\
+                                      --jobs N (persistent worker pool, 0 = all cores;\n\
                                       bit-identical for any value),\n\
                                       --inputs V,V,.. | --seed S, --eps E, --max-rounds R,\n\
                                       --rule trimmed-mean|mean|midpoint|w-msr|\n\
@@ -91,7 +91,11 @@ pub fn usage() -> String {
                                       (quantized: --quantum Q [--rounding nearest|\n\
                                       floor|ceil]), --trace;\n\
                                       or --structure \"0,1;5,6\" to run the\n\
-                                      structure-aware rule (no --f / --rule)\n\
+                                      structure-aware rule (no --f / --rule);\n\
+                                      or --delay-bound B [--scheduler immediate|max|\n\
+                                      random|targeted] [--sched-seed S] [--victims A,B]\n\
+                                      for the §7 delay-bounded engine (--jobs fans\n\
+                                      its update phase; send/deliver stay serial)\n\
        baseline <file> --f N --faulty A,B   Algorithm 1 vs Dolev vs W-MSR faceoff\n\
        robustness <file> [--r R --s S]   (r,s)-robustness / max r-robustness\n\
        alpha <file> --f N             alpha and the Lemma 5 iteration bound\n\
@@ -113,7 +117,8 @@ pub fn usage() -> String {
        perf [--quick] [--steps S] [--jobs N] [--out BENCH_hotpath.json]\n\
                                       hot-path rounds/sec (compiled vs pre-refactor\n\
                                       reference) on complete/random/kite topologies,\n\
-                                      plus a parallel-vs-serial datapoint at --jobs N;\n\
+                                      plus a parallel-vs-serial datapoint and a\n\
+                                      pool-vs-per-step-spawn datapoint at --jobs N;\n\
                                       writes the JSON perf trajectory artifact\n\
        perf --check [--baseline FILE] [--tolerance 0.4]\n\
                                       diff a fresh run against the committed\n\

@@ -206,9 +206,11 @@ pub fn check_with(
     Ok(result)
 }
 
-/// Parallel variant of [`check_with`]: fault sets are distributed over
-/// `threads` worker threads (clamped to at least 1). Returns the same answer
-/// as the sequential checker; when violations exist, which witness is
+/// Parallel variant of [`check_with`]: fault sets are distributed over a
+/// pool of `threads` workers (clamped to at least 1) via the shared
+/// [`iabc_exec::Executor`] — one fault set per work item, with a found
+/// flag short-circuiting the remaining items. Returns the same answer as
+/// the sequential checker; when violations exist, which witness is
 /// returned may differ run-to-run.
 pub fn check_parallel(
     g: &Digraph,
@@ -235,31 +237,29 @@ pub fn check_parallel(
         true
     });
 
-    let threads = threads.max(1).min(fault_sets.len().max(1));
+    let exec = iabc_exec::Executor::new(threads.max(1).min(fault_sets.len().max(1)));
     let found = AtomicBool::new(false);
     let witness: Mutex<Option<Witness>> = Mutex::new(None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                if found.load(Ordering::Relaxed) {
-                    return;
-                }
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(fault) = fault_sets.get(idx) else {
-                    return;
-                };
-                let mut visited = 0u64;
-                if let Ok(Some(wit)) = scan_fault_set(g, fault, threshold, None, &mut visited) {
-                    *witness.lock().expect("witness mutex poisoned") = Some(wit);
-                    found.store(true, Ordering::Relaxed);
-                    return;
-                }
-            });
-        }
-    })
-    .expect("checker worker panicked");
+    // Fault sets vary wildly in scan cost, so chunks hold exactly one:
+    // each work item is one fault set, stolen off the shared queue. The
+    // found flag cancels the dispatch — the remaining queue is dropped
+    // wholesale, matching the pre-executor workers' early exit instead of
+    // paying a queue pop per remaining fault set.
+    let mut slots = vec![(); fault_sets.len()];
+    exec.for_each_until(
+        &mut slots,
+        iabc_exec::Chunking::Exact(1),
+        &found,
+        |idx, ()| {
+            let mut visited = 0u64;
+            if let Ok(Some(wit)) =
+                scan_fault_set(g, &fault_sets[idx], threshold, None, &mut visited)
+            {
+                *witness.lock().expect("witness mutex poisoned") = Some(wit);
+                found.store(true, Ordering::Relaxed);
+            }
+        },
+    );
 
     match witness.into_inner().expect("witness mutex poisoned") {
         Some(w) => ConditionReport::Violated(w),

@@ -21,6 +21,13 @@
 //! deterministic engine (same inputs, same adversary ⇒ identical `f64`
 //! states, round by round), so everything proved about the engine transfers.
 //!
+//! Note the distinction from the workspace's worker pool (`iabc-exec`):
+//! the executor's threads are an anonymous performance substrate fanning
+//! pure per-item work, while this crate's threads **are the protocol's
+//! processes** — one per node, alive for the whole run, communicating
+//! only through their channels. That is why this crate does not (and
+//! should not) run on the pool.
+//!
 //! # Example
 //!
 //! ```

@@ -27,6 +27,23 @@
 //! whole state vector belongs in `plan_round`; the per-edge decision
 //! itself should reduce to writing a precomputed value into the plan.
 //!
+//! # The `Sync` planning tier
+//!
+//! For most adversaries in this roster the per-slot fill is a **pure
+//! function** of values computed once per round (the honest hull, a
+//! constant, a parity): after the serial O(n) precomputation, filling
+//! the plan is itself embarrassingly parallel. Such adversaries
+//! additionally implement [`Adversary::plan_round_sync`]: do the
+//! per-round mutation up front, then hand back a [`SyncFill`] — a
+//! `Sync` per-edge function the engine fans across its worker pool
+//! ([`iabc_exec::Executor`]) instead of calling `plan_round`. The fill
+//! must compute **exactly** what `plan_round` would have written (it is
+//! only consulted when the engine runs with more than one worker, and
+//! serial-vs-pooled bit-identity is pinned by
+//! `tests/parallel_equivalence.rs`). Stateful strategies — RNG streams
+//! ([`RandomAdversary`]), inner-adversary wrappers ([`BroadcastOf`]) —
+//! keep the default `None` and always plan serially.
+//!
 //! # The per-edge shim
 //!
 //! [`Adversary::message`]/[`Adversary::omits`] survive only as a
@@ -94,6 +111,46 @@ impl AdversaryView<'_> {
     }
 }
 
+/// A frozen phase-1 fill: everything the round's per-edge decisions need,
+/// precomputed, behind a `Sync` function — the hand-off of the
+/// [`Adversary::plan_round_sync`] planning tier. The engine may call
+/// [`SyncFill::message`] for the round's slots in any order, from any
+/// worker, concurrently; the result must equal what
+/// [`Adversary::plan_round`] would have planned for that slot.
+pub struct SyncFill<'a> {
+    fill: Box<SyncFillFn<'a>>,
+}
+
+/// The boxed per-edge fill function a [`SyncFill`] carries: callable from
+/// any worker (`Sync`), borrowing at most the adversary's own per-round
+/// state (`'a`).
+type SyncFillFn<'a> = dyn Fn(&AdversaryView<'_>, PlannedEdge) -> PlannedMessage + Send + Sync + 'a;
+
+impl fmt::Debug for SyncFill<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncFill").finish_non_exhaustive()
+    }
+}
+
+impl<'a> SyncFill<'a> {
+    /// Wraps a pure per-edge fill. The one per-round allocation (this
+    /// box) replaces the O(faulty edges) serial fill — a good trade
+    /// everywhere the tier is worth invoking.
+    pub fn new(
+        fill: impl Fn(&AdversaryView<'_>, PlannedEdge) -> PlannedMessage + Send + Sync + 'a,
+    ) -> Self {
+        SyncFill {
+            fill: Box::new(fill),
+        }
+    }
+
+    /// The planned message for `edge`, computable concurrently.
+    #[inline]
+    pub fn message(&self, view: &AdversaryView<'_>, edge: PlannedEdge) -> PlannedMessage {
+        (self.fill)(view, edge)
+    }
+}
+
 /// A joint strategy for all faulty nodes (they collude per §2.2),
 /// speaking the two-phase protocol described in the [module docs](self).
 pub trait Adversary: fmt::Debug + Send {
@@ -126,6 +183,24 @@ pub trait Adversary: fmt::Debug + Send {
                 );
             }
         }
+    }
+
+    /// Phase 1, parallel tier: adversaries whose per-slot fill is a pure
+    /// function of once-per-round precomputed values may override this to
+    /// opt in (the [module docs](self) name the contract). Do the round's
+    /// serial work here — hull scans, cached constants, anything `&mut` —
+    /// and return a [`SyncFill`] closed over the results; engines with a
+    /// worker pool then fan the plan fill across it and **skip
+    /// [`Adversary::plan_round`] entirely** for the round. Return `None`
+    /// (the default) to always plan serially; engines running with one
+    /// worker never call this.
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let _ = (view, slots);
+        None
     }
 
     /// Per-edge shim: the value faulty `sender` puts on its edge to
@@ -211,6 +286,16 @@ impl Adversary for ConformingAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        Some(SyncFill::new(|view, edge| {
+            PlannedMessage::Value(view.states[edge.sender as usize])
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "conforming"
     }
@@ -236,6 +321,15 @@ impl Adversary for ConstantAdversary {
         for edge in slots.iter() {
             plan.set_value(edge.slot, self.value);
         }
+    }
+
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let value = self.value;
+        Some(SyncFill::new(move |_, _| PlannedMessage::Value(value)))
     }
 
     fn name(&self) -> &'static str {
@@ -319,6 +413,20 @@ impl Adversary for ExtremesAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        // The O(n) hull scan happens HERE, once per round; the fill is the
+        // same parity pick `plan_round` makes.
+        let (lo, hi) = view.honest_hull();
+        let (below, above) = (lo - self.delta, hi + self.delta);
+        Some(SyncFill::new(move |_, edge| {
+            PlannedMessage::Value(if edge.receiver % 2 == 1 { above } else { below })
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "extremes"
     }
@@ -356,6 +464,16 @@ impl Adversary for PullAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let (lo, hi) = view.honest_hull();
+        let lie = if self.toward_max { hi } else { lo };
+        Some(SyncFill::new(move |_, _| PlannedMessage::Value(lie)))
+    }
+
     fn name(&self) -> &'static str {
         "pull"
     }
@@ -389,6 +507,20 @@ impl Adversary for NaNAdversary {
             };
             plan.set_value(edge.slot, value);
         }
+    }
+
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        Some(SyncFill::new(|view, edge| {
+            PlannedMessage::Value(match (view.round + edge.receiver as usize) % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            })
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -447,6 +579,25 @@ impl Adversary for SplitBrainAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let (left, right) = (&self.left, &self.right);
+        let (m_minus, m_plus, mid) = (self.m_minus, self.m_plus, self.mid);
+        Some(SyncFill::new(move |_, edge| {
+            let receiver = edge.receiver_id();
+            PlannedMessage::Value(if left.contains(receiver) {
+                m_minus
+            } else if right.contains(receiver) {
+                m_plus
+            } else {
+                mid
+            })
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "split-brain"
     }
@@ -489,6 +640,21 @@ impl Adversary for CrashAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        slots: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let crashed = slots.allows_omission() && view.round >= self.from_round;
+        Some(SyncFill::new(move |view, edge| {
+            if crashed {
+                PlannedMessage::Omit
+            } else {
+                PlannedMessage::Value(view.states[edge.sender as usize])
+            }
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "crash"
     }
@@ -522,6 +688,22 @@ impl Adversary for SelectiveOmissionAdversary {
                 plan.set_value(edge.slot, self.value);
             }
         }
+    }
+
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        slots: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let omission = slots.allows_omission();
+        let (silenced, value) = (&self.silenced, self.value);
+        Some(SyncFill::new(move |_, edge| {
+            if omission && silenced.contains(edge.receiver_id()) {
+                PlannedMessage::Omit
+            } else {
+                PlannedMessage::Value(value)
+            }
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -642,6 +824,20 @@ impl Adversary for FlipFlopAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let (lo, hi) = view.honest_hull();
+        let lie = if view.round.is_multiple_of(2) {
+            hi + self.delta
+        } else {
+            lo - self.delta
+        };
+        Some(SyncFill::new(move |_, _| PlannedMessage::Value(lie)))
+    }
+
     fn name(&self) -> &'static str {
         "flip-flop"
     }
@@ -686,6 +882,22 @@ impl Adversary for PolarizingAdversary {
         }
     }
 
+    fn plan_round_sync(
+        &mut self,
+        view: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        let (lo, hi) = view.honest_hull();
+        let mid = (hi + lo) / 2.0;
+        Some(SyncFill::new(move |view, edge| {
+            PlannedMessage::Value(if view.states[edge.receiver as usize] >= mid {
+                hi
+            } else {
+                lo
+            })
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "polarizing"
     }
@@ -716,6 +928,16 @@ impl Adversary for EchoAdversary {
         for edge in slots.iter() {
             plan.set_value(edge.slot, view.states[edge.receiver as usize]);
         }
+    }
+
+    fn plan_round_sync(
+        &mut self,
+        _: &AdversaryView<'_>,
+        _: &RoundSlots<'_>,
+    ) -> Option<SyncFill<'_>> {
+        Some(SyncFill::new(|view, edge| {
+            PlannedMessage::Value(view.states[edge.receiver as usize])
+        }))
     }
 
     fn name(&self) -> &'static str {

@@ -17,13 +17,14 @@
 //!   `|N⁻_i| ≥ 3f + 1` (and the `2f + 1` threshold in the async `⇒`).
 
 use iabc_core::rules::{trim_kernel, UpdateRule};
+use iabc_exec::{Chunking, Executor, ScratchPool};
 use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::plan::{PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
+use crate::plan::{fill_plan, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// Chooses per-message delays for the partially asynchronous model.
@@ -128,6 +129,19 @@ impl Scheduler for TargetedScheduler {
 /// tick. Faulty sends follow the two-phase protocol: the adversary plans
 /// the tick's messages once (sender-major slot order), and the send loop
 /// reads the plan by index.
+///
+/// # Parallel ticks
+///
+/// The **send** and **deliver** phases are inherently ordered — the
+/// scheduler's RNG stream is consumed edge by edge in sender-major order,
+/// and same-tick mailbox overwrites resolve by send order — so they
+/// always run serially. The **update** phase, however, reads a mailbox
+/// that is frozen once delivery ends: each honest node's new state is a
+/// pure function of `(mailbox, states)`, and
+/// [`DelayBoundedSim::with_jobs`] fans exactly that loop across a
+/// persistent [`iabc_exec::Executor`] (plus the `Sync`-tier plan fill,
+/// when the adversary offers one). Results are **bit-for-bit identical
+/// to serial execution for any job count**.
 #[derive(Debug)]
 pub struct DelayBoundedSim<'a> {
     graph: &'a Digraph,
@@ -155,9 +169,14 @@ pub struct DelayBoundedSim<'a> {
     /// order), densely slotted for the round plan.
     planned_edges: Vec<PlannedEdge>,
     plan: RoundPlan,
-    /// Per-node receive scratch handed to the rule.
-    received: Vec<f64>,
     round: usize,
+    /// The persistent worker pool for the update phase (serial when
+    /// `jobs() == 1`).
+    exec: Executor,
+    /// Recycled per-participant receive buffers handed to the rule (one
+    /// per dispatch participant — a single retained buffer in serial
+    /// mode).
+    scratch_pool: ScratchPool<Vec<f64>>,
 }
 
 impl<'a> DelayBoundedSim<'a> {
@@ -226,7 +245,6 @@ impl<'a> DelayBoundedSim<'a> {
             out_edges.extend(bucket);
             out_offsets.push(out_edges.len() as u32);
         }
-        let received = Vec::with_capacity(compiled.max_in_degree());
         // The tick's faulty-edge slots, in the send loop's query order:
         // faulty senders ascending, each sender's receivers ascending.
         let mut planned_edges = Vec::new();
@@ -259,9 +277,39 @@ impl<'a> DelayBoundedSim<'a> {
             calendar: vec![Vec::new(); delay_bound],
             planned_edges,
             plan: RoundPlan::new(),
-            received,
             round: 0,
+            exec: Executor::serial(),
+            scratch_pool: ScratchPool::new(),
         })
+    }
+
+    /// Retains a pool of `jobs` workers (`0` = all available cores) that
+    /// every tick's **update phase** — and, for adversaries with a `Sync`
+    /// planning tier, the plan fill — is fanned across; the send and
+    /// deliver phases stay serial to preserve the scheduler's RNG order
+    /// and mailbox overwrite semantics (see the type docs). Threads spawn
+    /// here, once, not per tick. Bit-for-bit identical to serial
+    /// execution for any value.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// In-place form of [`DelayBoundedSim::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.exec = Executor::new(jobs);
+    }
+
+    /// Worker threads used by the update phase.
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
+    }
+
+    /// The engine's worker pool (regression tests assert its threads are
+    /// spawned once per run, never per tick).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Current fault-free range.
@@ -301,12 +349,17 @@ impl<'a> DelayBoundedSim<'a> {
         // part of this execution model (a delayed message always arrives
         // within B ticks), so the slots disallow it; a plan that omits
         // anyway simply sends nothing this tick, leaving the mailbox
-        // value stale — the closest in-model interpretation.
-        self.plan.begin(self.planned_edges.len());
-        self.adversary.plan_round(
+        // value stale — the closest in-model interpretation. The slot
+        // space is dense (slot == list index), so the plan's slot table
+        // doubles as its own dense edge table for the parallel tier.
+        fill_plan(
+            self.adversary.as_mut(),
             &view,
-            RoundSlots::new(&self.planned_edges, false),
+            &self.planned_edges,
+            &self.planned_edges,
+            false,
             &mut self.plan,
+            &self.exec,
         );
         // Send phase: walk the precompiled per-sender slot table, reading
         // faulty payloads off the plan in the same sender-major order it
@@ -352,24 +405,25 @@ impl<'a> DelayBoundedSim<'a> {
             self.mailbox[slot as usize] = value;
         }
         self.calendar[due].clear();
-        // Update phase.
-        for i in 0..self.compiled.node_count() {
-            if self.compiled.is_faulty(i) {
-                continue;
-            }
-            let base = self.compiled.in_offset(i);
-            self.received.clear();
-            self.received
-                .extend_from_slice(&self.mailbox[base..base + self.compiled.in_degree(i)]);
-            self.next[i] = self
-                .rule
-                .update(view.states[i], &mut self.received)
-                .map_err(|source| SimError::Rule {
-                    node: i,
-                    round: self.round,
-                    source,
-                })?;
-        }
+        // Update phase: the mailbox is frozen for the tick, so each honest
+        // node's update is a pure function of `(mailbox, states)` — fanned
+        // across the pool when one is configured (see "Parallel ticks").
+        let (compiled, rule, mailbox, states, round) = (
+            &self.compiled,
+            self.rule,
+            &self.mailbox,
+            &self.states,
+            self.round,
+        );
+        let pool = &self.scratch_pool;
+        self.exec.run_chunked(
+            &mut self.next,
+            Chunking::Auto(iabc_exec::MIN_CHUNK),
+            || pool.take(|| Vec::with_capacity(compiled.max_in_degree())),
+            |i, out, received| {
+                update_node(compiled, rule, mailbox, states, round, i, out, received)
+            },
+        )?;
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }
@@ -385,6 +439,37 @@ impl<'a> DelayBoundedSim<'a> {
     pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
         Engine::run(self, config)
     }
+}
+
+/// The delay-bounded update phase's per-node body, shared by the serial
+/// and pooled loops: gather the node's frozen mailbox row, apply the
+/// rule. A pure function of `(mailbox, states)`, which is what makes
+/// serial and pooled ticks bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn update_node(
+    compiled: &CompiledTopology,
+    rule: &dyn UpdateRule,
+    mailbox: &[f64],
+    states: &[f64],
+    round: usize,
+    i: usize,
+    out: &mut f64,
+    received: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    if compiled.is_faulty(i) {
+        return Ok(());
+    }
+    let base = compiled.in_offset(i);
+    received.clear();
+    received.extend_from_slice(&mailbox[base..base + compiled.in_degree(i)]);
+    *out = rule
+        .update(states[i], received)
+        .map_err(|source| SimError::Rule {
+            node: i,
+            round,
+            source,
+        })?;
+    Ok(())
 }
 
 impl Engine for DelayBoundedSim<'_> {

@@ -41,9 +41,9 @@ use crate::adversary::{Adversary, AdversaryView};
 // the two.
 use crate::engine::step_node;
 use crate::error::SimError;
-use crate::parallel;
-use crate::plan::{sub_csr_edges, PlannedEdge, RoundPlan, RoundSlots};
+use crate::plan::{dense_slot_table, fill_plan, sub_csr_edges, PlannedEdge, RoundPlan};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
+use iabc_exec::{Chunking, Executor, ScratchPool};
 
 /// A round-indexed communication topology. Rounds are 1-based, matching
 /// the engine (`graph_at(1)` is the graph used by the first iteration).
@@ -360,14 +360,15 @@ pub struct DynamicSimulation<'a> {
     states: Vec<f64>,
     next: Vec<f64>,
     round: usize,
-    scratch: Vec<f64>,
     compiled: CompiledTopology,
     /// Address of the schedule graph `compiled` was built from (stable for
     /// the schedule's lifetime; used to skip redundant rebuilds).
     compiled_for: usize,
     planned_edges: Vec<PlannedEdge>,
+    slot_edges: Vec<PlannedEdge>,
     plan: RoundPlan,
-    jobs: usize,
+    exec: Executor,
+    scratch_pool: ScratchPool<Vec<f64>>,
 }
 
 impl<'a> DynamicSimulation<'a> {
@@ -404,9 +405,14 @@ impl<'a> DynamicSimulation<'a> {
         }
         let first = schedule.graph_at(1);
         let compiled = CompiledTopology::compile(first, &fault_set);
-        let scratch = Vec::with_capacity(compiled.max_in_degree());
         let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
         sub_csr_edges(&compiled, &mut planned_edges);
+        let mut slot_edges = Vec::new();
+        dense_slot_table(
+            compiled.faulty_edge_count(),
+            &planned_edges,
+            &mut slot_edges,
+        );
         Ok(DynamicSimulation {
             schedule,
             fault_set,
@@ -415,18 +421,20 @@ impl<'a> DynamicSimulation<'a> {
             states: inputs.to_vec(),
             next: inputs.to_vec(),
             round: 0,
-            scratch,
             compiled,
             compiled_for: first as *const Digraph as usize,
             planned_edges,
+            slot_edges,
             plan: RoundPlan::new(),
-            jobs: 1,
+            exec: Executor::serial(),
+            scratch_pool: ScratchPool::new(),
         })
     }
 
-    /// Fans the node loop across `jobs` worker threads (`0` = all
-    /// available cores); bit-for-bit identical for any value, including
-    /// across in-place topology rebuilds.
+    /// Retains a pool of `jobs` workers (`0` = all available cores) —
+    /// threads spawn once, here — serving every round's node loop and
+    /// `Sync`-tier plan fill; bit-for-bit identical for any value,
+    /// including across in-place topology rebuilds.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.set_jobs(jobs);
@@ -435,7 +443,12 @@ impl<'a> DynamicSimulation<'a> {
 
     /// In-place form of [`DynamicSimulation::with_jobs`].
     pub fn set_jobs(&mut self, jobs: usize) {
-        self.jobs = parallel::effective_jobs(jobs);
+        self.exec = Executor::new(jobs);
+    }
+
+    /// Worker threads used by the node loop.
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
     }
 
     /// Current iteration count.
@@ -472,11 +485,14 @@ impl<'a> DynamicSimulation<'a> {
             self.compiled.rebuild(graph);
             self.compiled_for = addr;
             sub_csr_edges(&self.compiled, &mut self.planned_edges);
-            // `reserve` is relative to `len`, so clear first to guarantee
-            // capacity >= the new max in-degree (keeps the gather below
-            // allocation-free even when the schedule grows denser).
-            self.scratch.clear();
-            self.scratch.reserve(self.compiled.max_in_degree());
+            dense_slot_table(
+                self.compiled.faulty_edge_count(),
+                &self.planned_edges,
+                &mut self.slot_edges,
+            );
+            // Recycled scratch buffers grow on first use after a rebuild
+            // (the gather `extend`s past the old capacity once), then the
+            // larger buffers are retained — no per-round allocation.
         }
         let view = AdversaryView {
             round: self.round,
@@ -484,11 +500,14 @@ impl<'a> DynamicSimulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        self.plan.begin(self.compiled.faulty_edge_count());
-        self.adversary.plan_round(
+        fill_plan(
+            self.adversary.as_mut(),
             &view,
-            RoundSlots::new(&self.planned_edges, true),
+            &self.planned_edges,
+            &self.slot_edges,
+            true,
             &mut self.plan,
+            &self.exec,
         );
         let (compiled, rule, states, plan, round) = (
             &self.compiled,
@@ -497,19 +516,13 @@ impl<'a> DynamicSimulation<'a> {
             &self.plan,
             self.round,
         );
-        if self.jobs > 1 {
-            parallel::run_chunked(
-                &mut self.next,
-                self.jobs,
-                || Vec::with_capacity(compiled.max_in_degree()),
-                |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
-            )?;
-        } else {
-            let scratch = &mut self.scratch;
-            for (i, out) in self.next.iter_mut().enumerate() {
-                step_node(compiled, rule, states, plan, round, i, out, scratch)?;
-            }
-        }
+        let pool = &self.scratch_pool;
+        self.exec.run_chunked(
+            &mut self.next,
+            Chunking::Auto(iabc_exec::MIN_CHUNK),
+            || pool.take(|| Vec::with_capacity(compiled.max_in_degree())),
+            |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
+        )?;
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }

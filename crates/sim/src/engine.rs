@@ -15,12 +15,14 @@
 //! also reject non-finite input themselves, as defense in depth.
 
 use iabc_core::rules::UpdateRule;
+use iabc_exec::{Chunking, Executor, ScratchPool};
 use iabc_graph::{CompiledTopology, Digraph, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::parallel;
-use crate::plan::{sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
+use crate::plan::{
+    dense_slot_table, fill_plan, sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan,
+};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 use crate::scenario::Scenario;
 
@@ -50,12 +52,15 @@ const SANITIZE_CLAMP: f64 = 1e100;
 ///
 /// # Parallel rounds
 ///
-/// [`Simulation::with_jobs`] fans the node loop of every round across
-/// worker threads (phase 2 only — the adversary always plans serially).
-/// Results are **bit-identical to the serial loop for any job count**:
-/// each node's arithmetic is a pure function of the previous states and
-/// the plan, and every node is computed exactly once. See
-/// [`crate::parallel`] for the scheduling contract.
+/// [`Simulation::with_jobs`] builds a persistent [`iabc_exec::Executor`]
+/// — worker threads are spawned **once**, then fed every round's node
+/// loop over channels (phase 2), plus the plan fill itself whenever the
+/// adversary offers the [`crate::adversary::Adversary::plan_round_sync`]
+/// `Sync` planning tier (the per-round `&mut` work — hull scans, RNG —
+/// always stays serial). Results are **bit-identical to the serial loop
+/// for any job count**: each node's arithmetic is a pure function of the
+/// previous states and the plan, and every node is computed exactly
+/// once. See [`iabc_exec`] for the scheduling contract.
 ///
 /// # Examples
 ///
@@ -89,13 +94,18 @@ pub struct Simulation<'a> {
     states: Vec<f64>,
     next: Vec<f64>,
     round: usize,
-    scratch: Vec<f64>,
     /// Faulty edges delivered each round, slots keyed on the sub-CSR.
     planned_edges: Vec<PlannedEdge>,
+    /// Dense slot → edge table for the parallel planning tier (holes for
+    /// sub-CSR rows of faulty receivers).
+    slot_edges: Vec<PlannedEdge>,
     /// The per-round message table (retained allocation).
     plan: RoundPlan,
-    /// Worker threads for the node loop (1 = serial).
-    jobs: usize,
+    /// The persistent worker pool (serial when `jobs() == 1`).
+    exec: Executor,
+    /// Recycled per-participant gather buffers (one per dispatch
+    /// participant — a single retained buffer in serial mode).
+    scratch_pool: ScratchPool<Vec<f64>>,
 }
 
 impl<'a> Simulation<'a> {
@@ -133,9 +143,14 @@ impl<'a> Simulation<'a> {
             return Err(SimError::NonFiniteInput { node, value });
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
-        let scratch = Vec::with_capacity(compiled.max_in_degree());
         let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
         sub_csr_edges(&compiled, &mut planned_edges);
+        let mut slot_edges = Vec::new();
+        dense_slot_table(
+            compiled.faulty_edge_count(),
+            &planned_edges,
+            &mut slot_edges,
+        );
         Ok(Simulation {
             graph,
             compiled,
@@ -145,30 +160,40 @@ impl<'a> Simulation<'a> {
             states: inputs.to_vec(),
             next: inputs.to_vec(),
             round: 0,
-            scratch,
             planned_edges,
+            slot_edges,
             plan: RoundPlan::new(),
-            jobs: 1,
+            exec: Executor::serial(),
+            scratch_pool: ScratchPool::new(),
         })
     }
 
-    /// Fans the node loop across `jobs` worker threads (`0` = all
-    /// available cores). Bit-for-bit identical to serial execution for
-    /// any value; worthwhile from roughly `n ≥ 10³` on dense graphs.
+    /// Retains a pool of `jobs` workers (`0` = all available cores) that
+    /// every round's node loop — and, for adversaries with a `Sync`
+    /// planning tier, the plan fill — is fanned across. Threads spawn
+    /// **here, once**, not per step. Bit-for-bit identical to serial
+    /// execution for any value.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.set_jobs(jobs);
         self
     }
 
-    /// In-place form of [`Simulation::with_jobs`].
+    /// In-place form of [`Simulation::with_jobs`] (replaces the pool, so
+    /// reconfiguring mid-run respawns workers — configure once).
     pub fn set_jobs(&mut self, jobs: usize) {
-        self.jobs = parallel::effective_jobs(jobs);
+        self.exec = Executor::new(jobs);
     }
 
     /// Worker threads used by the node loop.
     pub fn jobs(&self) -> usize {
-        self.jobs
+        self.exec.jobs()
+    }
+
+    /// The engine's worker pool (regression tests assert its threads are
+    /// spawned once per run, never per step).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Current iteration count.
@@ -209,11 +234,14 @@ impl<'a> Simulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        self.plan.begin(self.compiled.faulty_edge_count());
-        self.adversary.plan_round(
+        fill_plan(
+            self.adversary.as_mut(),
             &view,
-            RoundSlots::new(&self.planned_edges, true),
+            &self.planned_edges,
+            &self.slot_edges,
+            true,
             &mut self.plan,
+            &self.exec,
         );
         let (compiled, rule, states, plan, round) = (
             &self.compiled,
@@ -222,19 +250,13 @@ impl<'a> Simulation<'a> {
             &self.plan,
             self.round,
         );
-        if self.jobs > 1 {
-            parallel::run_chunked(
-                &mut self.next,
-                self.jobs,
-                || Vec::with_capacity(compiled.max_in_degree()),
-                |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
-            )?;
-        } else {
-            let scratch = &mut self.scratch;
-            for (i, out) in self.next.iter_mut().enumerate() {
-                step_node(compiled, rule, states, plan, round, i, out, scratch)?;
-            }
-        }
+        let pool = &self.scratch_pool;
+        self.exec.run_chunked(
+            &mut self.next,
+            Chunking::Auto(iabc_exec::MIN_CHUNK),
+            || pool.take(|| Vec::with_capacity(compiled.max_in_degree())),
+            |i, out, scratch| step_node(compiled, rule, states, plan, round, i, out, scratch),
+        )?;
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }

@@ -43,17 +43,39 @@
 //!   allocations) only when the schedule hands out a different graph,
 //!   detected by reference address.
 //!
-//! # The two-phase adversary protocol and parallel rounds
+//! # The two-phase adversary protocol and the persistent executor
 //!
 //! Adversaries are invoked once per **round**, not once per edge: phase 1
 //! ([`adversary::Adversary::plan_round`], serial, `&mut self`) fills a
 //! flat [`plan::RoundPlan`] over the round's faulty-edge slots; phase 2
-//! (the node loop) reads the finished plan by index. Because phase 2 is a
-//! pure function of `(states, plan)` per node, the synchronous,
-//! model-aware, and dynamic engines can fan it across worker threads
-//! (`with_jobs(n)` / [`Scenario::parallel`]) with results **bit-for-bit
-//! identical to serial execution for any job count** — pinned by
-//! `tests/parallel_equivalence.rs`.
+//! (the node loop) reads the finished plan by index.
+//!
+//! Everything parallel rides **one** retained worker pool, the
+//! [`iabc_exec::Executor`] (re-exported as [`exec`]), created when an
+//! engine is configured with `with_jobs(n)` / [`Scenario::parallel`] —
+//! threads spawn once per run, park on channels between dispatches, and
+//! are fed each round's work; `jobs = 1` runs inline with zero overhead.
+//! What fans across it, per engine:
+//!
+//! * **sync / model-aware / dynamic** — the phase-2 node loop (a pure
+//!   function of `(states, plan)` per node);
+//! * **delay-bounded** — the per-tick update loop over the frozen
+//!   mailbox; the send and deliver phases stay serial because the
+//!   scheduler's RNG stream and same-tick mailbox overwrites are
+//!   order-defined;
+//! * **phase 1 itself**, for adversaries offering the
+//!   [`adversary::Adversary::plan_round_sync`] `Sync` planning tier:
+//!   the per-round `&mut` work (hull scans, caches) runs serially, then
+//!   the pure per-slot fill is fanned. RNG-streaming and wrapper
+//!   adversaries always plan fully serially.
+//!
+//! The withholding and vector engines execute serially regardless (a
+//! sequential withhold-cursor walk and lazily planned coordinates,
+//! respectively). In every case results are **bit-for-bit identical to
+//! serial execution for any job count** — the ownership contract (each
+//! output index written by exactly one worker, shared reads otherwise)
+//! and the min-index-deterministic error rule live in [`iabc_exec`], and
+//! the guarantee is pinned by `tests/parallel_equivalence.rs`.
 //!
 //! The hot arithmetic itself (sort, trim `f` per side, equal-weight
 //! average) lives in [`iabc_core::rules::trim_kernel`], shared with the
@@ -120,7 +142,6 @@ pub mod dynamic;
 mod engine;
 mod error;
 pub mod model_engine;
-mod parallel;
 pub mod plan;
 pub mod reference;
 pub mod run;
@@ -131,6 +152,10 @@ pub mod vector;
 
 pub use engine::{run_consensus, Simulation};
 pub use error::SimError;
+/// The persistent worker pool every parallel path in this crate fans
+/// over ([`iabc_exec`], re-exported): one implementation, one
+/// determinism contract.
+pub use iabc_exec as exec;
 pub use run::{Engine, Outcome, RunConfig, SimConfig, StepStatus, Termination};
 pub use scenario::Scenario;
 

@@ -17,12 +17,14 @@
 //! cross-partition edges alive.
 
 use iabc_core::fault_model::IdentifiedRule;
+use iabc_exec::{Chunking, Executor, ScratchPool};
 use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::parallel;
-use crate::plan::{sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
+use crate::plan::{
+    dense_slot_table, fill_plan, sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan,
+};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// A synchronous simulation delivering `(sender, value)` pairs to an
@@ -66,10 +68,11 @@ pub struct ModelSimulation<'a> {
     states: Vec<f64>,
     next: Vec<f64>,
     round: usize,
-    scratch: Vec<(NodeId, f64)>,
     planned_edges: Vec<PlannedEdge>,
+    slot_edges: Vec<PlannedEdge>,
     plan: RoundPlan,
-    jobs: usize,
+    exec: Executor,
+    scratch_pool: ScratchPool<Vec<(NodeId, f64)>>,
 }
 
 impl<'a> ModelSimulation<'a> {
@@ -105,9 +108,14 @@ impl<'a> ModelSimulation<'a> {
             return Err(SimError::NonFiniteInput { node, value });
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
-        let scratch = Vec::with_capacity(compiled.max_in_degree());
         let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
         sub_csr_edges(&compiled, &mut planned_edges);
+        let mut slot_edges = Vec::new();
+        dense_slot_table(
+            compiled.faulty_edge_count(),
+            &planned_edges,
+            &mut slot_edges,
+        );
         Ok(ModelSimulation {
             graph,
             compiled,
@@ -117,15 +125,17 @@ impl<'a> ModelSimulation<'a> {
             states: inputs.to_vec(),
             next: inputs.to_vec(),
             round: 0,
-            scratch,
             planned_edges,
+            slot_edges,
             plan: RoundPlan::new(),
-            jobs: 1,
+            exec: Executor::serial(),
+            scratch_pool: ScratchPool::new(),
         })
     }
 
-    /// Fans the node loop across `jobs` worker threads (`0` = all
-    /// available cores); bit-for-bit identical for any value.
+    /// Retains a pool of `jobs` workers (`0` = all available cores) —
+    /// threads spawn once, here, and serve every round's node loop and
+    /// `Sync`-tier plan fill; bit-for-bit identical for any value.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.set_jobs(jobs);
@@ -134,7 +144,12 @@ impl<'a> ModelSimulation<'a> {
 
     /// In-place form of [`ModelSimulation::with_jobs`].
     pub fn set_jobs(&mut self, jobs: usize) {
-        self.jobs = parallel::effective_jobs(jobs);
+        self.exec = Executor::new(jobs);
+    }
+
+    /// Worker threads used by the node loop.
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
     }
 
     /// Current iteration count.
@@ -171,11 +186,14 @@ impl<'a> ModelSimulation<'a> {
             states: &self.states,
             fault_set: &self.fault_set,
         };
-        self.plan.begin(self.compiled.faulty_edge_count());
-        self.adversary.plan_round(
+        fill_plan(
+            self.adversary.as_mut(),
             &view,
-            RoundSlots::new(&self.planned_edges, true),
+            &self.planned_edges,
+            &self.slot_edges,
+            true,
             &mut self.plan,
+            &self.exec,
         );
         let (graph, compiled, rule, states, plan, round) = (
             self.graph,
@@ -185,21 +203,15 @@ impl<'a> ModelSimulation<'a> {
             &self.plan,
             self.round,
         );
-        if self.jobs > 1 {
-            parallel::run_chunked(
-                &mut self.next,
-                self.jobs,
-                || Vec::with_capacity(compiled.max_in_degree()),
-                |i, out, scratch| {
-                    step_node(graph, compiled, rule, states, plan, round, i, out, scratch)
-                },
-            )?;
-        } else {
-            let scratch = &mut self.scratch;
-            for (i, out) in self.next.iter_mut().enumerate() {
-                step_node(graph, compiled, rule, states, plan, round, i, out, scratch)?;
-            }
-        }
+        let pool = &self.scratch_pool;
+        self.exec.run_chunked(
+            &mut self.next,
+            Chunking::Auto(iabc_exec::MIN_CHUNK),
+            || pool.take(|| Vec::with_capacity(compiled.max_in_degree())),
+            |i, out, scratch| {
+                step_node(graph, compiled, rule, states, plan, round, i, out, scratch)
+            },
+        )?;
         std::mem::swap(&mut self.states, &mut self.next);
         Ok(StepStatus::Progressed)
     }

@@ -26,7 +26,10 @@
 //! order, which keeps every per-edge RNG stream bit-identical to the
 //! pre-refactor one-call-per-edge protocol.
 
+use iabc_exec::{Chunking, Executor};
 use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
+
+use crate::adversary::{Adversary, AdversaryView};
 
 /// One faulty edge an engine will deliver this round, tagged with the
 /// plan slot the adversary must fill for it.
@@ -150,6 +153,12 @@ impl RoundPlan {
         self.entries[slot as usize]
     }
 
+    /// The raw slot table, for the parallel planning tier: [`fill_plan`]
+    /// chunks it across the worker pool, each slot written exactly once.
+    pub(crate) fn entries_mut(&mut self) -> &mut [PlannedMessage] {
+        &mut self.entries
+    }
+
     /// Number of slots.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -220,6 +229,76 @@ pub(crate) fn sub_csr_edges(compiled: &CompiledTopology, edges: &mut Vec<Planned
             });
         }
     }
+}
+
+/// Sentinel marking a plan slot no engine will read this round (e.g. the
+/// sub-CSR rows of faulty receivers): the dense slot table stores it as
+/// `receiver == NO_EDGE`.
+pub(crate) const NO_EDGE: u32 = u32::MAX;
+
+/// Chunk floor for the parallel plan fill: one slot is a handful of flops,
+/// so chunks must be much larger than the per-node [`iabc_exec::MIN_CHUNK`]
+/// before queue traffic stops dominating.
+const PLAN_MIN_CHUNK: usize = 128;
+
+/// Rebuilds `dense` as the slot-indexed edge table of a plan with `len`
+/// slots: `dense[slot]` is the [`PlannedEdge`] planned at `slot`, or a
+/// [`NO_EDGE`] hole for slots the engine never reads. The parallel
+/// planning tier chunks the plan's slot table directly, so it needs this
+/// O(1) slot → edge inverse of the engine's (possibly sparse) edge list.
+pub(crate) fn dense_slot_table(len: usize, edges: &[PlannedEdge], dense: &mut Vec<PlannedEdge>) {
+    dense.clear();
+    dense.resize(
+        len,
+        PlannedEdge {
+            slot: 0,
+            sender: NO_EDGE,
+            receiver: NO_EDGE,
+        },
+    );
+    for edge in edges {
+        dense[edge.slot as usize] = *edge;
+    }
+}
+
+/// Phase 1, shared by every pooled engine: resets `plan` and fills it —
+/// through the [`crate::adversary::Adversary::plan_round_sync`] parallel
+/// tier when the adversary offers one **and** the executor has more than
+/// one worker, serially through
+/// [`crate::adversary::Adversary::plan_round`] otherwise. `edges` is the
+/// engine's query-order slot list (what `plan_round` iterates);
+/// `slot_edges` the dense slot-indexed table (what the parallel fill
+/// chunks); `allows_omission` the engine's omission flag. Both paths
+/// produce bit-identical plans: the `SyncFill` contract requires the fill
+/// to equal what `plan_round` would write, and holes stay
+/// [`PlannedMessage::Omit`] either way.
+pub(crate) fn fill_plan(
+    adversary: &mut dyn Adversary,
+    view: &AdversaryView<'_>,
+    edges: &[PlannedEdge],
+    slot_edges: &[PlannedEdge],
+    allows_omission: bool,
+    plan: &mut RoundPlan,
+    exec: &Executor,
+) {
+    plan.begin(slot_edges.len());
+    if exec.jobs() > 1 {
+        let slots = RoundSlots::new(edges, allows_omission);
+        if let Some(fill) = adversary.plan_round_sync(view, &slots) {
+            exec.for_each(
+                plan.entries_mut(),
+                Chunking::Auto(PLAN_MIN_CHUNK),
+                |slot, out| {
+                    let edge = slot_edges[slot];
+                    if edge.receiver != NO_EDGE {
+                        *out = fill.message(view, edge);
+                    }
+                },
+            );
+            return;
+        }
+    }
+    adversary.plan_round(view, RoundSlots::new(edges, allows_omission), plan);
 }
 
 #[cfg(test)]

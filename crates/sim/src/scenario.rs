@@ -98,15 +98,22 @@ impl<'a> Scenario<'a> {
         }
     }
 
-    /// Fans each round's node loop across `jobs` worker threads (`0` =
-    /// all available cores) on the engines with a parallel phase 2:
+    /// Retains a persistent worker pool of `jobs` threads (`0` = all
+    /// available cores) on the engines with a parallel phase:
     /// [`Scenario::synchronous`], [`Scenario::model_aware`], and
-    /// [`Scenario::dynamic`]. Results are **bit-for-bit identical** to
-    /// serial execution for any value — parallelism is purely a
-    /// performance knob, never a semantic one. The remaining terminals
-    /// (delay-bounded, withholding, vector) execute serially regardless;
-    /// their per-round work is dominated by inherently sequential
-    /// scheduling state.
+    /// [`Scenario::dynamic`] fan each round's node loop across it, and
+    /// [`Scenario::delay_bounded`] fans each tick's **update phase**
+    /// (its send/deliver phases stay serial to preserve the scheduler's
+    /// RNG order and mailbox overwrite semantics). Adversaries offering
+    /// the [`crate::adversary::Adversary::plan_round_sync`] tier
+    /// additionally fan their phase-1 plan fill. Threads are spawned
+    /// once when the terminal builds the engine — never per step — and
+    /// results are **bit-for-bit identical** to serial execution for
+    /// any value: parallelism is purely a performance knob, never a
+    /// semantic one. The remaining terminals (withholding, vector)
+    /// execute serially regardless; the withholding engine's
+    /// withhold-cursor walk and the vector engine's lazily planned
+    /// coordinates are inherently sequential per round.
     #[must_use]
     pub fn parallel(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
@@ -292,6 +299,7 @@ impl<'a> Scenario<'a> {
             scheduler,
             delay_bound,
         )
+        .map(|sim| sim.with_jobs(self.jobs))
     }
 
     /// Terminal: the §7 totally-asynchronous withhold-and-trim-`2f` engine

@@ -15,7 +15,10 @@
 //! * [`sim`] — synchronous and asynchronous Byzantine simulation engines
 //!   with full-information adversaries, plus time-varying topologies,
 //!   vector-valued (coordinate-wise) consensus, and the identity-aware
-//!   engine that runs structure-aware trimming ([`iabc_sim`]);
+//!   engine that runs structure-aware trimming ([`iabc_sim`]); the
+//!   workspace's persistent worker pool is re-exported as `sim::exec`
+//!   (`iabc-exec` — every parallel path fans over it, bit-for-bit
+//!   identical to serial execution);
 //! * [`analysis`] — convergence measurement and the E1–E12 experiment
 //!   harness ([`iabc_analysis`]);
 //! * [`baselines`] — the Dolev et al. full-exchange rules and W-MSR, for

@@ -1,16 +1,21 @@
-//! Determinism guard for parallel round execution: for random digraphs,
-//! fault sets, and every stateful adversary family, a run at
-//! `--jobs ∈ {2, 4, 7}` must be **bit-for-bit identical** to the serial
-//! run — final-state f64 bit patterns, round counts, and the validity
-//! verdict. Covers the synchronous, model-aware, and dynamic engines
-//! (including the dynamic engine's in-place CSR rebuild path, where the
-//! per-round plan slots are re-derived).
+//! Determinism guard for the persistent-executor parallel paths: for
+//! random digraphs, fault sets, and every stateful adversary family, a
+//! run at `--jobs ∈ {2, 4, 7}` must be **bit-for-bit identical** to the
+//! serial run — final-state f64 bit patterns, round counts, and the
+//! validity verdict. Covers the synchronous, model-aware, and dynamic
+//! engines (including the dynamic engine's in-place CSR rebuild path,
+//! where the per-round plan slots are re-derived), the delay-bounded
+//! engine's pooled update phase under every scheduler family, and the
+//! `Sync` planning tier (pooled plan fill vs serial `plan_round` across
+//! all 12 adversary families).
 //!
 //! The contract under test is the one the two-phase protocol was built
-//! for: the adversary plans each round serially (all RNG draws happen in
-//! slot order, independent of the worker count), and phase 2 is a pure
-//! function of `(states, plan)` per node — so thread scheduling can never
-//! touch a float.
+//! for: the adversary's `&mut` work runs serially once per round (all
+//! RNG draws happen in slot order, independent of the worker count), and
+//! everything fanned across the pool is a pure per-item function — so
+//! thread scheduling can never touch a float. A regression test also
+//! pins the pool's defining property: worker threads are spawned once
+//! per run, never per step.
 
 use iabc::core::fault_model::{FaultModel, ModelTrimmedMean};
 use iabc::core::rules::TrimmedMean;
@@ -19,6 +24,10 @@ use iabc::sim::adversary::{
     Adversary, BroadcastOf, ConformingAdversary, ConstantAdversary, CrashAdversary, EchoAdversary,
     ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
     RandomAdversary, SelectiveOmissionAdversary,
+};
+use iabc::sim::async_engine::{
+    DelayBoundedSim, ImmediateScheduler, MaxDelayScheduler, RandomScheduler, Scheduler,
+    TargetedScheduler,
 };
 use iabc::sim::dynamic::{DynamicSimulation, RoundRobinSchedule};
 use iabc::sim::model_engine::ModelSimulation;
@@ -196,6 +205,49 @@ proptest! {
             prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
         }
     }
+
+    /// Delay-bounded engine: the pooled update phase (and the planning
+    /// tier) must be invisible — serial vs every tested job count, for
+    /// every adversary family, under every scheduler family (whose RNG
+    /// stream is consumed in the always-serial send phase).
+    #[test]
+    fn delay_bounded_runs_are_bit_identical_across_job_counts(
+        n in 6usize..14,
+        f in 0usize..3,
+        bound in 1usize..5,
+        scheduler_id in 0u8..4,
+        adv_id in 0u8..12,
+        seed in 0u64..10_000,
+    ) {
+        let w = workload(n, f, 0.8, adv_id, seed);
+        let rule = TrimmedMean::new(w.f);
+        let make_scheduler = |id: u8| -> Box<dyn Scheduler> {
+            match id % 4 {
+                0 => Box::new(ImmediateScheduler),
+                1 => Box::new(MaxDelayScheduler),
+                2 => Box::new(RandomScheduler::new(seed ^ 0xD31A7)),
+                _ => Box::new(TargetedScheduler::new(NodeSet::from_indices(n, [0, 1]))),
+            }
+        };
+        let build = |jobs: usize| {
+            DelayBoundedSim::new(
+                &w.graph,
+                &w.inputs,
+                w.faults.clone(),
+                &rule,
+                adversary_from_id(w.adv_id, n, w.seed),
+                make_scheduler(scheduler_id),
+                bound,
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in JOB_COUNTS {
+            let parallel = fingerprint(build(jobs));
+            prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
+        }
+    }
 }
 
 /// The `Scenario::parallel` knob reaches the engine: a parallel-built
@@ -226,6 +278,181 @@ fn scenario_parallel_matches_serial_bitwise() {
                 a.to_bits(),
                 b.to_bits(),
                 "round {} node {i}: serial {a:?} vs parallel {b:?}",
+                round + 1
+            );
+        }
+    }
+}
+
+/// The `Sync` planning tier, family by family: at `jobs > 1` the engines
+/// fan the plan fill through `plan_round_sync` for every adversary that
+/// offers it (and fall back to serial `plan_round` for the stateful
+/// ones) — either way the run must reproduce the serial trajectory
+/// bit-for-bit. `n = 120` exceeds the pool's chunk floor, so the node
+/// loop genuinely crosses threads here, under every one of the 12
+/// families.
+#[test]
+fn planning_tier_is_bit_identical_for_all_twelve_families() {
+    let n = 120;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let graph = random_graph_with_floor(n, 7, 0.25, &mut rng);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(-50.0..50.0)).collect();
+    let faults = NodeSet::from_indices(n, [3, 40, 77]);
+    let rule = TrimmedMean::new(3);
+    for adv_id in 0u8..12 {
+        let build = |jobs: usize| {
+            Simulation::new(
+                &graph,
+                &inputs,
+                faults.clone(),
+                &rule,
+                adversary_from_id(adv_id, n, 0x5EED),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in [2usize, 4, 7] {
+            let pooled = fingerprint(build(jobs));
+            assert_eq!(
+                serial, pooled,
+                "family {adv_id}: jobs = {jobs} diverged from serial"
+            );
+        }
+    }
+}
+
+/// Same, for the delay-bounded engine at a size where the pooled update
+/// phase genuinely crosses threads (the small proptest sizes run inline
+/// under the chunk floor).
+#[test]
+fn delay_bounded_pooled_update_is_bit_identical_at_scale() {
+    let n = 150;
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let graph = random_graph_with_floor(n, 7, 0.3, &mut rng);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(-50.0..50.0)).collect();
+    let faults = NodeSet::from_indices(n, [10, 65, 120]);
+    let rule = TrimmedMean::new(3);
+    for adv_id in 0u8..12 {
+        let build = |jobs: usize| {
+            DelayBoundedSim::new(
+                &graph,
+                &inputs,
+                faults.clone(),
+                &rule,
+                adversary_from_id(adv_id, n, 0xF00D),
+                Box::new(RandomScheduler::new(0x5C4ED)),
+                3,
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in [2usize, 4, 7] {
+            let pooled = fingerprint(build(jobs));
+            assert_eq!(
+                serial, pooled,
+                "family {adv_id}: jobs = {jobs} diverged from serial"
+            );
+        }
+    }
+}
+
+/// The pool's defining property: worker threads are spawned when the
+/// engine is configured — once per run — and NEVER again, no matter how
+/// many steps execute. (The pre-executor design spawned scoped threads
+/// inside every `step()`.) `Executor::id()` is process-unique and minted
+/// only by `Executor::new`, so id stability across the run proves the
+/// engine never rebuilt its pool mid-run (which is the only way this
+/// workspace can spawn fan-out threads — `thread::scope` is gone); it is
+/// robust against concurrently running tests, unlike a diff of the
+/// process-global spawn counter (which `iabc-exec`'s own serialized unit
+/// test performs). `threads_spawned()` then pins the stable pool's size.
+#[test]
+fn pool_threads_spawn_once_per_run_not_per_step() {
+    let n = 200;
+    let g = generators::complete(n);
+    let inputs: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+    let rule = TrimmedMean::new(2);
+    let mut sim = Simulation::new(
+        &g,
+        &inputs,
+        NodeSet::from_indices(n, [5, 6]),
+        &rule,
+        Box::new(ExtremesAdversary::new(100.0)),
+    )
+    .unwrap()
+    .with_jobs(4);
+    let pool_id = sim.executor().id();
+    assert_eq!(
+        sim.executor().threads_spawned(),
+        3,
+        "jobs = 4 retains exactly 3 workers (the caller is the 4th)"
+    );
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    assert_eq!(
+        sim.executor().id(),
+        pool_id,
+        "100 steps must be served by the ONE pool built at configuration"
+    );
+    assert_eq!(sim.executor().threads_spawned(), 3);
+
+    // The delay-bounded engine shares the executor and the guarantee.
+    let mut sim = DelayBoundedSim::new(
+        &g,
+        &inputs,
+        NodeSet::from_indices(n, [5, 6]),
+        &rule,
+        Box::new(ExtremesAdversary::new(100.0)),
+        Box::new(MaxDelayScheduler),
+        4,
+    )
+    .unwrap()
+    .with_jobs(4);
+    let pool_id = sim.executor().id();
+    assert_eq!(sim.executor().threads_spawned(), 3);
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    assert_eq!(
+        sim.executor().id(),
+        pool_id,
+        "100 ticks must be served by the ONE pool built at configuration"
+    );
+    assert_eq!(sim.executor().threads_spawned(), 3);
+}
+
+/// `Scenario::parallel` reaches the delay-bounded terminal (it used to be
+/// documented serial-only): the knob configures the pool and the run
+/// reproduces the serial trajectory bitwise.
+#[test]
+fn scenario_parallel_reaches_the_delay_terminal() {
+    let g = generators::complete(9);
+    let inputs: Vec<f64> = (0..9).map(|i| (i * 3 % 11) as f64).collect();
+    let rule = TrimmedMean::new(2);
+    let build = |jobs: usize| {
+        Scenario::on(&g)
+            .inputs(&inputs)
+            .fault_nodes([7, 8])
+            .rule(&rule)
+            .adversary(Box::new(RandomAdversary::new(-20.0, 20.0, 11)))
+            .parallel(jobs)
+            .delay_bounded(Box::new(RandomScheduler::new(23)), 3)
+            .unwrap()
+    };
+    let mut serial = build(1);
+    let mut pooled = build(4);
+    assert_eq!(pooled.jobs(), 4);
+    for round in 0..40 {
+        serial.step().unwrap();
+        pooled.step().unwrap();
+        for (i, (a, b)) in serial.states().iter().zip(pooled.states()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "tick {} node {i}: serial {a:?} vs pooled {b:?}",
                 round + 1
             );
         }
