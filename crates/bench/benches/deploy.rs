@@ -1,0 +1,89 @@
+//! Bench: the two deployment tiers head to head — one OS thread per node
+//! vs every node multiplexed onto a small worker pool — plus the
+//! multiplexed tier alone at a scale no threaded deployment can host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iabc_graph::{generators, CompiledTopology, NodeSet};
+use iabc_runtime::{
+    run_threaded, ConstantLiar, LocalTransport, MultiplexConfig, MultiplexedDeployment,
+};
+
+const DEGREE: usize = 8;
+const F: usize = 2;
+const ROUNDS: usize = 20;
+
+fn inputs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37) % 1000) as f64).collect()
+}
+
+fn run_multiplexed_circulant(n: usize, jobs: usize) -> f64 {
+    let faults = NodeSet::from_indices(n, 0..F);
+    let topology = CompiledTopology::circulant(n, DEGREE, &faults);
+    let inputs = inputs(n);
+    let mut deployment = MultiplexedDeployment::new(
+        &topology,
+        &inputs,
+        F,
+        ROUNDS,
+        |_| Box::new(ConstantLiar { value: 1e6 }),
+        LocalTransport,
+        MultiplexConfig {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .expect("deployment constructs");
+    deployment.run().expect("run").honest_range()
+}
+
+/// Same circulant workload, both tiers. At n = 1024 the threaded tier is
+/// comfortably within its range, so the comparison isolates what the
+/// multiplexing buys: no thread spawn, no channel wakeups, pure pooled
+/// arithmetic over mailboxes.
+fn bench_threaded_vs_multiplexed(c: &mut Criterion) {
+    let n = 1024usize;
+    let g = generators::circulant(n, 1..=DEGREE);
+    let inputs = inputs(n);
+    let faults = || NodeSet::from_indices(n, 0..F);
+
+    let mut group = c.benchmark_group(format!("deploy_tiers_{ROUNDS}rounds/n{n}"));
+    group.sample_size(10);
+    group.bench_function("threaded", |b| {
+        b.iter(|| {
+            let report = run_threaded(&g, &inputs, &faults(), F, ROUNDS, |_| {
+                Box::new(ConstantLiar { value: 1e6 })
+            })
+            .expect("threaded run");
+            black_box(report.honest_range())
+        })
+    });
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("multiplexed_jobs{jobs}"), |b| {
+            b.iter(|| black_box(run_multiplexed_circulant(n, jobs)))
+        });
+    }
+    group.finish();
+}
+
+/// The multiplexed tier alone, past the threaded ceiling: the CSR comes
+/// straight from the circulant structure, so there is no n x n adjacency
+/// anywhere and the only OS threads are the pool's.
+fn bench_multiplexed_at_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("deploy_scale_{ROUNDS}rounds"));
+    group.sample_size(10);
+    for n in [32_768usize, 131_072] {
+        group.bench_function(format!("multiplexed_jobs4/n{n}"), |b| {
+            b.iter(|| black_box(run_multiplexed_circulant(n, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threaded_vs_multiplexed,
+    bench_multiplexed_at_scale
+);
+criterion_main!(benches);

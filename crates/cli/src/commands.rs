@@ -1001,6 +1001,120 @@ fn sweep_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
     Ok(sweep::effective_jobs(jobs, args.has_flag("parallel")))
 }
 
+/// `iabc deploy --nodes N [--mode threaded|multiplexed] [--jobs J]
+/// [--degree D] [--f F] [--rounds R]` — runs Algorithm 1 as a real
+/// deployment on a circulant digraph (every node hears its `D`
+/// predecessors; nodes `0..F` are Byzantine `ConstantLiar`s).
+///
+/// `--mode threaded` is the fidelity reference: one OS thread per node,
+/// one channel per edge, capped at 8192 nodes. `--mode multiplexed` (the
+/// default) runs every node on a shared `--jobs`-thread pool with
+/// CSR-indexed mailboxes — memory is bounded by edges + states, so a
+/// million nodes fit on one host. Both modes print a bitwise state
+/// checksum; for the same workload it is identical across modes and job
+/// counts.
+pub fn deploy_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    use iabc_graph::CompiledTopology;
+    use iabc_runtime::{
+        run_threaded, ConstantLiar, LocalTransport, MultiplexConfig, MultiplexedDeployment,
+    };
+    use std::time::Instant;
+
+    /// One OS thread per node stops being viable long before the
+    /// multiplexed tier breaks a sweat; past this the command refuses
+    /// rather than letting thread exhaustion fail mid-run.
+    const THREADED_CAP: usize = 8192;
+
+    let n: usize = args.required("nodes")?;
+    let mode = args.flag("mode").unwrap_or("multiplexed");
+    let jobs: usize = args.optional("jobs")?.unwrap_or(1);
+    let f: usize = args.optional("f")?.unwrap_or(1);
+    let degree: usize = args.optional("degree")?.unwrap_or((3 * f + 1).max(4));
+    let rounds: usize = args.optional("rounds")?.unwrap_or(30);
+    if f >= n {
+        return Err(CliError::Usage(format!(
+            "need --f < --nodes (got f = {f}, nodes = {n})"
+        )));
+    }
+    if n < 2 || degree >= n {
+        return Err(CliError::Usage(format!(
+            "need --nodes > degree (got nodes = {n}, degree = {degree})"
+        )));
+    }
+
+    // Deterministic workload: the first f nodes are Byzantine, inputs
+    // spread over [0, 1000).
+    let faults = NodeSet::from_indices(n, 0..f);
+    let inputs: Vec<f64> = (0..n).map(|i| ((i * 37) % 1000) as f64).collect();
+
+    let (report, threads_line, elapsed) = match mode {
+        "threaded" => {
+            if n > THREADED_CAP {
+                return Err(CliError::Usage(format!(
+                    "--mode threaded spawns one OS thread per node; {n} nodes exceeds the \
+                     {THREADED_CAP}-node cap — use --mode multiplexed"
+                )));
+            }
+            let g = generators::circulant(n, 1..=degree);
+            let start = Instant::now();
+            let report = run_threaded(&g, &inputs, &faults, f, rounds, |_| {
+                Box::new(ConstantLiar { value: 1e6 })
+            })
+            .map_err(|e| CliError::Run(e.to_string()))?;
+            let elapsed = start.elapsed().as_secs_f64();
+            (report, format!("os threads: {n} (one per node)"), elapsed)
+        }
+        "multiplexed" => {
+            // CSR built directly — no n^2 adjacency bitset anywhere, so
+            // n = 10^6 is a few hundred MB of edges + states.
+            let topology = CompiledTopology::circulant(n, degree, &faults);
+            let mut deployment = MultiplexedDeployment::new(
+                &topology,
+                &inputs,
+                f,
+                rounds,
+                |_| Box::new(ConstantLiar { value: 1e6 }),
+                LocalTransport,
+                MultiplexConfig {
+                    jobs,
+                    ..MultiplexConfig::default()
+                },
+            )
+            .map_err(|e| CliError::Run(e.to_string()))?;
+            let start = Instant::now();
+            let report = deployment.run().map_err(|e| CliError::Run(e.to_string()))?;
+            let elapsed = start.elapsed().as_secs_f64();
+            let spawned = deployment.executor().threads_spawned();
+            (
+                report,
+                format!("os threads: 1 caller + {spawned} pooled workers (--jobs {jobs})"),
+                elapsed,
+            )
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --mode {other:?}: expected threaded or multiplexed"
+            )));
+        }
+    };
+
+    let rate = rounds as f64 / elapsed.max(1e-12);
+    // Order-sensitive bitwise digest: equal across modes and job counts
+    // iff the trajectories are identical float for float.
+    let checksum = report
+        .final_states
+        .iter()
+        .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits());
+    Ok(format!(
+        "deploy: circulant/n{n} degree={degree} f={f} rounds={rounds} mode={mode}\n\
+         {threads_line}\n\
+         {rate:.1} rounds/s ({elapsed:.3}s total)\n\
+         honest range: {:.6e}\n\
+         state checksum: {checksum:016x}\n",
+        report.honest_range()
+    ))
+}
+
 /// `iabc perf [--quick] [--steps S] [--jobs N] [--out FILE]` — measures
 /// the compiled synchronous engine's step throughput (rounds/sec) against
 /// the retained pre-refactor reference stepper on the
@@ -1008,15 +1122,18 @@ fn sweep_jobs(args: &ParsedArgs) -> Result<usize, CliError> {
 /// datapoint (the same compiled engine at `--jobs N` vs one worker) and a
 /// **pool-vs-per-step-spawn** datapoint (the retained executor vs
 /// respawning its workers before every step, at small n / large round
-/// counts where the spawn cost dominates), and writes the
-/// machine-readable `BENCH_hotpath.json` so the repo accumulates a perf
-/// trajectory across commits.
+/// counts where the spawn cost dominates), a **deploy** datapoint (the
+/// runtime's threaded vs multiplexed tiers on the same circulant
+/// workload, plus a multiplexed-only scale measurement at an n no
+/// threaded deployment could host), and writes the machine-readable
+/// `BENCH_hotpath.json` so the repo accumulates a perf trajectory across
+/// commits.
 ///
 /// `iabc perf --check [--baseline FILE] [--tolerance T]` additionally
 /// diffs the fresh run against the committed baseline JSON and **fails**
 /// (non-zero exit) if any workload's compiled-vs-reference speedup — or
-/// the parallel or pool datapoint's speedup — regressed by more than the
-/// noise tolerance (default 0.4, i.e. a 40% drop). Workloads missing
+/// the parallel, pool, or deploy datapoint's speedup — regressed by more
+/// than the noise tolerance (default 0.4, i.e. a 40% drop). Workloads missing
 /// from either side (e.g. quick-mode runs checked against a full-mode
 /// baseline) are skipped, so CI smoke runs can check against the
 /// committed full grid.
@@ -1240,12 +1357,98 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
          \"respawn_steps_per_sec\": {respawn_rate:.3}, \"speedup\": {pool_speedup:.3}}},"
     );
 
+    // Deploy datapoint: the runtime's two deployment tiers on the SAME
+    // circulant workload at the largest n the threaded tier comfortably
+    // hosts. Both sides produce bit-identical trajectories (pinned by the
+    // runtime test suite); only the execution substrate differs — n OS
+    // threads + channels vs a `--jobs`-thread pool + mailboxes — so the
+    // speedup isolates the multiplexing win. Whole-deployment time is
+    // measured (construction included): thread spawn IS the threaded
+    // tier's cost model.
+    let dep_n = if quick { 512 } else { 4_096 };
+    let dep_f = 2usize;
+    let dep_degree = 8usize;
+    let dep_rounds = if quick { 10 } else { 20 };
+    let dep_inputs: Vec<f64> = (0..dep_n).map(|i| ((i * 37) % 1000) as f64).collect();
+    let dep_faults = NodeSet::from_indices(dep_n, 0..dep_f);
+    let dep_graph = generators::circulant(dep_n, 1..=dep_degree);
+    let start = Instant::now();
+    iabc_runtime::run_threaded(
+        &dep_graph,
+        &dep_inputs,
+        &dep_faults,
+        dep_f,
+        dep_rounds,
+        |_| Box::new(iabc_runtime::ConstantLiar { value: 1e6 }),
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let dep_threaded = dep_rounds as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    let dep_topology = iabc_graph::CompiledTopology::circulant(dep_n, dep_degree, &dep_faults);
+    let time_multiplexed = |topology: &iabc_graph::CompiledTopology,
+                            inputs: &[f64],
+                            f: usize,
+                            rounds: usize|
+     -> Result<f64, CliError> {
+        let start = Instant::now();
+        let mut deployment = iabc_runtime::MultiplexedDeployment::new(
+            topology,
+            inputs,
+            f,
+            rounds,
+            |_| Box::new(iabc_runtime::ConstantLiar { value: 1e6 }),
+            iabc_runtime::LocalTransport,
+            iabc_runtime::MultiplexConfig {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+        deployment.run().map_err(|e| CliError::Run(e.to_string()))?;
+        Ok(rounds as f64 / start.elapsed().as_secs_f64().max(1e-12))
+    };
+    let dep_multiplexed = time_multiplexed(&dep_topology, &dep_inputs, dep_f, dep_rounds)?;
+    let dep_speedup = dep_multiplexed / dep_threaded;
+    report.push_str(&format!(
+        "deploy: circulant/n{dep_n} degree={dep_degree} f={dep_f} — {dep_threaded:.1} rounds/s \
+         threaded ({dep_n} OS threads) vs {dep_multiplexed:.1} rounds/s multiplexed at \
+         --jobs {jobs} ({dep_speedup:.2}x)\n"
+    ));
+    let deploy_json = format!(
+        "  \"deploy\": {{\"topology\": \"circulant\", \"n\": {dep_n}, \"f\": {dep_f}, \
+         \"degree\": {dep_degree}, \"rounds\": {dep_rounds}, \"jobs\": {jobs}, \
+         \"threaded_steps_per_sec\": {dep_threaded:.3}, \
+         \"multiplexed_steps_per_sec\": {dep_multiplexed:.3}, \"speedup\": {dep_speedup:.3}}},"
+    );
+
+    // Scale datapoint: multiplexed-only, at an n no threaded deployment
+    // could host. Deliberately emitted WITHOUT a "speedup" field so
+    // `perf --check` skips it — an absolute rate is not machine-portable,
+    // but the recorded trajectory shows the tier working at scale.
+    let scale_n = if quick { 20_000 } else { 100_000 };
+    let scale_rounds = 10;
+    let scale_inputs: Vec<f64> = (0..scale_n).map(|i| ((i * 37) % 1000) as f64).collect();
+    let scale_faults = NodeSet::from_indices(scale_n, 0..dep_f);
+    let scale_topology =
+        iabc_graph::CompiledTopology::circulant(scale_n, dep_degree, &scale_faults);
+    let scale_rate = time_multiplexed(&scale_topology, &scale_inputs, dep_f, scale_rounds)?;
+    report.push_str(&format!(
+        "deploy scale: circulant/n{scale_n} degree={dep_degree} f={dep_f} multiplexed-only — \
+         {scale_rate:.1} rounds/s at --jobs {jobs}\n"
+    ));
+    let deploy_scale_json = format!(
+        "  \"deploy_scale\": {{\"topology\": \"circulant\", \"n\": {scale_n}, \"f\": {dep_f}, \
+         \"degree\": {dep_degree}, \"rounds\": {scale_rounds}, \"jobs\": {jobs}, \
+         \"multiplexed_steps_per_sec\": {scale_rate:.3}}},"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{}\",\n  \"unit\": \"steps_per_sec\",\n  \
-         \"adversary\": \"constant\",\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"adversary\": \"constant\",\n{}\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         parallel_json,
         pool_json,
+        deploy_json,
+        deploy_scale_json,
         entries.join(",\n")
     );
 
@@ -1308,6 +1511,22 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 }
             }
         }
+        // The deploy datapoint: multiplexed-vs-threaded speedup on the
+        // circulant workload, again compared on the job count alone. The
+        // scale datapoint carries no speedup and is never checked.
+        if let Some((base_n, base_jobs, base_speedup)) = baseline.deploy {
+            if base_jobs == jobs {
+                compared += 1;
+                if dep_speedup < base_speedup * (1.0 - tolerance) {
+                    regressions.push(format!(
+                        "deploy circulant/n{dep_n} --jobs {jobs}: multiplexed-vs-threaded \
+                         speedup {dep_speedup:.2}x vs baseline {base_speedup:.2}x at \
+                         n={base_n} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
         if !regressions.is_empty() {
             return Err(CliError::Run(format!(
                 "perf regression against {baseline_path} ({compared} workloads compared):\n  {}",
@@ -1340,6 +1559,9 @@ struct BenchBaseline {
     parallel: Option<(usize, usize, f64)>,
     /// `(n, jobs, speedup)` of the pool-vs-respawn datapoint, if recorded.
     pool: Option<(usize, usize, f64)>,
+    /// `(n, jobs, speedup)` of the multiplexed-vs-threaded deploy
+    /// datapoint, if recorded.
+    deploy: Option<(usize, usize, f64)>,
 }
 
 /// Extracts the value of `"key": value` from a single JSON object line
@@ -1360,6 +1582,7 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
     let mut results = Vec::new();
     let mut parallel = None;
     let mut pool = None;
+    let mut deploy = None;
     for line in text.lines() {
         let (Some(topology), Some(n), Some(f), Some(speedup)) = (
             json_field(line, "topology"),
@@ -1370,10 +1593,13 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
             continue;
         };
         if let Some(jobs) = json_field(line, "jobs").and_then(|v| v.parse::<usize>().ok()) {
-            // Both special datapoints record a job count; the pool one is
-            // recognized by its pooled-rate field.
+            // The special datapoints all record a job count; each is
+            // recognized by a field only it emits. (The deploy_scale line
+            // also records jobs but no "speedup", so it never gets here.)
             if json_field(line, "pooled_steps_per_sec").is_some() {
                 pool = Some((n, jobs, speedup));
+            } else if json_field(line, "threaded_steps_per_sec").is_some() {
+                deploy = Some((n, jobs, speedup));
             } else {
                 parallel = Some((n, jobs, speedup));
             }
@@ -1390,6 +1616,7 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
         results,
         parallel,
         pool,
+        deploy,
     }
 }
 
@@ -1406,6 +1633,93 @@ mod tests {
         let path = std::env::temp_dir().join(format!("iabc-cli-test-{name}.txt"));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn deploy_reports_both_modes_and_identical_checksums() {
+        let threaded = run(&argv(&[
+            "deploy", "--nodes", "48", "--mode", "threaded", "--f", "2", "--degree", "8",
+            "--rounds", "15",
+        ]))
+        .unwrap();
+        let multiplexed = run(&argv(&[
+            "deploy",
+            "--nodes",
+            "48",
+            "--mode",
+            "multiplexed",
+            "--jobs",
+            "3",
+            "--f",
+            "2",
+            "--degree",
+            "8",
+            "--rounds",
+            "15",
+        ]))
+        .unwrap();
+        assert!(threaded.contains("mode=threaded"), "{threaded}");
+        assert!(
+            threaded.contains("os threads: 48 (one per node)"),
+            "{threaded}"
+        );
+        assert!(multiplexed.contains("mode=multiplexed"), "{multiplexed}");
+        assert!(
+            multiplexed.contains("1 caller + 2 pooled workers (--jobs 3)"),
+            "{multiplexed}"
+        );
+        let checksum = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("state checksum:"))
+                .map(str::to_owned)
+                .unwrap()
+        };
+        assert_eq!(checksum(&threaded), checksum(&multiplexed));
+    }
+
+    #[test]
+    fn deploy_multiplexed_is_checksum_stable_across_job_counts() {
+        let checksum_at = |jobs: &str| {
+            let out = run(&argv(&[
+                "deploy", "--nodes", "96", "--jobs", jobs, "--f", "3", "--degree", "12",
+                "--rounds", "10",
+            ]))
+            .unwrap();
+            out.lines()
+                .find(|l| l.starts_with("state checksum:"))
+                .map(str::to_owned)
+                .unwrap()
+        };
+        let serial = checksum_at("1");
+        assert_eq!(serial, checksum_at("4"));
+        assert_eq!(serial, checksum_at("7"));
+    }
+
+    #[test]
+    fn deploy_threaded_refuses_past_the_thread_cap() {
+        let err = run(&argv(&[
+            "deploy", "--nodes", "9000", "--mode", "threaded", "--f", "1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("8192"), "{err}");
+        assert!(err.to_string().contains("--mode multiplexed"), "{err}");
+    }
+
+    #[test]
+    fn deploy_rejects_bad_mode_and_bad_shape() {
+        let err = run(&argv(&[
+            "deploy",
+            "--nodes",
+            "32",
+            "--mode",
+            "carrier-pigeon",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --mode"), "{err}");
+        let err = run(&argv(&["deploy", "--nodes", "6", "--degree", "9"])).unwrap_err();
+        assert!(err.to_string().contains("--nodes > degree"), "{err}");
+        let err = run(&argv(&["deploy", "--nodes", "8", "--f", "8"])).unwrap_err();
+        assert!(err.to_string().contains("--f < --nodes"), "{err}");
     }
 
     #[test]
@@ -2068,13 +2382,23 @@ mod tests {
         assert!(json.contains("\"bench\": \"hotpath\""), "{json}");
         assert!(json.contains("\"mode\": \"quick\""), "{json}");
         assert!(json.contains("\"compiled_steps_per_sec\""), "{json}");
-        // 6 grid entries + the parallel-vs-serial and pool datapoints.
-        assert_eq!(json.matches("\"topology\"").count(), 8, "{json}");
+        // 6 grid entries + parallel, pool, deploy, deploy_scale datapoints.
+        assert_eq!(json.matches("\"topology\"").count(), 10, "{json}");
         assert!(json.contains("\"parallel\""), "{json}");
         assert!(json.contains("\"serial_steps_per_sec\""), "{json}");
         assert!(json.contains("\"pool\""), "{json}");
         assert!(json.contains("\"pooled_steps_per_sec\""), "{json}");
         assert!(json.contains("\"respawn_steps_per_sec\""), "{json}");
+        assert!(json.contains("\"deploy\""), "{json}");
+        assert!(json.contains("\"threaded_steps_per_sec\""), "{json}");
+        assert!(json.contains("\"deploy_scale\""), "{json}");
+        assert!(json.contains("\"multiplexed_steps_per_sec\""), "{json}");
+        // The scale line must stay check-exempt: jobs recorded, no speedup.
+        let scale_line = json
+            .lines()
+            .find(|l| l.contains("\"deploy_scale\""))
+            .unwrap();
+        assert!(!scale_line.contains("\"speedup\""), "{scale_line}");
         // Structurally sound: balanced braces/brackets, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

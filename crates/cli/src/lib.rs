@@ -18,6 +18,7 @@
 //! iabc construct 9 --f 1                        # satisfying-by-construction graph
 //! iabc sweep experiments --parallel             # E1–E12 fanned across all cores
 //! iabc perf --quick                             # hot-path rounds/sec + BENCH_hotpath.json
+//! iabc deploy --nodes 1000000 --jobs 8          # million-node multiplexed deployment
 //! iabc sweep monte-carlo --n 6,8 --f 1 --jobs 4 # random-graph tolerance sweep
 //! iabc dot graph.txt --f 2                      # DOT, witness colour-coded
 //! ```
@@ -54,6 +55,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "record" => commands::record_cmd(&ParsedArgs::parse(rest)?),
         "replay" => commands::replay_cmd(&ParsedArgs::parse(rest)?),
         "perf" => commands::perf_cmd(&ParsedArgs::parse(rest)?),
+        "deploy" => commands::deploy_cmd(&ParsedArgs::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{}",
@@ -114,12 +116,19 @@ pub fn usage() -> String {
                                       exhaustive small-n census, one cell per (n,f)\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\
        replay <file> --f N --transcript T.txt   verify a recorded run\n\
+       deploy --nodes N [--mode threaded|multiplexed] [--jobs J] [--degree D]\n\
+              [--f F] [--rounds R]   run Algorithm 1 as a deployment on a\n\
+                                      circulant digraph: threaded = one OS\n\
+                                      thread per node (capped at 8192),\n\
+                                      multiplexed = all nodes on a J-thread\n\
+                                      pool with mailboxes (hosts 10^6 nodes);\n\
+                                      both print a bitwise state checksum\n\
        perf [--quick] [--steps S] [--jobs N] [--out BENCH_hotpath.json]\n\
                                       hot-path rounds/sec (compiled vs pre-refactor\n\
                                       reference) on complete/random/kite topologies,\n\
-                                      plus a parallel-vs-serial datapoint and a\n\
-                                      pool-vs-per-step-spawn datapoint at --jobs N;\n\
-                                      writes the JSON perf trajectory artifact\n\
+                                      plus parallel-vs-serial, pool-vs-respawn, and\n\
+                                      threaded-vs-multiplexed deploy datapoints at\n\
+                                      --jobs N; writes the JSON perf trajectory artifact\n\
        perf --check [--baseline FILE] [--tolerance 0.4]\n\
                                       diff a fresh run against the committed\n\
                                       BENCH_hotpath.json and fail on speedup\n\

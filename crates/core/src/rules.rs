@@ -172,6 +172,45 @@ pub fn trim_kernel(own: f64, values: &mut [f64], f: usize) -> f64 {
     average_with_own(own, trimmed_survivors(values, f))
 }
 
+/// The fused `(µ, U)` extremes scan over the **fault-free** entries of a
+/// state vector — the one definition of the paper's per-round
+/// `µ[t] = min_i v_i[t]` / `U[t] = max_i v_i[t]` shared by every consumer
+/// (the engines' `honest_range`, the trace recorder, the deployment
+/// report). Returns `(f64::INFINITY, f64::NEG_INFINITY)` when no
+/// fault-free entry exists; callers decide how to treat that (the trace
+/// asserts, the deployment report maps it to a zero range).
+///
+/// # Panics
+///
+/// Panics if a fault-free state is non-finite — every producer of state
+/// vectors in the workspace sanitizes received values, so a non-finite
+/// honest state is an engine bug, not data.
+///
+/// # Examples
+///
+/// ```
+/// use iabc_core::rules::honest_extremes;
+/// use iabc_graph::NodeSet;
+///
+/// let faults = NodeSet::from_indices(3, [2]);
+/// assert_eq!(honest_extremes(&[1.0, 5.0, 999.0], &faults), (1.0, 5.0));
+/// ```
+pub fn honest_extremes(states: &[f64], fault_set: &iabc_graph::NodeSet) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (i, &v) in states.iter().enumerate() {
+        if fault_set.contains(iabc_graph::NodeId::new(i)) {
+            continue;
+        }
+        assert!(
+            v.is_finite(),
+            "fault-free state {v} at node {i} is not finite"
+        );
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
 /// A memory-less state-update function `Z_i` (paper Section 2.3).
 ///
 /// Implementations must be deterministic and independent of iteration
@@ -385,6 +424,27 @@ impl UpdateRule for WeightedTrimmedMean {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn honest_extremes_skips_faulty_and_handles_empty() {
+        use iabc_graph::NodeSet;
+        let faults = NodeSet::from_indices(4, [1, 3]);
+        let (lo, hi) = honest_extremes(&[2.0, -1e9, 7.0, 1e9], &faults);
+        assert_eq!((lo, hi), (2.0, 7.0));
+        // No fault-free entries: the neutral fold identities come back.
+        let all = NodeSet::full(2);
+        assert_eq!(
+            honest_extremes(&[1.0, 2.0], &all),
+            (f64::INFINITY, f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is not finite")]
+    fn honest_extremes_rejects_non_finite_honest_state() {
+        use iabc_graph::NodeSet;
+        honest_extremes(&[f64::NAN], &NodeSet::with_universe(1));
+    }
 
     #[test]
     fn sort_total_matches_total_cmp_on_every_value_class() {

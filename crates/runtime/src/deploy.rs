@@ -25,7 +25,7 @@ use crate::error::RuntimeError;
 /// deployment and the deterministic engine compute identical trajectories.
 const SANITIZE_CLAMP: f64 = 1e100;
 
-fn sanitize(v: f64) -> f64 {
+pub(crate) fn sanitize(v: f64) -> f64 {
     if v.is_nan() {
         SANITIZE_CLAMP
     } else {
@@ -54,13 +54,7 @@ pub struct DeployReport {
 impl DeployReport {
     /// Final spread `U − µ` over the fault-free nodes.
     pub fn honest_range(&self) -> f64 {
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (i, &v) in self.final_states.iter().enumerate() {
-            if !self.fault_set.contains(NodeId::new(i)) {
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-        }
+        let (lo, hi) = iabc_core::rules::honest_extremes(&self.final_states, &self.fault_set);
         if lo.is_finite() {
             hi - lo
         } else {
@@ -77,6 +71,44 @@ impl DeployReport {
             .map(|(_, &v)| v)
             .collect()
     }
+}
+
+/// Up-front validation shared by both deployment modes (threaded and
+/// multiplexed), abstracted over the topology representation: `is_faulty`
+/// and `in_degree` answer for node indices `0..n`.
+///
+/// Checks, in order: input length, at least one fault-free node (when
+/// `n > 0`), input finiteness, and every honest in-degree `>= 2f` so the
+/// trim kernel's precondition can never fail mid-protocol.
+pub(crate) fn validate_deployment(
+    n: usize,
+    inputs: &[f64],
+    is_faulty: impl Fn(usize) -> bool,
+    in_degree: impl Fn(usize) -> usize,
+    f: usize,
+) -> Result<(), RuntimeError> {
+    if inputs.len() != n {
+        return Err(RuntimeError::InputLengthMismatch {
+            inputs: inputs.len(),
+            nodes: n,
+        });
+    }
+    if n > 0 && (0..n).all(&is_faulty) {
+        return Err(RuntimeError::NoFaultFreeNodes);
+    }
+    if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+        return Err(RuntimeError::NonFiniteInput { node, value });
+    }
+    for i in 0..n {
+        if !is_faulty(i) && in_degree(i) < 2 * f {
+            return Err(RuntimeError::InsufficientInDegree {
+                node: i,
+                in_degree: in_degree(i),
+                needed: 2 * f,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs Algorithm 1 as `n` concurrent threads for `rounds` rounds.
@@ -103,33 +135,19 @@ pub fn run_threaded(
     mut byzantine: impl FnMut(NodeId) -> Box<dyn LocalByzantine>,
 ) -> Result<DeployReport, RuntimeError> {
     let n = graph.node_count();
-    if inputs.len() != n {
-        return Err(RuntimeError::InputLengthMismatch {
-            inputs: inputs.len(),
-            nodes: n,
-        });
-    }
     if fault_set.universe() != n {
         return Err(RuntimeError::FaultSetMismatch {
             universe: fault_set.universe(),
             nodes: n,
         });
     }
-    if n > 0 && fault_set.len() == n {
-        return Err(RuntimeError::NoFaultFreeNodes);
-    }
-    if let Some((node, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
-        return Err(RuntimeError::NonFiniteInput { node, value });
-    }
-    for i in graph.nodes() {
-        if !fault_set.contains(i) && graph.in_degree(i) < 2 * f {
-            return Err(RuntimeError::InsufficientInDegree {
-                node: i.index(),
-                in_degree: graph.in_degree(i),
-                needed: 2 * f,
-            });
-        }
-    }
+    validate_deployment(
+        n,
+        inputs,
+        |i| fault_set.contains(NodeId::new(i)),
+        |i| graph.in_degree(NodeId::new(i)),
+        f,
+    )?;
 
     // One channel per edge. In-edges are wired in ascending sender order —
     // the same order the deterministic engine visits them.

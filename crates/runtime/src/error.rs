@@ -44,6 +44,23 @@ pub enum RuntimeError {
         /// The node whose thread failed.
         node: usize,
     },
+    /// A message was deposited into a mailbox cell that still holds an
+    /// unconsumed earlier round — the sender outran the `window`-round
+    /// credit the receiver extended (see `iabc_runtime::Mailboxes`).
+    MailboxOverflow {
+        /// The receiver-side CSR edge slot whose buffer was full.
+        slot: usize,
+        /// The round of the rejected deposit.
+        round: usize,
+    },
+    /// A multiplexed tick made no progress: nodes are still mid-protocol
+    /// but none became ready and nothing new was delivered. Impossible
+    /// under the in-process transport; a remote transport reports this
+    /// when the peer stops feeding mailboxes.
+    Stalled {
+        /// How many nodes had not finished their rounds.
+        waiting: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -74,6 +91,18 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NodeFailed { node } => {
                 write!(f, "node {node} thread failed mid-protocol")
+            }
+            RuntimeError::MailboxOverflow { slot, round } => {
+                write!(
+                    f,
+                    "mailbox slot {slot} still occupied when round {round} arrived (window credit violated)"
+                )
+            }
+            RuntimeError::Stalled { waiting } => {
+                write!(
+                    f,
+                    "deployment stalled with {waiting} nodes still mid-protocol"
+                )
             }
         }
     }
@@ -108,6 +137,11 @@ mod tests {
                 "node 4 has in-degree 1",
             ),
             (RuntimeError::NodeFailed { node: 2 }, "node 2 thread failed"),
+            (
+                RuntimeError::MailboxOverflow { slot: 17, round: 9 },
+                "mailbox slot 17 still occupied when round 9",
+            ),
+            (RuntimeError::Stalled { waiting: 3 }, "stalled with 3 nodes"),
         ];
         for (err, expect) in cases {
             assert!(err.to_string().contains(expect), "{err}");

@@ -1,0 +1,250 @@
+//! Per-node mailboxes for the multiplexed deployment tier.
+//!
+//! The threaded runtime allocates one crossbeam channel per directed edge;
+//! at a million nodes that is millions of channels and as many OS threads
+//! blocking on them. The multiplexed tier replaces all of that with one
+//! flat [`Mailboxes`] structure indexed by the CSR in-edge slot of
+//! [`CompiledTopology`](iabc_graph::CompiledTopology): edge `slot` of the
+//! topology owns exactly one cell per in-flight round, so "node `i`'s
+//! round-`t` inbox" is a contiguous lane of the `values` array starting at
+//! `topology.in_offset(i)` — no per-edge allocation, no locks, memory
+//! proportional to edges, not threads.
+//!
+//! # Capacity and the round window
+//!
+//! Each edge holds up to `window` undelivered rounds in a small ring keyed
+//! by `round % window`. A round tag of `0` marks an empty cell (protocol
+//! rounds are 1-based), so a deposit into an occupied cell — a sender
+//! running more than `window` rounds ahead of its receiver — is detected
+//! exactly and rejected as [`RuntimeError::MailboxOverflow`]. This is the
+//! credit-based flow-control contract a remote transport must honour: at
+//! most `window` outstanding rounds per edge. The in-process
+//! [`LocalTransport`](crate::LocalTransport) runs all nodes in lockstep and
+//! can never trip it; the default window of 2 still leaves headroom for the
+//! send-before-consume ordering inside a tick.
+
+use iabc_graph::CompiledTopology;
+
+use crate::error::RuntimeError;
+use crate::transport::WireMessage;
+
+/// Default number of in-flight rounds each edge can buffer.
+pub const DEFAULT_WINDOW: u32 = 2;
+
+/// Fixed-capacity per-edge message buffers plus per-node arrival counters.
+///
+/// Layout: cell `(slot, round)` lives at `slot * window + round % window`.
+/// `arrived[i * window + round % window]` counts how many of node `i`'s
+/// in-edges have deposited their round-`round` message, so the scheduler's
+/// readiness check is a single array compare against `in_degree(i)`.
+#[derive(Debug, Clone)]
+pub struct Mailboxes {
+    window: u32,
+    /// One value per (edge, lane).
+    values: Vec<f64>,
+    /// Round tag per (edge, lane); 0 = empty.
+    tags: Vec<u32>,
+    /// Deposited-message count per (node, lane).
+    arrived: Vec<u32>,
+    /// Receiver of each edge slot (inverse of the CSR row structure).
+    owner: Vec<u32>,
+}
+
+impl Mailboxes {
+    /// Builds empty mailboxes for every in-edge of `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(topology: &CompiledTopology, window: u32) -> Self {
+        assert!(window >= 1, "mailbox window must be at least 1");
+        let n = topology.node_count();
+        let edges = topology.edge_count();
+        let w = window as usize;
+        let mut owner = vec![0u32; edges];
+        for i in 0..n {
+            let base = topology.in_offset(i);
+            for k in 0..topology.in_degree(i) {
+                owner[base + k] = i as u32;
+            }
+        }
+        Mailboxes {
+            window,
+            values: vec![0.0; edges * w],
+            tags: vec![0; edges * w],
+            arrived: vec![0; n * w],
+            owner,
+        }
+    }
+
+    /// Number of in-flight rounds each edge can buffer.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    #[inline]
+    fn cell(&self, slot: usize, round: u32) -> usize {
+        slot * self.window as usize + (round % self.window) as usize
+    }
+
+    /// Deposits `msg` into edge `slot`, bumping the receiver's arrival count
+    /// for that round.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::MailboxOverflow`] if the cell still holds an
+    /// unconsumed earlier round — the sender has outrun the `window`-round
+    /// credit the receiver extended.
+    pub fn deposit(&mut self, slot: u32, msg: WireMessage) -> Result<(), RuntimeError> {
+        let cell = self.cell(slot as usize, msg.round);
+        if self.tags[cell] != 0 {
+            return Err(RuntimeError::MailboxOverflow {
+                slot: slot as usize,
+                round: msg.round as usize,
+            });
+        }
+        self.tags[cell] = msg.round;
+        self.values[cell] = msg.value;
+        let node = self.owner[slot as usize] as usize;
+        self.arrived[node * self.window as usize + (msg.round % self.window) as usize] += 1;
+        Ok(())
+    }
+
+    /// How many round-`round` messages node `i` has received so far.
+    pub fn arrived(&self, i: usize, round: u32) -> u32 {
+        self.arrived[i * self.window as usize + (round % self.window) as usize]
+    }
+
+    /// The round-`round` value sitting in edge `slot`.
+    ///
+    /// Only meaningful once the owner's `arrived` count equals its
+    /// in-degree; the debug assertion catches scheduler bugs that read a
+    /// lane before it is full (or after it was recycled).
+    pub fn value(&self, slot: usize, round: u32) -> f64 {
+        let cell = self.cell(slot, round);
+        debug_assert_eq!(
+            self.tags[cell], round,
+            "mailbox slot {slot} read for round {round} but holds round {}",
+            self.tags[cell]
+        );
+        self.values[cell]
+    }
+
+    /// Releases node `i`'s round-`round` lane after consumption: clears the
+    /// tags of all `degree` in-edge cells starting at `base` and zeroes the
+    /// arrival counter, returning the credits to the senders.
+    pub fn clear_round(&mut self, i: usize, base: usize, degree: usize, round: u32) {
+        let lane = (round % self.window) as usize;
+        let w = self.window as usize;
+        for slot in base..base + degree {
+            self.tags[slot * w + lane] = 0;
+        }
+        self.arrived[i * w + lane] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::{generators, NodeSet};
+
+    fn topo() -> CompiledTopology {
+        // cycle(4): each node has exactly one in-edge from its predecessor.
+        CompiledTopology::compile(&generators::cycle(4), &NodeSet::with_universe(4))
+    }
+
+    #[test]
+    fn deposit_then_read_round_trips() {
+        let t = topo();
+        let mut mb = Mailboxes::new(&t, DEFAULT_WINDOW);
+        assert_eq!(mb.window(), 2);
+        assert_eq!(mb.arrived(1, 1), 0);
+        let slot = t.in_offset(1) as u32; // edge 0 -> 1
+        mb.deposit(
+            slot,
+            WireMessage {
+                round: 1,
+                value: 7.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(mb.arrived(1, 1), 1);
+        assert_eq!(mb.value(slot as usize, 1), 7.5);
+        // Other rounds and nodes are untouched.
+        assert_eq!(mb.arrived(1, 2), 0);
+        assert_eq!(mb.arrived(2, 1), 0);
+    }
+
+    #[test]
+    fn window_allows_one_round_of_skew_then_rejects() {
+        let t = topo();
+        let mut mb = Mailboxes::new(&t, 2);
+        let slot = t.in_offset(2) as u32;
+        for round in 1..=2 {
+            mb.deposit(
+                slot,
+                WireMessage {
+                    round,
+                    value: round as f64,
+                },
+            )
+            .unwrap();
+        }
+        // Round 3 maps onto round 1's still-occupied cell.
+        let err = mb
+            .deposit(
+                slot,
+                WireMessage {
+                    round: 3,
+                    value: 3.0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::MailboxOverflow {
+                slot: slot as usize,
+                round: 3
+            }
+        );
+        // Both buffered rounds are still readable.
+        assert_eq!(mb.value(slot as usize, 1), 1.0);
+        assert_eq!(mb.value(slot as usize, 2), 2.0);
+    }
+
+    #[test]
+    fn clear_round_recycles_the_lane() {
+        let t = topo();
+        let mut mb = Mailboxes::new(&t, 2);
+        let base = t.in_offset(3);
+        let slot = base as u32;
+        mb.deposit(
+            slot,
+            WireMessage {
+                round: 1,
+                value: 1.0,
+            },
+        )
+        .unwrap();
+        mb.clear_round(3, base, t.in_degree(3), 1);
+        assert_eq!(mb.arrived(3, 1), 0);
+        // Round 3 shares round 1's lane and is accepted again.
+        mb.deposit(
+            slot,
+            WireMessage {
+                round: 3,
+                value: 3.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(mb.value(base, 3), 3.0);
+        assert_eq!(mb.arrived(3, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox window must be at least 1")]
+    fn zero_window_is_rejected() {
+        let t = topo();
+        let _ = Mailboxes::new(&t, 0);
+    }
+}

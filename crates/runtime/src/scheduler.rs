@@ -1,0 +1,631 @@
+//! The tick scheduler: every protocol node multiplexed onto one executor.
+//!
+//! The threaded runtime is the fidelity reference — one OS thread per node
+//! makes the concurrency real, and makes a million nodes impossible. This
+//! module is the scale tier: all `n` nodes live as [`NodeCell`]s in one
+//! flat vector, messages sit in [`Mailboxes`] indexed by CSR edge slot, and
+//! a [`MultiplexedDeployment`] advances the network in *ticks*. Memory is
+//! proportional to edges plus states; OS threads are exactly the
+//! executor's `jobs`, regardless of `n`.
+//!
+//! # One tick
+//!
+//! 1. **Send** (serial, deterministic): every node with a round to start
+//!    emits one message per out-edge through the [`Transport`]. Nodes are
+//!    visited in ascending id order and each node's out-edges in ascending
+//!    receiver order — the exact order the threaded runtime queries
+//!    Byzantine strategies, so stateful strategies observe identical call
+//!    sequences in both modes.
+//! 2. **Flush**: the transport completes delivery (a no-op locally).
+//! 3. **Readiness scan**: node `i` is *ready* when one round-`t` message
+//!    has arrived per in-edge, `t = round_of[i]` — the same condition that
+//!    unblocks a threaded node's `recv` loop, evaluated as one array
+//!    compare per node.
+//! 4. **Update** (pooled): ready cells advance one round on the shared
+//!    executor via sparse dispatch. Honest cells gather their mailbox lane
+//!    in ascending sender order, sanitize, and run the shared trim kernel;
+//!    Byzantine cells refresh their strategy's local inbox. Each cell's
+//!    update touches only its own state and its own (complete, immutable
+//!    this tick) mailbox lane, so parallel execution is bit-identical to a
+//!    serial sweep.
+//! 5. **Release** (serial): consumed lanes are cleared (returning flow
+//!    credits), rounds advance, finished nodes retire.
+//!
+//! Under [`LocalTransport`] every node is ready every tick, so the whole
+//! network marches in lockstep and a run costs exactly `rounds` ticks. The
+//! tick loop itself never assumes that: with a lagging transport, whatever
+//! subset is ready advances, and a tick that delivers nothing and readies
+//! nobody while nodes are still mid-protocol fails fast with
+//! [`RuntimeError::Stalled`].
+
+use iabc_exec::{Chunking, Executor, ScratchPool};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
+
+use crate::behavior::LocalByzantine;
+use crate::deploy::{validate_deployment, DeployReport};
+use crate::error::RuntimeError;
+use crate::mailbox::{Mailboxes, DEFAULT_WINDOW};
+use crate::node::{update_cell, NodeCell, Role};
+use crate::transport::{LocalTransport, Transport, WireMessage};
+
+/// Tuning for a multiplexed deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplexConfig {
+    /// Worker threads for the update phase (1 = serial; 0 = all cores).
+    pub jobs: usize,
+    /// In-flight rounds each edge can buffer (see [`Mailboxes`]).
+    pub window: u32,
+}
+
+impl Default for MultiplexConfig {
+    fn default() -> Self {
+        MultiplexConfig {
+            jobs: 1,
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+/// An in-progress multiplexed deployment: `n` protocol nodes, `jobs` OS
+/// threads.
+///
+/// Construct with [`MultiplexedDeployment::new`], then either call
+/// [`run`](MultiplexedDeployment::run) to completion or drive it tick by
+/// tick with [`tick`](MultiplexedDeployment::tick) and inspect
+/// [`states`](MultiplexedDeployment::states) between ticks (the lockstep
+/// goldens in the test suite do exactly that).
+pub struct MultiplexedDeployment<'a, T: Transport> {
+    topology: &'a CompiledTopology,
+    fault_set: NodeSet,
+    f: usize,
+    rounds: u32,
+    transport: T,
+    mailboxes: Mailboxes,
+    cells: Vec<NodeCell>,
+    /// Next round each node executes (1-based); `rounds + 1` = retired.
+    round_of: Vec<u32>,
+    /// Nodes that owe their `round_of` send this tick (ascending).
+    pending_send: Vec<u32>,
+    /// Scratch: nodes whose current round's inbox lane is complete.
+    ready: Vec<u32>,
+    completed: usize,
+    /// Out-edge CSR: `out_edges[out_offsets[u]..out_offsets[u+1]]` are
+    /// `(receiver, in-edge slot)` pairs for sender `u`, receivers ascending.
+    out_offsets: Vec<u32>,
+    out_edges: Vec<(u32, u32)>,
+    exec: Executor,
+    scratch: ScratchPool<Vec<f64>>,
+}
+
+impl<T: Transport> std::fmt::Debug for MultiplexedDeployment<'_, T> {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("MultiplexedDeployment")
+            .field("nodes", &self.cells.len())
+            .field("edges", &self.topology.edge_count())
+            .field("rounds", &self.rounds)
+            .field("completed", &self.completed)
+            .field("jobs", &self.exec.jobs())
+            .field("transport", &self.transport)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, T: Transport> MultiplexedDeployment<'a, T> {
+    /// Prepares a deployment of Algorithm 1 over `topology` for `rounds`
+    /// rounds with fault bound `f`; faulty nodes (per the topology's fault
+    /// set) run the [`LocalByzantine`] strategy `byzantine` builds for
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// The same up-front checks as the threaded runtime:
+    /// [`RuntimeError::InputLengthMismatch`],
+    /// [`RuntimeError::NoFaultFreeNodes`],
+    /// [`RuntimeError::NonFiniteInput`], and
+    /// [`RuntimeError::InsufficientInDegree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` does not fit the `u32` round-tag space or
+    /// `config.window == 0`.
+    pub fn new(
+        topology: &'a CompiledTopology,
+        inputs: &[f64],
+        f: usize,
+        rounds: usize,
+        mut byzantine: impl FnMut(NodeId) -> Box<dyn LocalByzantine>,
+        transport: T,
+        config: MultiplexConfig,
+    ) -> Result<Self, RuntimeError> {
+        let n = topology.node_count();
+        validate_deployment(
+            n,
+            inputs,
+            |i| topology.is_faulty(i),
+            |i| topology.in_degree(i),
+            f,
+        )?;
+        let rounds = u32::try_from(rounds).expect("round count exceeds u32 round-tag space");
+        assert!(rounds < u32::MAX, "round count exceeds u32 round-tag space");
+
+        let cells: Vec<NodeCell> = (0..n)
+            .map(|i| NodeCell {
+                state: inputs[i],
+                role: if topology.is_faulty(i) {
+                    Role::Byzantine {
+                        strategy: byzantine(NodeId::new(i)),
+                        inbox: Vec::new(),
+                    }
+                } else {
+                    Role::Honest
+                },
+            })
+            .collect();
+        let fault_set = NodeSet::from_indices(n, (0..n).filter(|&i| topology.is_faulty(i)));
+
+        // Invert the in-edge CSR into a sender-major out-edge CSR by
+        // counting sort — O(edges), no per-node allocations. Receivers fill
+        // ascending because the outer loop visits them ascending.
+        let mut out_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            for &u in topology.in_neighbors_of(i) {
+                out_offsets[u as usize + 1] += 1;
+            }
+        }
+        for k in 0..n {
+            out_offsets[k + 1] += out_offsets[k];
+        }
+        let mut cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut out_edges = vec![(0u32, 0u32); topology.edge_count()];
+        for i in 0..n {
+            let base = topology.in_offset(i);
+            for (k, &u) in topology.in_neighbors_of(i).iter().enumerate() {
+                let pos = cursor[u as usize] as usize;
+                out_edges[pos] = (i as u32, (base + k) as u32);
+                cursor[u as usize] += 1;
+            }
+        }
+
+        let mailboxes = Mailboxes::new(topology, config.window);
+        let (pending_send, completed) = if rounds == 0 {
+            (Vec::new(), n)
+        } else {
+            ((0..n as u32).collect(), 0)
+        };
+        Ok(MultiplexedDeployment {
+            topology,
+            fault_set,
+            f,
+            rounds,
+            transport,
+            mailboxes,
+            cells,
+            round_of: vec![1; n],
+            pending_send,
+            ready: Vec::new(),
+            completed,
+            out_offsets,
+            out_edges,
+            exec: Executor::new(config.jobs),
+            scratch: ScratchPool::new(),
+        })
+    }
+
+    /// The executor the update phase runs on (exposes thread accounting).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// `true` once every node has executed all its rounds.
+    pub fn finished(&self) -> bool {
+        self.completed == self.cells.len()
+    }
+
+    /// Current state snapshot, in node order. Faulty entries carry the
+    /// node's input (its "state" is meaningless in the Byzantine model),
+    /// matching the threaded runtime's report convention.
+    pub fn states(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.state).collect()
+    }
+
+    /// Advances the network by one tick (send → flush → readiness scan →
+    /// pooled update → release). A no-op once [`finished`][Self::finished].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::MailboxOverflow`] from the transport on a flow-credit
+    /// violation; [`RuntimeError::Stalled`] if the tick made no progress
+    /// while nodes are still mid-protocol.
+    pub fn tick(&mut self) -> Result<(), RuntimeError> {
+        let n = self.cells.len();
+        if self.completed == n {
+            return Ok(());
+        }
+
+        // Phase 1+2: send round_of[i] on every out-edge, then flush. The
+        // value an honest node sends is its state *entering* the round;
+        // Byzantine strategies are queried per receiver, ascending.
+        for idx in 0..self.pending_send.len() {
+            let i = self.pending_send[idx] as usize;
+            let round = self.round_of[i];
+            let state = self.cells[i].state;
+            let (start, end) = (
+                self.out_offsets[i] as usize,
+                self.out_offsets[i + 1] as usize,
+            );
+            for e in start..end {
+                let (receiver, slot) = self.out_edges[e];
+                let value = match &mut self.cells[i].role {
+                    Role::Honest => state,
+                    Role::Byzantine { strategy, inbox } => {
+                        strategy.message(round as usize, inbox, NodeId::new(receiver as usize))
+                    }
+                };
+                self.transport
+                    .send(slot, WireMessage { round, value }, &mut self.mailboxes)?;
+            }
+        }
+        self.pending_send.clear();
+        self.transport.flush(&mut self.mailboxes)?;
+
+        // Phase 3: readiness — one full round-t inbox lane per node.
+        self.ready.clear();
+        for i in 0..n {
+            let r = self.round_of[i];
+            if r <= self.rounds && self.mailboxes.arrived(i, r) == self.topology.in_degree(i) as u32
+            {
+                self.ready.push(i as u32);
+            }
+        }
+        if self.ready.is_empty() {
+            return Err(RuntimeError::Stalled {
+                waiting: n - self.completed,
+            });
+        }
+
+        // Phase 4: advance every ready cell on the pool. Sparse dispatch
+        // chunks the ready list and writes through to the cells vector;
+        // readiness indices are unique by construction.
+        let (topology, mailboxes, f) = (self.topology, &self.mailboxes, self.f);
+        let round_of = &self.round_of;
+        let pool = &self.scratch;
+        self.exec
+            .run_sparse(
+                &mut self.cells,
+                &mut self.ready,
+                Chunking::Auto(iabc_exec::MIN_CHUNK),
+                || pool.take(|| Vec::with_capacity(topology.max_in_degree())),
+                |i, cell, scratch| {
+                    update_cell(topology, mailboxes, f, round_of[i], i, cell, scratch);
+                    Ok::<(), std::convert::Infallible>(())
+                },
+            )
+            .unwrap_or_else(|e| match e {});
+
+        // Phase 5: release consumed lanes, advance rounds, retire or
+        // re-queue (ready is ascending, so pending_send stays ascending).
+        for k in 0..self.ready.len() {
+            let i = self.ready[k] as usize;
+            let r = self.round_of[i];
+            self.mailboxes.clear_round(
+                i,
+                self.topology.in_offset(i),
+                self.topology.in_degree(i),
+                r,
+            );
+            self.round_of[i] = r + 1;
+            if r == self.rounds {
+                self.completed += 1;
+            } else {
+                self.pending_send.push(i as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ticks until every node has executed all rounds, then reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`tick`][Self::tick] failure.
+    pub fn run(&mut self) -> Result<DeployReport, RuntimeError> {
+        while !self.finished() {
+            self.tick()?;
+        }
+        Ok(DeployReport {
+            rounds: self.rounds as usize,
+            final_states: self.states(),
+            fault_set: self.fault_set.clone(),
+        })
+    }
+}
+
+/// Runs Algorithm 1 multiplexed onto `jobs` pooled threads — the scale-tier
+/// counterpart of [`run_threaded`](crate::run_threaded), with the identical
+/// signature plus `jobs`. Compiles the topology, wires the in-process
+/// [`LocalTransport`], and runs to completion.
+///
+/// Honest trajectories are bit-for-bit identical to `run_threaded` and to
+/// the deterministic engine. For graphs too large to materialize as a
+/// [`Digraph`] (the adjacency bitset is `n²/8` bytes), build a
+/// [`CompiledTopology`] directly — e.g. with `CompiledTopology::circulant`
+/// or `from_in_rows` — and use [`MultiplexedDeployment`] instead.
+///
+/// # Errors
+///
+/// The same validation errors as [`run_threaded`](crate::run_threaded),
+/// plus anything the tick loop reports.
+pub fn run_multiplexed(
+    graph: &Digraph,
+    inputs: &[f64],
+    fault_set: &NodeSet,
+    f: usize,
+    rounds: usize,
+    byzantine: impl FnMut(NodeId) -> Box<dyn LocalByzantine>,
+    jobs: usize,
+) -> Result<DeployReport, RuntimeError> {
+    let n = graph.node_count();
+    if fault_set.universe() != n {
+        return Err(RuntimeError::FaultSetMismatch {
+            universe: fault_set.universe(),
+            nodes: n,
+        });
+    }
+    let topology = CompiledTopology::compile(graph, fault_set);
+    let mut deployment = MultiplexedDeployment::new(
+        &topology,
+        inputs,
+        f,
+        rounds,
+        byzantine,
+        LocalTransport,
+        MultiplexConfig {
+            jobs,
+            ..MultiplexConfig::default()
+        },
+    )?;
+    deployment.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{ConstantLiar, InboxExtremist, SplitBrainLiar};
+    use crate::deploy::run_threaded;
+    use iabc_graph::generators;
+
+    fn no_byzantine(_: NodeId) -> Box<dyn LocalByzantine> {
+        unreachable!("no faulty nodes in this deployment")
+    }
+
+    #[test]
+    fn fault_free_run_contracts_like_threaded() {
+        let g = generators::complete(5);
+        let inputs = [0.0, 10.0, 20.0, 30.0, 40.0];
+        let faults = NodeSet::with_universe(5);
+        for jobs in [1, 4] {
+            let report = run_multiplexed(&g, &inputs, &faults, 1, 100, no_byzantine, jobs).unwrap();
+            let reference = run_threaded(&g, &inputs, &faults, 1, 100, no_byzantine).unwrap();
+            assert_eq!(report, reference, "jobs = {jobs}");
+            assert!(report.honest_range() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_threaded_bit_for_bit_with_byzantine_nodes() {
+        let cases: Vec<(Digraph, Vec<usize>)> = vec![
+            (generators::complete(7), vec![5, 6]),
+            (generators::core_network(7, 2), vec![5, 6]),
+            (generators::chord(9, 4), vec![0, 8]),
+        ];
+        for (g, faulty) in cases {
+            let n = g.node_count();
+            let inputs: Vec<f64> = (0..n).map(|i| (i as f64) * 1.7 - 3.0).collect();
+            let faults = NodeSet::from_indices(n, faulty);
+            for rounds in [1, 7, 30] {
+                let threaded = run_threaded(&g, &inputs, &faults, 2, rounds, |_| {
+                    Box::new(InboxExtremist { delta: 1e6 })
+                })
+                .unwrap();
+                for jobs in [1, 3] {
+                    let multiplexed = run_multiplexed(
+                        &g,
+                        &inputs,
+                        &faults,
+                        2,
+                        rounds,
+                        |_| Box::new(InboxExtremist { delta: 1e6 }),
+                        jobs,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        multiplexed, threaded,
+                        "n = {n}, rounds = {rounds}, jobs = {jobs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_brain_freezes_exactly_as_in_threads() {
+        let g = generators::chord(7, 5);
+        let left = NodeSet::from_indices(7, [0, 2]);
+        let right = NodeSet::from_indices(7, [1, 3, 4]);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let mut inputs = [0.0f64; 7];
+        for i in right.iter() {
+            inputs[i.index()] = 1.0;
+        }
+        let (l, r) = (left.clone(), right.clone());
+        let report = run_multiplexed(
+            &g,
+            &inputs,
+            &faults,
+            2,
+            50,
+            move |_| {
+                Box::new(SplitBrainLiar {
+                    left: l.clone(),
+                    right: r.clone(),
+                    m_minus: -0.5,
+                    m_plus: 1.5,
+                    mid: 0.5,
+                })
+            },
+            2,
+        )
+        .unwrap();
+        for i in left.iter() {
+            assert_eq!(report.final_states[i.index()], 0.0, "L node {i} moved");
+        }
+        for i in right.iter() {
+            assert_eq!(report.final_states[i.index()], 1.0, "R node {i} moved");
+        }
+        assert_eq!(report.honest_range(), 1.0);
+    }
+
+    #[test]
+    fn tick_by_tick_lockstep_under_local_transport() {
+        let g = generators::complete(6);
+        let inputs = [0.0, 2.0, 4.0, 6.0, 8.0, 100.0];
+        let faults = NodeSet::from_indices(6, [5]);
+        let topology = CompiledTopology::compile(&g, &faults);
+        let mut d = MultiplexedDeployment::new(
+            &topology,
+            &inputs,
+            1,
+            10,
+            |_| Box::new(ConstantLiar { value: 1e6 }),
+            LocalTransport,
+            MultiplexConfig::default(),
+        )
+        .unwrap();
+        for t in 1..=10 {
+            assert!(!d.finished());
+            d.tick().unwrap();
+            let states = d.states();
+            assert_eq!(states[5], 100.0, "faulty state frozen at input");
+            assert!(
+                states[..5].iter().all(|v| v.is_finite()),
+                "tick {t}: honest states finite"
+            );
+        }
+        assert!(d.finished());
+        d.tick().unwrap(); // no-op after completion
+        let report = d.run().unwrap();
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.final_states, d.states());
+    }
+
+    #[test]
+    fn executor_threads_bounded_by_jobs_not_nodes() {
+        let faults = NodeSet::with_universe(512);
+        let topology = CompiledTopology::circulant(512, 6, &faults);
+        let inputs: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        let mut d = MultiplexedDeployment::new(
+            &topology,
+            &inputs,
+            0,
+            5,
+            no_byzantine,
+            LocalTransport,
+            MultiplexConfig {
+                jobs: 3,
+                ..MultiplexConfig::default()
+            },
+        )
+        .unwrap();
+        let report = d.run().unwrap();
+        assert_eq!(report.final_states.len(), 512);
+        assert_eq!(
+            d.executor().threads_spawned(),
+            2,
+            "512 nodes ran on jobs - 1 = 2 spawned workers"
+        );
+    }
+
+    #[test]
+    fn zero_rounds_returns_inputs() {
+        let g = generators::complete(3);
+        let inputs = [1.0, 2.0, 3.0];
+        let report = run_multiplexed(
+            &g,
+            &inputs,
+            &NodeSet::with_universe(3),
+            0,
+            0,
+            no_byzantine,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.final_states, inputs);
+    }
+
+    #[test]
+    fn constructor_validation_matches_threaded() {
+        let g = generators::complete(4);
+        let byz = |_: NodeId| -> Box<dyn LocalByzantine> { Box::new(ConstantLiar { value: 0.0 }) };
+        let none = NodeSet::with_universe(4);
+        assert!(matches!(
+            run_multiplexed(&g, &[0.0; 3], &none, 1, 1, byz, 1),
+            Err(RuntimeError::InputLengthMismatch {
+                inputs: 3,
+                nodes: 4
+            })
+        ));
+        assert!(matches!(
+            run_multiplexed(&g, &[0.0; 4], &NodeSet::with_universe(5), 1, 1, byz, 1),
+            Err(RuntimeError::FaultSetMismatch {
+                universe: 5,
+                nodes: 4
+            })
+        ));
+        assert!(matches!(
+            run_multiplexed(&g, &[0.0; 4], &NodeSet::full(4), 1, 1, byz, 1),
+            Err(RuntimeError::NoFaultFreeNodes)
+        ));
+        assert!(matches!(
+            run_multiplexed(&g, &[0.0, f64::NAN, 0.0, 0.0], &none, 1, 1, byz, 1),
+            Err(RuntimeError::NonFiniteInput { node: 1, .. })
+        ));
+        let p = generators::path(3);
+        assert!(matches!(
+            run_multiplexed(&p, &[0.0; 3], &NodeSet::with_universe(3), 1, 1, byz, 1),
+            Err(RuntimeError::InsufficientInDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn circulant_topology_runs_without_a_digraph() {
+        // The scale-tier entry point: no n^2 bitset anywhere.
+        let n = 2_000;
+        let faults = NodeSet::from_indices(n, [0, 1]);
+        let topology = CompiledTopology::circulant(n, 9, &faults);
+        let inputs: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+        let mut d = MultiplexedDeployment::new(
+            &topology,
+            &inputs,
+            2,
+            20,
+            |_| Box::new(ConstantLiar { value: 1e6 }),
+            LocalTransport,
+            MultiplexConfig {
+                jobs: 4,
+                ..MultiplexConfig::default()
+            },
+        )
+        .unwrap();
+        let report = d.run().unwrap();
+        let initial = iabc_core::rules::honest_extremes(&inputs, &report.fault_set);
+        assert!(
+            report.honest_range() < initial.1 - initial.0,
+            "range contracted: {} vs {}",
+            report.honest_range(),
+            initial.1 - initial.0
+        );
+        for &v in &report.honest_states() {
+            assert!((0.0..=96.0).contains(&v), "validity violated: {v}");
+        }
+    }
+}

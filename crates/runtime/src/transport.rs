@@ -1,0 +1,141 @@
+//! The message-delivery abstraction under the multiplexed deployment.
+//!
+//! The scheduler does not talk to mailboxes directly when sending: every
+//! outbound message goes through a [`Transport`], which decides how it
+//! reaches the receiver's [`Mailboxes`] cell. In-process deployments use
+//! [`LocalTransport`], which deposits immediately; a networked transport
+//! would serialize, ship, and deposit on the receiving host instead. The
+//! scheduler is written against the trait, so swapping the transport does
+//! not touch protocol logic.
+//!
+//! # Wire framing (for remote transports)
+//!
+//! A [`WireMessage`] is deliberately POD so a byte-level framing is fully
+//! specified here even though this crate only ships the local transport:
+//!
+//! * one message = 16 bytes, little-endian: `[u32 slot][u32 round][f64
+//!   value]`, where `slot` is the *receiver-side* CSR in-edge index of the
+//!   edge (sender identity is implied by the slot — the topology is shared
+//!   config on both ends);
+//! * messages are batched per tick: a frame is `[u32 count]` followed by
+//!   `count` messages, length-prefixing the batch so a TCP stream can be
+//!   parsed without lookahead;
+//! * flow control is credit-based with exactly the mailbox `window`: a
+//!   sender may have at most `window` unacknowledged rounds outstanding per
+//!   edge. Consuming a round returns its credit. A conforming transport
+//!   therefore never triggers [`RuntimeError::MailboxOverflow`]; the error
+//!   exists to fail fast on a non-conforming (or buggy) peer instead of
+//!   silently overwriting protocol messages.
+
+use crate::error::RuntimeError;
+use crate::mailbox::Mailboxes;
+
+/// One protocol message as it crosses the transport: the round it belongs
+/// to and the (possibly Byzantine) value.
+///
+/// The edge it travels on is addressed separately by its CSR slot, mirroring
+/// the paper's authenticated point-to-point links: a receiver always knows
+/// which in-edge (hence which sender) a value arrived on, and a faulty node
+/// can lie about the value but not about the link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireMessage {
+    /// Protocol round (1-based; round tags are transport metadata modelling
+    /// the synchronous network, exactly as in the threaded runtime).
+    pub round: u32,
+    /// The state (honest sender) or lie (Byzantine sender) on this edge.
+    pub value: f64,
+}
+
+/// Delivers messages from the scheduler's send phase into mailboxes.
+///
+/// Implementations may buffer in `send` and move bytes in `flush` (a
+/// batching TCP transport would), or deposit eagerly and make `flush` a
+/// no-op (the local transport does). The scheduler calls `send` once per
+/// out-edge per sender round and `flush` once per tick, after all sends.
+pub trait Transport: std::fmt::Debug {
+    /// Routes `msg` along edge `slot` toward the receiver's mailbox.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::MailboxOverflow`] if delivery finds the edge's
+    /// buffer still occupied (credit violation); transports with deferred
+    /// delivery may instead surface it from [`Transport::flush`].
+    fn send(
+        &mut self,
+        slot: u32,
+        msg: WireMessage,
+        mailboxes: &mut Mailboxes,
+    ) -> Result<(), RuntimeError>;
+
+    /// Completes delivery of everything buffered by `send` this tick.
+    fn flush(&mut self, mailboxes: &mut Mailboxes) -> Result<(), RuntimeError>;
+}
+
+/// In-process transport: `send` deposits directly into the mailbox cell,
+/// `flush` is a no-op. Zero copies, zero buffering — the multiplexed
+/// deployment's default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalTransport;
+
+impl Transport for LocalTransport {
+    fn send(
+        &mut self,
+        slot: u32,
+        msg: WireMessage,
+        mailboxes: &mut Mailboxes,
+    ) -> Result<(), RuntimeError> {
+        mailboxes.deposit(slot, msg)
+    }
+
+    fn flush(&mut self, _mailboxes: &mut Mailboxes) -> Result<(), RuntimeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iabc_graph::{generators, CompiledTopology, NodeSet};
+
+    #[test]
+    fn local_transport_deposits_immediately() {
+        let t = CompiledTopology::compile(&generators::cycle(3), &NodeSet::with_universe(3));
+        let mut mb = Mailboxes::new(&t, 2);
+        let mut tx = LocalTransport;
+        let slot = t.in_offset(1) as u32;
+        tx.send(
+            slot,
+            WireMessage {
+                round: 1,
+                value: 4.25,
+            },
+            &mut mb,
+        )
+        .unwrap();
+        // Visible before flush: delivery is eager.
+        assert_eq!(mb.arrived(1, 1), 1);
+        assert_eq!(mb.value(slot as usize, 1), 4.25);
+        tx.flush(&mut mb).unwrap();
+        assert_eq!(mb.arrived(1, 1), 1, "flush is a no-op");
+    }
+
+    #[test]
+    fn local_transport_propagates_overflow() {
+        let t = CompiledTopology::compile(&generators::cycle(3), &NodeSet::with_universe(3));
+        let mut mb = Mailboxes::new(&t, 1);
+        let mut tx = LocalTransport;
+        let msg = WireMessage {
+            round: 1,
+            value: 0.0,
+        };
+        tx.send(0, msg, &mut mb).unwrap();
+        let overflow = WireMessage {
+            round: 2,
+            value: 0.0,
+        };
+        assert!(matches!(
+            tx.send(0, overflow, &mut mb),
+            Err(RuntimeError::MailboxOverflow { slot: 0, round: 2 })
+        ));
+    }
+}

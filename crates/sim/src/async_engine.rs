@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::error::SimError;
-use crate::plan::{fill_plan, PlannedEdge, PlannedMessage, RoundPlan, RoundSlots};
+use crate::plan::{fill_plan, PlannedEdge, PlannedMessage, RoundPlan};
 use crate::run::{honest_range_of, Engine, Outcome, RunConfig, StepStatus};
 
 /// Chooses per-message delays for the partially asynchronous model.
@@ -497,6 +497,19 @@ impl Engine for DelayBoundedSim<'_> {
 ///
 /// With `|N⁻_i| = 3f` the survivor set is empty and states freeze — the
 /// engine exposes exactly the §7 threshold (`|N⁻_i| ≥ 3f + 1`).
+///
+/// # Parallel rounds
+///
+/// Withholding is *static* — which messages are dropped depends only on
+/// topology and `f` — so once the adversary's round plan is filled, each
+/// honest node's update is a pure function of `(states, plan)`. The
+/// per-node plan cursor that the old serial sweep threaded through the
+/// loop is precomputed as a prefix sum (`plan_base`), which makes every
+/// node's update independent:
+/// [`WithholdingSim::with_jobs`] fans the update loop (and the plan fill,
+/// for adversaries with a `Sync` planning tier) across a persistent
+/// [`iabc_exec::Executor`], bit-for-bit identical to serial execution for
+/// any job count.
 #[derive(Debug)]
 pub struct WithholdingSim<'a> {
     graph: &'a Digraph,
@@ -506,13 +519,25 @@ pub struct WithholdingSim<'a> {
     adversary: Box<dyn Adversary>,
     states: Vec<f64>,
     next: Vec<f64>,
-    received: Vec<f64>,
     round: usize,
     /// The faulty edges that actually deliver (per honest receiver, the
     /// faulty in-neighbours *beyond* the first `f` withheld ones) — the
     /// withheld set depends only on topology and `f`, so this is static.
     planned_edges: Vec<PlannedEdge>,
+    /// Where node `i`'s delivered faulty edges start in `planned_edges`
+    /// (prefix sum over receivers) — replaces the serial sweep's running
+    /// cursor so nodes can update in any order.
+    plan_base: Vec<u32>,
+    /// Whether *any* honest node has in-degree `> 3f`. Survivor membership
+    /// is static (see type docs), so "this configuration is frozen" is a
+    /// constructor-time fact, not a per-round discovery.
+    has_survivors: bool,
     plan: RoundPlan,
+    /// The persistent worker pool for the update phase (serial when
+    /// `jobs() == 1`).
+    exec: Executor,
+    /// Recycled per-participant receive buffers.
+    scratch_pool: ScratchPool<Vec<f64>>,
 }
 
 impl<'a> WithholdingSim<'a> {
@@ -548,15 +573,20 @@ impl<'a> WithholdingSim<'a> {
             return Err(SimError::NonFiniteInput { node, value });
         }
         let compiled = CompiledTopology::compile(graph, &fault_set);
-        let received = Vec::with_capacity(compiled.max_in_degree());
         // Enumerate the faulty edges that deliver each round, in the
         // update loop's query order (receiver-major, senders ascending,
-        // first f faulty in-neighbours withheld).
+        // first f faulty in-neighbours withheld), recording each node's
+        // cursor start and whether any survivor set is ever non-empty —
+        // all static facts of (topology, f).
         let mut planned_edges = Vec::new();
-        for i in 0..n {
+        let mut plan_base = vec![0u32; n];
+        let mut has_survivors = false;
+        for (i, base) in plan_base.iter_mut().enumerate() {
+            *base = planned_edges.len() as u32;
             if compiled.is_faulty(i) {
                 continue;
             }
+            has_survivors |= compiled.in_degree(i) > 3 * f;
             let mut withheld = 0usize;
             for &j in compiled.in_neighbors_of(i) {
                 if !compiled.is_faulty(j as usize) {
@@ -581,11 +611,41 @@ impl<'a> WithholdingSim<'a> {
             adversary,
             states: inputs.to_vec(),
             next: inputs.to_vec(),
-            received,
             round: 0,
             planned_edges,
+            plan_base,
+            has_survivors,
             plan: RoundPlan::new(),
+            exec: Executor::serial(),
+            scratch_pool: ScratchPool::new(),
         })
+    }
+
+    /// Retains a pool of `jobs` workers (`0` = all available cores) that
+    /// every round's update loop — and, for adversaries with a `Sync`
+    /// planning tier, the plan fill — is fanned across. Threads spawn
+    /// here, once, not per round. Bit-for-bit identical to serial
+    /// execution for any value.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// In-place form of [`WithholdingSim::with_jobs`].
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.exec = Executor::new(jobs);
+    }
+
+    /// Worker threads used by the update phase.
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
+    }
+
+    /// The engine's worker pool (regression tests assert its threads are
+    /// spawned once per run, never per round).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Current states.
@@ -632,62 +692,43 @@ impl<'a> WithholdingSim<'a> {
         // Phase 1: plan the non-withheld faulty messages. Omission is the
         // scheduler's power here, not the adversary's (a planned Omit is
         // treated as the receiver's own state, like the synchronous
-        // missing-message convention), so the slots disallow it.
-        self.plan.begin(self.planned_edges.len());
-        self.adversary.plan_round(
+        // missing-message convention), so the slots disallow it. The slot
+        // space is dense (slot == list index), so the plan's slot table
+        // doubles as its own dense edge table for the parallel tier.
+        fill_plan(
+            self.adversary.as_mut(),
             &view,
-            RoundSlots::new(&self.planned_edges, false),
+            &self.planned_edges,
+            &self.planned_edges,
+            false,
             &mut self.plan,
+            &self.exec,
         );
-        let mut any_survivors = false;
-        let mut cursor = 0u32;
-        for i in 0..self.compiled.node_count() {
-            if self.compiled.is_faulty(i) {
-                continue;
-            }
-            // Withhold: drop messages from up to f faulty in-neighbours;
-            // the rest read off the plan in fill order.
-            self.received.clear();
-            let mut withheld = 0usize;
-            for &j in self.compiled.in_neighbors_of(i) {
-                let j = j as usize;
-                if self.compiled.is_faulty(j) {
-                    if withheld < self.f {
-                        withheld += 1;
-                        continue;
-                    }
-                    let raw = match self.plan.get(cursor) {
-                        PlannedMessage::Value(v) => v,
-                        PlannedMessage::Omit => view.states[i],
-                    };
-                    cursor += 1;
-                    self.received.push(crate::engine::sanitize(raw));
-                } else {
-                    self.received.push(crate::engine::sanitize(view.states[j]));
-                }
-            }
-            // Pessimism: if fewer than f faulty in-neighbours exist, the
-            // scheduler can still delay honest messages; drop the remainder
-            // from the *largest-id* honest senders to keep determinism.
-            while withheld < self.f && !self.received.is_empty() {
-                self.received.pop();
-                withheld += 1;
-            }
-            if self.received.len() < 2 * self.f {
-                return Err(SimError::Rule {
-                    node: i,
-                    round: self.round,
-                    source: iabc_core::RuleError::InsufficientValues {
-                        needed: 2 * self.f,
-                        got: self.received.len(),
-                    },
-                });
-            }
-            any_survivors |= self.received.len() > 2 * self.f;
-            self.next[i] = trim_kernel(view.states[i], &mut self.received, self.f);
-        }
+        // Phase 2: once the plan is frozen, each node's update is a pure
+        // function of `(states, plan)` — its plan cursor starts at the
+        // precomputed `plan_base[i]` instead of wherever the previous
+        // node's sweep left off, so the loop fans across the pool.
+        let (compiled, plan, plan_base, states, f, round) = (
+            &self.compiled,
+            &self.plan,
+            &self.plan_base,
+            &self.states,
+            self.f,
+            self.round,
+        );
+        let pool = &self.scratch_pool;
+        self.exec.run_chunked(
+            &mut self.next,
+            Chunking::Auto(iabc_exec::MIN_CHUNK),
+            || pool.take(|| Vec::with_capacity(compiled.max_in_degree())),
+            |i, out, received| {
+                withholding_update_node(
+                    compiled, plan, plan_base, states, f, round, i, out, received,
+                )
+            },
+        )?;
         std::mem::swap(&mut self.states, &mut self.next);
-        Ok(if any_survivors {
+        Ok(if self.has_survivors {
             StepStatus::Progressed
         } else {
             StepStatus::Halted
@@ -706,6 +747,70 @@ impl<'a> WithholdingSim<'a> {
     pub fn run(&mut self, config: &RunConfig) -> Result<Outcome, SimError> {
         Engine::run(self, config)
     }
+}
+
+/// The withholding update phase's per-node body, shared by the serial and
+/// pooled loops: withhold the first `f` faulty in-neighbours, read the
+/// delivered faulty values off the plan starting at `plan_base[i]`, apply
+/// pessimism pops, then the shared trim kernel. A pure function of
+/// `(states, plan)`, which is what makes serial and pooled rounds
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn withholding_update_node(
+    compiled: &CompiledTopology,
+    plan: &RoundPlan,
+    plan_base: &[u32],
+    states: &[f64],
+    f: usize,
+    round: usize,
+    i: usize,
+    out: &mut f64,
+    received: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    if compiled.is_faulty(i) {
+        return Ok(());
+    }
+    // Withhold: drop messages from up to f faulty in-neighbours; the rest
+    // read off the plan in fill order from this node's cursor start.
+    received.clear();
+    let mut cursor = plan_base[i];
+    let mut withheld = 0usize;
+    for &j in compiled.in_neighbors_of(i) {
+        let j = j as usize;
+        if compiled.is_faulty(j) {
+            if withheld < f {
+                withheld += 1;
+                continue;
+            }
+            let raw = match plan.get(cursor) {
+                PlannedMessage::Value(v) => v,
+                PlannedMessage::Omit => states[i],
+            };
+            cursor += 1;
+            received.push(crate::engine::sanitize(raw));
+        } else {
+            received.push(crate::engine::sanitize(states[j]));
+        }
+    }
+    // Pessimism: if fewer than f faulty in-neighbours exist, the scheduler
+    // can still delay honest messages; drop the remainder from the
+    // *largest-id* honest senders to keep determinism.
+    while withheld < f && !received.is_empty() {
+        received.pop();
+        withheld += 1;
+    }
+    if received.len() < 2 * f {
+        return Err(SimError::Rule {
+            node: i,
+            round,
+            source: iabc_core::RuleError::InsufficientValues {
+                needed: 2 * f,
+                got: received.len(),
+            },
+        });
+    }
+    *out = trim_kernel(states[i], received, f);
+    Ok(())
 }
 
 impl Engine for WithholdingSim<'_> {

@@ -26,7 +26,7 @@
 //!   the totally-asynchronous withholding engine halts when every honest
 //!   node's survivor set is empty (`|N⁻_i| = 3f`, §7).
 
-use iabc_graph::{NodeId, NodeSet};
+use iabc_graph::NodeSet;
 
 use crate::error::SimError;
 use crate::trace::{Trace, ValidityReport};
@@ -120,15 +120,12 @@ pub struct Outcome {
 }
 
 /// The fault-free range `U − µ` of a state vector (shared by every
-/// engine's `honest_range`).
+/// engine's `honest_range`). One thin wrapper over the workspace-wide
+/// extremes scan [`iabc_core::rules::honest_extremes`] — the deployment
+/// report and the trace recorder read the same definition, so the
+/// runtime's notion of convergence cannot drift from the engines'.
 pub(crate) fn honest_range_of(states: &[f64], fault_set: &NodeSet) -> f64 {
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for (i, &v) in states.iter().enumerate() {
-        if !fault_set.contains(NodeId::new(i)) {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-    }
+    let (lo, hi) = iabc_core::rules::honest_extremes(states, fault_set);
     hi - lo
 }
 

@@ -7,7 +7,7 @@
 //! full state vectors) and [`Trace::validity`] audits Equation 1 after the
 //! fact.
 
-use iabc_graph::{NodeId, NodeSet};
+use iabc_graph::NodeSet;
 use serde::{Deserialize, Serialize};
 
 /// Per-round snapshot of the fault-free extremes (and optionally all states).
@@ -84,19 +84,7 @@ impl Trace {
     /// Panics if there are no fault-free nodes or any fault-free state is
     /// non-finite (engine invariant).
     pub fn push(&mut self, round: usize, states: &[f64], fault_set: &NodeSet) -> (f64, f64) {
-        let mut max = f64::NEG_INFINITY;
-        let mut min = f64::INFINITY;
-        for (i, &v) in states.iter().enumerate() {
-            if fault_set.contains(NodeId::new(i)) {
-                continue;
-            }
-            assert!(
-                v.is_finite(),
-                "fault-free state {v} at node {i} is not finite"
-            );
-            max = max.max(v);
-            min = min.min(v);
-        }
+        let (min, max) = iabc_core::rules::honest_extremes(states, fault_set);
         assert!(max.is_finite(), "no fault-free nodes in simulation");
         self.records.push(RoundRecord {
             round,

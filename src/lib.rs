@@ -23,9 +23,12 @@
 //!   harness ([`iabc_analysis`]);
 //! * [`baselines`] — the Dolev et al. full-exchange rules and W-MSR, for
 //!   head-to-head comparisons ([`iabc_baselines`]);
-//! * [`runtime`] — the protocol as a real threaded deployment: one thread
-//!   per node, one channel per edge, validated bit-for-bit against the
-//!   deterministic engine ([`iabc_runtime`]).
+//! * [`runtime`] — the protocol as a real deployment, in two tiers: the
+//!   threaded reference (one thread per node, one channel per edge) and
+//!   the multiplexed scale tier (mailboxes + tick scheduler on the shared
+//!   pool behind a `Transport` trait, hosting 10⁶ nodes on `jobs`
+//!   threads), both validated bit-for-bit against the deterministic
+//!   engine ([`iabc_runtime`]).
 //!
 //! # Quick start
 //!

@@ -5,9 +5,10 @@
 //! validity verdict. Covers the synchronous, model-aware, and dynamic
 //! engines (including the dynamic engine's in-place CSR rebuild path,
 //! where the per-round plan slots are re-derived), the delay-bounded
-//! engine's pooled update phase under every scheduler family, and the
-//! `Sync` planning tier (pooled plan fill vs serial `plan_round` across
-//! all 12 adversary families).
+//! engine's pooled update phase under every scheduler family, the
+//! withholding engine's prefix-summed plan cursors, and the `Sync`
+//! planning tier (pooled plan fill vs serial `plan_round` across all 12
+//! adversary families).
 //!
 //! The contract under test is the one the two-phase protocol was built
 //! for: the adversary's `&mut` work runs serially once per round (all
@@ -27,7 +28,7 @@ use iabc::sim::adversary::{
 };
 use iabc::sim::async_engine::{
     DelayBoundedSim, ImmediateScheduler, MaxDelayScheduler, RandomScheduler, Scheduler,
-    TargetedScheduler,
+    TargetedScheduler, WithholdingSim,
 };
 use iabc::sim::dynamic::{DynamicSimulation, RoundRobinSchedule};
 use iabc::sim::model_engine::ModelSimulation;
@@ -248,6 +249,45 @@ proptest! {
             prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
         }
     }
+
+    /// Withholding engine: the prefix-summed plan cursors must make the
+    /// pooled update loop indistinguishable from the old serial sweep —
+    /// serial vs every tested job count, for every adversary family.
+    /// The in-degree floor of `3f + 1` keeps the trim total after the
+    /// adversary withholds `f` messages per node.
+    #[test]
+    fn withholding_runs_are_bit_identical_across_job_counts(
+        n in 8usize..16,
+        f in 0usize..3,
+        density in 0u8..3,
+        adv_id in 0u8..12,
+        seed in 0u64..10_000,
+    ) {
+        let f = f.min((n - 1) / 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = random_graph_with_floor(n, 3 * f + 1, [0.3, 0.6, 0.9][density as usize], &mut rng);
+        let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(-100.0..100.0)).collect();
+        let mut faults = NodeSet::with_universe(n);
+        while faults.len() < f {
+            faults.insert(NodeId::new(rng.random_range(0..n)));
+        }
+        let build = |jobs: usize| {
+            WithholdingSim::new(
+                &graph,
+                &inputs,
+                faults.clone(),
+                f,
+                adversary_from_id(adv_id, n, seed),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in JOB_COUNTS {
+            let parallel = fingerprint(build(jobs));
+            prop_assert_eq!(&serial, &parallel, "jobs = {} diverged", jobs);
+        }
+    }
 }
 
 /// The `Scenario::parallel` knob reaches the engine: a parallel-built
@@ -354,6 +394,51 @@ fn delay_bounded_pooled_update_is_bit_identical_at_scale() {
                 serial, pooled,
                 "family {adv_id}: jobs = {jobs} diverged from serial"
             );
+        }
+    }
+}
+
+/// Same, for the withholding engine at a size where the pooled update
+/// phase genuinely crosses threads. The pool also pins the executor
+/// contract: threads spawn at configuration, never per round.
+#[test]
+fn withholding_pooled_update_is_bit_identical_at_scale() {
+    let n = 150;
+    let f = 3;
+    let mut rng = StdRng::seed_from_u64(0xA57A);
+    let graph = random_graph_with_floor(n, 3 * f + 1, 0.3, &mut rng);
+    let inputs: Vec<f64> = (0..n).map(|_| rng.random_range(-50.0..50.0)).collect();
+    let faults = NodeSet::from_indices(n, [12, 70, 133]);
+    for adv_id in 0u8..12 {
+        let build = |jobs: usize| {
+            WithholdingSim::new(
+                &graph,
+                &inputs,
+                faults.clone(),
+                f,
+                adversary_from_id(adv_id, n, 0xB0A7),
+            )
+            .unwrap()
+            .with_jobs(jobs)
+        };
+        let serial = fingerprint(build(1));
+        for jobs in [2usize, 4, 7] {
+            let mut sim = build(jobs);
+            let pool_id = sim.executor().id();
+            assert_eq!(sim.executor().threads_spawned(), jobs - 1);
+            let out = sim.run(&RunConfig::bounded(1e-9, 40)).unwrap();
+            let bits: Vec<u64> = sim.states().iter().map(|v| v.to_bits()).collect();
+            let pooled = (out.rounds, out.converged, out.validity.is_valid(), bits);
+            assert_eq!(
+                serial, pooled,
+                "family {adv_id}: jobs = {jobs} diverged from serial"
+            );
+            assert_eq!(
+                sim.executor().id(),
+                pool_id,
+                "family {adv_id}: pool rebuilt mid-run"
+            );
+            assert_eq!(sim.executor().threads_spawned(), jobs - 1);
         }
     }
 }
