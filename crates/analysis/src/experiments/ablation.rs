@@ -105,8 +105,8 @@ pub fn e12_ablation() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E12",
-        title: "Ablation: trimming is load-bearing; rule variants trade alpha for speed",
+        id: "E12".into(),
+        title: "Ablation: trimming is load-bearing; rule variants trade alpha for speed".into(),
         notes: vec![
             "workload: K7, f = 2, honest inputs in [0, 4], faulty nodes 5 and 6".into(),
             "expected: every trimmed rule converges validly; plain mean breaks validity under constant(1e9)".into(),

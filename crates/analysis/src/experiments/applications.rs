@@ -47,8 +47,8 @@ pub fn e6_core_network() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E6",
-        title: "§6.1 core networks satisfy Theorem 1 (with edge-criticality probe at n = 3f+1)",
+        id: "E6".into(),
+        title: "§6.1 core networks satisfy Theorem 1 (with edge-criticality probe at n = 3f+1)".into(),
         notes: vec![
             "paper conjectures n = 3f+1 core networks are edge-minimal; the probe reports how many edges are individually critical".into(),
         ],
@@ -119,8 +119,9 @@ pub fn e7_hypercube() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E7",
-        title: "§6.2 / Figure 3: hypercubes have connectivity d yet fail Theorem 1 for f = 1",
+        id: "E7".into(),
+        title: "§6.2 / Figure 3: hypercubes have connectivity d yet fail Theorem 1 for f = 1"
+            .into(),
         notes: vec![
             "Figure 3's partition {0,1,2,3} | {4,5,6,7} is the bit-2 dimension cut of the 3-cube"
                 .into(),
@@ -194,8 +195,8 @@ pub fn e8_chord() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E8",
-        title: "§6.3 chord networks: K4 trivial, (f=2, n=7) violated with the paper's witness, (f=1, n=5) satisfied",
+        id: "E8".into(),
+        title: "§6.3 chord networks: K4 trivial, (f=2, n=7) violated with the paper's witness, (f=1, n=5) satisfied".into(),
         notes: vec![
             "chord(n, 2f+1) per Definition 5; note 2f+1 in-degree alone is insufficient (the f=2, n=7 case)".into(),
         ],
@@ -269,8 +270,8 @@ pub fn e11_figures() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E11",
-        title: "Figures: witness partitions and family structure as Graphviz DOT",
+        id: "E11".into(),
+        title: "Figures: witness partitions and family structure as Graphviz DOT".into(),
         notes: vec!["render with `dot -Tpng <file>`".into()],
         artifacts,
         table,

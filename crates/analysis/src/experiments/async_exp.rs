@@ -149,8 +149,8 @@ pub fn e9_async() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E9",
-        title: "§7 asynchronous: 2f+1 threshold, n > 5f, |N-| >= 3f+1; bounded-delay and withholding executions",
+        id: "E9".into(),
+        title: "§7 asynchronous: 2f+1 threshold, n > 5f, |N-| >= 3f+1; bounded-delay and withholding executions".into(),
         notes: vec![
             "delay-bounded model: per-message delay < B, freshest-value mailboxes (Bertsekas-Tsitsiklis partial asynchrony)".into(),
             "withholding model: adversary silences up to f in-neighbours per node per round; node trims f low + f high of the rest".into(),

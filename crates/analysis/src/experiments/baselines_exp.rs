@@ -132,8 +132,8 @@ pub fn x5_baselines() -> ExperimentResult {
     );
 
     ExperimentResult {
-        id: "X5",
-        title: "Baseline faceoff: Algorithm 1 vs Dolev [5] vs W-MSR [11]",
+        id: "X5".into(),
+        title: "Baseline faceoff: Algorithm 1 vs Dolev [5] vs W-MSR [11]".into(),
         notes,
         artifacts: Vec::new(),
         table,

@@ -62,8 +62,8 @@ pub fn x8_census() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X8",
-        title: "Exhaustive census of all labeled digraphs (n <= 4) vs the corollaries",
+        id: "X8".into(),
+        title: "Exhaustive census of all labeled digraphs (n <= 4) vs the corollaries".into(),
         notes,
         artifacts: Vec::new(),
         table,

@@ -171,8 +171,8 @@ pub fn x4_condition_zoo() -> ExperimentResult {
     ));
 
     ExperimentResult {
-        id: "X4",
-        title: "Condition zoo: Theorem 1 vs robustness hierarchy vs connectivity",
+        id: "X4".into(),
+        title: "Condition zoo: Theorem 1 vs robustness hierarchy vs connectivity".into(),
         notes,
         artifacts: Vec::new(),
         table,

@@ -106,8 +106,8 @@ pub fn x7_construction() -> ExperimentResult {
     ]);
 
     ExperimentResult {
-        id: "X7",
-        title: "Growth preserves Theorem 1; §6.1 minimality conjecture probes",
+        id: "X7".into(),
+        title: "Growth preserves Theorem 1; §6.1 minimality conjecture probes".into(),
         notes,
         artifacts: Vec::new(),
         table,

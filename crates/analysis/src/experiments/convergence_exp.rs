@@ -117,8 +117,8 @@ pub fn e3_convergence() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E3",
-        title: "Theorem 3 convergence: rounds to eps on satisfying graphs",
+        id: "E3".into(),
+        title: "Theorem 3 convergence: rounds to eps on satisfying graphs".into(),
         notes: vec![
             format!("epsilon = {EPSILON}, cap {MAX_ROUNDS} rounds; inputs spread over [0, 10)"),
             "pull adversary reports the honest minimum on every edge (stealthy worst case)".into(),

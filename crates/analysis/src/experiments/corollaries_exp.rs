@@ -62,8 +62,8 @@ pub fn e4_corollary2() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E4",
-        title: "Corollary 2: n must exceed 3f (complete graph = hardest case)",
+        id: "E4".into(),
+        title: "Corollary 2: n must exceed 3f (complete graph = hardest case)".into(),
         notes: vec!["monotonicity: K_n violated implies every n-node graph violated".into()],
         artifacts: Vec::new(),
         table,
@@ -154,8 +154,8 @@ pub fn e5_corollary3() -> ExperimentResult {
     let _ = Threshold::asynchronous(f); // threshold used via async_condition
 
     ExperimentResult {
-        id: "E5",
-        title: "Corollary 3: every node needs at least 2f+1 in-neighbours",
+        id: "E5".into(),
+        title: "Corollary 3: every node needs at least 2f+1 in-neighbours".into(),
         notes: vec![
             "witness shape matches the proof: L = {deficient node}, F hides half its in-neighbours"
                 .into(),

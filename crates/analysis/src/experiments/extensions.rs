@@ -128,8 +128,8 @@ pub fn x1_local_fault_model() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X1",
-        title: "f-local fault model: local condition >= total condition; large admissible fault sets execute",
+        id: "X1".into(),
+        title: "f-local fault model: local condition >= total condition; large admissible fault sets execute".into(),
         notes: vec![
             "local condition quantifies Theorem 1 over all f-local fault sets (any size)".into(),
         ],
@@ -222,9 +222,10 @@ pub fn x2_matrix_representation() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X2",
+        id: "X2".into(),
         title:
-            "Matrix representation: per-round tau(M[t]) bounds the contraction (sharpens Lemma 5)",
+            "Matrix representation: per-round tau(M[t]) bounds the contraction (sharpens Lemma 5)"
+                .into(),
         notes: vec![
             "each round of Algorithm 1 rewritten as a row-stochastic matrix over honest states"
                 .into(),
@@ -340,9 +341,10 @@ pub fn x3_model_comparison() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X3",
+        id: "X3".into(),
         title:
-            "Model comparison: broadcast restriction weakens the attack; omission/crash absorbed",
+            "Model comparison: broadcast restriction weakens the attack; omission/crash absorbed"
+                .into(),
         notes: vec![
             "broadcast wrapper caches one value per (round, sender) — the [16]/[17] model".into(),
             "missing synchronous messages are substituted with the receiver's own state".into(),

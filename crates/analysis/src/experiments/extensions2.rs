@@ -199,8 +199,8 @@ pub fn x10_fault_models() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X10",
-        title: "Generalized fault models: adversary structures and the condition",
+        id: "X10".into(),
+        title: "Generalized fault models: adversary structures and the condition".into(),
         table,
         notes,
         artifacts: Vec::new(),
@@ -378,8 +378,8 @@ pub fn x11_dynamic_topology() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X11",
-        title: "Time-varying topologies: validity per round, convergence per dwell",
+        id: "X11".into(),
+        title: "Time-varying topologies: validity per round, convergence per dwell".into(),
         table,
         notes: vec![
             "Validity needs only in-degree ≥ 2f in each round's graph; convergence is \
@@ -443,8 +443,9 @@ pub fn x12_quantized() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X12",
-        title: "Quantized Algorithm 1: exact validity, convergence to the quantization floor",
+        id: "X12".into(),
+        title: "Quantized Algorithm 1: exact validity, convergence to the quantization floor"
+            .into(),
         table,
         notes: vec![
             "States live on the lattice k·quantum; rounding inside the survivor hull keeps \
@@ -535,8 +536,8 @@ pub fn x13_vector() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X13",
-        title: "Vector states: box-hull validity holds, convex-hull validity does not",
+        id: "X13".into(),
+        title: "Vector states: box-hull validity holds, convex-hull validity does not".into(),
         table,
         notes: vec![
             "Coordinate-wise lifting inherits the scalar guarantees per axis; the off-hull row \

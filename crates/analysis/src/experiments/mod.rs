@@ -64,10 +64,11 @@ use crate::table::Table;
 /// file artifacts (e.g. DOT figures), and an overall verdict.
 #[derive(Debug)]
 pub struct ExperimentResult {
-    /// Stable identifier (`"E1"`, ...).
-    pub id: &'static str,
+    /// Stable identifier (`"E1"`, ...). Owned so results can round-trip
+    /// through the serving tier's content-addressed store.
+    pub id: String,
     /// One-line description tying the experiment to the paper artifact.
-    pub title: &'static str,
+    pub title: String,
     /// The regenerated rows.
     pub table: Table,
     /// Additional context (parameters, caveats).
@@ -137,7 +138,7 @@ mod tests {
     #[test]
     fn experiment_ids_are_unique_and_ordered() {
         let results = run_all();
-        let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(
             ids,
             vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
@@ -157,7 +158,8 @@ mod tests {
 
     #[test]
     fn extension_ids_are_x_prefixed() {
-        let ids: Vec<&str> = run_extensions().iter().map(|r| r.id).collect();
+        let results = run_extensions();
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(
             ids,
             vec!["X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13"]

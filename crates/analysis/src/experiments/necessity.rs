@@ -103,8 +103,8 @@ pub fn e1_necessity() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E1",
-        title: "Theorem 1 necessity: the proof adversary freezes every violating graph",
+        id: "E1".into(),
+        title: "Theorem 1 necessity: the proof adversary freezes every violating graph".into(),
         notes: vec![
             format!(
                 "inputs: L = {M_LOW}, R = {M_HIGH}, C = mid; adversary sends m− / M+ / mid per the proof"

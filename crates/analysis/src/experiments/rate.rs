@@ -119,8 +119,8 @@ pub fn e10_rate() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E10",
-        title: "Lemma 5: measured per-phase contraction never exceeds (1 - alpha^l / 2)",
+        id: "E10".into(),
+        title: "Lemma 5: measured per-phase contraction never exceeds (1 - alpha^l / 2)".into(),
         notes: vec![
             "phases re-enact the Theorem 3 proof: half-range split, l(s) = propagation length"
                 .into(),

@@ -159,8 +159,8 @@ pub fn x6_scaling() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "X6",
-        title: "Scaling: measured rounds-to-ε vs the Lemma 5 worst-case bound",
+        id: "X6".into(),
+        title: "Scaling: measured rounds-to-ε vs the Lemma 5 worst-case bound".into(),
         notes,
         artifacts,
         table,

@@ -99,8 +99,8 @@ pub fn x9_adversary_tournament() -> ExperimentResult {
     );
 
     ExperimentResult {
-        id: "X9",
-        title: "Adversary tournament: no strategy stops Algorithm 1 on satisfying graphs",
+        id: "X9".into(),
+        title: "Adversary tournament: no strategy stops Algorithm 1 on satisfying graphs".into(),
         notes,
         artifacts: Vec::new(),
         table,

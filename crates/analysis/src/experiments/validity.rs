@@ -105,8 +105,8 @@ pub fn e2_validity() -> ExperimentResult {
     }
 
     ExperimentResult {
-        id: "E2",
-        title: "Theorem 2 validity: U non-increasing, mu non-decreasing under every adversary",
+        id: "E2".into(),
+        title: "Theorem 2 validity: U non-increasing, mu non-decreasing under every adversary".into(),
         notes: vec![
             "adversary roster: conforming, constant(+100), random, extremes, pull-low, pull-high, nan-bomb, crash, broadcast-extremes".into(),
             format!("each run capped at {MAX_ROUNDS} rounds; audit tolerance 1e-9"),

@@ -41,7 +41,7 @@
 use std::num::NonZeroUsize;
 
 use iabc_core::theorem1;
-use iabc_exec::{Chunking, Executor};
+use iabc_exec::{process_executor, Chunking};
 use iabc_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,14 +81,12 @@ impl CellCoords {
         format!("{}[{}]", self.grid, coords.join(","))
     }
 
-    /// The cell's deterministic RNG seed: FNV-1a over [`Self::label`].
+    /// The cell's deterministic RNG seed: FNV-1a over [`Self::label`],
+    /// via the workspace's canonical [`fingerprint`] module.
+    ///
+    /// [`fingerprint`]: iabc_graph::fingerprint
     pub fn seed(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.label().as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        iabc_graph::fingerprint::bytes(self.label().as_bytes())
     }
 }
 
@@ -149,16 +147,16 @@ fn available_cores() -> usize {
 
 /// Runs every cell and returns outcomes **in grid order**, regardless of
 /// `jobs`. `jobs == 0` uses all available cores; `jobs <= 1` runs serially
-/// on the calling thread. The worker pool is created once for the whole
-/// sweep and each cell is written to its own output slot, so no merge
-/// sort is needed — the output slice *is* the grid order.
+/// on the calling thread with no pool involved. Parallel sweeps dispatch on
+/// the **process-level shared pool** ([`iabc_exec::process_executor`]) —
+/// the same pool the serve daemon and `iabc deploy` use — so concurrent
+/// sweeps cannot oversubscribe the host; each cell is written to its own
+/// output slot, so no merge sort is needed: the output slice *is* the grid
+/// order.
 pub fn run_cells<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<SweepOutcome<T>> {
     let jobs = if jobs == 0 { available_cores() } else { jobs };
-    let exec = Executor::new(jobs.min(cells.len()).max(1));
     let mut outcomes: Vec<Option<SweepOutcome<T>>> = (0..cells.len()).map(|_| None).collect();
-    // Exactly one cell per chunk: a census cell can cost 10⁶× a trivial
-    // one, so every cell must be individually stealable.
-    exec.for_each(&mut outcomes, Chunking::Exact(1), |idx, slot| {
+    let fill = |idx: usize, slot: &mut Option<SweepOutcome<T>>| {
         let cell = &cells[idx];
         let seed = cell.coords.seed();
         *slot = Some(SweepOutcome {
@@ -166,11 +164,75 @@ pub fn run_cells<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<Swee
             seed,
             value: (cell.run)(seed),
         });
-    });
+    };
+    if jobs <= 1 || cells.len() <= 1 {
+        for (idx, slot) in outcomes.iter_mut().enumerate() {
+            fill(idx, slot);
+        }
+    } else {
+        // Exactly one cell per chunk: a census cell can cost 10⁶× a
+        // trivial one, so every cell must be individually stealable.
+        process_executor(jobs).with(|exec| {
+            exec.for_each(&mut outcomes, Chunking::Exact(1), fill);
+        });
+    }
     outcomes
         .into_iter()
         .map(|outcome| outcome.expect("every grid cell is computed exactly once"))
         .collect()
+}
+
+/// A memo consulted around each sweep cell — the in-process face of the
+/// serving tier's content-addressed store. `lookup` answers before the cell
+/// function runs; `record` is called for every miss after it computes.
+///
+/// Calls are serialized on the sweep's calling thread (the parallel pool
+/// only runs the cell functions), so implementors need no interior locking.
+pub trait CellMemo<T> {
+    /// A previously recorded value for these coordinates, if any.
+    fn lookup(&mut self, coords: &CellCoords) -> Option<T>;
+    /// Records a freshly computed value for these coordinates.
+    fn record(&mut self, coords: &CellCoords, value: &T);
+}
+
+/// [`run_cells`] with a memo in front: hits are answered without running
+/// the cell function, misses run (in parallel on the shared pool for
+/// `jobs > 1`) and are recorded. Returns outcomes in grid order plus
+/// `(hits, misses)`. Because every engine is bit-for-bit deterministic at
+/// any job count, a hit is provably identical to recomputation — the sweep
+/// output is byte-for-byte the same whether the memo was warm or cold.
+pub fn run_cells_memo<T: Send>(
+    cells: Vec<SweepCell<'_, T>>,
+    jobs: usize,
+    memo: &mut dyn CellMemo<T>,
+) -> (Vec<SweepOutcome<T>>, usize, usize) {
+    let mut slots: Vec<Option<SweepOutcome<T>>> = Vec::with_capacity(cells.len());
+    let mut misses: Vec<(usize, SweepCell<'_, T>)> = Vec::new();
+    for (idx, cell) in cells.into_iter().enumerate() {
+        match memo.lookup(&cell.coords) {
+            Some(value) => slots.push(Some(SweepOutcome {
+                seed: cell.coords.seed(),
+                coords: cell.coords,
+                value,
+            })),
+            None => {
+                slots.push(None);
+                misses.push((idx, cell));
+            }
+        }
+    }
+    let hits = slots.len() - misses.len();
+    let missed = misses.len();
+    let (indices, miss_cells): (Vec<usize>, Vec<SweepCell<'_, T>>) = misses.into_iter().unzip();
+    for (slot_idx, outcome) in indices.into_iter().zip(run_cells(miss_cells, jobs)) {
+        memo.record(&outcome.coords, &outcome.value);
+        slots[slot_idx] = Some(outcome);
+    }
+    let outcomes = slots
+        .into_iter()
+        .map(|outcome| outcome.expect("every grid cell is answered or computed"))
+        .collect();
+    (outcomes, hits, missed)
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +301,29 @@ pub fn run_experiment_sweep(
         ]);
     }
     (table, outcomes)
+}
+
+/// [`run_experiment_sweep`] with a [`CellMemo`] in front (the serving
+/// tier's in-process store fast path): warm cells are answered from the
+/// memo, cold cells run and are recorded. Returns the summary table, the
+/// outcomes, and `(hits, misses)` so callers can report the cache collapse
+/// per table.
+pub fn run_experiment_sweep_memo(
+    ids: &[String],
+    jobs: usize,
+    memo: &mut dyn CellMemo<ExperimentResult>,
+) -> (Table, Vec<SweepOutcome<ExperimentResult>>, usize, usize) {
+    let (outcomes, hits, misses) = run_cells_memo(experiment_cells(ids), jobs, memo);
+    let mut table = Table::new(["id", "title", "rows", "pass"]);
+    for outcome in &outcomes {
+        table.row([
+            outcome.value.id.to_string(),
+            outcome.value.title.to_string(),
+            outcome.value.table.len().to_string(),
+            outcome.value.pass.to_string(),
+        ]);
+    }
+    (table, outcomes, hits, misses)
 }
 
 /// Parameters for a Monte-Carlo Erdős–Rényi tolerance sweep.

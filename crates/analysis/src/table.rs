@@ -59,6 +59,11 @@ impl Table {
         &self.rows
     }
 
+    /// The column headers (the serving tier serializes tables losslessly).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// `true` when no data rows have been added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

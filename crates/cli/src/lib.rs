@@ -19,6 +19,8 @@
 //! iabc sweep experiments --parallel             # E1–E12 fanned across all cores
 //! iabc perf --quick                             # hot-path rounds/sec + BENCH_hotpath.json
 //! iabc deploy --nodes 1000000 --jobs 8          # million-node multiplexed deployment
+//! iabc serve --store runs --addr 127.0.0.1:7411 # sweep-as-a-service daemon
+//! iabc submit sweep --ids E1 --addr 127.0.0.1:7411   # cache-keyed job submission
 //! iabc sweep monte-carlo --n 6,8 --f 1 --jobs 4 # random-graph tolerance sweep
 //! iabc dot graph.txt --f 2                      # DOT, witness colour-coded
 //! ```
@@ -56,6 +58,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "replay" => commands::replay_cmd(&ParsedArgs::parse(rest)?),
         "perf" => commands::perf_cmd(&ParsedArgs::parse(rest)?),
         "deploy" => commands::deploy_cmd(&ParsedArgs::parse(rest)?),
+        "serve" => commands::serve_cmd(&ParsedArgs::parse(rest)?),
+        "submit" => commands::submit_cmd(&ParsedArgs::parse(rest)?),
+        "query" => commands::query_cmd(&ParsedArgs::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{}",
@@ -107,9 +112,11 @@ pub fn usage() -> String {
                                       emit a graph satisfying Theorem 1 by construction\n\
        dot <file> [--f N]             Graphviz DOT (witness colour-coded if violated)\n\
        repair <file> --f N            add edges until Theorem 1 holds (witness-driven)\n\
-       sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N]\n\
+       sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N] [--store DIR]\n\
                                       fan the E1..E12 harness across cores (0 = all);\n\
-                                      bit-identical output for any job count\n\
+                                      bit-identical output for any job count;\n\
+                                      --store memoizes cells through the serving\n\
+                                      tier's result store, reporting hits/misses\n\
        sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--parallel] [--jobs N]\n\
                                       random-digraph tolerance sweep, one cell per (n,f)\n\
        sweep census [--max-n 4 --f 0,1] [--parallel] [--jobs N]\n\
@@ -123,6 +130,18 @@ pub fn usage() -> String {
                                       multiplexed = all nodes on a J-thread\n\
                                       pool with mailboxes (hosts 10^6 nodes);\n\
                                       both print a bitwise state checksum\n\
+       serve --store DIR [--addr 127.0.0.1:PORT] [--jobs N] [--accept K]\n\
+                                      run the result-serving daemon: answers\n\
+                                      submit/query from the content-addressed\n\
+                                      store (append-only journal), executes\n\
+                                      misses on the shared pool; --accept K\n\
+                                      exits after K connections (CI smoke)\n\
+       submit sweep [--ids E1,..] --addr HOST:PORT\n\
+       submit scenario <file> --f N [--faulty A,B] [--rule R] [--adversary A]\n\
+              [--seed S | --inputs V,V,..] [--eps E] [--max-rounds R]\n\
+              --addr HOST:PORT        submit a job; prints cache hit/miss, the\n\
+                                      run key, and the payload bytes as hex\n\
+       query --addr HOST:PORT --key HEX   fetch a stored payload by run key\n\
        perf [--quick] [--steps S] [--jobs N] [--out BENCH_hotpath.json]\n\
                                       hot-path rounds/sec (compiled vs pre-refactor\n\
                                       reference) on complete/random/kite topologies,\n\

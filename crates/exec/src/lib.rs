@@ -60,7 +60,7 @@ use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// Minimum items per chunk for per-node engine loops — below this, queue
@@ -645,6 +645,74 @@ impl Drop for Executor {
     }
 }
 
+/// A clonable, thread-safe handle to one [`Executor`].
+///
+/// The raw `Executor` is deliberately `!Sync` — its channel feeds assume one
+/// dispatching thread at a time. `SharedExecutor` wraps it in
+/// `Arc<Mutex<..>>` so the serving tier, `iabc sweep --parallel`, and
+/// `iabc deploy` can all inherit **one** pool: concurrent dispatches
+/// serialize on the mutex (each dispatch still fans its batch across every
+/// worker), and the total worker-thread count per process stays capped at
+/// the pool size instead of multiplying per client.
+///
+/// Dispatch through [`SharedExecutor::with`]; the closure must not call
+/// back into the same `SharedExecutor` (the mutex is not reentrant).
+#[derive(Clone, Debug)]
+pub struct SharedExecutor {
+    inner: Arc<Mutex<Executor>>,
+}
+
+impl SharedExecutor {
+    /// Wraps a fresh pool of `jobs` workers (see [`Executor::new`]).
+    pub fn new(jobs: usize) -> Self {
+        Self::from_executor(Executor::new(jobs))
+    }
+
+    /// Wraps an existing pool.
+    pub fn from_executor(exec: Executor) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(exec)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the pool. Blocks while another
+    /// holder is mid-dispatch.
+    pub fn with<R>(&self, f: impl FnOnce(&Executor) -> R) -> R {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&guard)
+    }
+
+    /// The pool's worker-thread budget (`Executor::jobs`).
+    pub fn jobs(&self) -> usize {
+        self.with(Executor::jobs)
+    }
+
+    /// Worker threads this pool has spawned (see
+    /// [`Executor::threads_spawned`]).
+    pub fn threads_spawned(&self) -> usize {
+        self.with(Executor::threads_spawned)
+    }
+}
+
+/// The lazily-created process-wide pool behind [`process_executor`].
+static PROCESS_POOL: OnceLock<SharedExecutor> = OnceLock::new();
+
+/// The **one** process-level shared pool.
+///
+/// The first caller sizes it: `jobs` is resolved through
+/// [`effective_jobs`] (`0` = all cores) and the pool is created once for
+/// the process lifetime. Every later call returns a handle to the *same*
+/// pool regardless of the `jobs` it asks for — that is the point: sweeps,
+/// deployments, and the serve daemon all draw from one thread budget, so
+/// concurrent jobs cannot oversubscribe the host. Callers that truly need
+/// a private pool (tests pinning spawn counts) construct [`Executor::new`]
+/// directly.
+pub fn process_executor(jobs: usize) -> SharedExecutor {
+    PROCESS_POOL
+        .get_or_init(|| SharedExecutor::new(effective_jobs(jobs)))
+        .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -991,5 +1059,53 @@ mod tests {
             written >= 599 - 600usize.div_ceil(4 * 4) as u32,
             "only the failing chunk may be cut short (wrote {written})"
         );
+    }
+
+    #[test]
+    fn shared_executor_serializes_concurrent_dispatches() {
+        let _guard = spawn_guard();
+        let shared = SharedExecutor::new(2);
+        let spawned = shared.threads_spawned();
+        let mut results: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let shared = shared.clone();
+                    s.spawn(move || {
+                        let mut buf = vec![0u64; 64];
+                        shared.with(|exec| {
+                            exec.run_chunked(
+                                &mut buf,
+                                Chunking::Exact(1),
+                                || (),
+                                |i, out, ()| {
+                                    *out = t * 1000 + i as u64;
+                                    Ok::<(), ()>(())
+                                },
+                            )
+                            .unwrap();
+                        });
+                        buf
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().unwrap());
+            }
+        });
+        for (t, buf) in results.iter().enumerate() {
+            let expect: Vec<u64> = (0..64).map(|i| t as u64 * 1000 + i).collect();
+            assert_eq!(buf, &expect, "dispatches interfered");
+        }
+        // Four concurrent clients, zero extra threads: the pool is shared.
+        assert_eq!(shared.threads_spawned(), spawned);
+    }
+
+    #[test]
+    fn process_executor_returns_one_pool() {
+        let a = process_executor(2);
+        let b = process_executor(7);
+        assert_eq!(a.jobs(), b.jobs(), "later callers must reuse the pool");
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
     }
 }

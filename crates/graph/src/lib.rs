@@ -43,6 +43,7 @@ mod compiled;
 mod digraph;
 pub mod dot;
 mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod metrics;
 mod nodeset;

@@ -38,7 +38,7 @@
 //! nobody while nodes are still mid-protocol fails fast with
 //! [`RuntimeError::Stalled`].
 
-use iabc_exec::{Chunking, Executor, ScratchPool};
+use iabc_exec::{process_executor, Chunking, Executor, ScratchPool, SharedExecutor};
 use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
 use crate::behavior::LocalByzantine;
@@ -55,6 +55,12 @@ pub struct MultiplexConfig {
     pub jobs: usize,
     /// In-flight rounds each edge can buffer (see [`Mailboxes`]).
     pub window: u32,
+    /// Dispatch on the **process-level shared pool**
+    /// ([`iabc_exec::process_executor`]) instead of a private one, so a
+    /// deployment, concurrent sweeps, and the serve daemon share one
+    /// thread budget. With a shared pool `jobs` only sizes the pool if
+    /// this process hasn't created it yet.
+    pub shared_pool: bool,
 }
 
 impl Default for MultiplexConfig {
@@ -62,6 +68,24 @@ impl Default for MultiplexConfig {
         MultiplexConfig {
             jobs: 1,
             window: DEFAULT_WINDOW,
+            shared_pool: false,
+        }
+    }
+}
+
+/// Owned-or-shared pool handle: the deployment's update phase dispatches
+/// through it identically either way (results are bit-for-bit equal by the
+/// executor's determinism contract — only thread accounting differs).
+enum ExecHandle {
+    Owned(Executor),
+    Shared(SharedExecutor),
+}
+
+impl ExecHandle {
+    fn with<R>(&self, f: impl FnOnce(&Executor) -> R) -> R {
+        match self {
+            ExecHandle::Owned(exec) => f(exec),
+            ExecHandle::Shared(shared) => shared.with(f),
         }
     }
 }
@@ -93,7 +117,7 @@ pub struct MultiplexedDeployment<'a, T: Transport> {
     /// `(receiver, in-edge slot)` pairs for sender `u`, receivers ascending.
     out_offsets: Vec<u32>,
     out_edges: Vec<(u32, u32)>,
-    exec: Executor,
+    exec: ExecHandle,
     scratch: ScratchPool<Vec<f64>>,
 }
 
@@ -104,7 +128,7 @@ impl<T: Transport> std::fmt::Debug for MultiplexedDeployment<'_, T> {
             .field("edges", &self.topology.edge_count())
             .field("rounds", &self.rounds)
             .field("completed", &self.completed)
-            .field("jobs", &self.exec.jobs())
+            .field("jobs", &self.pool_jobs())
             .field("transport", &self.transport)
             .finish_non_exhaustive()
     }
@@ -206,14 +230,24 @@ impl<'a, T: Transport> MultiplexedDeployment<'a, T> {
             completed,
             out_offsets,
             out_edges,
-            exec: Executor::new(config.jobs),
+            exec: if config.shared_pool {
+                ExecHandle::Shared(process_executor(config.jobs))
+            } else {
+                ExecHandle::Owned(Executor::new(config.jobs))
+            },
             scratch: ScratchPool::new(),
         })
     }
 
-    /// The executor the update phase runs on (exposes thread accounting).
-    pub fn executor(&self) -> &Executor {
-        &self.exec
+    /// Worker budget of the pool the update phase runs on.
+    pub fn pool_jobs(&self) -> usize {
+        self.exec.with(Executor::jobs)
+    }
+
+    /// Worker threads that pool has spawned (thread accounting; for a
+    /// shared pool this counts the whole process's pool, spawned once).
+    pub fn pool_threads_spawned(&self) -> usize {
+        self.exec.with(Executor::threads_spawned)
     }
 
     /// `true` once every node has executed all its rounds.
@@ -289,10 +323,11 @@ impl<'a, T: Transport> MultiplexedDeployment<'a, T> {
         let (topology, mailboxes, f) = (self.topology, &self.mailboxes, self.f);
         let round_of = &self.round_of;
         let pool = &self.scratch;
-        self.exec
-            .run_sparse(
-                &mut self.cells,
-                &mut self.ready,
+        let (cells, ready) = (&mut self.cells, &mut self.ready);
+        self.exec.with(|exec| {
+            exec.run_sparse(
+                cells,
+                ready,
                 Chunking::Auto(iabc_exec::MIN_CHUNK),
                 || pool.take(|| Vec::with_capacity(topology.max_in_degree())),
                 |i, cell, scratch| {
@@ -300,7 +335,8 @@ impl<'a, T: Transport> MultiplexedDeployment<'a, T> {
                     Ok::<(), std::convert::Infallible>(())
                 },
             )
-            .unwrap_or_else(|e| match e {});
+            .unwrap_or_else(|e| match e {})
+        });
 
         // Phase 5: release consumed lanes, advance rounds, retire or
         // re-queue (ready is ascending, so pending_send stays ascending).
@@ -539,7 +575,7 @@ mod tests {
         let report = d.run().unwrap();
         assert_eq!(report.final_states.len(), 512);
         assert_eq!(
-            d.executor().threads_spawned(),
+            d.pool_threads_spawned(),
             2,
             "512 nodes ran on jobs - 1 = 2 spawned workers"
         );

@@ -1,0 +1,636 @@
+//! Job specifications, the canonical run-key schema, and job execution.
+//!
+//! A [`JobSpec`] is everything the daemon needs to (re)produce a result:
+//! either one scenario run or one experiment sweep. Its [`JobSpec::key`]
+//! folds every ingredient that can change a single output bit into one
+//! FNV-1a fingerprint — `(topology, fault set, adversary family + params,
+//! rule, seed, engine kind, RunConfig)` for scenarios, the resolved
+//! experiment-id list for sweeps — via the workspace's canonical
+//! [`iabc_graph::fingerprint`] hasher. Because every engine is bit-for-bit
+//! deterministic at any job count, equal keys imply byte-identical
+//! payloads, which is the entire cache-correctness argument.
+
+use crate::json::Json;
+use crate::store::RunKey;
+use crate::ServeError;
+use iabc_analysis::experiments::ExperimentResult;
+use iabc_analysis::sweep::is_known_experiment_id;
+use iabc_analysis::table::Table;
+use iabc_baselines::{DolevMidpoint, DolevSelectMean, Wmsr};
+use iabc_core::quantized::{QuantizedTrimmedMean, Rounding};
+use iabc_core::rules::{Mean, TrimmedMean, TrimmedMidpoint, UpdateRule};
+use iabc_graph::fingerprint::Fnv64;
+use iabc_graph::{fingerprint, parse, CompiledTopology, NodeSet};
+use iabc_sim::adversary::{
+    Adversary, ConformingAdversary, ConstantAdversary, CrashAdversary, EchoAdversary,
+    ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
+    RandomAdversary,
+};
+use iabc_sim::wire::{encode_outcome, hash_run_config};
+use iabc_sim::{RunConfig, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Version tag folded into every key, bumped when the key schema or any
+/// payload encoding changes so stale stores can never alias fresh runs.
+pub const KEY_SCHEMA_VERSION: u32 = 1;
+
+/// How a scenario's inputs are obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSpec {
+    /// Explicit per-node values.
+    Explicit(Vec<f64>),
+    /// `StdRng::seed_from_u64(seed)` uniform draws from `[0, 100)` — the
+    /// same derivation `iabc simulate` uses.
+    Seeded(u64),
+}
+
+/// One scenario run: the synchronous engine on a parsed edge-list graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The topology, as `iabc_graph::parse` edge-list text.
+    pub graph: String,
+    /// Indices of the Byzantine nodes.
+    pub faulty: Vec<usize>,
+    /// The fault bound `f` the update rule trims for.
+    pub f: usize,
+    /// Rule name (`trimmed-mean`, `mean`, `midpoint`, `w-msr`,
+    /// `dolev-midpoint`, `dolev-select-mean`, `quantized`).
+    pub rule: String,
+    /// Quantum for the `quantized` rule (ignored otherwise).
+    pub quantum: Option<f64>,
+    /// Adversary family name (the `iabc simulate --adversary` names).
+    pub adversary: String,
+    /// Seed for seeded adversaries (`random`) and seeded inputs.
+    pub seed: u64,
+    /// Input derivation.
+    pub inputs: InputSpec,
+    /// Convergence threshold.
+    pub epsilon: f64,
+    /// Round cap.
+    pub max_rounds: usize,
+}
+
+/// A submittable job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// One synchronous-engine scenario run.
+    Scenario(ScenarioSpec),
+    /// An experiment sweep over the given ids (empty = all of E1–E12).
+    Sweep {
+        /// Requested experiment ids (case-insensitive).
+        ids: Vec<String>,
+    },
+}
+
+impl ScenarioSpec {
+    fn resolve_inputs(&self, n: usize) -> Result<Vec<f64>, ServeError> {
+        match &self.inputs {
+            InputSpec::Explicit(values) => {
+                if values.len() != n {
+                    return Err(ServeError::Job(format!(
+                        "{} inputs for {n} nodes",
+                        values.len()
+                    )));
+                }
+                Ok(values.clone())
+            }
+            InputSpec::Seeded(seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                Ok((0..n).map(|_| rng.random_range(0.0..100.0)).collect())
+            }
+        }
+    }
+
+    fn resolve_rule(&self) -> Result<Box<dyn UpdateRule>, ServeError> {
+        rule_by_name(&self.rule, self.f, self.quantum)
+    }
+
+    /// Folds every output-determining ingredient into `h`. The schema is
+    /// the ISSUE-specified tuple; inputs are folded as resolved bit
+    /// patterns so explicit and seeded derivations can never alias.
+    fn hash(&self, h: &mut Fnv64) -> Result<(), ServeError> {
+        let g = parse::parse_edge_list(&self.graph)
+            .map_err(|e| ServeError::Job(format!("bad graph: {e}")))?;
+        let n = g.node_count();
+        let faults = NodeSet::from_indices(n, self.faulty.iter().copied());
+        let topo = CompiledTopology::compile(&g, &faults);
+        h.write_str("scenario");
+        h.write_u64(fingerprint::topology(&topo));
+        h.write_u64(fingerprint::fault_set(&faults));
+        h.write_str(&self.adversary);
+        h.write_u64(self.seed);
+        h.write_str(&self.rule);
+        h.write_usize(self.f);
+        h.write_u64(self.quantum.unwrap_or(0.0).to_bits());
+        h.write_str("synchronous"); // engine kind
+        hash_run_config(h, &self.run_config());
+        let inputs = self.resolve_inputs(n)?;
+        h.write_usize(inputs.len());
+        for v in inputs {
+            h.write_f64_bits(v);
+        }
+        Ok(())
+    }
+
+    fn run_config(&self) -> RunConfig {
+        RunConfig {
+            record_states: false,
+            epsilon: self.epsilon,
+            max_rounds: self.max_rounds,
+        }
+    }
+
+    /// Runs the scenario and returns the `IABCOUT1` payload bytes.
+    pub fn execute(&self) -> Result<Vec<u8>, ServeError> {
+        let g = parse::parse_edge_list(&self.graph)
+            .map_err(|e| ServeError::Job(format!("bad graph: {e}")))?;
+        let n = g.node_count();
+        for &node in &self.faulty {
+            if node >= n {
+                return Err(ServeError::Job(format!("faulty node {node} >= n = {n}")));
+            }
+        }
+        let faults = NodeSet::from_indices(n, self.faulty.iter().copied());
+        let inputs = self.resolve_inputs(n)?;
+        let rule = self.resolve_rule()?;
+        let adversary = adversary_by_name(&self.adversary, self.seed)?;
+        let mut sim = Scenario::on(&g)
+            .inputs(&inputs)
+            .faults(faults)
+            .rule(rule.as_ref())
+            .adversary(adversary)
+            .synchronous()
+            .map_err(|e| ServeError::Job(e.to_string()))?;
+        let outcome = sim
+            .run(&self.run_config())
+            .map_err(|e| ServeError::Job(e.to_string()))?;
+        Ok(encode_outcome(&outcome, sim.states()))
+    }
+}
+
+impl JobSpec {
+    /// The job's content address under the canonical key schema.
+    pub fn key(&self) -> Result<RunKey, ServeError> {
+        let mut h = Fnv64::new();
+        h.write_u32(KEY_SCHEMA_VERSION);
+        match self {
+            JobSpec::Scenario(spec) => spec.hash(&mut h)?,
+            JobSpec::Sweep { ids } => {
+                h.write_str("sweep-experiments");
+                for id in resolve_experiment_ids(ids)? {
+                    h.write_str(&id);
+                }
+            }
+        }
+        Ok(RunKey(h.finish()))
+    }
+
+    /// Renders to the wire JSON (`job` member of a submit request).
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobSpec::Sweep { ids } => Json::obj([
+                ("kind", Json::Str("sweep".into())),
+                (
+                    "ids",
+                    Json::Arr(ids.iter().map(|id| Json::Str(id.clone())).collect()),
+                ),
+            ]),
+            JobSpec::Scenario(spec) => {
+                let mut pairs = vec![
+                    ("kind", Json::Str("scenario".into())),
+                    ("graph", Json::Str(spec.graph.clone())),
+                    (
+                        "faulty",
+                        Json::Arr(spec.faulty.iter().map(|&v| Json::Num(v as f64)).collect()),
+                    ),
+                    ("f", Json::Num(spec.f as f64)),
+                    ("rule", Json::Str(spec.rule.clone())),
+                    ("adversary", Json::Str(spec.adversary.clone())),
+                    ("seed", Json::u64(spec.seed)),
+                    ("epsilon", Json::Num(spec.epsilon)),
+                    ("max_rounds", Json::Num(spec.max_rounds as f64)),
+                ];
+                if let Some(q) = spec.quantum {
+                    pairs.push(("quantum", Json::Num(q)));
+                }
+                match &spec.inputs {
+                    InputSpec::Explicit(values) => pairs.push((
+                        "inputs",
+                        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()),
+                    )),
+                    InputSpec::Seeded(seed) => pairs.push(("input_seed", Json::u64(*seed))),
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    /// Parses the wire JSON form.
+    pub fn from_json(json: &Json) -> Result<JobSpec, ServeError> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Protocol("job missing \"kind\"".into()))?;
+        match kind {
+            "sweep" => {
+                let ids = match json.get("ids") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or_else(|| ServeError::Protocol("\"ids\" must be an array".into()))?
+                        .iter()
+                        .map(|id| {
+                            id.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| ServeError::Protocol("non-string id".into()))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                Ok(JobSpec::Sweep { ids })
+            }
+            "scenario" => {
+                let str_field = |name: &str| -> Result<String, ServeError> {
+                    json.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| ServeError::Protocol(format!("scenario missing \"{name}\"")))
+                };
+                let inputs = if let Some(values) = json.get("inputs") {
+                    InputSpec::Explicit(
+                        values
+                            .as_arr()
+                            .ok_or_else(|| {
+                                ServeError::Protocol("\"inputs\" must be an array".into())
+                            })?
+                            .iter()
+                            .map(|v| {
+                                v.as_f64()
+                                    .ok_or_else(|| ServeError::Protocol("non-numeric input".into()))
+                            })
+                            .collect::<Result<_, _>>()?,
+                    )
+                } else {
+                    InputSpec::Seeded(json.get("input_seed").and_then(Json::as_u64).unwrap_or(0))
+                };
+                Ok(JobSpec::Scenario(ScenarioSpec {
+                    graph: str_field("graph")?,
+                    faulty: json
+                        .get("faulty")
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|v| {
+                            v.as_usize()
+                                .ok_or_else(|| ServeError::Protocol("bad faulty index".into()))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    f: json
+                        .get("f")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| ServeError::Protocol("scenario missing \"f\"".into()))?,
+                    rule: str_field("rule")?,
+                    quantum: json.get("quantum").and_then(Json::as_f64),
+                    adversary: str_field("adversary")?,
+                    seed: json.get("seed").and_then(Json::as_u64).unwrap_or(0),
+                    inputs,
+                    epsilon: json.get("epsilon").and_then(Json::as_f64).unwrap_or(1e-6),
+                    max_rounds: json
+                        .get("max_rounds")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(10_000),
+                }))
+            }
+            other => Err(ServeError::Protocol(format!("unknown job kind {other:?}"))),
+        }
+    }
+}
+
+/// Validates and canonicalizes a requested experiment-id list: ids are
+/// upper-cased and kept in the caller's order (the sweep runner itself
+/// reorders to paper order; the *request* order is part of the key only
+/// through this canonical form, so `e1,e2` and `E2,E1` share a key).
+pub fn resolve_experiment_ids(ids: &[String]) -> Result<Vec<String>, ServeError> {
+    let mut resolved: Vec<String> = Vec::new();
+    for id in ids {
+        if !is_known_experiment_id(id) {
+            return Err(ServeError::Job(format!(
+                "unknown experiment id {id:?} (valid: E1..E12)"
+            )));
+        }
+        let canon = id.to_ascii_uppercase();
+        if !resolved.contains(&canon) {
+            resolved.push(canon);
+        }
+    }
+    resolved.sort_by_key(|id| id[1..].parse::<u32>().unwrap_or(u32::MAX));
+    Ok(resolved)
+}
+
+/// The run key of one experiment *cell* (the in-process memo path for
+/// `iabc sweep experiments --store`). Shares [`KEY_SCHEMA_VERSION`] with
+/// job-level keys but a distinct domain tag.
+pub fn experiment_cell_key(label: &str) -> RunKey {
+    let mut h = Fnv64::new();
+    h.write_u32(KEY_SCHEMA_VERSION);
+    h.write_str("experiment-cell");
+    h.write_str(label);
+    RunKey(h.finish())
+}
+
+/// Resolves an adversary name exactly as `iabc simulate` does.
+pub fn adversary_by_name(name: &str, seed: u64) -> Result<Box<dyn Adversary>, ServeError> {
+    Ok(match name {
+        "conforming" => Box::new(ConformingAdversary::new()),
+        "constant" => Box::new(ConstantAdversary::new(1e9)),
+        "random" => Box::new(RandomAdversary::new(-1e6, 1e6, seed)),
+        "extremes" => Box::new(ExtremesAdversary::new(1e6)),
+        "pull-low" => Box::new(PullAdversary::new(false)),
+        "pull-high" => Box::new(PullAdversary::new(true)),
+        "crash" => Box::new(CrashAdversary::new(2)),
+        "flip-flop" => Box::new(FlipFlopAdversary::new(1e6)),
+        "polarizing" => Box::new(PolarizingAdversary::new()),
+        "echo" => Box::new(EchoAdversary::new()),
+        "nan" => Box::new(NaNAdversary::new()),
+        other => {
+            return Err(ServeError::Job(format!(
+                "unknown adversary {other:?} (try conforming, constant, random, extremes, \
+                 pull-low, pull-high, crash, flip-flop, polarizing, echo, nan)"
+            )))
+        }
+    })
+}
+
+/// Resolves a rule name exactly as `iabc simulate` does (the `quantized`
+/// rule takes its quantum from the spec instead of a CLI flag).
+pub fn rule_by_name(
+    name: &str,
+    f: usize,
+    quantum: Option<f64>,
+) -> Result<Box<dyn UpdateRule>, ServeError> {
+    Ok(match name {
+        "trimmed-mean" => Box::new(TrimmedMean::new(f)),
+        "mean" => Box::new(Mean::new()),
+        "midpoint" => Box::new(TrimmedMidpoint::new(f)),
+        "w-msr" => Box::new(Wmsr::new(f)),
+        "dolev-midpoint" => Box::new(DolevMidpoint::new(f)),
+        "dolev-select-mean" => Box::new(DolevSelectMean::new(f)),
+        "quantized" => {
+            let quantum =
+                quantum.ok_or_else(|| ServeError::Job("quantized rule needs a quantum".into()))?;
+            Box::new(
+                QuantizedTrimmedMean::new(f, quantum, Rounding::Nearest)
+                    .map_err(|e| ServeError::Job(e.to_string()))?,
+            )
+        }
+        other => {
+            return Err(ServeError::Job(format!(
+                "unknown rule {other:?} (try trimmed-mean, mean, midpoint, w-msr, \
+                 dolev-midpoint, dolev-select-mean, quantized)"
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Experiment payload encoding (`IABCEXP1`)
+// ---------------------------------------------------------------------------
+
+const EXP_MAGIC: &[u8; 8] = b"IABCEXP1";
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_strs(buf: &mut Vec<u8>, items: &[String]) {
+    buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+/// Serializes one [`ExperimentResult`] losslessly (id, title, verdict,
+/// notes, artifacts, table headers + rows).
+pub fn encode_experiment(result: &ExperimentResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(EXP_MAGIC);
+    put_str(&mut buf, &result.id);
+    put_str(&mut buf, &result.title);
+    buf.push(u8::from(result.pass));
+    put_strs(&mut buf, &result.notes);
+    buf.extend_from_slice(&(result.artifacts.len() as u32).to_le_bytes());
+    for (name, content) in &result.artifacts {
+        put_str(&mut buf, name);
+        put_str(&mut buf, content);
+    }
+    put_strs(&mut buf, result.table.headers());
+    buf.extend_from_slice(&(result.table.rows().len() as u32).to_le_bytes());
+    for row in result.table.rows() {
+        put_strs(&mut buf, row);
+    }
+    buf
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, ServeError> {
+    if buf.len() < 4 {
+        return Err(ServeError::Job("experiment payload truncated".into()));
+    }
+    let (head, tail) = buf.split_at(4);
+    *buf = tail;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, ServeError> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(ServeError::Job("experiment payload truncated".into()));
+    }
+    let (head, tail) = buf.split_at(len);
+    *buf = tail;
+    String::from_utf8(head.to_vec())
+        .map_err(|_| ServeError::Job("experiment payload not UTF-8".into()))
+}
+
+fn get_strs(buf: &mut &[u8]) -> Result<Vec<String>, ServeError> {
+    let count = get_u32(buf)? as usize;
+    (0..count).map(|_| get_str(buf)).collect()
+}
+
+/// Inverse of [`encode_experiment`].
+pub fn decode_experiment(mut buf: &[u8]) -> Result<ExperimentResult, ServeError> {
+    if buf.len() < 8 || &buf[..8] != EXP_MAGIC {
+        return Err(ServeError::Job("bad experiment payload magic".into()));
+    }
+    buf = &buf[8..];
+    let id = get_str(&mut buf)?;
+    let title = get_str(&mut buf)?;
+    if buf.is_empty() {
+        return Err(ServeError::Job("experiment payload truncated".into()));
+    }
+    let pass = buf[0] != 0;
+    buf = &buf[1..];
+    let notes = get_strs(&mut buf)?;
+    let artifact_count = get_u32(&mut buf)? as usize;
+    let mut artifacts = Vec::with_capacity(artifact_count);
+    for _ in 0..artifact_count {
+        let name = get_str(&mut buf)?;
+        let content = get_str(&mut buf)?;
+        artifacts.push((name, content));
+    }
+    let headers = get_strs(&mut buf)?;
+    let row_count = get_u32(&mut buf)? as usize;
+    let mut table = Table::new(headers);
+    for _ in 0..row_count {
+        table.row(get_strs(&mut buf)?);
+    }
+    Ok(ExperimentResult {
+        id,
+        title,
+        table,
+        notes,
+        artifacts,
+        pass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scenario() -> ScenarioSpec {
+        ScenarioSpec {
+            graph: "3\n0 1\n1 0\n0 2\n2 0\n1 2\n2 1\n".into(),
+            faulty: vec![2],
+            f: 0,
+            rule: "mean".into(),
+            quantum: None,
+            adversary: "constant".into(),
+            seed: 7,
+            inputs: InputSpec::Seeded(7),
+            epsilon: 1e-6,
+            max_rounds: 100,
+        }
+    }
+
+    #[test]
+    fn job_json_roundtrips() {
+        let jobs = [
+            JobSpec::Sweep {
+                ids: vec!["E1".into(), "E3".into()],
+            },
+            JobSpec::Scenario(sample_scenario()),
+            JobSpec::Scenario(ScenarioSpec {
+                inputs: InputSpec::Explicit(vec![1.0, 2.5, 3.75]),
+                quantum: Some(0.5),
+                rule: "quantized".into(),
+                ..sample_scenario()
+            }),
+        ];
+        for job in jobs {
+            let back =
+                JobSpec::from_json(&crate::json::parse(&job.to_json().render()).unwrap()).unwrap();
+            assert_eq!(back, job);
+            assert_eq!(back.key().unwrap(), job.key().unwrap());
+        }
+    }
+
+    #[test]
+    fn keys_separate_every_ingredient() {
+        let base = sample_scenario();
+        let base_key = JobSpec::Scenario(base.clone()).key().unwrap();
+        let variants = [
+            ScenarioSpec {
+                faulty: vec![1],
+                ..base.clone()
+            },
+            ScenarioSpec {
+                rule: "trimmed-mean".into(),
+                f: 1,
+                ..base.clone()
+            },
+            ScenarioSpec {
+                adversary: "extremes".into(),
+                ..base.clone()
+            },
+            ScenarioSpec {
+                seed: 8,
+                inputs: InputSpec::Seeded(8),
+                ..base.clone()
+            },
+            ScenarioSpec {
+                epsilon: 1e-7,
+                ..base.clone()
+            },
+            ScenarioSpec {
+                max_rounds: 99,
+                ..base.clone()
+            },
+            ScenarioSpec {
+                graph: "3\n0 1\n1 0\n0 2\n2 0\n".into(),
+                ..base.clone()
+            },
+        ];
+        for variant in variants {
+            assert_ne!(
+                JobSpec::Scenario(variant.clone()).key().unwrap(),
+                base_key,
+                "ingredient change must change the key: {variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_ids_canonicalize() {
+        let a = JobSpec::Sweep {
+            ids: vec!["e3".into(), "E1".into()],
+        };
+        let b = JobSpec::Sweep {
+            ids: vec!["E1".into(), "e3".into(), "E3".into()],
+        };
+        assert_eq!(a.key().unwrap(), b.key().unwrap());
+        let c = JobSpec::Sweep {
+            ids: vec!["E1".into()],
+        };
+        assert_ne!(a.key().unwrap(), c.key().unwrap());
+        assert!(JobSpec::Sweep {
+            ids: vec!["E99".into()]
+        }
+        .key()
+        .is_err());
+    }
+
+    #[test]
+    fn scenario_execution_is_deterministic() {
+        let spec = sample_scenario();
+        let a = spec.execute().unwrap();
+        let b = spec.execute().unwrap();
+        assert_eq!(a, b, "same spec must produce identical payload bytes");
+        let decoded = iabc_sim::wire::decode_outcome(&a).unwrap();
+        assert_eq!(decoded.final_states.len(), 3);
+    }
+
+    #[test]
+    fn experiment_payload_roundtrips() {
+        let mut table = Table::new(["n", "f", "pass"]);
+        table.row(["7", "2", "true"]);
+        table.row(["9", "2", "true"]);
+        let result = ExperimentResult {
+            id: "E6".into(),
+            title: "core networks".into(),
+            table,
+            notes: vec!["note one".into(), "note two".into()],
+            artifacts: vec![("fig.dot".into(), "digraph{}".into())],
+            pass: true,
+        };
+        let back = decode_experiment(&encode_experiment(&result)).unwrap();
+        assert_eq!(back.id, result.id);
+        assert_eq!(back.title, result.title);
+        assert_eq!(back.pass, result.pass);
+        assert_eq!(back.notes, result.notes);
+        assert_eq!(back.artifacts, result.artifacts);
+        assert_eq!(back.table.to_string(), result.table.to_string());
+        assert!(decode_experiment(b"IABCEXP1trunc").is_err());
+        assert!(decode_experiment(b"WRONGMAG").is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The `iabc serve` daemon: a `std::net::TcpListener` accept loop over the
+//! frame protocol, backed by the content-addressed [`Store`] and the
+//! process-level shared executor.
+//!
+//! No async runtime: connections are handled sequentially (one request per
+//! connection, responses streamed), which is all the deterministic,
+//! CPU-bound workload needs — a job either answers instantly from the
+//! store or owns the shared pool while it computes.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Instant;
+
+use crate::job::{
+    decode_experiment, encode_experiment, experiment_cell_key, resolve_experiment_ids, JobSpec,
+};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::store::Store;
+use crate::ServeError;
+use iabc_analysis::experiments::ExperimentResult;
+use iabc_analysis::sweep::{run_cells_memo, CellCoords, CellMemo};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker budget misses execute with (`0` = all cores). The budget
+    /// sizes the *process-level shared pool*, so a daemon and an in-process
+    /// sweep never stack their thread counts.
+    pub jobs: usize,
+    /// Store directory.
+    pub store_dir: std::path::PathBuf,
+    /// Stop after this many connections (`None` = run until a shutdown
+    /// request). CI smoke tests use a bounded accept count for clean exit.
+    pub accept_limit: Option<usize>,
+}
+
+/// Counters reported when the accept loop exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections handled.
+    pub connections: usize,
+    /// Jobs answered entirely from the store.
+    pub job_hits: usize,
+    /// Jobs executed.
+    pub job_misses: usize,
+}
+
+/// The daemon: a bound listener plus its store.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    store: Store,
+    jobs: usize,
+    accept_limit: Option<usize>,
+}
+
+/// A [`CellMemo`] over the store for experiment cells: the same key schema
+/// and payload encoding whether the cell is computed by the daemon, by
+/// `iabc sweep experiments --store`, or replayed from the journal.
+#[derive(Debug)]
+pub struct StoreMemo<'a> {
+    store: &'a mut Store,
+    jobs: u32,
+    started: Instant,
+}
+
+impl<'a> StoreMemo<'a> {
+    /// Wraps a store; `jobs` is recorded in the journal for provenance.
+    pub fn new(store: &'a mut Store, jobs: usize) -> Self {
+        StoreMemo {
+            store,
+            jobs: jobs as u32,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl CellMemo<ExperimentResult> for StoreMemo<'_> {
+    fn lookup(&mut self, coords: &CellCoords) -> Option<ExperimentResult> {
+        let key = experiment_cell_key(&coords.label());
+        let bytes = self.store.get(key)?;
+        // An undecodable object (schema drift) falls through to a fresh
+        // recomputation, which then overwrites it.
+        let result = decode_experiment(&bytes).ok()?;
+        let _ = self.store.record_hit(key, self.jobs);
+        Some(result)
+    }
+
+    fn record(&mut self, coords: &CellCoords, value: &ExperimentResult) {
+        let key = experiment_cell_key(&coords.label());
+        let wall_ms = self.started.elapsed().as_millis() as u64;
+        self.started = Instant::now();
+        let _ = self
+            .store
+            .insert(key, &encode_experiment(value), wall_ms, self.jobs);
+    }
+}
+
+/// Executes a sweep job's cells against the store, streaming one progress
+/// frame per cell, and returns `(payload, hits, misses)`. The payload is
+/// the concatenation of the per-experiment `IABCEXP1` records, each
+/// u32-LE length-prefixed — stable because the cell order is the canonical
+/// resolved id order and each record encoder is deterministic.
+fn run_sweep_job(
+    store: &mut Store,
+    ids: &[String],
+    jobs: usize,
+    mut progress: impl FnMut(usize, usize, &str),
+) -> Result<(Vec<u8>, usize, usize), ServeError> {
+    let resolved = resolve_experiment_ids(ids)?;
+    let total = if resolved.is_empty() {
+        12
+    } else {
+        resolved.len()
+    };
+    let mut payload = Vec::new();
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    // One memoized sweep per experiment id, so progress frames interleave
+    // with execution instead of arriving all at once.
+    let effective: Vec<String> = if resolved.is_empty() {
+        (1..=12).map(|i| format!("E{i}")).collect()
+    } else {
+        resolved
+    };
+    for (done, id) in effective.iter().enumerate() {
+        progress(done, total, &format!("experiments[id={id}]"));
+        let (outcomes, cell_hits, cell_misses) = {
+            let mut memo = StoreMemo::new(store, jobs);
+            let cells = iabc_analysis::sweep::experiment_cells(std::slice::from_ref(id));
+            run_cells_memo(cells, jobs, &mut memo)
+        };
+        hits += cell_hits;
+        misses += cell_misses;
+        for outcome in &outcomes {
+            let record = encode_experiment(&outcome.value);
+            payload.extend_from_slice(&(record.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&record);
+        }
+    }
+    progress(total, total, "done");
+    Ok((payload, hits, misses))
+}
+
+/// Decodes a sweep-job payload back into its per-experiment records.
+pub fn decode_sweep_payload(mut bytes: &[u8]) -> Result<Vec<ExperimentResult>, ServeError> {
+    let mut results = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 4 {
+            return Err(ServeError::Job("sweep payload truncated".into()));
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        bytes = &bytes[4..];
+        if bytes.len() < len {
+            return Err(ServeError::Job("sweep payload truncated".into()));
+        }
+        results.push(decode_experiment(&bytes[..len])?);
+        bytes = &bytes[len..];
+    }
+    Ok(results)
+}
+
+/// Executes one submitted job against the store (shared by the daemon and
+/// in-process callers like `iabc perf`'s cache datapoint). Returns the
+/// terminal [`Response::Result`] and whether it was a job-level hit.
+pub fn answer_submit(
+    store: &mut Store,
+    job: &JobSpec,
+    jobs: usize,
+    mut progress: impl FnMut(usize, usize, &str),
+) -> Result<Response, ServeError> {
+    let key = job.key()?;
+    if let Some(payload) = store.get(key) {
+        store
+            .record_hit(key, jobs as u32)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        return Ok(Response::Result {
+            cache_hit: true,
+            key,
+            hits: 1,
+            misses: 0,
+            payload,
+        });
+    }
+    let started = Instant::now();
+    let (payload, hits, misses) = match job {
+        JobSpec::Scenario(spec) => {
+            progress(0, 1, "scenario");
+            let payload = spec.execute()?;
+            (payload, 0, 1)
+        }
+        JobSpec::Sweep { ids } => run_sweep_job(store, ids, jobs, &mut progress)?,
+    };
+    let wall_ms = started.elapsed().as_millis() as u64;
+    store
+        .insert(key, &payload, wall_ms, jobs as u32)
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    Ok(Response::Result {
+        cache_hit: false,
+        key,
+        hits,
+        misses,
+        payload,
+    })
+}
+
+impl Server {
+    /// Binds the listener and opens (or creates) the store. Warming the
+    /// process pool happens lazily on the first miss.
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        let store = Store::open(&config.store_dir).map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(Server {
+            listener,
+            store,
+            jobs: config.jobs,
+            accept_limit: config.accept_limit,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))
+    }
+
+    /// Read access to the store (tests inspect journal state through it).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    fn handle(&mut self, mut stream: TcpStream, stats: &mut ServerStats) -> bool {
+        let request = match read_frame(&mut stream) {
+            Ok(Some(json)) => Request::from_json(&json),
+            Ok(None) => return false,
+            Err(e) => Err(e),
+        };
+        match request {
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: "shutting down".into(),
+                    }
+                    .to_json(),
+                );
+                true
+            }
+            Ok(Request::Query(key)) => {
+                let response = match self.store.get(key) {
+                    Some(payload) => {
+                        let _ = self.store.record_hit(key, self.jobs as u32);
+                        Response::Result {
+                            cache_hit: true,
+                            key,
+                            hits: 1,
+                            misses: 0,
+                            payload,
+                        }
+                    }
+                    None => Response::Absent { key },
+                };
+                let _ = write_frame(&mut stream, &response.to_json());
+                false
+            }
+            Ok(Request::Submit(job)) => {
+                let jobs = self.jobs;
+                let store = &mut self.store;
+                let result = answer_submit(store, &job, jobs, |done, total, label| {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Progress {
+                            done,
+                            total,
+                            label: label.to_string(),
+                        }
+                        .to_json(),
+                    );
+                });
+                match result {
+                    Ok(response) => {
+                        if let Response::Result { cache_hit, .. } = &response {
+                            if *cache_hit {
+                                stats.job_hits += 1;
+                            } else {
+                                stats.job_misses += 1;
+                            }
+                        }
+                        let _ = write_frame(&mut stream, &response.to_json());
+                    }
+                    Err(e) => {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Response::Error {
+                                message: e.to_string(),
+                            }
+                            .to_json(),
+                        );
+                    }
+                }
+                false
+            }
+            Err(e) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: e.to_string(),
+                    }
+                    .to_json(),
+                );
+                false
+            }
+        }
+    }
+
+    /// Runs the accept loop until the accept limit is reached or a
+    /// shutdown request arrives. Returns the final counters.
+    pub fn run(&mut self) -> Result<ServerStats, ServeError> {
+        let mut stats = ServerStats::default();
+        loop {
+            if let Some(limit) = self.accept_limit {
+                if stats.connections >= limit {
+                    return Ok(stats);
+                }
+            }
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            stats.connections += 1;
+            if self.handle(stream, &mut stats) {
+                return Ok(stats);
+            }
+        }
+    }
+}

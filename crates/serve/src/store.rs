@@ -1,0 +1,307 @@
+//! The content-addressed result store and its append-only run journal.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/
+//!   objects/<16-hex-key>.bin    one serialized result per run key
+//!   journal.log                 append-only, one record per store event
+//! ```
+//!
+//! # Journal record
+//!
+//! Each record is length-prefixed so the journal survives torn tails
+//! (a record cut short by a crash is detected and ignored):
+//!
+//! ```text
+//! len      u32 LE   payload length (= 21)
+//! key      u64 LE   the run key
+//! wall_ms  u64 LE   wall-clock duration of the compute (0 for hits)
+//! jobs     u32 LE   worker count the job ran with
+//! hit      u8       0 = miss (object inserted), 1 = cache hit served
+//! ```
+//!
+//! Replaying miss records in order reconstructs the exact index (the set
+//! of addressable objects); hit records are provenance — who was served
+//! what, without recomputation. [`Store::open`] performs exactly this
+//! replay, so the journal *is* the index's source of truth.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A content address: the FNV-1a fingerprint of every run ingredient
+/// (see [`crate::job`] for the schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(pub u64);
+
+impl RunKey {
+    /// 16-char lower-hex rendering — the on-disk object name and the wire
+    /// form.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the 16-char hex form.
+    pub fn from_hex(s: &str) -> Option<RunKey> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RunKey)
+    }
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// One replayed journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The run key the event concerns.
+    pub key: RunKey,
+    /// Wall-clock milliseconds the compute took (0 for hits).
+    pub wall_ms: u64,
+    /// Worker count the job ran with.
+    pub jobs: u32,
+    /// `false` = miss (insert), `true` = hit served from the store.
+    pub hit: bool,
+}
+
+const RECORD_LEN: usize = 8 + 8 + 4 + 1;
+
+/// Decodes every complete record in `journal.log` bytes, in order. A
+/// truncated tail (torn final write) is ignored, matching the append-only
+/// crash model.
+pub fn decode_journal(bytes: &[u8]) -> Vec<JournalRecord> {
+    let mut records = Vec::new();
+    let mut rest = bytes;
+    while rest.len() >= 4 {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() < 4 + len || len < RECORD_LEN {
+            break;
+        }
+        let payload = &rest[4..4 + len];
+        records.push(JournalRecord {
+            key: RunKey(u64::from_le_bytes(payload[..8].try_into().unwrap())),
+            wall_ms: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            jobs: u32::from_le_bytes(payload[16..20].try_into().unwrap()),
+            hit: payload[20] != 0,
+        });
+        rest = &rest[4 + len..];
+    }
+    records
+}
+
+/// Reads and decodes a journal file; an absent file is an empty journal.
+pub fn replay_journal(path: &Path) -> std::io::Result<Vec<JournalRecord>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(decode_journal(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+fn encode_record(record: &JournalRecord) -> [u8; 4 + RECORD_LEN] {
+    let mut buf = [0u8; 4 + RECORD_LEN];
+    buf[..4].copy_from_slice(&(RECORD_LEN as u32).to_le_bytes());
+    buf[4..12].copy_from_slice(&record.key.0.to_le_bytes());
+    buf[12..20].copy_from_slice(&record.wall_ms.to_le_bytes());
+    buf[20..24].copy_from_slice(&record.jobs.to_le_bytes());
+    buf[24] = u8::from(record.hit);
+    buf
+}
+
+/// The content-addressed store: an on-disk object directory plus the
+/// in-memory key index rebuilt from the journal on open.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    index: HashSet<u64>,
+    journal: File,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir` and rebuilds the
+    /// index by replaying `journal.log`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("objects"))?;
+        let index = replay_journal(&dir.join("journal.log"))?
+            .into_iter()
+            .filter(|r| !r.hit)
+            .map(|r| r.key.0)
+            .collect();
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("journal.log"))?;
+        Ok(Store {
+            dir,
+            index,
+            journal,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.log")
+    }
+
+    /// Path of the object holding `key`'s payload.
+    pub fn object_path(&self, key: RunKey) -> PathBuf {
+        self.dir.join("objects").join(format!("{}.bin", key.hex()))
+    }
+
+    /// Number of addressable objects.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` iff no object has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All addressable keys, sorted.
+    pub fn keys(&self) -> Vec<RunKey> {
+        let mut keys: Vec<RunKey> = self.index.iter().copied().map(RunKey).collect();
+        keys.sort();
+        keys
+    }
+
+    /// `true` iff `key` is addressable.
+    pub fn contains(&self, key: RunKey) -> bool {
+        self.index.contains(&key.0)
+    }
+
+    /// Reads `key`'s payload, or `None` if it was never inserted. Does
+    /// **not** journal — pair with [`Store::record_hit`] when the read
+    /// answers a job.
+    pub fn get(&self, key: RunKey) -> Option<Vec<u8>> {
+        if !self.index.contains(&key.0) {
+            return None;
+        }
+        let mut buf = Vec::new();
+        File::open(self.object_path(key))
+            .and_then(|mut f| f.read_to_end(&mut buf))
+            .ok()?;
+        Some(buf)
+    }
+
+    /// Inserts `key → payload` and appends a **miss** record to the
+    /// journal (object first, record second: a key the journal names is
+    /// always readable).
+    pub fn insert(
+        &mut self,
+        key: RunKey,
+        payload: &[u8],
+        wall_ms: u64,
+        jobs: u32,
+    ) -> std::io::Result<()> {
+        fs::write(self.object_path(key), payload)?;
+        self.journal.write_all(&encode_record(&JournalRecord {
+            key,
+            wall_ms,
+            jobs,
+            hit: false,
+        }))?;
+        self.journal.flush()?;
+        self.index.insert(key.0);
+        Ok(())
+    }
+
+    /// Appends a **hit** record: `key` was served from the store.
+    pub fn record_hit(&mut self, key: RunKey, jobs: u32) -> std::io::Result<()> {
+        self.journal.write_all(&encode_record(&JournalRecord {
+            key,
+            wall_ms: 0,
+            jobs,
+            hit: true,
+        }))?;
+        self.journal.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iabc-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_reopen() {
+        let dir = temp_dir("roundtrip");
+        let key = RunKey(0xdead_beef_0123_4567);
+        {
+            let mut store = Store::open(&dir).unwrap();
+            assert!(store.get(key).is_none());
+            store.insert(key, b"payload-bytes", 12, 4).unwrap();
+            assert_eq!(store.get(key).unwrap(), b"payload-bytes");
+        }
+        // Reopen: the journal replay rebuilds the index.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.contains(key));
+        assert_eq!(store.get(key).unwrap(), b"payload-bytes");
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_orders_miss_then_hit() {
+        let dir = temp_dir("order");
+        let key = RunKey(42);
+        let mut store = Store::open(&dir).unwrap();
+        store.insert(key, b"x", 5, 1).unwrap();
+        store.record_hit(key, 1).unwrap();
+        let records = replay_journal(&store.journal_path()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(!records[0].hit, "first record must be the miss");
+        assert!(records[1].hit, "second record must be the hit");
+        assert_eq!(records[0].key, key);
+        assert_eq!(records[1].key, key);
+        assert_eq!(records[0].wall_ms, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = temp_dir("torn");
+        let key = RunKey(7);
+        let mut store = Store::open(&dir).unwrap();
+        store.insert(key, b"x", 1, 1).unwrap();
+        drop(store);
+        // Append half a record.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join("journal.log"))
+            .unwrap();
+        f.write_all(&[21, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(f);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(key));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let key = RunKey(0x0123_4567_89ab_cdef);
+        assert_eq!(key.hex(), "0123456789abcdef");
+        assert_eq!(RunKey::from_hex(&key.hex()), Some(key));
+        assert_eq!(RunKey::from_hex("xyz"), None);
+        assert_eq!(RunKey::from_hex("0123"), None);
+    }
+}

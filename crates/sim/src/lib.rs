@@ -149,6 +149,7 @@ pub mod scenario;
 pub mod trace;
 pub mod transcript;
 pub mod vector;
+pub mod wire;
 
 pub use engine::{run_consensus, Simulation};
 pub use error::SimError;

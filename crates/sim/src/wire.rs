@@ -1,0 +1,275 @@
+//! Stable byte serialization of run results for the serving tier.
+//!
+//! The content-addressed store ([`iabc-serve`]) needs two guarantees the
+//! in-memory types don't give on their own:
+//!
+//! 1. **A stable layout.** Cached payloads written by one build must decode
+//!    under the next, so the encoding is an explicit little-endian record
+//!    with a magic/version header — not a `Debug` dump and not the vendored
+//!    no-op serde.
+//! 2. **Bit-for-bit floats.** Final states and the final range travel as raw
+//!    IEEE-754 bit patterns, because the whole cache correctness argument —
+//!    determinism makes a hit *provably* identical to recomputation — is a
+//!    statement about bits, not about values-up-to-rounding.
+//!
+//! # Layout (`IABCOUT1`)
+//!
+//! ```text
+//! magic      8 bytes   b"IABCOUT1"
+//! rounds     u64 LE
+//! term       u8        0 = Converged, 1 = RoundCapReached, 2 = Halted
+//! converged  u8        0 / 1
+//! valid      u8        0 / 1 (validity.is_valid())
+//! violations u32 LE    violation count
+//! range      u64 LE    final_range.to_bits()
+//! n          u32 LE    state-vector length
+//! states     n × u64 LE  per-node f64 bit patterns
+//! ```
+//!
+//! [`iabc-serve`]: ../../iabc_serve/index.html
+
+use crate::run::{Outcome, RunConfig, Termination};
+
+/// Magic + version tag opening every encoded outcome.
+pub const OUTCOME_MAGIC: &[u8; 8] = b"IABCOUT1";
+
+/// Decode-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the header or the declared state count.
+    Truncated,
+    /// Magic/version tag mismatch.
+    BadMagic,
+    /// Unknown termination code.
+    BadTermination(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "outcome record truncated"),
+            WireError::BadMagic => write!(f, "bad outcome magic (not IABCOUT1)"),
+            WireError::BadTermination(c) => write!(f, "unknown termination code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Wire code for a [`Termination`].
+pub fn termination_code(t: Termination) -> u8 {
+    match t {
+        Termination::Converged => 0,
+        Termination::RoundCapReached => 1,
+        Termination::Halted => 2,
+    }
+}
+
+/// Inverse of [`termination_code`].
+pub fn termination_from_code(code: u8) -> Result<Termination, WireError> {
+    match code {
+        0 => Ok(Termination::Converged),
+        1 => Ok(Termination::RoundCapReached),
+        2 => Ok(Termination::Halted),
+        other => Err(WireError::BadTermination(other)),
+    }
+}
+
+/// The decoded view of a stored outcome: everything the cache serves back.
+///
+/// `final_states` carries the engines' post-run state vector bit-for-bit;
+/// the full `Trace` is deliberately not stored (it is an observability
+/// artifact, unbounded in size, and reproducible by rerunning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeSummary {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Why the run ended.
+    pub termination: Termination,
+    /// `termination == Converged`.
+    pub converged: bool,
+    /// Whether the validity audit found zero violations.
+    pub valid: bool,
+    /// Number of validity violations observed.
+    pub violations: u32,
+    /// Final fault-free range `U − µ`.
+    pub final_range: f64,
+    /// Final per-node states.
+    pub final_states: Vec<f64>,
+}
+
+/// Encodes an [`Outcome`] plus the engine's final state vector into the
+/// `IABCOUT1` record described in the module docs.
+pub fn encode_outcome(outcome: &Outcome, final_states: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 8 + 3 + 4 + 8 + 4 + 8 * final_states.len());
+    buf.extend_from_slice(OUTCOME_MAGIC);
+    buf.extend_from_slice(&(outcome.rounds as u64).to_le_bytes());
+    buf.push(termination_code(outcome.termination));
+    buf.push(u8::from(outcome.converged));
+    buf.push(u8::from(outcome.validity.is_valid()));
+    buf.extend_from_slice(&(outcome.validity.violations.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&outcome.final_range.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(final_states.len() as u32).to_le_bytes());
+    for &v in final_states {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    buf
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+/// Decodes an `IABCOUT1` record.
+pub fn decode_outcome(mut buf: &[u8]) -> Result<OutcomeSummary, WireError> {
+    if take(&mut buf, 8)? != OUTCOME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let rounds = take_u64(&mut buf)?;
+    let termination = termination_from_code(take(&mut buf, 1)?[0])?;
+    let converged = take(&mut buf, 1)?[0] != 0;
+    let valid = take(&mut buf, 1)?[0] != 0;
+    let violations = take_u32(&mut buf)?;
+    let final_range = f64::from_bits(take_u64(&mut buf)?);
+    let n = take_u32(&mut buf)? as usize;
+    let mut final_states = Vec::with_capacity(n);
+    for _ in 0..n {
+        final_states.push(f64::from_bits(take_u64(&mut buf)?));
+    }
+    Ok(OutcomeSummary {
+        rounds,
+        termination,
+        converged,
+        valid,
+        violations,
+        final_range,
+        final_states,
+    })
+}
+
+/// Folds a [`RunConfig`] into a fingerprint hasher — part of the canonical
+/// run-key schema (`record_states` is excluded: it changes what is traced,
+/// never what is computed, so it must not split the cache).
+pub fn hash_run_config(h: &mut iabc_graph::fingerprint::Fnv64, config: &RunConfig) {
+    h.write_f64_bits(config.epsilon);
+    h.write_usize(config.max_rounds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Trace, ValidityReport, ValidityViolation};
+
+    fn sample_outcome(term: Termination, violations: usize) -> Outcome {
+        Outcome {
+            converged: term == Termination::Converged,
+            termination: term,
+            rounds: 42,
+            final_range: 1.25e-7,
+            validity: ValidityReport {
+                violations: (0..violations)
+                    .map(|i| ValidityViolation {
+                        round: i,
+                        description: "U increased".into(),
+                    })
+                    .collect(),
+            },
+            trace: Trace::new(false),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_for_bit() {
+        let states = [1.5, -0.0, f64::from_bits(0x7ff8_0000_dead_beef), 3.25e300];
+        let out = sample_outcome(Termination::Converged, 0);
+        let bytes = encode_outcome(&out, &states);
+        let back = decode_outcome(&bytes).unwrap();
+        assert_eq!(back.rounds, 42);
+        assert_eq!(back.termination, Termination::Converged);
+        assert!(back.converged);
+        assert!(back.valid);
+        assert_eq!(back.violations, 0);
+        assert_eq!(back.final_range.to_bits(), out.final_range.to_bits());
+        let bits: Vec<u64> = back.final_states.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = states.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, want,
+            "state bit patterns must survive, NaN payload included"
+        );
+    }
+
+    #[test]
+    fn termination_codes_roundtrip() {
+        for t in [
+            Termination::Converged,
+            Termination::RoundCapReached,
+            Termination::Halted,
+        ] {
+            assert_eq!(termination_from_code(termination_code(t)).unwrap(), t);
+        }
+        assert_eq!(termination_from_code(3), Err(WireError::BadTermination(3)));
+    }
+
+    #[test]
+    fn violations_survive() {
+        let out = sample_outcome(Termination::RoundCapReached, 2);
+        let back = decode_outcome(&encode_outcome(&out, &[])).unwrap();
+        assert!(!back.valid);
+        assert_eq!(back.violations, 2);
+        assert_eq!(back.termination, Termination::RoundCapReached);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_detected() {
+        let out = sample_outcome(Termination::Halted, 0);
+        let bytes = encode_outcome(&out, &[1.0, 2.0]);
+        assert_eq!(
+            decode_outcome(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_outcome(&bad), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn run_config_hash_ignores_record_states() {
+        use iabc_graph::fingerprint::Fnv64;
+        let with = RunConfig {
+            record_states: true,
+            epsilon: 1e-6,
+            max_rounds: 500,
+        };
+        let without = RunConfig {
+            record_states: false,
+            ..with
+        };
+        let mut a = Fnv64::new();
+        hash_run_config(&mut a, &with);
+        let mut b = Fnv64::new();
+        hash_run_config(&mut b, &without);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        hash_run_config(
+            &mut c,
+            &RunConfig {
+                max_rounds: 501,
+                ..with
+            },
+        );
+        assert_ne!(a.finish(), c.finish());
+    }
+}

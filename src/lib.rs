@@ -28,7 +28,12 @@
 //!   the multiplexed scale tier (mailboxes + tick scheduler on the shared
 //!   pool behind a `Transport` trait, hosting 10⁶ nodes on `jobs`
 //!   threads), both validated bit-for-bit against the deterministic
-//!   engine ([`iabc_runtime`]).
+//!   engine ([`iabc_runtime`]);
+//! * [`serve`] — the sweep-as-a-service tier: the `iabc serve` daemon,
+//!   its content-addressed result store with an append-only run
+//!   journal, and the in-process memo fast path — determinism makes a
+//!   cache hit provably byte-identical to recomputation
+//!   ([`iabc_serve`]).
 //!
 //! # Quick start
 //!
@@ -75,6 +80,7 @@ pub use iabc_baselines as baselines;
 pub use iabc_core as core;
 pub use iabc_graph as graph;
 pub use iabc_runtime as runtime;
+pub use iabc_serve as serve;
 pub use iabc_sim as sim;
 
 /// The paper this workspace reproduces.

@@ -131,7 +131,7 @@ fn hundred_thousand_nodes_on_a_handful_of_threads() {
     )
     .expect("deployment constructs");
     assert_eq!(
-        deployment.executor().threads_spawned(),
+        deployment.pool_threads_spawned(),
         jobs - 1,
         "worker count must track --jobs, not the node count"
     );

@@ -445,15 +445,10 @@ fn vector_engine_reproduces_pre_refactor_outcome() {
 
 /// FNV-1a over the state vector's f64 bit patterns — a compact fingerprint
 /// for large-n goldens where embedding 500 bit patterns would be noise.
+/// Delegates to the canonical workspace hasher so the golden below also
+/// pins the `fingerprint` module's byte feed.
 fn fnv1a_state_bits(states: &[f64]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &v in states {
-        for byte in v.to_bits().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    hash
+    iabc::graph::fingerprint::state_bits(states)
 }
 
 #[test]

@@ -1,0 +1,244 @@
+//! Integration tests for the serving tier (`iabc::serve`): cache hits are
+//! byte-identical to fresh recomputation, run keys separate every
+//! ingredient, the journal is a faithful source of truth, and the TCP
+//! daemon answers a repeated submission from the store with the exact
+//! bytes it computed the first time.
+
+use std::path::PathBuf;
+
+use iabc::graph::{generators, parse};
+use iabc::serve::store::decode_journal;
+use iabc::serve::{
+    protocol, replay_journal, InputSpec, JobSpec, RunKey, ScenarioSpec, Server, ServerConfig, Store,
+};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iabc-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A scenario on a complete digraph, fully determined by small integers —
+/// the proptest strategy space.
+fn scenario(n: usize, f: usize, seed: u64, adversary: &str, eps_exp: i32) -> ScenarioSpec {
+    ScenarioSpec {
+        graph: parse::to_edge_list(&generators::complete(n)),
+        faulty: (0..f).collect(),
+        f,
+        rule: "trimmed-mean".into(),
+        quantum: None,
+        adversary: adversary.into(),
+        seed,
+        inputs: InputSpec::Seeded(seed),
+        epsilon: 10f64.powi(-eps_exp),
+        max_rounds: 200,
+    }
+}
+
+/// Submits `job` against `store` with no progress sink and unwraps the
+/// terminal result.
+fn submit_local(store: &mut Store, job: &JobSpec) -> (bool, RunKey, Vec<u8>) {
+    let response = iabc::serve::server::answer_submit(store, job, 1, |_, _, _| {}).unwrap();
+    match response {
+        protocol::Response::Result {
+            cache_hit,
+            key,
+            payload,
+            ..
+        } => (cache_hit, key, payload),
+        other => panic!("expected a result frame, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// THE cache-correctness property: for any scenario, the payload a
+    /// warm store serves is byte-identical to a fresh recomputation (and
+    /// to what an independent store computes for the same spec).
+    #[test]
+    fn cache_hit_is_byte_identical_to_recompute(
+        n in 4usize..9,
+        f in 0usize..2,
+        seed in 0u64..1000,
+        adv_idx in 0usize..3,
+        eps_exp in 3i32..8,
+    ) {
+        let adversary = ["constant", "extremes", "pull-low"][adv_idx];
+        let spec = scenario(n, f, seed, adversary, eps_exp);
+        let job = JobSpec::Scenario(spec.clone());
+        let dir = temp_dir(&format!("prop-{n}-{f}-{seed}-{adv_idx}-{eps_exp}"));
+        let mut store = Store::open(&dir).unwrap();
+        let (first_hit, key, cold) = submit_local(&mut store, &job);
+        let (second_hit, key2, warm) = submit_local(&mut store, &job);
+        prop_assert!(!first_hit);
+        prop_assert!(second_hit);
+        prop_assert_eq!(key, key2);
+        prop_assert_eq!(&cold, &warm, "hit must serve the miss's exact bytes");
+        // ... and both equal a from-scratch recomputation outside any store.
+        prop_assert_eq!(&cold, &spec.execute().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flipping any single key ingredient yields a different run key —
+    /// distinct work can never alias in the store.
+    #[test]
+    fn distinct_ingredients_never_collide(
+        n in 4usize..8,
+        f in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let base = scenario(n, f, seed, "constant", 6);
+        let base_key = JobSpec::Scenario(base.clone()).key().unwrap();
+        let variants = [
+            ScenarioSpec { seed: seed + 1, inputs: InputSpec::Seeded(seed + 1), ..base.clone() },
+            ScenarioSpec { adversary: "extremes".into(), ..base.clone() },
+            ScenarioSpec { epsilon: base.epsilon * 0.1, ..base.clone() },
+            ScenarioSpec { max_rounds: base.max_rounds + 1, ..base.clone() },
+            ScenarioSpec {
+                graph: parse::to_edge_list(&generators::complete(n + 1)),
+                inputs: InputSpec::Seeded(seed),
+                ..base.clone()
+            },
+            ScenarioSpec { rule: "mean".into(), ..base.clone() },
+        ];
+        let mut keys = vec![base_key];
+        for variant in variants {
+            keys.push(JobSpec::Scenario(variant).key().unwrap());
+        }
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                prop_assert_ne!(a, b, "two distinct specs share a key");
+            }
+        }
+    }
+}
+
+/// Replaying the journal of a populated store reconstructs exactly its
+/// addressable contents — the journal is the index's source of truth.
+#[test]
+fn journal_replay_reconstructs_store_contents() {
+    let dir = temp_dir("replay");
+    let jobs: Vec<JobSpec> = (0..5u64)
+        .map(|seed| JobSpec::Scenario(scenario(5, 1, seed, "constant", 6)))
+        .collect();
+    let mut payloads = Vec::new();
+    {
+        let mut store = Store::open(&dir).unwrap();
+        for job in &jobs {
+            let (hit, key, payload) = submit_local(&mut store, job);
+            assert!(!hit);
+            payloads.push((key, payload));
+        }
+        // Serve two of them again so the journal also carries hit records.
+        submit_local(&mut store, &jobs[0]);
+        submit_local(&mut store, &jobs[3]);
+    }
+    // Reconstruct from the journal alone.
+    let records = replay_journal(&dir.join("journal.log")).unwrap();
+    assert_eq!(records.len(), 7, "5 misses + 2 hits");
+    assert_eq!(records.iter().filter(|r| r.hit).count(), 2);
+    let replayed_index: std::collections::BTreeSet<RunKey> =
+        records.iter().filter(|r| !r.hit).map(|r| r.key).collect();
+    let expected: std::collections::BTreeSet<RunKey> = payloads.iter().map(|(k, _)| *k).collect();
+    assert_eq!(replayed_index, expected);
+    // A reopened store agrees with the replay and still serves every
+    // payload byte-for-byte.
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 5);
+    for (key, payload) in &payloads {
+        assert_eq!(&store.get(*key).unwrap(), payload);
+    }
+    // decode_journal over the raw bytes agrees with replay_journal.
+    let raw = std::fs::read(store.journal_path()).unwrap();
+    assert_eq!(decode_journal(&raw), records);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end daemon smoke over a real socket: the same sweep submitted
+/// twice — the first executes (miss), the second is served from the store
+/// with byte-identical payload, and the journal records the miss before
+/// the hit. This is the PR's acceptance scenario, in-process.
+#[test]
+fn server_answers_second_submission_from_store() {
+    let dir = temp_dir("daemon");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 1,
+        store_dir: dir.clone(),
+        accept_limit: Some(3),
+    };
+    let mut server = Server::bind(&config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        let stats = server.run().unwrap();
+        (stats, server)
+    });
+
+    let job = JobSpec::Sweep {
+        ids: vec!["E1".into()],
+    };
+    let first = iabc::serve::submit(&addr, &job).unwrap();
+    assert!(!first.cache_hit, "fresh store must miss");
+    assert!(first.misses >= 1);
+    assert!(!first.payload.is_empty());
+    assert!(
+        !first.progress.is_empty(),
+        "a miss must stream progress frames"
+    );
+    let second = iabc::serve::submit(&addr, &job).unwrap();
+    assert!(second.cache_hit, "second submission must hit");
+    assert_eq!(
+        first.payload, second.payload,
+        "hit payload must be byte-identical to the miss's"
+    );
+    assert_eq!(first.key, second.key);
+
+    // Query the key directly — same bytes again.
+    let queried = iabc::serve::query(&addr, first.key).unwrap().unwrap();
+    assert_eq!(queried, first.payload);
+
+    let (stats, server) = handle.join().unwrap();
+    assert_eq!(stats.connections, 3);
+    assert_eq!(stats.job_hits, 1);
+    assert_eq!(stats.job_misses, 1);
+
+    // Journal order for the job key: the miss record precedes the hit.
+    let records = replay_journal(&server.store().journal_path()).unwrap();
+    let for_key: Vec<bool> = records
+        .iter()
+        .filter(|r| r.key == first.key)
+        .map(|r| r.hit)
+        .collect();
+    assert!(
+        for_key.windows(2).any(|w| w == [false, true]),
+        "journal must record the miss before the hit for {:?}: {for_key:?}",
+        first.key
+    );
+    // The query also journaled a hit on the job key.
+    assert_eq!(for_key.iter().filter(|&&h| h).count(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An absent key answers `Absent` (not an error), and a malformed frame
+/// answers an error frame without killing the daemon.
+#[test]
+fn query_absent_key_is_clean() {
+    let dir = temp_dir("absent");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: 1,
+        store_dir: dir.clone(),
+        accept_limit: Some(1),
+    };
+    let mut server = Server::bind(&config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    let absent = iabc::serve::query(&addr, RunKey(0x1234_5678_9abc_def0)).unwrap();
+    assert!(absent.is_none());
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.job_hits, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

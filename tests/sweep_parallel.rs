@@ -15,7 +15,7 @@ fn e1_to_e12_through_sweep_runner_serial_equals_parallel() {
     let (parallel_summary, parallel) = run_experiment_sweep(&[], PARALLEL_JOBS);
 
     // All twelve paper experiments ran, in grid order, and passed.
-    let ids: Vec<&str> = serial.iter().map(|o| o.value.id).collect();
+    let ids: Vec<&str> = serial.iter().map(|o| o.value.id.as_str()).collect();
     assert_eq!(
         ids,
         ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
@@ -50,7 +50,7 @@ fn e1_to_e12_through_sweep_runner_serial_equals_parallel() {
 fn experiment_subset_selection_respects_ids() {
     let ids = vec!["e3".to_string(), "E7".to_string()];
     let (_, outcomes) = run_experiment_sweep(&ids, PARALLEL_JOBS);
-    let got: Vec<&str> = outcomes.iter().map(|o| o.value.id).collect();
+    let got: Vec<&str> = outcomes.iter().map(|o| o.value.id.as_str()).collect();
     assert_eq!(got, ["E3", "E7"]);
 }
 
