@@ -44,7 +44,7 @@ use iabc_core::theorem1;
 use iabc_exec::{process_executor, Chunking};
 use iabc_graph::generators;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::census::{census, CensusRow};
 use crate::experiments::{self, ExperimentResult};
@@ -337,7 +337,22 @@ pub struct MonteCarloSpec {
     pub edge_prob: f64,
     /// Graphs sampled per `(n, f)` cell.
     pub trials: usize,
+    /// FastMath replicas simulated per in-degree-eligible sampled graph
+    /// (`0` = condition-only, the historical sweep). When `> 0` each
+    /// eligible graph additionally runs a
+    /// [`iabc_sim::fastmath::BatchedSimulation`] of this width under a
+    /// constant-value attack on the first `f` nodes, tallying per-replica
+    /// convergence.
+    pub replicas: usize,
 }
+
+/// Round cap for the per-graph batched convergence runs of a
+/// `replicas > 0` Monte-Carlo sweep (generous for the small dense graphs
+/// the sweep samples; a non-converging cell is data, not an error).
+const MC_BATCH_MAX_ROUNDS: usize = 200;
+
+/// Convergence epsilon for those runs.
+const MC_BATCH_EPSILON: f64 = 1e-6;
 
 /// Tallies from one Monte-Carlo `(n, f)` cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -352,68 +367,147 @@ pub struct MonteCarloCellStats {
     pub satisfying: usize,
     /// How many satisfy Corollary 3's in-degree bound (`≥ 2f + 1`).
     pub corollary3: usize,
+    /// Replicas simulated per eligible graph (0 = condition-only cell).
+    pub replicas: usize,
+    /// Graphs on which a batched simulation ran (those meeting the
+    /// Corollary 3 in-degree bound, which guarantees the trim never
+    /// starves).
+    pub simulated: usize,
+    /// Replicas (across all simulated graphs) whose fault-free range
+    /// reached the convergence epsilon within the round cap.
+    pub converged: usize,
+    /// Sum of first-convergence rounds over the converged replicas (mean
+    /// = `rounds_total / converged`).
+    pub rounds_total: usize,
 }
 
 /// Builds one cell per `(n, f)` pair of the Monte-Carlo sweep. Each cell
 /// seeds its own RNG from its coordinates, so a cell's tally never depends
-/// on which worker ran it or in what order.
+/// on which worker ran it or in what order. With `spec.replicas > 0` the
+/// cell's coordinates (hence its seed) gain a `replicas` component and
+/// every in-degree-eligible sampled graph also runs a replica-batched
+/// FastMath simulation: random inputs in `[0, 1)` per `(node, replica)`
+/// drawn from the cell RNG, the first `f` nodes faulty under a constant
+/// out-of-hull attack, trimmed-mean with the cell's `f`.
 pub fn monte_carlo_cells(spec: &MonteCarloSpec) -> Vec<SweepCell<'static, MonteCarloCellStats>> {
     let mut cells = Vec::new();
     for &n in &spec.ns {
         for &f in &spec.fs {
-            let (edge_prob, trials) = (spec.edge_prob, spec.trials);
-            let coords = CellCoords::new("monte-carlo")
+            let (edge_prob, trials, replicas) = (spec.edge_prob, spec.trials, spec.replicas);
+            let mut coords = CellCoords::new("monte-carlo")
                 .with("n", n)
                 .with("f", f)
                 .with("p", edge_prob)
                 .with("trials", trials);
+            if replicas > 0 {
+                coords = coords.with("replicas", replicas);
+            }
             cells.push(SweepCell::new(coords, move |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let mut satisfying = 0usize;
-                let mut corollary3 = 0usize;
-                for _ in 0..trials {
-                    let g = generators::erdos_renyi(n, edge_prob, &mut rng);
-                    if g.min_in_degree() > 2 * f {
-                        corollary3 += 1;
-                    }
-                    if theorem1::check(&g, f).is_satisfied() {
-                        satisfying += 1;
-                    }
-                }
-                MonteCarloCellStats {
+                let mut stats = MonteCarloCellStats {
                     n,
                     f,
                     trials,
-                    satisfying,
-                    corollary3,
+                    satisfying: 0,
+                    corollary3: 0,
+                    replicas,
+                    simulated: 0,
+                    converged: 0,
+                    rounds_total: 0,
+                };
+                for _ in 0..trials {
+                    let g = generators::erdos_renyi(n, edge_prob, &mut rng);
+                    let eligible = g.min_in_degree() > 2 * f;
+                    if eligible {
+                        stats.corollary3 += 1;
+                    }
+                    if theorem1::check(&g, f).is_satisfied() {
+                        stats.satisfying += 1;
+                    }
+                    if replicas > 0 && eligible && f < n {
+                        batch_trial(&g, f, replicas, &mut rng, &mut stats);
+                    }
                 }
+                stats
             }));
         }
     }
     cells
 }
 
+/// One batched convergence run of a `replicas > 0` Monte-Carlo cell; see
+/// [`monte_carlo_cells`]. Inputs are drawn from the cell RNG *inside*
+/// this function in a fixed order, so the cell stays a pure function of
+/// its coordinate seed.
+fn batch_trial(
+    g: &iabc_graph::Digraph,
+    f: usize,
+    replicas: usize,
+    rng: &mut StdRng,
+    stats: &mut MonteCarloCellStats,
+) {
+    use iabc_sim::adversary::{Adversary, ConstantAdversary};
+    use iabc_sim::fastmath::BatchedSimulation;
+    use iabc_sim::RunConfig;
+
+    let n = g.node_count();
+    let inputs: Vec<f64> = (0..n * replicas)
+        .map(|_| rng.random_range(0.0..1.0))
+        .collect();
+    let faults = iabc_graph::NodeSet::from_indices(n, 0..f);
+    let rule = iabc_core::fastmath::FastRule::TrimmedMean(f);
+    let make = |_: usize| -> Box<dyn Adversary> { Box::new(ConstantAdversary::new(1e9)) };
+    // Eligibility (`min_in_degree > 2f`) guarantees the trim never
+    // starves, so the only Rule error would be an engine bug — surface it.
+    let mut batch = BatchedSimulation::new(g, &inputs, faults, rule, replicas, make)
+        .expect("eligible monte-carlo batch must construct");
+    let out = batch
+        .run(&RunConfig::bounded(MC_BATCH_EPSILON, MC_BATCH_MAX_ROUNDS))
+        .expect("in-degree-eligible batch cannot starve the trim");
+    stats.simulated += 1;
+    stats.converged += out.converged_count();
+    stats.rounds_total += out.rounds_to_converge.iter().flatten().sum::<usize>();
+}
+
 /// Runs a Monte-Carlo tolerance sweep and renders the per-cell tallies.
+/// With `spec.replicas > 0` the table gains the batched-convergence
+/// columns (`replicas`, `simulated`, `converged`, `mean_rounds`).
 pub fn run_monte_carlo_sweep(spec: &MonteCarloSpec, jobs: usize) -> Table {
     let outcomes = run_cells(monte_carlo_cells(spec), jobs);
-    let mut table = Table::new([
+    let batched = spec.replicas > 0;
+    let mut headers = vec![
         "n",
         "f",
         "p",
         "trials",
         "satisfying",
         "corollary3_in_degree",
-    ]);
+    ];
+    if batched {
+        headers.extend(["replicas", "simulated", "converged", "mean_rounds"]);
+    }
+    let mut table = Table::new(headers);
     for outcome in &outcomes {
         let s = &outcome.value;
-        table.row([
+        let mut row = vec![
             s.n.to_string(),
             s.f.to_string(),
             format!("{}", spec.edge_prob),
             s.trials.to_string(),
             s.satisfying.to_string(),
             s.corollary3.to_string(),
-        ]);
+        ];
+        if batched {
+            row.push(s.replicas.to_string());
+            row.push(s.simulated.to_string());
+            row.push(s.converged.to_string());
+            row.push(if s.converged == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", s.rounds_total as f64 / s.converged as f64)
+            });
+        }
+        table.row(row);
     }
     table
 }
@@ -496,6 +590,47 @@ mod tests {
             fs: vec![0, 1],
             edge_prob: 0.6,
             trials: 8,
+            replicas: 0,
+        };
+        let serial = run_monte_carlo_sweep(&spec, 1).to_string();
+        let parallel = run_monte_carlo_sweep(&spec, 4).to_string();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batched_monte_carlo_sweep_tallies_convergence() {
+        let spec = MonteCarloSpec {
+            ns: vec![6],
+            fs: vec![1],
+            edge_prob: 0.9,
+            trials: 6,
+            replicas: 4,
+        };
+        let cells = monte_carlo_cells(&spec);
+        let outcomes = run_cells(cells, 1);
+        assert_eq!(outcomes.len(), 1);
+        let s = &outcomes[0].value;
+        assert_eq!(s.replicas, 4);
+        assert_eq!(s.simulated, s.corollary3);
+        // Dense (p = 0.9) eligible graphs under a clamped constant attack
+        // converge well inside the round cap.
+        assert!(s.simulated > 0, "dense sweep should simulate something");
+        assert_eq!(s.converged, s.simulated * 4);
+        assert!(s.rounds_total >= s.converged);
+        // The rendered table carries the batched columns.
+        let table = run_monte_carlo_sweep(&spec, 2).to_string();
+        assert!(table.contains("mean_rounds"));
+        assert!(table.contains("simulated"));
+    }
+
+    #[test]
+    fn batched_monte_carlo_sweep_is_bit_identical_across_job_counts() {
+        let spec = MonteCarloSpec {
+            ns: vec![5, 6],
+            fs: vec![1],
+            edge_prob: 0.8,
+            trials: 4,
+            replicas: 3,
         };
         let serial = run_monte_carlo_sweep(&spec, 1).to_string();
         let parallel = run_monte_carlo_sweep(&spec, 4).to_string();

@@ -194,11 +194,101 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// FastMath tier: the scalar trim kernel (exact vs FastMath) and the
+/// replica-batched SoA engine vs dispatching the same replicas one
+/// engine at a time. `iabc perf` records the same comparisons as the
+/// `"fastmath"` and `"replica_batch"` JSON datapoints.
+fn bench_fastmath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_fastmath");
+    group.sample_size(10);
+    // Scalar kernel faceoff: one row of in-degree 16, f = 2, fresh values
+    // per update (the kernel sorts in place).
+    let rows = if quick() { 500 } else { 2000 };
+    let len = 16;
+    let f = 2;
+    let values: Vec<f64> = (0..rows * len)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 * 1e-12)
+        .collect();
+    let mut scratch = vec![0.0f64; len];
+    group.bench_function(format!("kernel_exact/{rows}rows/len{len}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in values.chunks_exact(len) {
+                scratch.copy_from_slice(row);
+                acc += iabc_core::rules::trim_kernel(0.5, &mut scratch, f);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(format!("kernel_fast/{rows}rows/len{len}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in values.chunks_exact(len) {
+                scratch.copy_from_slice(row);
+                acc += iabc_core::fastmath::trim_kernel_fast(0.5, &mut scratch, f);
+            }
+            black_box(acc)
+        })
+    });
+    // Replica batching: 32 lockstep replicas on an in-degree-16 circulant
+    // (rows fit the vertical sorting network) vs 32 scalar engines.
+    let replicas = 32;
+    let n = if quick() { 128 } else { 256 };
+    let rb_f = 2;
+    let rounds = 10;
+    let graph = iabc_graph::generators::circulant(n, 1..=16);
+    let faults = fault_set_for(n, rb_f);
+    let inputs: Vec<f64> = (0..n * replicas)
+        .map(|i| ((i * 37) % 1000) as f64)
+        .collect();
+    group.bench_function(format!("batched/n{n}/x{replicas}/{rounds}rounds"), |b| {
+        b.iter(|| {
+            let mut batch = iabc_sim::fastmath::BatchedSimulation::new(
+                &graph,
+                &inputs,
+                faults.clone(),
+                iabc_core::fastmath::FastRule::TrimmedMean(rb_f),
+                replicas,
+                |_| Box::new(ConstantAdversary::new(1e9)),
+            )
+            .expect("valid workload");
+            for _ in 0..rounds {
+                batch.step().expect("step succeeds");
+            }
+            black_box(batch.states()[0])
+        })
+    });
+    group.bench_function(format!("dispatched/n{n}/x{replicas}/{rounds}rounds"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..replicas {
+                let rule = TrimmedMean::new(rb_f);
+                let replica_inputs: Vec<f64> = (0..n).map(|i| inputs[i * replicas + r]).collect();
+                let mut sim = Simulation::new(
+                    &graph,
+                    &replica_inputs,
+                    faults.clone(),
+                    &rule,
+                    Box::new(ConstantAdversary::new(1e9)),
+                )
+                .expect("valid workload");
+                for _ in 0..rounds {
+                    sim.step().expect("step succeeds");
+                }
+                acc += sim.states()[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compiled,
     bench_reference,
     bench_parallel,
-    bench_pool
+    bench_pool,
+    bench_fastmath
 );
 criterion_main!(benches);

@@ -17,6 +17,7 @@ fn spec() -> MonteCarloSpec {
         fs: vec![1, 2],
         edge_prob: 0.55,
         trials: 25,
+        replicas: 0,
     }
 }
 

@@ -969,13 +969,20 @@ pub fn sweep_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 fs: if fs.is_empty() { vec![1] } else { fs },
                 edge_prob: args.optional("p")?.unwrap_or(0.5),
                 trials: args.optional("trials")?.unwrap_or(100),
+                replicas: args.optional("replicas")?.unwrap_or(0),
             };
             if !(0.0..=1.0).contains(&spec.edge_prob) {
                 return Err(CliError::Usage("--p must be in [0, 1]".into()));
             }
             let table = sweep::run_monte_carlo_sweep(&spec, jobs);
+            let batch_note = if spec.replicas > 0 {
+                format!(", {} FastMath replicas/graph", spec.replicas)
+            } else {
+                String::new()
+            };
             Ok(format!(
-                "Monte-Carlo tolerance sweep (p = {}, {} trials/cell, {jobs} jobs)\n\n{table}",
+                "Monte-Carlo tolerance sweep (p = {}, {} trials/cell{batch_note}, \
+                 {jobs} jobs)\n\n{table}",
                 spec.edge_prob, spec.trials
             ))
         }
@@ -1581,8 +1588,8 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     );
 
     // Scale datapoint: multiplexed-only, at an n no threaded deployment
-    // could host. Deliberately emitted WITHOUT a "speedup" field so
-    // `perf --check` skips it — an absolute rate is not machine-portable,
+    // could host. Marked `"informational": true` so `perf --check`
+    // explicitly skips it — an absolute rate is not machine-portable,
     // but the recorded trajectory shows the tier working at scale.
     let scale_n = if quick { 20_000 } else { 100_000 };
     let scale_rounds = 10;
@@ -1598,7 +1605,7 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let deploy_scale_json = format!(
         "  \"deploy_scale\": {{\"topology\": \"circulant\", \"n\": {scale_n}, \"f\": {dep_f}, \
          \"degree\": {dep_degree}, \"rounds\": {scale_rounds}, \"jobs\": {jobs}, \
-         \"multiplexed_steps_per_sec\": {scale_rate:.3}}},"
+         \"informational\": true, \"multiplexed_steps_per_sec\": {scale_rate:.3}}},"
     );
 
     // Serve-cache datapoint: the serving tier's whole value proposition is
@@ -1674,15 +1681,136 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
          \"warm_hits_per_sec\": {warm_rate:.3}, \"speedup\": {cache_speedup:.3}}},"
     );
 
+    // FastMath kernel datapoint: the vectorized trim kernel
+    // (`trim_kernel_fast`: branch-free sign-magnitude keys + sorting
+    // network + unrolled survivor sum) against the exact scalar
+    // `rules::trim_kernel` on the same row set. Pure arithmetic — no
+    // engine, no adversary — so the speedup isolates the kernel itself.
+    let fm_rows = if quick { 2_000 } else { 8_000 };
+    let fm_len = 16usize; // in-degree per row: inside the network fast path
+    let fm_f = 2usize;
+    let fm_reps = if quick { 20 } else { 50 };
+    let fm_values: Vec<f64> = (0..fm_rows * fm_len)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 * 1e-12)
+        .collect();
+    let time_kernel = |kernel: &dyn Fn(f64, &mut [f64], usize) -> f64| -> f64 {
+        let mut rowbuf = vec![0.0f64; fm_len];
+        let mut sink = 0.0f64;
+        // One untimed pass warms caches (and, for the fast kernel, the
+        // cached CPU feature detection).
+        for row in fm_values.chunks_exact(fm_len) {
+            rowbuf.copy_from_slice(row);
+            sink += kernel(rowbuf[0], &mut rowbuf, fm_f);
+        }
+        let start = Instant::now();
+        for _ in 0..fm_reps {
+            for row in fm_values.chunks_exact(fm_len) {
+                rowbuf.copy_from_slice(row);
+                sink += kernel(rowbuf[0], &mut rowbuf, fm_f);
+            }
+        }
+        std::hint::black_box(sink);
+        (fm_reps * fm_rows) as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    };
+    let exact_rate = time_kernel(&iabc_core::rules::trim_kernel);
+    let fast_rate = time_kernel(&iabc_core::fastmath::trim_kernel_fast);
+    let fm_speedup = fast_rate / exact_rate;
+    report.push_str(&format!(
+        "fastmath: {fm_rows} rows x len {fm_len} f={fm_f} — {exact_rate:.0} updates/s exact \
+         kernel vs {fast_rate:.0} updates/s FastMath ({fm_speedup:.2}x)\n"
+    ));
+    let fastmath_json = format!(
+        "  \"fastmath\": {{\"topology\": \"rows\", \"n\": {fm_len}, \"f\": {fm_f}, \
+         \"rows\": {fm_rows}, \"jobs\": {jobs}, \"exact_updates_per_sec\": {exact_rate:.3}, \
+         \"fast_updates_per_sec\": {fast_rate:.3}, \"speedup\": {fm_speedup:.3}}},"
+    );
+
+    // Replica-batch datapoint: R same-topology Monte-Carlo replicas
+    // advanced by ONE replica-major SoA engine (a single CSR row walk
+    // feeds all R lanes) versus R independently dispatched exact engines
+    // — construction included on both sides, because amortizing per-run
+    // setup across the batch is half the point. Both tiers run serially;
+    // the speedup isolates batching, not threading.
+    // Circulant with in-degree 16: rows fit the vertical sorting
+    // network (in-degree <= 32), which is where batching pays — a
+    // deployment-shaped sparse topology, not a clique.
+    let rb_replicas = 32usize;
+    let rb_n = if quick { 256 } else { 512 };
+    let rb_f = 2usize;
+    let rb_rounds = if quick { 20 } else { 40 };
+    let rb_graph = generators::circulant(rb_n, 1..=16);
+    let rb_faults = NodeSet::from_indices(rb_n, iabc_bench::hotpath_fault_nodes(rb_n, rb_f));
+    let rb_inputs: Vec<f64> = (0..rb_n * rb_replicas)
+        .map(|i| ((i * 37) % 1000) as f64)
+        .collect();
+    // Best-of-reps on both sides: each side's window is a handful of
+    // milliseconds, and single-shot timings on a shared single-core box
+    // are too noisy for a checked ratio.
+    let rb_reps = 3;
+    let mut batched_secs = f64::INFINITY;
+    for _ in 0..rb_reps {
+        let start = Instant::now();
+        let mut batch = iabc_sim::fastmath::BatchedSimulation::new(
+            &rb_graph,
+            &rb_inputs,
+            rb_faults.clone(),
+            iabc_core::fastmath::FastRule::TrimmedMean(rb_f),
+            rb_replicas,
+            |_| Box::new(ConstantAdversary::new(1e9)),
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+        for _ in 0..rb_rounds {
+            batch.step().map_err(|e| CliError::Run(e.to_string()))?;
+        }
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+    }
+    let batched_rate = (rb_rounds * rb_replicas) as f64 / batched_secs.max(1e-12);
+    let mut dispatch_secs = f64::INFINITY;
+    for _ in 0..rb_reps {
+        let start = Instant::now();
+        for r in 0..rb_replicas {
+            let rule = TrimmedMean::new(rb_f);
+            let replica_inputs: Vec<f64> =
+                (0..rb_n).map(|i| rb_inputs[i * rb_replicas + r]).collect();
+            let mut sim = iabc_sim::Simulation::new(
+                &rb_graph,
+                &replica_inputs,
+                rb_faults.clone(),
+                &rule,
+                Box::new(ConstantAdversary::new(1e9)),
+            )
+            .map_err(|e| CliError::Run(e.to_string()))?;
+            for _ in 0..rb_rounds {
+                sim.step().map_err(|e| CliError::Run(e.to_string()))?;
+            }
+        }
+        dispatch_secs = dispatch_secs.min(start.elapsed().as_secs_f64());
+    }
+    let dispatch_rate = (rb_rounds * rb_replicas) as f64 / dispatch_secs.max(1e-12);
+    let rb_speedup = batched_rate / dispatch_rate;
+    report.push_str(&format!(
+        "replica batch: circulant/n{rb_n} f={rb_f} x {rb_replicas} replicas, {rb_rounds} rounds — \
+         {dispatch_rate:.0} replica-steps/s dispatched per replica vs {batched_rate:.0} \
+         replica-steps/s batched SoA ({rb_speedup:.2}x)\n"
+    ));
+    let replica_batch_json = format!(
+        "  \"replica_batch\": {{\"topology\": \"circulant\", \"n\": {rb_n}, \"f\": {rb_f}, \
+         \"replicas\": {rb_replicas}, \"rounds\": {rb_rounds}, \"jobs\": {jobs}, \
+         \"dispatch_replica_steps_per_sec\": {dispatch_rate:.3}, \
+         \"batched_replica_steps_per_sec\": {batched_rate:.3}, \"speedup\": {rb_speedup:.3}}},"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{}\",\n  \"unit\": \"steps_per_sec\",\n  \
-         \"adversary\": \"constant\",\n{}\n{}\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"adversary\": \"constant\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         parallel_json,
         pool_json,
         deploy_json,
         deploy_scale_json,
         serve_cache_json,
+        fastmath_json,
+        replica_batch_json,
         entries.join(",\n")
     );
 
@@ -1779,6 +1907,37 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 }
             }
         }
+        // The FastMath kernel datapoint: fast-vs-exact kernel speedup on
+        // the same row set — same workload in quick and full mode, so it
+        // is compared whenever the baseline recorded it.
+        if let Some((base_len, base_jobs, base_speedup)) = baseline.fastmath {
+            if base_jobs == jobs {
+                compared += 1;
+                if fm_speedup < base_speedup * (1.0 - tolerance) {
+                    regressions.push(format!(
+                        "fastmath rows/len{fm_len}: kernel speedup {fm_speedup:.2}x vs \
+                         baseline {base_speedup:.2}x at len={base_len} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        // The replica-batch datapoint: batched-SoA-vs-dispatched speedup,
+        // compared on the job count alone like the other engine-level
+        // datapoints (quick mode runs a smaller n).
+        if let Some((base_n, base_jobs, base_speedup)) = baseline.replica_batch {
+            if base_jobs == jobs {
+                compared += 1;
+                if rb_speedup < base_speedup * (1.0 - tolerance) {
+                    regressions.push(format!(
+                        "replica_batch circulant/n{rb_n} x{rb_replicas}: batched-vs-dispatch \
+                         speedup {rb_speedup:.2}x vs baseline {base_speedup:.2}x at \
+                         n={base_n} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
         if !regressions.is_empty() {
             return Err(CliError::Run(format!(
                 "perf regression against {baseline_path} ({compared} workloads compared):\n  {}",
@@ -1817,6 +1976,12 @@ struct BenchBaseline {
     /// `(n, jobs, speedup)` of the serve-cache warm-vs-cold datapoint, if
     /// recorded.
     serve_cache: Option<(usize, usize, f64)>,
+    /// `(n, jobs, speedup)` of the FastMath-vs-exact kernel datapoint, if
+    /// recorded (`n` here is the row length).
+    fastmath: Option<(usize, usize, f64)>,
+    /// `(n, jobs, speedup)` of the batched-vs-dispatched replica
+    /// datapoint, if recorded.
+    replica_batch: Option<(usize, usize, f64)>,
 }
 
 /// Extracts the value of `"key": value` from a single JSON object line
@@ -1839,7 +2004,16 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
     let mut pool = None;
     let mut deploy = None;
     let mut serve_cache = None;
+    let mut fastmath = None;
+    let mut replica_batch = None;
     for line in text.lines() {
+        // Datapoints marked `"informational": true` record a trajectory
+        // (e.g. an absolute rate at scale) but are never regression-checked
+        // — the explicit opt-out, rather than relying on a line happening
+        // to lack some checked field.
+        if json_field(line, "informational") == Some("true") {
+            continue;
+        }
         let (Some(topology), Some(n), Some(f), Some(speedup)) = (
             json_field(line, "topology"),
             json_field(line, "n").and_then(|v| v.parse::<usize>().ok()),
@@ -1850,14 +2024,17 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
         };
         if let Some(jobs) = json_field(line, "jobs").and_then(|v| v.parse::<usize>().ok()) {
             // The special datapoints all record a job count; each is
-            // recognized by a field only it emits. (The deploy_scale line
-            // also records jobs but no "speedup", so it never gets here.)
+            // recognized by a field only it emits.
             if json_field(line, "pooled_steps_per_sec").is_some() {
                 pool = Some((n, jobs, speedup));
             } else if json_field(line, "threaded_steps_per_sec").is_some() {
                 deploy = Some((n, jobs, speedup));
             } else if json_field(line, "warm_hits_per_sec").is_some() {
                 serve_cache = Some((n, jobs, speedup));
+            } else if json_field(line, "fast_updates_per_sec").is_some() {
+                fastmath = Some((n, jobs, speedup));
+            } else if json_field(line, "batched_replica_steps_per_sec").is_some() {
+                replica_batch = Some((n, jobs, speedup));
             } else {
                 parallel = Some((n, jobs, speedup));
             }
@@ -1876,6 +2053,8 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
         pool,
         deploy,
         serve_cache,
+        fastmath,
+        replica_batch,
     }
 }
 
@@ -2644,9 +2823,9 @@ mod tests {
         assert!(json.contains("\"bench\": \"hotpath\""), "{json}");
         assert!(json.contains("\"mode\": \"quick\""), "{json}");
         assert!(json.contains("\"compiled_steps_per_sec\""), "{json}");
-        // 6 grid entries + parallel, pool, deploy, deploy_scale, and
-        // serve_cache datapoints.
-        assert_eq!(json.matches("\"topology\"").count(), 11, "{json}");
+        // 6 grid entries + parallel, pool, deploy, deploy_scale,
+        // serve_cache, fastmath, and replica_batch datapoints.
+        assert_eq!(json.matches("\"topology\"").count(), 13, "{json}");
         assert!(json.contains("\"parallel\""), "{json}");
         assert!(json.contains("\"serial_steps_per_sec\""), "{json}");
         assert!(json.contains("\"pool\""), "{json}");
@@ -2659,12 +2838,19 @@ mod tests {
         assert!(json.contains("\"serve_cache\""), "{json}");
         assert!(json.contains("\"cold_jobs_per_sec\""), "{json}");
         assert!(json.contains("\"warm_hits_per_sec\""), "{json}");
-        // The scale line must stay check-exempt: jobs recorded, no speedup.
+        assert!(json.contains("\"fastmath\""), "{json}");
+        assert!(json.contains("\"fast_updates_per_sec\""), "{json}");
+        assert!(json.contains("\"replica_batch\""), "{json}");
+        assert!(json.contains("\"batched_replica_steps_per_sec\""), "{json}");
+        // The scale line must stay check-exempt via the explicit marker.
         let scale_line = json
             .lines()
             .find(|l| l.contains("\"deploy_scale\""))
             .unwrap();
-        assert!(!scale_line.contains("\"speedup\""), "{scale_line}");
+        assert!(
+            scale_line.contains("\"informational\": true"),
+            "{scale_line}"
+        );
         // Structurally sound: balanced braces/brackets, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -2735,6 +2921,29 @@ mod tests {
     fn serve_requires_a_store() {
         let err = run(&argv(&["serve"])).unwrap_err();
         assert!(err.to_string().contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn bench_baseline_parser_obeys_the_informational_marker() {
+        // An informational line is skipped even if it DOES carry every
+        // checked field — the marker, not a missing field, is the rule.
+        let text = concat!(
+            "  \"deploy_scale\": {\"topology\": \"circulant\", \"n\": 9, \"f\": 1, ",
+            "\"jobs\": 4, \"informational\": true, \"speedup\": 99.0},\n",
+            "  \"fastmath\": {\"topology\": \"rows\", \"n\": 16, \"f\": 2, \"jobs\": 4, ",
+            "\"exact_updates_per_sec\": 1.0, \"fast_updates_per_sec\": 2.0, ",
+            "\"speedup\": 2.0},\n",
+            "  \"replica_batch\": {\"topology\": \"complete\", \"n\": 96, \"f\": 3, ",
+            "\"jobs\": 4, \"dispatch_replica_steps_per_sec\": 1.0, ",
+            "\"batched_replica_steps_per_sec\": 3.0, \"speedup\": 3.0},\n",
+        );
+        let baseline = parse_bench_json(text);
+        assert!(
+            baseline.parallel.is_none(),
+            "informational line must not fall through"
+        );
+        assert_eq!(baseline.fastmath, Some((16, 4, 2.0)));
+        assert_eq!(baseline.replica_batch, Some((96, 4, 3.0)));
     }
 
     #[test]

@@ -117,8 +117,11 @@ pub fn usage() -> String {
                                       bit-identical output for any job count;\n\
                                       --store memoizes cells through the serving\n\
                                       tier's result store, reporting hits/misses\n\
-       sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--parallel] [--jobs N]\n\
-                                      random-digraph tolerance sweep, one cell per (n,f)\n\
+       sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--replicas R]\n\
+              [--parallel] [--jobs N]  random-digraph tolerance sweep, one cell per\n\
+                                      (n,f); --replicas R also runs R FastMath\n\
+                                      replicas per eligible graph in one batched\n\
+                                      pass, tallying convergence\n\
        sweep census [--max-n 4 --f 0,1] [--parallel] [--jobs N]\n\
                                       exhaustive small-n census, one cell per (n,f)\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\

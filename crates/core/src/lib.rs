@@ -14,6 +14,7 @@
 //! | Propagation (Def. 3, Lemmas 1–2) | [`propagate`] |
 //! | Corollaries 2–3 fast checks | [`corollaries`] |
 //! | Algorithm 1 + rule variants | [`rules`] |
+//! | Opt-in vectorized kernel (FastMath tier) | [`fastmath`] |
 //! | Quantized (fixed-point) Algorithm 1 (extension) | [`quantized`] |
 //! | `α` and Lemma 5 rate bounds | [`alpha`] |
 //! | §7 asynchronous condition | [`async_condition`] |
@@ -51,6 +52,7 @@ pub mod async_condition;
 pub mod construction;
 pub mod corollaries;
 mod error;
+pub mod fastmath;
 pub mod fault_model;
 pub mod local_fault;
 pub mod minimality;

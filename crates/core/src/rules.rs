@@ -11,6 +11,22 @@
 //! An [`UpdateRule`] encapsulates step 3. Rules are pure functions of
 //! `(own value, received values)` — matching the paper's memory-less output
 //! constraint (`Z_i` may not depend on `t` or on older history).
+//!
+//! # Two tiers: exact and FastMath
+//!
+//! This module is the **exact tier**: every operation has one pinned
+//! bit-for-bit result (the left-to-right survivor sum in
+//! [`average_with_own`] is part of the contract), and every golden,
+//! proptest, and cross-engine equivalence suite in the workspace is
+//! anchored to it. [`crate::fastmath`] is the **FastMath tier**: opt-in
+//! vectorized counterparts (`sort_total_fast`, `trim_kernel_fast`, the
+//! [`crate::fastmath::FastRule`] family) whose *sorting and trimming are
+//! byte-identical* to this module but whose survivor sum folds four lanes
+//! and may differ by a few ULPs. Nothing routes through FastMath unless a
+//! caller asks for it, and the epsilon-audit harness in `iabc_sim`
+//! bounds the per-round divergence against this tier. When in doubt, use
+//! this module; reach for FastMath only on throughput-bound replica
+//! sweeps.
 
 use std::fmt;
 
@@ -21,9 +37,13 @@ use crate::error::RuleError;
 /// transform). The mask leaves the sign bit alone, so the transform is an
 /// involution: applying it twice restores the original bits.
 #[inline]
-const fn total_order_key(bits: u64) -> u64 {
+pub(crate) const fn total_order_key(bits: u64) -> u64 {
     bits ^ ((((bits as i64) >> 63) as u64) >> 1)
 }
+
+/// The IEEE-754 sign bit — the bias [`crate::fastmath`] XORs onto
+/// total-order keys so unsigned comparisons sort them.
+pub(crate) const SIGN_BIT: u64 = 0x8000_0000_0000_0000;
 
 /// Reinterprets an `f64` slice as its raw bit patterns.
 #[inline]
@@ -80,7 +100,7 @@ pub fn trimmed_survivors(values: &mut [f64], f: usize) -> &[f64] {
 }
 
 /// IEEE-754 exponent mask: all-ones exponent ⇔ the value is ±∞ or NaN.
-const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+pub(crate) const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
 
 /// The rules' shared validated trim front-end: checks `own` and every
 /// received value finite (the received scan is **fused into the sort's

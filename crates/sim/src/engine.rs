@@ -29,7 +29,7 @@ use crate::scenario::Scenario;
 /// Sentinel magnitude for sanitized non-finite Byzantine payloads. Large
 /// enough to land in the trimmed tails, small enough that partial sums stay
 /// finite.
-const SANITIZE_CLAMP: f64 = 1e100;
+pub(crate) const SANITIZE_CLAMP: f64 = 1e100;
 
 /// A synchronous iterative-consensus simulation.
 ///

@@ -74,6 +74,16 @@ pub enum SimError {
         /// Requested dimension `d`.
         dim: usize,
     },
+    /// A replica-batched scenario's flat inputs do not factor as
+    /// `nodes × replicas` (or the replica count was zero).
+    ReplicaShapeMismatch {
+        /// Flat input length supplied.
+        inputs: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Requested replica count `R`.
+        replicas: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -122,6 +132,18 @@ impl fmt::Display for SimError {
                     "got {inputs} flat inputs for {nodes} nodes x dimension {dim} \
                      (expected {})",
                     nodes * dim
+                )
+            }
+            SimError::ReplicaShapeMismatch {
+                inputs,
+                nodes,
+                replicas,
+            } => {
+                write!(
+                    f,
+                    "got {inputs} flat inputs for {nodes} nodes x {replicas} replicas \
+                     (expected {}, replicas >= 1)",
+                    nodes * replicas
                 )
             }
         }

@@ -1,0 +1,895 @@
+//! The FastMath replica-batched Monte-Carlo engine and its epsilon-audit
+//! harness.
+//!
+//! # Why replicas, not threads
+//!
+//! Monte-Carlo sweeps run many *same-topology* executions that differ only
+//! in inputs and adversary RNG streams. Running them one
+//! [`crate::Simulation`] at a time pays the full per-replica dispatch
+//! bill — a [`CompiledTopology`] compile, engine construction, a CSR row
+//! walk per replica per round — for workloads whose control flow is
+//! identical across replicas. [`BatchedSimulation`] runs `R` replicas in
+//! lockstep with states laid out **replica-major** (one `Vec<f64>` of
+//! `n × R`, node `i` replica `r` at `i*R + r`): one compile, one CSR row
+//! walk per round that gathers `R` contiguous lanes per in-neighbour, and
+//! the [`iabc_core::fastmath`] kernel applied per lane.
+//!
+//! # The epsilon contract
+//!
+//! The batched engine uses the FastMath tier
+//! ([`iabc_core::fastmath::FastRule`]), whose sorting/trimming is
+//! byte-identical to the exact tier but whose survivor sum may differ by a
+//! few ULPs. [`epsilon_audit`] makes that bound *checked*: it steps a
+//! fresh batch against `R` exact-tier [`crate::Simulation`]s in lockstep,
+//! compares every `(node, replica)` state each round under a ULP bound,
+//! and then **resynchronizes** the batch to the exact states — so
+//! adversary plans stay bit-identical on both sides and the bound
+//! genuinely measures *per-round kernel error*, not compounded drift.
+//! A deliberately wrong kernel must fail the audit;
+//! [`BatchedSimulation::with_perturbation`] exists so tests can prove the
+//! harness bites (see `tests/fastmath_audit.rs`).
+
+use iabc_core::fastmath::{
+    biased_key, decode_keys, encode_keys, sort_columns_keys, ulp_distance, FastRule,
+    COLUMN_PAD_KEY, NETWORK_MAX_LEN,
+};
+use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::engine::{sanitize, SANITIZE_CLAMP};
+use crate::error::SimError;
+use crate::plan::{
+    dense_slot_table, fill_plan, sub_csr_edges, PlannedEdge, PlannedMessage, RoundPlan,
+};
+use crate::run::RunConfig;
+
+/// `R` same-topology consensus executions advanced in lockstep on a
+/// replica-major structure-of-arrays state layout; see the
+/// [module docs](self).
+///
+/// Built through [`crate::Scenario::monte_carlo_batch`] or directly via
+/// [`BatchedSimulation::new`]. This engine is FastMath-only — for
+/// bit-exact single runs use [`crate::Simulation`].
+#[derive(Debug)]
+pub struct BatchedSimulation<'a> {
+    graph: &'a Digraph,
+    compiled: CompiledTopology,
+    fault_set: NodeSet,
+    rule: FastRule,
+    replicas: usize,
+    /// One independent adversary per replica (each holds its own RNG
+    /// stream / caches, exactly as `R` separate engines would).
+    adversaries: Vec<Box<dyn Adversary>>,
+    /// One plan per replica, filled serially each round in replica order.
+    plans: Vec<RoundPlan>,
+    /// Replica-major states: node `i`, replica `r` at `i * replicas + r`.
+    states: Vec<f64>,
+    next: Vec<f64>,
+    round: usize,
+    planned_edges: Vec<PlannedEdge>,
+    slot_edges: Vec<PlannedEdge>,
+    /// Per-replica n-length column snapshot (the adversary view's state
+    /// vector — adversaries speak the scalar layout).
+    snapshot: Vec<f64>,
+    /// Slot-major gather buffer: slot `s`, replica `r` at `s * replicas + r`.
+    scratch: Vec<f64>,
+    /// Per-replica sort buffer handed to the FastMath kernel.
+    sortbuf: Vec<f64>,
+    /// True when at least one fault-free row fits the columnar sorting
+    /// network — gates the per-round key-encode prologue.
+    columnar: bool,
+    /// Sanitized biased keys of `states`, rebuilt once per round (values
+    /// are receiver-independent, so encoding per out-edge would redo the
+    /// same work `deg` times).
+    keys: Vec<u64>,
+    /// Slot-major key gather for the columnar path (layout of `scratch`).
+    keybuf: Vec<u64>,
+    exec: iabc_exec::Executor,
+    /// Testing hook: added to every fault-free update. See
+    /// [`BatchedSimulation::with_perturbation`].
+    perturbation: f64,
+}
+
+impl<'a> BatchedSimulation<'a> {
+    /// Sets up `replicas` lockstep executions. `inputs` is replica-major
+    /// `n × replicas` (node `i` replica `r` at `i * replicas + r`);
+    /// `make_adversary(r)` builds replica `r`'s independent adversary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ReplicaShapeMismatch`] if `inputs.len()` is not
+    /// `n * replicas` (or `replicas` is zero); otherwise the same
+    /// validation errors as [`crate::Simulation::new`].
+    pub fn new(
+        graph: &'a Digraph,
+        inputs: &[f64],
+        fault_set: NodeSet,
+        rule: FastRule,
+        replicas: usize,
+        mut make_adversary: impl FnMut(usize) -> Box<dyn Adversary>,
+    ) -> Result<Self, SimError> {
+        let n = graph.node_count();
+        if replicas == 0 || inputs.len() != n * replicas {
+            return Err(SimError::ReplicaShapeMismatch {
+                inputs: inputs.len(),
+                nodes: n,
+                replicas,
+            });
+        }
+        if fault_set.universe() != n {
+            return Err(SimError::FaultSetMismatch {
+                universe: fault_set.universe(),
+                nodes: n,
+            });
+        }
+        if fault_set.len() == n {
+            return Err(SimError::NoFaultFreeNodes);
+        }
+        if let Some((flat, &value)) = inputs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(SimError::NonFiniteInput {
+                node: flat / replicas,
+                value,
+            });
+        }
+        let compiled = CompiledTopology::compile(graph, &fault_set);
+        let mut planned_edges = Vec::with_capacity(compiled.faulty_edge_count());
+        sub_csr_edges(&compiled, &mut planned_edges);
+        let mut slot_edges = Vec::new();
+        dense_slot_table(
+            compiled.faulty_edge_count(),
+            &planned_edges,
+            &mut slot_edges,
+        );
+        let adversaries = (0..replicas).map(&mut make_adversary).collect();
+        let max_deg = compiled.max_in_degree();
+        let f = rule.f();
+        let columnar = (0..n).any(|i| {
+            !compiled.is_faulty(i) && {
+                let deg = compiled.in_neighbors_of(i).len();
+                deg >= 2 * f.max(1) && deg <= NETWORK_MAX_LEN
+            }
+        });
+        Ok(BatchedSimulation {
+            graph,
+            compiled,
+            fault_set,
+            rule,
+            replicas,
+            adversaries,
+            plans: (0..replicas).map(|_| RoundPlan::new()).collect(),
+            states: inputs.to_vec(),
+            next: inputs.to_vec(),
+            round: 0,
+            planned_edges,
+            slot_edges,
+            snapshot: vec![0.0; n],
+            scratch: Vec::with_capacity(max_deg * replicas),
+            sortbuf: Vec::with_capacity(max_deg),
+            columnar,
+            keys: Vec::new(),
+            keybuf: Vec::new(),
+            exec: iabc_exec::Executor::serial(),
+            perturbation: 0.0,
+        })
+    }
+
+    /// **Audit canary hook**: adds `delta` to every fault-free update —
+    /// a deliberately wrong kernel. Exists solely so the epsilon-audit
+    /// harness can be proven non-tautological (a perturbed engine must
+    /// *fail* [`epsilon_audit`]); never set this in real workloads.
+    #[must_use]
+    pub fn with_perturbation(mut self, delta: f64) -> Self {
+        self.perturbation = delta;
+        self
+    }
+
+    /// Number of lockstep replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Iterations executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The replica-major state vector (`n × replicas`, node `i` replica
+    /// `r` at `i * replicas + r`). Faulty rows carry their inputs forever.
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// The faulty set (shared by every replica — same topology, same
+    /// faults; only inputs and adversary streams differ).
+    pub fn fault_set(&self) -> &NodeSet {
+        &self.fault_set
+    }
+
+    /// The FastMath rule every replica applies.
+    pub fn rule(&self) -> FastRule {
+        self.rule
+    }
+
+    /// Copies replica `r`'s column into a scalar state vector (node-major
+    /// length `n`) — the layout the rest of the workspace speaks.
+    pub fn replica_states(&self, r: usize) -> Vec<f64> {
+        assert!(r < self.replicas, "replica {r} out of {}", self.replicas);
+        let n = self.graph.node_count();
+        (0..n).map(|i| self.states[i * self.replicas + r]).collect()
+    }
+
+    /// Replica `r`'s fault-free range `U − µ`.
+    pub fn replica_range(&self, r: usize) -> f64 {
+        assert!(r < self.replicas, "replica {r} out of {}", self.replicas);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..self.graph.node_count() {
+            if self.fault_set.contains(NodeId::new(i)) {
+                continue;
+            }
+            let v = self.states[i * self.replicas + r];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+
+    /// Overwrites replica `r`'s fault-free entries from a scalar state
+    /// vector — the audit's per-round resynchronization (faulty rows are
+    /// never written, preserving the double-buffer contract).
+    fn resync_replica(&mut self, r: usize, exact: &[f64]) {
+        for (i, &v) in exact.iter().enumerate().take(self.graph.node_count()) {
+            if !self.fault_set.contains(NodeId::new(i)) {
+                self.states[i * self.replicas + r] = v;
+            }
+        }
+    }
+
+    /// Executes one lockstep iteration: phase 1 plans each replica's
+    /// round serially (replica order, so every adversary RNG stream is
+    /// exactly what its scalar engine would draw), phase 2 walks the CSR
+    /// once per node and advances all `R` lanes from one gather.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Rule`] if the rule fails at some node (first failing
+    /// node in ascending order, matching the scalar engine; the failing
+    /// replica is folded into the same error shape).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let r_count = self.replicas;
+        let n = self.graph.node_count();
+        // Phase 1: per-replica plans against per-replica column snapshots.
+        for r in 0..r_count {
+            for i in 0..n {
+                self.snapshot[i] = self.states[i * r_count + r];
+            }
+            let view = AdversaryView {
+                round: self.round,
+                graph: self.graph,
+                states: &self.snapshot,
+                fault_set: &self.fault_set,
+            };
+            fill_plan(
+                self.adversaries[r].as_mut(),
+                &view,
+                &self.planned_edges,
+                &self.slot_edges,
+                true,
+                &mut self.plans[r],
+                &self.exec,
+            );
+        }
+        // Phase 2 prologue: sanitize + encode every state into the biased
+        // key domain once per round. A value's key does not depend on the
+        // receiver, so encoding inside the per-node gather would redo the
+        // same transform out-degree times.
+        if self.columnar {
+            self.keys.clear();
+            self.keys
+                .extend(self.states.iter().map(|&v| sanitize(v).to_bits()));
+            encode_keys(&mut self.keys);
+        }
+        // Phase 2: one CSR walk advances every replica.
+        for i in 0..n {
+            if self.compiled.is_faulty(i) {
+                continue;
+            }
+            let row = self.compiled.in_neighbors_of(i);
+            let deg = row.len();
+            let f = self.rule.f();
+            let base = self.compiled.faulty_in_offset(i) as u32;
+            let fedges = self.compiled.faulty_in_edges_of(i);
+            if deg >= 2 * f.max(1) && deg <= NETWORK_MAX_LEN {
+                // Columnar fast path: gather the pre-encoded keys, pad to
+                // a power-of-two slot count, network-sort all R columns at
+                // once (the schedule is data-oblivious, so one
+                // compare-exchange orders a slot pair in every replica —
+                // four per AVX2 instruction), then decode only the
+                // surviving slots. Gathered values are sanitized finite,
+                // so the only rule error — too few values to trim — is
+                // excluded by the guard.
+                self.keybuf.clear();
+                for &j in row {
+                    let src = &self.keys[j as usize * r_count..j as usize * r_count + r_count];
+                    self.keybuf.extend_from_slice(src);
+                }
+                for (k, &(slot, _sender)) in fedges.iter().enumerate() {
+                    let lane = slot as usize * r_count;
+                    for r in 0..r_count {
+                        let raw = match self.plans[r].get(base + k as u32) {
+                            PlannedMessage::Value(v) => v,
+                            PlannedMessage::Omit => self.states[i * r_count + r],
+                        };
+                        self.keybuf[lane + r] = biased_key(sanitize(raw).to_bits());
+                    }
+                }
+                // Mean never trims, and the exact rule sums in gather
+                // order — sorting would only reorder (and so reassociate)
+                // its sum, so the network runs for the trimming rules only.
+                if !matches!(self.rule, FastRule::Mean) {
+                    self.keybuf
+                        .resize(deg.next_power_of_two() * r_count, COLUMN_PAD_KEY);
+                    sort_columns_keys(&mut self.keybuf, r_count);
+                }
+                let own_lane = i * r_count;
+                match self.rule {
+                    FastRule::TrimmedMean(_) | FastRule::Mean => {
+                        // Vertical survivor reduction: decode the (contiguous)
+                        // surviving slot rows, then add each row into
+                        // per-replica accumulators. Every replica's sum stays
+                        // the exact tier's left-to-right fold (the
+                        // accumulators are independent, so the compiler
+                        // vectorizes across replicas without reassociating
+                        // within one), making this path bit-identical to
+                        // `rules::average_with_own` over the sanitized gather.
+                        let weight = 1.0 / ((deg - 2 * f) as f64 + 1.0);
+                        decode_keys(&mut self.keybuf[f * r_count..(deg - f) * r_count]);
+                        self.sortbuf.clear();
+                        self.sortbuf.resize(r_count, 0.0);
+                        for s in f..deg - f {
+                            let srow = &self.keybuf[s * r_count..(s + 1) * r_count];
+                            for (acc, &b) in self.sortbuf.iter_mut().zip(srow) {
+                                *acc += f64::from_bits(b);
+                            }
+                        }
+                        for r in 0..r_count {
+                            let mut out = weight * (self.states[own_lane + r] + self.sortbuf[r]);
+                            if self.perturbation != 0.0 {
+                                out += self.perturbation;
+                            }
+                            self.next[own_lane + r] = out;
+                        }
+                    }
+                    FastRule::TrimmedMidpoint(_) => {
+                        // Survivor extremes sit at fixed slots — decode just
+                        // those rows (once each: decode is not an involution).
+                        // When the trim consumes the whole gather (deg == 2f)
+                        // the midpoint degenerates to `own`, matching the
+                        // scalar rule.
+                        if deg > 2 * f {
+                            let (lo_row, hi_row) = (f * r_count, (deg - f - 1) * r_count);
+                            decode_keys(&mut self.keybuf[lo_row..lo_row + r_count]);
+                            if hi_row != lo_row {
+                                decode_keys(&mut self.keybuf[hi_row..hi_row + r_count]);
+                            }
+                            for r in 0..r_count {
+                                let own = self.states[own_lane + r];
+                                let lo = f64::from_bits(self.keybuf[lo_row + r]).min(own);
+                                let hi = f64::from_bits(self.keybuf[hi_row + r]).max(own);
+                                let mut out = (lo + hi) / 2.0;
+                                if self.perturbation != 0.0 {
+                                    out += self.perturbation;
+                                }
+                                self.next[own_lane + r] = out;
+                            }
+                        } else {
+                            for r in 0..r_count {
+                                let own = self.states[own_lane + r];
+                                let mut out = (own + own) / 2.0;
+                                if self.perturbation != 0.0 {
+                                    out += self.perturbation;
+                                }
+                                self.next[own_lane + r] = out;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Scalar fallback (rows past the network bound, or too
+                // short to trim — the latter so the rule reports its own
+                // error with exact-tier precedence): gather and sanitize
+                // the raw values, then run each replica through the
+                // scalar FastMath kernel.
+                self.scratch.clear();
+                for &j in row {
+                    let src = &self.states[j as usize * r_count..j as usize * r_count + r_count];
+                    self.scratch.extend_from_slice(src);
+                }
+                // Branchless sanitize (clamp propagates NaN, the select
+                // maps it to the clamp value — same function as
+                // `engine::sanitize`) so the pass auto-vectorizes.
+                for v in self.scratch.iter_mut() {
+                    let c = (*v).clamp(-SANITIZE_CLAMP, SANITIZE_CLAMP);
+                    *v = if c.is_nan() { SANITIZE_CLAMP } else { c };
+                }
+                for (k, &(slot, _sender)) in fedges.iter().enumerate() {
+                    let lane = slot as usize * r_count;
+                    for r in 0..r_count {
+                        let raw = match self.plans[r].get(base + k as u32) {
+                            PlannedMessage::Value(v) => v,
+                            PlannedMessage::Omit => self.states[i * r_count + r],
+                        };
+                        self.scratch[lane + r] = sanitize(raw);
+                    }
+                }
+                for r in 0..r_count {
+                    self.sortbuf.clear();
+                    self.sortbuf
+                        .extend((0..deg).map(|s| self.scratch[s * r_count + r]));
+                    let own = self.states[i * r_count + r];
+                    let mut out = self.rule.update(own, &mut self.sortbuf).map_err(|source| {
+                        SimError::Rule {
+                            node: i,
+                            round: self.round,
+                            source,
+                        }
+                    })?;
+                    if self.perturbation != 0.0 {
+                        out += self.perturbation;
+                    }
+                    self.next[i * r_count + r] = out;
+                }
+            }
+        }
+        std::mem::swap(&mut self.states, &mut self.next);
+        Ok(())
+    }
+
+    /// Runs until **every** replica's fault-free range reaches
+    /// `config.epsilon` or the round cap fires, recording each replica's
+    /// first-convergence round. A replica that converges keeps stepping in
+    /// lockstep (its recorded round is unaffected — the scalar
+    /// [`crate::Engine::run`] would simply have stopped there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Rule`] from [`BatchedSimulation::step`].
+    pub fn run(&mut self, config: &RunConfig) -> Result<BatchOutcome, SimError> {
+        let mut converged_at: Vec<Option<usize>> = vec![None; self.replicas];
+        self.note_convergence(&mut converged_at, config.epsilon);
+        while converged_at.iter().any(Option::is_none) && self.round < config.max_rounds {
+            self.step()?;
+            self.note_convergence(&mut converged_at, config.epsilon);
+        }
+        let final_ranges = (0..self.replicas).map(|r| self.replica_range(r)).collect();
+        Ok(BatchOutcome {
+            replicas: self.replicas,
+            rounds: self.round,
+            converged: converged_at.iter().map(Option::is_some).collect(),
+            rounds_to_converge: converged_at,
+            final_ranges,
+        })
+    }
+
+    fn note_convergence(&self, converged_at: &mut [Option<usize>], epsilon: f64) {
+        for (r, slot) in converged_at.iter_mut().enumerate() {
+            if slot.is_none() && self.replica_range(r) <= epsilon {
+                *slot = Some(self.round);
+            }
+        }
+    }
+}
+
+/// Outcome of a [`BatchedSimulation::run`]: per-replica convergence, one
+/// lockstep round counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Number of replicas run.
+    pub replicas: usize,
+    /// Lockstep rounds executed (the slowest replica's budget).
+    pub rounds: usize,
+    /// Per replica: did its range reach epsilon within the budget?
+    pub converged: Vec<bool>,
+    /// Per replica: first round at which its range reached epsilon
+    /// (`None` if the cap fired first) — equal to what the scalar
+    /// engine's `Outcome::rounds` would report for that replica.
+    pub rounds_to_converge: Vec<Option<usize>>,
+    /// Per replica: final fault-free range `U − µ`.
+    pub final_ranges: Vec<f64>,
+}
+
+impl BatchOutcome {
+    /// `true` iff every replica converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+
+    /// How many replicas converged.
+    pub fn converged_count(&self) -> usize {
+        self.converged.iter().filter(|&&c| c).count()
+    }
+}
+
+/// What [`epsilon_audit`] measured over a clean (passing) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditReport {
+    /// Rounds stepped in lockstep.
+    pub rounds: usize,
+    /// Worst per-round ULP distance observed across every
+    /// `(round, node, replica)`.
+    pub max_ulps: u64,
+    /// Worst per-round absolute difference observed.
+    pub max_abs: f64,
+}
+
+/// Why [`epsilon_audit`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// An engine error on either tier (both tiers validate identically,
+    /// so a one-sided error would itself be a divergence — it surfaces
+    /// here as whichever side errored first).
+    Sim(SimError),
+    /// A `(round, node, replica)` state exceeded the ULP bound.
+    Divergence {
+        /// Round at which the bound broke.
+        round: usize,
+        /// The diverging node.
+        node: usize,
+        /// The diverging replica.
+        replica: usize,
+        /// FastMath's value.
+        fast: f64,
+        /// The exact tier's value.
+        exact: f64,
+        /// Their ULP distance (> the configured bound).
+        ulps: u64,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Sim(e) => write!(f, "audit engine error: {e}"),
+            AuditError::Divergence {
+                round,
+                node,
+                replica,
+                fast,
+                exact,
+                ulps,
+            } => write!(
+                f,
+                "FastMath diverged at round {round}, node {node}, replica {replica}: \
+                 fast {fast} vs exact {exact} ({ulps} ulps)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Sim(e) => Some(e),
+            AuditError::Divergence { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for AuditError {
+    fn from(e: SimError) -> Self {
+        AuditError::Sim(e)
+    }
+}
+
+/// Steps `batch` against `R` exact-tier [`crate::Simulation`]s in
+/// lockstep for `rounds` rounds, enforcing `max_ulps` on every
+/// `(node, replica)` state each round.
+///
+/// After each compared round the batch's states are **resynchronized** to
+/// the exact tier's, so (a) both sides' adversaries see bit-identical
+/// views and their RNG streams never fork, and (b) the bound measures
+/// per-round kernel error rather than compounded drift — the quantity the
+/// FastMath contract actually promises.
+///
+/// `make_adversary` must be the same factory (same seeds) the batch was
+/// built with; `batch` must be freshly constructed (round 0).
+///
+/// # Errors
+///
+/// [`AuditError::Divergence`] when the bound breaks,
+/// [`AuditError::Sim`] when either tier's engine errors.
+///
+/// # Panics
+///
+/// Panics if `batch` has already stepped.
+pub fn epsilon_audit(
+    batch: &mut BatchedSimulation<'_>,
+    mut make_adversary: impl FnMut(usize) -> Box<dyn Adversary>,
+    rounds: usize,
+    max_ulps: u64,
+) -> Result<AuditReport, AuditError> {
+    assert_eq!(batch.round(), 0, "epsilon_audit needs a fresh batch");
+    let exact_rule = batch.rule().exact();
+    let r_count = batch.replicas();
+    let n = batch.graph.node_count();
+    let mut exact_sims = Vec::with_capacity(r_count);
+    for r in 0..r_count {
+        let col = batch.replica_states(r);
+        exact_sims.push(crate::Simulation::new(
+            batch.graph,
+            &col,
+            batch.fault_set().clone(),
+            &*exact_rule,
+            make_adversary(r),
+        )?);
+    }
+    let mut report = AuditReport {
+        rounds,
+        max_ulps: 0,
+        max_abs: 0.0,
+    };
+    for _ in 0..rounds {
+        batch.step()?;
+        for sim in exact_sims.iter_mut() {
+            sim.step()?;
+        }
+        for (r, sim) in exact_sims.iter().enumerate() {
+            let exact_states = sim.states();
+            for (i, &exact) in exact_states.iter().enumerate().take(n) {
+                if batch.fault_set().contains(NodeId::new(i)) {
+                    continue;
+                }
+                let fast = batch.states()[i * r_count + r];
+                let ulps = ulp_distance(fast, exact);
+                if ulps > max_ulps {
+                    return Err(AuditError::Divergence {
+                        round: batch.round(),
+                        node: i,
+                        replica: r,
+                        fast,
+                        exact,
+                        ulps,
+                    });
+                }
+                report.max_ulps = report.max_ulps.max(ulps);
+                report.max_abs = report.max_abs.max((fast - exact).abs());
+            }
+        }
+        for (r, sim) in exact_sims.iter().enumerate() {
+            let exact_states: Vec<f64> = sim.states().to_vec();
+            batch.resync_replica(r, &exact_states);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ConformingAdversary, ConstantAdversary, RandomAdversary};
+    use iabc_graph::generators;
+
+    fn k7_inputs(replicas: usize) -> Vec<f64> {
+        let base = [0.0, 1.0, 2.0, 3.0, 4.0, 2.0, 2.0];
+        let mut flat = vec![0.0; 7 * replicas];
+        for (i, &v) in base.iter().enumerate() {
+            for r in 0..replicas {
+                flat[i * replicas + r] = v + (r as f64) * 0.125;
+            }
+        }
+        flat
+    }
+
+    #[test]
+    fn constructor_validates_shape() {
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let err = BatchedSimulation::new(
+            &g,
+            &[0.0; 13],
+            faults.clone(),
+            FastRule::TrimmedMean(2),
+            2,
+            |_| Box::new(ConformingAdversary::new()),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ReplicaShapeMismatch {
+                inputs: 13,
+                nodes: 7,
+                replicas: 2
+            }
+        );
+        assert!(matches!(
+            BatchedSimulation::new(&g, &[], faults, FastRule::TrimmedMean(2), 0, |_| Box::new(
+                ConformingAdversary::new()
+            )),
+            Err(SimError::ReplicaShapeMismatch { replicas: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_per_replica_scalar_runs_within_ulps() {
+        // Each replica of the batch must land (per round, within the
+        // FastMath epsilon) where its own scalar engine lands.
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let replicas = 4;
+        let inputs = k7_inputs(replicas);
+        let make = |r: usize| -> Box<dyn Adversary> {
+            Box::new(RandomAdversary::new(-1e6, 1e6, 42 + r as u64))
+        };
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            FastRule::TrimmedMean(2),
+            replicas,
+            make,
+        )
+        .unwrap();
+        let report = epsilon_audit(&mut batch, make, 25, 4).unwrap();
+        assert_eq!(report.rounds, 25);
+        assert!(report.max_ulps <= 4);
+    }
+
+    #[test]
+    fn batch_converges_per_replica() {
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let replicas = 8;
+        let inputs = k7_inputs(replicas);
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            replicas,
+            |_| Box::new(ConstantAdversary::new(1e9)),
+        )
+        .unwrap();
+        let out = batch.run(&RunConfig::default()).unwrap();
+        assert!(out.all_converged(), "{out:?}");
+        assert_eq!(out.converged_count(), replicas);
+        for (r, rounds) in out.rounds_to_converge.iter().enumerate() {
+            assert!(rounds.is_some(), "replica {r} did not converge");
+        }
+        for &range in &out.final_ranges {
+            assert!(range <= RunConfig::default().epsilon);
+        }
+    }
+
+    #[test]
+    fn batch_width_is_unobservable() {
+        // The answer is a property of (inputs, adversary stream, rule) —
+        // running a replica inside a width-5 batch (columnar SIMD sort)
+        // must produce byte-identical states to running it alone.
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let replicas = 5;
+        let inputs = k7_inputs(replicas);
+        let make = |r: usize| -> Box<dyn Adversary> {
+            Box::new(RandomAdversary::new(-1e6, 1e6, 7 + r as u64))
+        };
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            FastRule::TrimmedMean(2),
+            replicas,
+            make,
+        )
+        .unwrap();
+        for _ in 0..12 {
+            batch.step().unwrap();
+        }
+        for r in 0..replicas {
+            let col: Vec<f64> = (0..7).map(|i| inputs[i * replicas + r]).collect();
+            let mut solo = BatchedSimulation::new(
+                &g,
+                &col,
+                faults.clone(),
+                FastRule::TrimmedMean(2),
+                1,
+                |_| make(r),
+            )
+            .unwrap();
+            for _ in 0..12 {
+                solo.step().unwrap();
+            }
+            let batch_col: Vec<u64> = batch
+                .replica_states(r)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let solo_col: Vec<u64> = solo.states().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_col, solo_col, "replica {r}");
+        }
+    }
+
+    #[test]
+    fn wide_rows_take_the_scalar_fallback_and_still_audit() {
+        // complete(40) has in-degree 39 > NETWORK_MAX_LEN: phase 2 runs
+        // the per-replica scalar kernel, and the audit bound still holds.
+        let g = generators::complete(40);
+        let faults = NodeSet::from_indices(40, [38, 39]);
+        let replicas = 3;
+        let inputs: Vec<f64> = (0..40 * replicas).map(|i| (i % 17) as f64).collect();
+        let make = |r: usize| -> Box<dyn Adversary> {
+            Box::new(RandomAdversary::new(-1e3, 1e3, 100 + r as u64))
+        };
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            replicas,
+            make,
+        )
+        .unwrap();
+        // 37 survivors per row: the 4-lane fold can drift a few more
+        // ulps than the small-row cases, so give the bound headroom.
+        let report = epsilon_audit(&mut batch, make, 10, 16).unwrap();
+        assert_eq!(report.rounds, 10);
+    }
+
+    #[test]
+    fn perturbed_kernel_fails_the_audit() {
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let replicas = 2;
+        let inputs = k7_inputs(replicas);
+        let make = |_: usize| -> Box<dyn Adversary> { Box::new(ConstantAdversary::new(1e9)) };
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            replicas,
+            make,
+        )
+        .unwrap()
+        .with_perturbation(1e-9);
+        let err = epsilon_audit(&mut batch, make, 5, 4).unwrap_err();
+        assert!(
+            matches!(err, AuditError::Divergence { round: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn replica_states_extracts_columns() {
+        let g = generators::complete(3);
+        let inputs = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5]; // n = 3, R = 2
+        let batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            NodeSet::with_universe(3),
+            FastRule::Mean,
+            2,
+            |_| Box::new(ConformingAdversary::new()),
+        )
+        .unwrap();
+        assert_eq!(batch.replica_states(0), vec![0.0, 1.0, 2.0]);
+        assert_eq!(batch.replica_states(1), vec![0.5, 1.5, 2.5]);
+        assert!((batch.replica_range(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_error_carries_node_and_round() {
+        // Cycle has in-degree 1 < 2f = 2: the very first step fails.
+        let g = generators::cycle(4);
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &[0.0; 8],
+            NodeSet::with_universe(4),
+            FastRule::TrimmedMean(1),
+            2,
+            |_| Box::new(ConformingAdversary::new()),
+        )
+        .unwrap();
+        let err = batch.step().unwrap_err();
+        assert!(matches!(err, SimError::Rule { round: 1, .. }));
+    }
+}

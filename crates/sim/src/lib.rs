@@ -99,6 +99,10 @@
 //! * [`vector`] — coordinate-wise Algorithm 1 on `ℝ^d` states.
 //! * [`model_engine`] — the engine for identity-aware rules
 //!   ([`iabc_core::fault_model::ModelTrimmedMean`]).
+//! * [`fastmath`] — the opt-in FastMath tier: the replica-batched
+//!   Monte-Carlo engine (`R` lockstep replicas on a replica-major
+//!   structure-of-arrays state layout) and the epsilon-audit harness
+//!   that bounds its per-round divergence against the exact engines.
 //! * [`certified`] — Lemma 5 a-priori termination certificates.
 //! * [`transcript`] — message-level recording and deterministic replay.
 //! * [`reference`] — the retained naive pre-refactor stepper (differential
@@ -141,6 +145,7 @@ pub mod certified;
 pub mod dynamic;
 mod engine;
 mod error;
+pub mod fastmath;
 pub mod model_engine;
 pub mod plan;
 pub mod reference;

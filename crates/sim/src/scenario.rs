@@ -16,6 +16,7 @@
 //! | [`Scenario::delay_bounded`] | [`DelayBoundedSim`]            | §7 partial asynchrony, delay bound `B` |
 //! | [`Scenario::withholding`]   | [`WithholdingSim`]             | §7 total asynchrony, withhold + trim `2f` |
 //! | [`Scenario::vector`]        | [`VectorSimulation`]           | coordinate-wise Algorithm 1 on `ℝ^d` |
+//! | [`Scenario::monte_carlo_batch`] | [`BatchedSimulation`]      | FastMath tier: `R` lockstep replicas, SoA states |
 //!
 //! Defaults: no faults, a [`ConformingAdversary`] (honest behaviour), and —
 //! for [`Scenario::vector`] — a coordinate-wise conforming adversary.
@@ -47,6 +48,7 @@
 
 use std::fmt;
 
+use iabc_core::fastmath::FastRule;
 use iabc_core::fault_model::IdentifiedRule;
 use iabc_core::rules::UpdateRule;
 use iabc_graph::{Digraph, NodeSet};
@@ -56,6 +58,7 @@ use crate::async_engine::{DelayBoundedSim, Scheduler, WithholdingSim};
 use crate::dynamic::{DynamicSimulation, TopologySchedule};
 use crate::engine::Simulation;
 use crate::error::SimError;
+use crate::fastmath::BatchedSimulation;
 use crate::model_engine::ModelSimulation;
 use crate::run::Engine;
 use crate::vector::{CoordinateWise, VectorAdversary, VectorSimulation};
@@ -373,6 +376,63 @@ impl<'a> Scenario<'a> {
             ))
         });
         VectorSimulation::new(self.graph, &rows, fault_set, rule, adversary)
+    }
+
+    /// Terminal: the FastMath replica-batched Monte-Carlo engine —
+    /// `replicas` same-topology executions advanced in lockstep on a
+    /// replica-major state layout (see
+    /// [`crate::fastmath::BatchedSimulation`]). Inputs are read as
+    /// replica-major `n × replicas` (node `i` replica `r` at
+    /// `i * replicas + r`); `make_adversary(r)` builds each replica's
+    /// independent adversary. Opting into this terminal opts into the
+    /// FastMath tier: the rule is an [`FastRule`], not an exact-tier
+    /// [`Scenario::rule`], and outputs may differ from the exact engine
+    /// by the audited ULP epsilon.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ScenarioIncomplete`] without inputs;
+    /// [`SimError::ScenarioConflict`] if an exact-tier [`Scenario::rule`]
+    /// or a single scalar [`Scenario::adversary`] was set (neither can
+    /// run here — the rule is superseded by `rule`, and one shared
+    /// adversary instance cannot serve `replicas` independent streams);
+    /// [`SimError::ReplicaShapeMismatch`] if the flat input length is not
+    /// `n * replicas`; otherwise the
+    /// [`crate::fastmath::BatchedSimulation::new`] validation errors.
+    pub fn monte_carlo_batch(
+        mut self,
+        rule: FastRule,
+        replicas: usize,
+        make_adversary: impl FnMut(usize) -> Box<dyn Adversary>,
+    ) -> Result<BatchedSimulation<'a>, SimError> {
+        if self.rule.is_some() {
+            return Err(SimError::ScenarioConflict {
+                what: "an exact-tier update rule was set on a monte-carlo-batch \
+                       scenario (pass the FastRule to .monte_carlo_batch(..) instead)",
+            });
+        }
+        if self.adversary.is_some() {
+            return Err(SimError::ScenarioConflict {
+                what: "a single scalar adversary was set on a monte-carlo-batch \
+                       scenario (pass a per-replica factory to .monte_carlo_batch(..))",
+            });
+        }
+        if self.vector_adversary.is_some() {
+            return Err(SimError::ScenarioConflict {
+                what: "a vector adversary was set on a monte-carlo-batch scenario \
+                       (pass a per-replica factory to .monte_carlo_batch(..))",
+            });
+        }
+        let inputs = self.take_inputs()?;
+        let fault_set = self.take_fault_set();
+        BatchedSimulation::new(
+            self.graph,
+            &inputs,
+            fault_set,
+            rule,
+            replicas,
+            make_adversary,
+        )
     }
 
     /// Terminal: like [`Scenario::synchronous`] but type-erased — handy

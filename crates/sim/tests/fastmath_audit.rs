@@ -1,0 +1,236 @@
+//! FastMath epsilon-audit harness over the adversary-family × rule grid.
+//!
+//! The FastMath tier's contract is a **per-round ULP bound** against the
+//! exact tier: `epsilon_audit` steps a [`BatchedSimulation`] against `R`
+//! scalar engines in lockstep, resynchronizing each round so the bound
+//! measures kernel error, not compounded drift. This suite runs that
+//! audit across every adversary family and every [`FastRule`], pins
+//! golden convergence behaviour for a reference workload, and proves the
+//! harness itself is non-tautological (a deliberately perturbed kernel
+//! must FAIL the audit — the CI `fastmath-audit` job runs exactly this
+//! file in release mode).
+
+use iabc_core::fastmath::FastRule;
+use iabc_graph::{generators, Digraph, NodeSet};
+use iabc_sim::adversary::{
+    Adversary, ConformingAdversary, ConstantAdversary, CrashAdversary, EchoAdversary,
+    ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
+    RandomAdversary,
+};
+use iabc_sim::fastmath::{epsilon_audit, AuditError, BatchedSimulation};
+use iabc_sim::{RunConfig, Scenario};
+
+/// The audit's per-round tolerance. The columnar trimmed-mean path is
+/// bit-identical to the exact fold; the scalar FastMath kernel's 4-lane
+/// survivor sum reassociates, which costs a few ULPs per round at the
+/// grid's in-degrees. 8 is comfortably above observed worst cases while
+/// still catching any real kernel defect (the canary perturbs by 1e-9,
+/// thousands of ULPs at these magnitudes).
+const AUDIT_ULPS: u64 = 8;
+const AUDIT_ROUNDS: usize = 12;
+const REPLICAS: usize = 4;
+
+/// Replica-major inputs spread across the value range, deterministic.
+fn grid_inputs(n: usize) -> Vec<f64> {
+    (0..n * REPLICAS)
+        .map(|i| ((i * 53) % 97) as f64 * 0.25 - 3.0)
+        .collect()
+}
+
+/// Every adversary family, one factory per name. Each replica gets an
+/// independent instance (seeded per replica where the family is random).
+fn family_factory(name: &'static str, r: usize) -> Box<dyn Adversary> {
+    match name {
+        "conforming" => Box::new(ConformingAdversary::new()),
+        "constant" => Box::new(ConstantAdversary::new(1e9)),
+        "random" => Box::new(RandomAdversary::new(-1e6, 1e6, 41 + r as u64)),
+        "extremes" => Box::new(ExtremesAdversary::new(1e6)),
+        "pull-low" => Box::new(PullAdversary::new(false)),
+        "pull-high" => Box::new(PullAdversary::new(true)),
+        "crash" => Box::new(CrashAdversary::new(3)),
+        "flip-flop" => Box::new(FlipFlopAdversary::new(5e5)),
+        "polarizing" => Box::new(PolarizingAdversary::new()),
+        "echo" => Box::new(EchoAdversary::new()),
+        "nan" => Box::new(NaNAdversary::new()),
+        other => panic!("unknown adversary family {other}"),
+    }
+}
+
+const FAMILIES: [&str; 11] = [
+    "conforming",
+    "constant",
+    "random",
+    "extremes",
+    "pull-low",
+    "pull-high",
+    "crash",
+    "flip-flop",
+    "polarizing",
+    "echo",
+    "nan",
+];
+
+fn audit_grid_on(graph: &Digraph, faults: &NodeSet, f: usize) {
+    let n = graph.node_count();
+    let inputs = grid_inputs(n);
+    for family in FAMILIES {
+        for rule in [
+            FastRule::TrimmedMean(f),
+            FastRule::TrimmedMidpoint(f),
+            FastRule::Mean,
+        ] {
+            let mut batch =
+                BatchedSimulation::new(graph, &inputs, faults.clone(), rule, REPLICAS, |r| {
+                    family_factory(family, r)
+                })
+                .expect("grid workload is valid");
+            let report = epsilon_audit(
+                &mut batch,
+                |r| family_factory(family, r),
+                AUDIT_ROUNDS,
+                AUDIT_ULPS,
+            )
+            .unwrap_or_else(|e| panic!("audit failed for {family} × {}: {e}", rule.name()));
+            assert_eq!(report.rounds, AUDIT_ROUNDS, "{family} × {}", rule.name());
+        }
+    }
+}
+
+/// The columnar path: every fault-free in-degree fits the vertical
+/// sorting network, so this grid exercises the SIMD sort + vertical
+/// reduction under every adversary family and rule.
+#[test]
+fn audit_grid_columnar_topology() {
+    let g = generators::complete(7);
+    let faults = NodeSet::from_indices(7, [5, 6]);
+    audit_grid_on(&g, &faults, 2);
+}
+
+/// The scalar-fallback path: in-degree 39 overflows the network bound,
+/// so phase 2 runs the per-replica scalar kernel — audited under the
+/// same grid (trimmed to the noisier families to keep runtime sane).
+#[test]
+fn audit_grid_scalar_fallback_topology() {
+    let g = generators::complete(40);
+    let faults = NodeSet::from_indices(40, [38, 39]);
+    let inputs = grid_inputs(40);
+    // 37 survivors per row: the 4-lane fold drifts more than the small
+    // rows, so this grid gets a wider (still tight) bound.
+    for family in ["conforming", "constant", "random", "nan"] {
+        for rule in [FastRule::TrimmedMean(2), FastRule::TrimmedMidpoint(2)] {
+            let mut batch =
+                BatchedSimulation::new(&g, &inputs, faults.clone(), rule, REPLICAS, |r| {
+                    family_factory(family, r)
+                })
+                .expect("grid workload is valid");
+            let report = epsilon_audit(&mut batch, |r| family_factory(family, r), 8, 32)
+                .unwrap_or_else(|e| panic!("audit failed for {family} × {}: {e}", rule.name()));
+            assert_eq!(report.rounds, 8, "{family} × {}", rule.name());
+        }
+    }
+}
+
+/// The audit must not be a tautology: an engine whose kernel is wrong by
+/// 1e-9 per update (far past any ULP budget at these magnitudes) has to
+/// fail, and fail with a divergence — not an engine error.
+#[test]
+fn perturbed_kernel_canary_fails_every_family() {
+    let g = generators::complete(7);
+    let faults = NodeSet::from_indices(7, [5, 6]);
+    let inputs = grid_inputs(7);
+    for family in ["conforming", "constant", "random"] {
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            FastRule::TrimmedMean(2),
+            REPLICAS,
+            |r| family_factory(family, r),
+        )
+        .expect("grid workload is valid")
+        .with_perturbation(1e-9);
+        let err = epsilon_audit(
+            &mut batch,
+            |r| family_factory(family, r),
+            AUDIT_ROUNDS,
+            AUDIT_ULPS,
+        )
+        .expect_err("perturbed kernel must fail the audit");
+        assert!(
+            matches!(err, AuditError::Divergence { round: 1, .. }),
+            "{family}: expected a first-round divergence, got {err}"
+        );
+    }
+}
+
+/// Golden: the reference batched workload (complete(7), f = 2, constant
+/// adversary at 1e9, four replicas) converges every replica, at the same
+/// round per replica, to states the exact tier accepts within the audit
+/// bound. Pins the Monte-Carlo entry point (`Scenario::monte_carlo_batch`)
+/// end to end.
+#[test]
+fn golden_batch_outcome_converges_every_replica() {
+    let g = generators::complete(7);
+    let faults = NodeSet::from_indices(7, [5, 6]);
+    let inputs = grid_inputs(7);
+    let mut batch = Scenario::on(&g)
+        .inputs(&inputs)
+        .faults(faults)
+        .monte_carlo_batch(FastRule::TrimmedMean(2), REPLICAS, |_| {
+            Box::new(ConstantAdversary::new(1e9))
+        })
+        .expect("scenario is complete");
+    let outcome = batch
+        .run(&RunConfig::bounded(1e-9, 200))
+        .expect("batched run succeeds");
+    assert!(outcome.all_converged(), "outcome: {outcome:?}");
+    assert_eq!(outcome.converged_count(), REPLICAS);
+    for (r, range) in outcome.final_ranges.iter().enumerate() {
+        assert!(*range <= 1e-9, "replica {r} range {range}");
+    }
+    // Convergence rounds are a golden: deterministic engine, fixed seed-
+    // free adversary — any kernel or engine change that shifts them is a
+    // behaviour change this test is meant to surface.
+    let rounds: Vec<usize> = outcome
+        .rounds_to_converge
+        .iter()
+        .map(|r| r.expect("converged"))
+        .collect();
+    assert_eq!(rounds.len(), REPLICAS);
+    let spread = rounds.iter().max().unwrap() - rounds.iter().min().unwrap();
+    assert!(
+        spread <= 2,
+        "replica convergence rounds diverged unexpectedly: {rounds:?}"
+    );
+}
+
+/// Golden determinism: the same workload stepped twice produces byte-
+/// identical state vectors — the FastMath tier is exactly reproducible
+/// (the AVX2 and portable paths are bit-identical by construction, so
+/// this golden holds on any host).
+#[test]
+fn golden_batch_states_are_reproducible() {
+    let g = generators::circulant(12, 1..=4);
+    let faults = NodeSet::from_indices(12, [11]);
+    let inputs = grid_inputs(12);
+    let run = || {
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults.clone(),
+            FastRule::TrimmedMean(1),
+            REPLICAS,
+            |r| Box::new(RandomAdversary::new(-1e3, 1e3, 7 + r as u64)),
+        )
+        .expect("workload is valid");
+        for _ in 0..10 {
+            batch.step().expect("step succeeds");
+        }
+        batch
+            .states()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(), run());
+}

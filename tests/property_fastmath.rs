@@ -1,0 +1,207 @@
+//! Property tests for the FastMath tier's sign-magnitude key transform
+//! and its byte-identity contract with the exact tier, biased toward the
+//! IEEE-754 edge cases a uniform float strategy almost never draws:
+//! `-0.0` vs `+0.0`, subnormals, `±inf`, and NaN payloads.
+
+use iabc::core::fastmath::{
+    biased_key, sort_columns_total_fast, sort_total_fast, ulp_distance, unbias_key,
+    validated_trimmed_survivors_fast, COLUMN_PAD,
+};
+use iabc::core::rules::{sort_total, validated_trimmed_survivors};
+use iabc::core::RuleError;
+use proptest::prelude::*;
+
+/// Raw `f64` bit patterns weighted toward the edges of the encoding:
+/// signed zeros, subnormals, infinities, NaNs with arbitrary payloads,
+/// and the extremes — plus plain arbitrary bits for coverage.
+fn edge_bits() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|raw| {
+        const EXP: u64 = 0x7FF0_0000_0000_0000;
+        const FRAC: u64 = 0x000F_FFFF_FFFF_FFFF;
+        const SIGN: u64 = 0x8000_0000_0000_0000;
+        let sign = raw & SIGN;
+        match raw % 8 {
+            0 => sign,                                // ±0.0
+            1 => sign | (raw >> 16) & FRAC,           // ±subnormal (or zero)
+            2 => sign | EXP,                          // ±inf
+            3 => sign | EXP | 1 | (raw >> 16) & FRAC, // ±NaN, arbitrary payload
+            4 => f64::MAX.to_bits() | sign,           // ±MAX
+            5 => f64::MIN_POSITIVE.to_bits() | sign,  // smallest normal
+            _ => raw,
+        }
+    })
+}
+
+/// Finite-only variant (the kernels' validated domain).
+fn finite_edge_bits() -> impl Strategy<Value = u64> {
+    edge_bits().prop_map(|b| {
+        if f64::from_bits(b).is_finite() {
+            b
+        } else {
+            // Redirect the non-finite draws onto the finite edges they
+            // shadow: ±0.0 for NaN, ±MAX for inf.
+            let sign = b & 0x8000_0000_0000_0000;
+            if f64::from_bits(b).is_nan() {
+                sign
+            } else {
+                f64::MAX.to_bits() | sign
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The biased key transform is a bijection on all 2^64 bit patterns:
+    /// `unbias_key` inverts `biased_key` everywhere — including NaN
+    /// payloads, which ordinary float equality cannot even observe.
+    #[test]
+    fn biased_key_is_a_bijection(bits in edge_bits()) {
+        prop_assert_eq!(unbias_key(biased_key(bits)), bits);
+        prop_assert_eq!(biased_key(unbias_key(bits)), bits);
+    }
+
+    /// Unsigned biased-key order IS `f64::total_cmp` order, on every pair
+    /// of bit patterns — the single fact the whole sorting tier rests on.
+    /// In particular `-0.0 < +0.0`, subnormals order by magnitude, and
+    /// NaNs order by sign and payload, exactly as `total_cmp` specifies.
+    #[test]
+    fn biased_key_order_is_total_cmp_order(a in edge_bits(), b in edge_bits()) {
+        let key_ord = biased_key(a).cmp(&biased_key(b));
+        let total_ord = f64::from_bits(a).total_cmp(&f64::from_bits(b));
+        prop_assert_eq!(key_ord, total_ord, "bits {:#x} vs {:#x}", a, b);
+    }
+
+    /// FastMath's sort is byte-identical to the exact tier's on any
+    /// input, edge cases included (both are total_cmp sorts; equal keys
+    /// mean identical bytes, so stability is moot).
+    #[test]
+    fn sort_total_fast_is_byte_identical(
+        bits in proptest::collection::vec(edge_bits(), 0..24),
+    ) {
+        let mut fast: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut exact = fast.clone();
+        sort_total_fast(&mut fast);
+        sort_total(&mut exact);
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, exact_bits);
+    }
+
+    /// The columnar (vertical SIMD) sort agrees byte-for-byte with the
+    /// scalar exact sort applied per column, for every lane count —
+    /// signed zeros, subnormals and the COLUMN_PAD sentinel included.
+    #[test]
+    fn columnar_sort_is_byte_identical_per_column(
+        bits in proptest::collection::vec(finite_edge_bits(), 0..64),
+        lanes in 1usize..6,
+        pad_tail in any::<bool>(),
+    ) {
+        let slots = (bits.len() / lanes).next_power_of_two().min(32);
+        let mut flat: Vec<f64> = (0..slots * lanes)
+            .map(|i| {
+                if pad_tail && i >= slots * lanes - lanes {
+                    COLUMN_PAD
+                } else {
+                    f64::from_bits(*bits.get(i).unwrap_or(&0))
+                }
+            })
+            .collect();
+        let mut columns: Vec<Vec<f64>> = (0..lanes)
+            .map(|l| (0..slots).map(|s| flat[s * lanes + l]).collect())
+            .collect();
+        sort_columns_total_fast(&mut flat, lanes);
+        for (l, col) in columns.iter_mut().enumerate() {
+            sort_total(col);
+            for (s, v) in col.iter().enumerate() {
+                prop_assert_eq!(
+                    flat[s * lanes + l].to_bits(),
+                    v.to_bits(),
+                    "lane {} slot {}", l, s
+                );
+            }
+        }
+    }
+
+    /// Validated trimming: FastMath's fused validate+encode front-end
+    /// returns byte-identical survivors on finite inputs, and the exact
+    /// tier's error — same variant, same reported value — on inputs
+    /// containing NaN or ±inf (NaN precedence included: the first
+    /// non-finite value in scan order wins on both tiers).
+    #[test]
+    fn validated_trim_matches_exact_errors_and_survivors(
+        own_bits in finite_edge_bits(),
+        bits in proptest::collection::vec(edge_bits(), 0..16),
+        f in 0usize..3,
+    ) {
+        let own = f64::from_bits(own_bits);
+        let mut fast: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut exact = fast.clone();
+        let fast_res: Result<Vec<u64>, RuleError> =
+            validated_trimmed_survivors_fast(own, &mut fast, f)
+                .map(|s| s.iter().map(|v| v.to_bits()).collect());
+        let exact_res: Result<Vec<u64>, RuleError> =
+            validated_trimmed_survivors(own, &mut exact, f)
+                .map(|s| s.iter().map(|v| v.to_bits()).collect());
+        match (&fast_res, &exact_res) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(RuleError::NonFiniteInput { value: a }), Err(RuleError::NonFiniteInput { value: b })) =>
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "reported values differ"),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "tiers disagree: {:?} vs {:?}", fast_res, exact_res),
+        }
+    }
+
+    /// The FastMath trim kernel's only licensed deviation is the 4-lane
+    /// survivor sum. A reassociated sum cannot promise ULPs of the
+    /// *result* under catastrophic cancellation (no reordered sum can),
+    /// so the true contract is the standard one: absolute error bounded
+    /// by machine epsilon times the magnitude mass `Σ|vᵢ| + |own|`.
+    /// Zeros, subnormals and mixed signs all stay inside it.
+    #[test]
+    fn trim_kernel_fast_error_is_bounded_by_magnitude_mass(
+        own_bits in finite_edge_bits(),
+        bits in proptest::collection::vec(finite_edge_bits(), 5..24),
+        f in 0usize..3,
+    ) {
+        prop_assume!(bits.len() > 2 * f);
+        // The kernels' domain is the engine's sanitized range (|v| <=
+        // 1e100): past it, a reassociated sum may overflow where the
+        // sequential one does not, which is outside the contract.
+        let clamp = |b: u64| f64::from_bits(b).clamp(-1e100, 1e100);
+        let own = clamp(own_bits);
+        let mut fast: Vec<f64> = bits.iter().map(|&b| clamp(b)).collect();
+        let mut exact = fast.clone();
+        let mass: f64 = own.abs() + fast.iter().map(|v| v.abs()).sum::<f64>();
+        let a = iabc::core::fastmath::trim_kernel_fast(own, &mut fast, f);
+        let b = iabc::core::rules::trim_kernel(own, &mut exact, f);
+        let bound = 64.0 * f64::EPSILON * mass;
+        prop_assert!(
+            (a - b).abs() <= bound,
+            "fast {a} vs exact {b}: |diff| {} > bound {bound}", (a - b).abs()
+        );
+    }
+
+    /// On same-sign workloads (no cancellation) the 4-lane fold *does*
+    /// stay within a handful of ULPs of the exact kernel — the bound the
+    /// engine-level epsilon audit enforces on real rounds.
+    #[test]
+    fn trim_kernel_fast_is_tight_without_cancellation(
+        own_bits in finite_edge_bits(),
+        bits in proptest::collection::vec(finite_edge_bits(), 5..24),
+        f in 0usize..3,
+    ) {
+        prop_assume!(bits.len() > 2 * f);
+        let abs = |b: u64| f64::from_bits(b).clamp(-1e100, 1e100).abs();
+        let own = abs(own_bits);
+        let mut fast: Vec<f64> = bits.iter().map(|&b| abs(b)).collect();
+        let mut exact = fast.clone();
+        let a = iabc::core::fastmath::trim_kernel_fast(own, &mut fast, f);
+        let b = iabc::core::rules::trim_kernel(own, &mut exact, f);
+        prop_assert!(
+            ulp_distance(a, b) <= 32,
+            "fast {a} vs exact {b} ({} ulps)", ulp_distance(a, b)
+        );
+    }
+}

@@ -61,6 +61,7 @@ fn monte_carlo_sweep_serial_equals_parallel() {
         fs: vec![0, 1],
         edge_prob: 0.6,
         trials: 10,
+        replicas: 0,
     };
     let serial = run_monte_carlo_sweep(&spec, 1).to_string();
     for jobs in [2, PARALLEL_JOBS, 0] {
