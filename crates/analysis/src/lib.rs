@@ -10,6 +10,9 @@
 //! * [`sweep`] — the parallel sweep runner: fans experiment grids across
 //!   cores with per-cell coordinate-derived seeds, bit-identical for any
 //!   worker count;
+//! * [`batched`] — batched sweep execution: groups same-spec simulation
+//!   cells into one replica-batched FastMath run (`--batch`), byte-
+//!   identical to per-cell dispatch;
 //! * [`experiments`] — one runnable regeneration per paper artifact
 //!   (E1–E12, extensions X1–X9; see DESIGN.md §4 and `EXPERIMENTS.md`).
 //!
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod census;
 pub mod contraction;
 pub mod convergence;

@@ -23,6 +23,13 @@
 //! vary wildly in cost and must be stealable individually. The private
 //! scoped-thread work-stealing loop this module used to carry is gone.
 //!
+//! This runner treats every cell as an opaque closure. When many cells
+//! share a `(topology, fault set, rule, adversary)` spec and differ only
+//! in their seed, [`crate::batched`] groups them into a single
+//! `BatchedSimulation` run instead (one cell per *group*, still executed
+//! through [`run_cells`] here), keeping the per-cell coordinate-hashed
+//! seeds and therefore the exact table bytes of the dispatch path.
+//!
 //! # Examples
 //!
 //! ```

@@ -196,8 +196,9 @@ fn bench_pool(c: &mut Criterion) {
 
 /// FastMath tier: the scalar trim kernel (exact vs FastMath) and the
 /// replica-batched SoA engine vs dispatching the same replicas one
-/// engine at a time. `iabc perf` records the same comparisons as the
-/// `"fastmath"` and `"replica_batch"` JSON datapoints.
+/// engine at a time. `iabc perf` records the scalar faceoff as the
+/// informational `"fastmath_scalar"` JSON line and the replica batching
+/// as the `"replica_batch"` datapoint.
 fn bench_fastmath(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath_fastmath");
     group.sample_size(10);
@@ -283,12 +284,100 @@ fn bench_fastmath(c: &mut Criterion) {
     group.finish();
 }
 
+/// Merge-network columnar sort: blocks of 32 lane-parallel columns of
+/// in-degree 64 — past `NETWORK_MAX_LEN = 32`, so the block-sort +
+/// Batcher merge-stage schedule runs — against gathering each lane into
+/// a row and sorting it exactly. `iabc perf` records the same faceoff
+/// as the enforced `"fastmath"` JSON datapoint.
+fn bench_merge_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_merge_network");
+    group.sample_size(10);
+    let lanes = 32;
+    let len = 64;
+    let blocks = if quick() { 50 } else { 200 };
+    let columns: Vec<f64> = (0..blocks * len * lanes)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 * 1e-12)
+        .collect();
+    let mut block = vec![0.0f64; len * lanes];
+    group.bench_function(format!("columnar/{blocks}blocks/len{len}/x{lanes}"), |b| {
+        b.iter(|| {
+            for src in columns.chunks_exact(len * lanes) {
+                block.copy_from_slice(src);
+                iabc_core::fastmath::sort_columns_total_fast(&mut block, lanes);
+            }
+            black_box(block[0])
+        })
+    });
+    let mut rowbuf = vec![0.0f64; len];
+    group.bench_function(
+        format!("per_lane_exact/{blocks}blocks/len{len}/x{lanes}"),
+        |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for src in columns.chunks_exact(len * lanes) {
+                    for lane in 0..lanes {
+                        for (s, slot) in rowbuf.iter_mut().enumerate() {
+                            *slot = src[s * lanes + lane];
+                        }
+                        rowbuf.sort_unstable_by(|a, b| a.total_cmp(b));
+                        acc += rowbuf[len / 2];
+                    }
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Batched sweep execution: the same 32-cell census slice (complete
+/// topology, trimmed-mean, constant adversary, fixed round cap) run
+/// one `Simulation` per cell vs grouped into a single width-32
+/// `BatchedSimulation` — the `sweep ... --batch` dispatch decision.
+/// Tables are byte-identical by construction; `iabc perf` records the
+/// same comparison as the `"batched_sweep"` JSON datapoint.
+fn bench_batched_sweep(c: &mut Criterion) {
+    use iabc_analysis::batched::{AdversarySpec, SimCell, SimCellSpec, Topology};
+    let mut group = c.benchmark_group("hotpath_batched_sweep");
+    group.sample_size(10);
+    let cells_count = 32usize;
+    let n = if quick() { 48 } else { 96 };
+    let f = n / 30;
+    let rounds = if quick() { 8 } else { 15 };
+    let spec = SimCellSpec {
+        topology: Topology::Complete(n),
+        f,
+        rule: iabc_core::fastmath::FastRule::TrimmedMean(f),
+        adversary: AdversarySpec::Constant(1e9),
+        // Epsilon 0 keeps every cell stepping to the round cap: fixed
+        // work on both sides, stable timing window.
+        epsilon: 0.0,
+        max_rounds: rounds,
+    };
+    let cells: Vec<SimCell> = (0..cells_count)
+        .map(|i| SimCell {
+            coords: iabc_analysis::sweep::CellCoords::new("bench-batched-sweep").with("i", i),
+            spec: spec.clone(),
+        })
+        .collect();
+    group.bench_function(
+        format!("dispatched/n{n}/x{cells_count}/{rounds}rounds"),
+        |b| b.iter(|| black_box(iabc_analysis::batched::run_sim_cells(&cells, 1, false))),
+    );
+    group.bench_function(format!("grouped/n{n}/x{cells_count}/{rounds}rounds"), |b| {
+        b.iter(|| black_box(iabc_analysis::batched::run_sim_cells(&cells, 1, true)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compiled,
     bench_reference,
     bench_parallel,
     bench_pool,
-    bench_fastmath
+    bench_fastmath,
+    bench_merge_network,
+    bench_batched_sweep
 );
 criterion_main!(benches);

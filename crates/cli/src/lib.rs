@@ -113,17 +113,26 @@ pub fn usage() -> String {
        dot <file> [--f N]             Graphviz DOT (witness colour-coded if violated)\n\
        repair <file> --f N            add edges until Theorem 1 holds (witness-driven)\n\
        sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N] [--store DIR]\n\
-                                      fan the E1..E12 harness across cores (0 = all);\n\
+              [--batch]               fan the E1..E12 harness across cores (0 = all);\n\
                                       bit-identical output for any job count;\n\
                                       --store memoizes cells through the serving\n\
-                                      tier's result store, reporting hits/misses\n\
+                                      tier's result store, reporting hits/misses;\n\
+                                      --batch is accepted on every sweep grid but\n\
+                                      inert here (E-cells pin the exact tier)\n\
        sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--replicas R]\n\
-              [--parallel] [--jobs N]  random-digraph tolerance sweep, one cell per\n\
+              [--parallel] [--jobs N] [--batch]\n\
+                                      random-digraph tolerance sweep, one cell per\n\
                                       (n,f); --replicas R also runs R FastMath\n\
                                       replicas per eligible graph in one batched\n\
-                                      pass, tallying convergence\n\
-       sweep census [--max-n 4 --f 0,1] [--parallel] [--jobs N]\n\
-                                      exhaustive small-n census, one cell per (n,f)\n\
+                                      pass, tallying convergence (--batch inert:\n\
+                                      each trial samples a fresh graph)\n\
+       sweep census [--max-n 4 --f 0,1] [--replicas R] [--parallel] [--jobs N]\n\
+              [--batch]               exhaustive small-n census, one cell per (n,f);\n\
+                                      --replicas R appends a convergence census\n\
+                                      (R seeded runs per eligible (n,f), max-pull\n\
+                                      attack); --batch groups same-spec cells into\n\
+                                      one replica-batched FastMath run --\n\
+                                      byte-identical tables either way\n\
        record <file> --f N --faulty A,B --rounds R --out T.txt   record a transcript\n\
        replay <file> --f N --transcript T.txt   verify a recorded run\n\
        deploy --nodes N [--mode threaded|multiplexed] [--jobs J] [--degree D]\n\

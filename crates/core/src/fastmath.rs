@@ -36,13 +36,41 @@
 //!    power of two with `u64::MAX` sentinels that sort past every real
 //!    key;
 //! 3. the 4-lane survivor sum described above.
+//!
+//! Past 32 keys the tier does not leave the network path: rows up to
+//! [`MERGE_MAX_LEN`] (= 128) are sorted by Batcher odd–even **merge**
+//! networks — each 32-aligned block is sorted by the unrolled networks
+//! above, then the sorted blocks are fused by the mask-scheduled merge
+//! stages of Batcher's mergesort (span 32, then 64), built from the very
+//! same compare-exchange primitive and the same sentinel padding. Because
+//! every comparator of the full Batcher schedule with span < 32 stays
+//! inside one 32-block, "sort blocks, then merge" executes exactly the
+//! full schedule's comparator set, so the 0-1 principle applies unchanged
+//! and the output remains byte-identical to the exact tier. The columnar
+//! (vertical SIMD) sort follows the identical construction per lane, so
+//! dense graphs — complete n ≤ 129, circulant degree ≤ 128 — stay on the
+//! vectorized path instead of dropping to the scalar fallback.
 
 use crate::error::RuleError;
 use crate::rules::{self, TrimmedMean, TrimmedMidpoint, UpdateRule, EXP_MASK, SIGN_BIT};
 
-/// Rows at or below this length take the sorting-network fast path;
-/// longer rows fall back to the stdlib unstable sort on the same keys.
+/// Rows at or below this length take the unrolled sorting-network fast
+/// path directly; longer rows up to [`MERGE_MAX_LEN`] run the merge
+/// networks, and only rows past that fall back to the stdlib unstable
+/// sort on the same keys.
 pub const NETWORK_MAX_LEN: usize = 32;
+
+/// Rows at or below this length stay on the data-oblivious network path:
+/// 32-aligned blocks are sorted with the unrolled networks, then fused
+/// with Batcher odd–even **merge** stages (the same compare-exchange
+/// primitive, the same `u64::MAX` / [`COLUMN_PAD_KEY`] sentinel). The
+/// composite schedule is exactly Batcher's full mergesort schedule for
+/// the padded power of two — stages with span `< 32` never cross a
+/// 32-block boundary, so block-sorting first and merging after performs
+/// the identical comparator set — which keeps the 0-1-principle
+/// correctness argument and the byte-identity contract intact out to
+/// in-degree 128 (complete n ≤ 129, circulant degree ≤ 128).
+pub const MERGE_MAX_LEN: usize = 128;
 
 /// The biased total-order key: [`crate::rules`]' sign-magnitude transform
 /// XOR the sign bit, so **unsigned** `u64` order equals [`f64::total_cmp`]
@@ -258,10 +286,38 @@ fn batcher_sort(a: &mut [u64]) {
     });
 }
 
-/// Sorts a slice of biased keys: sorting network for rows up to
-/// [`NETWORK_MAX_LEN`] (padded to a power of two with `u64::MAX`, which
-/// sorts at or past every real key, so the first `len` outputs are the
-/// sorted real multiset), stdlib unstable sort beyond.
+/// Batcher odd–even merge sort for padded lengths past the unrolled
+/// networks: each 32-aligned block is sorted by [`network_sort`], then
+/// the blocks are fused by the merge stages of the full Batcher schedule
+/// (span `p = 32`, then `64`). Stages with span `< 32` in the full
+/// schedule never cross a 32-block boundary, so this runs exactly the
+/// full schedule's comparator set — byte-identical output to
+/// [`batcher_sort`], correct by the same 0-1 principle.
+fn merge_network_sort(buf: &mut [u64; MERGE_MAX_LEN], n: usize) {
+    debug_assert!(n.is_power_of_two() && n > NETWORK_MAX_LEN && n <= MERGE_MAX_LEN);
+    for base in (0..n).step_by(NETWORK_MAX_LEN) {
+        let block: &mut [u64; NETWORK_MAX_LEN] = (&mut buf[base..base + NETWORK_MAX_LEN])
+            .try_into()
+            .expect("32-aligned block");
+        network_sort(block, NETWORK_MAX_LEN);
+    }
+    let mut p = NETWORK_MAX_LEN;
+    while p < n {
+        for_each_batcher_merge(n, p, |i, j| {
+            let x = buf[i];
+            let y = buf[j];
+            buf[i] = x.min(y);
+            buf[j] = x.max(y);
+        });
+        p *= 2;
+    }
+}
+
+/// Sorts a slice of biased keys: unrolled sorting network for rows up to
+/// [`NETWORK_MAX_LEN`], block-sort + merge network up to
+/// [`MERGE_MAX_LEN`] (both padded to a power of two with `u64::MAX`,
+/// which sorts at or past every real key, so the first `len` outputs are
+/// the sorted real multiset), stdlib unstable sort beyond.
 #[inline]
 fn sort_biased_keys(keys: &mut [u64]) {
     let len = keys.len();
@@ -272,6 +328,11 @@ fn sort_biased_keys(keys: &mut [u64]) {
         let mut buf = [u64::MAX; NETWORK_MAX_LEN];
         buf[..len].copy_from_slice(keys);
         network_sort(&mut buf, len.next_power_of_two());
+        keys.copy_from_slice(&buf[..len]);
+    } else if len <= MERGE_MAX_LEN {
+        let mut buf = [u64::MAX; MERGE_MAX_LEN];
+        buf[..len].copy_from_slice(keys);
+        merge_network_sort(&mut buf, len.next_power_of_two());
         keys.copy_from_slice(&buf[..len]);
     } else {
         keys.sort_unstable();
@@ -367,25 +428,36 @@ fn for_each_batcher_pair(n: usize, mut ce: impl FnMut(usize, usize)) {
     debug_assert!(n.is_power_of_two());
     let mut p = 1;
     while p < n {
-        // Same-2p-block test as a mask comparison, not a division.
-        let block_mask = !(2 * p - 1);
-        let mut k = p;
-        while k >= 1 {
-            let mut j = k % p;
-            while j + k < n {
-                let span = k.min(n - j - k);
-                let mut i = 0;
-                while i < span {
-                    if ((i + j) & block_mask) == ((i + j + k) & block_mask) {
-                        ce(i + j, i + j + k);
-                    }
-                    i += 1;
-                }
-                j += 2 * k;
-            }
-            k /= 2;
-        }
+        for_each_batcher_merge(n, p, &mut ce);
         p *= 2;
+    }
+}
+
+/// One **merge stage** of Batcher's schedule at span `p`: the comparator
+/// sequence that fuses adjacent sorted `p`-runs of an `n`-length array
+/// into sorted `2p`-runs (the inner `k`-loop of the full schedule at
+/// fixed `p`). Running this for `p = 32, 64, …` after per-32-block sorts
+/// reconstructs the full schedule exactly — the basis of the
+/// [`MERGE_MAX_LEN`] extension, scalar and columnar alike.
+fn for_each_batcher_merge(n: usize, p: usize, mut ce: impl FnMut(usize, usize)) {
+    debug_assert!(n.is_power_of_two() && p.is_power_of_two() && p < n);
+    // Same-2p-block test as a mask comparison, not a division.
+    let block_mask = !(2 * p - 1);
+    let mut k = p;
+    while k >= 1 {
+        let mut j = k % p;
+        while j + k < n {
+            let span = k.min(n - j - k);
+            let mut i = 0;
+            while i < span {
+                if ((i + j) & block_mask) == ((i + j + k) & block_mask) {
+                    ce(i + j, i + j + k);
+                }
+                i += 1;
+            }
+            j += 2 * k;
+        }
+        k /= 2;
     }
 }
 
@@ -402,14 +474,16 @@ fn for_each_batcher_pair(n: usize, mut ce: impl FnMut(usize, usize)) {
 /// column.
 ///
 /// The slot count `values.len() / lanes` must be a power of two at most
-/// [`NETWORK_MAX_LEN`]; pad partial columns with [`COLUMN_PAD`], which
-/// sorts past every real value.
+/// [`MERGE_MAX_LEN`]; pad partial columns with [`COLUMN_PAD`], which
+/// sorts past every real value. Past 32 slots the schedule switches to
+/// the block-sort + merge-stage construction (see [`MERGE_MAX_LEN`]),
+/// which runs the identical comparator set as the full Batcher schedule.
 ///
 /// # Panics
 ///
 /// Panics if `lanes` is zero, `values.len()` is not a multiple of
 /// `lanes`, or the slot count is not a power of two at most
-/// [`NETWORK_MAX_LEN`].
+/// [`MERGE_MAX_LEN`].
 ///
 /// # Examples
 ///
@@ -439,7 +513,7 @@ pub fn sort_columns_total_fast(values: &mut [f64], lanes: usize) {
 ///
 /// Same shape contract as [`sort_columns_total_fast`]: `lanes > 0`,
 /// `keys.len()` a multiple of `lanes`, and a slot count that is a power
-/// of two `<=` [`NETWORK_MAX_LEN`] (pad with [`COLUMN_PAD_KEY`]).
+/// of two `<=` [`MERGE_MAX_LEN`] (pad with [`COLUMN_PAD_KEY`]).
 pub fn sort_columns_keys(keys: &mut [u64], lanes: usize) {
     assert!(lanes > 0, "lanes must be positive");
     assert_eq!(keys.len() % lanes, 0, "keys must factor as slots x lanes");
@@ -448,21 +522,43 @@ pub fn sort_columns_keys(keys: &mut [u64], lanes: usize) {
         return;
     }
     assert!(
-        slots.is_power_of_two() && slots <= NETWORK_MAX_LEN,
-        "slot count {slots} must be a power of two <= {NETWORK_MAX_LEN} (pad with COLUMN_PAD_KEY)"
+        slots.is_power_of_two() && slots <= MERGE_MAX_LEN,
+        "slot count {slots} must be a power of two <= {MERGE_MAX_LEN} (pad with COLUMN_PAD_KEY)"
     );
     #[cfg(target_arch = "x86_64")]
     if avx2() {
-        for_each_batcher_pair(slots, |i, j| {
+        columnar_schedule(slots, |i, j| {
             // SAFETY: gated on runtime AVX2 detection; i, j are slot
             // offsets < slots, so both lane ranges are in bounds.
             unsafe { vce_avx2(keys, i * lanes, j * lanes, lanes) };
         });
         return;
     }
-    for_each_batcher_pair(slots, |i, j| {
+    columnar_schedule(slots, |i, j| {
         vce_portable(keys, i * lanes, j * lanes, lanes)
     });
+}
+
+/// The columnar compare-exchange schedule: for `slots <=`
+/// [`NETWORK_MAX_LEN`] this is the full Batcher schedule verbatim; past
+/// it, each 32-slot block runs its full Batcher schedule first (block
+/// locality keeps the working set at `32 × lanes` keys), then the merge
+/// stages fuse the sorted blocks. Either way the comparator set is
+/// exactly the full schedule's, so per-column output is byte-identical
+/// to the scalar sort.
+fn columnar_schedule(slots: usize, mut ce: impl FnMut(usize, usize)) {
+    debug_assert!(slots.is_power_of_two() && slots <= MERGE_MAX_LEN);
+    let block = slots.min(NETWORK_MAX_LEN);
+    let mut base = 0;
+    while base < slots {
+        for_each_batcher_pair(block, |i, j| ce(base + i, base + j));
+        base += block;
+    }
+    let mut p = block;
+    while p < slots {
+        for_each_batcher_merge(slots, p, &mut ce);
+        p *= 2;
+    }
 }
 
 /// FastMath counterpart of [`crate::rules::sort_total`]: sorts `values`
@@ -769,15 +865,40 @@ mod tests {
             let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
             assert_eq!(fast_bits, exact_bits, "len = {len}");
         }
-        // Past the network bound: the stdlib fallback on biased keys.
+        // Past the unrolled-network bound: the merge-network path.
         let mut fast: Vec<f64> = tricky.iter().chain(tricky.iter()).copied().collect();
         let mut exact = fast.clone();
-        assert!(fast.len() > NETWORK_MAX_LEN);
+        assert!(fast.len() > NETWORK_MAX_LEN && fast.len() <= MERGE_MAX_LEN);
         sort_total_fast(&mut fast);
         sort_total(&mut exact);
         let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
         let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
         assert_eq!(fast_bits, exact_bits);
+        // Past the merge-network bound: the stdlib fallback on biased keys.
+        let mut fast: Vec<f64> = (0..8).flat_map(|_| tricky.iter().copied()).collect();
+        let mut exact = fast.clone();
+        assert!(fast.len() > MERGE_MAX_LEN);
+        sort_total_fast(&mut fast);
+        sort_total(&mut exact);
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fast_bits, exact_bits);
+    }
+
+    #[test]
+    fn merge_sort_is_byte_identical_for_every_length_33_to_128() {
+        let tricky = tricky_values();
+        for len in (NETWORK_MAX_LEN + 1)..=MERGE_MAX_LEN {
+            let mut fast: Vec<f64> = (0..len)
+                .map(|i| tricky[(i * 7 + i / 3) % tricky.len()])
+                .collect();
+            let mut exact = fast.clone();
+            sort_total_fast(&mut fast);
+            sort_total(&mut exact);
+            let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+            let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, exact_bits, "len = {len}");
+        }
     }
 
     #[test]
@@ -830,13 +951,93 @@ mod tests {
     }
 
     #[test]
+    fn merge_network_matches_the_batcher_reference() {
+        // Output equivalence at the merge sizes: dense scrambles with
+        // duplicates and extremes, and pseudorandom 0-1 patterns (the
+        // schedule is data-oblivious and built from min/max, so 0-1
+        // agreement is the 0-1-principle evidence at sizes where
+        // exhaustion is impossible).
+        for n in [64usize, 128] {
+            for salt in 0..64u64 {
+                let mut buf = [u64::MAX; MERGE_MAX_LEN];
+                for (i, b) in buf[..n].iter_mut().enumerate() {
+                    *b = (i as u64 + salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 11;
+                }
+                let mut reference = buf;
+                batcher_sort(&mut reference[..n]);
+                merge_network_sort(&mut buf, n);
+                assert_eq!(buf[..n], reference[..n], "n = {n}, salt = {salt}");
+            }
+            for salt in 0..512u64 {
+                let mut buf = [u64::MAX; MERGE_MAX_LEN];
+                let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for b in buf[..n].iter_mut() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *b = x & 1;
+                }
+                let mut expect = buf;
+                expect[..n].sort_unstable();
+                merge_network_sort(&mut buf, n);
+                assert_eq!(buf[..n], expect[..n], "n = {n}, salt = {salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_schedule_runs_the_full_batcher_comparator_set() {
+        // The block-sort + merge decomposition must execute exactly the
+        // comparator pairs of the full Batcher schedule (the structural
+        // fact the byte-identity argument rests on). For slots <= 32 the
+        // sequences are identical; past it the pairs are a permutation
+        // (blocks are enumerated block-by-block), so compare as sorted
+        // multisets.
+        for slots in [2usize, 8, 32, 64, 128] {
+            let mut full: Vec<(usize, usize)> = Vec::new();
+            for_each_batcher_pair(slots, |i, j| full.push((i, j)));
+            let mut blocked: Vec<(usize, usize)> = Vec::new();
+            columnar_schedule(slots, |i, j| blocked.push((i, j)));
+            if slots <= NETWORK_MAX_LEN {
+                assert_eq!(full, blocked, "slots = {slots}");
+            } else {
+                let mut a = full.clone();
+                let mut b = blocked.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "slots = {slots}");
+                // And every pre-merge comparator stays inside its
+                // 32-block — the property that licenses the reordering.
+                for &(i, j) in &blocked[..full.len() - merge_stage_len(slots)] {
+                    assert_eq!(
+                        i / NETWORK_MAX_LEN,
+                        j / NETWORK_MAX_LEN,
+                        "block-phase pair ({i}, {j}) crosses a 32-block"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Comparator count of the merge stages `p = 32, 64, … < slots`.
+    fn merge_stage_len(slots: usize) -> usize {
+        let mut count = 0;
+        let mut p = NETWORK_MAX_LEN;
+        while p < slots {
+            for_each_batcher_merge(slots, p, |_, _| count += 1);
+            p *= 2;
+        }
+        count
+    }
+
+    #[test]
     fn column_sort_matches_scalar_sort_per_column() {
         // Every (slot count, lane count) shape, over columns drawn from
         // the tricky value pool (NaNs, ±0, ±inf, subnormals) plus pad
         // sentinels: each column must come out byte-identical to
         // sort_total on that column alone.
         let pool = tricky_values();
-        for slots in [2usize, 4, 8, 16, 32] {
+        for slots in [2usize, 4, 8, 16, 32, 64, 128] {
             for lanes in [1usize, 2, 3, 4, 5, 8, 9] {
                 let mut flat = vec![0.0f64; slots * lanes];
                 for (idx, v) in flat.iter_mut().enumerate() {

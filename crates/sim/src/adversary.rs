@@ -151,6 +151,28 @@ impl<'a> SyncFill<'a> {
     }
 }
 
+/// A replica-independent description of a deterministic family's round
+/// plan — the contract behind [`Adversary::batch_plan`]. Each variant is
+/// a pure function of the receiving replica's view (no RNG, no mutable
+/// adversary state), so a replica-batched engine can plan **once** per
+/// round and fan the fill across all lanes instead of snapshotting and
+/// planning every replica serially. None of these families ever omits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPlan {
+    /// Every faulty edge carries the sender's own current state
+    /// ([`ConformingAdversary`]).
+    Conforming,
+    /// Every faulty edge carries this constant ([`ConstantAdversary`]).
+    Constant(f64),
+    /// Every faulty edge carries one end of the replica's fault-free
+    /// hull ([`PullAdversary`]).
+    Pull {
+        /// `true` → the hull maximum `U[t-1]`, `false` → the minimum
+        /// `µ[t-1]`.
+        toward_max: bool,
+    },
+}
+
 /// A joint strategy for all faulty nodes (they collude per §2.2),
 /// speaking the two-phase protocol described in the [module docs](self).
 pub trait Adversary: fmt::Debug + Send {
@@ -229,6 +251,20 @@ pub trait Adversary: fmt::Debug + Send {
         false
     }
 
+    /// Phase 1, replica-batched tier: families whose entire round plan is
+    /// a pure, state-free function of the view may return the matching
+    /// [`BatchPlan`]. A batched engine running `R` replicas of such a
+    /// family plans the round **once** and fans the fill to every lane
+    /// (computing per-lane hulls where the plan calls for them), skipping
+    /// the per-replica snapshot + serial [`Adversary::plan_round`] walk —
+    /// with bit-identical results, since the description carries no state
+    /// to fork. Return `None` (the default) for stateful or randomized
+    /// families; their per-replica RNG streams must keep drawing exactly
+    /// as `R` separate engines would.
+    fn batch_plan(&self) -> Option<BatchPlan> {
+        None
+    }
+
     /// Short identifier for reports.
     fn name(&self) -> &'static str {
         "adversary"
@@ -296,6 +332,10 @@ impl Adversary for ConformingAdversary {
         }))
     }
 
+    fn batch_plan(&self) -> Option<BatchPlan> {
+        Some(BatchPlan::Conforming)
+    }
+
     fn name(&self) -> &'static str {
         "conforming"
     }
@@ -330,6 +370,10 @@ impl Adversary for ConstantAdversary {
     ) -> Option<SyncFill<'_>> {
         let value = self.value;
         Some(SyncFill::new(move |_, _| PlannedMessage::Value(value)))
+    }
+
+    fn batch_plan(&self) -> Option<BatchPlan> {
+        Some(BatchPlan::Constant(self.value))
     }
 
     fn name(&self) -> &'static str {
@@ -472,6 +516,12 @@ impl Adversary for PullAdversary {
         let (lo, hi) = view.honest_hull();
         let lie = if self.toward_max { hi } else { lo };
         Some(SyncFill::new(move |_, _| PlannedMessage::Value(lie)))
+    }
+
+    fn batch_plan(&self) -> Option<BatchPlan> {
+        Some(BatchPlan::Pull {
+            toward_max: self.toward_max,
+        })
     }
 
     fn name(&self) -> &'static str {

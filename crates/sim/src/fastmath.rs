@@ -28,14 +28,30 @@
 //! A deliberately wrong kernel must fail the audit;
 //! [`BatchedSimulation::with_perturbation`] exists so tests can prove the
 //! harness bites (see `tests/fastmath_audit.rs`).
+//!
+//! # Shared adversary plans
+//!
+//! Phase 1 normally snapshots each replica's column and runs its
+//! adversary serially — mandatory for randomized families, whose `R`
+//! RNG streams must draw exactly as `R` separate engines would. But when
+//! every replica's adversary reports the same deterministic
+//! [`BatchPlan`] (Conforming / Constant / Pull), the engine plans the
+//! round **once** and fans the fill to all `R` lanes: Constant fills one
+//! key, Pull computes all `R` fault-free hulls in a single replica-major
+//! pass (same `min`/`max` fold order as
+//! [`AdversaryView::honest_hull`], hence bit-identical), and Conforming
+//! needs no fill at all — the gathered lane already holds the sender's
+//! state. The per-replica snapshot + plan walk disappears, with
+//! bit-identical results ([`BatchedSimulation::with_plan_sharing`]
+//! exists so the equivalence is testable).
 
 use iabc_core::fastmath::{
     biased_key, decode_keys, encode_keys, sort_columns_keys, ulp_distance, FastRule,
-    COLUMN_PAD_KEY, NETWORK_MAX_LEN,
+    COLUMN_PAD_KEY, MERGE_MAX_LEN,
 };
 use iabc_graph::{CompiledTopology, Digraph, NodeId, NodeSet};
 
-use crate::adversary::{Adversary, AdversaryView};
+use crate::adversary::{Adversary, AdversaryView, BatchPlan};
 use crate::engine::{sanitize, SANITIZE_CLAMP};
 use crate::error::SimError;
 use crate::plan::{
@@ -75,9 +91,23 @@ pub struct BatchedSimulation<'a> {
     scratch: Vec<f64>,
     /// Per-replica sort buffer handed to the FastMath kernel.
     sortbuf: Vec<f64>,
-    /// True when at least one fault-free row fits the columnar sorting
-    /// network — gates the per-round key-encode prologue.
+    /// True when at least one fault-free row fits the columnar network
+    /// path (unrolled or merge networks) — gates the per-round
+    /// key-encode prologue.
     columnar: bool,
+    /// Fault-free rows that take the scalar per-replica fallback (too
+    /// short to trim, or in-degree past [`MERGE_MAX_LEN`]) — fixed at
+    /// construction; see [`BatchedSimulation::scalar_fallback_rows`].
+    scalar_fallback_rows: usize,
+    /// The one [`BatchPlan`] every replica's adversary reported, if the
+    /// family is deterministic and uniform across replicas.
+    shared_plan: Option<BatchPlan>,
+    /// Whether the shared-plan fast path is enabled (it is by default;
+    /// tests disable it to pin equivalence with per-replica planning).
+    plan_sharing: bool,
+    /// Per-lane fill values for the shared Constant/Pull plans, rebuilt
+    /// each shared round.
+    shared_values: Vec<f64>,
     /// Sanitized biased keys of `states`, rebuilt once per round (values
     /// are receiver-independent, so encoding per out-edge would redo the
     /// same work `deg` times).
@@ -140,15 +170,29 @@ impl<'a> BatchedSimulation<'a> {
             &planned_edges,
             &mut slot_edges,
         );
-        let adversaries = (0..replicas).map(&mut make_adversary).collect();
+        let adversaries: Vec<Box<dyn Adversary>> = (0..replicas).map(&mut make_adversary).collect();
         let max_deg = compiled.max_in_degree();
         let f = rule.f();
-        let columnar = (0..n).any(|i| {
-            !compiled.is_faulty(i) && {
-                let deg = compiled.in_neighbors_of(i).len();
-                deg >= 2 * f.max(1) && deg <= NETWORK_MAX_LEN
+        let mut columnar = false;
+        let mut scalar_fallback_rows = 0;
+        for i in 0..n {
+            if compiled.is_faulty(i) {
+                continue;
             }
-        });
+            let deg = compiled.in_neighbors_of(i).len();
+            if deg >= 2 * f.max(1) && deg <= MERGE_MAX_LEN {
+                columnar = true;
+            } else {
+                scalar_fallback_rows += 1;
+            }
+        }
+        // The shared-plan fast path needs every replica to report the
+        // same deterministic plan — one randomized lane forces the full
+        // per-replica protocol for all of them.
+        let shared_plan = adversaries
+            .first()
+            .and_then(|a| a.batch_plan())
+            .filter(|p| adversaries.iter().all(|a| a.batch_plan() == Some(*p)));
         Ok(BatchedSimulation {
             graph,
             compiled,
@@ -166,6 +210,10 @@ impl<'a> BatchedSimulation<'a> {
             scratch: Vec::with_capacity(max_deg * replicas),
             sortbuf: Vec::with_capacity(max_deg),
             columnar,
+            scalar_fallback_rows,
+            shared_plan,
+            plan_sharing: true,
+            shared_values: Vec::new(),
             keys: Vec::new(),
             keybuf: Vec::new(),
             exec: iabc_exec::Executor::serial(),
@@ -183,9 +231,40 @@ impl<'a> BatchedSimulation<'a> {
         self
     }
 
+    /// **Equivalence-test hook**: disables (or re-enables) the
+    /// shared-plan fast path, forcing the per-replica snapshot + serial
+    /// plan walk even for deterministic families. Shared planning is
+    /// bit-identical by construction; this switch exists so the test
+    /// suite can prove it rather than assume it.
+    #[must_use]
+    pub fn with_plan_sharing(mut self, enabled: bool) -> Self {
+        self.plan_sharing = enabled;
+        self
+    }
+
     /// Number of lockstep replicas.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Fault-free rows that take the scalar per-replica fallback instead
+    /// of the columnar network path: rows too short to trim (the rule
+    /// must report its own error with exact-tier precedence) or with
+    /// in-degree past [`MERGE_MAX_LEN`]. Zero means every update in
+    /// every round runs vectorized — e.g. complete `n = 100` (in-degree
+    /// 99) is fully covered by the merge networks.
+    pub fn scalar_fallback_rows(&self) -> usize {
+        self.scalar_fallback_rows
+    }
+
+    /// The deterministic plan shared by every replica's adversary, if
+    /// the shared-plan fast path is active this run.
+    pub fn shared_plan(&self) -> Option<BatchPlan> {
+        if self.plan_sharing {
+            self.shared_plan
+        } else {
+            None
+        }
     }
 
     /// Iterations executed so far.
@@ -246,8 +325,10 @@ impl<'a> BatchedSimulation<'a> {
 
     /// Executes one lockstep iteration: phase 1 plans each replica's
     /// round serially (replica order, so every adversary RNG stream is
-    /// exactly what its scalar engine would draw), phase 2 walks the CSR
-    /// once per node and advances all `R` lanes from one gather.
+    /// exactly what its scalar engine would draw) — or **once for all
+    /// replicas** when every adversary shares a deterministic
+    /// [`BatchPlan`] (see the [module docs](self)) — then phase 2 walks
+    /// the CSR once per node and advances all `R` lanes from one gather.
     ///
     /// # Errors
     ///
@@ -258,26 +339,70 @@ impl<'a> BatchedSimulation<'a> {
         self.round += 1;
         let r_count = self.replicas;
         let n = self.graph.node_count();
-        // Phase 1: per-replica plans against per-replica column snapshots.
-        for r in 0..r_count {
-            for i in 0..n {
-                self.snapshot[i] = self.states[i * r_count + r];
+        let shared = self.shared_plan();
+        match shared {
+            // Phase 1 (shared plan): the family is deterministic and
+            // uniform, so one plan serves every lane — no snapshots, no
+            // per-replica walk. Constant fills one value; Pull computes
+            // every lane's fault-free hull end in a single replica-major
+            // pass (same `min`/`max` fold over the same node order as
+            // `AdversaryView::honest_hull`, hence bit-identical per
+            // lane); Conforming needs no per-round work at all.
+            Some(BatchPlan::Constant(v)) => {
+                self.shared_values.clear();
+                self.shared_values.resize(r_count, v);
             }
-            let view = AdversaryView {
-                round: self.round,
-                graph: self.graph,
-                states: &self.snapshot,
-                fault_set: &self.fault_set,
-            };
-            fill_plan(
-                self.adversaries[r].as_mut(),
-                &view,
-                &self.planned_edges,
-                &self.slot_edges,
-                true,
-                &mut self.plans[r],
-                &self.exec,
-            );
+            Some(BatchPlan::Pull { toward_max }) => {
+                self.shared_values.clear();
+                let seed = if toward_max {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                };
+                self.shared_values.resize(r_count, seed);
+                for i in 0..n {
+                    if self.fault_set.contains(NodeId::new(i)) {
+                        continue;
+                    }
+                    let row = &self.states[i * r_count..(i + 1) * r_count];
+                    if toward_max {
+                        for (acc, &v) in self.shared_values.iter_mut().zip(row) {
+                            *acc = acc.max(v);
+                        }
+                    } else {
+                        for (acc, &v) in self.shared_values.iter_mut().zip(row) {
+                            *acc = acc.min(v);
+                        }
+                    }
+                }
+            }
+            Some(BatchPlan::Conforming) => {}
+            // Phase 1 (general): per-replica plans against per-replica
+            // column snapshots, serial in replica order so every
+            // adversary RNG stream draws exactly as its scalar engine
+            // would.
+            None => {
+                for r in 0..r_count {
+                    for i in 0..n {
+                        self.snapshot[i] = self.states[i * r_count + r];
+                    }
+                    let view = AdversaryView {
+                        round: self.round,
+                        graph: self.graph,
+                        states: &self.snapshot,
+                        fault_set: &self.fault_set,
+                    };
+                    fill_plan(
+                        self.adversaries[r].as_mut(),
+                        &view,
+                        &self.planned_edges,
+                        &self.slot_edges,
+                        true,
+                        &mut self.plans[r],
+                        &self.exec,
+                    );
+                }
+            }
         }
         // Phase 2 prologue: sanitize + encode every state into the biased
         // key domain once per round. A value's key does not depend on the
@@ -299,28 +424,46 @@ impl<'a> BatchedSimulation<'a> {
             let f = self.rule.f();
             let base = self.compiled.faulty_in_offset(i) as u32;
             let fedges = self.compiled.faulty_in_edges_of(i);
-            if deg >= 2 * f.max(1) && deg <= NETWORK_MAX_LEN {
-                // Columnar fast path: gather the pre-encoded keys, pad to
-                // a power-of-two slot count, network-sort all R columns at
-                // once (the schedule is data-oblivious, so one
-                // compare-exchange orders a slot pair in every replica —
-                // four per AVX2 instruction), then decode only the
-                // surviving slots. Gathered values are sanitized finite,
-                // so the only rule error — too few values to trim — is
-                // excluded by the guard.
+            if deg >= 2 * f.max(1) && deg <= MERGE_MAX_LEN {
+                // Columnar fast path (unrolled networks to 32 slots,
+                // block-sort + merge networks to 128): gather the
+                // pre-encoded keys, pad to a power-of-two slot count,
+                // network-sort all R columns at once (the schedule is
+                // data-oblivious, so one compare-exchange orders a slot
+                // pair in every replica — four per AVX2 instruction),
+                // then decode only the surviving slots. Gathered values
+                // are sanitized finite, so the only rule error — too few
+                // values to trim — is excluded by the guard.
                 self.keybuf.clear();
                 for &j in row {
                     let src = &self.keys[j as usize * r_count..j as usize * r_count + r_count];
                     self.keybuf.extend_from_slice(src);
                 }
-                for (k, &(slot, _sender)) in fedges.iter().enumerate() {
-                    let lane = slot as usize * r_count;
-                    for r in 0..r_count {
-                        let raw = match self.plans[r].get(base + k as u32) {
-                            PlannedMessage::Value(v) => v,
-                            PlannedMessage::Omit => self.states[i * r_count + r],
-                        };
-                        self.keybuf[lane + r] = biased_key(sanitize(raw).to_bits());
+                match shared {
+                    // Conforming sends the sender's own state — exactly
+                    // the key the gather already placed in that slot.
+                    Some(BatchPlan::Conforming) => {}
+                    // Constant / Pull: one planned value per lane.
+                    Some(_) => {
+                        for &(slot, _sender) in fedges {
+                            let lane = slot as usize * r_count;
+                            for r in 0..r_count {
+                                self.keybuf[lane + r] =
+                                    biased_key(sanitize(self.shared_values[r]).to_bits());
+                            }
+                        }
+                    }
+                    None => {
+                        for (k, &(slot, _sender)) in fedges.iter().enumerate() {
+                            let lane = slot as usize * r_count;
+                            for r in 0..r_count {
+                                let raw = match self.plans[r].get(base + k as u32) {
+                                    PlannedMessage::Value(v) => v,
+                                    PlannedMessage::Omit => self.states[i * r_count + r],
+                                };
+                                self.keybuf[lane + r] = biased_key(sanitize(raw).to_bits());
+                            }
+                        }
                     }
                 }
                 // Mean never trims, and the exact rule sums in gather
@@ -412,14 +555,29 @@ impl<'a> BatchedSimulation<'a> {
                     let c = (*v).clamp(-SANITIZE_CLAMP, SANITIZE_CLAMP);
                     *v = if c.is_nan() { SANITIZE_CLAMP } else { c };
                 }
-                for (k, &(slot, _sender)) in fedges.iter().enumerate() {
-                    let lane = slot as usize * r_count;
-                    for r in 0..r_count {
-                        let raw = match self.plans[r].get(base + k as u32) {
-                            PlannedMessage::Value(v) => v,
-                            PlannedMessage::Omit => self.states[i * r_count + r],
-                        };
-                        self.scratch[lane + r] = sanitize(raw);
+                match shared {
+                    // Same no-op as the columnar branch: the sanitized
+                    // gather already holds each faulty sender's state.
+                    Some(BatchPlan::Conforming) => {}
+                    Some(_) => {
+                        for &(slot, _sender) in fedges {
+                            let lane = slot as usize * r_count;
+                            for r in 0..r_count {
+                                self.scratch[lane + r] = sanitize(self.shared_values[r]);
+                            }
+                        }
+                    }
+                    None => {
+                        for (k, &(slot, _sender)) in fedges.iter().enumerate() {
+                            let lane = slot as usize * r_count;
+                            for r in 0..r_count {
+                                let raw = match self.plans[r].get(base + k as u32) {
+                                    PlannedMessage::Value(v) => v,
+                                    PlannedMessage::Omit => self.states[i * r_count + r],
+                                };
+                                self.scratch[lane + r] = sanitize(raw);
+                            }
+                        }
                     }
                 }
                 for r in 0..r_count {
@@ -666,7 +824,9 @@ pub fn epsilon_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{ConformingAdversary, ConstantAdversary, RandomAdversary};
+    use crate::adversary::{
+        ConformingAdversary, ConstantAdversary, PullAdversary, RandomAdversary,
+    };
     use iabc_graph::generators;
 
     fn k7_inputs(replicas: usize) -> Vec<f64> {
@@ -809,9 +969,12 @@ mod tests {
     }
 
     #[test]
-    fn wide_rows_take_the_scalar_fallback_and_still_audit() {
-        // complete(40) has in-degree 39 > NETWORK_MAX_LEN: phase 2 runs
-        // the per-replica scalar kernel, and the audit bound still holds.
+    fn merge_network_rows_stay_columnar_and_audit() {
+        // complete(40) has in-degree 39: past the unrolled networks but
+        // within MERGE_MAX_LEN, so phase 2 stays on the columnar merge-
+        // network path (no scalar fallback rows at all) — and the
+        // columnar trimmed-mean fold is bit-identical to the exact tier,
+        // so the audit holds at a tight bound.
         let g = generators::complete(40);
         let faults = NodeSet::from_indices(40, [38, 39]);
         let replicas = 3;
@@ -828,10 +991,131 @@ mod tests {
             make,
         )
         .unwrap();
-        // 37 survivors per row: the 4-lane fold can drift a few more
-        // ulps than the small-row cases, so give the bound headroom.
-        let report = epsilon_audit(&mut batch, make, 10, 16).unwrap();
+        assert_eq!(batch.scalar_fallback_rows(), 0);
+        let report = epsilon_audit(&mut batch, make, 10, 4).unwrap();
         assert_eq!(report.rounds, 10);
+    }
+
+    #[test]
+    fn wide_rows_take_the_scalar_fallback_and_still_audit() {
+        // complete(140) has in-degree 139 > MERGE_MAX_LEN: phase 2 runs
+        // the per-replica scalar kernel, and the audit bound still holds.
+        let g = generators::complete(140);
+        let faults = NodeSet::from_indices(140, [138, 139]);
+        let replicas = 2;
+        let inputs: Vec<f64> = (0..140 * replicas).map(|i| (i % 17) as f64).collect();
+        let make = |r: usize| -> Box<dyn Adversary> {
+            Box::new(RandomAdversary::new(-1e3, 1e3, 100 + r as u64))
+        };
+        let mut batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            replicas,
+            make,
+        )
+        .unwrap();
+        // Every fault-free row overflows the merge networks.
+        assert_eq!(batch.scalar_fallback_rows(), 138);
+        // 137 survivors per row: the 4-lane fold can drift a few more
+        // ulps than the small-row cases, so give the bound headroom.
+        let report = epsilon_audit(&mut batch, make, 6, 32).unwrap();
+        assert_eq!(report.rounds, 6);
+    }
+
+    #[test]
+    fn shared_plan_is_bit_identical_to_per_replica_planning() {
+        // The deterministic families (Conforming / Constant / Pull) take
+        // the shared-plan fast path; forcing the per-replica snapshot +
+        // serial plan walk instead must land on byte-identical states at
+        // every width.
+        let g = generators::complete(9);
+        let faults = NodeSet::from_indices(9, [7, 8]);
+        type FamilyCtor = Box<dyn Fn() -> Box<dyn Adversary>>;
+        let families: Vec<(&str, FamilyCtor)> = vec![
+            (
+                "conforming",
+                Box::new(|| Box::new(ConformingAdversary::new())),
+            ),
+            (
+                "constant",
+                Box::new(|| Box::new(ConstantAdversary::new(1e9))),
+            ),
+            ("pull-low", Box::new(|| Box::new(PullAdversary::new(false)))),
+            ("pull-high", Box::new(|| Box::new(PullAdversary::new(true)))),
+        ];
+        for (name, make) in &families {
+            for replicas in [1usize, 7, 32] {
+                let inputs: Vec<f64> = (0..9 * replicas)
+                    .map(|i| ((i * 31) % 23) as f64 * 0.5 - 4.0)
+                    .collect();
+                let run = |sharing: bool| {
+                    let mut batch = BatchedSimulation::new(
+                        &g,
+                        &inputs,
+                        faults.clone(),
+                        FastRule::TrimmedMean(2),
+                        replicas,
+                        |_| make(),
+                    )
+                    .unwrap()
+                    .with_plan_sharing(sharing);
+                    assert_eq!(batch.shared_plan().is_some(), sharing, "{name}");
+                    for _ in 0..15 {
+                        batch.step().unwrap();
+                    }
+                    batch
+                        .states()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u64>>()
+                };
+                assert_eq!(run(true), run(false), "{name}, R = {replicas}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_families_never_share_a_plan() {
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let inputs = k7_inputs(2);
+        let batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            2,
+            |r| -> Box<dyn Adversary> { Box::new(RandomAdversary::new(-1.0, 1.0, r as u64)) },
+        )
+        .unwrap();
+        assert_eq!(batch.shared_plan(), None);
+    }
+
+    #[test]
+    fn mixed_families_never_share_a_plan() {
+        // Uniformity is required: one lane on a different deterministic
+        // family forces the full per-replica protocol.
+        let g = generators::complete(7);
+        let faults = NodeSet::from_indices(7, [5, 6]);
+        let inputs = k7_inputs(2);
+        let batch = BatchedSimulation::new(
+            &g,
+            &inputs,
+            faults,
+            FastRule::TrimmedMean(2),
+            2,
+            |r| -> Box<dyn Adversary> {
+                if r == 0 {
+                    Box::new(ConstantAdversary::new(1e9))
+                } else {
+                    Box::new(PullAdversary::new(true))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(batch.shared_plan(), None);
     }
 
     #[test]

@@ -106,16 +106,17 @@ fn audit_grid_columnar_topology() {
     audit_grid_on(&g, &faults, 2);
 }
 
-/// The scalar-fallback path: in-degree 39 overflows the network bound,
-/// so phase 2 runs the per-replica scalar kernel — audited under the
-/// same grid (trimmed to the noisier families to keep runtime sane).
+/// The merge-network path: in-degree 39 is past the unrolled networks
+/// (32) but inside [`MERGE_MAX_LEN`], so phase 2 sorts 32-blocks and
+/// fuses them with the Batcher merge stages — audited under the same
+/// grid (trimmed to the noisier families to keep runtime sane). Before
+/// the merge networks existed this very topology was the scalar
+/// fallback; the construction asserts it no longer is.
 #[test]
-fn audit_grid_scalar_fallback_topology() {
+fn audit_grid_merge_network_topology() {
     let g = generators::complete(40);
     let faults = NodeSet::from_indices(40, [38, 39]);
     let inputs = grid_inputs(40);
-    // 37 survivors per row: the 4-lane fold drifts more than the small
-    // rows, so this grid gets a wider (still tight) bound.
     for family in ["conforming", "constant", "random", "nan"] {
         for rule in [FastRule::TrimmedMean(2), FastRule::TrimmedMidpoint(2)] {
             let mut batch =
@@ -123,9 +124,105 @@ fn audit_grid_scalar_fallback_topology() {
                     family_factory(family, r)
                 })
                 .expect("grid workload is valid");
+            assert_eq!(
+                batch.scalar_fallback_rows(),
+                0,
+                "in-degree 39 must ride the merge networks"
+            );
             let report = epsilon_audit(&mut batch, |r| family_factory(family, r), 8, 32)
                 .unwrap_or_else(|e| panic!("audit failed for {family} × {}: {e}", rule.name()));
             assert_eq!(report.rounds, 8, "{family} × {}", rule.name());
+        }
+    }
+}
+
+/// The acceptance topology for the merge-network tier: complete
+/// `n = 100` forces in-degree 99 on every fault-free row — past the
+/// unrolled networks, inside the merge networks. Every row must stay on
+/// the columnar path (zero scalar fallback) and the full audit grid must
+/// hold there, with the shared-plan fast path active for the
+/// deterministic families.
+#[test]
+fn audit_grid_merge_network_complete_100() {
+    let n = 100;
+    let g = generators::complete(n);
+    let faults = NodeSet::from_indices(n, [97, 98, 99]);
+    let inputs = grid_inputs(n);
+    for family in ["conforming", "constant", "pull-high", "random"] {
+        for rule in [FastRule::TrimmedMean(3), FastRule::TrimmedMidpoint(3)] {
+            let mut batch =
+                BatchedSimulation::new(&g, &inputs, faults.clone(), rule, REPLICAS, |r| {
+                    family_factory(family, r)
+                })
+                .expect("grid workload is valid");
+            assert_eq!(
+                batch.scalar_fallback_rows(),
+                0,
+                "complete n=100 (in-degree 99) must run columnar, no scalar fallback"
+            );
+            // The three deterministic families share one adversary plan
+            // across replicas; the randomized family must not.
+            assert_eq!(
+                batch.shared_plan().is_some(),
+                family != "random",
+                "{family}"
+            );
+            let report = epsilon_audit(&mut batch, |r| family_factory(family, r), 8, 32)
+                .unwrap_or_else(|e| panic!("audit failed for {family} × {}: {e}", rule.name()));
+            assert_eq!(report.rounds, 8, "{family} × {}", rule.name());
+        }
+    }
+}
+
+/// The perturbed-kernel canary on the merge-network acceptance topology:
+/// the audit at in-degree 99 must not be a tautology either.
+#[test]
+fn perturbed_kernel_canary_fails_on_complete_100() {
+    let n = 100;
+    let g = generators::complete(n);
+    let faults = NodeSet::from_indices(n, [97, 98, 99]);
+    let inputs = grid_inputs(n);
+    let mut batch = BatchedSimulation::new(
+        &g,
+        &inputs,
+        faults.clone(),
+        FastRule::TrimmedMean(3),
+        REPLICAS,
+        |r| family_factory("constant", r),
+    )
+    .expect("grid workload is valid")
+    .with_perturbation(1e-9);
+    let err = epsilon_audit(&mut batch, |r| family_factory("constant", r), 8, 32)
+        .expect_err("perturbed kernel must fail the audit at in-degree 99");
+    assert!(
+        matches!(err, AuditError::Divergence { round: 1, .. }),
+        "expected a first-round divergence, got {err}"
+    );
+}
+
+/// The true scalar-fallback path after the merge-network extension:
+/// in-degree 139 is past [`MERGE_MAX_LEN`] = 128, so phase 2 runs the
+/// per-replica scalar kernel — still audited, still bounded.
+#[test]
+fn audit_grid_scalar_fallback_topology() {
+    let g = generators::complete(140);
+    let faults = NodeSet::from_indices(140, [138, 139]);
+    let inputs = grid_inputs(140);
+    for family in ["conforming", "constant"] {
+        for rule in [FastRule::TrimmedMean(2), FastRule::TrimmedMidpoint(2)] {
+            let mut batch =
+                BatchedSimulation::new(&g, &inputs, faults.clone(), rule, REPLICAS, |r| {
+                    family_factory(family, r)
+                })
+                .expect("grid workload is valid");
+            assert_eq!(
+                batch.scalar_fallback_rows(),
+                138,
+                "in-degree 139 is past MERGE_MAX_LEN and must fall back"
+            );
+            let report = epsilon_audit(&mut batch, |r| family_factory(family, r), 6, 32)
+                .unwrap_or_else(|e| panic!("audit failed for {family} × {}: {e}", rule.name()));
+            assert_eq!(report.rounds, 6, "{family} × {}", rule.name());
         }
     }
 }

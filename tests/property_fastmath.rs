@@ -1,7 +1,9 @@
 //! Property tests for the FastMath tier's sign-magnitude key transform
 //! and its byte-identity contract with the exact tier, biased toward the
 //! IEEE-754 edge cases a uniform float strategy almost never draws:
-//! `-0.0` vs `+0.0`, subnormals, `±inf`, and NaN payloads.
+//! `-0.0` vs `+0.0`, subnormals, `±inf`, and NaN payloads. Covers both
+//! the unrolled networks (lengths ≤ 32) and the Batcher merge-network
+//! extension (lengths 33..=128), scalar and columnar.
 
 use iabc::core::fastmath::{
     biased_key, sort_columns_total_fast, sort_total_fast, ulp_distance, unbias_key,
@@ -119,6 +121,66 @@ proptest! {
                     flat[s * lanes + l].to_bits(),
                     v.to_bits(),
                     "lane {} slot {}", l, s
+                );
+            }
+        }
+    }
+
+    /// The merge-network extension (lengths 33..=128: sorted 32-blocks
+    /// fused by Batcher merge stages) is byte-identical to the exact
+    /// tier's sort on edge-biased bit patterns — signed zeros,
+    /// subnormals, NaN payloads, infinities. Below 33 the unrolled
+    /// networks already carry this property; this pins the new range.
+    #[test]
+    fn merge_network_sort_is_byte_identical_for_lengths_33_to_128(
+        len in 33usize..=128,
+        seed_bits in proptest::collection::vec(edge_bits(), 128),
+    ) {
+        let mut fast: Vec<f64> = seed_bits[..len].iter().map(|&b| f64::from_bits(b)).collect();
+        let mut exact = fast.clone();
+        sort_total_fast(&mut fast);
+        sort_total(&mut exact);
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let exact_bits: Vec<u64> = exact.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, exact_bits, "len {}", len);
+    }
+
+    /// Columnar merge networks: the vertical compare-exchange schedule at
+    /// slot counts past 32 (64 and 128 after padding) agrees
+    /// byte-for-byte per column with the exact scalar sort, with the
+    /// COLUMN_PAD sentinel filling the tail — the same contract the
+    /// unrolled-network slot counts already carry.
+    #[test]
+    fn columnar_merge_network_is_byte_identical_per_column(
+        bits in proptest::collection::vec(finite_edge_bits(), 33..=128),
+        lanes in 1usize..6,
+    ) {
+        let slots = bits.len().next_power_of_two();
+        prop_assert!(slots > 32 && slots <= 128);
+        let mut flat: Vec<f64> = (0..slots * lanes)
+            .map(|i| {
+                let (s, l) = (i / lanes, i % lanes);
+                // Column l gets a rotated view of the draw so lanes
+                // differ, with COLUMN_PAD past each column's real tail.
+                let idx = (s + l * 7) % slots;
+                if idx < bits.len() {
+                    f64::from_bits(bits[idx])
+                } else {
+                    COLUMN_PAD
+                }
+            })
+            .collect();
+        let mut columns: Vec<Vec<f64>> = (0..lanes)
+            .map(|l| (0..slots).map(|s| flat[s * lanes + l]).collect())
+            .collect();
+        sort_columns_total_fast(&mut flat, lanes);
+        for (l, col) in columns.iter_mut().enumerate() {
+            sort_total(col);
+            for (s, v) in col.iter().enumerate() {
+                prop_assert_eq!(
+                    flat[s * lanes + l].to_bits(),
+                    v.to_bits(),
+                    "lane {} slot {} of {}", l, s, slots
                 );
             }
         }

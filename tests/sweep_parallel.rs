@@ -3,6 +3,7 @@
 //! execution produce **bit-identical** tables — the determinism contract
 //! the per-cell coordinate-derived seeding is supposed to guarantee.
 
+use iabc::analysis::batched::{run_census_conv_sweep, run_experiment_sweep_batched};
 use iabc::analysis::sweep::{
     run_census_sweep, run_experiment_sweep, run_monte_carlo_sweep, MonteCarloSpec,
 };
@@ -80,4 +81,30 @@ fn census_sweep_serial_equals_parallel() {
         serial,
         run_census_sweep(4, &[0, 1], PARALLEL_JOBS).to_string()
     );
+}
+
+#[test]
+fn convergence_census_batched_equals_dispatched_at_every_job_count() {
+    // The --batch contract: grouping same-spec cells into one
+    // replica-batched FastMath run is unobservable in the rendered table,
+    // at any worker count.
+    let reference = run_census_conv_sweep(8, &[0, 1, 2], 5, 1, false).to_string();
+    for jobs in [1, 2, PARALLEL_JOBS] {
+        for batch in [false, true] {
+            assert_eq!(
+                reference,
+                run_census_conv_sweep(8, &[0, 1, 2], 5, jobs, batch).to_string(),
+                "convergence census differs at jobs={jobs} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_sweep_accepts_batch_flag_inertly() {
+    // E-cells pin the exact tier; --batch must change nothing.
+    let ids = vec!["E3".to_string(), "E7".to_string()];
+    let (plain, _) = run_experiment_sweep(&ids, PARALLEL_JOBS);
+    let (batched, _) = run_experiment_sweep_batched(&ids, PARALLEL_JOBS, true);
+    assert_eq!(plain.to_string(), batched.to_string());
 }
