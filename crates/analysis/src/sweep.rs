@@ -248,8 +248,11 @@ pub fn run_cells_memo<T: Send>(
 
 type ExperimentRunner = fn() -> ExperimentResult;
 
-/// The experiment grid: one runner per paper artifact, in paper order.
-const EXPERIMENT_RUNNERS: [(&str, ExperimentRunner); 12] = [
+/// The experiment grid: one runner per paper artifact (E1–E12, in paper
+/// order) followed by the extension experiments (X1–X13, DESIGN.md §5) —
+/// the full regeneration surface, so every id is memoizable through the
+/// serving tier's cell key schema.
+const EXPERIMENT_RUNNERS: [(&str, ExperimentRunner); 25] = [
     ("E1", experiments::e1_necessity),
     ("E2", experiments::e2_validity),
     ("E3", experiments::e3_convergence),
@@ -262,25 +265,55 @@ const EXPERIMENT_RUNNERS: [(&str, ExperimentRunner); 12] = [
     ("E10", experiments::e10_rate),
     ("E11", experiments::e11_figures),
     ("E12", experiments::e12_ablation),
+    ("X1", experiments::x1_local_fault_model),
+    ("X2", experiments::x2_matrix_representation),
+    ("X3", experiments::x3_model_comparison),
+    ("X4", experiments::x4_condition_zoo),
+    ("X5", experiments::x5_baselines),
+    ("X6", experiments::x6_scaling),
+    ("X7", experiments::x7_construction),
+    ("X8", experiments::x8_census),
+    ("X9", experiments::x9_adversary_tournament),
+    ("X10", experiments::x10_fault_models),
+    ("X11", experiments::x11_dynamic_topology),
+    ("X12", experiments::x12_quantized),
+    ("X13", experiments::x13_vector),
 ];
 
-/// `true` iff `id` names a paper experiment (case-insensitive `E1`..`E12`).
+/// `true` iff `id` names an experiment (case-insensitive `E1`..`E12` or
+/// `X1`..`X13`).
 pub fn is_known_experiment_id(id: &str) -> bool {
     EXPERIMENT_RUNNERS
         .iter()
         .any(|(known, _)| known.eq_ignore_ascii_case(id))
 }
 
+/// Canonical position of `id` in the registry (E1–E12 then X1–X13) —
+/// the sort key the serving tier canonicalizes requested id lists by.
+pub fn experiment_id_position(id: &str) -> Option<usize> {
+    EXPERIMENT_RUNNERS
+        .iter()
+        .position(|(known, _)| known.eq_ignore_ascii_case(id))
+}
+
 /// Largest `n` the exhaustive census can enumerate (`n(n−1) ≤ 20`).
 pub const CENSUS_MAX_N: usize = 5;
 
-/// Builds one cell per paper experiment (E1–E12), optionally restricted to
-/// the given ids (case-insensitive; validate with
-/// [`is_known_experiment_id`] first — unknown ids are ignored here).
+/// Builds one cell per experiment, optionally restricted to the given
+/// ids (case-insensitive; validate with [`is_known_experiment_id`] first
+/// — unknown ids are ignored here). An empty list keeps its historical
+/// meaning, the paper grid E1–E12; the X1–X13 extensions run only when
+/// named explicitly.
 pub fn experiment_cells(ids: &[String]) -> Vec<SweepCell<'static, ExperimentResult>> {
     EXPERIMENT_RUNNERS
         .into_iter()
-        .filter(|(id, _)| ids.is_empty() || ids.iter().any(|want| want.eq_ignore_ascii_case(id)))
+        .filter(|(id, _)| {
+            if ids.is_empty() {
+                id.starts_with('E')
+            } else {
+                ids.iter().any(|want| want.eq_ignore_ascii_case(id))
+            }
+        })
         .map(|(id, runner)| {
             SweepCell::new(
                 CellCoords::new("experiments").with("id", id),

@@ -921,19 +921,59 @@ pub fn sweep_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 .collect();
             if !unknown.is_empty() {
                 return Err(CliError::Usage(format!(
-                    "unknown experiment id(s) {}; expected E1..E12",
+                    "unknown experiment id(s) {}; expected E1..E12, X1..X13",
                     unknown.join(", ")
                 )));
             }
+            // Thin-client mode: ship the sweep to a running daemon as a
+            // single content-addressed job, so repeated regeneration runs
+            // (CI, `make experiments`) collapse to one compute and
+            // N - 1 cache reads.
+            if let Some(addr) = args.flag("addr").filter(|a| !a.is_empty()) {
+                let job = iabc_serve::JobSpec::Sweep { ids: ids.clone() };
+                let outcome =
+                    iabc_serve::submit(addr, &job).map_err(|e| CliError::Run(e.to_string()))?;
+                let results = iabc_serve::decode_sweep_payload(&outcome.payload)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                let mut table = iabc_analysis::table::Table::new(["id", "title", "rows", "pass"]);
+                for r in &results {
+                    table.row([
+                        r.id.to_string(),
+                        r.title.to_string(),
+                        r.table.len().to_string(),
+                        r.pass.to_string(),
+                    ]);
+                }
+                let failed: Vec<&str> = results
+                    .iter()
+                    .filter(|r| !r.pass)
+                    .map(|r| r.id.as_str())
+                    .collect();
+                return Ok(format!(
+                    "experiment sweep via {addr} ({} cells, cache: {}, key {})\n\n{table}\n{}\n",
+                    results.len(),
+                    if outcome.cache_hit { "hit" } else { "miss" },
+                    outcome.key.hex(),
+                    if failed.is_empty() {
+                        "all experiments PASS".to_string()
+                    } else {
+                        format!("FAILED: {}", failed.join(", "))
+                    }
+                ));
+            }
             let store_dir = args.flag("store").filter(|s| !s.is_empty());
+            let max_store_bytes: Option<u64> = args.optional("max-store-bytes")?;
             let (summary, outcomes, memo_counts) = match store_dir {
                 Some(dir) => {
-                    let mut store = iabc_serve::Store::open(std::path::Path::new(dir))
-                        .map_err(|e| CliError::Io(format!("store {dir}: {e}")))?;
-                    let mut memo = iabc_serve::StoreMemo::new(&mut store, jobs);
+                    let store = iabc_serve::Store::open_with_budget(
+                        std::path::Path::new(dir),
+                        max_store_bytes,
+                    )
+                    .map_err(|e| CliError::Io(format!("store {dir}: {e}")))?;
+                    let mut memo = iabc_serve::StoreMemo::new(&store, jobs);
                     let (summary, outcomes, hits, misses) =
                         batched::run_experiment_sweep_batched_memo(&ids, jobs, batch, &mut memo);
-                    (summary, outcomes, Some((hits, misses)))
+                    (summary, outcomes, Some((hits, misses, store.evictions())))
                 }
                 None => {
                     let (summary, outcomes) =
@@ -945,9 +985,9 @@ pub fn sweep_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 "experiment sweep ({} cells, {jobs} jobs)\n\n{summary}\n",
                 outcomes.len()
             );
-            if let Some((hits, misses)) = memo_counts {
+            if let Some((hits, misses, evictions)) = memo_counts {
                 out.push_str(&format!(
-                    "store: {hits} cell hit(s), {misses} miss(es) ({})\n",
+                    "store: {hits} cell hit(s), {misses} miss(es), {evictions} evicted ({})\n",
                     store_dir.unwrap_or_default()
                 ));
             }
@@ -1160,14 +1200,20 @@ pub fn deploy_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `iabc serve --store DIR [--addr 127.0.0.1:PORT] [--jobs N]
-/// [--accept K]` — runs the sweep-as-a-service daemon: a TCP accept loop
-/// answering `iabc submit` / `iabc query` from the content-addressed
-/// result store at `DIR`, executing misses on the process-level shared
-/// pool, and journaling every hit and miss. The bound address is printed
-/// to stderr before the loop starts (port 0 picks an ephemeral port), so
-/// scripts can wait for readiness. `--accept K` exits cleanly after `K`
+/// [--accept K] [--max-conn C] [--max-store-bytes B]` — runs the
+/// sweep-as-a-service daemon: a bounded thread-per-connection TCP accept
+/// loop answering `iabc submit` / `iabc query` from the content-addressed
+/// result store at `DIR`. Hits answer concurrently from the store's read
+/// lock; misses execute under the process-level shared pool's compute
+/// permit, with identical in-flight submissions coalesced onto one
+/// computation (single-flight). The bound address is printed to stderr
+/// before the loop starts (port 0 picks an ephemeral port), so scripts
+/// can wait for readiness. `--accept K` exits cleanly after `K`
 /// connections (CI smoke runs); otherwise the daemon runs until an
-/// `iabc`-protocol shutdown request arrives.
+/// `iabc`-protocol shutdown request arrives. `--max-conn C` bounds
+/// concurrent handler threads (`1` = sequential; default 8);
+/// `--max-store-bytes B` caps total object bytes, evicting
+/// least-recently-used results when an insert would exceed the budget.
 pub fn serve_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let store_dir: String = args.required("store")?;
     let config = iabc_serve::ServerConfig {
@@ -1179,6 +1225,8 @@ pub fn serve_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         jobs: args.optional("jobs")?.unwrap_or(0),
         store_dir: std::path::PathBuf::from(store_dir),
         accept_limit: args.optional("accept")?,
+        max_connections: args.optional("max-conn")?.unwrap_or(0),
+        max_store_bytes: args.optional("max-store-bytes")?,
     };
     let mut server = iabc_serve::Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
     let addr = server
@@ -1193,12 +1241,45 @@ pub fn serve_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     );
     let stats = server.run().map_err(|e| CliError::Run(e.to_string()))?;
     Ok(format!(
-        "serve: {addr} handled {} connection(s) — {} job hit(s), {} job miss(es); \
-         store holds {} object(s)\n",
+        "serve: {addr} handled {} connection(s) — {} job hit(s), {} job miss(es), \
+         {} coalesced; store holds {} object(s), {} evicted\n",
         stats.connections,
         stats.job_hits,
         stats.job_misses,
-        server.store().len()
+        stats.job_coalesced,
+        server.store().len(),
+        server.store().evictions()
+    ))
+}
+
+/// `iabc compact (--addr HOST:PORT | --store DIR)` — rewrites a result
+/// store's run journal down to one record per live object (replay-
+/// equivalent by construction) and sweeps orphaned object files. With
+/// `--addr` the request goes to a running daemon; with `--store` the
+/// journal is compacted offline, directly on disk.
+pub fn compact_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let stats = match (args.flag("addr"), args.flag("store")) {
+        (Some(addr), None) => {
+            iabc_serve::compact(addr).map_err(|e| CliError::Run(e.to_string()))?
+        }
+        (None, Some(dir)) => {
+            let store = iabc_serve::Store::open(std::path::Path::new(dir))
+                .map_err(|e| CliError::Io(format!("store {dir}: {e}")))?;
+            store.compact().map_err(|e| CliError::Run(e.to_string()))?
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "compact needs exactly one of --addr HOST:PORT or --store DIR".into(),
+            ))
+        }
+    };
+    Ok(format!(
+        "compacted: {} -> {} record(s), {} -> {} journal byte(s), {} orphan object(s) removed\n",
+        stats.records_before,
+        stats.records_after,
+        stats.bytes_before,
+        stats.bytes_after,
+        stats.orphans_removed
     ))
 }
 
@@ -1206,7 +1287,11 @@ pub fn serve_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 /// TCP) from the subcommand's arguments: `submit sweep [--ids E1,..]` or
 /// `submit scenario <graph-file> --f N [--faulty A,B] [--rule R]
 /// [--adversary A] [--seed S | --inputs V,V,..] [--quantum Q] [--eps E]
-/// [--max-rounds R]`.
+/// [--max-rounds R] [--delay-bound B [--scheduler NAME]
+/// [--sched-seed S]]`. A `--delay-bound` turns the job into a
+/// delay-bounded asynchronous run (schedulers: immediate | max | random);
+/// the engine choice is part of the run key, so synchronous and
+/// delay-bounded runs of the same scenario never collide in the store.
 fn submit_job_from_args(args: &ParsedArgs) -> Result<iabc_serve::JobSpec, CliError> {
     let kind = args.positional(0).ok_or_else(|| {
         CliError::Usage("expected a job kind: sweep | scenario <graph-file>".into())
@@ -1228,6 +1313,14 @@ fn submit_job_from_args(args: &ParsedArgs) -> Result<iabc_serve::JobSpec, CliErr
             } else {
                 iabc_serve::InputSpec::Explicit(explicit)
             };
+            let engine = match args.optional::<usize>("delay-bound")? {
+                Some(bound) => iabc_serve::EngineSpec::DelayBounded {
+                    bound,
+                    scheduler: args.flag("scheduler").unwrap_or("max").to_string(),
+                    sched_seed: args.optional("sched-seed")?.unwrap_or(0),
+                },
+                None => iabc_serve::EngineSpec::Synchronous,
+            };
             Ok(iabc_serve::JobSpec::Scenario(iabc_serve::ScenarioSpec {
                 graph,
                 faulty: args.list("faulty")?,
@@ -1239,6 +1332,7 @@ fn submit_job_from_args(args: &ParsedArgs) -> Result<iabc_serve::JobSpec, CliErr
                 inputs,
                 epsilon: args.optional("eps")?.unwrap_or(1e-6),
                 max_rounds: args.optional("max-rounds")?.unwrap_or(10_000),
+                engine,
             }))
         }
         other => Err(CliError::Usage(format!(
@@ -1301,7 +1395,12 @@ pub fn query_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 /// workload, plus a multiplexed-only scale measurement at an n no
 /// threaded deployment could host), a **serve-cache** datapoint (the same
 /// scenario batch submitted cold then warm against a scratch result
-/// store, asserting the warm payloads are byte-identical), a **fastmath**
+/// store, asserting the warm payloads are byte-identical), a
+/// **serve-concurrent** datapoint (the real daemon over loopback: four
+/// hit clients measured while one expensive miss holds the compute
+/// permit, concurrent `--max-conn` vs the sequential `--max-conn 1`
+/// baseline, all hit payloads asserted byte-identical to the store;
+/// plus an informational journal compaction-ratio line), a **fastmath**
 /// datapoint (the columnar merge-network sort across 32 lanes vs per-lane
 /// exact sorting, with the scalar one-row kernel faceoff kept as an
 /// informational line), a **replica-batch** datapoint (R batched SoA
@@ -1315,7 +1414,8 @@ pub fn query_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 /// `iabc perf --check [--baseline FILE] [--tolerance T]` additionally
 /// diffs the fresh run against the committed baseline JSON and **fails**
 /// (non-zero exit) if any workload's compiled-vs-reference speedup — or
-/// the parallel, pool, deploy, or serve-cache datapoint's speedup —
+/// the parallel, pool, deploy, serve-cache, or serve-concurrent
+/// datapoint's speedup —
 /// regressed by more than the noise tolerance (default 0.4, i.e. a 40% drop). Workloads missing
 /// from either side (e.g. quick-mode runs checked against a full-mode
 /// baseline) are skipped, so CI smoke runs can check against the
@@ -1658,8 +1758,9 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let cache_edges = iabc_graph::parse::to_edge_list(&cache_graph);
     let cache_dir = std::env::temp_dir().join(format!("iabc-perf-serve-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
-    let mut cache_store = iabc_serve::Store::open(&cache_dir)
+    let cache_store = iabc_serve::Store::open(&cache_dir)
         .map_err(|e| CliError::Io(format!("{}: {e}", cache_dir.display())))?;
+    let cache_flights = iabc_serve::SingleFlight::new();
     let cache_jobs: Vec<iabc_serve::JobSpec> = (0..cache_batch as u64)
         .map(|seed| {
             iabc_serve::JobSpec::Scenario(iabc_serve::ScenarioSpec {
@@ -1673,15 +1774,17 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 inputs: iabc_serve::InputSpec::Seeded(seed),
                 epsilon: 1e-9,
                 max_rounds: 400,
+                engine: iabc_serve::EngineSpec::Synchronous,
             })
         })
         .collect();
-    let submit_batch = |store: &mut iabc_serve::Store| -> Result<(f64, Vec<Vec<u8>>), CliError> {
+    let submit_batch = |store: &iabc_serve::Store| -> Result<(f64, Vec<Vec<u8>>), CliError> {
         let start = Instant::now();
         let mut payloads = Vec::with_capacity(cache_jobs.len());
         for job in &cache_jobs {
-            let response = iabc_serve::server::answer_submit(store, job, jobs, |_, _, _| {})
-                .map_err(|e| CliError::Run(e.to_string()))?;
+            let (response, _) =
+                iabc_serve::server::answer_submit(store, &cache_flights, job, jobs, |_, _, _| {})
+                    .map_err(|e| CliError::Run(e.to_string()))?;
             let iabc_serve::protocol::Response::Result { payload, .. } = response else {
                 return Err(CliError::Run("submit did not return a result".into()));
             };
@@ -1692,8 +1795,8 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
             payloads,
         ))
     };
-    let (cold_rate, cold_payloads) = submit_batch(&mut cache_store)?;
-    let (warm_rate, warm_payloads) = submit_batch(&mut cache_store)?;
+    let (cold_rate, cold_payloads) = submit_batch(&cache_store)?;
+    let (warm_rate, warm_payloads) = submit_batch(&cache_store)?;
     if cold_payloads != warm_payloads {
         return Err(CliError::Run(
             "serve cache datapoint: warm payloads differ from cold payloads".into(),
@@ -1710,6 +1813,170 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
         "  \"serve_cache\": {{\"topology\": \"complete\", \"n\": {cache_n}, \"f\": {cache_f}, \
          \"batch\": {cache_batch}, \"jobs\": {jobs}, \"cold_jobs_per_sec\": {cold_rate:.3}, \
          \"warm_hits_per_sec\": {warm_rate:.3}, \"speedup\": {cache_speedup:.3}}},"
+    );
+
+    // Serve-concurrent datapoint (enforced): the concurrent daemon's
+    // defining property — hit clients keep being answered from the
+    // store's read lock while one expensive miss occupies the compute
+    // permit. Both sides run the REAL daemon over loopback sockets with
+    // identical workloads; the only difference is `--max-conn` (1 = the
+    // old sequential accept loop, where every hit queues behind the
+    // in-flight miss connection). Every hit payload is asserted
+    // byte-identical to the store's object (fetched via `query`), not
+    // just trusted.
+    let sc_clients = 4usize;
+    let sc_hits_per_client = 10usize;
+    // Epsilon 0 keeps the miss stepping to the round cap: a fixed, slow
+    // workload that reliably outlasts the hit barrage (the barrage is
+    // ~0.1 s of small frames; the cap is sized so the miss runs for
+    // seconds even on a fast multicore host).
+    let sc_miss_rounds = 40_000usize;
+    let sc_hit_job = iabc_serve::JobSpec::Scenario(iabc_serve::ScenarioSpec {
+        graph: cache_edges.clone(),
+        faulty: (0..cache_f).collect(),
+        f: cache_f,
+        rule: "trimmed-mean".into(),
+        quantum: None,
+        adversary: "constant".into(),
+        seed: 101,
+        inputs: iabc_serve::InputSpec::Seeded(101),
+        epsilon: 1e-9,
+        max_rounds: 400,
+        engine: iabc_serve::EngineSpec::Synchronous,
+    });
+    // The miss must genuinely run for seconds: on a complete graph every
+    // adversary converges to exact equality in ~a dozen rounds, so the
+    // slow job is a sparse chord graph (information travels one hop per
+    // round) under the seeded random adversary (keeps perturbing values,
+    // so epsilon 0 steps to the round cap).
+    let sc_miss_n = 512usize;
+    let sc_miss_job = iabc_serve::JobSpec::Scenario(iabc_serve::ScenarioSpec {
+        graph: iabc_graph::parse::to_edge_list(&generators::chord(sc_miss_n, 4)),
+        faulty: vec![0],
+        f: 1,
+        rule: "trimmed-mean".into(),
+        quantum: None,
+        adversary: "random".into(),
+        seed: 102,
+        inputs: iabc_serve::InputSpec::Seeded(102),
+        epsilon: 0.0,
+        max_rounds: sc_miss_rounds,
+        engine: iabc_serve::EngineSpec::Synchronous,
+    });
+    let run_tier = |max_conn: usize,
+                    compact: bool|
+     -> Result<(f64, Option<iabc_serve::CompactionStats>), CliError> {
+        let dir = std::env::temp_dir().join(format!(
+            "iabc-perf-serve-conc{max_conn}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = iabc_serve::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs,
+            store_dir: dir.clone(),
+            accept_limit: None,
+            max_connections: max_conn,
+            max_store_bytes: None,
+        };
+        let mut server =
+            iabc_serve::Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
+        let addr = server
+            .local_addr()
+            .map_err(|e| CliError::Run(e.to_string()))?
+            .to_string();
+        let daemon = std::thread::spawn(move || server.run());
+        let err = |e: iabc_serve::ServeError| CliError::Run(e.to_string());
+        // Warm the hit job (one journaled miss) and pin its payload.
+        let warm = iabc_serve::submit(&addr, &sc_hit_job).map_err(err)?;
+        // The expensive miss starts first; the sleep lets it take the
+        // compute permit before the hit clients arrive.
+        let miss_addr = addr.clone();
+        let miss_job = sc_miss_job.clone();
+        let miss = std::thread::spawn(move || iabc_serve::submit(&miss_addr, &miss_job));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let start = Instant::now();
+        let clients: Vec<_> = (0..sc_clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let job = sc_hit_job.clone();
+                std::thread::spawn(move || -> Result<Vec<Vec<u8>>, iabc_serve::ServeError> {
+                    (0..sc_hits_per_client)
+                        .map(|_| iabc_serve::submit(&addr, &job).map(|o| o.payload))
+                        .collect()
+                })
+            })
+            .collect();
+        let mut hit_payloads = Vec::new();
+        for c in clients {
+            hit_payloads.extend(c.join().expect("hit client panicked").map_err(err)?);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        miss.join().expect("miss client panicked").map_err(err)?;
+        let stored = iabc_serve::query(&addr, warm.key)
+            .map_err(err)?
+            .ok_or_else(|| CliError::Run("serve concurrent: warmed key absent".into()))?;
+        if stored != warm.payload || hit_payloads.iter().any(|p| *p != stored) {
+            return Err(CliError::Run(
+                "serve concurrent datapoint: hit payloads are not byte-identical to the store"
+                    .into(),
+            ));
+        }
+        let stats = if compact {
+            Some(iabc_serve::compact(&addr).map_err(err)?)
+        } else {
+            None
+        };
+        iabc_serve::shutdown(&addr).map_err(err)?;
+        let _ = daemon.join();
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok((
+            (sc_clients * sc_hits_per_client) as f64 / elapsed.max(1e-12),
+            stats,
+        ))
+    };
+    let (sc_seq_rate, _) = run_tier(1, false)?;
+    let (sc_conc_rate, sc_compaction) = run_tier(sc_clients + 1, true)?;
+    let sc_speedup = sc_conc_rate / sc_seq_rate;
+    let sc_total_hits = sc_clients * sc_hits_per_client;
+    report.push_str(&format!(
+        "serve concurrent: {sc_clients} hit clients x {sc_hits_per_client} \
+         (complete/n{cache_n}) behind 1 slow miss (chord/n{sc_miss_n}) — \
+         {sc_seq_rate:.0} hits/s sequential (--max-conn 1) vs {sc_conc_rate:.0} hits/s \
+         concurrent, byte-identical payloads ({sc_speedup:.2}x)\n"
+    ));
+    let serve_concurrent_json = format!(
+        "  \"serve_concurrent\": {{\"topology\": \"complete\", \"n\": {cache_n}, \
+         \"f\": {cache_f}, \"clients\": {sc_clients}, \"hits\": {sc_total_hits}, \
+         \"jobs\": {jobs}, \"sequential_hits_per_sec\": {sc_seq_rate:.3}, \
+         \"concurrent_hits_per_sec\": {sc_conc_rate:.3}, \"speedup\": {sc_speedup:.3}}},"
+    );
+
+    // Compaction-ratio line (informational): the concurrent run's
+    // journal — two misses plus every journaled hit — rewritten down to
+    // one record per live object. The ratio tracks how much replay work
+    // a daemon restart saves; it is recorded, never regression-checked
+    // (it measures workload shape, not implementation speed).
+    let sc_stats = sc_compaction
+        .ok_or_else(|| CliError::Run("serve concurrent: compaction stats missing".into()))?;
+    let sc_ratio = sc_stats.records_before as f64 / (sc_stats.records_after as f64).max(1.0);
+    report.push_str(&format!(
+        "serve compaction (informational): {} -> {} journal record(s), {} -> {} byte(s) \
+         ({sc_ratio:.1}x smaller)\n",
+        sc_stats.records_before,
+        sc_stats.records_after,
+        sc_stats.bytes_before,
+        sc_stats.bytes_after
+    ));
+    let serve_compaction_json = format!(
+        "  \"serve_compaction\": {{\"topology\": \"complete\", \"n\": {cache_n}, \
+         \"f\": {cache_f}, \"jobs\": {jobs}, \"informational\": true, \
+         \"records_before\": {}, \"records_after\": {}, \"journal_bytes_before\": {}, \
+         \"journal_bytes_after\": {}, \"compaction_ratio\": {sc_ratio:.3}}},",
+        sc_stats.records_before,
+        sc_stats.records_after,
+        sc_stats.bytes_before,
+        sc_stats.bytes_after
     );
 
     // FastMath datapoint (enforced): the **columnar** sort — the vertical
@@ -1972,13 +2239,16 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
 
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{}\",\n  \"unit\": \"steps_per_sec\",\n  \
-         \"adversary\": \"constant\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"adversary\": \"constant\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         parallel_json,
         pool_json,
         deploy_json,
         deploy_scale_json,
         serve_cache_json,
+        serve_concurrent_json,
+        serve_compaction_json,
         fastmath_json,
         fastmath_scalar_json,
         replica_batch_json,
@@ -2082,6 +2352,24 @@ pub fn perf_cmd(args: &ParsedArgs) -> Result<String, CliError> {
                 }
             }
         }
+        // The serve-concurrent datapoint: concurrent-vs-sequential hit
+        // throughput behind one in-flight miss, compared on the job count
+        // alone. The expected margin is large (hits answer from the read
+        // lock while the sequential tier queues them all behind the
+        // miss), so the default tolerance has plenty of headroom.
+        if let Some((base_n, base_jobs, base_speedup)) = baseline.serve_concurrent {
+            if base_jobs == jobs {
+                compared += 1;
+                if sc_speedup < base_speedup * (1.0 - tolerance) {
+                    regressions.push(format!(
+                        "serve_concurrent complete/n{cache_n} --jobs {jobs}: \
+                         concurrent-vs-sequential speedup {sc_speedup:.2}x vs baseline \
+                         {base_speedup:.2}x at n={base_n} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
         // The FastMath kernel datapoint: fast-vs-exact kernel speedup on
         // the same row set — same workload in quick and full mode, so it
         // is compared whenever the baseline recorded it.
@@ -2165,6 +2453,9 @@ struct BenchBaseline {
     /// `(n, jobs, speedup)` of the serve-cache warm-vs-cold datapoint, if
     /// recorded.
     serve_cache: Option<(usize, usize, f64)>,
+    /// `(n, jobs, speedup)` of the serve concurrent-vs-sequential hit
+    /// throughput datapoint, if recorded.
+    serve_concurrent: Option<(usize, usize, f64)>,
     /// `(n, jobs, speedup)` of the FastMath-vs-exact kernel datapoint, if
     /// recorded (`n` here is the row length).
     fastmath: Option<(usize, usize, f64)>,
@@ -2205,6 +2496,7 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
     let mut pool = None;
     let mut deploy = None;
     let mut serve_cache = None;
+    let mut serve_concurrent = None;
     let mut fastmath = None;
     let mut replica_batch = None;
     let mut batched_sweep = None;
@@ -2233,6 +2525,8 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
                 deploy = Some((n, jobs, speedup));
             } else if json_field(line, "warm_hits_per_sec").is_some() {
                 serve_cache = Some((n, jobs, speedup));
+            } else if json_field(line, "concurrent_hits_per_sec").is_some() {
+                serve_concurrent = Some((n, jobs, speedup));
             } else if json_field(line, "fast_updates_per_sec").is_some() {
                 fastmath = Some((n, jobs, speedup));
             } else if json_field(line, "batched_replica_steps_per_sec").is_some() {
@@ -2257,6 +2551,7 @@ fn parse_bench_json(text: &str) -> BenchBaseline {
         pool,
         deploy,
         serve_cache,
+        serve_concurrent,
         fastmath,
         replica_batch,
         batched_sweep,
@@ -3109,7 +3404,10 @@ mod tests {
             &dir_s,
         ]))
         .unwrap();
-        assert!(cold.contains("store: 0 cell hit(s), 1 miss(es)"), "{cold}");
+        assert!(
+            cold.contains("store: 0 cell hit(s), 1 miss(es), 0 evicted"),
+            "{cold}"
+        );
         let warm = run(&argv(&[
             "sweep",
             "experiments",
@@ -3119,7 +3417,10 @@ mod tests {
             &dir_s,
         ]))
         .unwrap();
-        assert!(warm.contains("store: 1 cell hit(s), 0 miss(es)"), "{warm}");
+        assert!(
+            warm.contains("store: 1 cell hit(s), 0 miss(es), 0 evicted"),
+            "{warm}"
+        );
         // The memoized table is identical to the direct one.
         let direct = run(&argv(&["sweep", "experiments", "--ids", "E1"])).unwrap();
         let table_of = |s: &str| {

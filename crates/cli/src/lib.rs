@@ -61,6 +61,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve_cmd(&ParsedArgs::parse(rest)?),
         "submit" => commands::submit_cmd(&ParsedArgs::parse(rest)?),
         "query" => commands::query_cmd(&ParsedArgs::parse(rest)?),
+        "compact" => commands::compact_cmd(&ParsedArgs::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{}",
@@ -112,11 +113,18 @@ pub fn usage() -> String {
                                       emit a graph satisfying Theorem 1 by construction\n\
        dot <file> [--f N]             Graphviz DOT (witness colour-coded if violated)\n\
        repair <file> --f N            add edges until Theorem 1 holds (witness-driven)\n\
-       sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N] [--store DIR]\n\
-              [--batch]               fan the E1..E12 harness across cores (0 = all);\n\
+       sweep experiments [--ids E1,E2,..] [--parallel] [--jobs N] [--store DIR\n\
+              [--max-store-bytes B]] [--addr HOST:PORT] [--batch]\n\
+                                      fan the experiment harness across cores\n\
+                                      (0 = all); ids E1..E12 (paper) and X1..X13\n\
+                                      (extensions); no --ids runs E1..E12;\n\
                                       bit-identical output for any job count;\n\
                                       --store memoizes cells through the serving\n\
-                                      tier's result store, reporting hits/misses;\n\
+                                      tier's result store, reporting hits/misses/\n\
+                                      evictions (--max-store-bytes caps it, LRU);\n\
+                                      --addr submits the whole sweep to a running\n\
+                                      daemon instead (repeated runs collapse to\n\
+                                      one compute + cache reads);\n\
                                       --batch is accepted on every sweep grid but\n\
                                       inert here (E-cells pin the exact tier)\n\
        sweep monte-carlo [--n 6,8 --f 1,2 --p 0.5 --trials 100] [--replicas R]\n\
@@ -143,17 +151,32 @@ pub fn usage() -> String {
                                       pool with mailboxes (hosts 10^6 nodes);\n\
                                       both print a bitwise state checksum\n\
        serve --store DIR [--addr 127.0.0.1:PORT] [--jobs N] [--accept K]\n\
-                                      run the result-serving daemon: answers\n\
+             [--max-conn C] [--max-store-bytes B]\n\
+                                      run the result-serving daemon: a bounded\n\
+                                      thread-per-connection accept loop answering\n\
                                       submit/query from the content-addressed\n\
-                                      store (append-only journal), executes\n\
-                                      misses on the shared pool; --accept K\n\
-                                      exits after K connections (CI smoke)\n\
+                                      store (append-only journal); hits answer\n\
+                                      concurrently, misses run under the shared\n\
+                                      pool's compute permit with identical\n\
+                                      in-flight submissions coalesced\n\
+                                      (single-flight); --accept K exits after K\n\
+                                      connections (CI smoke), --max-conn 1 is\n\
+                                      the sequential baseline, --max-store-bytes\n\
+                                      caps object bytes with LRU eviction\n\
        submit sweep [--ids E1,..] --addr HOST:PORT\n\
        submit scenario <file> --f N [--faulty A,B] [--rule R] [--adversary A]\n\
               [--seed S | --inputs V,V,..] [--eps E] [--max-rounds R]\n\
-              --addr HOST:PORT        submit a job; prints cache hit/miss, the\n\
-                                      run key, and the payload bytes as hex\n\
+              [--delay-bound B [--scheduler immediate|max|random]\n\
+              [--sched-seed S]] --addr HOST:PORT\n\
+                                      submit a job; prints cache hit/miss, the\n\
+                                      run key, and the payload bytes as hex;\n\
+                                      --delay-bound keys the job to the §7\n\
+                                      delay-bounded engine\n\
        query --addr HOST:PORT --key HEX   fetch a stored payload by run key\n\
+       compact (--addr HOST:PORT | --store DIR)\n\
+                                      rewrite a store's run journal to one\n\
+                                      record per live object (replay-equivalent)\n\
+                                      and sweep orphaned object files\n\
        perf [--quick] [--steps S] [--jobs N] [--out BENCH_hotpath.json]\n\
                                       hot-path rounds/sec (compiled vs pre-refactor\n\
                                       reference) on complete/random/kite topologies,\n\

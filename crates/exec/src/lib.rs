@@ -657,9 +657,20 @@ impl Drop for Executor {
 ///
 /// Dispatch through [`SharedExecutor::with`]; the closure must not call
 /// back into the same `SharedExecutor` (the mutex is not reentrant).
+///
+/// For whole-*job* serialization (a connection thread handing a multi-
+/// dispatch computation to the shared pool), use
+/// [`SharedExecutor::with_compute_permit`]: it holds a separate job-level
+/// permit so the job's internal dispatches can still go through `with`
+/// without deadlocking, while concurrent jobs queue instead of
+/// interleaving their dispatches.
 #[derive(Clone, Debug)]
 pub struct SharedExecutor {
     inner: Arc<Mutex<Executor>>,
+    /// Job-level compute permit — "one compute lock, many read locks".
+    compute: Arc<Mutex<()>>,
+    /// Threads currently waiting on (or holding) the compute permit.
+    compute_queue: Arc<AtomicUsize>,
 }
 
 impl SharedExecutor {
@@ -672,6 +683,8 @@ impl SharedExecutor {
     pub fn from_executor(exec: Executor) -> Self {
         Self {
             inner: Arc::new(Mutex::new(exec)),
+            compute: Arc::new(Mutex::new(())),
+            compute_queue: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -680,6 +693,31 @@ impl SharedExecutor {
     pub fn with<R>(&self, f: impl FnOnce(&Executor) -> R) -> R {
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         f(&guard)
+    }
+
+    /// Runs `f` while holding the pool's **job-level compute permit**.
+    ///
+    /// This is the handoff point for connection threads (the serve
+    /// daemon): each cache miss wraps its entire computation in the
+    /// permit, so at most one job computes at a time and the host is
+    /// never oversubscribed by concurrent misses — while pure-read work
+    /// (cache hits) proceeds on other threads untouched. Inside `f`,
+    /// dispatching through [`SharedExecutor::with`] is fine: the permit
+    /// is a different mutex from the pool's dispatch lock, so multi-
+    /// dispatch jobs (sweeps) do not deadlock.
+    pub fn with_compute_permit<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.compute_queue.fetch_add(1, Ordering::SeqCst);
+        let guard = self.compute.lock().unwrap_or_else(|e| e.into_inner());
+        let result = f();
+        drop(guard);
+        self.compute_queue.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// Threads currently holding or queued on the compute permit — a
+    /// load signal for daemons deciding whether to shed or coalesce work.
+    pub fn compute_queue_len(&self) -> usize {
+        self.compute_queue.load(Ordering::SeqCst)
     }
 
     /// The pool's worker-thread budget (`Executor::jobs`).
@@ -1099,6 +1137,49 @@ mod tests {
         }
         // Four concurrent clients, zero extra threads: the pool is shared.
         assert_eq!(shared.threads_spawned(), spawned);
+    }
+
+    #[test]
+    fn compute_permit_serializes_jobs_and_allows_inner_dispatch() {
+        let _guard = spawn_guard();
+        let shared = SharedExecutor::new(2);
+        let active = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4usize)
+                .map(|_| {
+                    let shared = shared.clone();
+                    let active = Arc::clone(&active);
+                    s.spawn(move || {
+                        shared.with_compute_permit(|| {
+                            // Exactly one job holds the permit at a time.
+                            assert_eq!(active.fetch_add(1, Ordering::SeqCst), 0);
+                            // Inner dispatch through `with` must not
+                            // deadlock — the permit is a separate lock.
+                            let mut buf = vec![0u64; 8];
+                            shared.with(|exec| {
+                                exec.run_chunked(
+                                    &mut buf,
+                                    Chunking::Exact(1),
+                                    || (),
+                                    |i, out, ()| {
+                                        *out = i as u64;
+                                        Ok::<(), ()>(())
+                                    },
+                                )
+                                .unwrap();
+                            });
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            buf
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                let buf = h.join().unwrap();
+                assert_eq!(buf, (0..8).collect::<Vec<u64>>());
+            }
+        });
+        assert_eq!(shared.compute_queue_len(), 0);
     }
 
     #[test]

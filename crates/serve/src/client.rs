@@ -5,7 +5,7 @@ use std::net::TcpStream;
 
 use crate::job::JobSpec;
 use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::store::RunKey;
+use crate::store::{CompactionStats, RunKey};
 use crate::ServeError;
 
 /// Everything a submit returns: the terminal result plus any progress
@@ -27,7 +27,12 @@ pub struct SubmitOutcome {
 }
 
 fn connect(addr: &str) -> Result<TcpStream, ServeError> {
-    TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))
+    let stream =
+        TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+    // Request/response frames must not sit in Nagle's buffer waiting for
+    // a delayed ACK: a cache hit is a single small exchange.
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
 }
 
 /// Submits a job and collects the streamed response.
@@ -62,6 +67,9 @@ pub fn submit(addr: &str, job: &JobSpec) -> Result<SubmitOutcome, ServeError> {
                     "unexpected absent frame for {key}"
                 )))
             }
+            Response::Compacted { .. } => {
+                return Err(ServeError::Protocol("unexpected compacted frame".into()))
+            }
             Response::Error { message } => return Err(ServeError::Server(message)),
         }
     }
@@ -78,7 +86,34 @@ pub fn query(addr: &str, key: RunKey) -> Result<Option<Vec<u8>>, ServeError> {
         Response::Result { payload, .. } => Ok(Some(payload)),
         Response::Absent { .. } => Ok(None),
         Response::Error { message } => Err(ServeError::Server(message)),
-        Response::Progress { .. } => Err(ServeError::Protocol("unexpected progress frame".into())),
+        other => Err(ServeError::Protocol(format!("unexpected frame {other:?}"))),
+    }
+}
+
+/// Asks the daemon to compact its journal (rewrite to live records and
+/// sweep orphaned objects); returns the rewrite stats.
+pub fn compact(addr: &str) -> Result<CompactionStats, ServeError> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, &Request::Compact.to_json())
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    let frame = read_frame(&mut stream)?
+        .ok_or_else(|| ServeError::Protocol("connection closed mid-response".into()))?;
+    match Response::from_json(&frame)? {
+        Response::Compacted {
+            records_before,
+            records_after,
+            bytes_before,
+            bytes_after,
+            orphans_removed,
+        } => Ok(CompactionStats {
+            records_before,
+            records_after,
+            bytes_before,
+            bytes_after,
+            orphans_removed,
+        }),
+        Response::Error { message } => Err(ServeError::Server(message)),
+        other => Err(ServeError::Protocol(format!("unexpected frame {other:?}"))),
     }
 }
 

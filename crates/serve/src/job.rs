@@ -26,6 +26,7 @@ use iabc_sim::adversary::{
     ExtremesAdversary, FlipFlopAdversary, NaNAdversary, PolarizingAdversary, PullAdversary,
     RandomAdversary,
 };
+use iabc_sim::async_engine::{ImmediateScheduler, MaxDelayScheduler, RandomScheduler, Scheduler};
 use iabc_sim::wire::{encode_outcome, hash_run_config};
 use iabc_sim::{RunConfig, Scenario};
 use rand::rngs::StdRng;
@@ -45,7 +46,45 @@ pub enum InputSpec {
     Seeded(u64),
 }
 
-/// One scenario run: the synchronous engine on a parsed edge-list graph.
+/// Which engine executes a scenario job. The engine kind has been part of
+/// the key schema since PR 7 (`"synchronous"` was hard-wired); this enum
+/// fills the slot without moving any existing key.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum EngineSpec {
+    /// The synchronous round engine (the default).
+    #[default]
+    Synchronous,
+    /// The §7 partially-asynchronous engine: per-edge mailboxes with
+    /// message delays `< bound` chosen by a named scheduler.
+    DelayBounded {
+        /// The delay bound `B` (every delay is `< B`).
+        bound: usize,
+        /// Scheduler name: `immediate`, `max`, or `random`.
+        scheduler: String,
+        /// Seed for the `random` scheduler (ignored by the others but
+        /// still folded into the key — over-splitting is always safe).
+        sched_seed: u64,
+    },
+}
+
+/// Resolves a delay-bounded scheduler name for job execution. The
+/// `targeted` scheduler is deliberately not supported here: its victim
+/// set would have to travel in the job, and no experiment regenerates
+/// through it.
+pub fn engine_scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn Scheduler>, ServeError> {
+    Ok(match name {
+        "immediate" => Box::new(ImmediateScheduler),
+        "max" => Box::new(MaxDelayScheduler),
+        "random" => Box::new(RandomScheduler::new(seed)),
+        other => {
+            return Err(ServeError::Job(format!(
+                "unknown scheduler {other:?} (try immediate, max, random)"
+            )))
+        }
+    })
+}
+
+/// One scenario run: a chosen engine on a parsed edge-list graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The topology, as `iabc_graph::parse` edge-list text.
@@ -69,6 +108,8 @@ pub struct ScenarioSpec {
     pub epsilon: f64,
     /// Round cap.
     pub max_rounds: usize,
+    /// Which engine runs the scenario.
+    pub engine: EngineSpec,
 }
 
 /// A submittable job.
@@ -123,7 +164,23 @@ impl ScenarioSpec {
         h.write_str(&self.rule);
         h.write_usize(self.f);
         h.write_u64(self.quantum.unwrap_or(0.0).to_bits());
-        h.write_str("synchronous"); // engine kind
+        // Engine kind: the synchronous string is unchanged from PR 7, so
+        // every pre-existing key still addresses the same object.
+        match &self.engine {
+            EngineSpec::Synchronous => {
+                h.write_str("synchronous");
+            }
+            EngineSpec::DelayBounded {
+                bound,
+                scheduler,
+                sched_seed,
+            } => {
+                h.write_str("delay-bounded");
+                h.write_usize(*bound);
+                h.write_str(scheduler);
+                h.write_u64(*sched_seed);
+            }
+        }
         hash_run_config(h, &self.run_config());
         let inputs = self.resolve_inputs(n)?;
         h.write_usize(inputs.len());
@@ -155,17 +212,36 @@ impl ScenarioSpec {
         let inputs = self.resolve_inputs(n)?;
         let rule = self.resolve_rule()?;
         let adversary = adversary_by_name(&self.adversary, self.seed)?;
-        let mut sim = Scenario::on(&g)
+        let scenario = Scenario::on(&g)
             .inputs(&inputs)
             .faults(faults)
             .rule(rule.as_ref())
-            .adversary(adversary)
-            .synchronous()
-            .map_err(|e| ServeError::Job(e.to_string()))?;
-        let outcome = sim
-            .run(&self.run_config())
-            .map_err(|e| ServeError::Job(e.to_string()))?;
-        Ok(encode_outcome(&outcome, sim.states()))
+            .adversary(adversary);
+        match &self.engine {
+            EngineSpec::Synchronous => {
+                let mut sim = scenario
+                    .synchronous()
+                    .map_err(|e| ServeError::Job(e.to_string()))?;
+                let outcome = sim
+                    .run(&self.run_config())
+                    .map_err(|e| ServeError::Job(e.to_string()))?;
+                Ok(encode_outcome(&outcome, sim.states()))
+            }
+            EngineSpec::DelayBounded {
+                bound,
+                scheduler,
+                sched_seed,
+            } => {
+                let scheduler = engine_scheduler_by_name(scheduler, *sched_seed)?;
+                let mut sim = scenario
+                    .delay_bounded(scheduler, *bound)
+                    .map_err(|e| ServeError::Job(e.to_string()))?;
+                let outcome = sim
+                    .run(&self.run_config())
+                    .map_err(|e| ServeError::Job(e.to_string()))?;
+                Ok(encode_outcome(&outcome, sim.states()))
+            }
+        }
     }
 }
 
@@ -213,6 +289,19 @@ impl JobSpec {
                 ];
                 if let Some(q) = spec.quantum {
                     pairs.push(("quantum", Json::Num(q)));
+                }
+                // Synchronous jobs omit the engine fields entirely, so
+                // PR 7 clients and stored request logs stay readable.
+                if let EngineSpec::DelayBounded {
+                    bound,
+                    scheduler,
+                    sched_seed,
+                } = &spec.engine
+                {
+                    pairs.push(("engine", Json::Str("delay-bounded".into())));
+                    pairs.push(("delay_bound", Json::Num(*bound as f64)));
+                    pairs.push(("scheduler", Json::Str(scheduler.clone())));
+                    pairs.push(("sched_seed", Json::u64(*sched_seed)));
                 }
                 match &spec.inputs {
                     InputSpec::Explicit(values) => pairs.push((
@@ -273,6 +362,30 @@ impl JobSpec {
                 } else {
                     InputSpec::Seeded(json.get("input_seed").and_then(Json::as_u64).unwrap_or(0))
                 };
+                let engine = match json.get("engine").and_then(Json::as_str) {
+                    None | Some("synchronous") => EngineSpec::Synchronous,
+                    Some("delay-bounded") => EngineSpec::DelayBounded {
+                        bound: json
+                            .get("delay_bound")
+                            .and_then(Json::as_usize)
+                            .ok_or_else(|| {
+                                ServeError::Protocol(
+                                    "delay-bounded engine needs \"delay_bound\"".into(),
+                                )
+                            })?,
+                        scheduler: json
+                            .get("scheduler")
+                            .and_then(Json::as_str)
+                            .unwrap_or("max")
+                            .to_string(),
+                        sched_seed: json.get("sched_seed").and_then(Json::as_u64).unwrap_or(0),
+                    },
+                    Some(other) => {
+                        return Err(ServeError::Protocol(format!(
+                            "unknown engine {other:?} (try synchronous, delay-bounded)"
+                        )))
+                    }
+                };
                 Ok(JobSpec::Scenario(ScenarioSpec {
                     graph: str_field("graph")?,
                     faulty: json
@@ -299,6 +412,7 @@ impl JobSpec {
                         .get("max_rounds")
                         .and_then(Json::as_usize)
                         .unwrap_or(10_000),
+                    engine,
                 }))
             }
             other => Err(ServeError::Protocol(format!("unknown job kind {other:?}"))),
@@ -315,7 +429,7 @@ pub fn resolve_experiment_ids(ids: &[String]) -> Result<Vec<String>, ServeError>
     for id in ids {
         if !is_known_experiment_id(id) {
             return Err(ServeError::Job(format!(
-                "unknown experiment id {id:?} (valid: E1..E12)"
+                "unknown experiment id {id:?} (valid: E1..E12, X1..X13)"
             )));
         }
         let canon = id.to_ascii_uppercase();
@@ -323,7 +437,10 @@ pub fn resolve_experiment_ids(ids: &[String]) -> Result<Vec<String>, ServeError>
             resolved.push(canon);
         }
     }
-    resolved.sort_by_key(|id| id[1..].parse::<u32>().unwrap_or(u32::MAX));
+    // Registry order (E1–E12 then X1–X13); for all-E lists this is the
+    // same numeric order PR 7 hashed, so existing sweep keys are stable.
+    resolved
+        .sort_by_key(|id| iabc_analysis::sweep::experiment_id_position(id).unwrap_or(usize::MAX));
     Ok(resolved)
 }
 
@@ -510,6 +627,15 @@ mod tests {
             inputs: InputSpec::Seeded(7),
             epsilon: 1e-6,
             max_rounds: 100,
+            engine: EngineSpec::Synchronous,
+        }
+    }
+
+    fn delay_bounded(scheduler: &str, bound: usize, sched_seed: u64) -> EngineSpec {
+        EngineSpec::DelayBounded {
+            bound,
+            scheduler: scheduler.into(),
+            sched_seed,
         }
     }
 
@@ -524,6 +650,10 @@ mod tests {
                 inputs: InputSpec::Explicit(vec![1.0, 2.5, 3.75]),
                 quantum: Some(0.5),
                 rule: "quantized".into(),
+                ..sample_scenario()
+            }),
+            JobSpec::Scenario(ScenarioSpec {
+                engine: delay_bounded("random", 3, 11),
                 ..sample_scenario()
             }),
         ];
@@ -570,6 +700,10 @@ mod tests {
                 graph: "3\n0 1\n1 0\n0 2\n2 0\n".into(),
                 ..base.clone()
             },
+            ScenarioSpec {
+                engine: delay_bounded("max", 2, 0),
+                ..base.clone()
+            },
         ];
         for variant in variants {
             assert_ne!(
@@ -578,6 +712,59 @@ mod tests {
                 "ingredient change must change the key: {variant:?}"
             );
         }
+    }
+
+    /// Single-ingredient non-collision for the delay-bounded engine
+    /// fields: changing the bound, the scheduler, or the scheduler seed
+    /// alone must move the key.
+    #[test]
+    fn delay_bounded_keys_separate_every_engine_field() {
+        let spec_with = |engine: EngineSpec| {
+            JobSpec::Scenario(ScenarioSpec {
+                engine,
+                ..sample_scenario()
+            })
+        };
+        let base = spec_with(delay_bounded("random", 2, 5)).key().unwrap();
+        let variants = [
+            delay_bounded("random", 3, 5), // bound
+            delay_bounded("max", 2, 5),    // scheduler
+            delay_bounded("immediate", 2, 5),
+            delay_bounded("random", 2, 6), // sched_seed
+            EngineSpec::Synchronous,       // engine kind itself
+        ];
+        let mut keys = vec![base];
+        for engine in variants {
+            let key = spec_with(engine.clone()).key().unwrap();
+            assert!(
+                !keys.contains(&key),
+                "engine field change must change the key: {engine:?}"
+            );
+            keys.push(key);
+        }
+    }
+
+    #[test]
+    fn delay_bounded_execution_is_deterministic() {
+        let spec = ScenarioSpec {
+            engine: delay_bounded("random", 3, 11),
+            ..sample_scenario()
+        };
+        let a = spec.execute().unwrap();
+        let b = spec.execute().unwrap();
+        assert_eq!(a, b, "same spec must produce identical payload bytes");
+        let decoded = iabc_sim::wire::decode_outcome(&a).unwrap();
+        assert_eq!(decoded.final_states.len(), 3);
+        // And the payload differs from the synchronous engine's under the
+        // same otherwise-identical spec (distinct keys, distinct bytes).
+        let sync = sample_scenario().execute().unwrap();
+        assert_ne!(a, sync, "engines must not alias payloads");
+        assert!(ScenarioSpec {
+            engine: delay_bounded("targeted", 2, 0),
+            ..sample_scenario()
+        }
+        .execute()
+        .is_err());
     }
 
     #[test]
@@ -598,6 +785,18 @@ mod tests {
         }
         .key()
         .is_err());
+        // Extension ids are first-class and canonicalize after E's.
+        assert_eq!(
+            resolve_experiment_ids(&["x2".into(), "E10".into(), "X2".into()]).unwrap(),
+            vec!["E10".to_string(), "X2".to_string()]
+        );
+        let d = JobSpec::Sweep {
+            ids: vec!["X2".into(), "e10".into()],
+        };
+        let e = JobSpec::Sweep {
+            ids: vec!["E10".into(), "x2".into()],
+        };
+        assert_eq!(d.key().unwrap(), e.key().unwrap());
     }
 
     #[test]

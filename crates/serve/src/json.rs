@@ -333,13 +333,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences arrive
-                // pre-validated: frames are decoded from &str).
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err("invalid utf-8", *pos))?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of unescaped bytes in one slice:
+                // validating from `pos` to end-of-input per character
+                // would make string parsing quadratic in the frame size.
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| err("invalid utf-8", start))?;
+                out.push_str(run);
             }
         }
     }
@@ -384,6 +387,18 @@ mod tests {
         let s = "line1\nline\"2\"\\ tab\t unicode é";
         let text = Json::Str(s.into()).render();
         assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn multibyte_runs_between_escapes_roundtrip() {
+        // The run-based scanner must stop exactly at quote/backslash
+        // bytes and stitch multi-byte runs back together around escapes.
+        let s = "αβγ\\δε\"ζ\nηθ🎯 plain tail";
+        let text = Json::Str(s.into()).render();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+        let big = "x".repeat(200_000) + "→" + &"y".repeat(200_000);
+        let text = Json::Str(big.clone()).render();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(big.as_str()));
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //!   object on disk) with an append-only run journal whose replay
 //!   reconstructs the index: every table the daemon ever served has
 //!   addressable, replayable provenance;
-//! * [`server`] — the `iabc serve` daemon: a `std::net::TcpListener`
-//!   accept loop speaking length-prefixed JSON frames ([`protocol`];
-//!   hand-rolled [`json`], since the vendored serde is a no-op stand-in),
-//!   executing misses on the **process-level shared executor**
-//!   ([`iabc_exec::process_executor`]) and answering hits from the store;
+//! * [`server`] — the `iabc serve` daemon: a bounded thread-per-connection
+//!   `std::net::TcpListener` accept loop speaking length-prefixed JSON
+//!   frames ([`protocol`]; hand-rolled [`json`], since the vendored serde
+//!   is a no-op stand-in), answering hits concurrently from the store's
+//!   read lock, executing misses under the **process-level shared
+//!   executor**'s compute permit ([`iabc_exec::process_executor`]), and
+//!   coalescing identical in-flight submissions ([`server::SingleFlight`]);
 //! * [`client`] — `iabc submit` / `iabc query`, plus the in-process
 //!   [`server::StoreMemo`] fast path that lets `iabc sweep experiments
 //!   --store DIR` memoize through the identical key schema without a
@@ -38,10 +40,13 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{query, shutdown, submit, SubmitOutcome};
-pub use job::{InputSpec, JobSpec, ScenarioSpec};
-pub use server::{Server, ServerConfig, ServerStats, StoreMemo};
-pub use store::{replay_journal, JournalRecord, RunKey, Store};
+pub use client::{compact, query, shutdown, submit, SubmitOutcome};
+pub use job::{EngineSpec, InputSpec, JobSpec, ScenarioSpec};
+pub use server::{
+    answer_submit, decode_sweep_payload, Server, ServerConfig, ServerStats, SingleFlight,
+    StoreMemo, SubmitDisposition, DEFAULT_MAX_CONNECTIONS,
+};
+pub use store::{replay_journal, CompactionStats, JournalRecord, RecordKind, RunKey, Store};
 
 /// Unified error for the serving tier.
 #[derive(Debug, Clone, PartialEq, Eq)]

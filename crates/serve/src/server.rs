@@ -1,13 +1,32 @@
-//! The `iabc serve` daemon: a `std::net::TcpListener` accept loop over the
-//! frame protocol, backed by the content-addressed [`Store`] and the
-//! process-level shared executor.
+//! The `iabc serve` daemon: a bounded thread-per-connection accept loop
+//! over the frame protocol, backed by the content-addressed [`Store`] and
+//! the process-level shared executor.
 //!
-//! No async runtime: connections are handled sequentially (one request per
-//! connection, responses streamed), which is all the deterministic,
-//! CPU-bound workload needs — a job either answers instantly from the
-//! store or owns the shared pool while it computes.
+//! # Concurrency model
+//!
+//! No async runtime (std::net only): the accept loop hands each
+//! connection to a spawned handler thread, bounded by a connection
+//! semaphore (`max_connections`; `1` reproduces the PR 7 sequential
+//! loop). All handlers share one [`Store`] — hits take only its read
+//! lock, so any number of cache hits answer concurrently while a miss
+//! computes. Misses compute under the shared pool's **job-level compute
+//! permit** ([`iabc_exec::SharedExecutor::with_compute_permit`]): one
+//! compute lock, many read locks, and the host is never oversubscribed
+//! by concurrent misses.
+//!
+//! # Single-flight
+//!
+//! N identical in-flight submissions trigger exactly **one** compute:
+//! the first becomes the leader and computes; the rest park on a
+//! [`SingleFlight`] entry and are served the leader's bytes when it
+//! publishes. The journal records exactly one miss (the leader's) and
+//! one hit per coalesced follower, and every connection receives a
+//! byte-identical payload.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::job::{
@@ -18,6 +37,9 @@ use crate::store::Store;
 use crate::ServeError;
 use iabc_analysis::experiments::ExperimentResult;
 use iabc_analysis::sweep::{run_cells_memo, CellCoords, CellMemo};
+
+/// Default connection-thread bound when the config leaves it at `0`.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 8;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -33,6 +55,12 @@ pub struct ServerConfig {
     /// Stop after this many connections (`None` = run until a shutdown
     /// request). CI smoke tests use a bounded accept count for clean exit.
     pub accept_limit: Option<usize>,
+    /// Concurrent connection-handler bound (`0` =
+    /// [`DEFAULT_MAX_CONNECTIONS`]; `1` = the sequential loop).
+    pub max_connections: usize,
+    /// Object-byte budget for the store (`None` = unbounded); see
+    /// [`Store::open_with_budget`].
+    pub max_store_bytes: Option<u64>,
 }
 
 /// Counters reported when the accept loop exits.
@@ -44,15 +72,98 @@ pub struct ServerStats {
     pub job_hits: usize,
     /// Jobs executed.
     pub job_misses: usize,
+    /// Jobs coalesced onto an identical in-flight compute (served the
+    /// leader's bytes; journaled as hits).
+    pub job_coalesced: usize,
 }
 
-/// The daemon: a bound listener plus its store.
+/// One in-flight compute that identical submissions can park on.
+#[derive(Debug, Default)]
+struct Flight {
+    /// `None` while the leader computes; the published outcome after.
+    done: Mutex<Option<Result<FlightResult, ServeError>>>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone)]
+struct FlightResult {
+    payload: Vec<u8>,
+    hits: usize,
+    misses: usize,
+}
+
+/// The single-flight table: at most one entry per run key is computing
+/// at any moment. Construct one per store and pass it to every
+/// [`answer_submit`] call that should coalesce.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How a submission was answered — feeds [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitDisposition {
+    /// Served from the store.
+    Hit,
+    /// Computed fresh (this submission was the flight leader).
+    Miss,
+    /// Parked on an identical in-flight compute and served its bytes.
+    Coalesced,
+}
+
+/// A counting semaphore bounding concurrent connection handlers.
+#[derive(Debug)]
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.cv.wait(permits).unwrap();
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// State shared by the accept loop and every connection handler.
+#[derive(Debug)]
+struct Shared {
+    store: Store,
+    flights: SingleFlight,
+    jobs: usize,
+    stats: Mutex<ServerStats>,
+    shutdown: AtomicBool,
+}
+
+/// The daemon: a bound listener plus the handler-shared state.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    store: Store,
-    jobs: usize,
+    shared: Arc<Shared>,
     accept_limit: Option<usize>,
+    max_connections: usize,
 }
 
 /// A [`CellMemo`] over the store for experiment cells: the same key schema
@@ -60,14 +171,14 @@ pub struct Server {
 /// `iabc sweep experiments --store`, or replayed from the journal.
 #[derive(Debug)]
 pub struct StoreMemo<'a> {
-    store: &'a mut Store,
+    store: &'a Store,
     jobs: u32,
     started: Instant,
 }
 
 impl<'a> StoreMemo<'a> {
     /// Wraps a store; `jobs` is recorded in the journal for provenance.
-    pub fn new(store: &'a mut Store, jobs: usize) -> Self {
+    pub fn new(store: &'a Store, jobs: usize) -> Self {
         StoreMemo {
             store,
             jobs: jobs as u32,
@@ -103,27 +214,23 @@ impl CellMemo<ExperimentResult> for StoreMemo<'_> {
 /// u32-LE length-prefixed — stable because the cell order is the canonical
 /// resolved id order and each record encoder is deterministic.
 fn run_sweep_job(
-    store: &mut Store,
+    store: &Store,
     ids: &[String],
     jobs: usize,
     mut progress: impl FnMut(usize, usize, &str),
 ) -> Result<(Vec<u8>, usize, usize), ServeError> {
     let resolved = resolve_experiment_ids(ids)?;
-    let total = if resolved.is_empty() {
-        12
-    } else {
-        resolved.len()
-    };
-    let mut payload = Vec::new();
-    let mut hits = 0usize;
-    let mut misses = 0usize;
-    // One memoized sweep per experiment id, so progress frames interleave
-    // with execution instead of arriving all at once.
     let effective: Vec<String> = if resolved.is_empty() {
         (1..=12).map(|i| format!("E{i}")).collect()
     } else {
         resolved
     };
+    let total = effective.len();
+    let mut payload = Vec::new();
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    // One memoized sweep per experiment id, so progress frames interleave
+    // with execution instead of arriving all at once.
     for (done, id) in effective.iter().enumerate() {
         progress(done, total, &format!("experiments[id={id}]"));
         let (outcomes, cell_hits, cell_misses) = {
@@ -162,47 +269,254 @@ pub fn decode_sweep_payload(mut bytes: &[u8]) -> Result<Vec<ExperimentResult>, S
 }
 
 /// Executes one submitted job against the store (shared by the daemon and
-/// in-process callers like `iabc perf`'s cache datapoint). Returns the
-/// terminal [`Response::Result`] and whether it was a job-level hit.
+/// in-process callers like `iabc perf`'s cache datapoints).
+///
+/// Hits are pure store reads; misses compute under the shared pool's
+/// job-level compute permit and are deduplicated through `flights`: if an
+/// identical job is already computing, this call parks until the leader
+/// publishes and returns the same bytes as a journaled hit
+/// ([`SubmitDisposition::Coalesced`]).
 pub fn answer_submit(
-    store: &mut Store,
+    store: &Store,
+    flights: &SingleFlight,
     job: &JobSpec,
     jobs: usize,
     mut progress: impl FnMut(usize, usize, &str),
-) -> Result<Response, ServeError> {
+) -> Result<(Response, SubmitDisposition), ServeError> {
     let key = job.key()?;
     if let Some(payload) = store.get(key) {
         store
             .record_hit(key, jobs as u32)
             .map_err(|e| ServeError::Io(e.to_string()))?;
-        return Ok(Response::Result {
-            cache_hit: true,
-            key,
-            hits: 1,
-            misses: 0,
-            payload,
-        });
+        return Ok((
+            Response::Result {
+                cache_hit: true,
+                key,
+                hits: 1,
+                misses: 0,
+                payload,
+            },
+            SubmitDisposition::Hit,
+        ));
     }
+    enum Role {
+        Leader(Arc<Flight>),
+        Follower(Arc<Flight>),
+    }
+    let role = {
+        let mut map = flights.flights.lock().unwrap();
+        match map.entry(key.0) {
+            std::collections::hash_map::Entry::Occupied(e) => Role::Follower(Arc::clone(e.get())),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                Role::Leader(Arc::clone(v.insert(Arc::new(Flight::default()))))
+            }
+        }
+    };
+    match role {
+        Role::Leader(flight) => {
+            // Double-check under leadership: a previous leader may have
+            // published between this thread's store probe and winning the
+            // table slot. Re-probing here makes "exactly one journaled
+            // miss per key" a hard invariant, not a likelihood.
+            let (outcome, disposition) = match store.get(key) {
+                Some(payload) => (
+                    store
+                        .record_hit(key, jobs as u32)
+                        .map_err(|e| ServeError::Io(e.to_string()))
+                        .map(|()| FlightResult {
+                            payload,
+                            hits: 1,
+                            misses: 0,
+                        }),
+                    SubmitDisposition::Hit,
+                ),
+                None => (
+                    compute_and_insert(store, job, key, jobs, &mut progress),
+                    SubmitDisposition::Miss,
+                ),
+            };
+            // Publish order matters: drop the table entry first so a
+            // submission arriving after the publish finds the store
+            // object (already inserted) instead of a dead flight, then
+            // wake every parked follower.
+            flights.flights.lock().unwrap().remove(&key.0);
+            *flight.done.lock().unwrap() = Some(outcome.clone());
+            flight.cv.notify_all();
+            outcome.map(|result| {
+                (
+                    Response::Result {
+                        cache_hit: disposition == SubmitDisposition::Hit,
+                        key,
+                        hits: result.hits,
+                        misses: result.misses,
+                        payload: result.payload,
+                    },
+                    disposition,
+                )
+            })
+        }
+        Role::Follower(flight) => {
+            let mut done = flight.done.lock().unwrap();
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap();
+            }
+            let outcome = done.as_ref().unwrap().clone();
+            drop(done);
+            let result = outcome?;
+            // The follower was served from (what is now) the store: one
+            // journaled hit, byte-identical payload.
+            store
+                .record_hit(key, jobs as u32)
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            Ok((
+                Response::Result {
+                    cache_hit: true,
+                    key,
+                    hits: 1,
+                    misses: 0,
+                    payload: result.payload,
+                },
+                SubmitDisposition::Coalesced,
+            ))
+        }
+    }
+}
+
+/// The leader path: compute the job under the shared pool's compute
+/// permit, then insert the payload (exactly one journaled miss).
+fn compute_and_insert(
+    store: &Store,
+    job: &JobSpec,
+    key: crate::store::RunKey,
+    jobs: usize,
+    progress: &mut impl FnMut(usize, usize, &str),
+) -> Result<FlightResult, ServeError> {
+    let pool = iabc_exec::process_executor(jobs);
     let started = Instant::now();
-    let (payload, hits, misses) = match job {
+    let computed = pool.with_compute_permit(|| match job {
         JobSpec::Scenario(spec) => {
             progress(0, 1, "scenario");
-            let payload = spec.execute()?;
-            (payload, 0, 1)
+            spec.execute().map(|payload| (payload, 0, 1))
         }
-        JobSpec::Sweep { ids } => run_sweep_job(store, ids, jobs, &mut progress)?,
-    };
+        JobSpec::Sweep { ids } => run_sweep_job(store, ids, jobs, &mut *progress),
+    });
+    let (payload, hits, misses) = computed?;
     let wall_ms = started.elapsed().as_millis() as u64;
     store
         .insert(key, &payload, wall_ms, jobs as u32)
         .map_err(|e| ServeError::Io(e.to_string()))?;
-    Ok(Response::Result {
-        cache_hit: false,
-        key,
+    Ok(FlightResult {
+        payload,
         hits,
         misses,
-        payload,
     })
+}
+
+/// Handles one accepted connection against the shared state. `addr` is
+/// the listener's own address, used to wake a blocked `accept()` when a
+/// shutdown request arrives.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+    let request = match read_frame(&mut stream) {
+        Ok(Some(json)) => Request::from_json(&json),
+        Ok(None) => return,
+        Err(e) => Err(e),
+    };
+    match request {
+        Ok(Request::Shutdown) => {
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error {
+                    message: "shutting down".into(),
+                }
+                .to_json(),
+            );
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop may be parked in accept(); a throwaway
+            // connection unblocks it so it can observe the flag.
+            let _ = TcpStream::connect(addr);
+        }
+        Ok(Request::Query(key)) => {
+            let response = match shared.store.get(key) {
+                Some(payload) => {
+                    let _ = shared.store.record_hit(key, shared.jobs as u32);
+                    Response::Result {
+                        cache_hit: true,
+                        key,
+                        hits: 1,
+                        misses: 0,
+                        payload,
+                    }
+                }
+                None => Response::Absent { key },
+            };
+            let _ = write_frame(&mut stream, &response.to_json());
+        }
+        Ok(Request::Compact) => {
+            let response = match shared.store.compact() {
+                Ok(stats) => Response::Compacted {
+                    records_before: stats.records_before,
+                    records_after: stats.records_after,
+                    bytes_before: stats.bytes_before,
+                    bytes_after: stats.bytes_after,
+                    orphans_removed: stats.orphans_removed,
+                },
+                Err(e) => Response::Error {
+                    message: format!("compaction failed: {e}"),
+                },
+            };
+            let _ = write_frame(&mut stream, &response.to_json());
+        }
+        Ok(Request::Submit(job)) => {
+            let result = answer_submit(
+                &shared.store,
+                &shared.flights,
+                &job,
+                shared.jobs,
+                |done, total, label| {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Progress {
+                            done,
+                            total,
+                            label: label.to_string(),
+                        }
+                        .to_json(),
+                    );
+                },
+            );
+            match result {
+                Ok((response, disposition)) => {
+                    {
+                        let mut stats = shared.stats.lock().unwrap();
+                        match disposition {
+                            SubmitDisposition::Hit => stats.job_hits += 1,
+                            SubmitDisposition::Miss => stats.job_misses += 1,
+                            SubmitDisposition::Coalesced => stats.job_coalesced += 1,
+                        }
+                    }
+                    let _ = write_frame(&mut stream, &response.to_json());
+                }
+                Err(e) => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Error {
+                            message: e.to_string(),
+                        }
+                        .to_json(),
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error {
+                    message: e.to_string(),
+                }
+                .to_json(),
+            );
+        }
+    }
 }
 
 impl Server {
@@ -211,12 +525,23 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| ServeError::Io(e.to_string()))?;
-        let store = Store::open(&config.store_dir).map_err(|e| ServeError::Io(e.to_string()))?;
+        let store = Store::open_with_budget(&config.store_dir, config.max_store_bytes)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
         Ok(Server {
             listener,
-            store,
-            jobs: config.jobs,
+            shared: Arc::new(Shared {
+                store,
+                flights: SingleFlight::new(),
+                jobs: config.jobs,
+                stats: Mutex::new(ServerStats::default()),
+                shutdown: AtomicBool::new(false),
+            }),
             accept_limit: config.accept_limit,
+            max_connections: if config.max_connections == 0 {
+                DEFAULT_MAX_CONNECTIONS
+            } else {
+                config.max_connections
+            },
         })
     }
 
@@ -229,111 +554,60 @@ impl Server {
 
     /// Read access to the store (tests inspect journal state through it).
     pub fn store(&self) -> &Store {
-        &self.store
-    }
-
-    fn handle(&mut self, mut stream: TcpStream, stats: &mut ServerStats) -> bool {
-        let request = match read_frame(&mut stream) {
-            Ok(Some(json)) => Request::from_json(&json),
-            Ok(None) => return false,
-            Err(e) => Err(e),
-        };
-        match request {
-            Ok(Request::Shutdown) => {
-                let _ = write_frame(
-                    &mut stream,
-                    &Response::Error {
-                        message: "shutting down".into(),
-                    }
-                    .to_json(),
-                );
-                true
-            }
-            Ok(Request::Query(key)) => {
-                let response = match self.store.get(key) {
-                    Some(payload) => {
-                        let _ = self.store.record_hit(key, self.jobs as u32);
-                        Response::Result {
-                            cache_hit: true,
-                            key,
-                            hits: 1,
-                            misses: 0,
-                            payload,
-                        }
-                    }
-                    None => Response::Absent { key },
-                };
-                let _ = write_frame(&mut stream, &response.to_json());
-                false
-            }
-            Ok(Request::Submit(job)) => {
-                let jobs = self.jobs;
-                let store = &mut self.store;
-                let result = answer_submit(store, &job, jobs, |done, total, label| {
-                    let _ = write_frame(
-                        &mut stream,
-                        &Response::Progress {
-                            done,
-                            total,
-                            label: label.to_string(),
-                        }
-                        .to_json(),
-                    );
-                });
-                match result {
-                    Ok(response) => {
-                        if let Response::Result { cache_hit, .. } = &response {
-                            if *cache_hit {
-                                stats.job_hits += 1;
-                            } else {
-                                stats.job_misses += 1;
-                            }
-                        }
-                        let _ = write_frame(&mut stream, &response.to_json());
-                    }
-                    Err(e) => {
-                        let _ = write_frame(
-                            &mut stream,
-                            &Response::Error {
-                                message: e.to_string(),
-                            }
-                            .to_json(),
-                        );
-                    }
-                }
-                false
-            }
-            Err(e) => {
-                let _ = write_frame(
-                    &mut stream,
-                    &Response::Error {
-                        message: e.to_string(),
-                    }
-                    .to_json(),
-                );
-                false
-            }
-        }
+        &self.shared.store
     }
 
     /// Runs the accept loop until the accept limit is reached or a
-    /// shutdown request arrives. Returns the final counters.
+    /// shutdown request arrives; handlers run on bounded threads and are
+    /// all joined before the final counters are returned.
     pub fn run(&mut self) -> Result<ServerStats, ServeError> {
-        let mut stats = ServerStats::default();
+        let addr = self.local_addr()?;
+        let semaphore = Arc::new(Semaphore::new(self.max_connections));
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut accepted = 0usize;
         loop {
             if let Some(limit) = self.accept_limit {
-                if stats.connections >= limit {
-                    return Ok(stats);
+                if accepted >= limit {
+                    break;
                 }
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
             }
             let (stream, _) = self
                 .listener
                 .accept()
                 .map_err(|e| ServeError::Io(e.to_string()))?;
-            stats.connections += 1;
-            if self.handle(stream, &mut stats) {
-                return Ok(stats);
+            // Responses are single small frames; Nagle would hold them
+            // for a delayed-ACK round trip.
+            let _ = stream.set_nodelay(true);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                // The wake-up connection from the shutdown handler; not a
+                // client, not counted.
+                break;
+            }
+            accepted += 1;
+            semaphore.acquire();
+            let shared = Arc::clone(&self.shared);
+            let semaphore_for_handler = Arc::clone(&semaphore);
+            handles.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared, addr);
+                semaphore_for_handler.release();
+            }));
+            // Reap finished handlers so the handle list stays bounded on
+            // long-lived daemons.
+            let (done, running): (Vec<_>, Vec<_>) =
+                handles.drain(..).partition(|h| h.is_finished());
+            handles = running;
+            for handle in done {
+                handle.join().expect("connection handler panicked");
             }
         }
+        for handle in handles {
+            handle.join().expect("connection handler panicked");
+        }
+        let mut stats = *self.shared.stats.lock().unwrap();
+        stats.connections = accepted;
+        Ok(stats)
     }
 }
